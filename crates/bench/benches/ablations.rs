@@ -1,0 +1,109 @@
+//! Criterion: ablations over the design choices DESIGN.md calls out —
+//! initial-simplex strategy, history training mode, and Appendix-B
+//! restriction. Each benchmark runs a fixed-iteration tuning session, so
+//! wall time compares per-iteration cost while the printed iteration
+//! counts in the `bin/` regenerators compare convergence behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony::kernel::InitStrategy;
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_space::{parse_rsl, ParamDef, ParameterSpace};
+use harmony_websim::{Fidelity, WebServiceSystem, WorkloadMix};
+use std::hint::black_box;
+
+fn web_objective(seed: u64) -> (ParameterSpace, impl FnMut(&Configuration) -> f64) {
+    let mut sys = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, seed);
+    let space = sys.space().clone();
+    (space, move |cfg: &Configuration| sys.evaluate(cfg))
+}
+
+fn bench_init_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_init");
+    g.sample_size(10);
+    for (name, init) in [
+        ("extreme_corners", InitStrategy::ExtremeCorners),
+        ("even_spread", InitStrategy::EvenSpread),
+        ("diagonal", InitStrategy::Diagonal),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (space, eval) = web_objective(1);
+                let mut obj = FnObjective::new(eval);
+                let mut opts = TuningOptions::improved().with_max_iterations(60);
+                opts.init = init;
+                black_box(Tuner::new(space, opts).run(&mut obj))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_history_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_history");
+    g.sample_size(10);
+    // Record a history once.
+    let history = {
+        let (space, eval) = web_objective(9);
+        let mut obj = FnObjective::new(eval);
+        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(80)).run(&mut obj);
+        out.to_history("prior", vec![0.5; 14])
+    };
+    for (name, mode) in [
+        ("cold", TrainingMode::None),
+        ("seeded", TrainingMode::SeedSimplex),
+        ("replay10", TrainingMode::Replay(10)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (space, eval) = web_objective(2);
+                let mut obj = FnObjective::new(eval);
+                let tuner = Tuner::new(space, TuningOptions::improved().with_max_iterations(60));
+                black_box(tuner.run_trained(&mut obj, &history, mode))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_restriction_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_restriction");
+    let naive = ParameterSpace::builder()
+        .param(ParamDef::int("B", 1, 8, 1, 1))
+        .param(ParamDef::int("C", 1, 8, 1, 1))
+        .build()
+        .unwrap();
+    let restricted = parse_rsl(
+        "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}",
+    )
+    .unwrap();
+    let perf = |cfg: &Configuration| {
+        let (b, c) = (cfg.get(0), cfg.get(1));
+        if b + c > 9 {
+            0.0
+        } else {
+            100.0 - ((b - 3).pow(2) + (c - 4).pow(2)) as f64
+        }
+    };
+    for (name, space) in [("naive", naive), ("restricted", restricted)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut obj = FnObjective::new(perf);
+                black_box(
+                    Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(40))
+                        .run(&mut obj),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_init_ablation,
+    bench_history_ablation,
+    bench_restriction_ablation
+);
+criterion_main!(benches);

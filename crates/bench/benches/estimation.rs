@@ -1,0 +1,66 @@
+//! Criterion: §4.3 triangulation estimation — cost vs dimension and
+//! record-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony::estimate::estimate_performance;
+use harmony::history::TuningRecord;
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::hint::black_box;
+
+fn space(dims: usize) -> ParameterSpace {
+    ParameterSpace::new(
+        (0..dims)
+            .map(|i| ParamDef::int(format!("p{i}"), 0, 100, 50, 1))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn records(dims: usize, count: usize) -> Vec<TuningRecord> {
+    // Deterministic pseudo-random records on an affine-ish surface.
+    let mut s = 12345u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) % 101) as i64
+    };
+    (0..count)
+        .map(|_| {
+            let values: Vec<i64> = (0..dims).map(|_| next()).collect();
+            let perf: f64 = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 + 1.0) * v as f64)
+                .sum();
+            TuningRecord { values, performance: perf }
+        })
+        .collect()
+}
+
+fn bench_dims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate_dims");
+    for dims in [2usize, 5, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            let sp = space(dims);
+            let recs = records(dims, 100);
+            let target = Configuration::new(vec![33; dims]);
+            b.iter(|| black_box(estimate_performance(&sp, &recs, &target)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_record_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate_records");
+    for count in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            let sp = space(8);
+            let recs = records(8, count);
+            let target = Configuration::new(vec![33; 8]);
+            b.iter(|| black_box(estimate_performance(&sp, &recs, &target)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dims, bench_record_count);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: simplex-kernel step throughput across dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony::kernel::{InitStrategy, SimplexKernel};
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::hint::black_box;
+
+fn space(dims: usize) -> ParameterSpace {
+    ParameterSpace::new(
+        (0..dims)
+            .map(|i| ParamDef::int(format!("p{i}"), 0, 1000, 500, 1))
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn paraboloid(cfg: &Configuration) -> f64 {
+    cfg.values()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| -((v - 300 - 40 * i as i64).pow(2) as f64))
+        .sum()
+}
+
+fn bench_kernel_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_step");
+    for dims in [2usize, 5, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(dims), &dims, |b, &dims| {
+            b.iter(|| {
+                let mut k = SimplexKernel::new(space(dims), InitStrategy::EvenSpread);
+                for _ in 0..50 {
+                    let cfg = k.next_config();
+                    let v = paraboloid(&cfg);
+                    k.observe(black_box(v));
+                }
+                black_box(k.best())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_init_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_init");
+    for (name, strat) in [
+        ("extreme", InitStrategy::ExtremeCorners),
+        ("even", InitStrategy::EvenSpread),
+        ("diagonal", InitStrategy::Diagonal),
+    ] {
+        g.bench_function(name, |b| {
+            let s = space(10);
+            b.iter(|| black_box(strat.initial_points(&s)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_steps, bench_init_strategies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: parameter prioritizing tool — sequential vs scoped-thread
+//! parallel sweeps on the §5 synthetic system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony::objective::FnObjective;
+use harmony::sensitivity::Prioritizer;
+use harmony_synth::scenario::section5_system;
+use std::hint::black_box;
+
+fn bench_sequential(c: &mut Criterion) {
+    c.bench_function("sensitivity_sequential", |b| {
+        let sys = section5_system([0.3, 0.5, 0.2], 0.0, 0);
+        let space = sys.space().clone();
+        b.iter(|| {
+            let mut obj = FnObjective::new(|cfg| sys.evaluate_clean(cfg));
+            black_box(Prioritizer::new(space.clone()).analyze(&mut obj))
+        });
+    });
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sensitivity_parallel");
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let sys = section5_system([0.3, 0.5, 0.2], 0.0, 0);
+            let space = sys.space().clone();
+            b.iter(|| {
+                black_box(
+                    Prioritizer::new(space.clone())
+                        .analyze_parallel(|cfg| sys.evaluate_clean(cfg), threads),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_parallel);
+criterion_main!(benches);

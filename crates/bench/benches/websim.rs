@@ -1,0 +1,49 @@
+//! Criterion: web-system evaluation throughput — analytic MVA vs
+//! discrete-event simulation (the ~100× fidelity gap DESIGN.md cites).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harmony_websim::demands::DemandModel;
+use harmony_websim::des::{self, DesConfig};
+use harmony_websim::params::{webservice_space, WebServiceConfig};
+use harmony_websim::{analytic, WorkloadMix};
+use std::hint::black_box;
+
+fn model() -> DemandModel {
+    let s = webservice_space();
+    DemandModel::new(WebServiceConfig::decode(&s, &s.default_configuration()))
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let m = model();
+    let mix = WorkloadMix::shopping();
+    c.bench_function("websim_analytic", |b| {
+        b.iter(|| black_box(analytic::evaluate(&m, &mix)));
+    });
+}
+
+fn bench_des(c: &mut Criterion) {
+    let m = model();
+    let mix = WorkloadMix::shopping();
+    let horizon = DesConfig { warmup: 2.0, measure: 20.0, ..DesConfig::default() };
+    let mut g = c.benchmark_group("websim_des");
+    g.sample_size(10);
+    g.bench_function("20s_horizon", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(des::evaluate_with(&m, &mix, &horizon, seed))
+        });
+    });
+    g.finish();
+}
+
+fn bench_demand_model(c: &mut Criterion) {
+    let m = model();
+    let mix = WorkloadMix::ordering();
+    c.bench_function("websim_mix_demands", |b| {
+        b.iter(|| black_box(m.mix_demands(&mix)));
+    });
+}
+
+criterion_group!(benches, bench_analytic, bench_des, bench_demand_model);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Figure 6 — tuning only the n most sensitive synthetic parameters.
+//!
+//! Paper: with the rest of the parameters at defaults, tuning only the
+//! top-n parameters (n = 1, 5, 9, 12, 15) saves up to 85% of tuning time
+//! while losing less than 8% of performance at low perturbation; larger
+//! perturbation (10%, 25%) degrades the process.
+
+use bench::{average, f, header, row};
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::sensitivity::{Prioritizer, SubspaceFocus};
+use harmony_synth::scenario::section5_system;
+
+fn main() {
+    let workload = [0.3, 0.5, 0.2];
+    let perturbations = [0.0, 0.05, 0.10, 0.25];
+    let ns = [1usize, 5, 9, 12, 15];
+    let seeds = 0u64..3;
+
+    println!("Figure 6: tuning only the n most sensitive parameters (synthetic data)");
+    println!("time = convergence iterations; perf = noise-free performance of tuned config\n");
+    header(
+        &["perturb", "n", "time(iters)", "performance", "perf vs n=15"],
+        &[8, 4, 12, 12, 12],
+    );
+
+    for &p in &perturbations {
+        // Rank parameters once per perturbation level.
+        let ranking = {
+            let mut sys = section5_system(workload, p, 7);
+            let space = sys.space().clone();
+            let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+            Prioritizer::new(space).analyze(&mut obj)
+        };
+        let mut full_perf = None;
+        let mut per_n: Vec<(usize, f64, f64)> = Vec::new();
+        for &n in &ns {
+            let indices = ranking.top_n(n);
+            let time = average(seeds.clone(), |seed| {
+                let mut sys = section5_system(workload, p, 100 + seed);
+                let space = sys.space().clone();
+                let focus = SubspaceFocus::new(space.clone(), indices.clone(), space.default_configuration());
+                let reduced = focus.reduced_space();
+                let fc = focus.clone();
+                let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+                let tuner = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150));
+                let out = tuner.run(&mut obj);
+                out.report.convergence_time as f64
+            });
+            let perf = average(seeds.clone(), |seed| {
+                let mut sys = section5_system(workload, p, 100 + seed);
+                let clean = section5_system(workload, 0.0, 0);
+                let space = sys.space().clone();
+                let focus = SubspaceFocus::new(space.clone(), indices.clone(), space.default_configuration());
+                let reduced = focus.reduced_space();
+                let fc = focus.clone();
+                let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+                let tuner = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150));
+                let out = tuner.run(&mut obj);
+                clean.evaluate_clean(&focus.embed(&out.best_configuration))
+            });
+            per_n.push((n, time, perf));
+            if n == 15 {
+                full_perf = Some(perf);
+            }
+        }
+        let full = full_perf.expect("n=15 ran");
+        for (n, time, perf) in per_n {
+            row(
+                &[
+                    format!("{:.0}%", p * 100.0),
+                    n.to_string(),
+                    f(time, 1),
+                    f(perf, 2),
+                    format!("{:+.1}%", (perf - full) / full * 100.0),
+                ],
+                &[8, 4, 12, 12, 12],
+            );
+        }
+        println!();
+    }
+    println!("(paper shape: time grows with n — sublinearly near the top — and the");
+    println!(" performance sacrificed by small n stays small at low perturbation)");
+}

@@ -1,0 +1,100 @@
+//! Figure 7 — tuning with experience from workloads at increasing
+//! characteristic distance.
+//!
+//! Paper: the system faces workload A and trains from stored workload A′;
+//! the x-axis is the Euclidean distance between the two characteristic
+//! vectors. The closer the experience, the shorter the tuning time, with
+//! the tuned performance staying roughly flat.
+//!
+//! "Time" here is iterations until a live exploration first reaches 97%
+//! of workload A's true optimum (established once by a long reference
+//! run) — the quantity the paper's iteration counts track.
+
+use bench::{average, f, header, row};
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_linalg::stats::euclidean;
+use harmony_synth::scenario::history_sensitivity_system;
+
+fn main() {
+    // Current workload A: a mixed interaction-frequency distribution.
+    let a = [0.55, 0.20, 0.10, 0.05, 0.05, 0.05];
+    // Direction along which A' drifts away from A (mass moves from the
+    // first two interaction kinds to the DB-heavy ones).
+    let dir = [-0.09, -0.03, 0.01, 0.05, 0.04, 0.02];
+    let budget = 150usize;
+    let seeds = 0u64..8;
+
+    // Reference optimum of A (long, cold, noise-free run).
+    let ref_best = {
+        let sys = history_sensitivity_system(&a, 0.0, 0);
+        let space = sys.space().clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate_clean(cfg));
+        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(400)).run(&mut obj);
+        out.best_performance
+    };
+
+    println!("Figure 7: tuning workload A using experience from workload A'");
+    println!("distance = Euclidean distance between characteristic vectors");
+    println!("time = live iterations to first reach 95% of A's reference optimum ({ref_best:.1})\n");
+    header(&["distance", "time(iters)", "performance"], &[10, 12, 12]);
+    let mut xs: Vec<f64> = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+
+    for step in 0..7 {
+        let scale = step as f64;
+        let aprime: Vec<f64> = a
+            .iter()
+            .zip(&dir)
+            .map(|(x, d)| (x + scale * d).max(0.0))
+            .collect();
+        let distance = euclidean(&a, &aprime) * 10.0;
+
+        let time = average(seeds.clone(), |seed| {
+            run_with_history(&a, &aprime, budget, seed, ref_best).0
+        });
+        let perf = average(seeds.clone(), |seed| {
+            run_with_history(&a, &aprime, budget, seed, ref_best).1
+        });
+        row(&[f(distance, 2), f(time, 1), f(perf, 2)], &[10, 12, 12]);
+        xs.push(distance);
+        times.push(time);
+    }
+    println!("\ntime vs distance:");
+    print!("{}", bench::chart::series_panel(&xs, &times, 48, 9));
+    println!("\n(paper shape: time grows with distance; performance stays roughly flat)");
+}
+
+/// Train on A' (recording its exploration), then tune A starting from that
+/// experience. Returns (iterations to 95% of the reference optimum, clean
+/// tuned performance).
+fn run_with_history(
+    a: &[f64; 6],
+    aprime: &[f64],
+    budget: usize,
+    seed: u64,
+    ref_best: f64,
+) -> (f64, f64) {
+    // Record experience while tuning A'.
+    let mut prior_sys = history_sensitivity_system(aprime, 0.05, 900 + seed);
+    let space = prior_sys.space().clone();
+    let mut prior_obj = FnObjective::new(move |cfg: &Configuration| prior_sys.evaluate(cfg));
+    let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(budget));
+    let prior_out = tuner.run(&mut prior_obj);
+    let history = prior_out.to_history("aprime", aprime.to_vec());
+
+    // Tune A, trained from the A' experience.
+    let mut sys = history_sensitivity_system(a, 0.0, 1700 + seed);
+    let clean_sys = history_sensitivity_system(a, 0.0, 0);
+    let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+    let out = tuner.run_trained(&mut obj, &history, TrainingMode::SeedSimplex);
+
+    let threshold = 0.95 * ref_best;
+    let time = out
+        .trace
+        .iter()
+        .position(|t| clean_sys.evaluate_clean(&t.config) >= threshold)
+        .unwrap_or(out.trace.len());
+    (time as f64, clean_sys.evaluate_clean(&out.best_configuration))
+}

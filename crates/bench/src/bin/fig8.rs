@@ -1,0 +1,57 @@
+//! Figure 8 — parameter sensitivity of the cluster-based web service
+//! system under shopping vs ordering workloads.
+//!
+//! Paper: importance is workload-dependent — the MySQL network buffer
+//! matters for the ordering workload (DB-heavy), the proxy cache memory
+//! matters for the shopping workload (browse-heavy), and the HTTP buffer /
+//! max-connections knobs matter relatively little for either.
+
+use bench::{f, header, row, WebObjective};
+use harmony::sensitivity::Prioritizer;
+use harmony_websim::{WorkloadMix, PARAM_NAMES};
+
+fn main() {
+    let sweep = |mix: WorkloadMix| {
+        let mut obj = WebObjective::new(mix, 0.0, 7);
+        let space = obj.system().space().clone();
+        Prioritizer::new(space).with_max_samples(12).analyze(&mut obj)
+    };
+    let shopping = sweep(WorkloadMix::shopping());
+    let ordering = sweep(WorkloadMix::ordering());
+
+    println!("Figure 8: parameter sensitivity in the cluster-based web service system\n");
+    header(&["parameter", "shopping", "ordering"], &[24, 10, 10]);
+    for (j, name) in PARAM_NAMES.iter().enumerate() {
+        row(
+            &[
+                name.to_string(),
+                f(shopping.entries()[j].sensitivity, 2),
+                f(ordering.entries()[j].sensitivity, 2),
+            ],
+            &[24, 10, 10],
+        );
+    }
+
+    println!("\nbar view (shopping '#', ordering '+'):\n");
+    let labels: Vec<String> = PARAM_NAMES.iter().map(|s| s.to_string()).collect();
+    let s_vals: Vec<f64> = shopping.entries().iter().map(|e| e.sensitivity).collect();
+    let o_vals: Vec<f64> = ordering.entries().iter().map(|e| e.sensitivity).collect();
+    print!("{}", bench::chart::grouped_bar_chart(&labels, &[s_vals, o_vals], &['#', '+'], 46));
+
+    let idx = |n: &str| PARAM_NAMES.iter().position(|p| *p == n).expect("known name");
+    let s = |rep: &harmony::sensitivity::SensitivityReport, n: &str| rep.entries()[idx(n)].sensitivity;
+    println!("\nchecks against the paper's observations:");
+    println!(
+        "  MYSQLNetBufferLength ordering {} shopping  (paper: more important when ordering)",
+        if s(&ordering, "MYSQLNetBufferLength") > s(&shopping, "MYSQLNetBufferLength") { ">" } else { "<" }
+    );
+    println!(
+        "  PROXYCacheMem shopping {} ordering  (paper: more important when shopping)",
+        if s(&shopping, "PROXYCacheMem") > s(&ordering, "PROXYCacheMem") { ">" } else { "<" }
+    );
+    let max_s = shopping.ranked()[0].sensitivity;
+    println!(
+        "  HTTPBufferSize is {:.0}% of the top shopping sensitivity (paper: relatively unimportant)",
+        s(&shopping, "HTTPBufferSize") / max_s * 100.0
+    );
+}

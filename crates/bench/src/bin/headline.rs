@@ -1,0 +1,85 @@
+//! Headline claim — "these changes allow the Active Harmony system to
+//! reduce the time spent tuning from 35% up to 50% and at the same time,
+//! reduce the variation in performance while tuning."
+//!
+//! Runs the full server pipeline (prioritize → classify → train → tune)
+//! against the plain original pipeline on the web service system and
+//! reports the combined effect.
+
+use bench::{average, f, header, row, WebObjective};
+use harmony::history::DataAnalyzer;
+use harmony::prelude::*;
+use harmony::server::ServerOptions;
+use harmony::tuner::TrainingMode;
+use harmony_websim::WorkloadMix;
+
+fn main() {
+    let seeds = 0u64..5;
+    let noise = 0.05;
+    let budget = bench::WEB_TUNING_BUDGET;
+
+    println!("Headline: original pipeline vs fully improved pipeline\n");
+    header(
+        &["workload", "pipeline", "WIPS", "conv(iters)", "init std", "bad iters"],
+        &[10, 10, 8, 12, 10, 10],
+    );
+
+    for (mix, prior_mix, label) in [
+        (WorkloadMix::shopping(), WorkloadMix::browsing(), "shopping"),
+        (WorkloadMix::ordering(), WorkloadMix::shopping(), "ordering"),
+    ] {
+        let run_original = |seed: u64| -> TuningOutcome {
+            let mut obj = WebObjective::new(mix.clone(), noise, seed);
+            let space = obj.system().space().clone();
+            Tuner::new(space, TuningOptions::original().with_max_iterations(budget)).run(&mut obj)
+        };
+        let run_improved = |seed: u64| -> TuningOutcome {
+            // Full server: prior experience + improved init + top-6 focus.
+            let mut server_obj = WebObjective::new(mix.clone(), noise, 100 + seed);
+            let space = server_obj.system().space().clone();
+            let mut server = HarmonyServer::new(
+                space,
+                ServerOptions {
+                    tuning: TuningOptions::improved().with_max_iterations(budget),
+                    training: TrainingMode::Replay(10),
+                    analyzer: DataAnalyzer::new(),
+                    focus_top_n: Some(6),
+                },
+            );
+            // Prioritize once (amortized cost, reported separately).
+            let mut probe_obj = WebObjective::new(mix.clone(), noise, 7);
+            server.set_sensitivity(
+                harmony::sensitivity::Prioritizer::new(server.space().clone())
+                    .with_max_samples(10)
+                    .analyze(&mut probe_obj),
+            );
+            // Seed the experience database from the prior workload.
+            let mut prior_obj = WebObjective::new(prior_mix.clone(), noise, 200 + seed);
+            let chars = prior_obj.system_mut().observe_characteristics(400);
+            let _ = server.tune_session(&mut prior_obj, prior_mix.name(), &chars);
+            // The measured session.
+            let chars = server_obj.system_mut().observe_characteristics(400);
+            server.tune_session(&mut server_obj, mix.name(), &chars).tuning
+        };
+
+        let orig_conv = average(seeds.clone(), |s| run_original(s).report.convergence_time as f64);
+        let impr_conv = average(seeds.clone(), |s| run_improved(s).report.convergence_time as f64);
+        for (name, runner) in [
+            ("original", &(|s: u64| run_original(s)) as &dyn Fn(u64) -> TuningOutcome),
+            ("improved", &(|s: u64| run_improved(s)) as &dyn Fn(u64) -> TuningOutcome),
+        ] {
+            let wips = average(seeds.clone(), |s| runner(s).report.best_performance);
+            let conv = average(seeds.clone(), |s| runner(s).report.convergence_time as f64);
+            let std = average(seeds.clone(), |s| runner(s).report.initial_std);
+            let bad = average(seeds.clone(), |s| runner(s).report.bad_iterations as f64);
+            row(
+                &[label.to_string(), name.to_string(), f(wips, 1), f(conv, 1), f(std, 2), f(bad, 1)],
+                &[10, 10, 8, 12, 10, 10],
+            );
+        }
+        println!(
+            "  -> tuning time reduction: {:.0}%  (paper claim: 35% up to 50%)\n",
+            (orig_conv - impr_conv) / orig_conv * 100.0
+        );
+    }
+}

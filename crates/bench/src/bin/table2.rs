@@ -1,0 +1,72 @@
+//! Table 2 — tuning with and without prior histories.
+//!
+//! Paper: training from historical data recorded on *another* workload
+//! cuts convergence time 56% (shopping) / 17% (ordering), raises the
+//! initial-stage mean WIPS, shrinks its standard deviation, and cuts
+//! bad-performance iterations from 9 to 1 (shopping) / 11 to 3 (ordering).
+
+use bench::{average, f, header, row, tune_web, tune_web_trained, WebObjective};
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_websim::WorkloadMix;
+
+fn main() {
+    let seeds = 0u64..5;
+    let noise = 0.05;
+    let budget = bench::WEB_TUNING_BUDGET;
+
+    println!("Table 2: tuning with vs without prior histories\n");
+    header(
+        &["workload", "histories", "conv(iters)", "init mean", "init std", "bad iters"],
+        &[10, 10, 12, 10, 10, 10],
+    );
+
+    for (mix, trainer_mix, label) in [
+        (WorkloadMix::shopping(), WorkloadMix::browsing(), "shopping"),
+        (WorkloadMix::ordering(), WorkloadMix::shopping(), "ordering"),
+    ] {
+        // Record a history by tuning a *different* workload ("historical
+        // data which is never seen by the Active Harmony server" for the
+        // target workload).
+        let history = {
+            let mut obj = WebObjective::new(trainer_mix.clone(), noise, 11);
+            let space = obj.system().space().clone();
+            let tuner = Tuner::new(space, TuningOptions::improved().with_max_iterations(budget));
+            let out = tuner.run(&mut obj);
+            let characteristics = obj.system_mut().observe_characteristics(400);
+            out.to_history(trainer_mix.name().to_string(), characteristics)
+        };
+
+        let opts = TuningOptions::improved().with_max_iterations(budget);
+        let mut conv = [0.0f64; 2];
+        for (k, with) in [false, true].into_iter().enumerate() {
+            let run = |s: u64| {
+                if with {
+                    tune_web_trained(mix.clone(), opts.clone(), noise, s, &history, TrainingMode::Replay(10)).0
+                } else {
+                    tune_web(mix.clone(), opts.clone(), noise, s).0
+                }
+            };
+            let time = average(seeds.clone(), |s| run(s).report.convergence_time as f64);
+            let mean = average(seeds.clone(), |s| run(s).report.initial_mean);
+            let std = average(seeds.clone(), |s| run(s).report.initial_std);
+            let bad = average(seeds.clone(), |s| run(s).report.bad_iterations as f64);
+            conv[k] = time;
+            row(
+                &[
+                    label.to_string(),
+                    if with { "with" } else { "without" }.to_string(),
+                    f(time, 1),
+                    f(mean, 1),
+                    f(std, 2),
+                    f(bad, 1),
+                ],
+                &[10, 10, 12, 10, 10, 10],
+            );
+        }
+        println!(
+            "  -> convergence speedup: {:.0}%  (paper: 56% shopping, 17% ordering)\n",
+            (conv[0] - conv[1]) / conv[0] * 100.0
+        );
+    }
+}

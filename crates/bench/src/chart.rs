@@ -1,0 +1,160 @@
+//! Terminal bar/series charts for the figure regenerators.
+//!
+//! The paper's figures are bar and line charts; rendering an ASCII
+//! equivalent next to the numeric tables makes the regenerated output
+//! directly comparable to the publication at a glance.
+
+/// Render a horizontal bar chart. Bars scale to `width` characters at the
+/// maximum value; each row is `label | ███… value`.
+pub fn bar_chart(labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "bar_chart: label/value mismatch");
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{}{} {v:.2}\n",
+            "#".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Render grouped bars: one row per label, one bar per series, series
+/// tagged by the single-character markers in `series_marks`.
+pub fn grouped_bar_chart(
+    labels: &[String],
+    series: &[Vec<f64>],
+    series_marks: &[char],
+    width: usize,
+) -> String {
+    assert_eq!(series.len(), series_marks.len(), "one marker per series");
+    for s in series {
+        assert_eq!(s.len(), labels.len(), "series length must match labels");
+    }
+    let max = series
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, label) in labels.iter().enumerate() {
+        for (s, &mark) in series.iter().zip(series_marks) {
+            let v = s[i];
+            let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+            out.push_str(&format!(
+                "{label:>label_w$} |{} {v:.2}\n",
+                mark.to_string().repeat(filled.min(width)),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an x/y series as a scatter line panel of `height` rows; x values
+/// are assumed ascending.
+pub fn series_panel(xs: &[f64], ys: &[f64], width: usize, height: usize) -> String {
+    assert_eq!(xs.len(), ys.len(), "series_panel: x/y mismatch");
+    if xs.is_empty() || height == 0 || width == 0 {
+        return String::new();
+    }
+    let (xmin, xmax) = (xs[0], *xs.last().expect("non-empty"));
+    let ymin = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ymax = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let yspan = (ymax - ymin).max(1e-12);
+    let xspan = (xmax - xmin).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((ymax - y) / yspan) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{ymax:>8.1} ")
+        } else if r == height - 1 {
+            format!("{ymin:>8.1} ")
+        } else {
+            " ".repeat(9)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{} +{}\n", " ".repeat(8), "-".repeat(width)));
+    out.push_str(&format!(
+        "{}{:<10.1}{:>width$.1}\n",
+        " ".repeat(10),
+        xmin,
+        xmax,
+        width = width - 10
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let c = bar_chart(
+            &["a".into(), "bb".into()],
+            &[10.0, 5.0],
+            10,
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("##########"), "{c}");
+        assert!(lines[1].contains("#####"), "{c}");
+        assert!(!lines[1].contains("######"), "{c}");
+        // Labels right-aligned to common width.
+        assert!(lines[0].starts_with(" a |"));
+        assert!(lines[1].starts_with("bb |"));
+    }
+
+    #[test]
+    fn bar_chart_handles_zeroes_and_empty() {
+        assert_eq!(bar_chart(&[], &[], 10), "");
+        let c = bar_chart(&["z".into()], &[0.0], 10);
+        assert!(c.contains("| "), "{c}");
+    }
+
+    #[test]
+    fn grouped_bars_emit_one_bar_per_series() {
+        let c = grouped_bar_chart(
+            &["n=1".into(), "n=5".into()],
+            &[vec![4.0, 8.0], vec![2.0, 6.0]],
+            &['#', '+'],
+            8,
+        );
+        assert_eq!(c.matches('\n').count(), 6); // 2 labels × 2 series + 2 blanks
+        assert!(c.contains('#') && c.contains('+'));
+    }
+
+    #[test]
+    fn series_panel_places_extremes() {
+        let p = series_panel(&[0.0, 1.0, 2.0], &[1.0, 3.0, 2.0], 20, 5);
+        let lines: Vec<&str> = p.lines().collect();
+        // Max y labelled on the first row, min on the last grid row.
+        assert!(lines[0].trim_start().starts_with("3.0"));
+        assert!(lines[4].trim_start().starts_with("1.0"));
+        assert_eq!(p.matches('*').count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = bar_chart(&["a".into()], &[1.0, 2.0], 5);
+    }
+}

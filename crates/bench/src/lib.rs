@@ -1,0 +1,130 @@
+//! Shared helpers for the per-table/per-figure experiment regenerators.
+//!
+//! Each binary under `src/bin/` reproduces one table or figure from the
+//! paper (see DESIGN.md §4 for the index); this library holds the plumbing
+//! they share so each binary reads like the experiment it encodes.
+
+pub mod chart;
+
+use harmony::objective::Objective;
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_space::Configuration;
+use harmony_websim::{Fidelity, WebServiceSystem, WorkloadMix};
+
+/// Iteration budget used for web-system tuning runs across experiments.
+pub const WEB_TUNING_BUDGET: usize = 120;
+
+/// Objective adapter over a [`WebServiceSystem`].
+pub struct WebObjective {
+    sys: WebServiceSystem,
+}
+
+impl WebObjective {
+    /// Analytic-fidelity web system with the paper-like run-to-run noise.
+    pub fn new(mix: WorkloadMix, noise: f64, seed: u64) -> Self {
+        WebObjective { sys: WebServiceSystem::new(mix, Fidelity::Analytic, noise, seed) }
+    }
+
+    /// DES-fidelity web system (intrinsically noisy, slower).
+    pub fn des(mix: WorkloadMix, seed: u64) -> Self {
+        WebObjective { sys: WebServiceSystem::new(mix, Fidelity::Des, 0.0, seed) }
+    }
+
+    /// Underlying system.
+    pub fn system(&self) -> &WebServiceSystem {
+        &self.sys
+    }
+
+    /// Mutable underlying system.
+    pub fn system_mut(&mut self) -> &mut WebServiceSystem {
+        &mut self.sys
+    }
+
+    /// Noise-free ground-truth WIPS of a configuration.
+    pub fn clean(&self, cfg: &Configuration) -> f64 {
+        self.sys.evaluate_clean(cfg)
+    }
+}
+
+impl Objective for WebObjective {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.sys.evaluate(cfg)
+    }
+}
+
+/// Run one tuning session and return `(outcome, clean_best)`.
+pub fn tune_web(
+    mix: WorkloadMix,
+    options: TuningOptions,
+    noise: f64,
+    seed: u64,
+) -> (TuningOutcome, f64) {
+    let mut obj = WebObjective::new(mix, noise, seed);
+    let tuner = Tuner::new(obj.system().space().clone(), options);
+    let out = tuner.run(&mut obj);
+    let clean = obj.clean(&out.best_configuration);
+    (out, clean)
+}
+
+/// Run a trained session and return `(outcome, clean_best)`.
+pub fn tune_web_trained(
+    mix: WorkloadMix,
+    options: TuningOptions,
+    noise: f64,
+    seed: u64,
+    history: &RunHistory,
+    mode: TrainingMode,
+) -> (TuningOutcome, f64) {
+    let mut obj = WebObjective::new(mix, noise, seed);
+    let tuner = Tuner::new(obj.system().space().clone(), options);
+    let out = tuner.run_trained(&mut obj, history, mode);
+    let clean = obj.clean(&out.best_configuration);
+    (out, clean)
+}
+
+/// Average a metric over several seeds (tuning runs are noisy; the paper
+/// reports single runs, we stabilize with a small ensemble).
+pub fn average<F: FnMut(u64) -> f64>(seeds: std::ops::Range<u64>, mut f: F) -> f64 {
+    let n = (seeds.end.saturating_sub(seeds.start)).max(1) as f64;
+    seeds.map(&mut f).sum::<f64>() / n
+}
+
+/// Print a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Print a header + separator.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Format a float with fixed precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_web_produces_reasonable_wips() {
+        let (out, clean) = tune_web(WorkloadMix::shopping(), TuningOptions::improved().with_max_iterations(60), 0.0, 1);
+        assert!(out.best_performance > 40.0);
+        assert!(clean > 40.0);
+    }
+
+    #[test]
+    fn average_averages() {
+        assert_eq!(average(0..4, |s| s as f64), 1.5);
+    }
+}

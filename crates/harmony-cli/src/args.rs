@@ -1,0 +1,289 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The selected subcommand.
+    pub command: Command,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Inspect an RSL document: parameters, sizes, restrictions.
+    Space {
+        /// Path to the RSL file.
+        rsl: String,
+    },
+    /// Run the parameter prioritizing tool against a measurement command.
+    Sensitivity {
+        /// Path to the RSL file.
+        rsl: String,
+        /// Cap on sampled values per parameter.
+        samples: Option<usize>,
+        /// Measurements averaged per value.
+        repeats: usize,
+        /// The external measurement command and its arguments.
+        measure: Vec<String>,
+    },
+    /// Tune against a measurement command.
+    Tune {
+        /// Path to the RSL file.
+        rsl: String,
+        /// Live iteration budget.
+        iterations: usize,
+        /// Use the original extreme-corner initial simplex instead of the
+        /// improved evenly-spread one.
+        original: bool,
+        /// Experience-database path (loaded if present, updated after).
+        db: Option<String>,
+        /// Label recorded for this run in the database.
+        label: String,
+        /// Workload characteristics for classification, comma-separated.
+        characteristics: Vec<f64>,
+        /// The external measurement command and its arguments.
+        measure: Vec<String>,
+    },
+    /// Inspect an experience database.
+    Db {
+        /// Path to the JSON database.
+        path: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Argument errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+harmony-cli — Active Harmony automated tuning
+
+USAGE:
+  harmony-cli space <params.rsl>
+  harmony-cli sensitivity <params.rsl> [--samples N] [--repeats R] -- <measure-cmd> [args…]
+  harmony-cli tune <params.rsl> [--iterations N] [--original]
+              [--db <experience.json>] [--label <name>]
+              [--characteristics a,b,c] -- <measure-cmd> [args…]
+  harmony-cli db <experience.json>
+
+The measure command is executed once per exploration with one environment
+variable per parameter (HARMONY_<NAME>=<value>); its last non-empty stdout
+line must be the performance (higher is better).";
+
+/// Parse a full argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut it = args.iter().peekable();
+    let sub = match it.next() {
+        None => return Ok(Cli { command: Command::Help }),
+        Some(s) => s.as_str(),
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+        "space" => {
+            let rsl = it.next().ok_or_else(|| err("space: missing RSL file"))?.clone();
+            expect_end(&mut it, "space")?;
+            Ok(Cli { command: Command::Space { rsl } })
+        }
+        "db" => {
+            let path = it.next().ok_or_else(|| err("db: missing database path"))?.clone();
+            expect_end(&mut it, "db")?;
+            Ok(Cli { command: Command::Db { path } })
+        }
+        "sensitivity" => {
+            let rsl = it.next().ok_or_else(|| err("sensitivity: missing RSL file"))?.clone();
+            let mut samples = None;
+            let mut repeats = 1usize;
+            let mut measure = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--samples" => samples = Some(parse_value(&mut it, "--samples")?),
+                    "--repeats" => repeats = parse_value(&mut it, "--repeats")?,
+                    "--" => {
+                        measure = it.cloned().collect();
+                        break;
+                    }
+                    other => return Err(err(format!("sensitivity: unexpected argument {other:?}"))),
+                }
+            }
+            if measure.is_empty() {
+                return Err(err("sensitivity: missing '-- <measure-cmd>'"));
+            }
+            Ok(Cli { command: Command::Sensitivity { rsl, samples, repeats, measure } })
+        }
+        "tune" => {
+            let rsl = it.next().ok_or_else(|| err("tune: missing RSL file"))?.clone();
+            let mut iterations = 100usize;
+            let mut original = false;
+            let mut db = None;
+            let mut label = "run".to_string();
+            let mut characteristics = Vec::new();
+            let mut measure = Vec::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--iterations" => iterations = parse_value(&mut it, "--iterations")?,
+                    "--original" => original = true,
+                    "--db" => db = Some(next_str(&mut it, "--db")?),
+                    "--label" => label = next_str(&mut it, "--label")?,
+                    "--characteristics" => {
+                        let raw = next_str(&mut it, "--characteristics")?;
+                        characteristics = raw
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse::<f64>()
+                                    .map_err(|_| err(format!("--characteristics: bad number {s:?}")))
+                            })
+                            .collect::<Result<Vec<f64>, CliError>>()?;
+                    }
+                    "--" => {
+                        measure = it.cloned().collect();
+                        break;
+                    }
+                    other => return Err(err(format!("tune: unexpected argument {other:?}"))),
+                }
+            }
+            if measure.is_empty() {
+                return Err(err("tune: missing '-- <measure-cmd>'"));
+            }
+            Ok(Cli {
+                command: Command::Tune { rsl, iterations, original, db, label, characteristics, measure },
+            })
+        }
+        other => Err(err(format!("unknown subcommand {other:?} (try 'harmony-cli help')"))),
+    }
+}
+
+fn next_str<'a>(
+    it: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>,
+    flag: &str,
+) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| err(format!("{flag}: missing value")))
+}
+
+fn parse_value<'a, T: std::str::FromStr>(
+    it: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>,
+    flag: &str,
+) -> Result<T, CliError> {
+    let raw = next_str(it, flag)?;
+    raw.parse::<T>()
+        .map_err(|_| err(format!("{flag}: invalid value {raw:?}")))
+}
+
+fn expect_end<'a>(
+    it: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>,
+    sub: &str,
+) -> Result<(), CliError> {
+    match it.next() {
+        None => Ok(()),
+        Some(extra) => Err(err(format!("{sub}: unexpected argument {extra:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse_args(&v(&["--help"])).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn space_and_db() {
+        assert_eq!(
+            parse_args(&v(&["space", "p.rsl"])).unwrap().command,
+            Command::Space { rsl: "p.rsl".into() }
+        );
+        assert_eq!(
+            parse_args(&v(&["db", "e.json"])).unwrap().command,
+            Command::Db { path: "e.json".into() }
+        );
+        assert!(parse_args(&v(&["space"])).is_err());
+        assert!(parse_args(&v(&["space", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn sensitivity_full() {
+        let cli = parse_args(&v(&[
+            "sensitivity", "p.rsl", "--samples", "8", "--repeats", "3", "--", "./m.sh", "arg",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sensitivity {
+                rsl: "p.rsl".into(),
+                samples: Some(8),
+                repeats: 3,
+                measure: v(&["./m.sh", "arg"]),
+            }
+        );
+    }
+
+    #[test]
+    fn sensitivity_requires_measure_command() {
+        assert!(parse_args(&v(&["sensitivity", "p.rsl"])).is_err());
+        assert!(parse_args(&v(&["sensitivity", "p.rsl", "--"])).is_err());
+    }
+
+    #[test]
+    fn tune_defaults_and_flags() {
+        let cli = parse_args(&v(&["tune", "p.rsl", "--", "./m.sh"])).unwrap();
+        match cli.command {
+            Command::Tune { iterations, original, db, label, characteristics, .. } => {
+                assert_eq!(iterations, 100);
+                assert!(!original);
+                assert!(db.is_none());
+                assert_eq!(label, "run");
+                assert!(characteristics.is_empty());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        let cli = parse_args(&v(&[
+            "tune", "p.rsl", "--iterations", "42", "--original", "--db", "e.json",
+            "--label", "night", "--characteristics", "0.2, 0.8", "--", "./m.sh",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { iterations, original, db, label, characteristics, .. } => {
+                assert_eq!(iterations, 42);
+                assert!(original);
+                assert_eq!(db.as_deref(), Some("e.json"));
+                assert_eq!(label, "night");
+                assert_eq!(characteristics, vec![0.2, 0.8]);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_error_cleanly() {
+        assert!(parse_args(&v(&["tune", "p.rsl", "--iterations", "many", "--", "m"])).is_err());
+        assert!(parse_args(&v(&["tune", "p.rsl", "--characteristics", "a,b", "--", "m"])).is_err());
+        assert!(parse_args(&v(&["frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Subcommand implementations, writing human-readable reports to any
+//! `Write` sink (tests capture a buffer; `main` passes stdout).
+
+use crate::args::Command;
+use crate::external::ExternalObjective;
+use harmony::history::{DataAnalyzer, ExperienceDb};
+use harmony::prelude::*;
+use harmony::sensitivity::Prioritizer;
+use harmony::tuner::TrainingMode;
+use harmony_space::parse_rsl;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Top-level error type for command execution.
+#[derive(Debug)]
+pub struct RunError(pub String);
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn fail(msg: impl Into<String>) -> RunError {
+    RunError(msg.into())
+}
+
+/// Execute a parsed command, returning the report text.
+pub fn run(command: Command) -> Result<String, RunError> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(crate::args::USAGE),
+        Command::Space { rsl } => {
+            let space = load_space(&rsl)?;
+            let _ = writeln!(out, "space: {} parameters from {rsl}", space.len());
+            for p in space.params() {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} [{}, {}] step {} default {}{}",
+                    p.name(),
+                    p.static_min(),
+                    p.static_max(),
+                    p.step(),
+                    p.default(),
+                    if p.is_restricted() { "  (restricted)" } else { "" },
+                );
+            }
+            let _ = writeln!(out, "unconstrained size: {}", space.unconstrained_size());
+            if space.is_restricted() {
+                match space.restricted_size(50_000_000) {
+                    Some(n) => {
+                        let _ = writeln!(out, "restricted size: {n}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "restricted size: > 50,000,000 (not enumerated)");
+                    }
+                }
+            }
+        }
+        Command::Db { path } => {
+            let db = ExperienceDb::load(&path).map_err(|e| fail(e.to_string()))?;
+            let _ = writeln!(out, "experience database: {} run(s) in {path}", db.len());
+            for (i, run) in db.runs().iter().enumerate() {
+                let best = run
+                    .best()
+                    .map(|r| format!("best {:.2} at {:?}", r.performance, r.values))
+                    .unwrap_or_else(|| "no records".into());
+                let _ = writeln!(
+                    out,
+                    "  #{i} {:<16} {} records; {best}; characteristics {:?}",
+                    run.label,
+                    run.records.len(),
+                    run.characteristics,
+                );
+            }
+        }
+        Command::Sensitivity { rsl, samples, repeats, measure } => {
+            let space = load_space(&rsl)?;
+            let mut prioritizer = Prioritizer::new(space.clone()).with_repeats(repeats);
+            if let Some(n) = samples {
+                prioritizer = prioritizer.with_max_samples(n);
+            }
+            let mut obj = ExternalObjective::new(space, measure);
+            let report = prioritizer.analyze(&mut obj);
+            let _ = writeln!(out, "sensitivity ({} explorations):", report.explorations());
+            for e in report.ranked() {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>10.3}   best value {}",
+                    e.name, e.sensitivity, e.best_value
+                );
+            }
+        }
+        Command::Tune { rsl, iterations, original, db, label, characteristics, measure } => {
+            let space = load_space(&rsl)?;
+            let mut database = match &db {
+                Some(path) if fs::metadata(path).is_ok() => {
+                    ExperienceDb::load(path).map_err(|e| fail(e.to_string()))?
+                }
+                _ => ExperienceDb::new(),
+            };
+            let options = if original {
+                TuningOptions::original()
+            } else {
+                TuningOptions::improved()
+            }
+            .with_max_iterations(iterations);
+            let tuner = Tuner::new(space.clone(), options);
+            let mut obj = ExternalObjective::new(space.clone(), measure);
+
+            // Classify against prior experience when characteristics are
+            // provided.
+            let prior = if characteristics.is_empty() {
+                None
+            } else {
+                DataAnalyzer::new().select(&database, &characteristics)
+            };
+            let outcome = match &prior {
+                Some(history) => {
+                    let _ = writeln!(out, "training from prior run {:?}", history.label);
+                    tuner.run_trained(&mut obj, history, TrainingMode::Replay(10))
+                }
+                None => tuner.run(&mut obj),
+            };
+
+            let _ = writeln!(out, "explored {} configurations", outcome.trace.len());
+            let _ = writeln!(out, "best performance: {:.4}", outcome.best_performance);
+            for (p, &v) in space.params().iter().zip(outcome.best_configuration.values()) {
+                let _ = writeln!(out, "  {:<24} = {v}", p.name());
+            }
+            let _ = writeln!(
+                out,
+                "convergence at iteration {}; worst dip {:.4}; converged: {}",
+                outcome.report.convergence_time, outcome.report.worst_performance, outcome.converged
+            );
+
+            if let Some(path) = db {
+                database.add_run(outcome.to_history(label, characteristics));
+                database.save(&path).map_err(|e| fail(e.to_string()))?;
+                let _ = writeln!(out, "experience saved to {path} ({} runs)", database.len());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn load_space(path: &str) -> Result<harmony_space::ParameterSpace, RunError> {
+    let text = fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    parse_rsl(&text).map_err(|e| fail(format!("cannot parse {path}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn write_rsl(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("harmony-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        fs::write(
+            &path,
+            "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}\n",
+        )
+        .unwrap();
+        path
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn space_report() {
+        let rsl = write_rsl("space.rsl");
+        let cli = parse_args(&sv(&["space", rsl.to_str().unwrap()])).unwrap();
+        let out = run(cli.command).unwrap();
+        assert!(out.contains("2 parameters"), "{out}");
+        assert!(out.contains("unconstrained size: 64"), "{out}");
+        assert!(out.contains("restricted size: 36"), "{out}");
+        assert!(out.contains("(restricted)"), "{out}");
+    }
+
+    #[test]
+    fn missing_rsl_is_a_clean_error() {
+        let cli = parse_args(&sv(&["space", "/nonexistent.rsl"])).unwrap();
+        let err = run(cli.command).unwrap_err();
+        assert!(err.0.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn tune_an_external_shell_command_and_persist_experience() {
+        let rsl = write_rsl("tune.rsl");
+        let db = std::env::temp_dir().join("harmony-cli-tests").join("exp.json");
+        fs::remove_file(&db).ok();
+        // Best at B=3, C=4 (D = 10-B-C = 3).
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+        let cli = parse_args(&sv(&[
+            "tune",
+            rsl.to_str().unwrap(),
+            "--iterations",
+            "50",
+            "--db",
+            db.to_str().unwrap(),
+            "--label",
+            "shop",
+            "--characteristics",
+            "0.2,0.8",
+            "--",
+            "sh",
+            "-c",
+            cmd,
+        ]))
+        .unwrap();
+        let out = run(cli.command).unwrap();
+        assert!(out.contains("best performance: 100"), "{out}");
+        assert!(out.contains("experience saved"), "{out}");
+
+        // Second run classifies against the saved experience.
+        let cli = parse_args(&sv(&[
+            "tune",
+            rsl.to_str().unwrap(),
+            "--iterations",
+            "30",
+            "--db",
+            db.to_str().unwrap(),
+            "--label",
+            "shop-2",
+            "--characteristics",
+            "0.21,0.79",
+            "--",
+            "sh",
+            "-c",
+            cmd,
+        ]))
+        .unwrap();
+        let out = run(cli.command).unwrap();
+        assert!(out.contains("training from prior run \"shop\""), "{out}");
+
+        // And the db report shows both runs.
+        let cli = parse_args(&sv(&["db", db.to_str().unwrap()])).unwrap();
+        let out = run(cli.command).unwrap();
+        assert!(out.contains("2 run(s)"), "{out}");
+        fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn sensitivity_on_external_command() {
+        let rsl = write_rsl("sens.rsl");
+        let cli = parse_args(&sv(&[
+            "sensitivity",
+            rsl.to_str().unwrap(),
+            "--repeats",
+            "1",
+            "--",
+            "sh",
+            "-c",
+            "echo $((HARMONY_B * 10 + HARMONY_C))",
+        ]))
+        .unwrap();
+        let out = run(cli.command).unwrap();
+        // B has 10x the leverage of C: it must rank first.
+        let b_pos = out.find("B ").expect("B listed");
+        let c_pos = out.find("C ").expect("C listed");
+        assert!(b_pos < c_pos, "{out}");
+    }
+
+    #[test]
+    fn help_is_usage() {
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Command-line front end for Active Harmony.
+//!
+//! The paper's server tunes *external* systems: the system under tuning
+//! exposes its knobs through the resource specification language and
+//! reports one performance number per configuration. This crate packages
+//! that contract as a CLI:
+//!
+//! ```text
+//! harmony-cli space  params.rsl
+//! harmony-cli sensitivity params.rsl [--samples N] [--repeats R] -- ./measure.sh
+//! harmony-cli tune   params.rsl [--iterations N] [--original] \
+//!                    [--db experience.json] [--label run1] -- ./measure.sh
+//! harmony-cli db     experience.json
+//! ```
+//!
+//! For every exploration the measurement command is run with one
+//! environment variable per parameter (`HARMONY_<NAME>=<value>`); its last
+//! non-empty stdout line must be the performance number (higher = better).
+
+pub mod args;
+pub mod commands;
+pub mod external;
+
+pub use args::{parse_args, Cli, CliError, Command};

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Small dense linear-algebra and statistics substrate for Active Harmony.
+//!
+//! The paper's §4.3 performance estimation solves `x = A⁻¹ b` (and the
+//! least-squares variant for over/under-determined systems), and §4.2
+//! classification needs Euclidean distances and simple statistics. This
+//! crate implements exactly that machinery from scratch: a dense row-major
+//! [`Matrix`], LU factorization with partial pivoting, Householder-QR least
+//! squares, and the descriptive statistics (mean, standard deviation,
+//! histograms, percentiles) used by the experiment harness.
+//!
+//! Everything here is deliberately dependency-free and deterministic so that
+//! the tuning kernel built on top of it is bit-reproducible across runs.
+//!
+//! # Quick example
+//!
+//! ```
+//! use harmony_linalg::{Matrix, lstsq};
+//!
+//! // Fit the plane p = 2*x + 3*y + 1 through four noisy-free samples.
+//! let a = Matrix::from_rows(&[
+//!     vec![0.0, 0.0, 1.0],
+//!     vec![1.0, 0.0, 1.0],
+//!     vec![0.0, 1.0, 1.0],
+//!     vec![1.0, 1.0, 1.0],
+//! ]);
+//! let b = vec![1.0, 3.0, 4.0, 6.0];
+//! let x = lstsq(&a, &b).unwrap();
+//! assert!((x[0] - 2.0).abs() < 1e-9);
+//! assert!((x[1] - 3.0).abs() < 1e-9);
+//! assert!((x[2] - 1.0).abs() < 1e-9);
+//! ```
+
+mod matrix;
+mod solve;
+mod lstsq;
+pub mod stats;
+pub mod vecops;
+
+pub use lstsq::{lstsq, lstsq_qr, LstsqError};
+pub use matrix::Matrix;
+pub use solve::{lu_solve, LuError, LuFactors};

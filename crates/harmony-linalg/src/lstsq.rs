@@ -1,0 +1,278 @@
+//! Least-squares solvers for over- and under-determined systems.
+//!
+//! The paper (§4.3, step 4) prescribes: "for under- or over-determined
+//! system, apply the least square method to decide x". We provide two
+//! routes:
+//!
+//! * [`lstsq_qr`] — Householder QR with column-norm based rank detection,
+//!   numerically robust, used by default;
+//! * normal equations (`AᵀA x = Aᵀb`) with Tikhonov fallback — retained as
+//!   an internal fallback for rank-deficient systems where plain QR
+//!   back-substitution would divide by a negligible pivot.
+
+use crate::solve::LuFactors;
+use crate::Matrix;
+
+/// Error produced by the least-squares solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LstsqError {
+    /// Right-hand side length does not match the row count.
+    DimensionMismatch,
+    /// The matrix has no columns or no rows.
+    Empty,
+    /// The system is so ill-conditioned that no finite solution was found.
+    Degenerate,
+}
+
+impl std::fmt::Display for LstsqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LstsqError::DimensionMismatch => write!(f, "rhs length does not match matrix rows"),
+            LstsqError::Empty => write!(f, "empty system"),
+            LstsqError::Degenerate => write!(f, "system is degenerate"),
+        }
+    }
+}
+
+impl std::error::Error for LstsqError {}
+
+/// Solve `min‖A·x − b‖₂` and return `x`.
+///
+/// Dispatches on shape: square well-conditioned systems go through LU;
+/// everything else through QR; rank-deficient systems fall back to ridge
+/// regularized normal equations (minimum-norm-ish solution, adequate for
+/// performance interpolation where the data itself is noisy).
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LstsqError> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LstsqError::Empty);
+    }
+    if b.len() != a.rows() {
+        return Err(LstsqError::DimensionMismatch);
+    }
+    if a.rows() == a.cols() {
+        if let Ok(f) = LuFactors::new(a) {
+            if let Ok(x) = f.solve(b) {
+                if x.iter().all(|v| v.is_finite()) {
+                    return Ok(x);
+                }
+            }
+        }
+        // Singular square system: fall through to the regularized path.
+        return ridge(a, b, auto_lambda(a));
+    }
+    match lstsq_qr(a, b) {
+        Ok(x) => Ok(x),
+        Err(LstsqError::Degenerate) => ridge(a, b, auto_lambda(a)),
+        Err(e) => Err(e),
+    }
+}
+
+/// Householder-QR least squares for `rows ≥ cols` systems; for
+/// under-determined systems (`rows < cols`) the ridge fallback is used,
+/// which yields a small-norm solution.
+pub fn lstsq_qr(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LstsqError> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LstsqError::Empty);
+    }
+    if b.len() != a.rows() {
+        return Err(LstsqError::DimensionMismatch);
+    }
+    let (m, n) = (a.rows(), a.cols());
+    if m < n {
+        return ridge(a, b, auto_lambda(a));
+    }
+
+    let mut r = a.clone();
+    let mut y = b.to_vec();
+
+    // In-place Householder triangularization, applying each reflector to the
+    // right-hand side as we go (we never need Q explicitly).
+    for k in 0..n {
+        let mut norm = 0.0f64;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-13 {
+            // Column is (numerically) dependent on earlier columns.
+            return Err(LstsqError::Degenerate);
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha*e1, normalized so v[k] carries the update.
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 < 1e-300 {
+            continue; // already triangular in this column
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R[k.., k..] and y[k..].
+        for c in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, c)];
+            }
+            let scale = 2.0 * dot / vnorm2;
+            for i in k..m {
+                r[(i, c)] -= scale * v[i - k];
+            }
+        }
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * y[i];
+        }
+        let scale = 2.0 * dot / vnorm2;
+        for i in k..m {
+            y[i] -= scale * v[i - k];
+        }
+        r[(k, k)] = alpha;
+    }
+
+    // Back-substitution on the upper-triangular n×n block.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() < 1e-13 {
+            return Err(LstsqError::Degenerate);
+        }
+        x[i] = s / d;
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Ok(x)
+    } else {
+        Err(LstsqError::Degenerate)
+    }
+}
+
+/// Ridge-regularized normal equations: `(AᵀA + λI)x = Aᵀb`.
+fn ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LstsqError> {
+    let mut g = a.gram();
+    for i in 0..g.rows() {
+        g[(i, i)] += lambda;
+    }
+    let rhs = a.tr_matvec(b);
+    let f = LuFactors::new(&g).map_err(|_| LstsqError::Degenerate)?;
+    let x = f.solve(&rhs).map_err(|_| LstsqError::Degenerate)?;
+    if x.iter().all(|v| v.is_finite()) {
+        Ok(x)
+    } else {
+        Err(LstsqError::Degenerate)
+    }
+}
+
+/// Regularization scaled to the matrix magnitude so behaviour is invariant
+/// under uniform scaling of the data.
+fn auto_lambda(a: &Matrix) -> f64 {
+    let scale = a.max_abs();
+    if scale == 0.0 {
+        1e-8
+    } else {
+        1e-8 * scale * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let x = lstsq(&a, &[2.0, 8.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0], 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_plane_fit() {
+        // p = 3a - 2b + 5 on five points, exactly consistent.
+        let pts = [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (2.0, 3.0),
+            (4.0, 1.0),
+        ];
+        let rows: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b, 1.0]).collect();
+        let a = Matrix::from_rows(&rows);
+        let b: Vec<f64> = pts.iter().map(|&(x, y)| 3.0 * x - 2.0 * y + 5.0).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert_close(&x, &[3.0, -2.0, 5.0], 1e-9);
+    }
+
+    #[test]
+    fn overdetermined_inconsistent_minimizes_residual() {
+        // Fit y = c to observations 1, 2, 3: least squares gives c = 2.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let x = lstsq(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[2.0], 1e-10);
+    }
+
+    #[test]
+    fn underdetermined_returns_consistent_solution() {
+        // x + y = 2 with two unknowns: any (t, 2-t) solves it; ridge gives
+        // the small-norm answer (1, 1).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let x = lstsq(&a, &[2.0]).unwrap();
+        let resid = (x[0] + x[1] - 2.0).abs();
+        assert!(resid < 1e-5, "residual {resid}");
+        assert!((x[0] - x[1]).abs() < 1e-6, "expected symmetric solution, got {x:?}");
+    }
+
+    #[test]
+    fn singular_square_falls_back_to_ridge() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
+        let x = lstsq(&a, &[2.0, 2.0]).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn qr_matches_lu_on_square_systems() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 1.5],
+            vec![0.5, 1.5, 5.0],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let lu = crate::lu_solve(&a, &b).unwrap();
+        let qr = lstsq_qr(&a, &b).unwrap();
+        assert_close(&lu, &qr, 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::identity(2);
+        assert_eq!(lstsq(&a, &[1.0]), Err(LstsqError::DimensionMismatch));
+    }
+
+    #[test]
+    fn residual_orthogonal_to_columns() {
+        // Least-squares optimality: Aᵀ(b - Ax) = 0.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![0.0, 1.0],
+            vec![2.0, 2.0],
+        ]);
+        let b = [4.0, -1.0, 2.0, 0.5];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let grad = a.tr_matvec(&resid);
+        for g in grad {
+            assert!(g.abs() < 1e-9, "gradient component {g}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Small vector helpers shared by the simplex kernel.
+//!
+//! The Nelder-Mead kernel manipulates simplex vertices as `Vec<f64>`; these
+//! free functions keep that code readable without pulling in a full vector
+//! type.
+
+/// Elementwise `a + b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Elementwise `a - b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scalar multiple `s·a`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Affine combination `a + s·(b − a)`; `s=0` gives `a`, `s=1` gives `b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn lerp(a: &[f64], b: &[f64], s: f64) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec lerp: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + s * (y - x)).collect()
+}
+
+/// Dot product.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vec dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Centroid (elementwise mean) of a set of equal-length points.
+///
+/// # Panics
+/// Panics if `points` is empty or ragged.
+pub fn centroid(points: &[&[f64]]) -> Vec<f64> {
+    assert!(!points.is_empty(), "centroid: no points");
+    let dim = points[0].len();
+    let mut c = vec![0.0; dim];
+    for p in points {
+        assert_eq!(p.len(), dim, "centroid: ragged points");
+        for (ci, &pi) in c.iter_mut().zip(p.iter()) {
+            *ci += pi;
+        }
+    }
+    let n = points.len() as f64;
+    for ci in &mut c {
+        *ci /= n;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert_eq!(scale(&[1.0, -2.0], 3.0), vec![3.0, -6.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = [0.0, 10.0];
+        let b = [10.0, 20.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![0.0, 10.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![10.0, 20.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![5.0, 15.0]);
+        // extrapolation beyond b (used by simplex expansion)
+        assert_eq!(lerp(&a, &b, 2.0), vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn centroid_of_triangle() {
+        let pts: Vec<&[f64]> = vec![&[0.0, 0.0], &[3.0, 0.0], &[0.0, 3.0]];
+        assert_eq!(centroid(&pts), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn centroid_empty_panics() {
+        let pts: Vec<&[f64]> = vec![];
+        let _ = centroid(&pts);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use harmony_linalg::stats;
+use harmony_linalg::{lstsq, lu_solve, vecops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a diagonally dominant square matrix (guaranteed solvable).
+fn arb_dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| v[i * n + j].abs()).sum();
+            v[i * n + i] = row_sum + 1.0; // strict dominance
+        }
+        Matrix::from_vec(n, n, v)
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(a in arb_dd_matrix(5), b in proptest::collection::vec(-10.0f64..10.0, 5)) {
+        let x = lu_solve(&a, &b).expect("dd matrices are nonsingular");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn lstsq_matches_lu_on_square_dd_systems(a in arb_dd_matrix(4), b in proptest::collection::vec(-10.0f64..10.0, 4)) {
+        let x1 = lu_solve(&a, &b).unwrap();
+        let x2 = lstsq(&a, &b).unwrap();
+        for (l, r) in x1.iter().zip(&x2) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(rows in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 4), 1..6)) {
+        let m = Matrix::from_rows(&rows);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_transpose(
+        a in proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, 3), 2..5),
+        b in proptest::collection::vec(-3.0f64..3.0, 9),
+    ) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = Matrix::from_rows(&a);
+        let b = Matrix::from_vec(3, 3, b);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for i in 0..lhs.rows() {
+            for j in 0..lhs.cols() {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(xs in proptest::collection::vec(-100.0f64..100.0, 0..200)) {
+        let mut h = stats::Histogram::new(0.0, 10.0, 7);
+        h.add_all(&xs);
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+    }
+
+    #[test]
+    fn spearman_is_bounded(
+        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = stats::spearman(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "rho {r}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let p10 = stats::percentile(&xs, 0.1).unwrap();
+        let p50 = stats::percentile(&xs, 0.5).unwrap();
+        let p90 = stats::percentile(&xs, 0.9).unwrap();
+        prop_assert!(p10 <= p50 && p50 <= p90);
+        prop_assert!(p10 >= stats::min(&xs).unwrap());
+        prop_assert!(p90 <= stats::max(&xs).unwrap());
+    }
+
+    #[test]
+    fn normalization_hits_the_target_range(xs in proptest::collection::vec(-100.0f64..100.0, 2..50)) {
+        let v = stats::normalize_to_range(&xs, 1.0, 50.0);
+        for x in &v {
+            prop_assert!((1.0 - 1e-9..=50.0 + 1e-9).contains(x));
+        }
+        prop_assert_eq!(v.len(), xs.len());
+    }
+
+    #[test]
+    fn centroid_is_inside_the_bounding_box(points in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 3), 1..10)) {
+        let refs: Vec<&[f64]> = points.iter().map(|p| p.as_slice()).collect();
+        let c = vecops::centroid(&refs);
+        for j in 0..3 {
+            let lo = points.iter().map(|p| p[j]).fold(f64::INFINITY, f64::min);
+            let hi = points.iter().map(|p| p[j]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(c[j] >= lo - 1e-9 && c[j] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lerp_stays_on_segment_for_unit_interval(
+        a in proptest::collection::vec(-10.0f64..10.0, 4),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+        t in 0.0f64..1.0,
+    ) {
+        let p = vecops::lerp(&a, &b, t);
+        for j in 0..4 {
+            let lo = a[j].min(b[j]);
+            let hi = a[j].max(b[j]);
+            prop_assert!(p[j] >= lo - 1e-9 && p[j] <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Configurations: one concrete assignment of values to all parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the search space: the i-th entry is the value of the i-th
+/// parameter of the [`ParameterSpace`](crate::ParameterSpace) it belongs to.
+///
+/// Configurations are plain data — all space-aware operations
+/// (normalization, feasibility, projection) live on the space so that a
+/// configuration can be stored, serialized into the experience database,
+/// and replayed later.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Configuration(Vec<i64>);
+
+impl Configuration {
+    /// Wrap a value vector.
+    pub fn new(values: Vec<i64>) -> Self {
+        Configuration(values)
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the configuration has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value of parameter `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> i64 {
+        self.0[i]
+    }
+
+    /// Replace the value of parameter `i`, returning a new configuration.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn with_value(&self, i: usize, v: i64) -> Self {
+        let mut vals = self.0.clone();
+        vals[i] = v;
+        Configuration(vals)
+    }
+
+    /// View as a continuous point (`f64` per coordinate) for the simplex
+    /// kernel.
+    pub fn to_point(&self) -> Vec<f64> {
+        self.0.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Consume and return the backing vector.
+    pub fn into_values(self) -> Vec<i64> {
+        self.0
+    }
+}
+
+impl From<Vec<i64>> for Configuration {
+    fn from(v: Vec<i64>) -> Self {
+        Configuration(v)
+    }
+}
+
+impl fmt::Debug for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Configuration{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Configuration::new(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.values(), &[1, 2, 3]);
+        assert_eq!(c.to_point(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn with_value_is_persistent() {
+        let c = Configuration::new(vec![1, 2, 3]);
+        let d = c.with_value(0, 9);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(d.get(0), 9);
+        assert_eq!(d.get(2), 3);
+    }
+
+    #[test]
+    fn display_formats_values() {
+        let c = Configuration::new(vec![4, 5]);
+        assert_eq!(c.to_string(), "[4, 5]");
+        assert_eq!(Configuration::new(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Configuration::new(vec![1, 2]);
+        let b = Configuration::new(vec![1, 3]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,550 @@
+//! Arithmetic expressions over parameter references.
+//!
+//! Appendix B of the paper extends the resource specification language "so
+//! it can support basic functional relations among parameters", e.g.
+//! `{ harmonyBundle C { int {1 9-$B 1} }}`. An [`Expr`] is the AST of such
+//! a bound; `$B` refers to the value of an earlier-declared parameter.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Evaluation error for an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A `$name` reference could not be resolved.
+    UnknownParam(String),
+    /// Division by zero.
+    DivisionByZero,
+    /// Parse failure with a human-readable explanation.
+    Parse(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownParam(p) => write!(f, "unknown parameter reference ${p}"),
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Arithmetic expression over integer constants and `$param` references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Reference to an earlier parameter's value (`$B`).
+    Param(String),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Truncating integer quotient.
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Binary minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// Binary maximum.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a literal.
+    pub fn constant(v: i64) -> Self {
+        Expr::Const(v)
+    }
+
+    /// Convenience constructor for a `$name` reference.
+    pub fn param(name: impl Into<String>) -> Self {
+        Expr::Param(name.into())
+    }
+
+    /// Evaluate with a resolver mapping parameter names to values.
+    pub fn eval_with(&self, resolve: &dyn Fn(&str) -> Option<i64>) -> Result<i64, ExprError> {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Param(name) => resolve(name).ok_or_else(|| ExprError::UnknownParam(name.clone())),
+            Expr::Add(a, b) => Ok(a.eval_with(resolve)?.wrapping_add(b.eval_with(resolve)?)),
+            Expr::Sub(a, b) => Ok(a.eval_with(resolve)?.wrapping_sub(b.eval_with(resolve)?)),
+            Expr::Mul(a, b) => Ok(a.eval_with(resolve)?.wrapping_mul(b.eval_with(resolve)?)),
+            Expr::Div(a, b) => {
+                let d = b.eval_with(resolve)?;
+                if d == 0 {
+                    return Err(ExprError::DivisionByZero);
+                }
+                Ok(a.eval_with(resolve)? / d)
+            }
+            Expr::Neg(a) => Ok(-a.eval_with(resolve)?),
+            Expr::Min(a, b) => Ok(a.eval_with(resolve)?.min(b.eval_with(resolve)?)),
+            Expr::Max(a, b) => Ok(a.eval_with(resolve)?.max(b.eval_with(resolve)?)),
+        }
+    }
+
+    /// Evaluate a constant expression (no parameter references).
+    pub fn eval_const(&self) -> Result<i64, ExprError> {
+        self.eval_with(&|_| None)
+    }
+
+    /// Conservative interval evaluation: given `[lo, hi]` ranges for every
+    /// referenced parameter, return an interval guaranteed to contain every
+    /// value the expression can take. Used to derive the static bounds of
+    /// Appendix-B restricted parameters.
+    pub fn eval_interval(
+        &self,
+        resolve: &dyn Fn(&str) -> Option<(i64, i64)>,
+    ) -> Result<(i64, i64), ExprError> {
+        match self {
+            Expr::Const(v) => Ok((*v, *v)),
+            Expr::Param(name) => resolve(name).ok_or_else(|| ExprError::UnknownParam(name.clone())),
+            Expr::Add(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                Ok((al.saturating_add(bl), ah.saturating_add(bh)))
+            }
+            Expr::Sub(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                Ok((al.saturating_sub(bh), ah.saturating_sub(bl)))
+            }
+            Expr::Mul(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                let cands = [
+                    al.saturating_mul(bl),
+                    al.saturating_mul(bh),
+                    ah.saturating_mul(bl),
+                    ah.saturating_mul(bh),
+                ];
+                Ok((*cands.iter().min().unwrap(), *cands.iter().max().unwrap()))
+            }
+            Expr::Div(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                // Candidate divisors: the interval endpoints plus ±1 when
+                // the interval straddles zero (closest-to-zero nonzero
+                // divisors produce the extreme quotients).
+                let mut divs: Vec<i64> = Vec::with_capacity(4);
+                for d in [bl, bh] {
+                    if d != 0 {
+                        divs.push(d);
+                    }
+                }
+                if bl < 0 && bh > 0 {
+                    divs.push(-1);
+                    divs.push(1);
+                } else if bl == 0 && bh > 0 {
+                    divs.push(1);
+                } else if bh == 0 && bl < 0 {
+                    divs.push(-1);
+                }
+                if divs.is_empty() {
+                    return Err(ExprError::DivisionByZero);
+                }
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for n in [al, ah] {
+                    for &d in &divs {
+                        let q = n / d;
+                        lo = lo.min(q);
+                        hi = hi.max(q);
+                    }
+                }
+                Ok((lo, hi))
+            }
+            Expr::Neg(a) => {
+                let (l, h) = a.eval_interval(resolve)?;
+                Ok((h.saturating_neg(), l.saturating_neg()))
+            }
+            Expr::Min(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                Ok((al.min(bl), ah.min(bh)))
+            }
+            Expr::Max(a, b) => {
+                let (al, ah) = a.eval_interval(resolve)?;
+                let (bl, bh) = b.eval_interval(resolve)?;
+                Ok((al.max(bl), ah.max(bh)))
+            }
+        }
+    }
+
+    /// Names of all parameters this expression references, sorted/deduped.
+    pub fn references(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Param(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+            Expr::Neg(a) => a.collect_refs(out),
+        }
+    }
+
+    /// Parse an expression from RSL surface syntax.
+    ///
+    /// Grammar (precedence low→high): `+ -` | `* /` | unary `-` | atoms.
+    /// Atoms: integer literals, `$name`, `min(a, b)`, `max(a, b)`,
+    /// parenthesized expressions.
+    ///
+    /// ```
+    /// use harmony_space::Expr;
+    /// let e = Expr::parse("10-$B-$C").unwrap();
+    /// let v = e.eval_with(&|n| match n { "B" => Some(3), "C" => Some(4), _ => None }).unwrap();
+    /// assert_eq!(v, 3);
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, ExprError> {
+        let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+        let e = p.expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(ExprError::Parse(format!(
+                "unexpected trailing token {:?}",
+                p.tokens[p.pos]
+            )));
+        }
+        Ok(e)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Param(n) => write!(f, "${n}"),
+            Expr::Add(a, b) => write!(f, "({a}+{b})"),
+            Expr::Sub(a, b) => write!(f, "({a}-{b})"),
+            Expr::Mul(a, b) => write!(f, "({a}*{b})"),
+            Expr::Div(a, b) => write!(f, "({a}/{b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+            Expr::Min(a, b) => write!(f, "min({a},{b})"),
+            Expr::Max(a, b) => write!(f, "max({a},{b})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(i64),
+    Ident(String),
+    Param(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ExprError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(ExprError::Parse("'$' with no parameter name".into()));
+                }
+                out.push(Token::Param(input[start..i].to_string()));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = input[start..i]
+                    .parse()
+                    .map_err(|_| ExprError::Parse(format!("bad number {:?}", &input[start..i])))?;
+                out.push(Token::Num(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(ExprError::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ExprError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            got => Err(ExprError::Parse(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = Expr::Div(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ExprError> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ExprError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(Expr::Const(n)),
+            Some(Token::Param(name)) => Ok(Expr::Param(name)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) if name == "min" || name == "max" => {
+                self.expect(&Token::LParen)?;
+                let a = self.expr()?;
+                self.expect(&Token::Comma)?;
+                let b = self.expr()?;
+                self.expect(&Token::RParen)?;
+                if name == "min" {
+                    Ok(Expr::Min(Box::new(a), Box::new(b)))
+                } else {
+                    Ok(Expr::Max(Box::new(a), Box::new(b)))
+                }
+            }
+            Some(Token::Ident(name)) => {
+                Err(ExprError::Parse(format!("unknown identifier {name:?} (parameter references need '$')")))
+            }
+            other => Err(ExprError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(pairs: &'a [(&'a str, i64)]) -> impl Fn(&str) -> Option<i64> + 'a {
+        move |name| pairs.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    #[test]
+    fn constants_and_arithmetic() {
+        assert_eq!(Expr::parse("42").unwrap().eval_const().unwrap(), 42);
+        assert_eq!(Expr::parse("2+3*4").unwrap().eval_const().unwrap(), 14);
+        assert_eq!(Expr::parse("(2+3)*4").unwrap().eval_const().unwrap(), 20);
+        assert_eq!(Expr::parse("10-4-3").unwrap().eval_const().unwrap(), 3); // left assoc
+        assert_eq!(Expr::parse("7/2").unwrap().eval_const().unwrap(), 3); // truncating
+        assert_eq!(Expr::parse("-5+2").unwrap().eval_const().unwrap(), -3);
+        assert_eq!(Expr::parse("--5").unwrap().eval_const().unwrap(), 5);
+    }
+
+    #[test]
+    fn paper_appendix_b_bound() {
+        // { harmonyBundle C { int {1 9-$B 1} }}
+        let e = Expr::parse("9-$B").unwrap();
+        let f = env(&[("B", 3)]);
+        assert_eq!(e.eval_with(&f).unwrap(), 6);
+        assert_eq!(e.references().into_iter().collect::<Vec<_>>(), vec!["B".to_string()]);
+    }
+
+    #[test]
+    fn paper_matrix_partition_bound() {
+        // { harmonyBundle Pn-1 { int {1 k-1-($P1+$P2+...) 1} }}
+        let e = Expr::parse("100-1-($P1+$P2)").unwrap();
+        let f = env(&[("P1", 30), ("P2", 20)]);
+        assert_eq!(e.eval_with(&f).unwrap(), 49);
+    }
+
+    #[test]
+    fn min_max_functions() {
+        let e = Expr::parse("min($A, 10)").unwrap();
+        assert_eq!(e.eval_with(&env(&[("A", 3)])).unwrap(), 3);
+        assert_eq!(e.eval_with(&env(&[("A", 30)])).unwrap(), 10);
+        let e = Expr::parse("max(1, $A-5)").unwrap();
+        assert_eq!(e.eval_with(&env(&[("A", 2)])).unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_param_error() {
+        let e = Expr::parse("$missing").unwrap();
+        assert_eq!(e.eval_const(), Err(ExprError::UnknownParam("missing".into())));
+    }
+
+    #[test]
+    fn division_by_zero_error() {
+        let e = Expr::parse("1/($A-$A)").unwrap();
+        assert_eq!(e.eval_with(&env(&[("A", 5)])), Err(ExprError::DivisionByZero));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(Expr::parse("2+"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("$"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("foo"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("(1"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("1 2"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("min(1)"), Err(ExprError::Parse(_))));
+        assert!(matches!(Expr::parse("2 @ 3"), Err(ExprError::Parse(_))));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for src in ["9-$B", "min($A,10)", "2*(3+$X)", "-$Y"] {
+            let e = Expr::parse(src).unwrap();
+            let printed = e.to_string();
+            let re = Expr::parse(&printed).unwrap();
+            assert_eq!(e, re, "display of {src} did not reparse equal");
+        }
+    }
+
+    #[test]
+    fn interval_arithmetic_is_sound() {
+        let ranges = |name: &str| -> Option<(i64, i64)> {
+            match name {
+                "A" => Some((1, 8)),
+                "B" => Some((-3, 3)),
+                _ => None,
+            }
+        };
+        // Exhaustively check soundness: every concrete evaluation must fall
+        // inside the interval result.
+        for src in ["9-$A", "$A*$B", "$A+$B-2", "min($A,4)-max($B,0)", "-$A", "20/$A"] {
+            let e = Expr::parse(src).unwrap();
+            let (lo, hi) = e.eval_interval(&ranges).unwrap();
+            for a in 1..=8i64 {
+                for b in -3..=3i64 {
+                    let pairs = [("A", a), ("B", b)];
+                    let f = env(&pairs);
+                    let v = e.eval_with(&f).unwrap();
+                    assert!(
+                        (lo..=hi).contains(&v),
+                        "{src}: value {v} outside [{lo}, {hi}] at A={a}, B={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_division_straddling_zero() {
+        let ranges = |name: &str| -> Option<(i64, i64)> {
+            (name == "B").then_some((-3, 3))
+        };
+        let e = Expr::parse("10/$B").unwrap();
+        let (lo, hi) = e.eval_interval(&ranges).unwrap();
+        assert!(lo <= -10 && hi >= 10, "interval [{lo}, {hi}] must cover ±10");
+        // All-zero divisor is an error.
+        let zero = |name: &str| -> Option<(i64, i64)> { (name == "B").then_some((0, 0)) };
+        assert_eq!(e.eval_interval(&zero), Err(ExprError::DivisionByZero));
+    }
+
+    #[test]
+    fn references_collects_all() {
+        let e = Expr::parse("$A + min($B, $C) * -$A").unwrap();
+        let refs: Vec<String> = e.references().into_iter().collect();
+        assert_eq!(refs, vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Parameter-space model for the Active Harmony tuning system.
+//!
+//! Active Harmony treats every tunable parameter as "a variable in an
+//! independent dimension" (§2 of the paper). A parameter is declared with
+//! four values — minimum, maximum, default, and the distance between two
+//! neighbour values (§3) — and the collection of parameters forms a
+//! [`ParameterSpace`] over which the simplex kernel searches.
+//!
+//! This crate also implements the paper's Appendix B: the **resource
+//! specification language** (RSL) used to communicate the tunable
+//! parameters to the Harmony server, including the *parameter restriction*
+//! extension where the bounds of one parameter may be arithmetic functions
+//! of previously declared parameters:
+//!
+//! ```text
+//! { harmonyBundle B { int {1 8 1} }}
+//! { harmonyBundle C { int {1 9-$B 1} }}
+//! ```
+//!
+//! # Quick example
+//!
+//! ```
+//! use harmony_space::{ParameterSpace, ParamDef};
+//!
+//! let space = ParameterSpace::builder()
+//!     .param(ParamDef::int("cache_mb", 1, 64, 8, 1))
+//!     .param(ParamDef::int("connections", 1, 100, 10, 1))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(space.len(), 2);
+//! assert_eq!(space.unconstrained_size(), 64 * 100);
+//! let cfg = space.default_configuration();
+//! assert_eq!(cfg.values(), &[8, 10]);
+//! ```
+
+pub mod config;
+pub mod expr;
+pub mod param;
+pub mod rsl;
+pub mod space;
+
+pub use config::Configuration;
+pub use expr::{Expr, ExprError};
+pub use param::{ParamDef, ParamKind};
+pub use rsl::{parse_rsl, write_rsl, RslError};
+pub use space::{ParameterSpace, SpaceBuilder, SpaceError, SpaceIter};

@@ -1,0 +1,283 @@
+//! Parameter definitions.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+
+/// What kind of values a parameter takes.
+///
+/// The paper tunes integer-valued knobs (buffer sizes, process counts) and
+/// algorithm choices ("heap sort vs. quick sort", §2); the latter are
+/// modelled as categorical parameters whose integer code indexes a label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Plain integer knob.
+    Int,
+    /// Categorical choice; the value is an index into the label list.
+    Categorical(Vec<String>),
+}
+
+/// One tunable parameter: name, bounds, default, and neighbour distance.
+///
+/// Bounds are [`Expr`]essions so that Appendix-B restrictions like
+/// `{ int {1 9-$B 1} }` are representable; unrestricted parameters use
+/// constant expressions. `static_min`/`static_max` give the outermost
+/// envelope of the bounds and are what normalization uses ("each parameter
+/// value is normalized … so that parameters with a wide range of values are
+/// not given excessive weight", §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamDef {
+    name: String,
+    kind: ParamKind,
+    min: Expr,
+    max: Expr,
+    default: i64,
+    step: i64,
+    static_min: i64,
+    static_max: i64,
+}
+
+impl ParamDef {
+    /// An unrestricted integer parameter.
+    ///
+    /// # Panics
+    /// Panics if `min > max`, `step <= 0`, or the default lies outside the
+    /// bounds — these are programmer errors in the space declaration.
+    pub fn int(name: impl Into<String>, min: i64, max: i64, default: i64, step: i64) -> Self {
+        assert!(min <= max, "ParamDef {:?}: min > max", name.into());
+        Self::checked(name.into(), ParamKind::Int, Expr::constant(min), Expr::constant(max), default, step, min, max)
+    }
+
+    /// A categorical parameter over a list of labels; default is an index.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty or the default index is out of range.
+    pub fn categorical(name: impl Into<String>, labels: Vec<String>, default: usize) -> Self {
+        assert!(!labels.is_empty(), "categorical parameter needs labels");
+        assert!(default < labels.len(), "categorical default out of range");
+        let max = labels.len() as i64 - 1;
+        Self::checked(
+            name.into(),
+            ParamKind::Categorical(labels),
+            Expr::constant(0),
+            Expr::constant(max),
+            default as i64,
+            1,
+            0,
+            max,
+        )
+    }
+
+    /// An integer parameter with expression bounds (Appendix B restriction).
+    ///
+    /// `static_min`/`static_max` must bound every value the expressions can
+    /// take; they are used for normalization and simplex projection.
+    ///
+    /// # Panics
+    /// Panics if `step <= 0` or `static_min > static_max`.
+    pub fn restricted(
+        name: impl Into<String>,
+        min: Expr,
+        max: Expr,
+        default: i64,
+        step: i64,
+        static_min: i64,
+        static_max: i64,
+    ) -> Self {
+        Self::checked(name.into(), ParamKind::Int, min, max, default, step, static_min, static_max)
+    }
+
+    #[allow(clippy::too_many_arguments)] // private constructor mirroring the field list
+    fn checked(
+        name: String,
+        kind: ParamKind,
+        min: Expr,
+        max: Expr,
+        default: i64,
+        step: i64,
+        static_min: i64,
+        static_max: i64,
+    ) -> Self {
+        assert!(step > 0, "ParamDef {name}: step must be positive");
+        assert!(static_min <= static_max, "ParamDef {name}: static bounds inverted");
+        assert!(
+            (static_min..=static_max).contains(&default),
+            "ParamDef {name}: default {default} outside [{static_min}, {static_max}]"
+        );
+        ParamDef { name, kind, min, max, default, step, static_min, static_max }
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Value kind.
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// Lower-bound expression.
+    pub fn min_expr(&self) -> &Expr {
+        &self.min
+    }
+
+    /// Upper-bound expression.
+    pub fn max_expr(&self) -> &Expr {
+        &self.max
+    }
+
+    /// Default value.
+    pub fn default(&self) -> i64 {
+        self.default
+    }
+
+    /// Distance between two neighbour values.
+    pub fn step(&self) -> i64 {
+        self.step
+    }
+
+    /// Outermost lower bound (used for normalization).
+    pub fn static_min(&self) -> i64 {
+        self.static_min
+    }
+
+    /// Outermost upper bound (used for normalization).
+    pub fn static_max(&self) -> i64 {
+        self.static_max
+    }
+
+    /// True if the bounds reference other parameters.
+    pub fn is_restricted(&self) -> bool {
+        !self.min.references().is_empty() || !self.max.references().is_empty()
+    }
+
+    /// Number of admissible values under the *static* bounds.
+    pub fn static_cardinality(&self) -> u64 {
+        ((self.static_max - self.static_min) / self.step) as u64 + 1
+    }
+
+    /// All admissible values under the static bounds, in ascending order.
+    pub fn static_values(&self) -> Vec<i64> {
+        (0..self.static_cardinality() as i64)
+            .map(|i| self.static_min + i * self.step)
+            .collect()
+    }
+
+    /// Normalize a value onto `[0, 1]` using the static bounds; a
+    /// zero-width range maps to 0.5.
+    pub fn normalize(&self, v: i64) -> f64 {
+        if self.static_max == self.static_min {
+            return 0.5;
+        }
+        (v - self.static_min) as f64 / (self.static_max - self.static_min) as f64
+    }
+
+    /// Inverse of [`normalize`](Self::normalize): map a fraction in `[0, 1]`
+    /// back to the nearest admissible value on the step grid.
+    pub fn denormalize(&self, frac: f64) -> i64 {
+        let raw = self.static_min as f64 + frac.clamp(0.0, 1.0) * (self.static_max - self.static_min) as f64;
+        self.snap(raw)
+    }
+
+    /// Snap a continuous coordinate to the nearest admissible value on this
+    /// parameter's step grid, clamped into the static bounds. This is the
+    /// paper's "nearest integer point" adaptation of the simplex method.
+    pub fn snap(&self, x: f64) -> i64 {
+        let clamped = x.clamp(self.static_min as f64, self.static_max as f64);
+        let steps = ((clamped - self.static_min as f64) / self.step as f64).round() as i64;
+        // Clamp the step *count*, not the value: when the range is not a
+        // multiple of the step, static_max itself is off-grid and value
+        // clamping would produce an inadmissible point.
+        let max_steps = (self.static_max - self.static_min) / self.step;
+        self.static_min + steps.clamp(0, max_steps) * self.step
+    }
+
+    /// Label for a categorical value; `None` for integer parameters or
+    /// out-of-range codes.
+    pub fn label(&self, v: i64) -> Option<&str> {
+        match &self.kind {
+            ParamKind::Int => None,
+            ParamKind::Categorical(labels) => {
+                usize::try_from(v).ok().and_then(|i| labels.get(i)).map(String::as_str)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_param_basics() {
+        let p = ParamDef::int("buf", 1, 10, 5, 1);
+        assert_eq!(p.name(), "buf");
+        assert_eq!(p.default(), 5);
+        assert_eq!(p.static_cardinality(), 10);
+        assert_eq!(p.static_values(), (1..=10).collect::<Vec<_>>());
+        assert!(!p.is_restricted());
+    }
+
+    #[test]
+    fn stepped_param_values() {
+        let p = ParamDef::int("mem", 0, 100, 20, 25);
+        assert_eq!(p.static_values(), vec![0, 25, 50, 75, 100]);
+        assert_eq!(p.static_cardinality(), 5);
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let p = ParamDef::int("x", 10, 50, 10, 10);
+        assert_eq!(p.normalize(10), 0.0);
+        assert_eq!(p.normalize(50), 1.0);
+        assert!((p.normalize(30) - 0.5).abs() < 1e-12);
+        for v in p.static_values() {
+            assert_eq!(p.denormalize(p.normalize(v)), v);
+        }
+    }
+
+    #[test]
+    fn snap_to_grid() {
+        let p = ParamDef::int("x", 0, 100, 0, 10);
+        assert_eq!(p.snap(4.9), 0);
+        assert_eq!(p.snap(5.1), 10);
+        assert_eq!(p.snap(-50.0), 0);
+        assert_eq!(p.snap(1e9), 100);
+        assert_eq!(p.snap(95.0), 100); // .5 rounds away from zero
+    }
+
+    #[test]
+    fn degenerate_single_value_param() {
+        let p = ParamDef::int("fixed", 7, 7, 7, 1);
+        assert_eq!(p.static_cardinality(), 1);
+        assert_eq!(p.normalize(7), 0.5);
+        assert_eq!(p.snap(123.0), 7);
+    }
+
+    #[test]
+    fn categorical_labels() {
+        let p = ParamDef::categorical(
+            "sort",
+            vec!["heap".into(), "quick".into(), "merge".into()],
+            1,
+        );
+        assert_eq!(p.default(), 1);
+        assert_eq!(p.label(0), Some("heap"));
+        assert_eq!(p.label(2), Some("merge"));
+        assert_eq!(p.label(3), None);
+        assert_eq!(p.label(-1), None);
+        assert_eq!(p.static_cardinality(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = ParamDef::int("bad", 0, 10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn default_out_of_bounds_panics() {
+        let _ = ParamDef::int("bad", 0, 10, 11, 1);
+    }
+}

@@ -1,0 +1,441 @@
+//! Parser for the Active Harmony resource specification language (RSL).
+//!
+//! The RSL "is used to communicate between the system to be tuned and
+//! Active Harmony tuning server" (Appendix B). A document is a sequence of
+//! bundles:
+//!
+//! ```text
+//! { harmonyBundle B { int {1 8 1} }}
+//! { harmonyBundle C { int {1 9-$B 1} }}
+//! { harmonyBundle S { enum {heap quick merge} }}
+//! ```
+//!
+//! * `int { MIN MAX STEP }` — integer parameter. `MIN`/`MAX` are
+//!   [`Expr`]essions (whitespace-free) and may reference earlier bundles
+//!   via `$name`, which is the Appendix-B *parameter restriction*. An
+//!   optional fourth field gives the default value (a constant expression);
+//!   it defaults to the lower static bound.
+//! * `enum { LABEL... }` — categorical parameter; the optional trailing
+//!   `= LABEL` picks the default.
+//!
+//! Static bounds of restricted parameters are derived by interval
+//! arithmetic over the already-declared parameters, so normalization and
+//! simplex projection always have a concrete envelope to work with.
+
+use crate::expr::{Expr, ExprError};
+use crate::param::ParamDef;
+use crate::space::{ParameterSpace, SpaceError};
+use std::fmt;
+
+/// Errors from RSL parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RslError {
+    /// Lexical/structural problem, with a human-readable message.
+    Syntax(String),
+    /// A bound expression failed to parse or evaluate.
+    Expr(ExprError),
+    /// The resulting space failed validation.
+    Space(SpaceError),
+}
+
+impl fmt::Display for RslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RslError::Syntax(m) => write!(f, "RSL syntax error: {m}"),
+            RslError::Expr(e) => write!(f, "RSL expression error: {e}"),
+            RslError::Space(e) => write!(f, "RSL space error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RslError {}
+
+impl From<ExprError> for RslError {
+    fn from(e: ExprError) -> Self {
+        RslError::Expr(e)
+    }
+}
+
+impl From<SpaceError> for RslError {
+    fn from(e: SpaceError) -> Self {
+        RslError::Space(e)
+    }
+}
+
+/// Parse an RSL document into a [`ParameterSpace`].
+///
+/// ```
+/// use harmony_space::parse_rsl;
+/// let space = parse_rsl(
+///     "{ harmonyBundle B { int {1 8 1} }}\n\
+///      { harmonyBundle C { int {1 9-$B 1} }}",
+/// ).unwrap();
+/// assert_eq!(space.len(), 2);
+/// assert!(space.is_restricted());
+/// assert_eq!(space.restricted_size(u128::MAX), Some(36));
+/// ```
+pub fn parse_rsl(input: &str) -> Result<ParameterSpace, RslError> {
+    let tokens = lex(input)?;
+    let mut pos = 0;
+    let mut defs: Vec<ParamDef> = Vec::new();
+    while pos < tokens.len() {
+        let (def, next) = parse_bundle(&tokens, pos, &defs)?;
+        defs.push(def);
+        pos = next;
+    }
+    if defs.is_empty() {
+        return Err(RslError::Syntax("no harmonyBundle declarations found".into()));
+    }
+    Ok(ParameterSpace::new(defs)?)
+}
+
+/// Write a [`ParameterSpace`] back out as an RSL document.
+///
+/// The output reparses to an equivalent space (`parse_rsl(&write_rsl(&s))`
+/// preserves names, bounds, steps and defaults), which makes RSL usable as
+/// an interchange format between tools. Categorical labels must be RSL
+/// words (no whitespace or braces) for the roundtrip to hold —
+/// enum-bundle labels parsed from RSL always are.
+///
+/// ```
+/// use harmony_space::{parse_rsl, rsl::write_rsl};
+/// let doc = "{ harmonyBundle B { int {1 8 1} }}\n\
+///            { harmonyBundle C { int {1 9-$B 1} }}";
+/// let space = parse_rsl(doc).unwrap();
+/// let rewritten = parse_rsl(&write_rsl(&space)).unwrap();
+/// assert_eq!(space.restricted_size(u128::MAX), rewritten.restricted_size(u128::MAX));
+/// ```
+pub fn write_rsl(space: &ParameterSpace) -> String {
+    use crate::param::ParamKind;
+    let mut out = String::new();
+    for p in space.params() {
+        match p.kind() {
+            ParamKind::Int => {
+                out.push_str(&format!(
+                    "{{ harmonyBundle {} {{ int {{{} {} {} {}}} }}}}\n",
+                    p.name(),
+                    p.min_expr(),
+                    p.max_expr(),
+                    p.step(),
+                    p.default(),
+                ));
+            }
+            ParamKind::Categorical(labels) => {
+                let default_label = p.label(p.default()).unwrap_or(&labels[0]);
+                out.push_str(&format!(
+                    "{{ harmonyBundle {} {{ enum {{{} = {}}} }}}}\n",
+                    p.name(),
+                    labels.join(" "),
+                    default_label,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Open,
+    Close,
+    Word(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, RslError> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut Vec<Tok>| {
+        if !word.is_empty() {
+            out.push(Tok::Word(std::mem::take(word)));
+        }
+    };
+    for c in input.chars() {
+        match c {
+            '{' => {
+                flush(&mut word, &mut out);
+                out.push(Tok::Open);
+            }
+            '}' => {
+                flush(&mut word, &mut out);
+                out.push(Tok::Close);
+            }
+            c if c.is_whitespace() => flush(&mut word, &mut out),
+            '#' => {
+                // Comments run to end of line; implemented by consuming in
+                // the caller-visible stream. Simplest: mark with a sentinel
+                // handled below. We instead strip comments up front.
+                return lex(&strip_comments(input));
+            }
+            c => word.push(c),
+        }
+    }
+    flush(&mut word, &mut out);
+    Ok(out)
+}
+
+fn strip_comments(input: &str) -> String {
+    input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parse `{ harmonyBundle NAME { KIND {...} } }` starting at `pos`.
+fn parse_bundle(
+    tokens: &[Tok],
+    mut pos: usize,
+    earlier: &[ParamDef],
+) -> Result<(ParamDef, usize), RslError> {
+    expect(tokens, &mut pos, &Tok::Open)?;
+    let kw = expect_word(tokens, &mut pos)?;
+    if kw != "harmonyBundle" {
+        return Err(RslError::Syntax(format!("expected 'harmonyBundle', got {kw:?}")));
+    }
+    let name = expect_word(tokens, &mut pos)?;
+    expect(tokens, &mut pos, &Tok::Open)?;
+    let kind = expect_word(tokens, &mut pos)?;
+    let def = match kind.as_str() {
+        "int" => parse_int_body(tokens, &mut pos, &name, earlier)?,
+        "enum" => parse_enum_body(tokens, &mut pos, &name)?,
+        other => return Err(RslError::Syntax(format!("unknown bundle kind {other:?}"))),
+    };
+    expect(tokens, &mut pos, &Tok::Close)?; // close kind wrapper
+    expect(tokens, &mut pos, &Tok::Close)?; // close bundle
+    Ok((def, pos))
+}
+
+fn parse_int_body(
+    tokens: &[Tok],
+    pos: &mut usize,
+    name: &str,
+    earlier: &[ParamDef],
+) -> Result<ParamDef, RslError> {
+    expect(tokens, pos, &Tok::Open)?;
+    let mut fields = Vec::new();
+    while let Some(Tok::Word(w)) = tokens.get(*pos) {
+        fields.push(w.clone());
+        *pos += 1;
+    }
+    expect(tokens, pos, &Tok::Close)?;
+    if fields.len() != 3 && fields.len() != 4 {
+        return Err(RslError::Syntax(format!(
+            "int bundle {name:?} needs 'min max step' (+ optional default), got {} fields",
+            fields.len()
+        )));
+    }
+    let min = Expr::parse(&fields[0])?;
+    let max = Expr::parse(&fields[1])?;
+    let step = Expr::parse(&fields[2])?
+        .eval_const()
+        .map_err(|_| RslError::Syntax(format!("int bundle {name:?}: step must be a constant")))?;
+    if step <= 0 {
+        return Err(RslError::Syntax(format!("int bundle {name:?}: step must be positive")));
+    }
+
+    // Derive the static envelope by interval arithmetic over earlier
+    // parameters' static bounds.
+    let resolve = |n: &str| -> Option<(i64, i64)> {
+        earlier
+            .iter()
+            .find(|p| p.name() == n)
+            .map(|p| (p.static_min(), p.static_max()))
+    };
+    let (static_min, min_hi) = min.eval_interval(&resolve)?;
+    let (max_lo, static_max) = max.eval_interval(&resolve)?;
+    if static_min > static_max {
+        return Err(RslError::Syntax(format!(
+            "int bundle {name:?}: bounds can never satisfy min <= max (static [{static_min}, {static_max}])"
+        )));
+    }
+    // The default must be statically feasible; prefer the declared default,
+    // else a value that lies inside every possible range if one exists
+    // (min's upper envelope .. max's lower envelope), else the static min.
+    let default = if fields.len() == 4 {
+        Expr::parse(&fields[3])?
+            .eval_const()
+            .map_err(|_| RslError::Syntax(format!("int bundle {name:?}: default must be a constant")))?
+    } else if min_hi <= max_lo {
+        // Middle of the always-feasible band, snapped onto the step grid.
+        let mid = min_hi + (max_lo - min_hi) / 2;
+        static_min + ((mid - static_min) / step) * step
+    } else {
+        static_min
+    };
+    if default < static_min || default > static_max {
+        return Err(RslError::Syntax(format!(
+            "int bundle {name:?}: default {default} outside static bounds [{static_min}, {static_max}]"
+        )));
+    }
+    Ok(ParamDef::restricted(name.to_string(), min, max, default, step, static_min, static_max))
+}
+
+fn parse_enum_body(tokens: &[Tok], pos: &mut usize, name: &str) -> Result<ParamDef, RslError> {
+    expect(tokens, pos, &Tok::Open)?;
+    let mut labels: Vec<String> = Vec::new();
+    let mut default_label: Option<String> = None;
+    while let Some(Tok::Word(w)) = tokens.get(*pos) {
+        if w == "=" {
+            *pos += 1;
+            default_label = Some(expect_word(tokens, pos)?);
+            continue;
+        }
+        labels.push(w.clone());
+        *pos += 1;
+    }
+    expect(tokens, pos, &Tok::Close)?;
+    if labels.is_empty() {
+        return Err(RslError::Syntax(format!("enum bundle {name:?} has no labels")));
+    }
+    let default = match default_label {
+        None => 0,
+        Some(l) => labels
+            .iter()
+            .position(|x| *x == l)
+            .ok_or_else(|| RslError::Syntax(format!("enum bundle {name:?}: default {l:?} not in label list")))?,
+    };
+    Ok(ParamDef::categorical(name.to_string(), labels, default))
+}
+
+fn expect(tokens: &[Tok], pos: &mut usize, want: &Tok) -> Result<(), RslError> {
+    match tokens.get(*pos) {
+        Some(t) if t == want => {
+            *pos += 1;
+            Ok(())
+        }
+        other => Err(RslError::Syntax(format!("expected {want:?}, got {other:?}"))),
+    }
+}
+
+fn expect_word(tokens: &[Tok], pos: &mut usize) -> Result<String, RslError> {
+    match tokens.get(*pos) {
+        Some(Tok::Word(w)) => {
+            *pos += 1;
+            Ok(w.clone())
+        }
+        other => Err(RslError::Syntax(format!("expected a word, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+
+    #[test]
+    fn parses_simple_bundle() {
+        let s = parse_rsl("{ harmonyBundle B { int {1 10 1} }}").unwrap();
+        assert_eq!(s.len(), 1);
+        let p = s.param(0);
+        assert_eq!(p.name(), "B");
+        assert_eq!(p.static_min(), 1);
+        assert_eq!(p.static_max(), 10);
+        assert_eq!(p.step(), 1);
+    }
+
+    #[test]
+    fn parses_paper_appendix_b_document() {
+        // Straight from the paper (before the D line is removed).
+        let doc = "\
+            { harmonyBundle B { int {1 8 1} }}\n\
+            { harmonyBundle C { int {1 9-$B 1} }}\n";
+        let s = parse_rsl(doc).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.is_restricted());
+        assert_eq!(s.restricted_size(u128::MAX), Some(36));
+        assert!(s.is_feasible(&Configuration::new(vec![6, 3])).unwrap());
+        assert!(!s.is_feasible(&Configuration::new(vec![6, 6])).unwrap());
+    }
+
+    #[test]
+    fn parses_matrix_partition_document() {
+        // k = 20 rows into n = 3 blocks (Appendix B scientific library).
+        let doc = "\
+            { harmonyBundle P1 { int {1 20-3+1 1} }}\n\
+            { harmonyBundle P2 { int {1 20-1-$P1 1} }}\n";
+        let s = parse_rsl(doc).unwrap();
+        // P1 in [1,18], P2 in [1, 19-P1]; feasible pairs: sum_{p1=1}^{18}(19-p1) = 171.
+        assert_eq!(s.restricted_size(u128::MAX), Some(171));
+    }
+
+    #[test]
+    fn default_field_and_step() {
+        let s = parse_rsl("{ harmonyBundle M { int {0 100 25 50} }}").unwrap();
+        let p = s.param(0);
+        assert_eq!(p.default(), 50);
+        assert_eq!(p.step(), 25);
+        assert_eq!(p.static_values(), vec![0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn enum_bundle() {
+        let s = parse_rsl("{ harmonyBundle sort { enum {heap quick merge = quick} }}").unwrap();
+        let p = s.param(0);
+        assert_eq!(p.default(), 1);
+        assert_eq!(p.label(0), Some("heap"));
+        assert_eq!(p.static_cardinality(), 3);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let s = parse_rsl(
+            "# tuning spec\n{ harmonyBundle B { int {1 4 1} }} # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(matches!(parse_rsl(""), Err(RslError::Syntax(_))));
+        assert!(matches!(parse_rsl("{ bundle B { int {1 2 1} }}"), Err(RslError::Syntax(_))));
+        assert!(matches!(parse_rsl("{ harmonyBundle B { int {1 2} }}"), Err(RslError::Syntax(_))));
+        assert!(matches!(parse_rsl("{ harmonyBundle B { int {1 2 0} }}"), Err(RslError::Syntax(_))));
+        assert!(matches!(parse_rsl("{ harmonyBundle B { float {1 2 1} }}"), Err(RslError::Syntax(_))));
+        assert!(matches!(parse_rsl("{ harmonyBundle B { enum {} }}"), Err(RslError::Syntax(_))));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let doc = "\
+            { harmonyBundle C { int {1 9-$B 1} }}\n\
+            { harmonyBundle B { int {1 8 1} }}\n";
+        assert!(matches!(parse_rsl(doc), Err(RslError::Space(_)) | Err(RslError::Expr(_))));
+    }
+
+    #[test]
+    fn write_rsl_roundtrips_structurally() {
+        let doc = "\
+            { harmonyBundle B { int {1 8 1} }}\n\
+            { harmonyBundle C { int {1 9-$B 1} }}\n\
+            { harmonyBundle M { int {0 100 25 50} }}\n\
+            { harmonyBundle sort { enum {heap quick merge = quick} }}\n";
+        let space = parse_rsl(doc).unwrap();
+        let rewritten = parse_rsl(&write_rsl(&space)).unwrap();
+        assert_eq!(space.len(), rewritten.len());
+        for (a, b) in space.params().iter().zip(rewritten.params()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.static_min(), b.static_min());
+            assert_eq!(a.static_max(), b.static_max());
+            assert_eq!(a.step(), b.step());
+            assert_eq!(a.default(), b.default());
+            assert_eq!(a.kind(), b.kind());
+        }
+        assert_eq!(
+            space.restricted_size(u128::MAX),
+            rewritten.restricted_size(u128::MAX)
+        );
+    }
+
+    #[test]
+    fn restricted_default_is_always_feasible_band() {
+        // C in [1, 9-$B] with B in [1,8]: always-feasible band for C is
+        // [1, 1]; default must be inside it.
+        let doc = "\
+            { harmonyBundle B { int {1 8 1} }}\n\
+            { harmonyBundle C { int {1 9-$B 1} }}\n";
+        let s = parse_rsl(doc).unwrap();
+        let d = s.default_configuration();
+        assert!(s.is_feasible(&d).unwrap(), "default {d} must be feasible");
+    }
+}

@@ -1,0 +1,648 @@
+//! The parameter space: an ordered collection of parameters plus the
+//! Appendix-B restriction semantics.
+
+use crate::config::Configuration;
+use crate::expr::ExprError;
+use crate::param::ParamDef;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors arising while building or querying a space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// Two parameters share a name.
+    DuplicateName(String),
+    /// A bound expression references a parameter that is not declared
+    /// earlier in the space ("the value for parameter D is decided after
+    /// the values for parameter B and C are known" — references must be
+    /// backward).
+    ForwardReference {
+        /// The parameter whose bound is at fault.
+        param: String,
+        /// The name it tried to reference.
+        referenced: String,
+    },
+    /// A bound expression failed to evaluate.
+    Eval(ExprError),
+    /// A configuration has the wrong number of values.
+    DimensionMismatch {
+        /// The space's parameter count.
+        expected: usize,
+        /// The configuration's value count.
+        got: usize,
+    },
+    /// The space has no parameters.
+    Empty,
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateName(n) => write!(f, "duplicate parameter name {n:?}"),
+            SpaceError::ForwardReference { param, referenced } => write!(
+                f,
+                "parameter {param:?} references {referenced:?}, which is not declared before it"
+            ),
+            SpaceError::Eval(e) => write!(f, "bound evaluation failed: {e}"),
+            SpaceError::DimensionMismatch { expected, got } => {
+                write!(f, "configuration has {got} values, space has {expected} parameters")
+            }
+            SpaceError::Empty => write!(f, "parameter space has no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+impl From<ExprError> for SpaceError {
+    fn from(e: ExprError) -> Self {
+        SpaceError::Eval(e)
+    }
+}
+
+/// An ordered set of tunable parameters.
+///
+/// Order matters: restricted parameters may reference only
+/// earlier-declared parameters, and the kernel decides values "for the
+/// parameter B first … then the value for the parameter C based on it"
+/// (Appendix B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterSpace {
+    params: Vec<ParamDef>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+/// Builder for [`ParameterSpace`].
+#[derive(Debug, Default)]
+pub struct SpaceBuilder {
+    params: Vec<ParamDef>,
+}
+
+impl SpaceBuilder {
+    /// Append one parameter.
+    pub fn param(mut self, def: ParamDef) -> Self {
+        self.params.push(def);
+        self
+    }
+
+    /// Append many parameters.
+    pub fn params(mut self, defs: impl IntoIterator<Item = ParamDef>) -> Self {
+        self.params.extend(defs);
+        self
+    }
+
+    /// Validate and build the space.
+    pub fn build(self) -> Result<ParameterSpace, SpaceError> {
+        if self.params.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+        let mut by_name = HashMap::with_capacity(self.params.len());
+        for (i, p) in self.params.iter().enumerate() {
+            if by_name.insert(p.name().to_string(), i).is_some() {
+                return Err(SpaceError::DuplicateName(p.name().to_string()));
+            }
+            for bound in [p.min_expr(), p.max_expr()] {
+                for r in bound.references() {
+                    match by_name.get(&r) {
+                        Some(&j) if j < i => {}
+                        _ => {
+                            return Err(SpaceError::ForwardReference {
+                                param: p.name().to_string(),
+                                referenced: r,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ParameterSpace { params: self.params, by_name })
+    }
+}
+
+impl ParameterSpace {
+    /// Start building a space.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder::default()
+    }
+
+    /// Build directly from a parameter list.
+    pub fn new(params: Vec<ParamDef>) -> Result<Self, SpaceError> {
+        SpaceBuilder { params }.build()
+    }
+
+    /// Rebuild the name index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn reindex(&mut self) {
+        self.by_name = self
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name().to_string(), i))
+            .collect();
+    }
+
+    /// Number of parameters (the dimensionality of the search).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the space has no parameters (never true for a built space).
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// All parameter definitions, in declaration order.
+    pub fn params(&self) -> &[ParamDef] {
+        &self.params
+    }
+
+    /// The i-th parameter.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn param(&self, i: usize) -> &ParamDef {
+        &self.params[i]
+    }
+
+    /// Index of a parameter by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if self.by_name.is_empty() && !self.params.is_empty() {
+            // Deserialized space whose caller forgot reindex(); fall back
+            // to a linear scan rather than returning wrong answers.
+            return self.params.iter().position(|p| p.name() == name);
+        }
+        self.by_name.get(name).copied()
+    }
+
+    /// True if any parameter carries an Appendix-B restriction.
+    pub fn is_restricted(&self) -> bool {
+        self.params.iter().any(|p| p.is_restricted())
+    }
+
+    /// The all-defaults configuration.
+    pub fn default_configuration(&self) -> Configuration {
+        Configuration::new(self.params.iter().map(|p| p.default()).collect())
+    }
+
+    /// Size of the search space ignoring restrictions: the paper's `k^n`
+    /// ("for a system with 10 parameters where each parameter has 2
+    /// possible values, the size of the search space would be 2^10").
+    pub fn unconstrained_size(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.static_cardinality() as u128)
+            .product()
+    }
+
+    /// Exact number of feasible configurations under restrictions, or
+    /// `None` once the running count exceeds `limit` (the space may be
+    /// astronomically large; callers choose how much counting they can
+    /// afford).
+    pub fn restricted_size(&self, limit: u128) -> Option<u128> {
+        let mut prefix = Vec::with_capacity(self.len());
+        let mut count = 0u128;
+        if self.count_rec(0, &mut prefix, &mut count, limit) {
+            Some(count)
+        } else {
+            None
+        }
+    }
+
+    fn count_rec(&self, depth: usize, prefix: &mut Vec<i64>, count: &mut u128, limit: u128) -> bool {
+        if depth == self.len() {
+            *count += 1;
+            return *count <= limit;
+        }
+        let p = &self.params[depth];
+        if !p.is_restricted() && self.params[depth..].iter().all(|q| !q.is_restricted()) {
+            // No restrictions remain: the tail contributes a plain product.
+            let tail: u128 = self.params[depth..]
+                .iter()
+                .map(|q| q.static_cardinality() as u128)
+                .product();
+            *count += tail;
+            return *count <= limit;
+        }
+        let Ok((lo, hi)) = self.effective_bounds(depth, prefix) else {
+            return true; // unevaluable branch contributes nothing
+        };
+        let mut v = self.grid_ceil(depth, lo);
+        while v <= hi {
+            prefix.push(v);
+            let ok = self.count_rec(depth + 1, prefix, count, limit);
+            prefix.pop();
+            if !ok {
+                return false;
+            }
+            v += p.step();
+        }
+        true
+    }
+
+    /// Effective `[lo, hi]` bounds of parameter `i` given the values of the
+    /// parameters before it. The expression bounds are intersected with the
+    /// static bounds; an inverted (empty) range is reported as-is so the
+    /// caller can detect infeasibility (`lo > hi`).
+    pub fn effective_bounds(&self, i: usize, prefix: &[i64]) -> Result<(i64, i64), SpaceError> {
+        debug_assert!(prefix.len() >= i.min(self.len()), "prefix too short");
+        let p = &self.params[i];
+        let resolve = |name: &str| -> Option<i64> {
+            self.index_of(name).filter(|&j| j < prefix.len()).map(|j| prefix[j])
+        };
+        let lo = p.min_expr().eval_with(&resolve)?;
+        let hi = p.max_expr().eval_with(&resolve)?;
+        Ok((lo.max(p.static_min()), hi.min(p.static_max())))
+    }
+
+    /// Smallest on-grid value of parameter `i` that is `>= lo`.
+    fn grid_ceil(&self, i: usize, lo: i64) -> i64 {
+        let p = &self.params[i];
+        let lo = lo.max(p.static_min());
+        let delta = lo - p.static_min();
+        let k = (delta + p.step() - 1).div_euclid(p.step());
+        p.static_min() + k * p.step()
+    }
+
+    /// Largest on-grid value of parameter `i` that is `<= hi`.
+    fn grid_floor(&self, i: usize, hi: i64) -> i64 {
+        let p = &self.params[i];
+        let hi = hi.min(p.static_max());
+        let delta = hi - p.static_min();
+        let k = delta.div_euclid(p.step());
+        p.static_min() + k * p.step()
+    }
+
+    /// Is this configuration inside the (restricted) space and on-grid?
+    pub fn is_feasible(&self, cfg: &Configuration) -> Result<bool, SpaceError> {
+        if cfg.len() != self.len() {
+            return Err(SpaceError::DimensionMismatch { expected: self.len(), got: cfg.len() });
+        }
+        for (i, p) in self.params.iter().enumerate() {
+            let v = cfg.get(i);
+            let (lo, hi) = self.effective_bounds(i, &cfg.values()[..i])?;
+            if v < lo || v > hi {
+                return Ok(false);
+            }
+            if (v - p.static_min()) % p.step() != 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Project a continuous point onto the nearest feasible configuration.
+    ///
+    /// This is the paper's adaptation of the simplex method to discrete
+    /// spaces: "using the resulting values from the nearest integer point
+    /// in the space to approximate the performance at the selected point in
+    /// the continuous space" (§2). Parameters are decided in declaration
+    /// order so that restricted bounds can be evaluated against the already
+    /// decided prefix. A collapsed (empty) effective range snaps to the
+    /// nearest admissible grid value of its lower bound.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.len()`.
+    pub fn project(&self, point: &[f64]) -> Configuration {
+        assert_eq!(point.len(), self.len(), "project: dimension mismatch");
+        let mut values = Vec::with_capacity(self.len());
+        for (i, p) in self.params.iter().enumerate() {
+            let snapped = p.snap(point[i]);
+            let v = match self.effective_bounds(i, &values) {
+                Ok((lo, hi)) if lo <= hi => {
+                    let glo = self.grid_ceil(i, lo);
+                    let ghi = self.grid_floor(i, hi);
+                    if glo > ghi {
+                        // Range narrower than one step: take the closest
+                        // in-range endpoint's grid neighbour.
+                        p.snap(lo as f64).clamp(p.static_min(), p.static_max())
+                    } else {
+                        snapped.clamp(glo, ghi)
+                    }
+                }
+                // Empty or unevaluable range: fall back to static bounds.
+                _ => snapped,
+            };
+            values.push(v);
+        }
+        Configuration::new(values)
+    }
+
+    /// Map a point of per-parameter fractions in `[0, 1]` to a feasible
+    /// configuration. Fraction `f` of parameter `i` selects position `f`
+    /// within its *effective* range given the earlier choices, so a uniform
+    /// source distribution covers exactly the restricted space.
+    pub fn from_fractions(&self, fracs: &[f64]) -> Configuration {
+        assert_eq!(fracs.len(), self.len(), "from_fractions: dimension mismatch");
+        let mut values = Vec::with_capacity(self.len());
+        for (i, p) in self.params.iter().enumerate() {
+            let (lo, hi) = match self.effective_bounds(i, &values) {
+                Ok((lo, hi)) if lo <= hi => (lo, hi),
+                _ => (p.static_min(), p.static_max()),
+            };
+            let glo = self.grid_ceil(i, lo);
+            let ghi = self.grid_floor(i, hi);
+            let v = if glo > ghi {
+                p.snap(lo as f64)
+            } else {
+                let steps = (ghi - glo) / p.step();
+                let k = (fracs[i].clamp(0.0, 1.0) * (steps + 1) as f64) as i64;
+                glo + k.min(steps) * p.step()
+            };
+            values.push(v);
+        }
+        Configuration::new(values)
+    }
+
+    /// Normalize a configuration onto the unit cube using static bounds.
+    pub fn normalize(&self, cfg: &Configuration) -> Vec<f64> {
+        assert_eq!(cfg.len(), self.len(), "normalize: dimension mismatch");
+        self.params
+            .iter()
+            .zip(cfg.values())
+            .map(|(p, &v)| p.normalize(v))
+            .collect()
+    }
+
+    /// Euclidean distance between two configurations in normalized space.
+    pub fn normalized_distance(&self, a: &Configuration, b: &Configuration) -> f64 {
+        let na = self.normalize(a);
+        let nb = self.normalize(b);
+        na.iter()
+            .zip(&nb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Iterate every feasible configuration in lexicographic order.
+    ///
+    /// Intended for exhaustive search on small spaces (Figure 4); the
+    /// iterator is lazy, so callers may also just take a prefix.
+    pub fn iter(&self) -> SpaceIter<'_> {
+        SpaceIter::new(self)
+    }
+}
+
+/// Lazy lexicographic iterator over all feasible configurations.
+pub struct SpaceIter<'a> {
+    space: &'a ParameterSpace,
+    /// Current odometer value; `None` once exhausted.
+    current: Option<Vec<i64>>,
+}
+
+impl<'a> SpaceIter<'a> {
+    fn new(space: &'a ParameterSpace) -> Self {
+        // Seed with the first feasible configuration, if any.
+        let mut values = Vec::with_capacity(space.len());
+        let mut ok = true;
+        for i in 0..space.len() {
+            match space.effective_bounds(i, &values) {
+                Ok((lo, hi)) if lo <= hi => {
+                    let glo = space.grid_ceil(i, lo);
+                    if glo > space.grid_floor(i, hi) {
+                        ok = false;
+                        break;
+                    }
+                    values.push(glo);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        SpaceIter { space, current: if ok { Some(values) } else { None } }
+    }
+
+    /// Advance the odometer (try to increment the deepest digit; on
+    /// overflow, carry left). Returns false when exhausted.
+    fn advance(&mut self) -> bool {
+        let Some(mut values) = self.current.take() else { return false };
+        let n = self.space.len();
+        let mut depth = n;
+        loop {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+            let p = self.space.param(depth);
+            let (_, hi) = match self.space.effective_bounds(depth, &values[..depth]) {
+                Ok(b) => b,
+                Err(_) => {
+                    continue; // treat as overflow, carry further left
+                }
+            };
+            let next = values[depth] + p.step();
+            if next <= self.space.grid_floor(depth, hi) {
+                values[depth] = next;
+                // Re-seed the digits to the right at their minima.
+                let mut i = depth + 1;
+                while i < n {
+                    match self.space.effective_bounds(i, &values[..i]) {
+                        Ok((lo, hi)) if lo <= hi => {
+                            let glo = self.space.grid_ceil(i, lo);
+                            if glo > self.space.grid_floor(i, hi) {
+                                break; // infeasible suffix: keep carrying
+                            }
+                            values[i] = glo;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if i == n {
+                    self.current = Some(values);
+                    return true;
+                }
+                // Suffix infeasible for this digit value: keep incrementing
+                // at the same depth.
+                depth += 1;
+            }
+        }
+    }
+}
+
+impl Iterator for SpaceIter<'_> {
+    type Item = Configuration;
+
+    fn next(&mut self) -> Option<Configuration> {
+        let out = self.current.as_ref().map(|v| Configuration::new(v.clone()))?;
+        self.advance();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn simple_space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("a", 0, 4, 2, 2)) // {0, 2, 4}
+            .param(ParamDef::int("b", 1, 3, 1, 1)) // {1, 2, 3}
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validations() {
+        let dup = ParameterSpace::builder()
+            .param(ParamDef::int("x", 0, 1, 0, 1))
+            .param(ParamDef::int("x", 0, 1, 0, 1))
+            .build();
+        assert!(matches!(dup, Err(SpaceError::DuplicateName(_))));
+
+        let fwd = ParameterSpace::builder()
+            .param(ParamDef::restricted("a", Expr::parse("$b").unwrap(), Expr::constant(10), 5, 1, 0, 10))
+            .param(ParamDef::int("b", 0, 10, 5, 1))
+            .build();
+        assert!(matches!(fwd, Err(SpaceError::ForwardReference { .. })));
+
+        assert!(matches!(ParameterSpace::builder().build(), Err(SpaceError::Empty)));
+    }
+
+    #[test]
+    fn sizes() {
+        let s = simple_space();
+        assert_eq!(s.unconstrained_size(), 9);
+        assert_eq!(s.restricted_size(1_000), Some(9));
+        assert_eq!(s.restricted_size(5), None); // over the cap
+    }
+
+    #[test]
+    fn paper_appendix_b_space_size() {
+        // B+C+D = 10 with each >= 1: B in [1,8], C in [1, 9-B].
+        // Feasible (B, C): sum over B of (9-B) = 8+7+...+1 = 36
+        // versus 8*8 = 64 unconstrained.
+        let s = ParameterSpace::builder()
+            .param(ParamDef::int("B", 1, 8, 1, 1))
+            .param(ParamDef::restricted(
+                "C",
+                Expr::constant(1),
+                Expr::parse("9-$B").unwrap(),
+                1,
+                1,
+                1,
+                8,
+            ))
+            .build()
+            .unwrap();
+        assert!(s.is_restricted());
+        assert_eq!(s.unconstrained_size(), 64);
+        assert_eq!(s.restricted_size(u128::MAX), Some(36));
+        assert_eq!(s.iter().count(), 36);
+    }
+
+    #[test]
+    fn feasibility() {
+        let s = simple_space();
+        assert!(s.is_feasible(&Configuration::new(vec![2, 3])).unwrap());
+        assert!(!s.is_feasible(&Configuration::new(vec![3, 3])).unwrap()); // off-grid
+        assert!(!s.is_feasible(&Configuration::new(vec![6, 1])).unwrap()); // out of range
+        assert!(s.is_feasible(&Configuration::new(vec![1])).is_err()); // wrong dim
+    }
+
+    #[test]
+    fn restricted_feasibility() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::int("B", 1, 8, 1, 1))
+            .param(ParamDef::restricted(
+                "C",
+                Expr::constant(1),
+                Expr::parse("9-$B").unwrap(),
+                1,
+                1,
+                1,
+                8,
+            ))
+            .build()
+            .unwrap();
+        assert!(s.is_feasible(&Configuration::new(vec![6, 3])).unwrap());
+        // "configurations that include B=6 and C=6 will be discarded
+        // automatically" — 6+6 exceeds the budget.
+        assert!(!s.is_feasible(&Configuration::new(vec![6, 6])).unwrap());
+    }
+
+    #[test]
+    fn projection_snaps_and_clamps() {
+        let s = simple_space();
+        assert_eq!(s.project(&[2.9, 0.2]).values(), &[2, 1]);
+        assert_eq!(s.project(&[-10.0, 10.0]).values(), &[0, 3]);
+        assert_eq!(s.project(&[3.5, 2.0]).values(), &[4, 2]);
+    }
+
+    #[test]
+    fn projection_respects_restriction() {
+        let s = ParameterSpace::builder()
+            .param(ParamDef::int("B", 1, 8, 1, 1))
+            .param(ParamDef::restricted(
+                "C",
+                Expr::constant(1),
+                Expr::parse("9-$B").unwrap(),
+                1,
+                1,
+                1,
+                8,
+            ))
+            .build()
+            .unwrap();
+        // B projects to 6, so C is capped at 3 even though 7 was requested.
+        let cfg = s.project(&[6.2, 7.0]);
+        assert_eq!(cfg.values(), &[6, 3]);
+        assert!(s.is_feasible(&cfg).unwrap());
+    }
+
+    #[test]
+    fn iterator_counts_match_and_are_feasible() {
+        let s = simple_space();
+        let all: Vec<Configuration> = s.iter().collect();
+        assert_eq!(all.len(), 9);
+        for c in &all {
+            assert!(s.is_feasible(c).unwrap());
+        }
+        // Lexicographic order, first and last elements.
+        assert_eq!(all[0].values(), &[0, 1]);
+        assert_eq!(all[8].values(), &[4, 3]);
+        // No duplicates.
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn from_fractions_covers_space() {
+        let s = simple_space();
+        assert_eq!(s.from_fractions(&[0.0, 0.0]).values(), &[0, 1]);
+        assert_eq!(s.from_fractions(&[0.99, 0.99]).values(), &[4, 3]);
+        assert_eq!(s.from_fractions(&[0.5, 0.5]).values(), &[2, 2]);
+    }
+
+    #[test]
+    fn normalized_distance_is_metric_like() {
+        let s = simple_space();
+        let a = Configuration::new(vec![0, 1]);
+        let b = Configuration::new(vec![4, 3]);
+        let d = s.normalized_distance(&a, &b);
+        assert!((d - (2.0f64).sqrt()).abs() < 1e-12); // both coords differ by full range
+        assert_eq!(s.normalized_distance(&a, &a), 0.0);
+        assert_eq!(s.normalized_distance(&a, &b), s.normalized_distance(&b, &a));
+    }
+
+    #[test]
+    fn default_configuration_is_feasible() {
+        let s = simple_space();
+        assert!(s.is_feasible(&s.default_configuration()).unwrap());
+    }
+
+    #[test]
+    fn index_of_finds_params() {
+        let s = simple_space();
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zzz"), None);
+    }
+}

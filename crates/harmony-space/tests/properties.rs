@@ -1,0 +1,90 @@
+//! Property-based tests for the parameter-space crate.
+
+use harmony_space::{parse_rsl, rsl::write_rsl, Expr, ParamDef, ParameterSpace};
+use proptest::prelude::*;
+
+/// Strategy: a small unrestricted space with varied steps.
+fn arb_space() -> impl Strategy<Value = ParameterSpace> {
+    proptest::collection::vec((0i64..30, 1i64..40, 1i64..6), 1..5).prop_map(|dims| {
+        ParameterSpace::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(i, (lo, span, step))| ParamDef::int(format!("p{i}"), lo, lo + span, lo, step))
+                .collect(),
+        )
+        .expect("valid space")
+    })
+}
+
+proptest! {
+    #[test]
+    fn rsl_write_parse_roundtrip(space in arb_space()) {
+        let doc = write_rsl(&space);
+        let back = parse_rsl(&doc).expect("written RSL must reparse");
+        prop_assert_eq!(space.len(), back.len());
+        for (a, b) in space.params().iter().zip(back.params()) {
+            prop_assert_eq!(a.name(), b.name());
+            prop_assert_eq!(a.static_min(), b.static_min());
+            prop_assert_eq!(a.static_max(), b.static_max());
+            prop_assert_eq!(a.step(), b.step());
+            prop_assert_eq!(a.default(), b.default());
+        }
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_on_grid(space in arb_space(), x in -1e5f64..1e5) {
+        for p in space.params() {
+            let v = p.snap(x);
+            prop_assert!(v >= p.static_min() && v <= p.static_max());
+            prop_assert_eq!((v - p.static_min()) % p.step(), 0);
+            prop_assert_eq!(p.snap(v as f64), v);
+        }
+    }
+
+    #[test]
+    fn denormalize_normalize_roundtrip(space in arb_space(), frac in 0.0f64..1.0) {
+        for p in space.params() {
+            let v = p.denormalize(frac);
+            let back = p.denormalize(p.normalize(v));
+            prop_assert_eq!(v, back, "param {} frac {}", p.name(), frac);
+        }
+    }
+
+    #[test]
+    fn static_values_are_exactly_the_grid(space in arb_space()) {
+        for p in space.params() {
+            let vals = p.static_values();
+            prop_assert_eq!(vals.len() as u64, p.static_cardinality());
+            prop_assert_eq!(*vals.first().unwrap(), p.static_min());
+            prop_assert!(*vals.last().unwrap() <= p.static_max());
+            for w in vals.windows(2) {
+                prop_assert_eq!(w[1] - w[0], p.step());
+            }
+        }
+    }
+
+    #[test]
+    fn expr_eval_is_deterministic(a in -50i64..50, b in -50i64..50) {
+        for src in ["$X+$Y", "$X*$Y-3", "min($X,$Y)", "max($X,-$Y)/7"] {
+            let e = Expr::parse(src).unwrap();
+            let env = |n: &str| match n {
+                "X" => Some(a),
+                "Y" => Some(b),
+                _ => None,
+            };
+            let v1 = e.eval_with(&env);
+            let v2 = e.eval_with(&env);
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    #[test]
+    fn unconstrained_size_is_product_of_cardinalities(space in arb_space()) {
+        let product: u128 = space.params().iter().map(|p| p.static_cardinality() as u128).product();
+        prop_assert_eq!(space.unconstrained_size(), product);
+        // For unrestricted spaces the restricted count agrees.
+        if product <= 20_000 {
+            prop_assert_eq!(space.restricted_size(u128::MAX), Some(product));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Boolean conditions over a single input variable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Boolean test over one input variable, the `Ca(vj)` of a DataGen rule.
+///
+/// The paper's examples are equality tests ("if vj = 3") and half-open
+/// ranges ("if 2 ≤ vk < 8"); both are represented here, with ranges stored
+/// inclusive-exclusive exactly as written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `v == x`.
+    Eq(i64),
+    /// `lo <= v < hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Exclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl Condition {
+    /// Does the value satisfy this condition?
+    pub fn matches(&self, v: i64) -> bool {
+        match *self {
+            Condition::Eq(x) => v == x,
+            Condition::Range { lo, hi } => lo <= v && v < hi,
+        }
+    }
+
+    /// Distance from `v` to the nearest satisfying value — 0 when the
+    /// condition already holds. Used by the nearest-rule fallback.
+    pub fn distance(&self, v: i64) -> u64 {
+        match *self {
+            Condition::Eq(x) => v.abs_diff(x),
+            Condition::Range { lo, hi } => {
+                if self.matches(v) {
+                    0
+                } else if v < lo {
+                    v.abs_diff(lo)
+                } else {
+                    // Nearest satisfying value is hi - 1 (range is empty if
+                    // hi <= lo; then distance to lo is used as a sentinel).
+                    if hi > lo {
+                        v.abs_diff(hi - 1)
+                    } else {
+                        v.abs_diff(lo)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Can any value satisfy both conditions? (Used for structural
+    /// conflict detection between rules.)
+    pub fn overlaps(&self, other: &Condition) -> bool {
+        match (*self, *other) {
+            (Condition::Eq(a), Condition::Eq(b)) => a == b,
+            (Condition::Eq(a), Condition::Range { lo, hi })
+            | (Condition::Range { lo, hi }, Condition::Eq(a)) => lo <= a && a < hi,
+            (Condition::Range { lo: a, hi: b }, Condition::Range { lo: c, hi: d }) => {
+                a < d && c < b && a < b && c < d
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Condition::Eq(x) => write!(f, "= {x}"),
+            Condition::Range { lo, hi } => write!(f, "in [{lo}, {hi})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_matches_and_distance() {
+        let c = Condition::Eq(3);
+        assert!(c.matches(3));
+        assert!(!c.matches(4));
+        assert_eq!(c.distance(3), 0);
+        assert_eq!(c.distance(7), 4);
+        assert_eq!(c.distance(-1), 4);
+    }
+
+    #[test]
+    fn range_matches_half_open() {
+        // "if 2 <= vk < 8"
+        let c = Condition::Range { lo: 2, hi: 8 };
+        assert!(c.matches(2));
+        assert!(c.matches(7));
+        assert!(!c.matches(8));
+        assert!(!c.matches(1));
+    }
+
+    #[test]
+    fn range_distance() {
+        let c = Condition::Range { lo: 2, hi: 8 };
+        assert_eq!(c.distance(5), 0);
+        assert_eq!(c.distance(0), 2);
+        assert_eq!(c.distance(10), 3); // nearest satisfying value is 7
+    }
+
+    #[test]
+    fn empty_range_never_matches() {
+        let c = Condition::Range { lo: 5, hi: 5 };
+        assert!(!c.matches(5));
+        assert!(c.distance(5) == 0 || c.distance(5) > 0); // defined, no panic
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let r1 = Condition::Range { lo: 0, hi: 5 };
+        let r2 = Condition::Range { lo: 5, hi: 10 };
+        let r3 = Condition::Range { lo: 4, hi: 6 };
+        assert!(!r1.overlaps(&r2)); // half-open ranges touch but don't overlap
+        assert!(r1.overlaps(&r3));
+        assert!(r2.overlaps(&r3));
+        assert!(Condition::Eq(4).overlaps(&r1));
+        assert!(!Condition::Eq(5).overlaps(&r1));
+        assert!(Condition::Eq(2).overlaps(&Condition::Eq(2)));
+        assert!(!Condition::Eq(2).overlaps(&Condition::Eq(3)));
+        // Empty range overlaps nothing.
+        let empty = Condition::Range { lo: 3, hi: 3 };
+        assert!(!empty.overlaps(&r1));
+    }
+}

@@ -1,0 +1,328 @@
+//! Latent response surfaces: the "desired attributes" behind generated
+//! rule sets.
+//!
+//! §5.1 generates data "similar to an existing e-commerce web application"
+//! where "the performance is decided by both the input characteristics and
+//! the tunable parameter values". A [`LatentSurface`] models exactly that:
+//!
+//! * each parameter contributes a unimodal bump peaked somewhere in the
+//!   interior (so extreme values perform poorly, matching §4.1's
+//!   observation);
+//! * each parameter's *weight* — how much it matters — may depend on the
+//!   workload characteristics (Figure 8: "when the system faces different
+//!   workloads, the value for each parameter will have different
+//!   importance");
+//! * each parameter's *peak* — where its best value lies — may also shift
+//!   with the workload (this is what makes historical data from a nearby
+//!   workload useful, Figure 7);
+//! * parameters with zero weight and zero couplings are performance
+//!   irrelevant (the two planted irrelevant parameters of §5.2);
+//! * sparse pairwise interactions keep "the interaction among parameters …
+//!   relatively small" (§3) but non-zero.
+
+/// Per-parameter shape description.
+#[derive(Debug, Clone)]
+struct ParamShape {
+    peak: f64,
+    halfwidth: f64,
+    base_weight: f64,
+    weight_coupling: Vec<f64>,
+    peak_coupling: Vec<f64>,
+}
+
+/// A deterministic synthetic response surface over continuous parameter
+/// coordinates plus a workload-characteristic vector.
+#[derive(Debug, Clone)]
+pub struct LatentSurface {
+    shapes: Vec<ParamShape>,
+    interactions: Vec<(usize, usize, f64)>,
+    offset: f64,
+    scale: f64,
+    saturation: Option<(f64, f64)>,
+    workload_dims: usize,
+}
+
+impl LatentSurface {
+    /// Start building a surface over `params` parameters and
+    /// `workload_dims` workload characteristics.
+    pub fn builder(params: usize, workload_dims: usize) -> LatentSurfaceBuilder {
+        LatentSurfaceBuilder {
+            shapes: vec![
+                ParamShape {
+                    peak: 0.0,
+                    halfwidth: 1.0,
+                    base_weight: 0.0,
+                    weight_coupling: vec![0.0; workload_dims],
+                    peak_coupling: vec![0.0; workload_dims],
+                };
+                params
+            ],
+            interactions: Vec::new(),
+            offset: 0.0,
+            scale: 1.0,
+            saturation: None,
+            workload_dims,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn params(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Number of workload characteristic dimensions.
+    pub fn workload_dims(&self) -> usize {
+        self.workload_dims
+    }
+
+    /// The workload-adjusted peak location of parameter `j`.
+    pub fn effective_peak(&self, j: usize, workload: &[f64]) -> f64 {
+        let s = &self.shapes[j];
+        s.peak + dot(&s.peak_coupling, workload)
+    }
+
+    /// The workload-adjusted weight of parameter `j` (clamped at 0).
+    pub fn effective_weight(&self, j: usize, workload: &[f64]) -> f64 {
+        let s = &self.shapes[j];
+        (s.base_weight + dot(&s.weight_coupling, workload)).max(0.0)
+    }
+
+    /// Evaluate the surface.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn eval(&self, params: &[f64], workload: &[f64]) -> f64 {
+        assert_eq!(params.len(), self.shapes.len(), "LatentSurface: param dims");
+        assert_eq!(workload.len(), self.workload_dims, "LatentSurface: workload dims");
+        let bumps: Vec<f64> = self
+            .shapes
+            .iter()
+            .enumerate()
+            .map(|(j, s)| bump((params[j] - self.effective_peak(j, workload)) / s.halfwidth))
+            .collect();
+        let mut total = self.offset;
+        for (j, b) in bumps.iter().enumerate() {
+            total += self.effective_weight(j, workload) * b;
+        }
+        for &(i, j, strength) in &self.interactions {
+            total += strength * bumps[i] * bumps[j];
+        }
+        let t = self.scale * total;
+        match self.saturation {
+            // Throughput-style saturating response: most of the space sits
+            // near the ceiling and only genuinely bad regions fall off —
+            // the shape real closed-loop systems (and Figure 4's measured
+            // distribution) have.
+            Some((cap, half)) => {
+                let t = t.max(0.0);
+                cap * t / (t + half)
+            }
+            None => t,
+        }
+    }
+
+    /// Wrap into a closure over parameter coordinates with the workload
+    /// frozen — the form [`crate::GridRuleSet`] consumes.
+    pub fn with_workload(self, workload: Vec<f64>) -> crate::ruleset::Latent {
+        assert_eq!(workload.len(), self.workload_dims, "LatentSurface: workload dims");
+        Box::new(move |params| self.eval(params, &workload))
+    }
+}
+
+/// Unimodal bump: 1 at the peak, 0 beyond one halfwidth.
+fn bump(t: f64) -> f64 {
+    (1.0 - t * t).max(0.0)
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Builder for [`LatentSurface`].
+#[derive(Debug, Clone)]
+pub struct LatentSurfaceBuilder {
+    shapes: Vec<ParamShape>,
+    interactions: Vec<(usize, usize, f64)>,
+    offset: f64,
+    scale: f64,
+    saturation: Option<(f64, f64)>,
+    workload_dims: usize,
+}
+
+impl LatentSurfaceBuilder {
+    /// Describe parameter `j`: where its bump peaks, how wide it is, and
+    /// its workload-independent weight. A parameter left undescribed (or
+    /// given zero weight and couplings) is performance-irrelevant.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range or `halfwidth <= 0`.
+    pub fn param(mut self, j: usize, peak: f64, halfwidth: f64, base_weight: f64) -> Self {
+        assert!(halfwidth > 0.0, "halfwidth must be positive");
+        let s = &mut self.shapes[j];
+        s.peak = peak;
+        s.halfwidth = halfwidth;
+        s.base_weight = base_weight;
+        self
+    }
+
+    /// Make parameter `j`'s weight depend on workload dimension `k` with
+    /// coefficient `c`.
+    pub fn weight_coupling(mut self, j: usize, k: usize, c: f64) -> Self {
+        self.shapes[j].weight_coupling[k] = c;
+        self
+    }
+
+    /// Make parameter `j`'s peak location shift with workload dimension
+    /// `k` by `c` per unit of characteristic.
+    pub fn peak_coupling(mut self, j: usize, k: usize, c: f64) -> Self {
+        self.shapes[j].peak_coupling[k] = c;
+        self
+    }
+
+    /// Add a pairwise interaction term `strength · bump_i · bump_j`.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or out of range.
+    pub fn interaction(mut self, i: usize, j: usize, strength: f64) -> Self {
+        assert_ne!(i, j, "interaction must couple two distinct parameters");
+        assert!(i < self.shapes.len() && j < self.shapes.len(), "interaction index out of range");
+        self.interactions.push((i, j, strength));
+        self
+    }
+
+    /// Additive offset (the floor performance).
+    pub fn offset(mut self, o: f64) -> Self {
+        self.offset = o;
+        self
+    }
+
+    /// Multiplicative output scale.
+    pub fn scale(mut self, s: f64) -> Self {
+        self.scale = s;
+        self
+    }
+
+    /// Saturating (throughput-style) output: `cap·t/(t+half)` applied
+    /// after scale/offset. `half` is the input level producing half of
+    /// `cap`.
+    ///
+    /// # Panics
+    /// Panics unless both values are positive.
+    pub fn saturating(mut self, cap: f64, half: f64) -> Self {
+        assert!(cap > 0.0 && half > 0.0, "saturation parameters must be positive");
+        self.saturation = Some((cap, half));
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> LatentSurface {
+        LatentSurface {
+            shapes: self.shapes,
+            interactions: self.interactions,
+            offset: self.offset,
+            scale: self.scale,
+            saturation: self.saturation,
+            workload_dims: self.workload_dims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn surface() -> LatentSurface {
+        LatentSurface::builder(3, 2)
+            .param(0, 5.0, 4.0, 10.0)
+            .param(1, 2.0, 3.0, 5.0)
+            // parameter 2 left irrelevant
+            .weight_coupling(0, 0, 8.0)
+            .peak_coupling(1, 1, 3.0)
+            .interaction(0, 1, 2.0)
+            .offset(20.0)
+            .build()
+    }
+
+    #[test]
+    fn peak_is_the_maximum_along_each_axis() {
+        let s = surface();
+        let w = [0.5, 0.5];
+        let at_peak = s.eval(&[5.0, 3.5, 0.0], &w);
+        for x in [1.0, 3.0, 7.0, 9.0] {
+            assert!(s.eval(&[x, 3.5, 0.0], &w) <= at_peak, "x={x}");
+        }
+    }
+
+    #[test]
+    fn irrelevant_parameter_does_not_move_output() {
+        let s = surface();
+        let w = [0.3, 0.7];
+        let base = s.eval(&[5.0, 2.0, 0.0], &w);
+        for v in [-5.0, 0.0, 3.0, 100.0] {
+            assert_eq!(s.eval(&[5.0, 2.0, v], &w), base);
+        }
+    }
+
+    #[test]
+    fn weight_coupling_changes_importance_with_workload() {
+        let s = surface();
+        // Swing of parameter 0 under two workloads.
+        let swing = |w: &[f64]| {
+            s.eval(&[5.0, 2.0, 0.0], w) - s.eval(&[9.0, 2.0, 0.0], w)
+        };
+        let low = swing(&[0.0, 0.0]);
+        let high = swing(&[1.0, 0.0]);
+        assert!(high > low, "workload dim 0 should amplify parameter 0: {high} vs {low}");
+    }
+
+    #[test]
+    fn peak_coupling_moves_the_optimum() {
+        let s = surface();
+        assert_eq!(s.effective_peak(1, &[0.0, 0.0]), 2.0);
+        assert_eq!(s.effective_peak(1, &[0.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn weight_clamped_at_zero() {
+        let s = LatentSurface::builder(1, 1)
+            .param(0, 0.0, 1.0, 1.0)
+            .weight_coupling(0, 0, -100.0)
+            .build();
+        assert_eq!(s.effective_weight(0, &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn interactions_are_additive() {
+        let with = LatentSurface::builder(2, 0)
+            .param(0, 0.0, 1.0, 1.0)
+            .param(1, 0.0, 1.0, 1.0)
+            .interaction(0, 1, 3.0)
+            .build();
+        let without = LatentSurface::builder(2, 0)
+            .param(0, 0.0, 1.0, 1.0)
+            .param(1, 0.0, 1.0, 1.0)
+            .build();
+        let w: [f64; 0] = [];
+        // Both bumps at max (value 1.0 each): interaction adds 3.0.
+        assert!((with.eval(&[0.0, 0.0], &w) - without.eval(&[0.0, 0.0], &w) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_workload_freezes_characteristics() {
+        let f = surface().with_workload(vec![0.5, 0.5]);
+        let s2 = surface();
+        assert_eq!(f(&[5.0, 2.0, 0.0]), s2.eval(&[5.0, 2.0, 0.0], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let s = LatentSurface::builder(1, 0)
+            .param(0, 0.0, 1.0, 2.0)
+            .offset(10.0)
+            .scale(3.0)
+            .build();
+        let w: [f64; 0] = [];
+        assert!((s.eval(&[0.0], &w) - 36.0).abs() < 1e-12); // 3*(10+2)
+        assert!((s.eval(&[100.0], &w) - 30.0).abs() < 1e-12); // 3*10
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! DataGen-equivalent synthetic performance data for Active Harmony.
+//!
+//! §5.1 of the paper: "we used DataGen to generate synthetic data with the
+//! desired attributes. The software generates a set of conjunctive normal
+//! form rules … Each rule is in the form of `Pi ← Ca(vj) & Cb(vk) & …`
+//! where Pi represents the performance result; vj, vk, vl are the input
+//! variables that represent a set of tunable parameters (i.e., one
+//! configuration) and workload characteristics. … The set of rules are
+//! carefully generated so that no more than one rule will be satisfied for
+//! all possible combinations of input variables (i.e., no conflicts). When
+//! no rule is satisfied, it will return the performance result from the
+//! closest rule."
+//!
+//! DataGen 3.0 itself is closed-source, so this crate rebuilds the same
+//! machinery:
+//!
+//! * [`Condition`]/[`Rule`]/[`RuleSet`] — the rule language exactly as
+//!   described, with structural conflict detection and nearest-rule
+//!   fallback;
+//! * [`GridRuleSet`] — a rule set generated from a *latent response
+//!   surface* quantized on a grid partition; one rule per cell, which makes
+//!   conflict-freedom and full coverage hold by construction (this is how
+//!   large rule sets are "carefully generated" without materializing an
+//!   exponential rule list);
+//! * [`LatentSurface`] — composable synthetic response surfaces with
+//!   per-parameter unimodal preferences, workload-dependent weights,
+//!   pairwise interactions, and designated performance-irrelevant
+//!   parameters;
+//! * [`Perturb`] — the §5.2 uniform ±x% run-to-run output perturbation;
+//! * [`scenario`] — the concrete §5 experiment instances (the fifteen
+//!   parameters `D..R` with `H` and `M` irrelevant, and the
+//!   web-service-like system used for the Figure-7 history experiment).
+
+pub mod condition;
+pub mod latent;
+pub mod perturb;
+pub mod rule;
+pub mod ruleset;
+pub mod scenario;
+
+pub use condition::Condition;
+pub use latent::{LatentSurface, LatentSurfaceBuilder};
+pub use perturb::Perturb;
+pub use rule::Rule;
+pub use ruleset::{GridRuleSet, RuleSet, RuleSetError};

@@ -1,0 +1,92 @@
+//! Run-to-run output perturbation.
+//!
+//! §5.2: "we also perturb the performance output from 0% to ±25% with a
+//! uniform random distribution. This is because in real systems, given
+//! exactly the same environment and input, the performance output will not
+//! always be the same for two different runs."
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Multiplicative uniform noise: each call scales the input by
+/// `1 + U(-level, +level)`.
+///
+/// Deterministic for a given seed, so whole experiments replay exactly.
+#[derive(Debug, Clone)]
+pub struct Perturb {
+    level: f64,
+    rng: ChaCha8Rng,
+}
+
+impl Perturb {
+    /// Create a perturber with `level` in `[0, 1)` (0.25 = ±25%).
+    ///
+    /// # Panics
+    /// Panics if `level` is negative or not finite.
+    pub fn new(level: f64, seed: u64) -> Self {
+        assert!(level.is_finite() && level >= 0.0, "perturbation level must be >= 0");
+        Perturb { level, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// The perturbation level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Apply one draw of noise to a performance value.
+    pub fn apply(&mut self, perf: f64) -> f64 {
+        if self.level == 0.0 {
+            return perf;
+        }
+        let noise: f64 = self.rng.gen_range(-self.level..=self.level);
+        perf * (1.0 + noise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_level_is_identity() {
+        let mut p = Perturb::new(0.0, 1);
+        assert_eq!(p.apply(42.0), 42.0);
+        assert_eq!(p.apply(42.0), 42.0);
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let mut p = Perturb::new(0.25, 7);
+        for _ in 0..10_000 {
+            let v = p.apply(100.0);
+            assert!((75.0..=125.0).contains(&v), "{v} out of ±25% envelope");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Perturb::new(0.1, 99);
+        let mut b = Perturb::new(0.1, 99);
+        for _ in 0..100 {
+            assert_eq!(a.apply(10.0), b.apply(10.0));
+        }
+        let mut c = Perturb::new(0.1, 100);
+        let run_a: Vec<f64> = (0..32).map(|_| a.apply(10.0)).collect();
+        let run_c: Vec<f64> = (0..32).map(|_| c.apply(10.0)).collect();
+        assert_ne!(run_a, run_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn mean_noise_is_roughly_centered() {
+        let mut p = Perturb::new(0.25, 3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.apply(1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean} should be near 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_level_panics() {
+        let _ = Perturb::new(-0.1, 0);
+    }
+}

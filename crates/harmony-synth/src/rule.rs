@@ -1,0 +1,176 @@
+//! CNF rules: `Pi ← Ca(vj) & Cb(vk) & …`.
+
+use crate::condition::Condition;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One DataGen rule: a conjunction of per-variable conditions and the
+/// performance value returned when all of them hold.
+///
+/// `conditions[k] = (var_index, condition)`; a variable index refers into
+/// the combined input vector (tunable parameters followed by discretized
+/// workload characteristics, as in §5.1). A variable may appear at most
+/// once per rule — a conjunction with two conditions on the same variable
+/// is either redundant or unsatisfiable, and the constructor rejects it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    conditions: Vec<(usize, Condition)>,
+    performance: f64,
+}
+
+impl Rule {
+    /// Build a rule.
+    ///
+    /// # Panics
+    /// Panics if the same variable index appears twice (programmer error in
+    /// rule construction).
+    pub fn new(mut conditions: Vec<(usize, Condition)>, performance: f64) -> Self {
+        conditions.sort_by_key(|&(i, _)| i);
+        for w in conditions.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "Rule: variable {} appears twice", w[0].0);
+        }
+        Rule { conditions, performance }
+    }
+
+    /// The conjunction's conditions, sorted by variable index.
+    pub fn conditions(&self) -> &[(usize, Condition)] {
+        &self.conditions
+    }
+
+    /// The performance returned when the rule fires.
+    pub fn performance(&self) -> f64 {
+        self.performance
+    }
+
+    /// "A rule is satisfied … when all its Boolean function results in the
+    /// rule are true."
+    ///
+    /// # Panics
+    /// Panics if a condition references a variable index outside `values`.
+    pub fn satisfied(&self, values: &[i64]) -> bool {
+        self.conditions.iter().all(|&(i, c)| c.matches(values[i]))
+    }
+
+    /// Distance from the input to this rule: the Euclidean norm of the
+    /// per-condition distances (0 iff satisfied). The nearest-rule fallback
+    /// minimizes this.
+    pub fn distance(&self, values: &[i64]) -> f64 {
+        self.conditions
+            .iter()
+            .map(|&(i, c)| {
+                let d = c.distance(values[i]) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Structural conflict test: two rules *may* fire on the same input iff
+    /// every variable constrained by both has overlapping conditions.
+    /// (Variables constrained by only one rule never disambiguate.)
+    pub fn conflicts_with(&self, other: &Rule) -> bool {
+        let mut i = 0;
+        let mut j = 0;
+        let mut disjoint_somewhere = false;
+        while i < self.conditions.len() && j < other.conditions.len() {
+            let (vi, ci) = self.conditions[i];
+            let (vj, cj) = other.conditions[j];
+            match vi.cmp(&vj) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if !ci.overlaps(&cj) {
+                        disjoint_somewhere = true;
+                        break;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        !disjoint_somewhere
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} <-", self.performance)?;
+        for (k, (i, c)) in self.conditions.iter().enumerate() {
+            if k > 0 {
+                write!(f, " &")?;
+            }
+            write!(f, " v{i} {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(conds: Vec<(usize, Condition)>, p: f64) -> Rule {
+        Rule::new(conds, p)
+    }
+
+    #[test]
+    fn satisfaction_is_conjunction() {
+        let rule = r(
+            vec![(0, Condition::Eq(3)), (2, Condition::Range { lo: 2, hi: 8 })],
+            42.0,
+        );
+        assert!(rule.satisfied(&[3, 99, 5]));
+        assert!(!rule.satisfied(&[3, 99, 8])); // second condition fails
+        assert!(!rule.satisfied(&[4, 99, 5])); // first condition fails
+        assert_eq!(rule.performance(), 42.0);
+    }
+
+    #[test]
+    fn empty_rule_matches_everything() {
+        let rule = r(vec![], 7.0);
+        assert!(rule.satisfied(&[1, 2, 3]));
+        assert_eq!(rule.distance(&[1, 2, 3]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_zero_iff_satisfied() {
+        let rule = r(vec![(0, Condition::Eq(3)), (1, Condition::Eq(5))], 1.0);
+        assert_eq!(rule.distance(&[3, 5]), 0.0);
+        assert!((rule.distance(&[0, 9]) - 5.0).abs() < 1e-12); // sqrt(9+16)
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_variable_rejected() {
+        let _ = r(vec![(0, Condition::Eq(1)), (0, Condition::Eq(2))], 1.0);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let a = r(vec![(0, Condition::Range { lo: 0, hi: 5 })], 1.0);
+        let b = r(vec![(0, Condition::Range { lo: 5, hi: 9 })], 2.0);
+        let c = r(vec![(0, Condition::Range { lo: 4, hi: 6 })], 3.0);
+        assert!(!a.conflicts_with(&b));
+        assert!(a.conflicts_with(&c));
+        assert!(b.conflicts_with(&c));
+        // Conditions on different variables can't disambiguate.
+        let d = r(vec![(1, Condition::Eq(0))], 4.0);
+        assert!(a.conflicts_with(&d));
+        // Same variable, disjoint second condition.
+        let e = r(
+            vec![(0, Condition::Range { lo: 0, hi: 5 }), (1, Condition::Eq(1))],
+            5.0,
+        );
+        let f = r(
+            vec![(0, Condition::Range { lo: 0, hi: 5 }), (1, Condition::Eq(2))],
+            6.0,
+        );
+        assert!(!e.conflicts_with(&f));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rule = r(vec![(0, Condition::Eq(3))], 10.0);
+        assert_eq!(rule.to_string(), "10.000 <- v0 = 3");
+    }
+}

@@ -1,0 +1,293 @@
+//! Rule sets: explicit collections and grid-generated virtual collections.
+
+use crate::condition::Condition;
+use crate::rule::Rule;
+use std::fmt;
+
+/// A latent response surface over continuous cell-center coordinates.
+pub type Latent = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// Errors from building an explicit rule set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleSetError {
+    /// Two rules can fire on the same input ("no conflicts" is a DataGen
+    /// invariant, §5.1); the payload is the offending pair's indices.
+    Conflict(usize, usize),
+    /// No rules at all — evaluation would have no fallback.
+    Empty,
+}
+
+impl fmt::Display for RuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleSetError::Conflict(a, b) => write!(f, "rules {a} and {b} can both fire"),
+            RuleSetError::Empty => write!(f, "rule set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RuleSetError {}
+
+/// An explicit, conflict-free set of DataGen rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Build a rule set, verifying pairwise conflict-freedom (O(n²) over
+    /// rule pairs — explicit sets are meant to stay small; large surfaces
+    /// use [`GridRuleSet`]).
+    pub fn new(rules: Vec<Rule>) -> Result<Self, RuleSetError> {
+        if rules.is_empty() {
+            return Err(RuleSetError::Empty);
+        }
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                if rules[i].conflicts_with(&rules[j]) {
+                    return Err(RuleSetError::Conflict(i, j));
+                }
+            }
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Evaluate an input: the satisfied rule's performance, or — "when no
+    /// rule is satisfied, it will return the performance result from the
+    /// closest rule".
+    pub fn evaluate(&self, values: &[i64]) -> f64 {
+        let mut best_dist = f64::INFINITY;
+        let mut best_perf = 0.0;
+        for r in &self.rules {
+            let d = r.distance(values);
+            if d == 0.0 {
+                return r.performance();
+            }
+            if d < best_dist {
+                best_dist = d;
+                best_perf = r.performance();
+            }
+        }
+        best_perf
+    }
+
+    /// The rule that fired for this input, if any (exact match only).
+    pub fn matching_rule(&self, values: &[i64]) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.satisfied(values))
+    }
+}
+
+/// A rule set generated from a grid partition of a latent response surface.
+///
+/// Per input dimension, `edges[d]` holds sorted cell boundaries
+/// `b0 < b1 < … < bk`; cell `i` covers `[b_i, b_{i+1})`. The Cartesian
+/// product of the per-dimension cells partitions the whole input space, so
+/// *exactly one* (virtual) rule fires for any in-range input —
+/// conflict-freedom and full coverage hold by construction instead of by
+/// O(n²) checking. Out-of-range inputs clamp to the nearest cell, which is
+/// precisely the nearest-rule fallback for grid rules.
+///
+/// The performance of a cell's rule is the latent surface sampled at the
+/// cell's center, making the synthetic system piecewise-constant — the same
+/// shape real DataGen output has.
+pub struct GridRuleSet {
+    edges: Vec<Vec<i64>>,
+    latent: Latent,
+}
+
+impl GridRuleSet {
+    /// Build from per-dimension cell edges and a latent surface.
+    ///
+    /// # Panics
+    /// Panics if any dimension has fewer than 2 edges or unsorted edges.
+    pub fn new(edges: Vec<Vec<i64>>, latent: Latent) -> Self {
+        for (d, e) in edges.iter().enumerate() {
+            assert!(e.len() >= 2, "GridRuleSet: dimension {d} needs >= 2 edges");
+            assert!(e.windows(2).all(|w| w[0] < w[1]), "GridRuleSet: dimension {d} edges not sorted");
+        }
+        GridRuleSet { edges, latent }
+    }
+
+    /// Convenience: unit cells covering `lo..=hi` in every dimension (each
+    /// integer value is its own cell, so the grid reproduces the latent
+    /// surface exactly on integer points).
+    pub fn unit_cells(dims: usize, lo: i64, hi: i64, latent: Latent) -> Self {
+        let edges: Vec<Vec<i64>> = (0..dims).map(|_| (lo..=hi + 1).collect()).collect();
+        Self::new(edges, latent)
+    }
+
+    /// Number of input dimensions.
+    pub fn dims(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of (virtual) rules.
+    pub fn rule_count(&self) -> u128 {
+        self.edges.iter().map(|e| (e.len() - 1) as u128).product()
+    }
+
+    /// Index of the cell containing `v` in dimension `d` (clamped).
+    fn cell_index(&self, d: usize, v: i64) -> usize {
+        let e = &self.edges[d];
+        if v < e[0] {
+            return 0;
+        }
+        let last = e.len() - 2;
+        if v >= *e.last().expect("edges nonempty") {
+            return last;
+        }
+        // Binary search for the cell with e[i] <= v < e[i+1].
+        match e.binary_search(&v) {
+            Ok(i) => i.min(last),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Center of cell `i` in dimension `d`.
+    fn cell_center(&self, d: usize, i: usize) -> f64 {
+        let e = &self.edges[d];
+        // Cells are half-open integer ranges; the center of [a, b) is the
+        // midpoint of its integer extent a ..= b-1.
+        (e[i] as f64 + (e[i + 1] - 1) as f64) / 2.0
+    }
+
+    /// Evaluate an input through the grid rules.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.dims()`.
+    pub fn evaluate(&self, values: &[i64]) -> f64 {
+        assert_eq!(values.len(), self.dims(), "GridRuleSet: dimension mismatch");
+        let center: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| self.cell_center(d, self.cell_index(d, v)))
+            .collect();
+        (self.latent)(&center)
+    }
+
+    /// Materialize the explicit [`Rule`] that fires for this input — the
+    /// bridge between the virtual grid and the paper's rule notation.
+    pub fn rule_for(&self, values: &[i64]) -> Rule {
+        assert_eq!(values.len(), self.dims(), "GridRuleSet: dimension mismatch");
+        let mut conds = Vec::with_capacity(self.dims());
+        let mut center = Vec::with_capacity(self.dims());
+        for (d, &v) in values.iter().enumerate() {
+            let i = self.cell_index(d, v);
+            let e = &self.edges[d];
+            conds.push((d, Condition::Range { lo: e[i], hi: e[i + 1] }));
+            center.push(self.cell_center(d, i));
+        }
+        Rule::new(conds, (self.latent)(&center))
+    }
+}
+
+impl fmt::Debug for GridRuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GridRuleSet({} dims, {} rules)", self.dims(), self.rule_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(var: usize, cond: Condition, p: f64) -> Rule {
+        Rule::new(vec![(var, cond)], p)
+    }
+
+    #[test]
+    fn ruleset_rejects_conflicts_and_empty() {
+        let a = rule(0, Condition::Range { lo: 0, hi: 5 }, 1.0);
+        let b = rule(0, Condition::Range { lo: 3, hi: 8 }, 2.0);
+        assert_eq!(RuleSet::new(vec![a.clone(), b]), Err(RuleSetError::Conflict(0, 1)));
+        assert_eq!(RuleSet::new(vec![]), Err(RuleSetError::Empty));
+        assert!(RuleSet::new(vec![a]).is_ok());
+    }
+
+    #[test]
+    fn ruleset_exact_match_wins() {
+        let rs = RuleSet::new(vec![
+            rule(0, Condition::Range { lo: 0, hi: 5 }, 10.0),
+            rule(0, Condition::Range { lo: 5, hi: 10 }, 20.0),
+        ])
+        .unwrap();
+        assert_eq!(rs.evaluate(&[2]), 10.0);
+        assert_eq!(rs.evaluate(&[5]), 20.0);
+        assert!(rs.matching_rule(&[2]).is_some());
+    }
+
+    #[test]
+    fn ruleset_nearest_fallback() {
+        let rs = RuleSet::new(vec![
+            rule(0, Condition::Range { lo: 0, hi: 3 }, 10.0),
+            rule(0, Condition::Range { lo: 7, hi: 9 }, 20.0),
+        ])
+        .unwrap();
+        // 4 is distance 2 from [0,3) (nearest sat 2), distance 3 from [7,9).
+        assert_eq!(rs.evaluate(&[4]), 10.0);
+        assert_eq!(rs.evaluate(&[6]), 20.0);
+        assert!(rs.matching_rule(&[4]).is_none());
+    }
+
+    #[test]
+    fn grid_covers_everything_exactly_once() {
+        let g = GridRuleSet::new(
+            vec![vec![0, 5, 10], vec![0, 2, 4]],
+            Box::new(|c| c[0] * 100.0 + c[1]),
+        );
+        assert_eq!(g.dims(), 2);
+        assert_eq!(g.rule_count(), 4);
+        // Every in-range point lands in exactly one cell; materialized
+        // rules for two points in the same cell are identical.
+        let r1 = g.rule_for(&[1, 0]);
+        let r2 = g.rule_for(&[4, 1]);
+        assert_eq!(r1, r2);
+        let r3 = g.rule_for(&[5, 0]);
+        assert_ne!(r1, r3);
+        // And the materialized rule actually fires on its inputs.
+        assert!(r1.satisfied(&[1, 0]));
+        assert!(r3.satisfied(&[7, 1]));
+    }
+
+    #[test]
+    fn grid_materialized_rules_are_conflict_free() {
+        let g = GridRuleSet::new(
+            vec![vec![0, 5, 10], vec![0, 2, 4]],
+            Box::new(|c| c[0] + c[1]),
+        );
+        // Materialize all four cells' rules and check pairwise.
+        let pts = [[0i64, 0i64], [0, 2], [5, 0], [5, 2]];
+        let rules: Vec<Rule> = pts.iter().map(|p| g.rule_for(p)).collect();
+        assert!(RuleSet::new(rules).is_ok());
+    }
+
+    #[test]
+    fn grid_out_of_range_clamps_to_nearest_cell() {
+        let g = GridRuleSet::new(vec![vec![0, 5, 10]], Box::new(|c| c[0]));
+        assert_eq!(g.evaluate(&[-100]), g.evaluate(&[0]));
+        assert_eq!(g.evaluate(&[100]), g.evaluate(&[9]));
+    }
+
+    #[test]
+    fn unit_cells_reproduce_latent_on_integers() {
+        let g = GridRuleSet::unit_cells(2, 1, 10, Box::new(|c| c[0] * 10.0 + c[1]));
+        assert_eq!(g.rule_count(), 100);
+        for a in 1..=10i64 {
+            for b in 1..=10i64 {
+                assert_eq!(g.evaluate(&[a, b]), (a * 10 + b) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_piecewise_constant_within_cell() {
+        let g = GridRuleSet::new(vec![vec![0, 4, 8]], Box::new(|c| c[0] * c[0]));
+        assert_eq!(g.evaluate(&[0]), g.evaluate(&[3]));
+        assert_ne!(g.evaluate(&[3]), g.evaluate(&[4]));
+    }
+}

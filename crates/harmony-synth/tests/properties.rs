@@ -1,0 +1,101 @@
+//! Property-based tests for the synthetic data engine.
+
+use harmony_synth::scenario::{
+    section5_system, weblike_system, SECTION5_IRRELEVANT, SECTION5_RANGE,
+};
+use harmony_synth::{Condition, GridRuleSet, Rule, RuleSet};
+use proptest::prelude::*;
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (-20i64..20).prop_map(Condition::Eq),
+        (-20i64..20, 1i64..15).prop_map(|(lo, span)| Condition::Range { lo, hi: lo + span }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn condition_distance_zero_iff_matches(c in arb_condition(), v in -40i64..40) {
+        prop_assert_eq!(c.matches(v), c.distance(v) == 0);
+    }
+
+    #[test]
+    fn condition_overlap_is_symmetric(a in arb_condition(), b in arb_condition()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn overlapping_conditions_share_a_witness(a in arb_condition(), b in arb_condition()) {
+        // If overlaps() is true there must exist a value satisfying both;
+        // if false there must be none (checked over the finite support).
+        let witness = (-40i64..40).any(|v| a.matches(v) && b.matches(v));
+        prop_assert_eq!(a.overlaps(&b), witness, "a={:?} b={:?}", a, b);
+    }
+
+    #[test]
+    fn rule_distance_is_zero_iff_satisfied(
+        c1 in arb_condition(),
+        c2 in arb_condition(),
+        v1 in -40i64..40,
+        v2 in -40i64..40,
+    ) {
+        let rule = Rule::new(vec![(0, c1), (1, c2)], 1.0);
+        prop_assert_eq!(rule.satisfied(&[v1, v2]), rule.distance(&[v1, v2]) == 0.0);
+    }
+
+    #[test]
+    fn grid_rule_sets_fire_exactly_one_rule(
+        edges0 in proptest::collection::btree_set(0i64..30, 2..6),
+        edges1 in proptest::collection::btree_set(0i64..30, 2..6),
+        v0 in 0i64..29,
+        v1 in 0i64..29,
+    ) {
+        let e0: Vec<i64> = edges0.into_iter().collect();
+        let e1: Vec<i64> = edges1.into_iter().collect();
+        let g = GridRuleSet::new(vec![e0.clone(), e1.clone()], Box::new(|c| c[0] + 10.0 * c[1]));
+        // Materialized rule fires on its own input when the input is
+        // inside the covered region.
+        let inside = v0 >= e0[0] && v0 < *e0.last().unwrap() && v1 >= e1[0] && v1 < *e1.last().unwrap();
+        let rule = g.rule_for(&[v0, v1]);
+        if inside {
+            prop_assert!(rule.satisfied(&[v0, v1]), "rule {rule} vs ({v0}, {v1})");
+        }
+        // And the evaluation equals that rule's performance either way.
+        prop_assert_eq!(g.evaluate(&[v0, v1]), rule.performance());
+    }
+
+    #[test]
+    fn explicit_rulesets_from_disjoint_ranges_never_conflict(
+        cuts in proptest::collection::btree_set(-20i64..20, 3..8),
+    ) {
+        let cuts: Vec<i64> = cuts.into_iter().collect();
+        let rules: Vec<Rule> = cuts
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Rule::new(vec![(0, Condition::Range { lo: w[0], hi: w[1] })], i as f64))
+            .collect();
+        prop_assert!(RuleSet::new(rules).is_ok());
+    }
+
+    #[test]
+    fn section5_irrelevant_params_never_matter(
+        seed_vals in proptest::collection::vec(SECTION5_RANGE.0..=SECTION5_RANGE.1, 15),
+        h in SECTION5_RANGE.0..=SECTION5_RANGE.1,
+        m in SECTION5_RANGE.0..=SECTION5_RANGE.1,
+    ) {
+        let sys = section5_system([0.3, 0.4, 0.3], 0.0, 0);
+        let base = harmony_space::Configuration::new(seed_vals);
+        let moved = base
+            .with_value(SECTION5_IRRELEVANT[0], h)
+            .with_value(SECTION5_IRRELEVANT[1], m);
+        prop_assert_eq!(sys.evaluate_clean(&base), sys.evaluate_clean(&moved));
+    }
+
+    #[test]
+    fn weblike_output_is_finite_everywhere(fracs in proptest::collection::vec(0.0f64..1.0, 8)) {
+        let sys = weblike_system(&[0.3, 0.2, 0.1, 0.2, 0.1, 0.1], 0.0, 0);
+        let cfg = sys.space().from_fractions(&fracs);
+        let p = sys.evaluate_clean(&cfg);
+        prop_assert!(p.is_finite() && p >= 0.0, "perf {p} at {cfg}");
+    }
+}

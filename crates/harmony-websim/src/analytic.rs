@@ -1,0 +1,276 @@
+//! Closed-network Mean Value Analysis (MVA) fidelity.
+//!
+//! The cluster is a single-class closed queueing network: `N` emulated
+//! browsers with think time `Z` cycling through proxy → app → db stations.
+//! Multi-server stations are handled with Seidmann's approximation (an
+//! `m`-server station with demand `D` becomes a queueing station with
+//! demand `D/m` plus a pure delay of `D·(m−1)/m`), after which exact
+//! single-class MVA applies:
+//!
+//! ```text
+//! R_k(n) = D_k · (1 + Q_k(n−1))        (queueing stations)
+//! X(n)   = n / (Z + Δ + Σ_k R_k(n))
+//! Q_k(n) = X(n) · R_k(n)
+//! ```
+//!
+//! The result is the exact mean throughput of the separable approximation
+//! of the network — deterministic, allocation-free in the inner loop, and
+//! a few microseconds per evaluation.
+
+use crate::demands::{hw, DemandModel, MixDemands};
+use crate::metrics::WipsReport;
+use crate::workload::WorkloadMix;
+
+/// Number of queueing stations (proxy, app, db).
+const STATIONS: usize = 3;
+
+/// Parallel servers at the proxy (one Squid process per proxy node, two
+/// nodes in the Appendix-A cluster).
+const PROXY_SERVERS: usize = 2;
+
+/// The three queueing stations of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Station {
+    /// Squid-like proxy tier.
+    Proxy,
+    /// Tomcat-like HTTP/application tier.
+    App,
+    /// MySQL-like database tier.
+    Db,
+}
+
+impl Station {
+    /// All stations in pipeline order.
+    pub const ALL: [Station; 3] = [Station::Proxy, Station::App, Station::Db];
+}
+
+/// Detailed solution: throughput plus per-station occupancy — what a
+/// capacity-planning user reads to find the bottleneck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedReport {
+    /// The throughput report.
+    pub wips: WipsReport,
+    /// Per-station utilization `X·D/m` in `[0, 1]`, indexed by
+    /// [`Station::ALL`] order.
+    pub utilization: [f64; 3],
+    /// Mean queue length (jobs at the station, including in service).
+    pub queue_length: [f64; 3],
+    /// Mean residence time per visit (seconds).
+    pub residence: [f64; 3],
+}
+
+impl DetailedReport {
+    /// The station with the highest utilization.
+    pub fn bottleneck(&self) -> Station {
+        let mut best = 0;
+        for k in 1..3 {
+            if self.utilization[k] > self.utilization[best] {
+                best = k;
+            }
+        }
+        Station::ALL[best]
+    }
+}
+
+/// Solve the network and report throughput.
+///
+/// `population` and `think_time` default to the Appendix-A-style cluster
+/// via [`evaluate`].
+pub fn evaluate_with(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    population: usize,
+    think_time: f64,
+) -> WipsReport {
+    evaluate_detailed_with(model, mix, population, think_time).wips
+}
+
+/// Solve the network and additionally report per-station utilization,
+/// queue lengths and residence times.
+pub fn evaluate_detailed_with(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    population: usize,
+    think_time: f64,
+) -> DetailedReport {
+    let d: MixDemands = model.mix_demands(mix);
+
+    // Seidmann split per station.
+    let servers = [PROXY_SERVERS, d.app_servers, d.db_servers];
+    let raw = [d.proxy, d.app, d.db];
+    let mut queue_demand = [0.0f64; STATIONS];
+    let mut fixed_delay = d.delay;
+    for k in 0..STATIONS {
+        let m = servers[k].max(1) as f64;
+        queue_demand[k] = raw[k] / m;
+        fixed_delay += raw[k] * (m - 1.0) / m;
+    }
+
+    // Exact MVA recursion.
+    let mut q = [0.0f64; STATIONS];
+    let mut r = [0.0f64; STATIONS];
+    let mut x = 0.0;
+    let mut r_total = 0.0;
+    for n in 1..=population {
+        r_total = 0.0;
+        for k in 0..STATIONS {
+            r[k] = queue_demand[k] * (1.0 + q[k]);
+            r_total += r[k];
+        }
+        x = n as f64 / (think_time + fixed_delay + r_total);
+        for k in 0..STATIONS {
+            q[k] = x * r[k];
+        }
+    }
+
+    let browse = 1.0 - mix.order_fraction();
+    let wips = WipsReport {
+        wips: x,
+        wipsb: x * browse,
+        wipso: x * mix.order_fraction(),
+        mean_response: fixed_delay + r_total,
+        hit_ratio: d.hit_probability,
+    };
+    // Utilization of the real m-server station is X·D/m (the Seidmann
+    // queueing demand already equals D/m).
+    let mut utilization = [0.0f64; STATIONS];
+    let mut residence = [0.0f64; STATIONS];
+    for k in 0..STATIONS {
+        utilization[k] = (x * queue_demand[k]).min(1.0);
+        // Residence per visit includes the delay-station share that
+        // Seidmann split off.
+        let m = servers[k].max(1) as f64;
+        residence[k] = r[k] + raw[k] * (m - 1.0) / m;
+    }
+    DetailedReport { wips, utilization, queue_length: q, residence }
+}
+
+/// Solve with the default cluster population and think time.
+pub fn evaluate(model: &DemandModel, mix: &WorkloadMix) -> WipsReport {
+    evaluate_with(model, mix, hw::EMULATED_BROWSERS, hw::THINK_TIME)
+}
+
+/// Detailed solve with the default cluster population and think time.
+pub fn evaluate_detailed(model: &DemandModel, mix: &WorkloadMix) -> DetailedReport {
+    evaluate_detailed_with(model, mix, hw::EMULATED_BROWSERS, hw::THINK_TIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{webservice_space, WebServiceConfig};
+
+    fn model_with(f: impl Fn(&mut WebServiceConfig)) -> DemandModel {
+        let s = webservice_space();
+        let mut c = WebServiceConfig::decode(&s, &s.default_configuration());
+        f(&mut c);
+        DemandModel::new(c)
+    }
+
+    #[test]
+    fn default_config_lands_in_papers_wips_range() {
+        let r = evaluate(&model_with(|_| {}), &WorkloadMix::shopping());
+        assert!(
+            (30.0..150.0).contains(&r.wips),
+            "default shopping WIPS {} outside plausible envelope",
+            r.wips
+        );
+        assert!(r.is_consistent(1e-9));
+        assert!(r.hit_ratio > 0.0 && r.hit_ratio < 1.0);
+    }
+
+    #[test]
+    fn throughput_bounded_by_population_over_think_time() {
+        let r = evaluate(&model_with(|_| {}), &WorkloadMix::shopping());
+        let cap = hw::EMULATED_BROWSERS as f64 / hw::THINK_TIME;
+        assert!(r.wips < cap, "wips {} above closed-loop cap {cap}", r.wips);
+    }
+
+    #[test]
+    fn single_processor_is_a_severe_bottleneck() {
+        let good = evaluate(&model_with(|_| {}), &WorkloadMix::shopping());
+        let bad = evaluate(&model_with(|c| c.ajp_max_processors = 1), &WorkloadMix::shopping());
+        assert!(
+            bad.wips < good.wips * 0.8,
+            "p=1 should hurt: {} vs {}",
+            bad.wips,
+            good.wips
+        );
+    }
+
+    #[test]
+    fn extreme_configs_are_worse_than_defaults() {
+        // §4.1: "the system usually performs poorly with the parameters at
+        // the extreme values".
+        let s = webservice_space();
+        let good = evaluate(&model_with(|_| {}), &WorkloadMix::shopping());
+        let all_min: Vec<i64> = s.params().iter().map(|p| p.static_min()).collect();
+        let all_max: Vec<i64> = s.params().iter().map(|p| p.static_max()).collect();
+        for vals in [all_min, all_max] {
+            let cfg = harmony_space::Configuration::new(vals);
+            let m = DemandModel::new(WebServiceConfig::decode(&s, &cfg));
+            let r = evaluate(&m, &WorkloadMix::shopping());
+            assert!(r.wips < good.wips, "extreme {cfg} gave {} >= {}", r.wips, good.wips);
+        }
+    }
+
+    #[test]
+    fn monotone_in_population_until_saturation() {
+        let m = model_with(|_| {});
+        let mix = WorkloadMix::shopping();
+        let x50 = evaluate_with(&m, &mix, 50, hw::THINK_TIME).wips;
+        let x100 = evaluate_with(&m, &mix, 100, hw::THINK_TIME).wips;
+        let x200 = evaluate_with(&m, &mix, 200, hw::THINK_TIME).wips;
+        assert!(x50 < x100 + 1e-9);
+        assert!(x100 < x200 + 1e-9);
+    }
+
+    #[test]
+    fn cold_cache_hurts_shopping_more_than_ordering() {
+        // Shopping is cache-friendly; losing the cache should cost it
+        // relatively more WIPS (Figure 8's workload-dependent importance).
+        let rel_loss = |mix: &WorkloadMix| {
+            let warm = evaluate(&model_with(|c| c.proxy_cache_mb = 128), mix).wips;
+            let cold = evaluate(&model_with(|c| c.proxy_cache_mb = 1), mix).wips;
+            (warm - cold) / warm
+        };
+        assert!(rel_loss(&WorkloadMix::shopping()) > rel_loss(&WorkloadMix::ordering()));
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_consistent() {
+        let r = evaluate_detailed(&model_with(|_| {}), &WorkloadMix::shopping());
+        for (k, &u) in r.utilization.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&u), "station {k} utilization {u}");
+        }
+        for q in r.queue_length {
+            assert!(q >= 0.0 && q <= hw::EMULATED_BROWSERS as f64);
+        }
+        for t in r.residence {
+            assert!(t >= 0.0);
+        }
+    }
+
+    #[test]
+    fn starving_the_app_tier_makes_it_the_bottleneck() {
+        let r = evaluate_detailed(&model_with(|c| c.ajp_max_processors = 1), &WorkloadMix::shopping());
+        assert_eq!(r.bottleneck(), Station::App);
+        assert!(r.utilization[1] > 0.9, "a 1-processor app tier should saturate: {:?}", r.utilization);
+    }
+
+    #[test]
+    fn starving_the_db_pool_makes_it_the_bottleneck() {
+        let r = evaluate_detailed(&model_with(|c| c.mysql_max_connections = 1), &WorkloadMix::ordering());
+        assert_eq!(r.bottleneck(), Station::Db);
+    }
+
+    #[test]
+    fn net_buffer_hurts_ordering_more_than_browsing() {
+        let rel_loss = |mix: &WorkloadMix| {
+            let good = evaluate(&model_with(|c| c.mysql_net_buffer_kb = 24), mix).wips;
+            let bad = evaluate(&model_with(|c| c.mysql_net_buffer_kb = 1), mix).wips;
+            (good - bad) / good
+        };
+        assert!(rel_loss(&WorkloadMix::ordering()) > rel_loss(&WorkloadMix::browsing()));
+    }
+}

@@ -1,0 +1,356 @@
+//! The shared service-time model.
+//!
+//! Both simulator fidelities (DES and MVA) consume the per-interaction
+//! station demands computed here, so they agree on *what* each
+//! configuration costs and differ only in *how* contention is resolved.
+//! Every effect is a textbook queueing/systems behaviour, not a curve fit:
+//!
+//! * **Proxy cache** — hit ratio grows with cache memory (diminishing
+//!   returns), is capped by what the object-size filters admit, and tiny
+//!   `min_object` values add per-request metadata overhead.
+//! * **App tier** — more AJP processors add concurrency until the cores
+//!   saturate; far beyond that, context-switch/memory pressure inflates
+//!   service times (thrashing: "allowing too many processes will cause
+//!   thrashing", §4.1). The HTTP buffer trades syscalls-per-reply against
+//!   copy/memory cost (U-shaped).
+//! * **DB tier** — the connection pool caps concurrency; oversizing it
+//!   adds lock contention. The network buffer chunks result-set transfers
+//!   (matters for DB-heavy ordering interactions, Figure 8). The delayed
+//!   queue batches writes: deeper queues amortize write cost but add
+//!   commit latency.
+//! * **Accept queues** — undersized backlogs reject bursts, costing retry
+//!   latency; oversized ones only waste a little memory (these are the
+//!   low-importance parameters in Figure 8).
+
+use crate::params::WebServiceConfig;
+use crate::request::{Interaction, InteractionProfile};
+use crate::workload::WorkloadMix;
+
+/// Hardware envelope of the simulated cluster (Appendix A: dual-CPU nodes).
+pub mod hw {
+    /// Worker cores available to the app tier.
+    pub const APP_CORES: f64 = 4.0;
+    /// Worker cores / IO channels available to the DB tier.
+    pub const DB_CORES: f64 = 4.0;
+    /// Emulated browsers (closed-loop population).
+    pub const EMULATED_BROWSERS: usize = 120;
+    /// Mean think time between interactions (seconds).
+    pub const THINK_TIME: f64 = 1.4;
+    /// Processor count beyond which the app tier starts thrashing.
+    pub const APP_THRASH_KNEE: f64 = 24.0;
+    /// Connection count beyond which the DB starts thrashing.
+    pub const DB_THRASH_KNEE: f64 = 40.0;
+    /// Proxy RAM headroom (MB) beyond which cache memory causes paging.
+    pub const PROXY_MEM_KNEE: f64 = 192.0;
+}
+
+/// Demands of a single interaction at each station (seconds), plus pure
+/// latency that occupies no server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractionDemand {
+    /// Probability the proxy serves the interaction from cache.
+    pub hit_probability: f64,
+    /// Proxy service time on a cache hit (serving the bytes).
+    pub proxy_hit: f64,
+    /// Proxy service time on a miss (forwarding upstream).
+    pub proxy_miss: f64,
+    /// App-tier service time on a miss (already scaled by miss probability
+    /// in [`MixDemands`], not here).
+    pub app_on_miss: f64,
+    /// DB-tier service time on a miss.
+    pub db_on_miss: f64,
+    /// Pure delay (retry backoff, delayed-write commit wait).
+    pub delay: f64,
+}
+
+/// Mix-averaged station demands — the single-class quantities MVA needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixDemands {
+    /// Mean proxy demand per interaction.
+    pub proxy: f64,
+    /// Mean app demand per interaction (miss-weighted).
+    pub app: f64,
+    /// Mean DB demand per interaction (miss-weighted).
+    pub db: f64,
+    /// Mean pure delay per interaction.
+    pub delay: f64,
+    /// Effective parallel servers at the app tier.
+    pub app_servers: usize,
+    /// Effective parallel servers at the DB tier.
+    pub db_servers: usize,
+    /// Mean cache hit probability.
+    pub hit_probability: f64,
+}
+
+/// The tunable-parameter-dependent demand model.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandModel {
+    cfg: WebServiceConfig,
+}
+
+impl DemandModel {
+    /// Build the model for one configuration.
+    pub fn new(cfg: WebServiceConfig) -> Self {
+        DemandModel { cfg }
+    }
+
+    /// The decoded configuration.
+    pub fn config(&self) -> &WebServiceConfig {
+        &self.cfg
+    }
+
+    /// Cache effectiveness in `[0, 1]`: the fraction of *cacheable* bytes
+    /// the proxy actually serves.
+    pub fn cache_effectiveness(&self) -> f64 {
+        let c = &self.cfg;
+        // Diminishing returns in cache memory: the TPC-W working set's hot
+        // static content is a few tens of MB.
+        let mem_fill = 1.0 - (-(c.proxy_cache_mb as f64) / 48.0).exp();
+        // Objects larger than max_object_in_memory bypass the memory cache.
+        let size_coverage = 1.0 - (-(c.proxy_max_object_kb as f64) / 24.0).exp();
+        // Objects smaller than min_object are never cached; static content
+        // has an exponential size distribution with ~40 KB mean.
+        let min_loss = (-(c.proxy_min_object_kb as f64) / 40.0).exp();
+        mem_fill * size_coverage * min_loss
+    }
+
+    /// Proxy per-request service time multiplier from metadata overhead
+    /// (caching hordes of tiny objects) and paging (oversized cache_mem).
+    fn proxy_inflation(&self) -> f64 {
+        let c = &self.cfg;
+        let tiny_object_overhead = 0.35 * (-(c.proxy_min_object_kb as f64) / 2.0).exp();
+        let paging = 0.4 * ((c.proxy_cache_mb as f64 - hw::PROXY_MEM_KNEE).max(0.0) / 64.0);
+        1.0 + tiny_object_overhead + paging
+    }
+
+    /// App service-time inflation from processor thrashing.
+    fn app_inflation(&self) -> f64 {
+        let p = self.cfg.ajp_max_processors as f64;
+        let over = ((p - hw::APP_THRASH_KNEE).max(0.0) / hw::APP_THRASH_KNEE).powi(2);
+        1.0 + 0.45 * over
+    }
+
+    /// DB service-time inflation from connection-pool contention.
+    fn db_inflation(&self) -> f64 {
+        let c = self.cfg.mysql_max_connections as f64;
+        let over = ((c - hw::DB_THRASH_KNEE).max(0.0) / hw::DB_THRASH_KNEE).powi(2);
+        1.0 + 0.55 * over
+    }
+
+    /// HTTP buffer cost for one reply of `reply_kb` kilobytes: syscall
+    /// cost per chunk plus a small linear copy/memory cost.
+    fn http_buffer_cost(&self, reply_kb: f64) -> f64 {
+        let b = self.cfg.http_buffer_kb as f64;
+        let chunks = (reply_kb / b).ceil().max(1.0);
+        0.0009 * chunks + 0.000045 * b
+    }
+
+    /// MySQL network-buffer cost for shipping `result_kb` kilobytes.
+    fn net_buffer_cost(&self, result_kb: f64) -> f64 {
+        let nb = self.cfg.mysql_net_buffer_kb as f64;
+        let chunks = (result_kb / nb).ceil().max(1.0);
+        0.0018 * chunks + 0.00009 * nb
+    }
+
+    /// Accept-queue retry penalty (pure delay), shared shape for the AJP
+    /// and HTTP backlogs: undersized queues reject bursts and the browser
+    /// retries after a short backoff.
+    fn accept_penalty(&self) -> f64 {
+        let need = 16.0;
+        let ajp = ((need - self.cfg.ajp_accept_count as f64).max(0.0) / need).powi(2);
+        let http = ((need - self.cfg.http_accept_count as f64).max(0.0) / need).powi(2);
+        0.030 * ajp + 0.020 * http
+    }
+
+    /// Demands of one interaction.
+    pub fn interaction_demand(&self, i: Interaction) -> InteractionDemand {
+        let p: InteractionProfile = i.profile();
+        let c = &self.cfg;
+
+        let hit_probability = p.static_fraction * self.cache_effectiveness();
+
+        // Proxy: a hit costs a bit more than a pure forward (it serves the
+        // bytes), both inflated by metadata/paging overhead.
+        let proxy_hit = self.proxy_inflation() * (0.0016 + 0.00001 * p.reply_kb);
+        let proxy_miss = self.proxy_inflation() * 0.0008;
+
+        // App tier on a miss: base work, thrash-inflated, plus reply
+        // buffering.
+        let app_on_miss = p.app_time * self.app_inflation() + self.http_buffer_cost(p.reply_kb);
+
+        // DB tier on a miss: base work split into read and (possibly
+        // batched) write portions, plus result-set transfer.
+        let write_fraction = if p.writes { 0.45 } else { 0.0 };
+        let dq = c.mysql_delayed_queue as f64;
+        let batched_write = p.db_time * write_fraction / dq.sqrt().max(1.0);
+        let reads = p.db_time * (1.0 - write_fraction);
+        let db_on_miss =
+            (reads + batched_write) * self.db_inflation() + self.net_buffer_cost(p.db_result_kb);
+
+        // Pure delay: accept-queue retries for everyone; deferred-commit
+        // wait for writers, growing with queue depth.
+        let commit_wait = if p.writes { 0.0035 * dq } else { 0.0 };
+        let delay = self.accept_penalty() + commit_wait;
+
+        InteractionDemand { hit_probability, proxy_hit, proxy_miss, app_on_miss, db_on_miss, delay }
+    }
+
+    /// Mix-averaged demands for a workload.
+    pub fn mix_demands(&self, mix: &WorkloadMix) -> MixDemands {
+        let mut proxy = 0.0;
+        let mut app = 0.0;
+        let mut db = 0.0;
+        let mut delay = 0.0;
+        let mut hit = 0.0;
+        for i in Interaction::ALL {
+            let f = mix.probability(i);
+            if f == 0.0 {
+                continue;
+            }
+            let d = self.interaction_demand(i);
+            let miss = 1.0 - d.hit_probability;
+            proxy += f * (d.hit_probability * d.proxy_hit + miss * d.proxy_miss);
+            app += f * miss * d.app_on_miss;
+            db += f * miss * d.db_on_miss;
+            delay += f * d.delay;
+            hit += f * d.hit_probability;
+        }
+        MixDemands {
+            proxy,
+            app,
+            db,
+            delay,
+            app_servers: self.cfg.ajp_max_processors.max(1) as usize,
+            db_servers: self.cfg.mysql_max_connections.clamp(1, 32) as usize,
+            hit_probability: hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::webservice_space;
+    use crate::params::WebServiceConfig;
+
+    fn default_model() -> DemandModel {
+        let s = webservice_space();
+        DemandModel::new(WebServiceConfig::decode(&s, &s.default_configuration()))
+    }
+
+    fn model_with(f: impl Fn(&mut WebServiceConfig)) -> DemandModel {
+        let s = webservice_space();
+        let mut c = WebServiceConfig::decode(&s, &s.default_configuration());
+        f(&mut c);
+        DemandModel::new(c)
+    }
+
+    #[test]
+    fn demands_are_positive_and_finite() {
+        let m = default_model();
+        for i in Interaction::ALL {
+            let d = m.interaction_demand(i);
+            assert!(d.proxy_hit > 0.0 && d.proxy_hit.is_finite(), "{i:?}");
+            assert!(d.proxy_miss > 0.0 && d.proxy_miss.is_finite(), "{i:?}");
+            assert!(d.app_on_miss > 0.0 && d.app_on_miss.is_finite(), "{i:?}");
+            assert!(d.db_on_miss > 0.0 && d.db_on_miss.is_finite(), "{i:?}");
+            assert!(d.delay >= 0.0 && d.delay.is_finite(), "{i:?}");
+            assert!((0.0..=1.0).contains(&d.hit_probability), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn more_cache_memory_raises_hit_ratio_with_diminishing_returns() {
+        let h = |mb: i64| model_with(|c| c.proxy_cache_mb = mb).cache_effectiveness();
+        assert!(h(8) < h(32));
+        assert!(h(32) < h(128));
+        // Diminishing returns: the second doubling gains less.
+        assert!(h(32) - h(8) > h(128) - h(96));
+    }
+
+    #[test]
+    fn min_object_trades_overhead_against_coverage() {
+        // Tiny min_object: more proxy overhead. Huge min_object: fewer hits.
+        let eff0 = model_with(|c| c.proxy_min_object_kb = 0);
+        let eff32 = model_with(|c| c.proxy_min_object_kb = 32);
+        assert!(eff0.cache_effectiveness() > eff32.cache_effectiveness());
+        assert!(eff0.proxy_inflation() > eff32.proxy_inflation());
+    }
+
+    #[test]
+    fn processor_thrashing_kicks_in_beyond_knee() {
+        let infl = |p: i64| model_with(|c| c.ajp_max_processors = p).app_inflation();
+        assert_eq!(infl(8), 1.0);
+        assert_eq!(infl(24), 1.0);
+        assert!(infl(64) > 1.2);
+    }
+
+    #[test]
+    fn one_processor_limits_concurrency_not_speed() {
+        let m = model_with(|c| c.ajp_max_processors = 1);
+        let d = m.mix_demands(&WorkloadMix::shopping());
+        assert_eq!(d.app_servers, 1);
+        // Service time itself is not inflated at p=1.
+        let base = default_model().mix_demands(&WorkloadMix::shopping());
+        assert!((d.app - base.app).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_buffer_matters_more_for_ordering_mix() {
+        let small = model_with(|c| c.mysql_net_buffer_kb = 1);
+        let big = model_with(|c| c.mysql_net_buffer_kb = 24);
+        let swing = |mix: &WorkloadMix| {
+            small.mix_demands(mix).db - big.mix_demands(mix).db
+        };
+        let ordering_swing = swing(&WorkloadMix::ordering());
+        let browsing_swing = swing(&WorkloadMix::browsing());
+        assert!(
+            ordering_swing > browsing_swing,
+            "ordering {ordering_swing} should exceed browsing {browsing_swing}"
+        );
+    }
+
+    #[test]
+    fn delayed_queue_batches_writes_but_delays_commits() {
+        let shallow = model_with(|c| c.mysql_delayed_queue = 1);
+        let deep = model_with(|c| c.mysql_delayed_queue = 64);
+        let mix = WorkloadMix::ordering();
+        assert!(deep.mix_demands(&mix).db < shallow.mix_demands(&mix).db, "batching should cut db time");
+        assert!(deep.mix_demands(&mix).delay > shallow.mix_demands(&mix).delay, "deep queue should add commit latency");
+    }
+
+    #[test]
+    fn small_accept_queues_add_retry_delay() {
+        let tiny = model_with(|c| {
+            c.ajp_accept_count = 1;
+            c.http_accept_count = 1;
+        });
+        let fine = default_model();
+        let mix = WorkloadMix::shopping();
+        assert!(tiny.mix_demands(&mix).delay > fine.mix_demands(&mix).delay);
+    }
+
+    #[test]
+    fn cache_hits_reduce_backend_demand() {
+        let cold = model_with(|c| c.proxy_cache_mb = 1);
+        let warm = model_with(|c| c.proxy_cache_mb = 128);
+        let mix = WorkloadMix::shopping();
+        assert!(warm.mix_demands(&mix).app < cold.mix_demands(&mix).app);
+        assert!(warm.mix_demands(&mix).db < cold.mix_demands(&mix).db);
+        assert!(warm.mix_demands(&mix).hit_probability > cold.mix_demands(&mix).hit_probability);
+    }
+
+    #[test]
+    fn http_buffer_is_u_shaped() {
+        let cost = |kb: i64| {
+            model_with(|c| c.http_buffer_kb = kb)
+                .mix_demands(&WorkloadMix::shopping())
+                .app
+        };
+        let tiny = cost(1);
+        let mid = cost(16);
+        let huge = cost(128);
+        assert!(mid < tiny, "mid {mid} should beat tiny {tiny}");
+        assert!(mid < huge, "mid {mid} should beat huge {huge}");
+    }
+}

@@ -1,0 +1,508 @@
+//! Discrete-event simulation fidelity.
+//!
+//! A closed-loop simulation of the three-tier pipeline: `N` emulated
+//! browsers think, issue one interaction, and wait for its reply
+//! ("the incoming requests are handled in a pipeline fashion by different
+//! tiers", §6.1). Stations are FCFS multi-server queues; service times are
+//! exponential with the per-interaction means from the shared
+//! [`DemandModel`], so the DES and the MVA
+//! fidelity describe the same system and differ only stochastically.
+
+use crate::demands::{hw, DemandModel};
+use crate::metrics::WipsReport;
+use crate::request::{Interaction, InteractionClass};
+use crate::workload::WorkloadMix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulation horizon parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DesConfig {
+    /// Emulated-browser population.
+    pub population: usize,
+    /// Mean think time (seconds).
+    pub think_time: f64,
+    /// Warm-up period discarded from measurement (seconds).
+    pub warmup: f64,
+    /// Measurement interval (seconds).
+    pub measure: f64,
+}
+
+impl Default for DesConfig {
+    fn default() -> Self {
+        DesConfig {
+            population: hw::EMULATED_BROWSERS,
+            think_time: hw::THINK_TIME,
+            warmup: 10.0,
+            measure: 60.0,
+        }
+    }
+}
+
+const PROXY: usize = 0;
+const APP: usize = 1;
+const DB: usize = 2;
+const STATIONS: usize = 3;
+
+/// Proxy worker processes (must match the MVA fidelity's assumption).
+const PROXY_SERVERS: usize = 2;
+
+#[allow(clippy::enum_variant_names)] // the Done suffix mirrors the event semantics
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// An emulated browser finished thinking and issues a request.
+    ThinkDone { eb: u32 },
+    /// A station finished serving a job.
+    ServiceDone { station: usize, job: u32 },
+    /// A job's trailing pure delay elapsed; the interaction completes.
+    DelayDone { job: u32 },
+}
+
+/// Time-ordered event. Ties break on a monotone sequence number so the
+/// simulation is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    eb: u32,
+    interaction: Interaction,
+    hit: bool,
+    issued_at: f64,
+}
+
+struct Station {
+    servers: usize,
+    busy: usize,
+    queue: VecDeque<u32>,
+}
+
+impl Station {
+    fn new(servers: usize) -> Self {
+        Station { servers: servers.max(1), busy: 0, queue: VecDeque::new() }
+    }
+}
+
+/// End-to-end response-time statistics from one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Median response time (seconds).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+    /// Number of measured completions.
+    pub samples: usize,
+}
+
+/// Run the simulation and report throughput plus latency percentiles.
+pub fn evaluate_detailed_with(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    des: &DesConfig,
+    seed: u64,
+) -> (WipsReport, LatencyStats) {
+    let mut latencies = Vec::new();
+    let report = simulate(model, mix, des, seed, Some(&mut latencies));
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pick = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    let stats = LatencyStats {
+        p50: pick(0.50),
+        p95: pick(0.95),
+        p99: pick(0.99),
+        max: latencies.last().copied().unwrap_or(0.0),
+        samples: latencies.len(),
+    };
+    (report, stats)
+}
+
+/// Run the simulation and report measured throughput.
+pub fn evaluate_with(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    des: &DesConfig,
+    seed: u64,
+) -> WipsReport {
+    simulate(model, mix, des, seed, None)
+}
+
+/// Run the simulation with *sessions*: each emulated browser walks the
+/// TPC-W navigation graph via the transition matrix instead of drawing
+/// interactions independently. The session model's stationary mix is used
+/// for reporting-side bookkeeping; per-request demands are always computed
+/// from the actual interaction.
+pub fn evaluate_sessions_with(
+    model: &DemandModel,
+    transitions: &crate::tpcw::TransitionMatrix,
+    des: &DesConfig,
+    seed: u64,
+) -> WipsReport {
+    let mix = WorkloadMix::from_transitions("sessions", transitions);
+    let mut states = vec![crate::request::Interaction::Home; des.population];
+    simulate_inner(model, &mix, des, seed, None, Some((transitions, &mut states)))
+}
+
+fn simulate(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    des: &DesConfig,
+    seed: u64,
+    latencies: Option<&mut Vec<f64>>,
+) -> WipsReport {
+    simulate_inner(model, mix, des, seed, latencies, None)
+}
+
+fn simulate_inner(
+    model: &DemandModel,
+    mix: &WorkloadMix,
+    des: &DesConfig,
+    seed: u64,
+    mut latencies: Option<&mut Vec<f64>>,
+    mut sessions: Option<(&crate::tpcw::TransitionMatrix, &mut Vec<Interaction>)>,
+) -> WipsReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let d = model.mix_demands(mix);
+    let mut stations = [
+        Station::new(PROXY_SERVERS),
+        Station::new(d.app_servers),
+        Station::new(d.db_servers),
+    ];
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind: EventKind| {
+        *seq += 1;
+        heap.push(Reverse(Event { time, seq: *seq, kind }));
+    };
+
+    let mut jobs: Vec<Job> = Vec::with_capacity(des.population * 4);
+    let mut free_jobs: Vec<u32> = Vec::new();
+
+    // Stagger initial think completions across one think time.
+    for eb in 0..des.population as u32 {
+        let t = rng.gen_range(0.0..des.think_time.max(1e-6));
+        push(&mut heap, &mut seq, t, EventKind::ThinkDone { eb });
+    }
+
+    let horizon = des.warmup + des.measure;
+    let mut completed = 0u64;
+    let mut completed_browse = 0u64;
+    let mut response_sum = 0.0f64;
+    let mut hits = 0u64;
+    let mut measured_jobs = 0u64;
+
+    let exp_sample = |rng: &mut ChaCha8Rng, mean: f64| -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    };
+
+    // Start service at a station or enqueue.
+    #[allow(clippy::too_many_arguments)] // free function threading explicit sim state
+    fn offer(
+        stations: &mut [Station; STATIONS],
+        station: usize,
+        job: u32,
+        now: f64,
+        mean: f64,
+        rng: &mut ChaCha8Rng,
+        heap: &mut BinaryHeap<Reverse<Event>>,
+        seq: &mut u64,
+    ) {
+        let st = &mut stations[station];
+        if st.busy < st.servers {
+            st.busy += 1;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let svc = if mean > 0.0 { -mean * u.ln() } else { 0.0 };
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time: now + svc,
+                seq: *seq,
+                kind: EventKind::ServiceDone { station, job },
+            }));
+        } else {
+            st.queue.push_back(job);
+        }
+    }
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        if ev.time > horizon {
+            break;
+        }
+        let now = ev.time;
+        match ev.kind {
+            EventKind::ThinkDone { eb } => {
+                let interaction = match sessions.as_mut() {
+                    Some((t, states)) => {
+                        let next = t.sample_next(states[eb as usize], &mut rng);
+                        states[eb as usize] = next;
+                        next
+                    }
+                    None => mix.sample(&mut rng),
+                };
+                let dem = model.interaction_demand(interaction);
+                let hit = rng.gen_bool(dem.hit_probability.clamp(0.0, 1.0));
+                let job = Job { eb, interaction, hit, issued_at: now };
+                let id = match free_jobs.pop() {
+                    Some(id) => {
+                        jobs[id as usize] = job;
+                        id
+                    }
+                    None => {
+                        jobs.push(job);
+                        (jobs.len() - 1) as u32
+                    }
+                };
+                let mean = if hit { dem.proxy_hit } else { dem.proxy_miss };
+                offer(&mut stations, PROXY, id, now, mean, &mut rng, &mut heap, &mut seq);
+            }
+            EventKind::ServiceDone { station, job } => {
+                // Route the finished job onward.
+                let j = jobs[job as usize];
+                let dem = model.interaction_demand(j.interaction);
+                match station {
+                    PROXY if j.hit => {
+                        push(&mut heap, &mut seq, now + dem.delay, EventKind::DelayDone { job });
+                    }
+                    PROXY => {
+                        offer(&mut stations, APP, job, now, dem.app_on_miss, &mut rng, &mut heap, &mut seq);
+                    }
+                    APP => {
+                        offer(&mut stations, DB, job, now, dem.db_on_miss, &mut rng, &mut heap, &mut seq);
+                    }
+                    DB => {
+                        push(&mut heap, &mut seq, now + dem.delay, EventKind::DelayDone { job });
+                    }
+                    _ => unreachable!("unknown station {station}"),
+                }
+                // Free the server and pull the next queued job.
+                let st = &mut stations[station];
+                st.busy -= 1;
+                if let Some(next) = st.queue.pop_front() {
+                    let nj = jobs[next as usize];
+                    let nd = model.interaction_demand(nj.interaction);
+                    let mean = match station {
+                        PROXY => {
+                            if nj.hit {
+                                nd.proxy_hit
+                            } else {
+                                nd.proxy_miss
+                            }
+                        }
+                        APP => nd.app_on_miss,
+                        DB => nd.db_on_miss,
+                        _ => unreachable!(),
+                    };
+                    st.busy += 1;
+                    let svc = exp_sample(&mut rng, mean);
+                    push(&mut heap, &mut seq, now + svc, EventKind::ServiceDone { station, job: next });
+                }
+            }
+            EventKind::DelayDone { job } => {
+                let j = jobs[job as usize];
+                if now >= des.warmup {
+                    completed += 1;
+                    measured_jobs += 1;
+                    if j.interaction.class() == InteractionClass::Browse {
+                        completed_browse += 1;
+                    }
+                    if j.hit {
+                        hits += 1;
+                    }
+                    response_sum += now - j.issued_at;
+                    if let Some(lat) = latencies.as_deref_mut() {
+                        lat.push(now - j.issued_at);
+                    }
+                }
+                free_jobs.push(job);
+                let think = exp_sample(&mut rng, des.think_time);
+                push(&mut heap, &mut seq, now + think, EventKind::ThinkDone { eb: j.eb });
+            }
+        }
+    }
+
+    let elapsed = des.measure.max(1e-9);
+    let wips = completed as f64 / elapsed;
+    let wipsb = completed_browse as f64 / elapsed;
+    WipsReport {
+        wips,
+        wipsb,
+        wipso: wips - wipsb,
+        mean_response: if measured_jobs > 0 { response_sum / measured_jobs as f64 } else { 0.0 },
+        hit_ratio: if measured_jobs > 0 { hits as f64 / measured_jobs as f64 } else { 0.0 },
+    }
+}
+
+/// Run with the default horizon.
+pub fn evaluate(model: &DemandModel, mix: &WorkloadMix, seed: u64) -> WipsReport {
+    evaluate_with(model, mix, &DesConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use crate::params::{webservice_space, WebServiceConfig};
+
+    fn model_with(f: impl Fn(&mut WebServiceConfig)) -> DemandModel {
+        let s = webservice_space();
+        let mut c = WebServiceConfig::decode(&s, &s.default_configuration());
+        f(&mut c);
+        DemandModel::new(c)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = model_with(|_| {});
+        let mix = WorkloadMix::shopping();
+        let a = evaluate(&m, &mix, 7);
+        let b = evaluate(&m, &mix, 7);
+        assert_eq!(a, b);
+        let c = evaluate(&m, &mix, 8);
+        assert_ne!(a.wips, c.wips);
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let r = evaluate(&model_with(|_| {}), &WorkloadMix::shopping(), 1);
+        assert!(r.is_consistent(1e-9), "{r:?}");
+        assert!(r.wips > 0.0);
+        assert!(r.mean_response > 0.0);
+    }
+
+    #[test]
+    fn matches_analytic_at_default_config() {
+        let m = model_with(|_| {});
+        let mix = WorkloadMix::shopping();
+        let des = evaluate_with(&m, &mix, &DesConfig { measure: 120.0, ..DesConfig::default() }, 3);
+        let mva = analytic::evaluate(&m, &mix);
+        let rel = (des.wips - mva.wips).abs() / mva.wips;
+        assert!(rel < 0.12, "DES {} vs MVA {} differ by {rel:.2}", des.wips, mva.wips);
+    }
+
+    #[test]
+    fn matches_analytic_at_bottlenecked_config() {
+        let m = model_with(|c| c.ajp_max_processors = 2);
+        let mix = WorkloadMix::shopping();
+        let des = evaluate_with(&m, &mix, &DesConfig { measure: 120.0, ..DesConfig::default() }, 3);
+        let mva = analytic::evaluate(&m, &mix);
+        let rel = (des.wips - mva.wips).abs() / mva.wips;
+        assert!(rel < 0.18, "DES {} vs MVA {} differ by {rel:.2}", des.wips, mva.wips);
+    }
+
+    #[test]
+    fn ordering_mix_has_higher_order_share() {
+        let m = model_with(|_| {});
+        let shopping = evaluate(&m, &WorkloadMix::shopping(), 5);
+        let ordering = evaluate(&m, &WorkloadMix::ordering(), 5);
+        assert!(ordering.wipso / ordering.wips > shopping.wipso / shopping.wips);
+    }
+
+    #[test]
+    fn hit_ratio_tracks_cache_size() {
+        let cold = evaluate(&model_with(|c| c.proxy_cache_mb = 1), &WorkloadMix::shopping(), 2);
+        let warm = evaluate(&model_with(|c| c.proxy_cache_mb = 128), &WorkloadMix::shopping(), 2);
+        assert!(warm.hit_ratio > cold.hit_ratio);
+        assert!(warm.wips > cold.wips);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_positive() {
+        let m = model_with(|_| {});
+        let (report, lat) = evaluate_detailed_with(
+            &m,
+            &WorkloadMix::shopping(),
+            &DesConfig { warmup: 5.0, measure: 30.0, ..DesConfig::default() },
+            4,
+        );
+        assert!(lat.samples > 100, "expected many completions, got {}", lat.samples);
+        assert!(lat.p50 > 0.0);
+        assert!(lat.p50 <= lat.p95);
+        assert!(lat.p95 <= lat.p99);
+        assert!(lat.p99 <= lat.max);
+        // Mean response from the report sits between p50 and max.
+        assert!(report.mean_response >= lat.p50 * 0.3);
+        assert!(report.mean_response <= lat.max);
+    }
+
+    #[test]
+    fn congestion_raises_tail_latency() {
+        let tail = |f: &dyn Fn(&mut WebServiceConfig)| {
+            let m = model_with(f);
+            evaluate_detailed_with(
+                &m,
+                &WorkloadMix::shopping(),
+                &DesConfig { warmup: 5.0, measure: 30.0, ..DesConfig::default() },
+                8,
+            )
+            .1
+            .p95
+        };
+        let healthy = tail(&|_| {});
+        let starved = tail(&|c| c.ajp_max_processors = 1);
+        assert!(
+            starved > healthy * 2.0,
+            "starved tier should blow up the tail: {starved} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn short_horizon_still_terminates() {
+        let cfg = DesConfig { population: 10, think_time: 0.5, warmup: 0.5, measure: 2.0 };
+        let r = evaluate_with(&model_with(|_| {}), &WorkloadMix::browsing(), &cfg, 9);
+        assert!(r.wips >= 0.0);
+    }
+
+    #[test]
+    fn session_simulation_matches_its_stationary_mix() {
+        // DES over the Markov session model should report roughly the same
+        // throughput and order share as the i.i.d. simulation of the
+        // model's stationary mix — the demand pipeline sees the same
+        // long-run frequencies.
+        let m = model_with(|_| {});
+        let transitions = crate::tpcw::shopping_transitions();
+        let cfg = DesConfig { warmup: 5.0, measure: 60.0, ..DesConfig::default() };
+        let sess = evaluate_sessions_with(&m, &transitions, &cfg, 11);
+        let mix = WorkloadMix::from_transitions("stationary", &transitions);
+        let iid = evaluate_with(&m, &mix, &cfg, 11);
+        assert!(sess.is_consistent(1e-9));
+        let rel = (sess.wips - iid.wips).abs() / iid.wips;
+        assert!(rel < 0.1, "session {} vs iid {} differ by {rel:.2}", sess.wips, iid.wips);
+        let sess_order = sess.wipso / sess.wips;
+        let iid_order = iid.wipso / iid.wips;
+        assert!((sess_order - iid_order).abs() < 0.07, "order shares {sess_order} vs {iid_order}");
+    }
+}

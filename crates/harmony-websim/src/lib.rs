@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Cluster-based three-tier web service simulator.
+//!
+//! §6 of the paper tunes "a cluster-based web service system" — Squid
+//! (proxy) → Tomcat (HTTP/application server) → MySQL (database) — serving
+//! the TPC-W e-commerce benchmark, with performance measured in Web
+//! Interactions Per Second (WIPS). This crate is the substitute substrate
+//! for that testbed (see DESIGN.md §2): a closed-loop queueing simulation
+//! of the same pipeline with the same ten tunable parameters Figure 8
+//! sweeps.
+//!
+//! Two fidelities share one service-time model ([`demands`]):
+//!
+//! * [`des`] — a discrete-event simulation of emulated browsers cycling
+//!   through proxy/app/db stations (ground truth);
+//! * [`analytic`] — exact single-class closed-network Mean Value Analysis
+//!   with Seidmann's multi-server approximation (~100× faster; used for
+//!   wide sweeps; rank-agrees with the DES by construction of the shared
+//!   demand model — and by test).
+//!
+//! The simulator is *not* fitted to the paper's numbers. It encodes
+//! textbook queueing behaviour — thrashing beyond capacity, cache
+//! hit-rate curves, connection-pool contention, write batching — and the
+//! paper's qualitative observations emerge from that (interior optima,
+//! poor extremes, workload-dependent parameter importance).
+//!
+//! # Quick example
+//!
+//! ```
+//! use harmony_websim::{WebServiceSystem, WorkloadMix, Fidelity};
+//!
+//! let mut sys = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.0, 42);
+//! let cfg = sys.space().default_configuration();
+//! let wips = sys.evaluate(&cfg);
+//! assert!(wips > 0.0);
+//! ```
+
+pub mod analytic;
+pub mod demands;
+pub mod des;
+pub mod metrics;
+pub mod params;
+pub mod request;
+pub mod system;
+pub mod tpcw;
+pub mod workload;
+
+pub use metrics::WipsReport;
+pub use params::{webservice_space, WebServiceConfig, PARAM_NAMES};
+pub use request::{Interaction, InteractionClass};
+pub use system::{Fidelity, WebServiceSystem};
+pub use tpcw::TransitionMatrix;
+pub use workload::WorkloadMix;

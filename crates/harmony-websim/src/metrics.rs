@@ -1,0 +1,42 @@
+//! WIPS metrics.
+//!
+//! "The two primary performance metrics of the TPC-W benchmark are the
+//! number of Web Interaction Per Second (WIPS) … WIPSb is used to refer to
+//! the average number of Web Interaction Per Second completed during the
+//! Browsing Interval. WIPSo … during the Ordering Interval" (Appendix A).
+
+/// Throughput report from one evaluation of the web service system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WipsReport {
+    /// Web interactions per second, all classes.
+    pub wips: f64,
+    /// Browse-class interactions per second.
+    pub wipsb: f64,
+    /// Order-class interactions per second.
+    pub wipso: f64,
+    /// Mean end-to-end response time (seconds).
+    pub mean_response: f64,
+    /// Mean proxy cache hit ratio.
+    pub hit_ratio: f64,
+}
+
+impl WipsReport {
+    /// Consistency check: class throughputs must (approximately) sum to
+    /// the total.
+    pub fn is_consistent(&self, tol: f64) -> bool {
+        (self.wipsb + self.wipso - self.wips).abs() <= tol * self.wips.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_check() {
+        let r = WipsReport { wips: 80.0, wipsb: 64.0, wipso: 16.0, mean_response: 0.1, hit_ratio: 0.3 };
+        assert!(r.is_consistent(1e-9));
+        let bad = WipsReport { wipso: 20.0, ..r };
+        assert!(!bad.is_consistent(1e-9));
+    }
+}

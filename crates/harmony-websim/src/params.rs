@@ -1,0 +1,166 @@
+//! The ten tunable parameters of the cluster-based web service system.
+//!
+//! These mirror Figure 8's x-axis: two AJP connector knobs and two HTTP
+//! knobs on the Tomcat application server, three MySQL knobs, and three
+//! Squid proxy knobs.
+
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+
+/// Parameter names in declaration order (Figure 8's x-axis).
+pub const PARAM_NAMES: [&str; 10] = [
+    "AJPAcceptCount",
+    "AJPMaxProcessors",
+    "HTTPBufferSize",
+    "HTTPAcceptCount",
+    "MYSQLMaxConnections",
+    "MYSQLDelayedQueue",
+    "MYSQLNetBufferLength",
+    "PROXYMaxObjectInMemory",
+    "PROXYMinObject",
+    "PROXYCacheMem",
+];
+
+/// The full tuning space used in the §6 experiments.
+///
+/// Ranges follow the real knobs' plausible envelopes (connector counts,
+/// KB-sized buffers, MB-sized cache); steps keep the space large enough to
+/// make exhaustive search impractical — which is the paper's premise.
+pub fn webservice_space() -> ParameterSpace {
+    ParameterSpace::new(vec![
+        ParamDef::int("AJPAcceptCount", 1, 64, 16, 1),
+        ParamDef::int("AJPMaxProcessors", 1, 64, 16, 1),
+        ParamDef::int("HTTPBufferSize", 1, 128, 8, 1), // KB
+        ParamDef::int("HTTPAcceptCount", 1, 128, 32, 1),
+        ParamDef::int("MYSQLMaxConnections", 1, 100, 32, 1),
+        ParamDef::int("MYSQLDelayedQueue", 1, 64, 8, 1),
+        ParamDef::int("MYSQLNetBufferLength", 1, 64, 8, 1), // KB
+        ParamDef::int("PROXYMaxObjectInMemory", 1, 256, 64, 1), // KB
+        ParamDef::int("PROXYMinObject", 0, 32, 2, 1), // KB
+        ParamDef::int("PROXYCacheMem", 1, 256, 32, 1), // MB
+    ])
+    .expect("webservice space is statically valid")
+}
+
+/// A coarse version of the same space (large steps) whose ~250k feasible
+/// configurations can be enumerated for the Figure-4 exhaustive-search
+/// distribution.
+pub fn webservice_space_coarse() -> ParameterSpace {
+    ParameterSpace::new(vec![
+        ParamDef::int("AJPAcceptCount", 1, 61, 31, 30),
+        ParamDef::int("AJPMaxProcessors", 1, 61, 16, 15),
+        ParamDef::int("HTTPBufferSize", 8, 88, 8, 40),
+        ParamDef::int("HTTPAcceptCount", 32, 128, 32, 48),
+        ParamDef::int("MYSQLMaxConnections", 1, 91, 31, 30),
+        ParamDef::int("MYSQLDelayedQueue", 8, 56, 8, 24),
+        ParamDef::int("MYSQLNetBufferLength", 4, 64, 4, 20),
+        ParamDef::int("PROXYMaxObjectInMemory", 16, 256, 76, 60),
+        ParamDef::int("PROXYMinObject", 0, 32, 0, 16),
+        ParamDef::int("PROXYCacheMem", 1, 241, 61, 60),
+    ])
+    .expect("coarse webservice space is statically valid")
+}
+
+/// Decoded view of a configuration, in engineering units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebServiceConfig {
+    /// AJP connector backlog (requests).
+    pub ajp_accept_count: i64,
+    /// AJP worker processors (concurrent requests in the app tier).
+    pub ajp_max_processors: i64,
+    /// HTTP reply buffer (KB).
+    pub http_buffer_kb: i64,
+    /// HTTP connector backlog (requests).
+    pub http_accept_count: i64,
+    /// MySQL connection-pool limit.
+    pub mysql_max_connections: i64,
+    /// MySQL delayed-insert queue depth.
+    pub mysql_delayed_queue: i64,
+    /// MySQL network buffer (KB).
+    pub mysql_net_buffer_kb: i64,
+    /// Squid maximum in-memory object size (KB).
+    pub proxy_max_object_kb: i64,
+    /// Squid minimum cached object size (KB).
+    pub proxy_min_object_kb: i64,
+    /// Squid cache memory (MB).
+    pub proxy_cache_mb: i64,
+}
+
+impl WebServiceConfig {
+    /// Decode a configuration against a space by parameter name, so coarse
+    /// and fine spaces (or reordered spaces) both decode correctly.
+    ///
+    /// # Panics
+    /// Panics if the space lacks one of the ten parameters or the
+    /// configuration's dimensionality differs from the space's.
+    pub fn decode(space: &ParameterSpace, cfg: &Configuration) -> Self {
+        assert_eq!(space.len(), cfg.len(), "decode: dimension mismatch");
+        let get = |name: &str| -> i64 {
+            let i = space
+                .index_of(name)
+                .unwrap_or_else(|| panic!("space is missing parameter {name:?}"));
+            cfg.get(i)
+        };
+        WebServiceConfig {
+            ajp_accept_count: get("AJPAcceptCount"),
+            ajp_max_processors: get("AJPMaxProcessors"),
+            http_buffer_kb: get("HTTPBufferSize"),
+            http_accept_count: get("HTTPAcceptCount"),
+            mysql_max_connections: get("MYSQLMaxConnections"),
+            mysql_delayed_queue: get("MYSQLDelayedQueue"),
+            mysql_net_buffer_kb: get("MYSQLNetBufferLength"),
+            proxy_max_object_kb: get("PROXYMaxObjectInMemory"),
+            proxy_min_object_kb: get("PROXYMinObject"),
+            proxy_cache_mb: get("PROXYCacheMem"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_ten_named_params() {
+        let s = webservice_space();
+        assert_eq!(s.len(), 10);
+        for name in PARAM_NAMES {
+            assert!(s.index_of(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn decode_default_configuration() {
+        let s = webservice_space();
+        let c = WebServiceConfig::decode(&s, &s.default_configuration());
+        assert_eq!(c.ajp_max_processors, 16);
+        assert_eq!(c.proxy_cache_mb, 32);
+        assert_eq!(c.mysql_max_connections, 32);
+    }
+
+    #[test]
+    fn coarse_space_is_enumerable() {
+        let s = webservice_space_coarse();
+        let size = s.unconstrained_size();
+        assert!(size <= 600_000, "coarse space too big: {size}");
+        assert!(size >= 50_000, "coarse space too small: {size}");
+        // Defaults feasible.
+        assert!(s.is_feasible(&s.default_configuration()).unwrap());
+    }
+
+    #[test]
+    fn coarse_and_fine_decode_identically_by_name() {
+        let fine = webservice_space();
+        let coarse = webservice_space_coarse();
+        let cf = WebServiceConfig::decode(&fine, &fine.default_configuration());
+        let cc = WebServiceConfig::decode(&coarse, &coarse.default_configuration());
+        // Same fields exist; values differ but decoding must not mix them up.
+        assert_eq!(cf.http_buffer_kb, 8);
+        assert_eq!(cc.http_buffer_kb, 8);
+    }
+
+    #[test]
+    fn fine_space_is_impractically_large() {
+        // The paper's premise: exhaustive search is out of the question.
+        assert!(webservice_space().unconstrained_size() > 1_000_000_000_000u128);
+    }
+}

@@ -1,0 +1,338 @@
+//! TPC-W web interactions.
+//!
+//! "The TPC-W workload is made up of a set of web interactions. … these
+//! web interactions can be classified as either 'Browse' or 'Order'
+//! depending on whether they involve browsing and searching on the site or
+//! whether they play an explicit role in the ordering process"
+//! (Appendix A).
+
+/// The fourteen TPC-W web interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interaction {
+    /// Store home page.
+    Home,
+    /// New products listing.
+    NewProducts,
+    /// Best sellers listing (heavy DB aggregate query).
+    BestSellers,
+    /// Single product detail page.
+    ProductDetail,
+    /// Search form.
+    SearchRequest,
+    /// Search result listing.
+    SearchResults,
+    /// Shopping cart view/update.
+    ShoppingCart,
+    /// Customer registration form.
+    CustomerRegistration,
+    /// Purchase initiation.
+    BuyRequest,
+    /// Purchase confirmation (DB writes: order insertion).
+    BuyConfirm,
+    /// Order status lookup form.
+    OrderInquiry,
+    /// Order status display.
+    OrderDisplay,
+    /// Item administration form.
+    AdminRequest,
+    /// Item administration commit (DB writes).
+    AdminConfirm,
+}
+
+/// Browse vs. Order classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InteractionClass {
+    /// Browsing/searching the site.
+    Browse,
+    /// Part of the ordering process.
+    Order,
+}
+
+/// Static resource profile of one interaction, in seconds and kilobytes.
+///
+/// These are per-interaction *baselines*; the tunable parameters inflate or
+/// deflate them in [`crate::demands`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractionProfile {
+    /// Fraction of the reply that is static, cacheable content (images,
+    /// templates) — what the proxy can serve on a hit.
+    pub static_fraction: f64,
+    /// Baseline application-server CPU time (seconds).
+    pub app_time: f64,
+    /// Baseline database time (seconds).
+    pub db_time: f64,
+    /// Size of the database result set shipped to the app tier (KB) —
+    /// sensitive to the MySQL network buffer.
+    pub db_result_kb: f64,
+    /// Reply size to the client (KB) — sensitive to the HTTP buffer.
+    pub reply_kb: f64,
+    /// Whether the interaction performs database writes (order insertion,
+    /// stock updates) — sensitive to the delayed-write queue.
+    pub writes: bool,
+}
+
+impl Interaction {
+    /// All interactions, in a fixed canonical order (this order defines the
+    /// workload-characteristic vector seen by the data analyzer).
+    pub const ALL: [Interaction; 14] = [
+        Interaction::Home,
+        Interaction::NewProducts,
+        Interaction::BestSellers,
+        Interaction::ProductDetail,
+        Interaction::SearchRequest,
+        Interaction::SearchResults,
+        Interaction::ShoppingCart,
+        Interaction::CustomerRegistration,
+        Interaction::BuyRequest,
+        Interaction::BuyConfirm,
+        Interaction::OrderInquiry,
+        Interaction::OrderDisplay,
+        Interaction::AdminRequest,
+        Interaction::AdminConfirm,
+    ];
+
+    /// Index in [`Interaction::ALL`].
+    pub fn index(self) -> usize {
+        Interaction::ALL
+            .iter()
+            .position(|&i| i == self)
+            .expect("interaction present in ALL")
+    }
+
+    /// Browse/Order classification per the TPC-W specification.
+    pub fn class(self) -> InteractionClass {
+        use Interaction::*;
+        match self {
+            Home | NewProducts | BestSellers | ProductDetail | SearchRequest | SearchResults => {
+                InteractionClass::Browse
+            }
+            ShoppingCart | CustomerRegistration | BuyRequest | BuyConfirm | OrderInquiry
+            | OrderDisplay | AdminRequest | AdminConfirm => InteractionClass::Order,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        use Interaction::*;
+        match self {
+            Home => "Home",
+            NewProducts => "NewProducts",
+            BestSellers => "BestSellers",
+            ProductDetail => "ProductDetail",
+            SearchRequest => "SearchRequest",
+            SearchResults => "SearchResults",
+            ShoppingCart => "ShoppingCart",
+            CustomerRegistration => "CustomerRegistration",
+            BuyRequest => "BuyRequest",
+            BuyConfirm => "BuyConfirm",
+            OrderInquiry => "OrderInquiry",
+            OrderDisplay => "OrderDisplay",
+            AdminRequest => "AdminRequest",
+            AdminConfirm => "AdminConfirm",
+        }
+    }
+
+    /// Baseline resource profile.
+    ///
+    /// Browsing pages are template-heavy (large static fraction, light DB);
+    /// ordering interactions hit the database hard, ship bigger result
+    /// sets, and the confirm steps write. Times are in the tens of
+    /// milliseconds so a two-core app tier and two-core DB tier saturate in
+    /// the tens-of-WIPS range the paper reports.
+    pub fn profile(self) -> InteractionProfile {
+        use Interaction::*;
+        match self {
+            Home => InteractionProfile {
+                static_fraction: 0.90,
+                app_time: 0.030,
+                db_time: 0.010,
+                db_result_kb: 4.0,
+                reply_kb: 40.0,
+                writes: false,
+            },
+            NewProducts => InteractionProfile {
+                static_fraction: 0.75,
+                app_time: 0.040,
+                db_time: 0.030,
+                db_result_kb: 16.0,
+                reply_kb: 48.0,
+                writes: false,
+            },
+            BestSellers => InteractionProfile {
+                static_fraction: 0.70,
+                app_time: 0.045,
+                db_time: 0.080,
+                db_result_kb: 24.0,
+                reply_kb: 44.0,
+                writes: false,
+            },
+            ProductDetail => InteractionProfile {
+                static_fraction: 0.85,
+                app_time: 0.030,
+                db_time: 0.015,
+                db_result_kb: 6.0,
+                reply_kb: 36.0,
+                writes: false,
+            },
+            SearchRequest => InteractionProfile {
+                static_fraction: 0.92,
+                app_time: 0.020,
+                db_time: 0.005,
+                db_result_kb: 1.0,
+                reply_kb: 24.0,
+                writes: false,
+            },
+            SearchResults => InteractionProfile {
+                static_fraction: 0.60,
+                app_time: 0.050,
+                db_time: 0.060,
+                db_result_kb: 20.0,
+                reply_kb: 40.0,
+                writes: false,
+            },
+            ShoppingCart => InteractionProfile {
+                static_fraction: 0.40,
+                app_time: 0.045,
+                db_time: 0.040,
+                db_result_kb: 10.0,
+                reply_kb: 32.0,
+                writes: true, // cart updates persist
+            },
+            CustomerRegistration => InteractionProfile {
+                static_fraction: 0.55,
+                app_time: 0.035,
+                db_time: 0.020,
+                db_result_kb: 4.0,
+                reply_kb: 28.0,
+                writes: false,
+            },
+            BuyRequest => InteractionProfile {
+                static_fraction: 0.30,
+                app_time: 0.050,
+                db_time: 0.060,
+                db_result_kb: 12.0,
+                reply_kb: 30.0,
+                writes: false,
+            },
+            BuyConfirm => InteractionProfile {
+                static_fraction: 0.10,
+                app_time: 0.060,
+                db_time: 0.110,
+                db_result_kb: 30.0,
+                reply_kb: 26.0,
+                writes: true,
+            },
+            OrderInquiry => InteractionProfile {
+                static_fraction: 0.70,
+                app_time: 0.020,
+                db_time: 0.010,
+                db_result_kb: 2.0,
+                reply_kb: 20.0,
+                writes: false,
+            },
+            OrderDisplay => InteractionProfile {
+                static_fraction: 0.30,
+                app_time: 0.040,
+                db_time: 0.070,
+                db_result_kb: 26.0,
+                reply_kb: 34.0,
+                writes: false,
+            },
+            AdminRequest => InteractionProfile {
+                static_fraction: 0.50,
+                app_time: 0.030,
+                db_time: 0.030,
+                db_result_kb: 8.0,
+                reply_kb: 26.0,
+                writes: false,
+            },
+            AdminConfirm => InteractionProfile {
+                static_fraction: 0.10,
+                app_time: 0.050,
+                db_time: 0.090,
+                db_result_kb: 18.0,
+                reply_kb: 24.0,
+                writes: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_fourteen_unique_interactions() {
+        let mut seen = std::collections::HashSet::new();
+        for i in Interaction::ALL {
+            assert!(seen.insert(i), "{i:?} duplicated");
+        }
+        assert_eq!(seen.len(), 14);
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for (k, i) in Interaction::ALL.iter().enumerate() {
+            assert_eq!(i.index(), k);
+        }
+    }
+
+    #[test]
+    fn classification_matches_tpcw_split() {
+        use InteractionClass::*;
+        let browse = Interaction::ALL.iter().filter(|i| i.class() == Browse).count();
+        let order = Interaction::ALL.iter().filter(|i| i.class() == Order).count();
+        assert_eq!(browse, 6);
+        assert_eq!(order, 8);
+        assert_eq!(Interaction::BuyConfirm.class(), Order);
+        assert_eq!(Interaction::Home.class(), Browse);
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for i in Interaction::ALL {
+            let p = i.profile();
+            assert!((0.0..=1.0).contains(&p.static_fraction), "{i:?}");
+            assert!(p.app_time > 0.0 && p.app_time < 1.0, "{i:?}");
+            assert!(p.db_time >= 0.0 && p.db_time < 1.0, "{i:?}");
+            assert!(p.db_result_kb > 0.0, "{i:?}");
+            assert!(p.reply_kb > 0.0, "{i:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_interactions_are_db_heavier_on_average() {
+        let avg_db = |class: InteractionClass| {
+            let v: Vec<f64> = Interaction::ALL
+                .iter()
+                .filter(|i| i.class() == class)
+                .map(|i| i.profile().db_time)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_db(InteractionClass::Order) > avg_db(InteractionClass::Browse));
+    }
+
+    #[test]
+    fn browse_interactions_are_more_cacheable_on_average() {
+        let avg_static = |class: InteractionClass| {
+            let v: Vec<f64> = Interaction::ALL
+                .iter()
+                .filter(|i| i.class() == class)
+                .map(|i| i.profile().static_fraction)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(avg_static(InteractionClass::Browse) > avg_static(InteractionClass::Order));
+    }
+
+    #[test]
+    fn writers_are_order_class() {
+        for i in Interaction::ALL {
+            if i.profile().writes {
+                assert_eq!(i.class(), InteractionClass::Order, "{i:?} writes but is Browse");
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The tunable system façade consumed by the Active Harmony tuner.
+
+use crate::analytic;
+use crate::demands::DemandModel;
+use crate::des::{self, DesConfig};
+use crate::metrics::WipsReport;
+use crate::params::{webservice_space, WebServiceConfig};
+use crate::workload::WorkloadMix;
+use harmony_space::{Configuration, ParameterSpace};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Which model resolves contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Discrete-event simulation (ground truth, inherently noisy —
+    /// like measuring a real cluster).
+    Des,
+    /// Mean Value Analysis (deterministic, ~100× faster; optional
+    /// synthetic noise can be layered on top).
+    Analytic,
+}
+
+/// The cluster-based web service system as a black box: configurations in,
+/// WIPS out.
+///
+/// Every [`evaluate`](WebServiceSystem::evaluate) is one "configuration
+/// exploration" in the paper's vocabulary. DES evaluations derive a fresh
+/// seed per call, so repeated measurements of the same configuration vary
+/// run-to-run exactly like a real system; the analytic fidelity is
+/// deterministic unless `noise_level > 0`.
+pub struct WebServiceSystem {
+    space: ParameterSpace,
+    mix: WorkloadMix,
+    fidelity: Fidelity,
+    noise_level: f64,
+    rng: ChaCha8Rng,
+    des_horizon: DesConfig,
+    evaluations: u64,
+}
+
+impl WebServiceSystem {
+    /// Create the system for one workload mix.
+    ///
+    /// `noise_level` adds uniform ±level multiplicative noise to analytic
+    /// evaluations (DES has intrinsic noise already and ignores it).
+    pub fn new(mix: WorkloadMix, fidelity: Fidelity, noise_level: f64, seed: u64) -> Self {
+        assert!(noise_level >= 0.0 && noise_level.is_finite(), "noise level must be >= 0");
+        WebServiceSystem {
+            space: webservice_space(),
+            mix,
+            fidelity,
+            noise_level,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            des_horizon: DesConfig::default(),
+            evaluations: 0,
+        }
+    }
+
+    /// Replace the DES horizon (shorter horizons are noisier but faster).
+    pub fn with_des_horizon(mut self, horizon: DesConfig) -> Self {
+        self.des_horizon = horizon;
+        self
+    }
+
+    /// Replace the tuning space (e.g. the coarse space for exhaustive
+    /// sweeps). The space must contain all ten named parameters.
+    pub fn with_space(mut self, space: ParameterSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The tunable space.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// The active workload mix.
+    pub fn mix(&self) -> &WorkloadMix {
+        &self.mix
+    }
+
+    /// Switch workloads mid-flight (the paper's systems face changing
+    /// request streams).
+    pub fn set_mix(&mut self, mix: WorkloadMix) {
+        self.mix = mix;
+    }
+
+    /// Count of evaluations so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Full throughput report for one configuration.
+    pub fn evaluate_report(&mut self, cfg: &Configuration) -> WipsReport {
+        self.evaluations += 1;
+        let model = DemandModel::new(WebServiceConfig::decode(&self.space, cfg));
+        match self.fidelity {
+            Fidelity::Des => {
+                let seed = self.rng.gen();
+                des::evaluate_with(&model, &self.mix, &self.des_horizon, seed)
+            }
+            Fidelity::Analytic => {
+                let mut r = analytic::evaluate(&model, &self.mix);
+                if self.noise_level > 0.0 {
+                    let f = 1.0 + self.rng.gen_range(-self.noise_level..=self.noise_level);
+                    r.wips *= f;
+                    r.wipsb *= f;
+                    r.wipso *= f;
+                }
+                r
+            }
+        }
+    }
+
+    /// WIPS for one configuration (the scalar the tuner optimizes).
+    pub fn evaluate(&mut self, cfg: &Configuration) -> f64 {
+        self.evaluate_report(cfg).wips
+    }
+
+    /// Deterministic, noise-free WIPS — ground truth for scoring final
+    /// configurations in experiments.
+    pub fn evaluate_clean(&self, cfg: &Configuration) -> f64 {
+        let model = DemandModel::new(WebServiceConfig::decode(&self.space, cfg));
+        analytic::evaluate(&model, &self.mix).wips
+    }
+
+    /// Observe the workload's characteristics from `n` sampled requests —
+    /// what the paper's data analyzer does before consulting the
+    /// experience database (§6.4).
+    pub fn observe_characteristics(&mut self, n: usize) -> Vec<f64> {
+        let seed = self.rng.gen();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.mix.observe(n, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_fidelity_is_deterministic_without_noise() {
+        let mut s = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.0, 1);
+        let cfg = s.space().default_configuration();
+        assert_eq!(s.evaluate(&cfg), s.evaluate(&cfg));
+        assert_eq!(s.evaluations(), 2);
+    }
+
+    #[test]
+    fn des_fidelity_varies_run_to_run() {
+        let mut s = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Des, 0.0, 1)
+            .with_des_horizon(DesConfig { warmup: 2.0, measure: 10.0, ..DesConfig::default() });
+        let cfg = s.space().default_configuration();
+        let a = s.evaluate(&cfg);
+        let b = s.evaluate(&cfg);
+        assert_ne!(a, b, "two DES measurements should differ");
+        // … but not wildly.
+        assert!((a - b).abs() / a.max(b) < 0.25);
+    }
+
+    #[test]
+    fn noise_envelope_respected_on_analytic() {
+        let mut noisy = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.10, 2);
+        let clean = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.0, 2);
+        let cfg = noisy.space().default_configuration();
+        let truth = clean.evaluate_clean(&cfg);
+        for _ in 0..100 {
+            let v = noisy.evaluate(&cfg);
+            assert!(v >= truth * 0.90 - 1e-9 && v <= truth * 1.10 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn observed_characteristics_are_a_distribution() {
+        let mut s = WebServiceSystem::new(WorkloadMix::ordering(), Fidelity::Analytic, 0.0, 3);
+        let obs = s.observe_characteristics(500);
+        assert_eq!(obs.len(), 14);
+        assert!((obs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Ordering mix should show substantial order-class traffic.
+        let order_share: f64 = obs[6..].iter().sum();
+        assert!(order_share > 0.3, "order share {order_share}");
+    }
+
+    #[test]
+    fn set_mix_changes_results() {
+        let mut s = WebServiceSystem::new(WorkloadMix::browsing(), Fidelity::Analytic, 0.0, 4);
+        let cfg = s.space().default_configuration();
+        let b = s.evaluate(&cfg);
+        s.set_mix(WorkloadMix::ordering());
+        let o = s.evaluate(&cfg);
+        assert_ne!(b, o);
+    }
+}

@@ -1,0 +1,317 @@
+//! TPC-W browsing-session model.
+//!
+//! Real TPC-W emulated browsers do not draw interactions independently:
+//! the specification defines, per mix, a Markov transition matrix over the
+//! fourteen web interactions (a browser on a product page tends to go to
+//! the shopping cart, a buy request tends to be followed by a buy confirm,
+//! …). This module provides that session structure:
+//!
+//! * [`TransitionMatrix`] — a validated row-stochastic 14×14 matrix with
+//!   stationary-distribution analysis (power iteration on our own linalg
+//!   substrate) and per-state sampling;
+//! * [`browsing_transitions`]/[`shopping_transitions`]/
+//!   [`ordering_transitions`] — structured approximations of the three
+//!   canonical mixes' matrices, built from the site's navigation graph
+//!   plus a mix-dependent bias toward the ordering funnel;
+//! * [`WorkloadMix::from_transitions`] — the stationary distribution of a
+//!   session model *is* a workload mix, so everything downstream (demand
+//!   model, MVA, data-analyzer characteristics) composes unchanged.
+
+use crate::request::{Interaction, InteractionClass};
+use crate::workload::WorkloadMix;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// Number of web interactions (states).
+pub const STATES: usize = 14;
+
+/// A row-stochastic transition matrix over the fourteen interactions.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_websim::tpcw::{shopping_transitions, browsing_transitions};
+/// use harmony_websim::WorkloadMix;
+///
+/// // Session models induce workload mixes via their stationary
+/// // distributions; more shopping intent means more Order traffic.
+/// let browse = WorkloadMix::from_transitions("b", &browsing_transitions());
+/// let shop = WorkloadMix::from_transitions("s", &shopping_transitions());
+/// assert!(browse.order_fraction() < shop.order_fraction());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    p: [[f64; STATES]; STATES],
+}
+
+impl TransitionMatrix {
+    /// Build from raw rows; each row is normalized. A row that sums to
+    /// zero is replaced by a jump to `Home` (the browser's session
+    /// restart).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or not finite.
+    pub fn new(mut p: [[f64; STATES]; STATES]) -> Self {
+        for row in &mut p {
+            assert!(
+                row.iter().all(|&w| w >= 0.0 && w.is_finite()),
+                "transition weights must be non-negative and finite"
+            );
+            let sum: f64 = row.iter().sum();
+            if sum <= 0.0 {
+                *row = [0.0; STATES];
+                row[Interaction::Home.index()] = 1.0;
+            } else {
+                for w in row.iter_mut() {
+                    *w /= sum;
+                }
+            }
+        }
+        TransitionMatrix { p }
+    }
+
+    /// Probability of moving from interaction `a` to interaction `b`.
+    pub fn probability(&self, a: Interaction, b: Interaction) -> f64 {
+        self.p[a.index()][b.index()]
+    }
+
+    /// Sample the interaction following `current`.
+    pub fn sample_next(&self, current: Interaction, rng: &mut impl Rng) -> Interaction {
+        let dist = WeightedIndex::new(self.p[current.index()])
+            .expect("rows are normalized and non-degenerate");
+        Interaction::ALL[dist.sample(rng)]
+    }
+
+    /// Stationary distribution by power iteration (the chain is finite
+    /// and, with the Home-restart fallback, aperiodic and irreducible for
+    /// all matrices constructed here).
+    pub fn stationary(&self) -> [f64; STATES] {
+        let mut pi = [1.0 / STATES as f64; STATES];
+        for _ in 0..10_000 {
+            let mut next = [0.0f64; STATES];
+            for (i, row) in self.p.iter().enumerate() {
+                let pi_i = pi[i];
+                if pi_i == 0.0 {
+                    continue;
+                }
+                for (j, &pij) in row.iter().enumerate() {
+                    next[j] += pi_i * pij;
+                }
+            }
+            let delta: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if delta < 1e-14 {
+                break;
+            }
+        }
+        pi
+    }
+
+    /// Long-run fraction of Order-class interactions.
+    pub fn order_fraction(&self) -> f64 {
+        let pi = self.stationary();
+        Interaction::ALL
+            .iter()
+            .filter(|i| i.class() == InteractionClass::Order)
+            .map(|i| pi[i.index()])
+            .sum()
+    }
+}
+
+impl WorkloadMix {
+    /// The workload mix induced by a session model: its stationary
+    /// interaction frequencies.
+    pub fn from_transitions(name: impl Into<String>, t: &TransitionMatrix) -> WorkloadMix {
+        WorkloadMix::new(name, t.stationary())
+    }
+}
+
+/// Navigation structure of the store: which page follows which, with base
+/// weights describing *site structure* (links on the page), before any
+/// mix-dependent shopping intent is applied. Encoded as
+/// `(from, &[(to, weight)])`.
+fn navigation() -> [[f64; STATES]; STATES] {
+    use Interaction::*;
+    let mut nav = [[0.0f64; STATES]; STATES];
+    let mut set = |from: Interaction, edges: &[(Interaction, f64)]| {
+        for &(to, w) in edges {
+            nav[from.index()][to.index()] = w;
+        }
+    };
+    set(Home, &[
+        (SearchRequest, 30.0),
+        (NewProducts, 20.0),
+        (BestSellers, 20.0),
+        (ProductDetail, 20.0),
+        (OrderInquiry, 4.0),
+        (CustomerRegistration, 6.0),
+    ]);
+    set(NewProducts, &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)]);
+    set(BestSellers, &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)]);
+    set(ProductDetail, &[
+        (ShoppingCart, 25.0),
+        (ProductDetail, 25.0),
+        (SearchRequest, 25.0),
+        (Home, 20.0),
+        (AdminRequest, 5.0),
+    ]);
+    set(SearchRequest, &[(SearchResults, 90.0), (Home, 10.0)]);
+    set(SearchResults, &[
+        (ProductDetail, 55.0),
+        (SearchRequest, 25.0),
+        (ShoppingCart, 10.0),
+        (Home, 10.0),
+    ]);
+    set(ShoppingCart, &[
+        (CustomerRegistration, 40.0),
+        (ShoppingCart, 15.0),
+        (ProductDetail, 25.0),
+        (Home, 20.0),
+    ]);
+    set(CustomerRegistration, &[(BuyRequest, 75.0), (Home, 25.0)]);
+    set(BuyRequest, &[(BuyConfirm, 70.0), (ShoppingCart, 15.0), (Home, 15.0)]);
+    set(BuyConfirm, &[(Home, 70.0), (SearchRequest, 20.0), (OrderInquiry, 10.0)]);
+    set(OrderInquiry, &[(OrderDisplay, 75.0), (Home, 25.0)]);
+    set(OrderDisplay, &[(Home, 60.0), (SearchRequest, 25.0), (OrderInquiry, 15.0)]);
+    set(AdminRequest, &[(AdminConfirm, 70.0), (ProductDetail, 30.0)]);
+    set(AdminConfirm, &[(Home, 60.0), (ProductDetail, 40.0)]);
+    nav
+}
+
+/// Build a mix-specific matrix by biasing the navigation weights: edges
+/// into Order-class pages are multiplied by `order_bias` (>1 pushes
+/// browsers down the purchase funnel, <1 keeps them browsing).
+fn biased(order_bias: f64) -> TransitionMatrix {
+    let mut nav = navigation();
+    for row in &mut nav {
+        for j in 0..STATES {
+            if Interaction::ALL[j].class() == InteractionClass::Order {
+                row[j] *= order_bias;
+            }
+        }
+    }
+    TransitionMatrix::new(nav)
+}
+
+/// Session model for the browsing mix (~5% order interactions).
+pub fn browsing_transitions() -> TransitionMatrix {
+    biased(0.10)
+}
+
+/// Session model for the shopping mix (~20% order interactions).
+pub fn shopping_transitions() -> TransitionMatrix {
+    biased(0.55)
+}
+
+/// Session model for the ordering mix (~50% order interactions).
+pub fn ordering_transitions() -> TransitionMatrix {
+    biased(2.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rows_are_stochastic() {
+        for t in [browsing_transitions(), shopping_transitions(), ordering_transitions()] {
+            for i in Interaction::ALL {
+                let sum: f64 = Interaction::ALL.iter().map(|&j| t.probability(i, j)).sum();
+                assert!((sum - 1.0).abs() < 1e-12, "row {i:?} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_is_a_distribution_and_fixed_point() {
+        let t = shopping_transitions();
+        let pi = t.stationary();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        // πP = π
+        for j in 0..STATES {
+            let pj: f64 = (0..STATES).map(|i| pi[i] * t.p[i][j]).sum();
+            assert!((pj - pi[j]).abs() < 1e-9, "state {j}: {pj} vs {}", pi[j]);
+        }
+    }
+
+    #[test]
+    fn order_fraction_is_graded_across_mixes() {
+        let b = browsing_transitions().order_fraction();
+        let s = shopping_transitions().order_fraction();
+        let o = ordering_transitions().order_fraction();
+        assert!(b < s && s < o, "graded order fractions: {b} < {s} < {o}");
+        assert!(b < 0.10, "browsing order fraction {b}");
+        assert!((0.10..0.35).contains(&s), "shopping order fraction {s}");
+        assert!(o > 0.35, "ordering order fraction {o}");
+    }
+
+    #[test]
+    fn empirical_session_frequencies_match_stationary() {
+        let t = shopping_transitions();
+        let pi = t.stationary();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0u64; STATES];
+        let mut current = Interaction::Home;
+        let n = 400_000;
+        for _ in 0..n {
+            counts[current.index()] += 1;
+            current = t.sample_next(current, &mut rng);
+        }
+        for j in 0..STATES {
+            let emp = counts[j] as f64 / n as f64;
+            assert!(
+                (emp - pi[j]).abs() < 0.01,
+                "state {j}: empirical {emp} vs stationary {}",
+                pi[j]
+            );
+        }
+    }
+
+    #[test]
+    fn funnel_structure_is_respected() {
+        let t = shopping_transitions();
+        // A buy request mostly leads to a confirm; a search request mostly
+        // to results.
+        assert!(t.probability(Interaction::BuyRequest, Interaction::BuyConfirm) > 0.5);
+        assert!(t.probability(Interaction::SearchRequest, Interaction::SearchResults) > 0.5);
+        // No teleporting from Home straight to BuyConfirm.
+        assert_eq!(t.probability(Interaction::Home, Interaction::BuyConfirm), 0.0);
+    }
+
+    #[test]
+    fn mix_from_transitions_composes_with_the_demand_pipeline() {
+        let mix = WorkloadMix::from_transitions("session-shopping", &shopping_transitions());
+        assert!((mix.frequencies().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The induced mix flows through the analytic model unchanged.
+        let space = crate::params::webservice_space();
+        let model = crate::demands::DemandModel::new(crate::params::WebServiceConfig::decode(
+            &space,
+            &space.default_configuration(),
+        ));
+        let r = crate::analytic::evaluate(&model, &mix);
+        assert!(r.wips > 0.0);
+    }
+
+    #[test]
+    fn zero_row_falls_back_to_home_restart() {
+        let mut p = [[0.0; STATES]; STATES];
+        // Leave every row zero: every state restarts at Home, and Home's
+        // own row is also the fallback.
+        p[0][0] = 0.0;
+        let t = TransitionMatrix::new(p);
+        assert_eq!(t.probability(Interaction::BuyConfirm, Interaction::Home), 1.0);
+        let pi = t.stationary();
+        assert!((pi[Interaction::Home.index()] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut p = [[0.0; STATES]; STATES];
+        p[0][1] = -1.0;
+        let _ = TransitionMatrix::new(p);
+    }
+}

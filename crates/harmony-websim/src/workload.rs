@@ -1,0 +1,200 @@
+//! TPC-W workload mixes.
+//!
+//! "Different workloads assign different relative weights to each of the
+//! web interactions based on the scenario" (Appendix A). TPC-W defines
+//! three canonical mixes — browsing, shopping and ordering — distinguished
+//! by the share of Order-class interactions (roughly 5%, 20% and 50%
+//! respectively).
+
+use crate::request::{Interaction, InteractionClass};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// A probability distribution over the fourteen web interactions.
+///
+/// The frequency vector doubles as the *workload characteristic* the data
+/// analyzer observes ("the data analyzer may use a statistical method to
+/// count the frequency for each requested web page", §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMix {
+    name: String,
+    weights: [f64; 14],
+}
+
+impl WorkloadMix {
+    /// Build a custom mix. Weights are normalized; they need not sum to 1.
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or all are zero.
+    pub fn new(name: impl Into<String>, weights: [f64; 14]) -> Self {
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            weights.iter().all(|&w| w >= 0.0) && sum > 0.0,
+            "workload weights must be non-negative and not all zero"
+        );
+        let mut normalized = weights;
+        for w in &mut normalized {
+            *w /= sum;
+        }
+        WorkloadMix { name: name.into(), weights: normalized }
+    }
+
+    /// TPC-W browsing mix: ~95% browse interactions (WIPSb interval).
+    pub fn browsing() -> Self {
+        Self::new(
+            "browsing",
+            // Home, NewProd, BestSell, ProdDet, SearchReq, SearchRes,
+            // Cart, CustReg, BuyReq, BuyConf, OrdInq, OrdDisp, AdmReq, AdmConf
+            [
+                29.0, 11.0, 11.0, 21.0, 12.0, 11.0, //
+                2.0, 0.8, 0.7, 0.7, 0.3, 0.25, 0.15, 0.1,
+            ],
+        )
+    }
+
+    /// TPC-W shopping mix: ~80% browse, ~20% order (primary WIPS metric).
+    pub fn shopping() -> Self {
+        Self::new(
+            "shopping",
+            [
+                16.0, 5.0, 5.0, 17.0, 20.0, 17.0, //
+                11.6, 3.0, 2.6, 1.2, 0.75, 0.66, 0.1, 0.09,
+            ],
+        )
+    }
+
+    /// TPC-W ordering mix: ~50% order interactions (WIPSo interval).
+    pub fn ordering() -> Self {
+        Self::new(
+            "ordering",
+            [
+                9.12, 0.46, 0.46, 12.35, 14.53, 13.08, //
+                13.53, 12.86, 12.73, 10.18, 0.25, 0.22, 0.12, 0.11,
+            ],
+        )
+    }
+
+    /// Mix name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Normalized interaction frequencies (the characteristic vector),
+    /// indexed by [`Interaction::ALL`] order.
+    pub fn frequencies(&self) -> &[f64; 14] {
+        &self.weights
+    }
+
+    /// Probability of interaction `i`.
+    pub fn probability(&self, i: Interaction) -> f64 {
+        self.weights[i.index()]
+    }
+
+    /// Fraction of Order-class interactions.
+    pub fn order_fraction(&self) -> f64 {
+        Interaction::ALL
+            .iter()
+            .filter(|i| i.class() == InteractionClass::Order)
+            .map(|i| self.probability(*i))
+            .sum()
+    }
+
+    /// Sample one interaction.
+    pub fn sample(&self, rng: &mut impl Rng) -> Interaction {
+        let dist = WeightedIndex::new(self.weights).expect("weights validated at construction");
+        Interaction::ALL[dist.sample(rng)]
+    }
+
+    /// Sample `n` interactions and return the *empirical* frequency
+    /// distribution — what the data analyzer actually observes from a
+    /// finite probe of the incoming request stream (§4.2/§6.4).
+    pub fn observe(&self, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        assert!(n > 0, "observe: need at least one sample");
+        let dist = WeightedIndex::new(self.weights).expect("weights validated at construction");
+        let mut counts = [0u64; 14];
+        for _ in 0..n {
+            counts[dist.sample(rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / n as f64).collect()
+    }
+
+    /// Linear blend of two mixes: `(1 - t)·self + t·other`. Used to
+    /// construct workloads at controlled characteristic distances
+    /// (Figure 7).
+    pub fn blend(&self, other: &WorkloadMix, t: f64) -> WorkloadMix {
+        let t = t.clamp(0.0, 1.0);
+        let mut w = [0.0; 14];
+        for (k, wk) in w.iter_mut().enumerate() {
+            *wk = (1.0 - t) * self.weights[k] + t * other.weights[k];
+        }
+        WorkloadMix::new(format!("{}~{}@{t:.2}", self.name, other.name), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn canonical_mixes_have_expected_order_fractions() {
+        assert!(WorkloadMix::browsing().order_fraction() < 0.06);
+        let s = WorkloadMix::shopping().order_fraction();
+        assert!((0.15..0.25).contains(&s), "shopping order fraction {s}");
+        let o = WorkloadMix::ordering().order_fraction();
+        assert!((0.45..0.55).contains(&o), "ordering order fraction {o}");
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        for mix in [WorkloadMix::browsing(), WorkloadMix::shopping(), WorkloadMix::ordering()] {
+            let sum: f64 = mix.frequencies().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", mix.name());
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mix = WorkloadMix::shopping();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let obs = mix.observe(200_000, &mut rng);
+        for (k, (&o, &e)) in obs.iter().zip(mix.frequencies()).enumerate() {
+            assert!((o - e).abs() < 0.01, "interaction {k}: observed {o}, expected {e}");
+        }
+    }
+
+    #[test]
+    fn observation_is_noisy_for_small_probes() {
+        let mix = WorkloadMix::shopping();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = mix.observe(50, &mut rng);
+        let b = mix.observe(50, &mut rng);
+        assert_ne!(a, b, "two small probes should differ");
+        assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_endpoints_and_midpoint() {
+        let b = WorkloadMix::browsing();
+        let o = WorkloadMix::ordering();
+        let at0 = b.blend(&o, 0.0);
+        let at1 = b.blend(&o, 1.0);
+        for k in 0..14 {
+            assert!((at0.frequencies()[k] - b.frequencies()[k]).abs() < 1e-12);
+            assert!((at1.frequencies()[k] - o.frequencies()[k]).abs() < 1e-12);
+        }
+        let mid = b.blend(&o, 0.5);
+        let f = mid.order_fraction();
+        let expect = (b.order_fraction() + o.order_fraction()) / 2.0;
+        assert!((f - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut w = [1.0; 14];
+        w[0] = -1.0;
+        let _ = WorkloadMix::new("bad", w);
+    }
+}

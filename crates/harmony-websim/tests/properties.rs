@@ -1,0 +1,96 @@
+//! Property-based tests for the web service simulator.
+
+use harmony_websim::demands::{hw, DemandModel};
+use harmony_websim::params::{webservice_space, WebServiceConfig};
+use harmony_websim::{analytic, WorkloadMix};
+use proptest::prelude::*;
+
+/// Strategy: any feasible configuration of the ten-parameter space.
+fn arb_config() -> impl Strategy<Value = WebServiceConfig> {
+    let space = webservice_space();
+    proptest::collection::vec(0.0f64..1.0, space.len()).prop_map(move |fracs| {
+        let cfg = space.from_fractions(&fracs);
+        WebServiceConfig::decode(&space, &cfg)
+    })
+}
+
+fn arb_mix() -> impl Strategy<Value = WorkloadMix> {
+    proptest::collection::vec(0.01f64..10.0, 14).prop_map(|w| {
+        let mut arr = [0.0; 14];
+        arr.copy_from_slice(&w);
+        WorkloadMix::new("prop", arr)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wips_is_positive_and_below_the_closed_loop_cap(cfg in arb_config(), mix in arb_mix()) {
+        let model = DemandModel::new(cfg);
+        let r = analytic::evaluate(&model, &mix);
+        let cap = hw::EMULATED_BROWSERS as f64 / hw::THINK_TIME;
+        prop_assert!(r.wips > 0.0, "wips {}", r.wips);
+        prop_assert!(r.wips < cap, "wips {} above cap {cap}", r.wips);
+        prop_assert!(r.is_consistent(1e-9));
+        prop_assert!((0.0..=1.0).contains(&r.hit_ratio));
+        prop_assert!(r.mean_response > 0.0);
+    }
+
+    #[test]
+    fn utilization_stays_bounded(cfg in arb_config(), mix in arb_mix()) {
+        let model = DemandModel::new(cfg);
+        let d = analytic::evaluate_detailed(&model, &mix);
+        for &u in &d.utilization {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+        for &q in &d.queue_length {
+            prop_assert!(q >= 0.0 && q <= hw::EMULATED_BROWSERS as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn demands_are_finite_and_positive(cfg in arb_config(), mix in arb_mix()) {
+        let model = DemandModel::new(cfg);
+        let d = model.mix_demands(&mix);
+        prop_assert!(d.proxy > 0.0 && d.proxy.is_finite());
+        prop_assert!(d.app > 0.0 && d.app.is_finite());
+        prop_assert!(d.db > 0.0 && d.db.is_finite());
+        prop_assert!(d.delay >= 0.0 && d.delay.is_finite());
+        prop_assert!((0.0..=1.0).contains(&d.hit_probability));
+        prop_assert!(d.app_servers >= 1);
+        prop_assert!(d.db_servers >= 1);
+    }
+
+    #[test]
+    fn more_browsers_never_reduce_throughput(cfg in arb_config()) {
+        let model = DemandModel::new(cfg);
+        let mix = WorkloadMix::shopping();
+        let mut last = 0.0;
+        for n in [20usize, 60, 120, 240] {
+            let x = analytic::evaluate_with(&model, &mix, n, hw::THINK_TIME).wips;
+            prop_assert!(x + 1e-9 >= last, "throughput dropped from {last} to {x} at n={n}");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn blend_order_fraction_is_monotone(t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let b = WorkloadMix::browsing();
+        let o = WorkloadMix::ordering();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let f_lo = b.blend(&o, lo).order_fraction();
+        let f_hi = b.blend(&o, hi).order_fraction();
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    #[test]
+    fn observation_is_a_probability_distribution(mix in arb_mix(), n in 1usize..500, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let obs = mix.observe(n, &mut rng);
+        prop_assert_eq!(obs.len(), 14);
+        prop_assert!((obs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(obs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

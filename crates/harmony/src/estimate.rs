@@ -1,0 +1,211 @@
+//! Performance estimation by triangulation (§4.3).
+//!
+//! "If the parameter values in the historical data do not match those in
+//! the current configuration … we use triangulation with interpolation or
+//! extrapolation to estimate the performance at those 'missing'
+//! configuration points": pick k recorded vertices near the target, fit
+//! the hyperplane through their `(configuration, performance)` points —
+//! `x = A⁻¹b`, least squares when over/under-determined — and evaluate it
+//! at the target (`Pt = [Ct 1]·x`).
+
+use crate::history::TuningRecord;
+use harmony_linalg::{lstsq, Matrix};
+use harmony_space::{Configuration, ParameterSpace};
+
+/// How many vertices to use: the paper's simplex has `N+1` vertices for
+/// `N` parameters; we take a few extra when available so noisy records
+/// average out in the least-squares fit.
+fn vertex_count(dims: usize, available: usize) -> usize {
+    (dims + 1).min(available).max(1.min(available))
+}
+
+/// Estimate the performance of `target` from historical records.
+///
+/// Returns `None` when there are no records at all. An exact match in the
+/// records short-circuits to its recorded performance. Coordinates are
+/// normalized before fitting so wide-range parameters don't dominate the
+/// conditioning (the fit itself is affine-equivalent either way).
+pub fn estimate_performance(
+    space: &ParameterSpace,
+    records: &[TuningRecord],
+    target: &Configuration,
+) -> Option<f64> {
+    if records.is_empty() {
+        return None;
+    }
+    assert_eq!(target.len(), space.len(), "estimate: dimension mismatch");
+
+    // Exact match wins.
+    if let Some(r) = records.iter().find(|r| r.values == *target.values()) {
+        return Some(r.performance);
+    }
+
+    // "Currently our implementation uses vertices that are close to the
+    // target vertex": rank by normalized distance.
+    let tn = space.normalize(target);
+    let mut by_distance: Vec<(f64, &TuningRecord)> = records
+        .iter()
+        .map(|r| {
+            let rn = space.normalize(&Configuration::new(r.values.clone()));
+            let d2: f64 = rn.iter().zip(&tn).map(|(a, b)| (a - b) * (a - b)).sum();
+            (d2, r)
+        })
+        .collect();
+    by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let k = vertex_count(space.len(), by_distance.len());
+    let chosen = &by_distance[..k];
+
+    // A = [C'_i 1], b = P_i in normalized coordinates. The fit is done in
+    // *centered* form — subtract the mean coordinate and mean performance,
+    // fit the slope, add the means back — which is algebraically identical
+    // for determined/over-determined systems but makes the regularized
+    // under-determined solution shrink toward the local mean performance
+    // instead of toward zero (one record estimates itself everywhere).
+    let b: Vec<f64> = chosen.iter().map(|(_, r)| r.performance).collect();
+    let mean_b = b.iter().sum::<f64>() / b.len() as f64;
+    if chosen.len() == 1 {
+        return Some(mean_b);
+    }
+    let coords: Vec<Vec<f64>> = chosen
+        .iter()
+        .map(|(_, r)| space.normalize(&Configuration::new(r.values.clone())))
+        .collect();
+    let dims = space.len();
+    let mean_c: Vec<f64> = (0..dims)
+        .map(|j| coords.iter().map(|c| c[j]).sum::<f64>() / coords.len() as f64)
+        .collect();
+    let rows: Vec<Vec<f64>> = coords
+        .iter()
+        .map(|c| c.iter().zip(&mean_c).map(|(x, m)| x - m).collect())
+        .collect();
+    let b_centered: Vec<f64> = b.iter().map(|p| p - mean_b).collect();
+    let a = Matrix::from_rows(&rows);
+    let x = lstsq(&a, &b_centered).ok()?;
+
+    let pt: f64 = mean_b
+        + tn.iter()
+            .zip(&mean_c)
+            .zip(&x)
+            .map(|((t, m), xi)| (t - m) * xi)
+            .sum::<f64>();
+    pt.is_finite().then_some(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_space::ParamDef;
+
+    fn space2() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("a", 0, 10, 5, 1))
+            .param(ParamDef::int("b", 0, 10, 5, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn rec(values: Vec<i64>, performance: f64) -> TuningRecord {
+        TuningRecord { values, performance }
+    }
+
+    /// The affine ground truth used across tests: p = 3a + 2b + 10.
+    fn plane(a: i64, b: i64) -> f64 {
+        3.0 * a as f64 + 2.0 * b as f64 + 10.0
+    }
+
+    #[test]
+    fn no_records_gives_none() {
+        let s = space2();
+        assert_eq!(estimate_performance(&s, &[], &s.default_configuration()), None);
+    }
+
+    #[test]
+    fn exact_match_short_circuits() {
+        let s = space2();
+        let records = vec![rec(vec![5, 5], 123.0), rec(vec![1, 1], 50.0)];
+        let t = Configuration::new(vec![5, 5]);
+        assert_eq!(estimate_performance(&s, &records, &t), Some(123.0));
+    }
+
+    #[test]
+    fn interpolates_a_plane_exactly() {
+        // Figure 3: three configurations form a plane in (a, b, P); the
+        // target's estimate falls on it.
+        let s = space2();
+        let records = vec![
+            rec(vec![0, 0], plane(0, 0)),
+            rec(vec![10, 0], plane(10, 0)),
+            rec(vec![0, 10], plane(0, 10)),
+        ];
+        let t = Configuration::new(vec![4, 6]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        assert!((est - plane(4, 6)).abs() < 1e-9, "est {est} vs truth {}", plane(4, 6));
+    }
+
+    #[test]
+    fn extrapolates_beyond_the_simplex() {
+        let s = space2();
+        let records = vec![
+            rec(vec![2, 2], plane(2, 2)),
+            rec(vec![4, 2], plane(4, 2)),
+            rec(vec![2, 4], plane(2, 4)),
+        ];
+        let t = Configuration::new(vec![9, 9]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        assert!((est - plane(9, 9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_single_record_estimates_constant() {
+        let s = space2();
+        let records = vec![rec(vec![3, 3], 77.0)];
+        let t = Configuration::new(vec![8, 1]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        // With one record the least-squares hyperplane is (near-)constant.
+        assert!((est - 77.0).abs() < 1.0, "est {est}");
+    }
+
+    #[test]
+    fn two_records_fit_the_line_through_them() {
+        let s = space2();
+        let records = vec![rec(vec![0, 0], 10.0), rec(vec![10, 0], 40.0)];
+        let t = Configuration::new(vec![5, 0]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        assert!((est - 25.0).abs() < 0.5, "midpoint estimate {est}");
+    }
+
+    #[test]
+    fn uses_nearest_vertices_for_a_curved_surface() {
+        // Quadratic surface: local fits near the target beat global ones.
+        let s = space2();
+        let f = |a: i64, b: i64| -((a - 5) * (a - 5) + (b - 5) * (b - 5)) as f64;
+        let mut records = Vec::new();
+        for a in 0..=10 {
+            for b in 0..=10 {
+                if (a + b) % 2 == 0 && !(a == 5 && b == 5) {
+                    records.push(rec(vec![a, b], f(a, b)));
+                }
+            }
+        }
+        let t = Configuration::new(vec![5, 5]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        // Local plane through the nearest points: estimate should be near
+        // the true 0 maximum, certainly better than the global mean (~-17).
+        assert!(est > -6.0, "estimate {est} not local enough");
+    }
+
+    #[test]
+    fn noisy_overdetermined_fit_is_reasonable() {
+        let s = space2();
+        // Plane with small deterministic perturbation.
+        let mut records = Vec::new();
+        let noise = [0.4, -0.3, 0.2, -0.1, 0.3, -0.2];
+        let pts = [(0, 0), (10, 0), (0, 10), (10, 10), (5, 0), (0, 5)];
+        for (k, &(a, b)) in pts.iter().enumerate() {
+            records.push(rec(vec![a, b], plane(a, b) + noise[k]));
+        }
+        let t = Configuration::new(vec![6, 4]);
+        let est = estimate_performance(&s, &records, &t).unwrap();
+        assert!((est - plane(6, 4)).abs() < 1.5, "est {est}");
+    }
+}

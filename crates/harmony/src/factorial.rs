@@ -1,0 +1,424 @@
+//! Full and fractional factorial experiment designs.
+//!
+//! §3: the one-at-a-time prioritizing tool "is based on an assumption that
+//! the interaction among parameters is relatively small. … If this case is
+//! not true, the user may need to use full or fractional factorial
+//! experiment design [Jain; Plackett & Burman] to further investigate the
+//! relation among parameters when deciding the importance of parameters."
+//!
+//! This module supplies that escape hatch:
+//!
+//! * [`full_factorial`] — the 2ᵏ design, supporting both main effects and
+//!   pairwise interaction effects;
+//! * [`plackett_burman`] — Plackett & Burman's screening designs (and
+//!   Sylvester-Hadamard designs for power-of-two run counts): estimate all
+//!   k main effects in the smallest run count N ≡ 0 (mod 4), N > k;
+//! * [`Screening`] — run a design against an [`Objective`], mapping the
+//!   two levels onto low/high quantiles of each parameter's range, and
+//!   rank parameters by |main effect| — directly comparable to the
+//!   prioritizing tool's ranking.
+
+use crate::objective::Objective;
+use harmony_space::{Configuration, ParameterSpace};
+
+/// A two-level design matrix: `runs × factors` entries in {−1, +1},
+/// stored as booleans (`true` = high level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoLevelDesign {
+    factors: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl TwoLevelDesign {
+    /// Number of factors (columns).
+    pub fn factors(&self) -> usize {
+        self.factors
+    }
+
+    /// Number of runs (rows).
+    pub fn runs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Level of factor `j` in run `i` (`true` = high).
+    pub fn level(&self, i: usize, j: usize) -> bool {
+        self.rows[i][j]
+    }
+
+    /// Main effect of each factor: mean(response at high) − mean(response
+    /// at low).
+    ///
+    /// # Panics
+    /// Panics if `responses.len() != self.runs()`.
+    pub fn main_effects(&self, responses: &[f64]) -> Vec<f64> {
+        assert_eq!(responses.len(), self.runs(), "one response per run required");
+        (0..self.factors)
+            .map(|j| {
+                let mut hi_sum = 0.0;
+                let mut hi_n = 0u32;
+                let mut lo_sum = 0.0;
+                let mut lo_n = 0u32;
+                for (row, &y) in self.rows.iter().zip(responses) {
+                    if row[j] {
+                        hi_sum += y;
+                        hi_n += 1;
+                    } else {
+                        lo_sum += y;
+                        lo_n += 1;
+                    }
+                }
+                // Balanced designs guarantee hi_n == lo_n > 0.
+                hi_sum / hi_n.max(1) as f64 - lo_sum / lo_n.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// Two-factor interaction effect between factors `a` and `b`: the main
+    /// effect of the elementwise product column. Unaliased only in a full
+    /// factorial; in a PB screening design this measures the *alias
+    /// chain*, which is still useful as an interaction alarm.
+    pub fn interaction_effect(&self, a: usize, b: usize, responses: &[f64]) -> f64 {
+        assert_eq!(responses.len(), self.runs(), "one response per run required");
+        let mut hi_sum = 0.0;
+        let mut hi_n = 0u32;
+        let mut lo_sum = 0.0;
+        let mut lo_n = 0u32;
+        for (row, &y) in self.rows.iter().zip(responses) {
+            if row[a] == row[b] {
+                hi_sum += y;
+                hi_n += 1;
+            } else {
+                lo_sum += y;
+                lo_n += 1;
+            }
+        }
+        hi_sum / hi_n.max(1) as f64 - lo_sum / lo_n.max(1) as f64
+    }
+
+    /// True if every column is balanced (equal highs and lows) and every
+    /// pair of columns is orthogonal — the defining property of these
+    /// designs, exposed for tests and for validating custom matrices.
+    pub fn is_orthogonal(&self) -> bool {
+        for j in 0..self.factors {
+            let highs = self.rows.iter().filter(|r| r[j]).count();
+            if highs * 2 != self.runs() {
+                return false;
+            }
+            for k in (j + 1)..self.factors {
+                let agree = self.rows.iter().filter(|r| r[j] == r[k]).count();
+                if agree * 2 != self.runs() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The 2ᵏ full factorial design.
+///
+/// # Panics
+/// Panics if `factors > 20` (over a million runs — a programming error for
+/// a measurement design).
+pub fn full_factorial(factors: usize) -> TwoLevelDesign {
+    assert!((1..=20).contains(&factors), "full factorial limited to 1..=20 factors");
+    let runs = 1usize << factors;
+    let rows = (0..runs)
+        .map(|i| (0..factors).map(|j| (i >> j) & 1 == 1).collect())
+        .collect();
+    TwoLevelDesign { factors, rows }
+}
+
+/// Plackett-Burman first rows (N ≡ 0 mod 4, non-power-of-two sizes), from
+/// the 1946 paper; `+` = high.
+const PB_GENERATORS: &[(usize, &str)] = &[
+    (12, "++-+++---+-"),
+    (20, "++--++++-+-+----++-"),
+    (24, "+++++-+-++--++--+-+----"),
+];
+
+/// A screening design for `factors` main effects: the smallest
+/// Sylvester-Hadamard (power-of-two) or Plackett-Burman (12, 20, 24) run
+/// count strictly greater than `factors`, up to 24 factors beyond which
+/// Sylvester sizes continue (32, 64, …).
+pub fn plackett_burman(factors: usize) -> TwoLevelDesign {
+    assert!(factors >= 1, "need at least one factor");
+    // Candidate run counts in ascending order.
+    let mut n = 4usize;
+    loop {
+        if n > factors {
+            if n.is_power_of_two() {
+                return sylvester(n, factors);
+            }
+            if let Some((_, gen)) = PB_GENERATORS.iter().find(|(size, _)| *size == n) {
+                return pb_cyclic(n, factors, gen);
+            }
+        }
+        n += 4;
+        if n > 1 << 20 {
+            unreachable!("run count search diverged");
+        }
+    }
+}
+
+/// Sylvester-Hadamard design of `n` runs (power of two), first column
+/// dropped (it is constant), truncated to `factors` columns.
+fn sylvester(n: usize, factors: usize) -> TwoLevelDesign {
+    debug_assert!(n.is_power_of_two());
+    let rows = (0..n)
+        .map(|i| {
+            (1..=factors)
+                .map(|j| (i & j).count_ones() % 2 == 1) // H[i][j] = parity of i·j
+                .collect()
+        })
+        .collect();
+    TwoLevelDesign { factors, rows }
+}
+
+/// Cyclic Plackett-Burman construction: rotate the generator row n−1
+/// times, append the all-low run.
+fn pb_cyclic(n: usize, factors: usize, gen: &str) -> TwoLevelDesign {
+    let first: Vec<bool> = gen.chars().map(|c| c == '+').collect();
+    debug_assert_eq!(first.len(), n - 1);
+    let mut rows: Vec<Vec<bool>> = Vec::with_capacity(n);
+    for shift in 0..(n - 1) {
+        let row: Vec<bool> = (0..factors)
+            .map(|j| first[(j + n - 1 - shift) % (n - 1)])
+            .collect();
+        rows.push(row);
+    }
+    rows.push(vec![false; factors]);
+    TwoLevelDesign { factors, rows }
+}
+
+/// Result of screening a parameter space through a two-level design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Screening {
+    /// |main effect| per parameter, in space order.
+    pub effects: Vec<f64>,
+    /// Explorations spent (= design runs).
+    pub explorations: u64,
+    /// The design used.
+    pub design: TwoLevelDesign,
+    /// Raw responses, one per run.
+    pub responses: Vec<f64>,
+}
+
+impl Screening {
+    /// Parameter indices by descending |effect|.
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.effects.len()).collect();
+        idx.sort_by(|&a, &b| self.effects[b].total_cmp(&self.effects[a]));
+        idx
+    }
+
+    /// The `n` highest-|effect| parameter indices.
+    pub fn top_n(&self, n: usize) -> Vec<usize> {
+        self.ranked().into_iter().take(n).collect()
+    }
+}
+
+/// Run a screening experiment: map each factor's low/high level to the
+/// `low_q`/`high_q` quantiles of its range (e.g. 0.25/0.75), measure every
+/// design run, and report |main effects|.
+///
+/// # Examples
+///
+/// Eleven factors screened in twelve runs:
+///
+/// ```
+/// use harmony::factorial::{plackett_burman, screen};
+/// use harmony::objective::FnObjective;
+/// use harmony_space::{Configuration, ParamDef, ParameterSpace};
+///
+/// let space = ParameterSpace::new(
+///     (0..11).map(|i| ParamDef::int(format!("p{i}"), 0, 100, 50, 1)).collect(),
+/// ).unwrap();
+/// let mut objective = FnObjective::new(|cfg: &Configuration| {
+///     cfg.get(3) as f64 * 5.0 + cfg.get(7) as f64 // p3 dominates, p7 matters a little
+/// });
+/// let design = plackett_burman(11);
+/// let s = screen(&space, &mut objective, &design, 0.25, 0.75);
+/// assert_eq!(s.explorations, 12);
+/// assert_eq!(s.top_n(2), vec![3, 7]);
+/// ```
+///
+/// # Panics
+/// Panics unless `0 ≤ low_q < high_q ≤ 1`.
+pub fn screen(
+    space: &ParameterSpace,
+    objective: &mut dyn Objective,
+    design: &TwoLevelDesign,
+    low_q: f64,
+    high_q: f64,
+) -> Screening {
+    assert!(
+        (0.0..=1.0).contains(&low_q) && (0.0..=1.0).contains(&high_q) && low_q < high_q,
+        "quantiles must satisfy 0 <= low < high <= 1"
+    );
+    assert_eq!(design.factors(), space.len(), "design factor count must match the space");
+    let lows: Vec<i64> = space.params().iter().map(|p| p.denormalize(low_q)).collect();
+    let highs: Vec<i64> = space.params().iter().map(|p| p.denormalize(high_q)).collect();
+    let mut responses = Vec::with_capacity(design.runs());
+    for i in 0..design.runs() {
+        let values: Vec<i64> = (0..space.len())
+            .map(|j| if design.level(i, j) { highs[j] } else { lows[j] })
+            .collect();
+        // Project so restricted spaces stay feasible.
+        let cfg = space.project(&Configuration::new(values).to_point());
+        responses.push(objective.measure(&cfg));
+    }
+    let effects = design
+        .main_effects(&responses)
+        .into_iter()
+        .map(f64::abs)
+        .collect();
+    Screening {
+        effects,
+        explorations: design.runs() as u64,
+        design: design.clone(),
+        responses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_space::ParamDef;
+
+    #[test]
+    fn full_factorial_shape() {
+        let d = full_factorial(3);
+        assert_eq!(d.runs(), 8);
+        assert_eq!(d.factors(), 3);
+        assert!(d.is_orthogonal());
+        // All 8 distinct level combinations present.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8 {
+            let key: Vec<bool> = (0..3).map(|j| d.level(i, j)).collect();
+            assert!(seen.insert(key));
+        }
+    }
+
+    #[test]
+    fn plackett_burman_sizes() {
+        assert_eq!(plackett_burman(3).runs(), 4);
+        assert_eq!(plackett_burman(7).runs(), 8);
+        assert_eq!(plackett_burman(8).runs(), 12);
+        assert_eq!(plackett_burman(11).runs(), 12);
+        assert_eq!(plackett_burman(15).runs(), 16);
+        assert_eq!(plackett_burman(19).runs(), 20);
+        assert_eq!(plackett_burman(23).runs(), 24);
+        assert_eq!(plackett_burman(24).runs(), 32);
+    }
+
+    #[test]
+    fn screening_designs_are_orthogonal() {
+        for factors in [3usize, 7, 8, 11, 15, 19, 23] {
+            let d = plackett_burman(factors);
+            assert!(d.is_orthogonal(), "PB design for {factors} factors not orthogonal");
+        }
+    }
+
+    #[test]
+    fn main_effects_recover_additive_coefficients() {
+        // y = 10 + 3*A - 2*B + 0*C with A,B,C in {-1,+1}: effects 6, -4, 0.
+        let d = full_factorial(3);
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|i| {
+                let s = |j: usize| if d.level(i, j) { 1.0 } else { -1.0 };
+                10.0 + 3.0 * s(0) - 2.0 * s(1)
+            })
+            .collect();
+        let e = d.main_effects(&responses);
+        assert!((e[0] - 6.0).abs() < 1e-12);
+        assert!((e[1] + 4.0).abs() < 1e-12);
+        assert!(e[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn pb_estimates_main_effects_despite_more_factors_than_a_nested_design() {
+        // 11 factors in 12 runs: additive effects recovered exactly.
+        let d = plackett_burman(11);
+        let coefs = [5.0, -3.0, 0.0, 2.0, 0.0, 1.0, -1.0, 0.0, 4.0, 0.0, -2.0];
+        let responses: Vec<f64> = (0..d.runs())
+            .map(|i| {
+                (0..11)
+                    .map(|j| coefs[j] * if d.level(i, j) { 1.0 } else { -1.0 })
+                    .sum::<f64>()
+            })
+            .collect();
+        let e = d.main_effects(&responses);
+        for (j, (&c, got)) in coefs.iter().zip(&e).enumerate() {
+            assert!((got - 2.0 * c).abs() < 1e-9, "factor {j}: effect {got} vs {}", 2.0 * c);
+        }
+    }
+
+    #[test]
+    fn interaction_effect_detects_products() {
+        // y = A*B: no main effects, strong interaction.
+        let d = full_factorial(2);
+        let responses: Vec<f64> = (0..4)
+            .map(|i| {
+                let s = |j: usize| if d.level(i, j) { 1.0 } else { -1.0 };
+                s(0) * s(1)
+            })
+            .collect();
+        let mains = d.main_effects(&responses);
+        assert!(mains[0].abs() < 1e-12 && mains[1].abs() < 1e-12);
+        assert!((d.interaction_effect(0, 1, &responses) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn screen_ranks_like_the_prioritizer_on_additive_systems() {
+        let space = harmony_space::ParameterSpace::new(vec![
+            ParamDef::int("big", 0, 100, 50, 1),
+            ParamDef::int("small", 0, 100, 50, 1),
+            ParamDef::int("dead", 0, 100, 50, 1),
+        ])
+        .unwrap();
+        let mut obj = FnObjective::new(|cfg: &Configuration| {
+            5.0 * cfg.get(0) as f64 + 0.5 * cfg.get(1) as f64
+        });
+        let design = plackett_burman(3);
+        let s = screen(&space, &mut obj, &design, 0.25, 0.75);
+        assert_eq!(s.ranked(), vec![0, 1, 2]);
+        assert_eq!(s.explorations, 4);
+        assert!(s.effects[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn screen_finds_an_interaction_the_one_at_a_time_tool_misses() {
+        // y = A*B centered so that sweeping A at B's default (0 after
+        // centering) shows nothing: the §3 tool is blind here, the full
+        // factorial's interaction column is not.
+        let space = harmony_space::ParameterSpace::new(vec![
+            ParamDef::int("a", -1, 1, 0, 1),
+            ParamDef::int("b", -1, 1, 0, 1),
+        ])
+        .unwrap();
+        let f = |cfg: &Configuration| (cfg.get(0) * cfg.get(1)) as f64;
+
+        // One-at-a-time tool sees a flat function.
+        let mut obj = FnObjective::new(f);
+        let oat = crate::sensitivity::Prioritizer::new(space.clone()).analyze(&mut obj);
+        assert!(oat.entries().iter().all(|e| e.sensitivity == 0.0));
+
+        // The factorial design exposes the interaction.
+        let d = full_factorial(2);
+        let mut obj = FnObjective::new(f);
+        let s = screen(&space, &mut obj, &d, 0.0, 1.0);
+        let inter = d.interaction_effect(0, 1, &s.responses);
+        assert!(inter.abs() > 1.0, "interaction effect should be visible: {inter}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantiles")]
+    fn bad_quantiles_rejected() {
+        let space = harmony_space::ParameterSpace::new(vec![ParamDef::int("a", 0, 1, 0, 1)]).unwrap();
+        let mut obj = FnObjective::new(|_: &Configuration| 0.0);
+        let d = plackett_burman(1);
+        let _ = screen(&space, &mut obj, &d, 0.9, 0.1);
+    }
+}

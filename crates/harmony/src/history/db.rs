@@ -1,0 +1,280 @@
+//! The data characteristics database.
+
+use crate::history::kmeans::kmeans;
+use crate::history::record::RunHistory;
+use harmony_linalg::stats::euclidean_sq;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from persisting the database.
+#[derive(Debug)]
+pub enum DbError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Serialization error.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "experience db io error: {e}"),
+            DbError::Serde(e) => write!(f, "experience db serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DbError {
+    fn from(e: serde_json::Error) -> Self {
+        DbError::Serde(e)
+    }
+}
+
+/// Accumulated tuning experience: one [`RunHistory`] per prior run, keyed
+/// by workload characteristics.
+///
+/// Classification is the paper's least-squares rule: "the classification
+/// algorithm returns j such that Σ_k (c_jk − c_ok)² is the minimum".
+///
+/// # Examples
+///
+/// ```
+/// use harmony::history::{ExperienceDb, RunHistory};
+/// use harmony_space::Configuration;
+///
+/// let mut db = ExperienceDb::new();
+/// let mut run = RunHistory::new("monday", vec![0.8, 0.2]);
+/// run.push(&Configuration::new(vec![16, 32]), 88.0);
+/// db.add_run(run);
+///
+/// // Tuesday's traffic looks like Monday's: classification finds it.
+/// let (idx, matched) = db.classify(&[0.78, 0.22]).unwrap();
+/// assert_eq!(idx, 0);
+/// assert_eq!(matched.label, "monday");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperienceDb {
+    runs: Vec<RunHistory>,
+}
+
+impl ExperienceDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stored runs.
+    pub fn runs(&self) -> &[RunHistory] {
+        &self.runs
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if no experience is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Record a finished run ("the tuning results may be treated as a new
+    /// experience and used to update the data characteristics database").
+    pub fn add_run(&mut self, run: RunHistory) {
+        self.runs.push(run);
+    }
+
+    /// Least-squares classification of observed characteristics; returns
+    /// the index and run minimizing the squared Euclidean distance, or
+    /// `None` if the database is empty or no run has matching
+    /// dimensionality.
+    pub fn classify(&self, observed: &[f64]) -> Option<(usize, &RunHistory)> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.characteristics.len() == observed.len())
+            .min_by(|a, b| {
+                euclidean_sq(&a.1.characteristics, observed)
+                    .total_cmp(&euclidean_sq(&b.1.characteristics, observed))
+            })
+    }
+
+    /// The `k` nearest runs, nearest first (for k-NN style analyzers).
+    pub fn nearest_k(&self, observed: &[f64], k: usize) -> Vec<(usize, &RunHistory)> {
+        let mut v: Vec<(usize, &RunHistory)> = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.characteristics.len() == observed.len())
+            .collect();
+        v.sort_by(|a, b| {
+            euclidean_sq(&a.1.characteristics, observed)
+                .total_cmp(&euclidean_sq(&b.1.characteristics, observed))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Compress the database into at most `k` runs by k-means clustering
+    /// the characteristic vectors and merging each cluster's records
+    /// (Figure 2 lists k-means among the analyzer's clustering
+    /// mechanisms). No-op if the database already fits.
+    pub fn compress(&mut self, k: usize) {
+        if self.runs.len() <= k || k == 0 {
+            return;
+        }
+        let dims = self.runs[0].characteristics.len();
+        if self.runs.iter().any(|r| r.characteristics.len() != dims) {
+            return; // heterogeneous characteristics: refuse to merge
+        }
+        let points: Vec<Vec<f64>> = self.runs.iter().map(|r| r.characteristics.clone()).collect();
+        let clustering = kmeans(&points, k, 50);
+        let mut merged: Vec<RunHistory> = clustering
+            .centroids
+            .iter()
+            .map(|c| RunHistory::new("merged", c.clone()))
+            .collect();
+        for (run, &cluster) in self.runs.drain(..).zip(&clustering.assignment) {
+            let m = &mut merged[cluster];
+            if m.label == "merged" {
+                m.label = format!("merged:{}", run.label);
+            }
+            m.records.extend(run.records);
+        }
+        merged.retain(|r| !r.records.is_empty());
+        self.runs = merged;
+    }
+
+    /// Train a decision tree mapping characteristics to run indices (for
+    /// [`Classifier::DecisionTree`](crate::history::Classifier)). Returns
+    /// `None` when the database is empty or characteristics are
+    /// heterogeneous in dimension.
+    pub fn train_tree(&self, params: crate::history::TreeParams) -> Option<crate::history::DecisionTree> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let dims = self.runs[0].characteristics.len();
+        if self.runs.iter().any(|r| r.characteristics.len() != dims) {
+            return None;
+        }
+        let samples: Vec<(Vec<f64>, usize)> = self
+            .runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.characteristics.clone(), i))
+            .collect();
+        Some(crate::history::DecisionTree::fit(&samples, params))
+    }
+
+    /// Persist as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        let json = serde_json::to_string_pretty(self)?;
+        fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Load from JSON.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, DbError> {
+        let json = fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_space::Configuration;
+
+    fn run(label: &str, ch: Vec<f64>, perf: f64) -> RunHistory {
+        let mut r = RunHistory::new(label, ch);
+        r.push(&Configuration::new(vec![1, 2]), perf);
+        r
+    }
+
+    #[test]
+    fn classify_picks_nearest() {
+        let mut db = ExperienceDb::new();
+        db.add_run(run("a", vec![0.0, 0.0], 1.0));
+        db.add_run(run("b", vec![1.0, 1.0], 2.0));
+        db.add_run(run("c", vec![0.4, 0.4], 3.0));
+        let (i, r) = db.classify(&[0.45, 0.5]).unwrap();
+        assert_eq!(i, 2);
+        assert_eq!(r.label, "c");
+        assert!(db.classify(&[]).is_none(), "dimension mismatch filtered");
+    }
+
+    #[test]
+    fn classify_empty_db_is_none() {
+        assert!(ExperienceDb::new().classify(&[0.5]).is_none());
+    }
+
+    #[test]
+    fn nearest_k_is_sorted() {
+        let mut db = ExperienceDb::new();
+        db.add_run(run("far", vec![9.0], 0.0));
+        db.add_run(run("near", vec![1.1], 0.0));
+        db.add_run(run("mid", vec![3.0], 0.0));
+        let names: Vec<&str> = db.nearest_k(&[1.0], 2).iter().map(|(_, r)| r.label.as_str()).collect();
+        assert_eq!(names, vec!["near", "mid"]);
+    }
+
+    #[test]
+    fn compress_merges_clusters() {
+        let mut db = ExperienceDb::new();
+        for i in 0..4 {
+            db.add_run(run(&format!("lo{i}"), vec![0.0 + i as f64 * 0.01], 1.0));
+            db.add_run(run(&format!("hi{i}"), vec![10.0 + i as f64 * 0.01], 2.0));
+        }
+        db.compress(2);
+        assert_eq!(db.len(), 2);
+        // All 8 records survive, 4 per cluster.
+        let total: usize = db.runs().iter().map(|r| r.records.len()).sum();
+        assert_eq!(total, 8);
+        // Centroids near 0.015 and 10.015 (order unspecified).
+        let mut cs: Vec<f64> = db.runs().iter().map(|r| r.characteristics[0]).collect();
+        cs.sort_by(|a, b| a.total_cmp(b));
+        assert!((cs[0] - 0.015).abs() < 0.1);
+        assert!((cs[1] - 10.015).abs() < 0.1);
+    }
+
+    #[test]
+    fn compress_is_noop_when_small() {
+        let mut db = ExperienceDb::new();
+        db.add_run(run("a", vec![0.0], 1.0));
+        let before = db.clone();
+        db.compress(5);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut db = ExperienceDb::new();
+        db.add_run(run("persisted", vec![0.25, 0.75], 42.0));
+        let dir = std::env::temp_dir().join("harmony-db-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let back = ExperienceDb::load(&path).unwrap();
+        assert_eq!(back, db);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            ExperienceDb::load("/nonexistent/harmony/db.json"),
+            Err(DbError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic k-means over characteristic vectors.
+//!
+//! Figure 2 lists k-means among the data analyzer's clustering mechanisms;
+//! here it compresses the experience database. Initialization is a
+//! deterministic farthest-point (k-means++-style without randomness) so
+//! results are reproducible.
+
+use harmony_linalg::stats::euclidean_sq;
+
+/// Result of a clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centers.
+    pub centroids: Vec<Vec<f64>>,
+    /// For each input point, the index of its centroid.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+}
+
+/// Cluster `points` into at most `k` groups with at most `max_iters`
+/// Lloyd iterations.
+///
+/// # Panics
+/// Panics if `k == 0`, `points` is empty, or points have inconsistent
+/// dimensionality.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> Clustering {
+    assert!(k > 0, "kmeans: k must be positive");
+    assert!(!points.is_empty(), "kmeans: no points");
+    let dims = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dims), "kmeans: ragged points");
+    let k = k.min(points.len());
+
+    // Farthest-point initialization from the dataset centroid.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mean: Vec<f64> = (0..dims)
+        .map(|d| points.iter().map(|p| p[d]).sum::<f64>() / points.len() as f64)
+        .collect();
+    let first = points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| euclidean_sq(a.1, &mean).total_cmp(&euclidean_sq(b.1, &mean)))
+        .expect("non-empty")
+        .0;
+    centroids.push(points[first].clone());
+    while centroids.len() < k {
+        let next = points
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                let da = centroids.iter().map(|c| euclidean_sq(a.1, c)).fold(f64::INFINITY, f64::min);
+                let db = centroids.iter().map(|c| euclidean_sq(b.1, c)).fold(f64::INFINITY, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("non-empty")
+            .0;
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| euclidean_sq(p, a.1).total_cmp(&euclidean_sq(p, b.1)))
+                .expect("k >= 1")
+                .0;
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| euclidean_sq(p, &centroids[a]))
+        .sum();
+    Clustering { centroids, assignment, inertia }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![5.0, 5.1],
+        ];
+        let c = kmeans(&pts, 2, 20);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert!(c.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let c = kmeans(&pts, 10, 5);
+        assert_eq!(c.centroids.len(), 2);
+        assert!(c.inertia < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_the_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let c = kmeans(&pts, 1, 10);
+        assert!((c.centroids[0][0] - 2.0).abs() < 1e-12);
+        assert_eq!(c.assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let a = kmeans(&pts, 3, 30);
+        let b = kmeans(&pts, 3, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = kmeans(&[vec![1.0]], 0, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Historical data: the experience database and the data analyzer (§4.2).
+//!
+//! "During the tuning process, Active Harmony will keep a record of all
+//! the parameter values together with the associated performance results.
+//! … The tuning experience with associated input request characteristics
+//! will be accumulated in the database for future reference."
+
+mod analyzer;
+mod db;
+mod kmeans;
+mod record;
+mod tree;
+
+pub use analyzer::{Classifier, DataAnalyzer};
+pub use db::{DbError, ExperienceDb};
+pub use kmeans::kmeans;
+pub use record::{RunHistory, TuningRecord};
+pub use tree::{DecisionTree, TreeParams};

@@ -1,0 +1,287 @@
+//! CART-style decision tree over workload characteristics.
+//!
+//! Figure 2 lists a decision tree (alongside k-means and least-squares)
+//! among the data analyzer's classification mechanisms. This is a small,
+//! deterministic CART: binary axis-aligned splits chosen by Gini impurity,
+//! depth- and leaf-size-limited.
+
+use serde::{Deserialize, Serialize};
+
+/// Training limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 8, min_leaf: 1 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained classifier mapping characteristic vectors to class labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    features: usize,
+}
+
+impl DecisionTree {
+    /// Fit a tree on `(characteristics, class)` samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or feature vectors are ragged.
+    pub fn fit(samples: &[(Vec<f64>, usize)], params: TreeParams) -> Self {
+        assert!(!samples.is_empty(), "DecisionTree: no training samples");
+        let features = samples[0].0.len();
+        assert!(
+            samples.iter().all(|(x, _)| x.len() == features),
+            "DecisionTree: ragged feature vectors"
+        );
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let root = build(samples, &idx, features, params, 0);
+        DecisionTree { root, features }
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Predict the class of one characteristic vector.
+    ///
+    /// # Panics
+    /// Panics on a feature-count mismatch.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.features, "DecisionTree: feature count mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Tree depth (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        fn l(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => l(left) + l(right),
+            }
+        }
+        l(&self.root)
+    }
+}
+
+/// Majority class of a sample subset (smallest label wins ties, for
+/// determinism).
+fn majority(samples: &[(Vec<f64>, usize)], idx: &[usize]) -> usize {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for &i in idx {
+        *counts.entry(samples[i].1).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .expect("non-empty subset")
+        .0
+}
+
+/// Gini impurity of a subset.
+fn gini(samples: &[(Vec<f64>, usize)], idx: &[usize]) -> f64 {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for &i in idx {
+        *counts.entry(samples[i].1).or_default() += 1;
+    }
+    let n = idx.len() as f64;
+    1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+fn build(
+    samples: &[(Vec<f64>, usize)],
+    idx: &[usize],
+    features: usize,
+    params: TreeParams,
+    depth: usize,
+) -> Node {
+    let pure = idx.iter().all(|&i| samples[i].1 == samples[idx[0]].1);
+    if pure || depth >= params.max_depth || idx.len() < 2 * params.min_leaf {
+        return Node::Leaf { class: majority(samples, idx) };
+    }
+
+    // Best axis-aligned split by weighted Gini.
+    let parent_gini = gini(samples, idx);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    for f in 0..features {
+        let mut values: Vec<f64> = idx.iter().map(|&i| samples[i].0[f]).collect();
+        values.sort_by(|a, b| a.total_cmp(b));
+        values.dedup();
+        for w in values.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| samples[i].0[f] <= threshold);
+            if left.len() < params.min_leaf || right.len() < params.min_leaf {
+                continue;
+            }
+            let n = idx.len() as f64;
+            let weighted = gini(samples, &left) * left.len() as f64 / n
+                + gini(samples, &right) * right.len() as f64 / n;
+            let gain = parent_gini - weighted;
+            if best.is_none_or(|(g, _, _)| gain > g + 1e-12) {
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+
+    // Accept the best split even at zero gain: the node is known impure
+    // (pure nodes returned above), and XOR-like targets only become
+    // separable after a gain-free first cut. Depth/leaf limits bound the
+    // recursion.
+    match best {
+        Some((gain, feature, threshold)) if gain > -1e-12 => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| samples[i].0[feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(samples, &left_idx, features, params, depth + 1)),
+                right: Box::new(build(samples, &right_idx, features, params, depth + 1)),
+            }
+        }
+        _ => Node::Leaf { class: majority(samples, idx) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> Vec<(Vec<f64>, usize)> {
+        vec![
+            (vec![0.0, 0.0], 0),
+            (vec![0.0, 1.0], 1),
+            (vec![1.0, 0.0], 1),
+            (vec![1.0, 1.0], 0),
+        ]
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let data = vec![
+            (vec![0.1, 0.2], 0),
+            (vec![0.2, 0.1], 0),
+            (vec![0.9, 0.8], 1),
+            (vec![0.8, 0.95], 1),
+        ];
+        let tree = DecisionTree::fit(&data, TreeParams::default());
+        for (x, y) in &data {
+            assert_eq!(tree.predict(x), *y);
+        }
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn solves_xor_with_enough_depth() {
+        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 3, min_leaf: 1 });
+        for (x, y) in xor_data() {
+            assert_eq!(tree.predict(&x), y, "at {x:?}");
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 1, min_leaf: 1 });
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn min_leaf_prevents_overfitting_splits() {
+        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 10, min_leaf: 3 });
+        // No split can give both sides >= 3 of 4 samples.
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.leaves(), 1);
+    }
+
+    #[test]
+    fn multiclass_classification() {
+        let data: Vec<(Vec<f64>, usize)> = (0..30)
+            .map(|i| {
+                let c = i % 3;
+                (vec![c as f64 + (i as f64 % 7.0) * 0.01], c)
+            })
+            .collect();
+        let tree = DecisionTree::fit(&data, TreeParams::default());
+        assert_eq!(tree.predict(&[0.02]), 0);
+        assert_eq!(tree.predict(&[1.03]), 1);
+        assert_eq!(tree.predict(&[2.01]), 2);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = xor_data();
+        let a = DecisionTree::fit(&data, TreeParams::default());
+        let b = DecisionTree::fit(&data, TreeParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_sample_tree_is_a_leaf() {
+        let tree = DecisionTree::fit(&[(vec![1.0, 2.0, 3.0], 7)], TreeParams::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[9.0, 9.0, 9.0]), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let tree = DecisionTree::fit(&xor_data(), TreeParams::default());
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training samples")]
+    fn empty_training_panics() {
+        let _ = DecisionTree::fit(&[], TreeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_wrong_arity_panics() {
+        let tree = DecisionTree::fit(&[(vec![1.0], 0)], TreeParams::default());
+        let _ = tree.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Initial simplex construction (§4.1).
+
+use harmony_space::ParameterSpace;
+use serde::{Deserialize, Serialize};
+
+/// How the first `n+1` exploration configurations are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitStrategy {
+    /// The original Active Harmony behaviour: "original Active Harmony
+    /// implementation tries the extreme values for the parameters for the
+    /// initial exploration" — the all-minimum corner plus one
+    /// maximum-along-each-axis corner per parameter.
+    ExtremeCorners,
+    /// The paper's improvement: "configurations that are equally
+    /// distributed in the whole search space" (Figure 1b). Implemented as
+    /// a cyclic Latin square — vertex `i` places parameter `j` at fraction
+    /// `((i+j) mod (n+1) + ½)/(n+1)` of its range — which covers the
+    /// interior evenly *and* keeps the simplex affinely non-degenerate.
+    EvenSpread,
+    /// The literal reading of "for each of n parameters, we increase 1/n
+    /// of its extreme values every time": all parameters ramp together, so
+    /// the vertices are collinear and the simplex is degenerate. Retained
+    /// as an ablation target; not recommended for real tuning.
+    Diagonal,
+}
+
+impl InitStrategy {
+    /// Generate the `n+1` initial vertices in continuous coordinates.
+    pub fn initial_points(&self, space: &ParameterSpace) -> Vec<Vec<f64>> {
+        let n = space.len();
+        let point_at = |fracs: &dyn Fn(usize) -> f64| -> Vec<f64> {
+            space
+                .params()
+                .iter()
+                .enumerate()
+                .map(|(j, p)| {
+                    let lo = p.static_min() as f64;
+                    let hi = p.static_max() as f64;
+                    lo + fracs(j).clamp(0.0, 1.0) * (hi - lo)
+                })
+                .collect()
+        };
+        match self {
+            InitStrategy::ExtremeCorners => {
+                let mut pts = Vec::with_capacity(n + 1);
+                pts.push(point_at(&|_| 0.0));
+                for i in 0..n {
+                    pts.push(point_at(&|j| if j == i { 1.0 } else { 0.0 }));
+                }
+                pts
+            }
+            InitStrategy::EvenSpread => (0..=n)
+                .map(|i| {
+                    point_at(&|j| ((i + j) % (n + 1)) as f64 / (n + 1) as f64 + 0.5 / (n + 1) as f64)
+                })
+                .collect(),
+            InitStrategy::Diagonal => (0..=n)
+                .map(|i| point_at(&|_| (i as f64 + 0.5) / (n + 1) as f64))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_space::{ParamDef, ParameterSpace};
+
+    fn space(n: usize) -> ParameterSpace {
+        ParameterSpace::new(
+            (0..n)
+                .map(|i| ParamDef::int(format!("p{i}"), 0, 100, 50, 1))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_strategies_emit_n_plus_one_points() {
+        let s = space(4);
+        for strat in [InitStrategy::ExtremeCorners, InitStrategy::EvenSpread, InitStrategy::Diagonal] {
+            let pts = strat.initial_points(&s);
+            assert_eq!(pts.len(), 5, "{strat:?}");
+            for p in &pts {
+                assert_eq!(p.len(), 4);
+                for (j, &x) in p.iter().enumerate() {
+                    let def = s.param(j);
+                    assert!(x >= def.static_min() as f64 && x <= def.static_max() as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_corners_touch_the_boundary() {
+        let pts = InitStrategy::ExtremeCorners.initial_points(&space(3));
+        assert_eq!(pts[0], vec![0.0, 0.0, 0.0]);
+        assert_eq!(pts[1], vec![100.0, 0.0, 0.0]);
+        assert_eq!(pts[3], vec![0.0, 0.0, 100.0]);
+    }
+
+    #[test]
+    fn even_spread_avoids_the_boundary() {
+        let s = space(3);
+        for p in InitStrategy::EvenSpread.initial_points(&s) {
+            for &x in &p {
+                assert!(x > 0.0 && x < 100.0, "even spread must stay interior, got {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_spread_covers_each_axis_evenly() {
+        // Along any single parameter, the n+1 vertices take n+1 distinct,
+        // evenly spaced positions (cyclic Latin square property).
+        let s = space(3);
+        let pts = InitStrategy::EvenSpread.initial_points(&s);
+        for j in 0..3 {
+            let mut vals: Vec<f64> = pts.iter().map(|p| p[j]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for w in vals.windows(2) {
+                assert!((w[1] - w[0] - 25.0).abs() < 1e-9, "axis {j}: {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_spread_is_affinely_independent_in_2d() {
+        // Three vertices in 2-D must not be collinear.
+        let s = space(2);
+        let pts = InitStrategy::EvenSpread.initial_points(&s);
+        let (a, b, c) = (&pts[0], &pts[1], &pts[2]);
+        let cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+        assert!(cross.abs() > 1e-6, "EvenSpread produced a degenerate simplex");
+    }
+
+    #[test]
+    fn diagonal_is_collinear_by_design() {
+        let s = space(2);
+        let pts = InitStrategy::Diagonal.initial_points(&s);
+        let (a, b, c) = (&pts[0], &pts[1], &pts[2]);
+        let cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
+        assert!(cross.abs() < 1e-9, "Diagonal should be collinear (it is the ablation)");
+    }
+}

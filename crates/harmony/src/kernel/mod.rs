@@ -1,0 +1,20 @@
+//! The adaptation controller's tuning kernel.
+//!
+//! "The kernel of the adaptation controller is a tuning algorithm … based
+//! on the simplex method for finding a function's minimum value. … we have
+//! adapted the algorithm by simply using the resulting values from the
+//! nearest integer point in the space to approximate the performance at
+//! the selected point in the continuous space" (§2).
+//!
+//! The kernel is *ask-tell*: callers pull the next configuration to
+//! explore with [`SimplexKernel::next_config`] and push the measured (or,
+//! during the §4.2 training stage, *estimated*) performance back with
+//! [`SimplexKernel::observe`]. That split is what makes the two-stage
+//! tuning process possible without the kernel knowing where numbers come
+//! from.
+
+mod init;
+mod simplex;
+
+pub use init::InitStrategy;
+pub use simplex::{SimplexKernel, SimplexOptions};

@@ -1,0 +1,137 @@
+//! The black-box objective the tuner optimizes.
+//!
+//! Active Harmony "has no knowledge about the input and thus treats the
+//! system to be tuned as a black box" (§4.2): one configuration in, one
+//! performance number out. Higher is better throughout this crate (the
+//! paper maximizes WIPS; the simplex kernel internally negates as needed).
+
+use harmony_space::Configuration;
+use std::collections::HashMap;
+
+/// A tunable system: measuring a configuration returns its performance
+/// (higher is better). Measurement may be expensive and noisy — the whole
+/// paper is about spending fewer of these calls.
+pub trait Objective {
+    /// Measure one configuration.
+    fn measure(&mut self, cfg: &Configuration) -> f64;
+}
+
+/// Adapter turning any closure into an [`Objective`].
+pub struct FnObjective<F: FnMut(&Configuration) -> f64> {
+    f: F,
+    count: u64,
+}
+
+impl<F: FnMut(&Configuration) -> f64> FnObjective<F> {
+    /// Wrap a closure.
+    pub fn new(f: F) -> Self {
+        FnObjective { f, count: 0 }
+    }
+
+    /// Number of measurements so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<F: FnMut(&Configuration) -> f64> Objective for FnObjective<F> {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.count += 1;
+        (self.f)(cfg)
+    }
+}
+
+impl Objective for Box<dyn Objective + '_> {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        (**self).measure(cfg)
+    }
+}
+
+/// Memoizing wrapper: identical configurations are measured once.
+///
+/// The discrete projection of the simplex method frequently lands several
+/// continuous points on the same integer configuration; for slow systems
+/// ("5 to 10 minutes to explore one configuration", §3) re-measuring is
+/// wasteful. Note this trades away noise averaging — use only where that
+/// is acceptable.
+pub struct CachedObjective<O: Objective> {
+    inner: O,
+    cache: HashMap<Configuration, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<O: Objective> CachedObjective<O> {
+    /// Wrap an objective.
+    pub fn new(inner: O) -> Self {
+        CachedObjective { inner, cache: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (= real measurements) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Unwrap the inner objective.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Objective> Objective for CachedObjective<O> {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        if let Some(&v) = self.cache.get(cfg) {
+            self.hits += 1;
+            return v;
+        }
+        let v = self.inner.measure(cfg);
+        self.cache.insert(cfg.clone(), v);
+        self.misses += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_objective_counts() {
+        let mut o = FnObjective::new(|c: &Configuration| c.get(0) as f64);
+        assert_eq!(o.measure(&Configuration::new(vec![3])), 3.0);
+        assert_eq!(o.measure(&Configuration::new(vec![5])), 5.0);
+        assert_eq!(o.count(), 2);
+    }
+
+    #[test]
+    fn cached_objective_deduplicates() {
+        let mut calls = 0u32;
+        {
+            let inner = FnObjective::new(|c: &Configuration| {
+                calls += 1;
+                c.get(0) as f64
+            });
+            let mut cached = CachedObjective::new(inner);
+            let a = Configuration::new(vec![1]);
+            let b = Configuration::new(vec![2]);
+            assert_eq!(cached.measure(&a), 1.0);
+            assert_eq!(cached.measure(&a), 1.0);
+            assert_eq!(cached.measure(&b), 2.0);
+            assert_eq!(cached.hits(), 1);
+            assert_eq!(cached.misses(), 2);
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn boxed_objective_dispatches() {
+        let mut boxed: Box<dyn Objective> =
+            Box::new(FnObjective::new(|c: &Configuration| -(c.get(0) as f64)));
+        assert_eq!(boxed.measure(&Configuration::new(vec![4])), -4.0);
+    }
+}

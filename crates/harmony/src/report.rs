@@ -1,0 +1,179 @@
+//! Tuning-process metrics (Tables 1 & 2).
+//!
+//! The paper evaluates a tuning run on more than its final performance:
+//! "what we care about in the tuning process is not just getting the best
+//! configuration, but also the performance of the system while getting
+//! there" (§4.1). These metrics quantify that.
+
+use harmony_space::Configuration;
+
+/// One live exploration: iteration number, configuration, measured
+/// performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// Explored configuration.
+    pub config: Configuration,
+    /// Measured performance.
+    pub performance: f64,
+}
+
+/// Thresholds for trace analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportOptions {
+    /// Convergence: the first iteration whose best-so-far is within this
+    /// relative tolerance of the final best counts as "converged".
+    pub convergence_eps: f64,
+    /// A "bad performance iteration" (Table 2) measures below this
+    /// fraction of the final best.
+    pub bad_fraction: f64,
+    /// Length of the initial window over which oscillation statistics are
+    /// computed (Table 2's "initial performance oscillation").
+    pub initial_window: usize,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions { convergence_eps: 0.01, bad_fraction: 0.75, initial_window: 20 }
+    }
+}
+
+/// Summary of one tuning run (the columns of Tables 1 and 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningReport {
+    /// Number of live iterations.
+    pub iterations: usize,
+    /// Best performance found.
+    pub best_performance: f64,
+    /// Iteration at which the best configuration was first measured.
+    pub best_iteration: usize,
+    /// "Convergence time (iterations)": first iteration whose best-so-far
+    /// reaches within `convergence_eps` of the final best.
+    pub convergence_time: usize,
+    /// "Worst performance": the deepest dip during the run (Table 1).
+    pub worst_performance: f64,
+    /// Count of bad-performance iterations (Table 2's prose).
+    pub bad_iterations: usize,
+    /// Mean performance over the initial window (Table 2 "initial
+    /// performance oscillation average").
+    pub initial_mean: f64,
+    /// Standard deviation over the initial window (Table 2's parenthesized
+    /// value).
+    pub initial_std: f64,
+}
+
+/// Analyze a trace.
+///
+/// Returns a zeroed report for an empty trace (nothing was explored).
+pub fn analyze_trace(trace: &[TraceEntry], opts: &ReportOptions) -> TuningReport {
+    if trace.is_empty() {
+        return TuningReport {
+            iterations: 0,
+            best_performance: 0.0,
+            best_iteration: 0,
+            convergence_time: 0,
+            worst_performance: 0.0,
+            bad_iterations: 0,
+            initial_mean: 0.0,
+            initial_std: 0.0,
+        };
+    }
+    let perfs: Vec<f64> = trace.iter().map(|t| t.performance).collect();
+    let best_performance = perfs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let best_iteration = perfs
+        .iter()
+        .position(|&p| p == best_performance)
+        .expect("max exists");
+    let worst_performance = perfs.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // Convergence: best-so-far is monotone, so this is the first index
+    // reaching the band around the final best.
+    let band = best_performance - opts.convergence_eps * best_performance.abs();
+    let convergence_time = perfs
+        .iter()
+        .position(|&p| p >= band)
+        .expect("best itself reaches the band");
+
+    let bad_threshold = opts.bad_fraction * best_performance;
+    let bad_iterations = perfs.iter().filter(|&&p| p < bad_threshold).count();
+
+    let window = &perfs[..opts.initial_window.min(perfs.len())];
+    let initial_mean = harmony_linalg::stats::mean(window);
+    let initial_std = harmony_linalg::stats::std_dev(window);
+
+    TuningReport {
+        iterations: trace.len(),
+        best_performance,
+        best_iteration,
+        convergence_time,
+        worst_performance,
+        bad_iterations,
+        initial_mean,
+        initial_std,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(perfs: &[f64]) -> Vec<TraceEntry> {
+        perfs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| TraceEntry {
+                iteration: i,
+                config: Configuration::new(vec![i as i64]),
+                performance: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace_is_zeroed() {
+        let r = analyze_trace(&[], &ReportOptions::default());
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.best_performance, 0.0);
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let t = trace(&[10.0, 50.0, 30.0, 99.0, 98.0, 99.5]);
+        let r = analyze_trace(&t, &ReportOptions::default());
+        assert_eq!(r.iterations, 6);
+        assert_eq!(r.best_performance, 99.5);
+        assert_eq!(r.best_iteration, 5);
+        assert_eq!(r.worst_performance, 10.0);
+        // 99.0 is within 1% of 99.5, so convergence at iteration 3.
+        assert_eq!(r.convergence_time, 3);
+        // Bad threshold 74.6: iterations 0, 1, 2 are bad.
+        assert_eq!(r.bad_iterations, 3);
+    }
+
+    #[test]
+    fn initial_window_statistics() {
+        let t = trace(&[10.0, 20.0, 30.0, 100.0, 100.0]);
+        let opts = ReportOptions { initial_window: 3, ..Default::default() };
+        let r = analyze_trace(&t, &opts);
+        assert!((r.initial_mean - 20.0).abs() < 1e-12);
+        assert!((r.initial_std - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_detects_early_plateau() {
+        // Found the optimum immediately.
+        let t = trace(&[100.0, 100.0, 100.0]);
+        let r = analyze_trace(&t, &ReportOptions::default());
+        assert_eq!(r.convergence_time, 0);
+        assert_eq!(r.bad_iterations, 0);
+    }
+
+    #[test]
+    fn smoother_run_has_smaller_initial_std() {
+        let rough = analyze_trace(&trace(&[10.0, 90.0, 20.0, 85.0, 90.0]), &ReportOptions::default());
+        let smooth = analyze_trace(&trace(&[70.0, 80.0, 85.0, 88.0, 90.0]), &ReportOptions::default());
+        assert!(smooth.initial_std < rough.initial_std);
+        assert!(smooth.worst_performance > rough.worst_performance);
+    }
+}

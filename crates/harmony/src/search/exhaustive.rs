@@ -1,0 +1,119 @@
+//! Exhaustive search — ground truth for small/coarse spaces (Figure 4's
+//! "performance obtained through exhaustive search").
+
+use crate::objective::Objective;
+use crate::report::TraceEntry;
+use crate::search::SearchOutcome;
+use harmony_space::{Configuration, ParameterSpace};
+
+/// Evaluate every feasible configuration sequentially.
+///
+/// Returns `None` if the space yields no feasible configurations (cannot
+/// happen for a validly built space, but restricted spaces deserialized
+/// from hostile data could).
+pub fn exhaustive_search(
+    space: &ParameterSpace,
+    objective: &mut dyn Objective,
+) -> Option<SearchOutcome> {
+    let mut trace = Vec::new();
+    for (iteration, config) in space.iter().enumerate() {
+        let performance = objective.measure(&config);
+        trace.push(TraceEntry { iteration, config, performance });
+    }
+    SearchOutcome::from_trace(trace)
+}
+
+/// Evaluate every feasible configuration on `threads` scoped threads.
+///
+/// Requires a pure evaluation function; configurations are materialized
+/// once and chunks are scored independently — the embarrassingly parallel
+/// shape scoped threads handle without any shared mutable state.
+pub fn par_exhaustive_search<F>(
+    space: &ParameterSpace,
+    eval: F,
+    threads: usize,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&Configuration) -> f64 + Sync,
+{
+    let configs: Vec<Configuration> = space.iter().collect();
+    if configs.is_empty() {
+        return None;
+    }
+    let threads = threads.max(1).min(configs.len());
+    let chunk = configs.len().div_ceil(threads);
+    let mut perfs: Vec<f64> = vec![0.0; configs.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (cfg_chunk, perf_chunk) in configs.chunks(chunk).zip(perfs.chunks_mut(chunk)) {
+            let eval = &eval;
+            handles.push(scope.spawn(move || {
+                for (c, p) in cfg_chunk.iter().zip(perf_chunk.iter_mut()) {
+                    *p = eval(c);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("exhaustive worker panicked");
+        }
+    });
+    let trace: Vec<TraceEntry> = configs
+        .into_iter()
+        .zip(perfs)
+        .enumerate()
+        .map(|(iteration, (config, performance))| TraceEntry { iteration, config, performance })
+        .collect();
+    SearchOutcome::from_trace(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_space::ParamDef;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("x", 0, 9, 0, 1))
+            .param(ParamDef::int("y", 0, 9, 0, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn f(c: &Configuration) -> f64 {
+        -((c.get(0) - 7).pow(2) + (c.get(1) - 2).pow(2)) as f64
+    }
+
+    #[test]
+    fn visits_every_configuration_and_finds_the_optimum() {
+        let s = space();
+        let mut obj = FnObjective::new(f);
+        let out = exhaustive_search(&s, &mut obj).unwrap();
+        assert_eq!(out.trace.len(), 100);
+        assert_eq!(out.best_configuration.values(), &[7, 2]);
+        assert_eq!(out.best_performance, 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let s = space();
+        let mut obj = FnObjective::new(f);
+        let seq = exhaustive_search(&s, &mut obj).unwrap();
+        for threads in [1, 2, 3, 16] {
+            let par = par_exhaustive_search(&s, f, threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn respects_restrictions() {
+        let s = harmony_space::parse_rsl(
+            "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}",
+        )
+        .unwrap();
+        let out = par_exhaustive_search(&s, |c| (c.get(0) * c.get(1)) as f64, 4).unwrap();
+        assert_eq!(out.trace.len(), 36);
+        // max of B*C subject to B+C<=9: B=4,C=5 or B=5,C=4 → 20.
+        assert_eq!(out.best_performance, 20.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Comparison search algorithms from the related-work discussion (§7).
+//!
+//! These exist to benchmark the simplex kernel against, and to power
+//! experiments that need ground truth (exhaustive search for Figure 4).
+
+mod exhaustive;
+mod powell;
+mod random;
+
+pub use exhaustive::{exhaustive_search, par_exhaustive_search};
+pub use powell::{powell_search, PowellOptions};
+pub use random::random_search;
+
+use crate::report::TraceEntry;
+use harmony_space::Configuration;
+
+/// Common result shape for the baseline searches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Explorations in order.
+    pub trace: Vec<TraceEntry>,
+    /// Best configuration found.
+    pub best_configuration: Configuration,
+    /// Its performance.
+    pub best_performance: f64,
+}
+
+impl SearchOutcome {
+    pub(crate) fn from_trace(trace: Vec<TraceEntry>) -> Option<Self> {
+        let best = trace
+            .iter()
+            .max_by(|a, b| a.performance.total_cmp(&b.performance))?
+            .clone();
+        Some(SearchOutcome {
+            best_configuration: best.config,
+            best_performance: best.performance,
+            trace,
+        })
+    }
+}

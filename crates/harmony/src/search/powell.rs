@@ -1,0 +1,191 @@
+//! Powell's direction-set method, discretized.
+//!
+//! §7: "The basic idea behind Powell's Method is to break the N
+//! dimensional minimization down into N separate 1-dimension minimization
+//! problems. Then, for each 1-dimension problem a binary search is
+//! implemented to find the local minimum within a given range. … This
+//! method is similar to the Active Harmony parameter prioritizing tool
+//! which explores one parameter at a time. However, this method does not
+//! explore the relation among parameters while the Nelder-Mead simplex
+//! method does."
+//!
+//! Our discrete adaptation: cycle through the parameter axes; along each
+//! axis run a ternary search over the admissible grid values (the discrete
+//! analogue of the 1-D binary search, exact for unimodal sections);
+//! repeat until a full sweep yields no improvement or the budget runs out.
+
+use crate::objective::Objective;
+use crate::report::TraceEntry;
+use crate::search::SearchOutcome;
+use harmony_space::{Configuration, ParameterSpace};
+
+/// Powell options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowellOptions {
+    /// Total measurement budget.
+    pub budget: usize,
+    /// Maximum full axis sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for PowellOptions {
+    fn default() -> Self {
+        PowellOptions { budget: 300, max_sweeps: 10 }
+    }
+}
+
+/// Run the search from the space's default configuration.
+pub fn powell_search(
+    space: &ParameterSpace,
+    objective: &mut dyn Objective,
+    opts: PowellOptions,
+) -> Option<SearchOutcome> {
+    let mut trace: Vec<TraceEntry> = Vec::new();
+    let mut current = space.default_configuration();
+    let measure = |cfg: &Configuration, trace: &mut Vec<TraceEntry>, obj: &mut dyn Objective| {
+        let performance = obj.measure(cfg);
+        trace.push(TraceEntry { iteration: trace.len(), config: cfg.clone(), performance });
+        performance
+    };
+    if opts.budget == 0 {
+        return None;
+    }
+    let mut current_value = measure(&current, &mut trace, objective);
+
+    'sweeps: for _ in 0..opts.max_sweeps {
+        let mut improved = false;
+        for j in 0..space.len() {
+            // Restrict the axis section to the values admissible given the
+            // already-chosen earlier parameters (Appendix B).
+            let (lo_b, hi_b) = match space.effective_bounds(j, &current.values()[..j]) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            let values: Vec<i64> = space
+                .param(j)
+                .static_values()
+                .into_iter()
+                .filter(|&v| v >= lo_b && v <= hi_b)
+                .collect();
+            if values.len() < 2 {
+                continue;
+            }
+            // Discrete ternary search over the axis section.
+            let mut lo = 0usize;
+            let mut hi = values.len() - 1;
+            let mut axis_best = current_value;
+            let mut axis_best_value = current.get(j);
+            let probe = |idx: usize,
+                             trace: &mut Vec<TraceEntry>,
+                             obj: &mut dyn Objective,
+                             axis_best: &mut f64,
+                             axis_best_value: &mut i64|
+             -> Option<f64> {
+                if trace.len() >= opts.budget {
+                    return None;
+                }
+                // Re-project so parameters depending on j stay feasible.
+                let cfg = space.project(&current.with_value(j, values[idx]).to_point());
+                let p = measure(&cfg, trace, obj);
+                if p > *axis_best {
+                    *axis_best = p;
+                    *axis_best_value = values[idx];
+                }
+                Some(p)
+            };
+            while hi - lo > 2 {
+                let m1 = lo + (hi - lo) / 3;
+                let m2 = hi - (hi - lo) / 3;
+                let p1 = match probe(m1, &mut trace, objective, &mut axis_best, &mut axis_best_value) {
+                    Some(p) => p,
+                    None => break 'sweeps,
+                };
+                let p2 = match probe(m2, &mut trace, objective, &mut axis_best, &mut axis_best_value) {
+                    Some(p) => p,
+                    None => break 'sweeps,
+                };
+                if p1 < p2 {
+                    lo = m1 + 1;
+                } else {
+                    hi = m2 - 1;
+                }
+            }
+            for idx in lo..=hi {
+                if probe(idx, &mut trace, objective, &mut axis_best, &mut axis_best_value).is_none() {
+                    break 'sweeps;
+                }
+            }
+            if axis_best > current_value {
+                current = space.project(&current.with_value(j, axis_best_value).to_point());
+                current_value = axis_best;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    SearchOutcome::from_trace(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_space::ParamDef;
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("x", 0, 100, 50, 1))
+            .param(ParamDef::int("y", 0, 100, 50, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solves_separable_unimodal_objectives() {
+        let f = |c: &Configuration| {
+            -(c.get(0) - 73).pow(2) as f64 - (c.get(1) - 12).pow(2) as f64
+        };
+        let mut obj = FnObjective::new(f);
+        let out = powell_search(&space(), &mut obj, PowellOptions::default()).unwrap();
+        assert_eq!(out.best_configuration.values(), &[73, 12]);
+    }
+
+    #[test]
+    fn handles_mild_interaction_via_repeated_sweeps() {
+        // Rotated valley: axis moves alone are suboptimal but repeated
+        // sweeps walk it.
+        let f = |c: &Configuration| {
+            let x = c.get(0) as f64;
+            let y = c.get(1) as f64;
+            -(x - y).powi(2) - 0.1 * (x - 80.0).powi(2)
+        };
+        let mut obj = FnObjective::new(f);
+        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 500, max_sweeps: 20 }).unwrap();
+        assert!(out.best_configuration.get(0) > 70, "{:?}", out.best_configuration);
+        assert!((out.best_configuration.get(0) - out.best_configuration.get(1)).abs() <= 3);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut obj = FnObjective::new(|_: &Configuration| 1.0);
+        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 25, max_sweeps: 100 }).unwrap();
+        assert!(out.trace.len() <= 25);
+        assert_eq!(obj.count() as usize, out.trace.len());
+    }
+
+    #[test]
+    fn zero_budget_is_none() {
+        let mut obj = FnObjective::new(|_: &Configuration| 1.0);
+        assert!(powell_search(&space(), &mut obj, PowellOptions { budget: 0, max_sweeps: 1 }).is_none());
+    }
+
+    #[test]
+    fn stops_when_no_improvement() {
+        // Flat objective: one sweep, no improvement, stop well under budget.
+        let mut obj = FnObjective::new(|_: &Configuration| 5.0);
+        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 10_000, max_sweeps: 50 }).unwrap();
+        assert!(out.trace.len() < 200, "flat objective should stop early, used {}", out.trace.len());
+    }
+}

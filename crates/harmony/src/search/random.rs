@@ -1,0 +1,72 @@
+//! Uniform random search baseline.
+
+use crate::objective::Objective;
+use crate::report::TraceEntry;
+use crate::search::SearchOutcome;
+use harmony_space::ParameterSpace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Sample `budget` feasible configurations uniformly (per-parameter
+/// fractions mapped through the restricted space) and keep the best.
+///
+/// Returns `None` for a zero budget.
+pub fn random_search(
+    space: &ParameterSpace,
+    objective: &mut dyn Objective,
+    budget: usize,
+    seed: u64,
+) -> Option<SearchOutcome> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(budget);
+    for iteration in 0..budget {
+        let fracs: Vec<f64> = (0..space.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let config = space.from_fractions(&fracs);
+        let performance = objective.measure(&config);
+        trace.push(TraceEntry { iteration, config, performance });
+    }
+    SearchOutcome::from_trace(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_space::{Configuration, ParamDef};
+
+    fn space() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("x", 0, 50, 25, 1))
+            .param(ParamDef::int("y", 0, 50, 25, 1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_budget_is_none() {
+        let mut obj = FnObjective::new(|_: &Configuration| 0.0);
+        assert!(random_search(&space(), &mut obj, 0, 1).is_none());
+    }
+
+    #[test]
+    fn finds_decent_points_and_is_deterministic() {
+        let f = |c: &Configuration| -((c.get(0) - 30).pow(2) + (c.get(1) - 10).pow(2)) as f64;
+        let mut o1 = FnObjective::new(f);
+        let a = random_search(&space(), &mut o1, 200, 7).unwrap();
+        let mut o2 = FnObjective::new(f);
+        let b = random_search(&space(), &mut o2, 200, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.best_performance > -100.0, "200 samples should get close: {}", a.best_performance);
+        assert_eq!(a.trace.len(), 200);
+    }
+
+    #[test]
+    fn all_samples_feasible() {
+        let s = space();
+        let mut obj = FnObjective::new(|_: &Configuration| 0.0);
+        let out = random_search(&s, &mut obj, 50, 3).unwrap();
+        for t in &out.trace {
+            assert!(s.is_feasible(&t.config).unwrap());
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Tuning sessions: the normal one-stage flow and the §4.2 two-stage
+//! (training + live) flow.
+
+use crate::estimate::estimate_performance;
+use crate::history::RunHistory;
+use crate::kernel::{InitStrategy, SimplexKernel};
+use crate::objective::Objective;
+use crate::report::{analyze_trace, ReportOptions, TraceEntry, TuningReport};
+use harmony_space::{Configuration, ParameterSpace};
+
+/// Normalized point spread below which a trained simplex counts as
+/// collapsed and is re-expanded before live tuning.
+const RESTART_SPREAD: f64 = 0.05;
+
+/// How historical experience is injected before live tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingMode {
+    /// No training stage (the original Active Harmony behaviour).
+    None,
+    /// Seed the initial simplex directly with the best recorded
+    /// configurations ("the system should use previous data layout as the
+    /// starting point for tuning").
+    SeedSimplex,
+    /// Replay: run the kernel for up to this many *virtual* iterations,
+    /// answering its requests with triangulation estimates from the
+    /// historical records instead of live measurements (§4.3). Falls back
+    /// to seeding when estimation is impossible.
+    Replay(usize),
+}
+
+/// Session options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningOptions {
+    /// Live measurement budget.
+    pub max_iterations: usize,
+    /// Initial simplex strategy (§4.1).
+    pub init: InitStrategy,
+    /// Stop once the simplex's relative value spread falls below this
+    /// (and at least `min_iterations` live measurements were spent).
+    pub value_eps: f64,
+    /// Stop once every vertex projects within this normalized distance of
+    /// the best vertex.
+    pub point_eps: f64,
+    /// Never stop before this many live iterations.
+    pub min_iterations: usize,
+    /// Trace-analysis thresholds.
+    pub report: ReportOptions,
+}
+
+impl TuningOptions {
+    /// The original Active Harmony configuration: extreme-corner initial
+    /// exploration.
+    pub fn original() -> Self {
+        TuningOptions {
+            max_iterations: 200,
+            init: InitStrategy::ExtremeCorners,
+            value_eps: 5e-3,
+            point_eps: 0.02,
+            min_iterations: 10,
+            report: ReportOptions::default(),
+        }
+    }
+
+    /// The paper's improved configuration: evenly spread initial simplex
+    /// (§4.1).
+    pub fn improved() -> Self {
+        TuningOptions { init: InitStrategy::EvenSpread, ..Self::original() }
+    }
+
+    /// Builder-style max iterations.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+}
+
+impl Default for TuningOptions {
+    fn default() -> Self {
+        Self::improved()
+    }
+}
+
+/// Result of a tuning session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningOutcome {
+    /// Every live exploration, in order.
+    pub trace: Vec<TraceEntry>,
+    /// Best configuration measured live.
+    pub best_configuration: Configuration,
+    /// Its performance.
+    pub best_performance: f64,
+    /// Metrics over the trace.
+    pub report: TuningReport,
+    /// Whether the spread criteria (rather than the budget) stopped the
+    /// session.
+    pub converged: bool,
+    /// Virtual (estimated) iterations spent in the training stage.
+    pub training_iterations: usize,
+}
+
+impl TuningOutcome {
+    /// Convert the live trace into a [`RunHistory`] for the experience
+    /// database.
+    pub fn to_history(&self, label: impl Into<String>, characteristics: Vec<f64>) -> RunHistory {
+        let mut run = RunHistory::new(label, characteristics);
+        for t in &self.trace {
+            run.push(&t.config, t.performance);
+        }
+        run
+    }
+}
+
+/// A tuning session driver.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    space: ParameterSpace,
+    options: TuningOptions,
+}
+
+impl Tuner {
+    /// Create a session driver.
+    pub fn new(space: ParameterSpace, options: TuningOptions) -> Self {
+        Tuner { space, options }
+    }
+
+    /// The space under tuning.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Options in force.
+    pub fn options(&self) -> &TuningOptions {
+        &self.options
+    }
+
+    /// One-stage tuning: measure everything live.
+    pub fn run(&self, objective: &mut dyn Objective) -> TuningOutcome {
+        let kernel = SimplexKernel::new(self.space.clone(), self.options.init);
+        self.drive(kernel, objective, 0)
+    }
+
+    /// Two-stage tuning with prior experience (§4.2): a training stage
+    /// that costs no live measurements, then the live stage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use harmony::objective::FnObjective;
+    /// use harmony::prelude::*;
+    /// use harmony::tuner::TrainingMode;
+    /// use harmony_space::{ParamDef, ParameterSpace};
+    ///
+    /// let space = ParameterSpace::builder()
+    ///     .param(ParamDef::int("x", 0, 50, 25, 1))
+    ///     .build()
+    ///     .unwrap();
+    /// let f = |cfg: &Configuration| -((cfg.get(0) - 30).pow(2)) as f64;
+    ///
+    /// // A prior run left records behind …
+    /// let mut history = RunHistory::new("prior", vec![1.0]);
+    /// for x in [10, 20, 28, 33, 40] {
+    ///     let cfg = Configuration::new(vec![x]);
+    ///     history.push(&cfg, f(&cfg));
+    /// }
+    ///
+    /// // … which the next session replays as free virtual iterations.
+    /// let tuner = Tuner::new(space, TuningOptions::improved().with_max_iterations(30));
+    /// let mut objective = FnObjective::new(f);
+    /// let out = tuner.run_trained(&mut objective, &history, TrainingMode::Replay(8));
+    /// assert!(out.best_performance > -5.0);
+    /// ```
+    pub fn run_trained(
+        &self,
+        objective: &mut dyn Objective,
+        history: &RunHistory,
+        mode: TrainingMode,
+    ) -> TuningOutcome {
+        match mode {
+            TrainingMode::None => self.run(objective),
+            TrainingMode::SeedSimplex => {
+                let seeds = self.diverse_seeds(history);
+                if seeds.is_empty() {
+                    return self.run(objective);
+                }
+                let mut kernel = SimplexKernel::with_seeded_simplex(self.space.clone(), seeds);
+                // Seeded values came from a (possibly different) prior
+                // workload: restore geometry if the seeds were clustered,
+                // then re-measure everything live before searching.
+                if kernel.initialized() && kernel.point_spread() < RESTART_SPREAD {
+                    kernel.expand_around_best(0.25);
+                }
+                kernel.refresh();
+                self.drive(kernel, objective, 0)
+            }
+            TrainingMode::Replay(budget) => {
+                if history.records.is_empty() {
+                    return self.run(objective);
+                }
+                // Start from the recorded experience as the simplex, then
+                // let the kernel explore *virtually*: requests are answered
+                // with triangulation estimates.
+                let seeds = self.diverse_seeds(history);
+                let mut kernel = SimplexKernel::with_seeded_simplex(self.space.clone(), seeds);
+                let mut trained = 0usize;
+                for _ in 0..budget {
+                    let cfg = kernel.next_config();
+                    match estimate_performance(&self.space, &history.records, &cfg) {
+                        Some(est) => {
+                            kernel.observe(est);
+                            trained += 1;
+                        }
+                        None => break,
+                    }
+                }
+                // Trained values are estimates from prior experience; the
+                // virtual search may also have collapsed the simplex onto
+                // the *old* optimum. Restore geometry, then re-measure the
+                // vertices live so stale optimism cannot pin the search to
+                // the prior workload's optimum.
+                if kernel.initialized() && kernel.point_spread() < RESTART_SPREAD {
+                    kernel.expand_around_best(0.25);
+                }
+                kernel.refresh();
+                self.drive(kernel, objective, trained)
+            }
+        }
+    }
+
+    /// Pick up to `n+1` seed vertices from a prior run: the best record
+    /// first, then greedy farthest-point selection among the
+    /// better-performing half. Post-convergence traces cluster at the old
+    /// optimum; without the diversity requirement the seeded simplex would
+    /// start (nearly) collapsed.
+    fn diverse_seeds(&self, history: &RunHistory) -> Vec<(Configuration, f64)> {
+        let records = &history.records;
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        order.sort_by(|&a, &b| records[b].performance.total_cmp(&records[a].performance));
+        // Candidates: the better half (at least n+1 when available).
+        let keep = (records.len() / 2).max(self.space.len() + 1).min(records.len());
+        let candidates = &order[..keep];
+
+        let mut chosen: Vec<usize> = vec![candidates[0]]; // the best record
+        while chosen.len() < self.space.len() + 1 {
+            let next = candidates
+                .iter()
+                .copied()
+                .filter(|i| !chosen.contains(i))
+                .max_by(|&a, &b| {
+                    let da = self.min_dist_to_chosen(records, &chosen, a);
+                    let db = self.min_dist_to_chosen(records, &chosen, b);
+                    da.total_cmp(&db)
+                });
+            match next {
+                // Stop once only duplicates remain — the kernel fills the
+                // rest with axis offsets around the best seed.
+                Some(i) if self.min_dist_to_chosen(records, &chosen, i) > 1e-9 => chosen.push(i),
+                _ => break,
+            }
+        }
+        chosen
+            .into_iter()
+            .map(|i| (records[i].configuration(), records[i].performance))
+            .collect()
+    }
+
+    fn min_dist_to_chosen(
+        &self,
+        records: &[crate::history::TuningRecord],
+        chosen: &[usize],
+        candidate: usize,
+    ) -> f64 {
+        let c = records[candidate].configuration();
+        chosen
+            .iter()
+            .map(|&i| self.space.normalized_distance(&records[i].configuration(), &c))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Main measurement loop shared by all flows.
+    fn drive(
+        &self,
+        mut kernel: SimplexKernel,
+        objective: &mut dyn Objective,
+        training_iterations: usize,
+    ) -> TuningOutcome {
+        let mut trace: Vec<TraceEntry> = Vec::with_capacity(self.options.max_iterations);
+        let mut converged = false;
+        let mut live_best: Option<(Configuration, f64)> = None;
+        for iteration in 0..self.options.max_iterations {
+            let config = kernel.next_config();
+            let performance = objective.measure(&config);
+            kernel.observe(performance);
+            match &live_best {
+                Some((_, b)) if *b >= performance => {}
+                _ => live_best = Some((config.clone(), performance)),
+            }
+            trace.push(TraceEntry { iteration, config, performance });
+            if kernel.initialized()
+                && trace.len() >= self.options.min_iterations
+                && kernel.value_spread() < self.options.value_eps
+                && kernel.point_spread() < self.options.point_eps
+            {
+                converged = true;
+                break;
+            }
+        }
+        let (best_configuration, best_performance) = live_best
+            .unwrap_or_else(|| (self.space.default_configuration(), f64::NEG_INFINITY));
+        let report = analyze_trace(&trace, &self.options.report);
+        TuningOutcome {
+            trace,
+            best_configuration,
+            best_performance,
+            report,
+            converged,
+            training_iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use harmony_space::ParamDef;
+
+    fn space2() -> ParameterSpace {
+        ParameterSpace::builder()
+            .param(ParamDef::int("x", 0, 100, 50, 1))
+            .param(ParamDef::int("y", 0, 100, 50, 1))
+            .build()
+            .unwrap()
+    }
+
+    fn paraboloid(cfg: &Configuration) -> f64 {
+        let x = cfg.get(0) as f64;
+        let y = cfg.get(1) as f64;
+        1000.0 - (x - 40.0).powi(2) - (y - 70.0).powi(2)
+    }
+
+    #[test]
+    fn plain_run_finds_the_optimum_region() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        assert!(out.best_performance > 980.0, "{}", out.best_performance);
+        assert_eq!(out.trace.len(), out.report.iterations);
+        assert_eq!(out.training_iterations, 0);
+        // The recorded best matches the trace maximum.
+        let trace_max = out.trace.iter().map(|t| t.performance).fold(f64::MIN, f64::max);
+        assert_eq!(out.best_performance, trace_max);
+    }
+
+    #[test]
+    fn improved_init_avoids_extreme_first_iterations() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        // The first three explorations (the initial simplex) must be
+        // interior points under EvenSpread.
+        for t in &out.trace[..3] {
+            for j in 0..2 {
+                let v = t.config.get(j);
+                assert!(v > 0 && v < 100, "initial exploration at extreme: {}", t.config);
+            }
+        }
+    }
+
+    #[test]
+    fn original_init_explores_extremes_first() {
+        let tuner = Tuner::new(space2(), TuningOptions::original());
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        assert_eq!(out.trace[0].config.values(), &[0, 0]);
+    }
+
+    #[test]
+    fn converges_before_budget_on_easy_problems() {
+        let opts = TuningOptions::improved().with_max_iterations(500);
+        let tuner = Tuner::new(space2(), opts);
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        assert!(out.converged, "should converge before 500 iterations");
+        assert!(out.trace.len() < 500);
+    }
+
+    #[test]
+    fn seeded_training_converges_faster_than_cold() {
+        let space = space2();
+        // History recorded near the optimum.
+        let mut history = RunHistory::new("prior", vec![0.5]);
+        for (x, y) in [(38, 68), (44, 72), (40, 66), (36, 74), (42, 69)] {
+            let cfg = Configuration::new(vec![x, y]);
+            history.push(&cfg, paraboloid(&cfg));
+        }
+        let opts = TuningOptions::improved();
+        let tuner = Tuner::new(space, opts);
+
+        let mut cold_obj = FnObjective::new(paraboloid);
+        let cold = tuner.run(&mut cold_obj);
+        let mut warm_obj = FnObjective::new(paraboloid);
+        let warm = tuner.run_trained(&mut warm_obj, &history, TrainingMode::SeedSimplex);
+
+        assert!(warm.report.convergence_time <= cold.report.convergence_time);
+        assert!(warm.report.worst_performance >= cold.report.worst_performance,
+            "warm start should avoid the deep initial dips: warm {} vs cold {}",
+            warm.report.worst_performance, cold.report.worst_performance);
+        assert!(warm.best_performance > 990.0);
+    }
+
+    #[test]
+    fn replay_training_spends_virtual_iterations() {
+        let space = space2();
+        let mut history = RunHistory::new("prior", vec![0.5]);
+        // A modest grid of records around mid-space so estimation works.
+        for x in [20, 40, 60, 80] {
+            for y in [30, 50, 70, 90] {
+                let cfg = Configuration::new(vec![x, y]);
+                history.push(&cfg, paraboloid(&cfg));
+            }
+        }
+        let tuner = Tuner::new(space, TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run_trained(&mut obj, &history, TrainingMode::Replay(15));
+        assert!(out.training_iterations > 0, "replay must train virtually");
+        assert!(out.best_performance > 980.0);
+    }
+
+    #[test]
+    fn empty_history_falls_back_to_cold_run() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let empty = RunHistory::new("empty", vec![]);
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run_trained(&mut obj, &empty, TrainingMode::Replay(10));
+        assert_eq!(out.training_iterations, 0);
+        assert!(out.best_performance > 950.0);
+    }
+
+    #[test]
+    fn outcome_to_history_preserves_trace() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved().with_max_iterations(20));
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        let run = out.to_history("label", vec![0.3, 0.7]);
+        assert_eq!(run.records.len(), out.trace.len());
+        assert_eq!(run.best().unwrap().performance, out.best_performance);
+        assert_eq!(run.characteristics, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved().with_max_iterations(7));
+        let mut obj = FnObjective::new(paraboloid);
+        let out = tuner.run(&mut obj);
+        assert!(out.trace.len() <= 7);
+        assert_eq!(obj.count(), out.trace.len() as u64);
+    }
+}

@@ -1,0 +1,64 @@
+//! Continuous adaptation on the simulated cluster: the traffic mix shifts
+//! from browsing-dominated to ordering-dominated during the day; the
+//! adaptive controller notices the drift, re-tunes (warm-started from the
+//! growing experience database), and redeploys.
+//!
+//! Run with: `cargo run --release -p harmony-examples --bin adaptive_cluster`
+
+use harmony::adaptive::{AdaptiveOptions, AdaptiveTuner, Decision};
+use harmony::objective::Objective;
+use harmony::prelude::*;
+use harmony_examples::banner;
+use harmony_websim::{webservice_space, Fidelity, WebServiceSystem, WorkloadMix};
+
+struct Web(WebServiceSystem);
+
+impl Objective for Web {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.0.evaluate(cfg)
+    }
+}
+
+fn main() {
+    let mut controller = AdaptiveTuner::new(webservice_space(), AdaptiveOptions::default());
+
+    // A simulated day: traffic drifts browsing -> shopping -> ordering,
+    // then returns to shopping.
+    let periods: [(&str, WorkloadMix); 6] = [
+        ("06:00", WorkloadMix::browsing()),
+        ("09:00", WorkloadMix::browsing().blend(&WorkloadMix::shopping(), 0.15)),
+        ("12:00", WorkloadMix::shopping()),
+        ("15:00", WorkloadMix::shopping().blend(&WorkloadMix::ordering(), 0.9)),
+        ("18:00", WorkloadMix::ordering()),
+        ("21:00", WorkloadMix::shopping()),
+    ];
+
+    banner("simulated day with drifting traffic");
+    for (i, (clock, mix)) in periods.iter().enumerate() {
+        let mut sys = Web(WebServiceSystem::new(mix.clone(), Fidelity::Analytic, 0.05, i as u64));
+        let chars = sys.0.observe_characteristics(400);
+        match controller.observe(&mut sys, &format!("period-{clock}"), &chars) {
+            Decision::Steady { drift } => {
+                println!("{clock}  drift {drift:.3} -> keep configuration (WIPS stays tuned)");
+            }
+            Decision::Retuned { drift, outcome } => {
+                println!(
+                    "{clock}  drift {} -> RE-TUNE (trained from {:?}): best WIPS {:.1} in {} iterations",
+                    drift.map(|d| format!("{d:.3}")).unwrap_or_else(|| "n/a".into()),
+                    outcome.trained_from,
+                    outcome.tuning.best_performance,
+                    outcome.tuning.trace.len(),
+                );
+            }
+        }
+    }
+
+    banner("summary");
+    println!(
+        "{} tuning sessions over {} periods; experience database holds {} runs",
+        controller.sessions(),
+        periods.len(),
+        controller.server().db().len(),
+    );
+    println!("deployed configuration: {}", controller.deployed().expect("deployed"));
+}

@@ -1,0 +1,55 @@
+//! Persisting the experience database across executions (§4.2): the first
+//! "execution" tunes from scratch and saves its experience; the second
+//! loads the database, classifies the incoming workload, and warm-starts.
+//!
+//! Run with: `cargo run --release -p harmony-examples --bin experience_replay`
+
+use harmony::history::ExperienceDb;
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_examples::banner;
+use harmony_synth::scenario::weblike_system;
+
+fn main() {
+    let dir = std::env::temp_dir().join("harmony-experience-demo");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let db_path = dir.join("experience.json");
+
+    let workload_day1 = [0.40, 0.25, 0.10, 0.10, 0.10, 0.05];
+    let workload_day2 = [0.38, 0.24, 0.11, 0.12, 0.10, 0.05]; // similar traffic next day
+
+    banner("execution 1: cold tuning, then save the experience");
+    let mut sys1 = weblike_system(&workload_day1, 0.05, 1);
+    let space = sys1.space().clone();
+    let mut obj1 = FnObjective::new(move |cfg: &Configuration| sys1.evaluate(cfg));
+    let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(120));
+    let out1 = tuner.run(&mut obj1);
+    println!(
+        "  best {:.1} after {} iterations, {} bad iterations",
+        out1.best_performance, out1.trace.len(), out1.report.bad_iterations
+    );
+    let mut db = ExperienceDb::new();
+    db.add_run(out1.to_history("day-1", workload_day1.to_vec()));
+    db.save(&db_path).expect("save experience");
+    println!("  saved to {}", db_path.display());
+
+    banner("execution 2 (new process): load, classify, warm-start");
+    let db = ExperienceDb::load(&db_path).expect("load experience");
+    println!("  loaded {} prior run(s)", db.len());
+    let (idx, matched) = db.classify(&workload_day2).expect("match found");
+    println!("  classified day-2 traffic -> prior run #{idx} ({:?})", matched.label);
+    let mut sys2 = weblike_system(&workload_day2, 0.05, 2);
+    let mut obj2 = FnObjective::new(move |cfg: &Configuration| sys2.evaluate(cfg));
+    let out2 = tuner.run_trained(&mut obj2, matched, TrainingMode::Replay(10));
+    println!(
+        "  best {:.1}; convergence at iteration {} (cold run: {}); {} bad iterations (cold: {})",
+        out2.best_performance,
+        out2.report.convergence_time,
+        out1.report.convergence_time,
+        out2.report.bad_iterations,
+        out1.report.bad_iterations,
+    );
+
+    std::fs::remove_file(&db_path).ok();
+}

@@ -1,0 +1,53 @@
+//! Quickstart: make a black-box function tunable and let Active Harmony
+//! find a good configuration.
+//!
+//! Run with: `cargo run -p harmony-examples --bin quickstart`
+
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony_space::{ParamDef, ParameterSpace};
+
+fn main() {
+    // 1. Declare the tunable parameters: min, max, default, step (§3's
+    //    four values).
+    let space = ParameterSpace::builder()
+        .param(ParamDef::int("read_ahead_kb", 4, 512, 64, 4))
+        .param(ParamDef::int("worker_threads", 1, 64, 8, 1))
+        .param(ParamDef::categorical(
+            "sort_algorithm",
+            vec!["heap".into(), "quick".into(), "merge".into()],
+            0,
+        ))
+        .build()
+        .expect("valid space");
+
+    // 2. Wrap the system as an objective (here a synthetic one: quicksort
+    //    with ~24 threads and ~128 KB read-ahead is best).
+    let mut objective = FnObjective::new(|cfg: &Configuration| {
+        let ra = cfg.get(0) as f64;
+        let threads = cfg.get(1) as f64;
+        let algo_bonus = [0.0, 15.0, 8.0][cfg.get(2) as usize];
+        200.0 + algo_bonus - 0.002 * (ra - 128.0).powi(2) - 0.15 * (threads - 24.0).powi(2)
+    });
+
+    // 3. Tune.
+    let tuner = Tuner::new(space.clone(), TuningOptions::improved());
+    let outcome = tuner.run(&mut objective);
+
+    println!("explored {} configurations", outcome.trace.len());
+    println!(
+        "best: read_ahead={}KB, threads={}, algorithm={}",
+        outcome.best_configuration.get(0),
+        outcome.best_configuration.get(1),
+        space
+            .param(2)
+            .label(outcome.best_configuration.get(2))
+            .unwrap_or("?"),
+    );
+    println!("performance: {:.1} (converged: {})", outcome.best_performance, outcome.converged);
+    println!(
+        "convergence after {} iterations; worst dip {:.1}",
+        outcome.report.convergence_time, outcome.report.worst_performance
+    );
+    assert!(outcome.best_performance > 205.0, "tuning should approach the optimum");
+}

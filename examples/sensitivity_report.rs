@@ -1,0 +1,36 @@
+//! The standalone parameter prioritizing tool (§3) on the fifteen-
+//! parameter synthetic system, sequential and parallel.
+//!
+//! Run with: `cargo run --release -p harmony-examples --bin sensitivity_report`
+
+use harmony::objective::FnObjective;
+use harmony::sensitivity::Prioritizer;
+use harmony_examples::banner;
+use harmony_space::Configuration;
+use harmony_synth::scenario::{section5_system, SECTION5_IRRELEVANT};
+
+fn main() {
+    let workload = [0.3, 0.5, 0.2];
+
+    banner("sequential sweep (stateful objective, 25% output noise)");
+    let mut sys = section5_system(workload, 0.25, 7);
+    let space = sys.space().clone();
+    let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+    let report = Prioritizer::new(space.clone())
+        .with_repeats(9)
+        .with_noise_floor(20)
+        .analyze(&mut obj);
+    println!("{} explorations spent", report.explorations());
+    for e in report.ranked() {
+        let mark = if SECTION5_IRRELEVANT.contains(&e.index) { "  <- planted irrelevant" } else { "" };
+        println!("  {:<3} sensitivity {:>8.2}  best value {}{}", e.name, e.sensitivity, e.best_value, mark);
+    }
+
+    banner("parallel sweep (pure evaluation function, noise-free)");
+    let clean = section5_system(workload, 0.0, 0);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let par = Prioritizer::new(space).analyze_parallel(|cfg| clean.evaluate_clean(cfg), threads);
+    println!("top-5 parameters on {threads} threads: {:?}",
+        par.ranked().iter().take(5).map(|e| e.name.as_str()).collect::<Vec<_>>());
+    println!("irrelevant (<=1% of max): {:?}", par.irrelevant(0.01));
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each binary at the crate root is a self-contained walkthrough of one
+//! part of the Active Harmony API:
+//!
+//! * `quickstart` — tune a toy function in ~30 lines;
+//! * `webservice_tuning` — the full §6 flow against the simulated
+//!   three-tier cluster;
+//! * `matrix_partition` — Appendix B's restricted-space scientific-library
+//!   scenario;
+//! * `sensitivity_report` — the standalone parameter prioritizing tool;
+//! * `experience_replay` — persisting and reusing the experience database
+//!   across "executions".
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,74 @@
+//! The full §6 workflow against the simulated cluster-based web service:
+//! prioritize parameters, observe the workload, classify against prior
+//! experience, train, tune, and record the run.
+//!
+//! Run with: `cargo run --release -p harmony-examples --bin webservice_tuning`
+
+use harmony::history::DataAnalyzer;
+use harmony::objective::Objective;
+use harmony::prelude::*;
+use harmony::server::ServerOptions;
+use harmony::tuner::TrainingMode;
+use harmony_examples::banner;
+use harmony_websim::{Fidelity, WebServiceSystem, WorkloadMix};
+
+struct Web(WebServiceSystem);
+
+impl Objective for Web {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.0.evaluate(cfg)
+    }
+}
+
+fn main() {
+    let mut server = HarmonyServer::new(
+        harmony_websim::webservice_space(),
+        ServerOptions {
+            tuning: TuningOptions::improved().with_max_iterations(100),
+            training: TrainingMode::Replay(10),
+            analyzer: DataAnalyzer::new(),
+            focus_top_n: Some(6),
+        },
+    );
+
+    banner("1. parameter prioritizing (once, amortized)");
+    let mut probe = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 1));
+    let report = harmony::sensitivity::Prioritizer::new(server.space().clone())
+        .with_max_samples(10)
+        .analyze(&mut probe);
+    for e in report.ranked().iter().take(6) {
+        println!("  {:<24} sensitivity {:.1}", e.name, e.sensitivity);
+    }
+    server.set_sensitivity(report);
+
+    banner("2. first execution: shopping workload, no prior experience");
+    let mut sys = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 2));
+    let chars = sys.0.observe_characteristics(400);
+    let out1 = server.tune_session(&mut sys, "shopping", &chars);
+    println!(
+        "  trained from: {:?}; best WIPS {:.1} after {} iterations ({} bad)",
+        out1.trained_from,
+        out1.tuning.best_performance,
+        out1.tuning.trace.len(),
+        out1.tuning.report.bad_iterations
+    );
+
+    banner("3. second execution: ordering workload — closest experience is reused");
+    let mut sys2 = Web(WebServiceSystem::new(WorkloadMix::ordering(), Fidelity::Analytic, 0.05, 3));
+    let chars2 = sys2.0.observe_characteristics(400);
+    let out2 = server.tune_session(&mut sys2, "ordering", &chars2);
+    println!(
+        "  trained from: {:?}; best WIPS {:.1}; convergence at iteration {}",
+        out2.trained_from, out2.tuning.best_performance, out2.tuning.report.convergence_time
+    );
+
+    banner("4. shopping returns — now there is a close match in the database");
+    let mut sys3 = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 4));
+    let chars3 = sys3.0.observe_characteristics(400);
+    let out3 = server.tune_session(&mut sys3, "shopping-2", &chars3);
+    println!(
+        "  trained from: {:?}; convergence at iteration {} (vs {} cold)",
+        out3.trained_from, out3.tuning.report.convergence_time, out1.tuning.report.convergence_time
+    );
+    println!("\nexperience database now holds {} runs", server.db().len());
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the cross-crate integration tests (see `tests/`).
+
+use harmony::objective::Objective;
+use harmony_space::Configuration;
+use harmony_websim::{Fidelity, WebServiceSystem, WorkloadMix};
+
+/// Objective adapter over the simulated web service.
+pub struct WebObjective(pub WebServiceSystem);
+
+impl WebObjective {
+    /// Analytic fidelity with optional noise.
+    pub fn analytic(mix: WorkloadMix, noise: f64, seed: u64) -> Self {
+        WebObjective(WebServiceSystem::new(mix, Fidelity::Analytic, noise, seed))
+    }
+}
+
+impl Objective for WebObjective {
+    fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.0.evaluate(cfg)
+    }
+}

@@ -1,0 +1,78 @@
+//! Integration: the adaptive controller against the simulated cluster —
+//! the paper's motivating "environment changes rapidly" scenario end to
+//! end.
+
+use harmony::adaptive::{AdaptiveOptions, AdaptiveTuner, Decision};
+use harmony_websim::{webservice_space, WorkloadMix};
+use integration_tests::WebObjective;
+
+#[test]
+fn controller_rides_out_a_full_day_of_traffic() {
+    let mut controller = AdaptiveTuner::new(webservice_space(), AdaptiveOptions::default());
+    let day: Vec<(WorkloadMix, bool)> = vec![
+        (WorkloadMix::browsing(), true),   // cold start: must tune
+        (WorkloadMix::browsing(), false),  // same traffic: keep
+        (WorkloadMix::ordering(), true),   // big shift: retune
+        (WorkloadMix::ordering(), false),  // stable again
+        (WorkloadMix::browsing(), true),   // shift back: retune, trained
+    ];
+    for (i, (mix, expect_retune)) in day.into_iter().enumerate() {
+        let mut sys = WebObjective::analytic(mix, 0.05, i as u64);
+        let chars = sys.0.observe_characteristics(600);
+        let decision = controller.observe(&mut sys, &format!("period-{i}"), &chars);
+        match (expect_retune, &decision) {
+            (true, Decision::Retuned { .. }) | (false, Decision::Steady { .. }) => {}
+            other => panic!("period {i}: unexpected decision {other:?}"),
+        }
+    }
+    assert_eq!(controller.sessions(), 3);
+    assert_eq!(controller.server().db().len(), 3);
+}
+
+#[test]
+fn returning_traffic_trains_from_its_own_history() {
+    let mut controller = AdaptiveTuner::new(webservice_space(), AdaptiveOptions::default());
+    let mut b1 = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 1);
+    let chars = b1.0.observe_characteristics(600);
+    let _ = controller.observe(&mut b1, "browse-am", &chars);
+
+    let mut o = WebObjective::analytic(WorkloadMix::ordering(), 0.05, 2);
+    let chars = o.0.observe_characteristics(600);
+    let _ = controller.observe(&mut o, "order-noon", &chars);
+
+    let mut b2 = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 3);
+    let chars = b2.0.observe_characteristics(600);
+    match controller.observe(&mut b2, "browse-pm", &chars) {
+        Decision::Retuned { outcome, .. } => {
+            assert_eq!(outcome.trained_from.as_deref(), Some("browse-am"));
+        }
+        other => panic!("expected retune, got {other:?}"),
+    }
+}
+
+#[test]
+fn deployed_configuration_performs_well_on_the_current_mix() {
+    let mut controller = AdaptiveTuner::new(webservice_space(), AdaptiveOptions::default());
+    let mut sys = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 7);
+    let chars = sys.0.observe_characteristics(600);
+    let _ = controller.observe(&mut sys, "shopping", &chars);
+    let deployed = controller.deployed().expect("deployed after first period").clone();
+
+    let clean = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 0);
+    let space = webservice_space();
+    let default_wips = clean.0.evaluate_clean(&space.default_configuration());
+    let deployed_wips = clean.0.evaluate_clean(&deployed);
+    // The defaults are already near-optimal for this simulator and the
+    // session measures under 5% noise, so require the deployed config to
+    // be within noise of the default rather than strictly above it.
+    assert!(
+        deployed_wips > default_wips * 0.97,
+        "deployed {deployed_wips} should be competitive with default {default_wips}"
+    );
+    // And far above a genuinely bad configuration.
+    let starved = space.default_configuration().with_value(
+        space.index_of("AJPMaxProcessors").unwrap(),
+        1,
+    );
+    assert!(deployed_wips > clean.0.evaluate_clean(&starved) * 1.5);
+}

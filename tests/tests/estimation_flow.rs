@@ -1,0 +1,105 @@
+//! Integration: §4.3 performance estimation against the real simulators —
+//! records from a tuning run should let the estimator predict nearby
+//! configurations usefully (enough to drive the training stage).
+
+use harmony::estimate::estimate_performance;
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony_linalg::stats::{pearson, spearman};
+use harmony_synth::scenario::weblike_system;
+use harmony_websim::WorkloadMix;
+use integration_tests::WebObjective;
+
+#[test]
+fn estimates_correlate_with_truth_on_the_weblike_system() {
+    let workload = [0.4, 0.2, 0.1, 0.1, 0.1, 0.1];
+    let mut sys = weblike_system(&workload, 0.0, 0);
+    let space = sys.space().clone();
+
+    // Record a real tuning run's trace as history.
+    let mut obj = {
+        let mut s2 = weblike_system(&workload, 0.0, 0);
+        FnObjective::new(move |cfg: &Configuration| s2.evaluate(cfg))
+    };
+    let out = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(120)).run(&mut obj);
+    let history = out.to_history("run", workload.to_vec());
+
+    // Estimate performance at configurations near the best record.
+    let best = history.best().unwrap().configuration();
+    let mut estimates = Vec::new();
+    let mut truths = Vec::new();
+    for delta in [-6i64, -4, -2, 2, 4, 6] {
+        for j in [0usize, 2, 5] {
+            let p = space.param(j);
+            let v = (best.get(j) + delta).clamp(p.static_min(), p.static_max());
+            let target = best.with_value(j, v);
+            if let Some(est) = estimate_performance(&space, &history.records, &target) {
+                estimates.push(est);
+                truths.push(sys.evaluate(&target));
+            }
+        }
+    }
+    assert!(estimates.len() >= 12, "estimator should produce estimates");
+    let rho = spearman(&estimates, &truths).expect("defined");
+    assert!(rho > 0.4, "estimates should rank like truth near the optimum: rho={rho}");
+}
+
+#[test]
+fn estimates_track_truth_on_the_websim() {
+    let web = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 3);
+    let space = web.0.space().clone();
+    let out = {
+        let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(100));
+        let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 3);
+        tuner.run(&mut obj)
+    };
+    let history = out.to_history("shopping", vec![0.5; 14]);
+
+    // Probe a small neighbourhood grid around the best record.
+    let best = history.best().unwrap().configuration();
+    let mut estimates = Vec::new();
+    let mut truths = Vec::new();
+    for j in 0..space.len() {
+        let p = space.param(j);
+        for frac in [0.25, 0.75] {
+            let v = p.denormalize(frac);
+            let target = best.with_value(j, v);
+            if let Some(est) = estimate_performance(&space, &history.records, &target) {
+                estimates.push(est);
+                truths.push(web.0.evaluate_clean(&target));
+            }
+        }
+    }
+    let r = pearson(&estimates, &truths).expect("defined");
+    assert!(r > 0.3, "estimates should correlate with truth: r={r}");
+}
+
+#[test]
+fn training_stage_costs_zero_live_measurements() {
+    // The whole point of §4.2/§4.3: training consumes estimates, not
+    // measurements.
+    let workload = [0.4, 0.2, 0.1, 0.1, 0.1, 0.1];
+    let history = {
+        let mut sys = weblike_system(&workload, 0.0, 0);
+        let space = sys.space().clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+        Tuner::new(space, TuningOptions::improved().with_max_iterations(100))
+            .run(&mut obj)
+            .to_history("run", workload.to_vec())
+    };
+
+    let mut live_measurements = 0u64;
+    {
+        let mut sys = weblike_system(&workload, 0.0, 1);
+        let space = sys.space().clone();
+        let mut obj = FnObjective::new(|cfg: &Configuration| {
+            live_measurements += 1;
+            sys.evaluate(cfg)
+        });
+        let tuner = Tuner::new(space, TuningOptions::improved().with_max_iterations(30));
+        let out = tuner.run_trained(&mut obj, &history, harmony::tuner::TrainingMode::Replay(10));
+        assert!(out.training_iterations > 0);
+        assert_eq!(out.trace.len() as u64, live_measurements);
+    }
+    assert!(live_measurements <= 30, "live budget respected: {live_measurements}");
+}

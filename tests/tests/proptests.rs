@@ -1,0 +1,204 @@
+//! Property-based tests over the core data structures and invariants.
+
+use harmony::estimate::estimate_performance;
+use harmony::history::TuningRecord;
+use harmony::kernel::{InitStrategy, SimplexKernel};
+use harmony_linalg::{lstsq, Matrix};
+use harmony_space::{Configuration, Expr, ParamDef, ParameterSpace};
+use proptest::prelude::*;
+
+/// Strategy: a small, well-formed unrestricted parameter space.
+fn arb_space() -> impl Strategy<Value = ParameterSpace> {
+    proptest::collection::vec(
+        (0i64..50, 1i64..60, 1i64..7).prop_map(|(lo, span, step)| (lo, lo + span, step)),
+        1..6,
+    )
+    .prop_map(|dims| {
+        ParameterSpace::new(
+            dims.into_iter()
+                .enumerate()
+                .map(|(i, (lo, hi, step))| {
+                    // Default = the lowest grid value; always valid.
+                    ParamDef::int(format!("p{i}"), lo, hi, lo, step)
+                })
+                .collect(),
+        )
+        .expect("constructed valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn projection_is_always_feasible(space in arb_space(), raw in proptest::collection::vec(-1e4f64..1e4, 1..6)) {
+        prop_assume!(raw.len() >= space.len());
+        let point = &raw[..space.len()];
+        let cfg = space.project(point);
+        prop_assert!(space.is_feasible(&cfg).unwrap());
+    }
+
+    #[test]
+    fn projection_is_idempotent(space in arb_space(), raw in proptest::collection::vec(-1e4f64..1e4, 1..6)) {
+        prop_assume!(raw.len() >= space.len());
+        let cfg = space.project(&raw[..space.len()]);
+        let again = space.project(&cfg.to_point());
+        prop_assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn feasible_points_project_to_themselves(space in arb_space(), fracs in proptest::collection::vec(0.0f64..1.0, 1..6)) {
+        prop_assume!(fracs.len() >= space.len());
+        let cfg = space.from_fractions(&fracs[..space.len()]);
+        prop_assert!(space.is_feasible(&cfg).unwrap());
+        prop_assert_eq!(space.project(&cfg.to_point()), cfg);
+    }
+
+    #[test]
+    fn normalized_distance_is_a_pseudometric(
+        space in arb_space(),
+        fa in proptest::collection::vec(0.0f64..1.0, 1..6),
+        fb in proptest::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        prop_assume!(fa.len() >= space.len() && fb.len() >= space.len());
+        let a = space.from_fractions(&fa[..space.len()]);
+        let b = space.from_fractions(&fb[..space.len()]);
+        let dab = space.normalized_distance(&a, &b);
+        let dba = space.normalized_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-12);
+        prop_assert!(dab >= 0.0);
+        prop_assert!((space.normalized_distance(&a, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_iteration_agrees_with_counting(
+        b_max in 2i64..9,
+        budget in 4i64..15,
+    ) {
+        // B in [1, b_max], C in [1, budget - B] (clamped to >= 1 cases).
+        let doc = format!(
+            "{{ harmonyBundle B {{ int {{1 {b_max} 1}} }}}}\n\
+             {{ harmonyBundle C {{ int {{1 max(1,{budget}-$B) 1}} }}}}"
+        );
+        let space = harmony_space::parse_rsl(&doc).expect("valid RSL");
+        let all: Vec<Configuration> = space.iter().collect();
+        // Count agrees with the enumerator.
+        prop_assert_eq!(Some(all.len() as u128), space.restricted_size(u128::MAX));
+        // Every enumerated configuration is feasible and unique.
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), all.len());
+        for cfg in &all {
+            prop_assert!(space.is_feasible(cfg).unwrap(), "{}", cfg);
+        }
+    }
+
+    #[test]
+    fn kernel_proposals_are_always_feasible(
+        space in arb_space(),
+        values in proptest::collection::vec(-1e3f64..1e3, 40),
+    ) {
+        let mut kernel = SimplexKernel::new(space.clone(), InitStrategy::EvenSpread);
+        for &v in &values {
+            let cfg = kernel.next_config();
+            prop_assert!(space.is_feasible(&cfg).unwrap(), "infeasible proposal {}", cfg);
+            kernel.observe(v);
+        }
+    }
+
+    #[test]
+    fn kernel_best_is_the_max_of_observations(
+        space in arb_space(),
+        values in proptest::collection::vec(-1e3f64..1e3, 1..40),
+    ) {
+        let mut kernel = SimplexKernel::new(space.clone(), InitStrategy::EvenSpread);
+        let mut max = f64::NEG_INFINITY;
+        for &v in &values {
+            let _ = kernel.next_config();
+            kernel.observe(v);
+            max = max.max(v);
+        }
+        prop_assert_eq!(kernel.best().unwrap().1, max);
+    }
+
+    #[test]
+    fn estimator_is_exact_on_affine_surfaces(
+        coefs in proptest::collection::vec(-5.0f64..5.0, 3),
+        offset in -50.0f64..50.0,
+        targets in proptest::collection::vec((0i64..20, 0i64..20, 0i64..20), 1..5),
+    ) {
+        let space = ParameterSpace::new(vec![
+            ParamDef::int("a", 0, 20, 0, 1),
+            ParamDef::int("b", 0, 20, 0, 1),
+            ParamDef::int("c", 0, 20, 0, 1),
+        ]).unwrap();
+        let f = |v: &[i64]| offset + coefs.iter().zip(v).map(|(c, &x)| c * x as f64).sum::<f64>();
+        // Four affinely independent records.
+        let records: Vec<TuningRecord> = [
+            vec![0i64, 0, 0], vec![20, 0, 0], vec![0, 20, 0], vec![0, 0, 20],
+        ].into_iter().map(|v| TuningRecord { performance: f(&v), values: v }).collect();
+        for (a, b, c) in targets {
+            let t = Configuration::new(vec![a, b, c]);
+            let est = estimate_performance(&space, &records, &t).expect("estimable");
+            let truth = f(t.values());
+            prop_assert!((est - truth).abs() < 1e-6 * (1.0 + truth.abs()), "est {} vs {}", est, truth);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 3), 4..10),
+        b in proptest::collection::vec(-10.0f64..10.0, 4..10),
+    ) {
+        prop_assume!(b.len() >= rows.len());
+        let b = &b[..rows.len()];
+        let a = Matrix::from_rows(&rows);
+        if let Ok(x) = lstsq(&a, b) {
+            let ax = a.matvec(&x);
+            let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+            let grad = a.tr_matvec(&resid);
+            let scale = a.max_abs().max(1.0);
+            for g in grad {
+                prop_assert!(g.abs() < 1e-5 * scale * scale, "gradient {}", g);
+            }
+        }
+    }
+
+    #[test]
+    fn expr_parse_display_roundtrip(
+        a in 0i64..100,
+        b in 0i64..100,
+        name in "[A-Za-z][A-Za-z0-9_]{0,6}",
+    ) {
+        for src in [
+            format!("{a}+{b}*${name}"),
+            format!("min({a},${name})-{b}"),
+            format!("({a}-${name})/max(1,{b})"),
+        ] {
+            let e = Expr::parse(&src).unwrap();
+            let printed = e.to_string();
+            let re = Expr::parse(&printed).unwrap();
+            prop_assert_eq!(e, re);
+        }
+    }
+
+    #[test]
+    fn expr_interval_contains_concrete_values(
+        lo in -20i64..20,
+        span in 0i64..30,
+        probe in 0i64..30,
+    ) {
+        let hi = lo + span;
+        let v = lo + probe.min(span);
+        let exprs = ["$X*2-3", "min($X, 5)+max($X, -5)", "($X+7)*($X-2)", "10-$X"];
+        for src in exprs {
+            let e = Expr::parse(src).unwrap();
+            let iv = e.eval_interval(&|n| (n == "X").then_some((lo, hi))).unwrap();
+            let concrete = e.eval_with(&|n| (n == "X").then_some(v)).unwrap();
+            prop_assert!(
+                (iv.0..=iv.1).contains(&concrete),
+                "{}: {} outside [{}, {}] for X={} in [{}, {}]",
+                src, concrete, iv.0, iv.1, v, lo, hi
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration: Appendix-B parameter restriction end to end — RSL in,
+//! restricted tuning out.
+
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::search::{exhaustive_search, powell_search, random_search, PowellOptions};
+use harmony_space::parse_rsl;
+
+const A_TOTAL: i64 = 10;
+
+fn restricted_space() -> harmony_space::ParameterSpace {
+    parse_rsl(
+        "{ harmonyBundle B { int {1 8 1} }}\n\
+         { harmonyBundle C { int {1 9-$B 1} }}",
+    )
+    .unwrap()
+}
+
+/// Process-allocation objective over (B, C); D = A − B − C.
+fn perf(cfg: &Configuration) -> f64 {
+    let (b, c) = (cfg.get(0), cfg.get(1));
+    let d = A_TOTAL - b - c;
+    debug_assert!(d >= 1, "restricted space must keep D >= 1, got {cfg}");
+    100.0 - 2.0 * ((b - 3).pow(2) + (c - 4).pow(2) + (d - 3).pow(2)) as f64
+}
+
+#[test]
+fn every_explored_configuration_is_feasible() {
+    let space = restricted_space();
+    let mut obj = FnObjective::new(perf);
+    let out = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(80))
+        .run(&mut obj);
+    for t in &out.trace {
+        assert!(space.is_feasible(&t.config).unwrap(), "explored infeasible {}", t.config);
+        assert!(t.config.get(0) + t.config.get(1) <= 9);
+    }
+}
+
+#[test]
+fn simplex_finds_the_constrained_optimum() {
+    let space = restricted_space();
+    let mut obj = FnObjective::new(perf);
+    let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(80)).run(&mut obj);
+    assert_eq!(out.best_performance, 100.0, "optimum is (3, 4): got {}", out.best_configuration);
+}
+
+#[test]
+fn baselines_agree_on_the_optimum() {
+    let space = restricted_space();
+    let exhaustive = exhaustive_search(&space, &mut FnObjective::new(perf)).unwrap();
+    assert_eq!(exhaustive.best_configuration.values(), &[3, 4]);
+    assert_eq!(exhaustive.trace.len(), 36);
+
+    let rand = random_search(&space, &mut FnObjective::new(perf), 200, 1).unwrap();
+    assert!(rand.best_performance >= 90.0);
+    for t in &rand.trace {
+        assert!(space.is_feasible(&t.config).unwrap());
+    }
+
+    let powell =
+        powell_search(&space, &mut FnObjective::new(perf), PowellOptions::default()).unwrap();
+    assert!(powell.best_performance >= 90.0, "powell got {}", powell.best_performance);
+}
+
+#[test]
+fn restriction_shrinks_the_space_as_the_paper_describes() {
+    let space = restricted_space();
+    // Figure 10: full square 8×8 = 64, feasible triangle = 36.
+    assert_eq!(space.unconstrained_size(), 64);
+    assert_eq!(space.restricted_size(u128::MAX), Some(36));
+}

@@ -1,0 +1,123 @@
+//! Integration: the §5 synthetic experiments — parameter prioritization
+//! finds the planted irrelevant parameters and top-n tuning saves time.
+
+use harmony::objective::FnObjective;
+use harmony::prelude::*;
+use harmony::sensitivity::{Prioritizer, SubspaceFocus};
+use harmony_synth::scenario::{section5_system, SECTION5_IRRELEVANT};
+
+const WORKLOAD: [f64; 3] = [0.3, 0.5, 0.2];
+
+#[test]
+fn planted_irrelevant_parameters_score_zero_without_noise() {
+    let mut sys = section5_system(WORKLOAD, 0.0, 0);
+    let space = sys.space().clone();
+    let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+    let report = Prioritizer::new(space).analyze(&mut obj);
+    for &j in &SECTION5_IRRELEVANT {
+        assert_eq!(report.entries()[j].sensitivity, 0.0, "param {j} should be flat");
+    }
+    // And every other parameter scores strictly positive.
+    for (j, e) in report.entries().iter().enumerate() {
+        if !SECTION5_IRRELEVANT.contains(&j) {
+            assert!(e.sensitivity > 0.0, "param {} unexpectedly flat", e.name);
+        }
+    }
+}
+
+#[test]
+fn noise_floor_keeps_irrelevant_parameters_in_the_bottom_ranks() {
+    // Figure 5 under 10% perturbation: with averaging + noise floor, H
+    // and M stay out of the top half.
+    let mut sys = section5_system(WORKLOAD, 0.10, 5);
+    let space = sys.space().clone();
+    let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+    let report = Prioritizer::new(space)
+        .with_repeats(9)
+        .with_noise_floor(20)
+        .analyze(&mut obj);
+    let top_half = report.top_n(7);
+    for &j in &SECTION5_IRRELEVANT {
+        assert!(
+            !top_half.contains(&j),
+            "planted-irrelevant param {j} ranked in the top half: {top_half:?}"
+        );
+    }
+}
+
+#[test]
+fn tuning_fewer_parameters_takes_fewer_iterations() {
+    // Figure 6's x-axis sweep, noise-free: convergence time grows with n.
+    let time_for = |n: usize| {
+        let ranking = {
+            let mut sys = section5_system(WORKLOAD, 0.0, 0);
+            let space = sys.space().clone();
+            let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+            Prioritizer::new(space).analyze(&mut obj)
+        };
+        let mut sys = section5_system(WORKLOAD, 0.0, 0);
+        let space = sys.space().clone();
+        let focus = SubspaceFocus::new(space.clone(), ranking.top_n(n), space.default_configuration());
+        let reduced = focus.reduced_space();
+        let fc = focus.clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+        let out = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
+        out.report.convergence_time
+    };
+    let t1 = time_for(1);
+    let t5 = time_for(5);
+    let t15 = time_for(15);
+    assert!(t1 <= t5, "t1={t1} t5={t5}");
+    assert!(t5 < t15, "t5={t5} t15={t15}");
+    // "up to 85%" time saved for small n.
+    assert!(
+        (t15 - t5) as f64 / t15 as f64 > 0.5,
+        "top-5 should save most of the time: t5={t5}, t15={t15}"
+    );
+}
+
+#[test]
+fn tuning_top_parameters_sacrifices_little_performance() {
+    // Figure 6's other half: <8% performance loss for a mid-size n.
+    let ranking = {
+        let mut sys = section5_system(WORKLOAD, 0.0, 0);
+        let space = sys.space().clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+        Prioritizer::new(space).analyze(&mut obj)
+    };
+    let perf_for = |n: usize| {
+        let clean = section5_system(WORKLOAD, 0.0, 0);
+        let mut sys = section5_system(WORKLOAD, 0.0, 0);
+        let space = sys.space().clone();
+        let focus = SubspaceFocus::new(space.clone(), ranking.top_n(n), space.default_configuration());
+        let reduced = focus.reduced_space();
+        let fc = focus.clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+        let out = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
+        clean.evaluate_clean(&focus.embed(&out.best_configuration))
+    };
+    let p5 = perf_for(5);
+    let p15 = perf_for(15);
+    assert!(
+        (p15 - p5) / p15 < 0.08,
+        "top-5 tuning should lose <8%: {p5} vs {p15}"
+    );
+}
+
+#[test]
+fn workload_mix_changes_the_ranking() {
+    // Figure 8's principle on the synthetic system: different mixes,
+    // different importance order.
+    let rank = |workload: [f64; 3]| {
+        let mut sys = section5_system(workload, 0.0, 0);
+        let space = sys.space().clone();
+        let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
+        Prioritizer::new(space).analyze(&mut obj).top_n(5)
+    };
+    let browsing_top = rank([1.0, 0.0, 0.0]);
+    let ordering_top = rank([0.0, 0.0, 1.0]);
+    assert_ne!(
+        browsing_top, ordering_top,
+        "top-5 should differ across workload mixes"
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration: the full Harmony-server workflow across crates —
+//! observe → classify → train → tune → record (§6.4).
+
+use harmony::history::{DataAnalyzer, ExperienceDb};
+use harmony::prelude::*;
+use harmony::server::ServerOptions;
+use harmony::tuner::TrainingMode;
+use harmony_websim::{webservice_space, WorkloadMix};
+use integration_tests::WebObjective;
+
+fn options() -> ServerOptions {
+    ServerOptions {
+        tuning: TuningOptions::improved().with_max_iterations(80),
+        training: TrainingMode::Replay(10),
+        analyzer: DataAnalyzer::new(),
+        focus_top_n: None,
+    }
+}
+
+#[test]
+fn sessions_accumulate_experience_and_reuse_it() {
+    let mut server = HarmonyServer::new(webservice_space(), options());
+
+    // Session 1: browsing, cold.
+    let mut obj = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 1);
+    let chars = obj.0.observe_characteristics(400);
+    let s1 = server.tune_session(&mut obj, "browsing", &chars);
+    assert!(s1.trained_from.is_none());
+    assert_eq!(server.db().len(), 1);
+
+    // Session 2: shopping — browsing is the only (and thus closest) prior.
+    let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 2);
+    let chars = obj.0.observe_characteristics(400);
+    let s2 = server.tune_session(&mut obj, "shopping", &chars);
+    assert_eq!(s2.trained_from.as_deref(), Some("browsing"));
+
+    // Session 3: shopping again — must classify to the shopping run, not
+    // the browsing one.
+    let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 3);
+    let chars = obj.0.observe_characteristics(400);
+    let s3 = server.tune_session(&mut obj, "shopping-2", &chars);
+    assert_eq!(s3.trained_from.as_deref(), Some("shopping"));
+    assert_eq!(server.db().len(), 3);
+}
+
+#[test]
+fn distance_gate_treats_new_workloads_as_unseen() {
+    let opts = ServerOptions {
+        analyzer: DataAnalyzer::new().with_max_match_distance(0.05),
+        ..options()
+    };
+    let mut server = HarmonyServer::new(webservice_space(), opts);
+
+    let mut obj = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 1);
+    let chars = obj.0.observe_characteristics(400);
+    let _ = server.tune_session(&mut obj, "browsing", &chars);
+
+    // Ordering traffic is far from browsing in characteristic space: the
+    // gate must reject the match ("the Active Harmony tuning server may
+    // simply use the default tuning mechanism").
+    let mut obj = WebObjective::analytic(WorkloadMix::ordering(), 0.05, 2);
+    let chars = obj.0.observe_characteristics(400);
+    let s = server.tune_session(&mut obj, "ordering", &chars);
+    assert!(s.trained_from.is_none(), "distant workload must tune cold");
+}
+
+#[test]
+fn experience_database_roundtrips_through_disk() {
+    let mut server = HarmonyServer::new(webservice_space(), options());
+    let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 1);
+    let chars = obj.0.observe_characteristics(400);
+    let _ = server.tune_session(&mut obj, "shopping", &chars);
+
+    let dir = std::env::temp_dir().join("harmony-integration-db");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.json");
+    server.db().save(&path).unwrap();
+
+    let loaded = ExperienceDb::load(&path).unwrap();
+    assert_eq!(loaded, *server.db());
+    let (_, run) = loaded.classify(&chars).unwrap();
+    assert_eq!(run.label, "shopping");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn focused_server_freezes_unfocused_parameters() {
+    let opts = ServerOptions { focus_top_n: Some(3), ..options() };
+    let mut server = HarmonyServer::new(webservice_space(), opts);
+    let mut probe = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 5);
+    server.prioritize(&mut probe);
+
+    let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 6);
+    let chars = obj.0.observe_characteristics(400);
+    let s = server.tune_session(&mut obj, "shopping", &chars);
+    assert_eq!(s.tuned_indices.len(), 3);
+    let space = webservice_space();
+    let defaults = space.default_configuration();
+    for t in &s.tuning.trace {
+        for j in 0..space.len() {
+            if !s.tuned_indices.contains(&j) {
+                assert_eq!(
+                    t.config.get(j),
+                    defaults.get(j),
+                    "unfocused parameter {} moved",
+                    space.param(j).name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end: Active Harmony tuning the simulated web service —
+//! the experiment backbone of §6 (Tables 1 & 2's qualitative claims).
+
+use harmony::prelude::*;
+use harmony::tuner::TrainingMode;
+use harmony_websim::{Fidelity, WebServiceSystem, WorkloadMix};
+use integration_tests::WebObjective;
+
+const BUDGET: usize = 120;
+
+fn avg<F: FnMut(u64) -> f64>(f: F) -> f64 {
+    (0..4).map(f).sum::<f64>() / 4.0
+}
+
+#[test]
+fn tuning_beats_the_default_configuration() {
+    let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 1);
+    let space = obj.0.space().clone();
+    let default_wips = obj.0.evaluate_clean(&space.default_configuration());
+    let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+    let tuned = obj.0.evaluate_clean(&out.best_configuration);
+    assert!(
+        tuned > default_wips,
+        "tuned {tuned} should beat default {default_wips}"
+    );
+}
+
+#[test]
+fn improved_init_converges_faster_than_original_on_average() {
+    // Table 1's headline: ~35% faster convergence with the improved
+    // initial simplex, and a shallower oscillation floor.
+    let conv = |opts: TuningOptions| {
+        avg(|seed| {
+            let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+            let space = obj.0.space().clone();
+            let out = Tuner::new(space, opts.clone().with_max_iterations(BUDGET)).run(&mut obj);
+            out.report.convergence_time as f64
+        })
+    };
+    let worst = |opts: TuningOptions| {
+        avg(|seed| {
+            let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+            let space = obj.0.space().clone();
+            let out = Tuner::new(space, opts.clone().with_max_iterations(BUDGET)).run(&mut obj);
+            out.report.worst_performance
+        })
+    };
+    let orig_conv = conv(TuningOptions::original());
+    let impr_conv = conv(TuningOptions::improved());
+    assert!(
+        impr_conv < orig_conv,
+        "improved ({impr_conv}) should converge faster than original ({orig_conv})"
+    );
+    let orig_worst = worst(TuningOptions::original());
+    let impr_worst = worst(TuningOptions::improved());
+    assert!(
+        impr_worst > orig_worst,
+        "improved floor ({impr_worst}) should be above original ({orig_worst})"
+    );
+}
+
+#[test]
+fn final_performance_is_comparable_across_kernels() {
+    // Table 1 also shows the improvement does not sacrifice the result.
+    let best = |opts: TuningOptions| {
+        avg(|seed| {
+            let mut obj = WebObjective::analytic(WorkloadMix::ordering(), 0.05, seed);
+            let space = obj.0.space().clone();
+            let out = Tuner::new(space, opts.clone().with_max_iterations(BUDGET)).run(&mut obj);
+            obj.0.evaluate_clean(&out.best_configuration)
+        })
+    };
+    let orig = best(TuningOptions::original());
+    let impr = best(TuningOptions::improved());
+    assert!(
+        (orig - impr).abs() / orig < 0.05,
+        "final WIPS should be comparable: original {orig}, improved {impr}"
+    );
+}
+
+#[test]
+fn history_training_smooths_and_speeds_tuning() {
+    // Table 2's qualitative claims, shopping workload trained from
+    // browsing experience.
+    let history = {
+        let mut obj = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 9);
+        let space = obj.0.space().clone();
+        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+        out.to_history("browsing", vec![0.5; 14])
+    };
+    let cold_bad = avg(|seed| {
+        let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+        let space = obj.0.space().clone();
+        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+        out.report.bad_iterations as f64
+    });
+    let warm_bad = avg(|seed| {
+        let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+        let space = obj.0.space().clone();
+        let tuner = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET));
+        let out = tuner.run_trained(&mut obj, &history, TrainingMode::Replay(10));
+        out.report.bad_iterations as f64
+    });
+    assert!(
+        warm_bad <= cold_bad,
+        "prior histories should not add bad iterations: warm {warm_bad} vs cold {cold_bad}"
+    );
+
+    let cold_std = avg(|seed| {
+        let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+        let space = obj.0.space().clone();
+        Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET))
+            .run(&mut obj)
+            .report
+            .initial_std
+    });
+    let warm_std = avg(|seed| {
+        let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
+        let space = obj.0.space().clone();
+        Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET))
+            .run_trained(&mut obj, &history, TrainingMode::Replay(10))
+            .report
+            .initial_std
+    });
+    assert!(
+        warm_std < cold_std,
+        "training should damp the initial oscillation: warm {warm_std} vs cold {cold_std}"
+    );
+}
+
+#[test]
+fn des_and_analytic_rank_configurations_consistently() {
+    // DESIGN.md's fidelity-agreement requirement: the fast analytic model
+    // must rank configurations like the DES ground truth.
+    let space = harmony_websim::webservice_space();
+    let mut analytic_sys =
+        WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.0, 0);
+    // Long DES horizon so its intrinsic noise doesn't scramble ranks in
+    // the flat near-optimal plateau.
+    let mut des_sys = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Des, 0.0, 0)
+        .with_des_horizon(harmony_websim::des::DesConfig {
+            warmup: 10.0,
+            measure: 240.0,
+            ..Default::default()
+        });
+
+    // Deterministic spread of configurations across the space.
+    let mut a_scores = Vec::new();
+    let mut d_scores = Vec::new();
+    let mut s = 77u64;
+    for _ in 0..24 {
+        let fracs: Vec<f64> = (0..space.len())
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64) / (u32::MAX as f64)
+            })
+            .collect();
+        let cfg = space.from_fractions(&fracs);
+        a_scores.push(analytic_sys.evaluate(&cfg));
+        d_scores.push(des_sys.evaluate(&cfg));
+    }
+    let rho = harmony_linalg::stats::spearman(&a_scores, &d_scores).expect("defined");
+    assert!(rho > 0.8, "rank correlation too low: {rho}");
+}

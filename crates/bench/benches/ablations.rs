@@ -47,7 +47,8 @@ fn bench_history_ablation(c: &mut Criterion) {
     let history = {
         let (space, eval) = web_objective(9);
         let mut obj = FnObjective::new(eval);
-        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(80)).run(&mut obj);
+        let out =
+            Tuner::new(space, TuningOptions::improved().with_max_iterations(80)).run(&mut obj);
         out.to_history("prior", vec![0.5; 14])
     };
     for (name, mode) in [
@@ -74,10 +75,9 @@ fn bench_restriction_ablation(c: &mut Criterion) {
         .param(ParamDef::int("C", 1, 8, 1, 1))
         .build()
         .unwrap();
-    let restricted = parse_rsl(
-        "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}",
-    )
-    .unwrap();
+    let restricted =
+        parse_rsl("{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}")
+            .unwrap();
     let perf = |cfg: &Configuration| {
         let (b, c) = (cfg.get(0), cfg.get(1));
         if b + c > 9 {
@@ -91,8 +91,11 @@ fn bench_restriction_ablation(c: &mut Criterion) {
             b.iter(|| {
                 let mut obj = FnObjective::new(perf);
                 black_box(
-                    Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(40))
-                        .run(&mut obj),
+                    Tuner::new(
+                        space.clone(),
+                        TuningOptions::improved().with_max_iterations(40),
+                    )
+                    .run(&mut obj),
                 )
             });
         });

@@ -20,7 +20,9 @@ fn records(dims: usize, count: usize) -> Vec<TuningRecord> {
     // Deterministic pseudo-random records on an affine-ish surface.
     let mut s = 12345u64;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) % 101) as i64
     };
     (0..count)
@@ -31,7 +33,10 @@ fn records(dims: usize, count: usize) -> Vec<TuningRecord> {
                 .enumerate()
                 .map(|(i, &v)| (i as f64 + 1.0) * v as f64)
                 .sum();
-            TuningRecord { values, performance: perf }
+            TuningRecord {
+                values,
+                performance: perf,
+            }
         })
         .collect()
 }

@@ -9,7 +9,9 @@ fn db_with(runs: usize) -> ExperienceDb {
     let mut db = ExperienceDb::new();
     let mut s = 999u64;
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64) / (u32::MAX as f64)
     };
     for i in 0..runs {
@@ -43,7 +45,11 @@ fn bench_kmeans(c: &mut Criterion) {
     for n in [50usize, 500] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let pts: Vec<Vec<f64>> = (0..n)
-                .map(|i| (0..14).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+                .map(|i| {
+                    (0..14)
+                        .map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0)
+                        .collect()
+                })
                 .collect();
             b.iter(|| black_box(kmeans(&pts, 8, 30)));
         });

@@ -21,16 +21,20 @@ fn bench_sequential(c: &mut Criterion) {
 fn bench_parallel(c: &mut Criterion) {
     let mut g = c.benchmark_group("sensitivity_parallel");
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let sys = section5_system([0.3, 0.5, 0.2], 0.0, 0);
-            let space = sys.space().clone();
-            b.iter(|| {
-                black_box(
-                    Prioritizer::new(space.clone())
-                        .analyze_parallel(|cfg| sys.evaluate_clean(cfg), threads),
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let sys = section5_system([0.3, 0.5, 0.2], 0.0, 0);
+                let space = sys.space().clone();
+                b.iter(|| {
+                    black_box(
+                        Prioritizer::new(space.clone())
+                            .analyze_parallel(|cfg| sys.evaluate_clean(cfg), threads),
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -24,7 +24,11 @@ fn bench_analytic(c: &mut Criterion) {
 fn bench_des(c: &mut Criterion) {
     let m = model();
     let mix = WorkloadMix::shopping();
-    let horizon = DesConfig { warmup: 2.0, measure: 20.0, ..DesConfig::default() };
+    let horizon = DesConfig {
+        warmup: 2.0,
+        measure: 20.0,
+        ..DesConfig::default()
+    };
     let mut g = c.benchmark_group("websim_des");
     g.sample_size(10);
     g.bench_function("20s_horizon", |b| {

@@ -31,14 +31,21 @@ fn main() {
 
     header(&["encoding", "params", "space size"], &[14, 8, 12]);
     row(
-        &["naive".into(), "3".into(), unrestricted.unconstrained_size().to_string()],
+        &[
+            "naive".into(),
+            "3".into(),
+            unrestricted.unconstrained_size().to_string(),
+        ],
         &[14, 8, 12],
     );
     row(
         &[
             "restricted".into(),
             "2".into(),
-            restricted.restricted_size(u128::MAX).expect("small space").to_string(),
+            restricted
+                .restricted_size(u128::MAX)
+                .expect("small space")
+                .to_string(),
         ],
         &[14, 8, 12],
     );
@@ -68,7 +75,11 @@ fn main() {
     };
     let restricted_out = {
         let mut obj = FnObjective::new(move |cfg: &Configuration| perf(cfg.get(0), cfg.get(1)));
-        Tuner::new(restricted.clone(), TuningOptions::improved().with_max_iterations(budget)).run(&mut obj)
+        Tuner::new(
+            restricted.clone(),
+            TuningOptions::improved().with_max_iterations(budget),
+        )
+        .run(&mut obj)
     };
 
     println!();

@@ -25,14 +25,20 @@ fn main() {
     let plane = |a: i64, b: i64| 4.0 * a as f64 - 1.5 * b as f64 + 30.0;
     let records: Vec<TuningRecord> = [(2i64, 3i64), (15, 4), (6, 17)]
         .iter()
-        .map(|&(a, b)| TuningRecord { values: vec![a, b], performance: plane(a, b) })
+        .map(|&(a, b)| TuningRecord {
+            values: vec![a, b],
+            performance: plane(a, b),
+        })
         .collect();
     for (name, r) in ["C1", "C2", "C3"].iter().zip(&records) {
         println!("  {name} = {:?}  P = {:.1}", r.values, r.performance);
     }
     let target = Configuration::new(vec![11, 9]);
     let pt = estimate_performance(&space, &records, &target).expect("estimable");
-    println!("  Ct = {target}  Pt (estimated) = {pt:.3}  truth = {:.3}\n", plane(11, 9));
+    println!(
+        "  Ct = {target}  Pt (estimated) = {pt:.3}  truth = {:.3}\n",
+        plane(11, 9)
+    );
 
     // --- Interpolation error growth on the real surface ----------------
     println!("Figure 3 (b): estimation error vs distance on the web system\n");
@@ -47,7 +53,10 @@ fn main() {
         let cfg = base.with_value(j, v);
         records.push(TuningRecord::new(&cfg, sys.evaluate_clean(&cfg)));
     }
-    println!("  {:>24}  {:>9}  {:>9}  {:>8}", "probe", "estimate", "truth", "error");
+    println!(
+        "  {:>24}  {:>9}  {:>9}  {:>8}",
+        "probe", "estimate", "truth", "error"
+    );
     let cache = wspace.index_of("PROXYCacheMem").expect("param exists");
     for delta in [4i64, 16, 48, 96, 160] {
         let p = wspace.param(cache);

@@ -10,14 +10,16 @@
 use bench::{f, header, row};
 use harmony::search::par_exhaustive_search;
 use harmony_linalg::stats::{normalize_to_range, Histogram};
+use harmony_space::{ParamDef, ParameterSpace};
 use harmony_synth::scenario::{weblike_space, weblike_system};
 use harmony_websim::demands::DemandModel;
 use harmony_websim::params::{webservice_space_coarse, WebServiceConfig};
 use harmony_websim::{analytic, WorkloadMix};
-use harmony_space::{ParamDef, ParameterSpace};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     // Real system: exhaustive over the coarse websim space, shopping mix.
     let coarse = webservice_space_coarse();
@@ -55,7 +57,11 @@ fn main() {
     // Normalize to 1..50 and bucket into 10 bins, as in the paper.
     let mut tv = 0.0;
     println!("Figure 4: performance distribution (fraction of search space per bucket)");
-    println!("web system: {} configurations; synthetic: {} configurations\n", web_perfs.len(), synth_perfs.len());
+    println!(
+        "web system: {} configurations; synthetic: {} configurations\n",
+        web_perfs.len(),
+        synth_perfs.len()
+    );
     header(&["bucket", "web service", "synthetic"], &[8, 12, 12]);
     let bucketize = |perfs: &[f64]| {
         let normalized = normalize_to_range(perfs, 1.0, 50.0);
@@ -76,6 +82,9 @@ fn main() {
         );
         tv += (hw[b] - hs[b]).abs();
     }
-    println!("\ntotal variation distance between the two distributions: {:.3}", tv / 2.0);
+    println!(
+        "\ntotal variation distance between the two distributions: {:.3}",
+        tv / 2.0
+    );
     println!("(paper: 'approximately the same' — expect a small value, < 0.25)");
 }

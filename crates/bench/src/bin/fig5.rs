@@ -6,8 +6,8 @@
 //! 0%, 5%, 10% and 25% uniform output perturbation.
 
 use bench::{f, header, row};
-use harmony::prelude::*;
 use harmony::objective::FnObjective;
+use harmony::prelude::*;
 use harmony::sensitivity::Prioritizer;
 use harmony_synth::scenario::{section5_system, SECTION5_IRRELEVANT, SECTION5_PARAM_NAMES};
 
@@ -42,7 +42,11 @@ fn main() {
     println!("(planted irrelevant: H and M — expect the smallest bars)\n");
     header(&["param", "0%", "5%", "10%", "25%"], &[6, 10, 10, 10, 10]);
     for (j, name) in SECTION5_PARAM_NAMES.iter().enumerate() {
-        let mark = if SECTION5_IRRELEVANT.contains(&j) { "*" } else { " " };
+        let mark = if SECTION5_IRRELEVANT.contains(&j) {
+            "*"
+        } else {
+            " "
+        };
         row(
             &[
                 format!("{name}{mark}"),
@@ -56,10 +60,16 @@ fn main() {
     }
     println!("\n(* = planted performance-irrelevant parameter; raw ΔP/Δv′ formula)");
 
-    println!("\nwith noise-floor correction (measure the default config 20x, subtract its swing):\n");
+    println!(
+        "\nwith noise-floor correction (measure the default config 20x, subtract its swing):\n"
+    );
     header(&["param", "0%", "5%", "10%", "25%"], &[6, 10, 10, 10, 10]);
     for (j, name) in SECTION5_PARAM_NAMES.iter().enumerate() {
-        let mark = if SECTION5_IRRELEVANT.contains(&j) { "*" } else { " " };
+        let mark = if SECTION5_IRRELEVANT.contains(&j) {
+            "*"
+        } else {
+            " "
+        };
         row(
             &[
                 format!("{name}{mark}"),
@@ -77,7 +87,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(j, n)| {
-            if SECTION5_IRRELEVANT.contains(&j) { format!("{n}*") } else { (*n).to_string() }
+            if SECTION5_IRRELEVANT.contains(&j) {
+                format!("{n}*")
+            } else {
+                (*n).to_string()
+            }
         })
         .collect();
     print!("{}", bench::chart::bar_chart(&labels, &columns[0], 48));
@@ -85,7 +99,10 @@ fn main() {
     // Sanity summary: do H and M land in the bottom ranks at 0%?
     let mut ranked: Vec<usize> = (0..15).collect();
     ranked.sort_by(|&a, &b| columns[0][a].total_cmp(&columns[0][b]));
-    let bottom2: Vec<&str> = ranked[..2].iter().map(|&j| SECTION5_PARAM_NAMES[j]).collect();
+    let bottom2: Vec<&str> = ranked[..2]
+        .iter()
+        .map(|&j| SECTION5_PARAM_NAMES[j])
+        .collect();
     println!("\nbottom-2 at 0% perturbation: {bottom2:?} (paper: [\"H\", \"M\"])");
     for level in 1..4 {
         let mut r: Vec<usize> = (0..15).collect();

@@ -39,10 +39,15 @@ fn main() {
             let time = average(seeds.clone(), |seed| {
                 let mut sys = section5_system(workload, p, 100 + seed);
                 let space = sys.space().clone();
-                let focus = SubspaceFocus::new(space.clone(), indices.clone(), space.default_configuration());
+                let focus = SubspaceFocus::new(
+                    space.clone(),
+                    indices.clone(),
+                    space.default_configuration(),
+                );
                 let reduced = focus.reduced_space();
                 let fc = focus.clone();
-                let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+                let mut obj =
+                    FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
                 let tuner = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150));
                 let out = tuner.run(&mut obj);
                 out.report.convergence_time as f64
@@ -51,10 +56,15 @@ fn main() {
                 let mut sys = section5_system(workload, p, 100 + seed);
                 let clean = section5_system(workload, 0.0, 0);
                 let space = sys.space().clone();
-                let focus = SubspaceFocus::new(space.clone(), indices.clone(), space.default_configuration());
+                let focus = SubspaceFocus::new(
+                    space.clone(),
+                    indices.clone(),
+                    space.default_configuration(),
+                );
                 let reduced = focus.reduced_space();
                 let fc = focus.clone();
-                let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
+                let mut obj =
+                    FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
                 let tuner = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150));
                 let out = tuner.run(&mut obj);
                 clean.evaluate_clean(&focus.embed(&out.best_configuration))

@@ -31,13 +31,16 @@ fn main() {
         let sys = history_sensitivity_system(&a, 0.0, 0);
         let space = sys.space().clone();
         let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate_clean(cfg));
-        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(400)).run(&mut obj);
+        let out =
+            Tuner::new(space, TuningOptions::improved().with_max_iterations(400)).run(&mut obj);
         out.best_performance
     };
 
     println!("Figure 7: tuning workload A using experience from workload A'");
     println!("distance = Euclidean distance between characteristic vectors");
-    println!("time = live iterations to first reach 95% of A's reference optimum ({ref_best:.1})\n");
+    println!(
+        "time = live iterations to first reach 95% of A's reference optimum ({ref_best:.1})\n"
+    );
     header(&["distance", "time(iters)", "performance"], &[10, 12, 12]);
     let mut xs: Vec<f64> = Vec::new();
     let mut times: Vec<f64> = Vec::new();
@@ -80,7 +83,10 @@ fn run_with_history(
     let mut prior_sys = history_sensitivity_system(aprime, 0.05, 900 + seed);
     let space = prior_sys.space().clone();
     let mut prior_obj = FnObjective::new(move |cfg: &Configuration| prior_sys.evaluate(cfg));
-    let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(budget));
+    let tuner = Tuner::new(
+        space.clone(),
+        TuningOptions::improved().with_max_iterations(budget),
+    );
     let prior_out = tuner.run(&mut prior_obj);
     let history = prior_out.to_history("aprime", aprime.to_vec());
 
@@ -96,5 +102,8 @@ fn run_with_history(
         .iter()
         .position(|t| clean_sys.evaluate_clean(&t.config) >= threshold)
         .unwrap_or(out.trace.len());
-    (time as f64, clean_sys.evaluate_clean(&out.best_configuration))
+    (
+        time as f64,
+        clean_sys.evaluate_clean(&out.best_configuration),
+    )
 }

@@ -14,7 +14,9 @@ fn main() {
     let sweep = |mix: WorkloadMix| {
         let mut obj = WebObjective::new(mix, 0.0, 7);
         let space = obj.system().space().clone();
-        Prioritizer::new(space).with_max_samples(12).analyze(&mut obj)
+        Prioritizer::new(space)
+            .with_max_samples(12)
+            .analyze(&mut obj)
     };
     let shopping = sweep(WorkloadMix::shopping());
     let ordering = sweep(WorkloadMix::ordering());
@@ -36,18 +38,35 @@ fn main() {
     let labels: Vec<String> = PARAM_NAMES.iter().map(|s| s.to_string()).collect();
     let s_vals: Vec<f64> = shopping.entries().iter().map(|e| e.sensitivity).collect();
     let o_vals: Vec<f64> = ordering.entries().iter().map(|e| e.sensitivity).collect();
-    print!("{}", bench::chart::grouped_bar_chart(&labels, &[s_vals, o_vals], &['#', '+'], 46));
+    print!(
+        "{}",
+        bench::chart::grouped_bar_chart(&labels, &[s_vals, o_vals], &['#', '+'], 46)
+    );
 
-    let idx = |n: &str| PARAM_NAMES.iter().position(|p| *p == n).expect("known name");
-    let s = |rep: &harmony::sensitivity::SensitivityReport, n: &str| rep.entries()[idx(n)].sensitivity;
+    let idx = |n: &str| {
+        PARAM_NAMES
+            .iter()
+            .position(|p| *p == n)
+            .expect("known name")
+    };
+    let s =
+        |rep: &harmony::sensitivity::SensitivityReport, n: &str| rep.entries()[idx(n)].sensitivity;
     println!("\nchecks against the paper's observations:");
     println!(
         "  MYSQLNetBufferLength ordering {} shopping  (paper: more important when ordering)",
-        if s(&ordering, "MYSQLNetBufferLength") > s(&shopping, "MYSQLNetBufferLength") { ">" } else { "<" }
+        if s(&ordering, "MYSQLNetBufferLength") > s(&shopping, "MYSQLNetBufferLength") {
+            ">"
+        } else {
+            "<"
+        }
     );
     println!(
         "  PROXYCacheMem shopping {} ordering  (paper: more important when shopping)",
-        if s(&shopping, "PROXYCacheMem") > s(&ordering, "PROXYCacheMem") { ">" } else { "<" }
+        if s(&shopping, "PROXYCacheMem") > s(&ordering, "PROXYCacheMem") {
+            ">"
+        } else {
+            "<"
+        }
     );
     let max_s = shopping.ranked()[0].sensitivity;
     println!(

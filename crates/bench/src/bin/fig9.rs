@@ -20,11 +20,16 @@ fn main() {
         &[10, 4, 12, 8, 8],
     );
 
-    for (mix, label) in [(WorkloadMix::shopping(), "shopping"), (WorkloadMix::ordering(), "ordering")] {
+    for (mix, label) in [
+        (WorkloadMix::shopping(), "shopping"),
+        (WorkloadMix::ordering(), "ordering"),
+    ] {
         let ranking = {
             let mut obj = WebObjective::new(mix.clone(), 0.0, 3);
             let space = obj.system().space().clone();
-            Prioritizer::new(space).with_max_samples(12).analyze(&mut obj)
+            Prioritizer::new(space)
+                .with_max_samples(12)
+                .analyze(&mut obj)
         };
         let mut results: Vec<(usize, f64, f64)> = Vec::new();
         for &n in &ns {
@@ -32,10 +37,16 @@ fn main() {
             let run = |seed: u64| -> (f64, f64) {
                 let mut obj = WebObjective::new(mix.clone(), 0.05, 500 + seed);
                 let space = obj.system().space().clone();
-                let focus =
-                    SubspaceFocus::new(space.clone(), indices.clone(), space.default_configuration());
+                let focus = SubspaceFocus::new(
+                    space.clone(),
+                    indices.clone(),
+                    space.default_configuration(),
+                );
                 let reduced = focus.reduced_space();
-                let tuner = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(bench::WEB_TUNING_BUDGET));
+                let tuner = Tuner::new(
+                    reduced,
+                    TuningOptions::improved().with_max_iterations(bench::WEB_TUNING_BUDGET),
+                );
                 let mut bridged = {
                     struct B<'a> {
                         obj: &'a mut WebObjective,
@@ -46,7 +57,10 @@ fn main() {
                             self.obj.measure(&self.focus.embed(cfg))
                         }
                     }
-                    B { obj: &mut obj, focus: &focus }
+                    B {
+                        obj: &mut obj,
+                        focus: &focus,
+                    }
                 };
                 let out = tuner.run(&mut bridged);
                 let clean = obj.clean(&focus.embed(&out.best_configuration));

@@ -20,7 +20,14 @@ fn main() {
 
     println!("Headline: original pipeline vs fully improved pipeline\n");
     header(
-        &["workload", "pipeline", "WIPS", "conv(iters)", "init std", "bad iters"],
+        &[
+            "workload",
+            "pipeline",
+            "WIPS",
+            "conv(iters)",
+            "init std",
+            "bad iters",
+        ],
         &[10, 10, 8, 12, 10, 10],
     );
 
@@ -59,21 +66,40 @@ fn main() {
             let _ = server.tune_session(&mut prior_obj, prior_mix.name(), &chars);
             // The measured session.
             let chars = server_obj.system_mut().observe_characteristics(400);
-            server.tune_session(&mut server_obj, mix.name(), &chars).tuning
+            server
+                .tune_session(&mut server_obj, mix.name(), &chars)
+                .tuning
         };
 
-        let orig_conv = average(seeds.clone(), |s| run_original(s).report.convergence_time as f64);
-        let impr_conv = average(seeds.clone(), |s| run_improved(s).report.convergence_time as f64);
+        let orig_conv = average(seeds.clone(), |s| {
+            run_original(s).report.convergence_time as f64
+        });
+        let impr_conv = average(seeds.clone(), |s| {
+            run_improved(s).report.convergence_time as f64
+        });
         for (name, runner) in [
-            ("original", &(|s: u64| run_original(s)) as &dyn Fn(u64) -> TuningOutcome),
-            ("improved", &(|s: u64| run_improved(s)) as &dyn Fn(u64) -> TuningOutcome),
+            (
+                "original",
+                &(|s: u64| run_original(s)) as &dyn Fn(u64) -> TuningOutcome,
+            ),
+            (
+                "improved",
+                &(|s: u64| run_improved(s)) as &dyn Fn(u64) -> TuningOutcome,
+            ),
         ] {
             let wips = average(seeds.clone(), |s| runner(s).report.best_performance);
             let conv = average(seeds.clone(), |s| runner(s).report.convergence_time as f64);
             let std = average(seeds.clone(), |s| runner(s).report.initial_std);
             let bad = average(seeds.clone(), |s| runner(s).report.bad_iterations as f64);
             row(
-                &[label.to_string(), name.to_string(), f(wips, 1), f(conv, 1), f(std, 2), f(bad, 1)],
+                &[
+                    label.to_string(),
+                    name.to_string(),
+                    f(wips, 1),
+                    f(conv, 1),
+                    f(std, 2),
+                    f(bad, 1),
+                ],
                 &[10, 10, 8, 12, 10, 10],
             );
         }

@@ -21,25 +21,48 @@ fn main() {
         &[10, 10, 8, 12, 12],
     );
 
-    for (mix, label) in [(WorkloadMix::shopping(), "shopping"), (WorkloadMix::ordering(), "ordering")] {
+    for (mix, label) in [
+        (WorkloadMix::shopping(), "shopping"),
+        (WorkloadMix::ordering(), "ordering"),
+    ] {
         let mut conv = [0.0f64; 2];
         for (k, (options, name)) in [
-            (TuningOptions::original().with_max_iterations(bench::WEB_TUNING_BUDGET), "original"),
-            (TuningOptions::improved().with_max_iterations(bench::WEB_TUNING_BUDGET), "improved"),
+            (
+                TuningOptions::original().with_max_iterations(bench::WEB_TUNING_BUDGET),
+                "original",
+            ),
+            (
+                TuningOptions::improved().with_max_iterations(bench::WEB_TUNING_BUDGET),
+                "improved",
+            ),
         ]
         .into_iter()
         .enumerate()
         {
-            let wips = average(seeds.clone(), |s| tune_web(mix.clone(), options.clone(), noise, s).1);
+            let wips = average(seeds.clone(), |s| {
+                tune_web(mix.clone(), options.clone(), noise, s).1
+            });
             let time = average(seeds.clone(), |s| {
-                tune_web(mix.clone(), options.clone(), noise, s).0.report.convergence_time as f64
+                tune_web(mix.clone(), options.clone(), noise, s)
+                    .0
+                    .report
+                    .convergence_time as f64
             });
             let worst = average(seeds.clone(), |s| {
-                tune_web(mix.clone(), options.clone(), noise, s).0.report.worst_performance
+                tune_web(mix.clone(), options.clone(), noise, s)
+                    .0
+                    .report
+                    .worst_performance
             });
             conv[k] = time;
             row(
-                &[label.to_string(), name.to_string(), f(wips, 1), f(time, 1), f(worst, 1)],
+                &[
+                    label.to_string(),
+                    name.to_string(),
+                    f(wips, 1),
+                    f(time, 1),
+                    f(worst, 1),
+                ],
                 &[10, 10, 8, 12, 12],
             );
         }

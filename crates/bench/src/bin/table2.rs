@@ -17,7 +17,14 @@ fn main() {
 
     println!("Table 2: tuning with vs without prior histories\n");
     header(
-        &["workload", "histories", "conv(iters)", "init mean", "init std", "bad iters"],
+        &[
+            "workload",
+            "histories",
+            "conv(iters)",
+            "init mean",
+            "init std",
+            "bad iters",
+        ],
         &[10, 10, 12, 10, 10, 10],
     );
 
@@ -42,7 +49,15 @@ fn main() {
         for (k, with) in [false, true].into_iter().enumerate() {
             let run = |s: u64| {
                 if with {
-                    tune_web_trained(mix.clone(), opts.clone(), noise, s, &history, TrainingMode::Replay(10)).0
+                    tune_web_trained(
+                        mix.clone(),
+                        opts.clone(),
+                        noise,
+                        s,
+                        &history,
+                        TrainingMode::Replay(10),
+                    )
+                    .0
                 } else {
                     tune_web(mix.clone(), opts.clone(), noise, s).0
                 }

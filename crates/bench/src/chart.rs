@@ -7,7 +7,11 @@
 /// Render a horizontal bar chart. Bars scale to `width` characters at the
 /// maximum value; each row is `label | ███… value`.
 pub fn bar_chart(labels: &[String], values: &[f64], width: usize) -> String {
-    assert_eq!(labels.len(), values.len(), "bar_chart: label/value mismatch");
+    assert_eq!(
+        labels.len(),
+        values.len(),
+        "bar_chart: label/value mismatch"
+    );
     if values.is_empty() {
         return String::new();
     }
@@ -108,11 +112,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let c = bar_chart(
-            &["a".into(), "bb".into()],
-            &[10.0, 5.0],
-            10,
-        );
+        let c = bar_chart(&["a".into(), "bb".into()], &[10.0, 5.0], 10);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("##########"), "{c}");

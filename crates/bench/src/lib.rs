@@ -23,12 +23,16 @@ pub struct WebObjective {
 impl WebObjective {
     /// Analytic-fidelity web system with the paper-like run-to-run noise.
     pub fn new(mix: WorkloadMix, noise: f64, seed: u64) -> Self {
-        WebObjective { sys: WebServiceSystem::new(mix, Fidelity::Analytic, noise, seed) }
+        WebObjective {
+            sys: WebServiceSystem::new(mix, Fidelity::Analytic, noise, seed),
+        }
     }
 
     /// DES-fidelity web system (intrinsically noisy, slower).
     pub fn des(mix: WorkloadMix, seed: u64) -> Self {
-        WebObjective { sys: WebServiceSystem::new(mix, Fidelity::Des, 0.0, seed) }
+        WebObjective {
+            sys: WebServiceSystem::new(mix, Fidelity::Des, 0.0, seed),
+        }
     }
 
     /// Underlying system.
@@ -102,7 +106,10 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Print a header + separator.
 pub fn header(cells: &[&str], widths: &[usize]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     println!("{}", "-".repeat(total));
 }
@@ -118,7 +125,12 @@ mod tests {
 
     #[test]
     fn tune_web_produces_reasonable_wips() {
-        let (out, clean) = tune_web(WorkloadMix::shopping(), TuningOptions::improved().with_max_iterations(60), 0.0, 1);
+        let (out, clean) = tune_web(
+            WorkloadMix::shopping(),
+            TuningOptions::improved().with_max_iterations(60),
+            0.0,
+            1,
+        );
         assert!(out.best_performance > 40.0);
         assert!(clean > 40.0);
     }

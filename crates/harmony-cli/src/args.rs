@@ -43,8 +43,24 @@ pub enum Command {
         label: String,
         /// Workload characteristics for classification, comma-separated.
         characteristics: Vec<f64>,
+        /// Drive a remote tuning daemon at this address instead of the
+        /// in-process kernel.
+        remote: Option<String>,
         /// The external measurement command and its arguments.
         measure: Vec<String>,
+    },
+    /// Run the tuning daemon.
+    Serve {
+        /// Path to the RSL file describing the space the daemon serves.
+        rsl: String,
+        /// Experience-database path, persisted across restarts.
+        db: Option<String>,
+        /// Address to bind.
+        listen: String,
+        /// Default live-iteration budget for sessions.
+        iterations: Option<usize>,
+        /// Concurrent-connection cap.
+        max_connections: Option<usize>,
     },
     /// Inspect an experience database.
     Db {
@@ -80,34 +96,62 @@ USAGE:
   harmony-cli sensitivity <params.rsl> [--samples N] [--repeats R] -- <measure-cmd> [args…]
   harmony-cli tune <params.rsl> [--iterations N] [--original]
               [--db <experience.json>] [--label <name>]
-              [--characteristics a,b,c] -- <measure-cmd> [args…]
+              [--characteristics a,b,c] [--remote <host:port>]
+              -- <measure-cmd> [args…]
+  harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
+              [--iterations N] [--max-connections N]
   harmony-cli db <experience.json>
 
 The measure command is executed once per exploration with one environment
 variable per parameter (HARMONY_<NAME>=<value>); its last non-empty stdout
-line must be the performance (higher is better).";
+line must be the performance (higher is better).
+
+With --remote, the configurations come from a tuning daemon (see 'serve')
+instead of the in-process kernel: the daemon classifies the session against
+its shared experience database and records the finished run back into it.
+--db and --original are daemon-side decisions and cannot be combined with
+--remote. 'serve' listens until stdin reaches end-of-file.";
 
 /// Parse a full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let mut it = args.iter().peekable();
     let sub = match it.next() {
-        None => return Ok(Cli { command: Command::Help }),
+        None => {
+            return Ok(Cli {
+                command: Command::Help,
+            })
+        }
         Some(s) => s.as_str(),
     };
     match sub {
-        "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+        "help" | "--help" | "-h" => Ok(Cli {
+            command: Command::Help,
+        }),
         "space" => {
-            let rsl = it.next().ok_or_else(|| err("space: missing RSL file"))?.clone();
+            let rsl = it
+                .next()
+                .ok_or_else(|| err("space: missing RSL file"))?
+                .clone();
             expect_end(&mut it, "space")?;
-            Ok(Cli { command: Command::Space { rsl } })
+            Ok(Cli {
+                command: Command::Space { rsl },
+            })
         }
         "db" => {
-            let path = it.next().ok_or_else(|| err("db: missing database path"))?.clone();
+            let path = it
+                .next()
+                .ok_or_else(|| err("db: missing database path"))?
+                .clone();
             expect_end(&mut it, "db")?;
-            Ok(Cli { command: Command::Db { path } })
+            Ok(Cli {
+                command: Command::Db { path },
+            })
         }
         "sensitivity" => {
-            let rsl = it.next().ok_or_else(|| err("sensitivity: missing RSL file"))?.clone();
+            let rsl = it
+                .next()
+                .ok_or_else(|| err("sensitivity: missing RSL file"))?
+                .clone();
             let mut samples = None;
             let mut repeats = 1usize;
             let mut measure = Vec::new();
@@ -119,36 +163,50 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         measure = it.cloned().collect();
                         break;
                     }
-                    other => return Err(err(format!("sensitivity: unexpected argument {other:?}"))),
+                    other => {
+                        return Err(err(format!("sensitivity: unexpected argument {other:?}")))
+                    }
                 }
             }
             if measure.is_empty() {
                 return Err(err("sensitivity: missing '-- <measure-cmd>'"));
             }
-            Ok(Cli { command: Command::Sensitivity { rsl, samples, repeats, measure } })
+            Ok(Cli {
+                command: Command::Sensitivity {
+                    rsl,
+                    samples,
+                    repeats,
+                    measure,
+                },
+            })
         }
         "tune" => {
-            let rsl = it.next().ok_or_else(|| err("tune: missing RSL file"))?.clone();
+            let rsl = it
+                .next()
+                .ok_or_else(|| err("tune: missing RSL file"))?
+                .clone();
             let mut iterations = 100usize;
             let mut original = false;
             let mut db = None;
             let mut label = "run".to_string();
             let mut characteristics = Vec::new();
+            let mut remote = None;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--iterations" => iterations = parse_value(&mut it, "--iterations")?,
                     "--original" => original = true,
                     "--db" => db = Some(next_str(&mut it, "--db")?),
+                    "--remote" => remote = Some(next_str(&mut it, "--remote")?),
                     "--label" => label = next_str(&mut it, "--label")?,
                     "--characteristics" => {
                         let raw = next_str(&mut it, "--characteristics")?;
                         characteristics = raw
                             .split(',')
                             .map(|s| {
-                                s.trim()
-                                    .parse::<f64>()
-                                    .map_err(|_| err(format!("--characteristics: bad number {s:?}")))
+                                s.trim().parse::<f64>().map_err(|_| {
+                                    err(format!("--characteristics: bad number {s:?}"))
+                                })
                             })
                             .collect::<Result<Vec<f64>, CliError>>()?;
                     }
@@ -162,11 +220,58 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             if measure.is_empty() {
                 return Err(err("tune: missing '-- <measure-cmd>'"));
             }
+            if remote.is_some() && (db.is_some() || original) {
+                return Err(err(
+                    "tune: --remote cannot be combined with --db or --original \
+                     (the daemon owns the experience database and search strategy)",
+                ));
+            }
             Ok(Cli {
-                command: Command::Tune { rsl, iterations, original, db, label, characteristics, measure },
+                command: Command::Tune {
+                    rsl,
+                    iterations,
+                    original,
+                    db,
+                    label,
+                    characteristics,
+                    remote,
+                    measure,
+                },
             })
         }
-        other => Err(err(format!("unknown subcommand {other:?} (try 'harmony-cli help')"))),
+        "serve" => {
+            let rsl = it
+                .next()
+                .ok_or_else(|| err("serve: missing RSL file"))?
+                .clone();
+            let mut db = None;
+            let mut listen = "127.0.0.1:1977".to_string();
+            let mut iterations = None;
+            let mut max_connections = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--db" => db = Some(next_str(&mut it, "--db")?),
+                    "--listen" => listen = next_str(&mut it, "--listen")?,
+                    "--iterations" => iterations = Some(parse_value(&mut it, "--iterations")?),
+                    "--max-connections" => {
+                        max_connections = Some(parse_value(&mut it, "--max-connections")?)
+                    }
+                    other => return Err(err(format!("serve: unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Cli {
+                command: Command::Serve {
+                    rsl,
+                    db,
+                    listen,
+                    iterations,
+                    max_connections,
+                },
+            })
+        }
+        other => Err(err(format!(
+            "unknown subcommand {other:?} (try 'harmony-cli help')"
+        ))),
     }
 }
 
@@ -216,11 +321,15 @@ mod tests {
     fn space_and_db() {
         assert_eq!(
             parse_args(&v(&["space", "p.rsl"])).unwrap().command,
-            Command::Space { rsl: "p.rsl".into() }
+            Command::Space {
+                rsl: "p.rsl".into()
+            }
         );
         assert_eq!(
             parse_args(&v(&["db", "e.json"])).unwrap().command,
-            Command::Db { path: "e.json".into() }
+            Command::Db {
+                path: "e.json".into()
+            }
         );
         assert!(parse_args(&v(&["space"])).is_err());
         assert!(parse_args(&v(&["space", "a", "b"])).is_err());
@@ -229,7 +338,15 @@ mod tests {
     #[test]
     fn sensitivity_full() {
         let cli = parse_args(&v(&[
-            "sensitivity", "p.rsl", "--samples", "8", "--repeats", "3", "--", "./m.sh", "arg",
+            "sensitivity",
+            "p.rsl",
+            "--samples",
+            "8",
+            "--repeats",
+            "3",
+            "--",
+            "./m.sh",
+            "arg",
         ]))
         .unwrap();
         assert_eq!(
@@ -253,7 +370,14 @@ mod tests {
     fn tune_defaults_and_flags() {
         let cli = parse_args(&v(&["tune", "p.rsl", "--", "./m.sh"])).unwrap();
         match cli.command {
-            Command::Tune { iterations, original, db, label, characteristics, .. } => {
+            Command::Tune {
+                iterations,
+                original,
+                db,
+                label,
+                characteristics,
+                ..
+            } => {
                 assert_eq!(iterations, 100);
                 assert!(!original);
                 assert!(db.is_none());
@@ -264,12 +388,30 @@ mod tests {
         }
 
         let cli = parse_args(&v(&[
-            "tune", "p.rsl", "--iterations", "42", "--original", "--db", "e.json",
-            "--label", "night", "--characteristics", "0.2, 0.8", "--", "./m.sh",
+            "tune",
+            "p.rsl",
+            "--iterations",
+            "42",
+            "--original",
+            "--db",
+            "e.json",
+            "--label",
+            "night",
+            "--characteristics",
+            "0.2, 0.8",
+            "--",
+            "./m.sh",
         ]))
         .unwrap();
         match cli.command {
-            Command::Tune { iterations, original, db, label, characteristics, .. } => {
+            Command::Tune {
+                iterations,
+                original,
+                db,
+                label,
+                characteristics,
+                ..
+            } => {
                 assert_eq!(iterations, 42);
                 assert!(original);
                 assert_eq!(db.as_deref(), Some("e.json"));
@@ -281,9 +423,97 @@ mod tests {
     }
 
     #[test]
+    fn tune_remote() {
+        let cli = parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--remote",
+            "10.0.0.7:1977",
+            "--label",
+            "apu",
+            "--",
+            "./m.sh",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { remote, label, .. } => {
+                assert_eq!(remote.as_deref(), Some("10.0.0.7:1977"));
+                assert_eq!(label, "apu");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+
+        // The daemon owns db and strategy; combining is refused.
+        assert!(parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--db", "e.json", "--", "m",
+        ]))
+        .is_err());
+        assert!(parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--remote",
+            "h:1",
+            "--original",
+            "--",
+            "m"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let cli = parse_args(&v(&["serve", "p.rsl"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                rsl: "p.rsl".into(),
+                db: None,
+                listen: "127.0.0.1:1977".into(),
+                iterations: None,
+                max_connections: None,
+            }
+        );
+
+        let cli = parse_args(&v(&[
+            "serve",
+            "p.rsl",
+            "--listen",
+            "0.0.0.0:7007",
+            "--db",
+            "e.json",
+            "--iterations",
+            "80",
+            "--max-connections",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                rsl: "p.rsl".into(),
+                db: Some("e.json".into()),
+                listen: "0.0.0.0:7007".into(),
+                iterations: Some(80),
+                max_connections: Some(4),
+            }
+        );
+
+        assert!(parse_args(&v(&["serve"])).is_err());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--port", "1"])).is_err());
+    }
+
+    #[test]
     fn bad_values_error_cleanly() {
         assert!(parse_args(&v(&["tune", "p.rsl", "--iterations", "many", "--", "m"])).is_err());
-        assert!(parse_args(&v(&["tune", "p.rsl", "--characteristics", "a,b", "--", "m"])).is_err());
+        assert!(parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--characteristics",
+            "a,b",
+            "--",
+            "m"
+        ]))
+        .is_err());
         assert!(parse_args(&v(&["frobnicate"])).is_err());
     }
 }

@@ -7,9 +7,14 @@ use harmony::history::{DataAnalyzer, ExperienceDb};
 use harmony::prelude::*;
 use harmony::sensitivity::Prioritizer;
 use harmony::tuner::TrainingMode;
-use harmony_space::parse_rsl;
+use harmony_net::client::Client;
+use harmony_net::protocol::SpaceSpec;
+use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
+use harmony_space::{parse_rsl, Configuration};
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Read as _;
+use std::path::PathBuf;
 
 /// Top-level error type for command execution.
 #[derive(Debug)]
@@ -44,7 +49,11 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     p.static_max(),
                     p.step(),
                     p.default(),
-                    if p.is_restricted() { "  (restricted)" } else { "" },
+                    if p.is_restricted() {
+                        "  (restricted)"
+                    } else {
+                        ""
+                    },
                 );
             }
             let _ = writeln!(out, "unconstrained size: {}", space.unconstrained_size());
@@ -76,13 +85,23 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 );
             }
         }
-        Command::Sensitivity { rsl, samples, repeats, measure } => {
+        Command::Sensitivity {
+            rsl,
+            samples,
+            repeats,
+            measure,
+        } => {
             let space = load_space(&rsl)?;
             let mut prioritizer = Prioritizer::new(space.clone()).with_repeats(repeats);
             if let Some(n) = samples {
                 prioritizer = prioritizer.with_max_samples(n);
             }
-            let mut obj = ExternalObjective::new(space, measure);
+            let mut obj = ExternalObjective::new(space.clone(), measure);
+            // Probe with the defaults so a broken measurement command is a
+            // clean error, not a cascade of -inf measurements.
+            let defaults = Configuration::new(space.params().iter().map(|p| p.default()).collect());
+            obj.measure_once(&defaults)
+                .map_err(|e| fail(format!("probe at default configuration {defaults}: {e}")))?;
             let report = prioritizer.analyze(&mut obj);
             let _ = writeln!(out, "sensitivity ({} explorations):", report.explorations());
             for e in report.ranked() {
@@ -93,56 +112,244 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 );
             }
         }
-        Command::Tune { rsl, iterations, original, db, label, characteristics, measure } => {
-            let space = load_space(&rsl)?;
-            let mut database = match &db {
-                Some(path) if fs::metadata(path).is_ok() => {
-                    ExperienceDb::load(path).map_err(|e| fail(e.to_string()))?
-                }
-                _ => ExperienceDb::new(),
-            };
-            let options = if original {
-                TuningOptions::original()
+        Command::Tune {
+            rsl,
+            iterations,
+            original,
+            db,
+            label,
+            characteristics,
+            remote,
+            measure,
+        } => {
+            if let Some(addr) = remote {
+                tune_remote(
+                    &mut out,
+                    &rsl,
+                    iterations,
+                    &label,
+                    characteristics,
+                    &addr,
+                    measure,
+                )?;
             } else {
-                TuningOptions::improved()
-            }
-            .with_max_iterations(iterations);
-            let tuner = Tuner::new(space.clone(), options);
-            let mut obj = ExternalObjective::new(space.clone(), measure);
-
-            // Classify against prior experience when characteristics are
-            // provided.
-            let prior = if characteristics.is_empty() {
-                None
-            } else {
-                DataAnalyzer::new().select(&database, &characteristics)
-            };
-            let outcome = match &prior {
-                Some(history) => {
-                    let _ = writeln!(out, "training from prior run {:?}", history.label);
-                    tuner.run_trained(&mut obj, history, TrainingMode::Replay(10))
-                }
-                None => tuner.run(&mut obj),
-            };
-
-            let _ = writeln!(out, "explored {} configurations", outcome.trace.len());
-            let _ = writeln!(out, "best performance: {:.4}", outcome.best_performance);
-            for (p, &v) in space.params().iter().zip(outcome.best_configuration.values()) {
-                let _ = writeln!(out, "  {:<24} = {v}", p.name());
-            }
-            let _ = writeln!(
-                out,
-                "convergence at iteration {}; worst dip {:.4}; converged: {}",
-                outcome.report.convergence_time, outcome.report.worst_performance, outcome.converged
-            );
-
-            if let Some(path) = db {
-                database.add_run(outcome.to_history(label, characteristics));
-                database.save(&path).map_err(|e| fail(e.to_string()))?;
-                let _ = writeln!(out, "experience saved to {path} ({} runs)", database.len());
+                tune_local(
+                    &mut out,
+                    &rsl,
+                    iterations,
+                    original,
+                    db,
+                    label,
+                    characteristics,
+                    measure,
+                )?;
             }
         }
+        Command::Serve {
+            rsl,
+            db,
+            listen,
+            iterations,
+            max_connections,
+        } => {
+            return serve(
+                &rsl,
+                db.as_deref(),
+                &listen,
+                iterations,
+                max_connections,
+                |handle| {
+                    eprintln!(
+                        "harmony-cli: tuning daemon listening on {} (stdin end-of-file stops it)",
+                        handle.addr()
+                    );
+                    // Park until the operator closes stdin.
+                    let mut sink = [0u8; 256];
+                    let mut stdin = std::io::stdin().lock();
+                    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                },
+            );
+        }
     }
+    Ok(out)
+}
+
+/// Tune with the in-process kernel, measuring via the external command.
+///
+/// Each exploration runs through [`ExternalObjective::measure_once`], so a
+/// crashed command, a non-zero exit, or unparseable output stops the run
+/// with the underlying error — it is never silently folded into the
+/// search as a performance value.
+#[allow(clippy::too_many_arguments)]
+fn tune_local(
+    out: &mut String,
+    rsl: &str,
+    iterations: usize,
+    original: bool,
+    db: Option<String>,
+    label: String,
+    characteristics: Vec<f64>,
+    measure: Vec<String>,
+) -> Result<(), RunError> {
+    let space = load_space(rsl)?;
+    let mut database = match &db {
+        Some(path) if fs::metadata(path).is_ok() => {
+            ExperienceDb::load(path).map_err(|e| fail(e.to_string()))?
+        }
+        _ => ExperienceDb::new(),
+    };
+    let options = if original {
+        TuningOptions::original()
+    } else {
+        TuningOptions::improved()
+    }
+    .with_max_iterations(iterations);
+    let tuner = Tuner::new(space.clone(), options);
+    let obj = ExternalObjective::new(space.clone(), measure);
+
+    // Classify against prior experience when characteristics are
+    // provided.
+    let prior = if characteristics.is_empty() {
+        None
+    } else {
+        DataAnalyzer::new().select(&database, &characteristics)
+    };
+    let mut session = match &prior {
+        Some(history) => {
+            let _ = writeln!(out, "training from prior run {:?}", history.label);
+            tuner.session_trained(history, TrainingMode::Replay(10))
+        }
+        None => tuner.session(),
+    };
+    while let Some(cfg) = session.next_config() {
+        let performance = measure_exploration(&obj, &cfg, session.iterations())?;
+        session
+            .observe(performance)
+            .map_err(|e| fail(e.to_string()))?;
+    }
+    let outcome = session.finish();
+
+    let _ = writeln!(out, "explored {} configurations", outcome.trace.len());
+    let _ = writeln!(out, "best performance: {:.4}", outcome.best_performance);
+    for (p, &v) in space
+        .params()
+        .iter()
+        .zip(outcome.best_configuration.values())
+    {
+        let _ = writeln!(out, "  {:<24} = {v}", p.name());
+    }
+    let _ = writeln!(
+        out,
+        "convergence at iteration {}; worst dip {:.4}; converged: {}",
+        outcome.report.convergence_time, outcome.report.worst_performance, outcome.converged
+    );
+
+    if let Some(path) = db {
+        database.add_run(outcome.to_history(label, characteristics));
+        database.save(&path).map_err(|e| fail(e.to_string()))?;
+        let _ = writeln!(out, "experience saved to {path} ({} runs)", database.len());
+    }
+    Ok(())
+}
+
+/// Tune against a remote daemon: the server proposes configurations and
+/// owns the experience database; this side only measures.
+fn tune_remote(
+    out: &mut String,
+    rsl: &str,
+    iterations: usize,
+    label: &str,
+    characteristics: Vec<f64>,
+    addr: &str,
+    measure: Vec<String>,
+) -> Result<(), RunError> {
+    let text = fs::read_to_string(rsl).map_err(|e| fail(format!("cannot read {rsl}: {e}")))?;
+    let mut client =
+        Client::connect(addr).map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
+    let started = client
+        .start_session(
+            SpaceSpec::Rsl(text),
+            label,
+            characteristics,
+            Some(iterations),
+        )
+        .map_err(|e| fail(e.to_string()))?;
+    if let Some(prior) = &started.trained_from {
+        let _ = writeln!(
+            out,
+            "training from prior run {prior:?} ({} virtual iterations, server-side)",
+            started.training_iterations
+        );
+    }
+    // The server's parse of the RSL is authoritative; use its space for
+    // the environment-variable names.
+    let obj = ExternalObjective::new(started.space.clone(), measure);
+    let mut explored = 0usize;
+    while let Some(proposal) = client.fetch().map_err(|e| fail(e.to_string()))? {
+        let performance = measure_exploration(&obj, &proposal.values, proposal.iteration)?;
+        client
+            .report(performance)
+            .map_err(|e| fail(e.to_string()))?;
+        explored += 1;
+    }
+    let summary = client.end_session().map_err(|e| fail(e.to_string()))?;
+
+    let _ = writeln!(out, "explored {explored} configurations (daemon at {addr})");
+    let _ = writeln!(out, "best performance: {:.4}", summary.performance);
+    for (p, &v) in started.space.params().iter().zip(summary.best.values()) {
+        let _ = writeln!(out, "  {:<24} = {v}", p.name());
+    }
+    let _ = writeln!(
+        out,
+        "live iterations: {}; converged: {}; run recorded server-side as {label:?}",
+        summary.iterations, summary.converged
+    );
+    Ok(())
+}
+
+fn measure_exploration(
+    obj: &ExternalObjective,
+    cfg: &Configuration,
+    iteration: usize,
+) -> Result<f64, RunError> {
+    obj.measure_once(cfg)
+        .map_err(|e| fail(format!("exploration {} at {cfg}: {e}", iteration + 1)))
+}
+
+/// Start the tuning daemon, hand the handle to `wait`, and shut down when
+/// it returns. `main` waits for stdin end-of-file; tests drive sessions.
+pub fn serve(
+    rsl: &str,
+    db: Option<&str>,
+    listen: &str,
+    iterations: Option<usize>,
+    max_connections: Option<usize>,
+    wait: impl FnOnce(&DaemonHandle),
+) -> Result<String, RunError> {
+    let space = load_space(rsl)?;
+    let mut config = DaemonConfig {
+        listen: listen.to_string(),
+        db_path: db.map(PathBuf::from),
+        server_name: format!("harmony-cli {}", env!("CARGO_PKG_VERSION")),
+        ..DaemonConfig::default()
+    };
+    if let Some(n) = iterations {
+        config.tuning = config.tuning.with_max_iterations(n);
+    }
+    if let Some(n) = max_connections {
+        config.max_connections = n;
+    }
+    let handle = TuningDaemon::start(config).map_err(|e| fail(e.to_string()))?;
+    eprintln!("harmony-cli: serving {} parameters from {rsl}", space.len());
+    wait(&handle);
+    let completed = handle.completed_sessions();
+    let runs = handle.db_runs();
+    handle.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "daemon stopped: {completed} session(s) completed, {runs} run(s) in the experience database"
+    );
     Ok(out)
 }
 
@@ -193,7 +400,9 @@ mod tests {
     #[test]
     fn tune_an_external_shell_command_and_persist_experience() {
         let rsl = write_rsl("tune.rsl");
-        let db = std::env::temp_dir().join("harmony-cli-tests").join("exp.json");
+        let db = std::env::temp_dir()
+            .join("harmony-cli-tests")
+            .join("exp.json");
         fs::remove_file(&db).ok();
         // Best at B=3, C=4 (D = 10-B-C = 3).
         let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
@@ -271,5 +480,146 @@ mod tests {
     fn help_is_usage() {
         let out = run(Command::Help).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn sensitivity_probes_the_command_before_analyzing() {
+        let rsl = write_rsl("sens-fail.rsl");
+        let cli = parse_args(&sv(&[
+            "sensitivity",
+            rsl.to_str().unwrap(),
+            "--",
+            "sh",
+            "-c",
+            "exit 7",
+        ]))
+        .unwrap();
+        let err = run(cli.command).unwrap_err();
+        assert!(err.0.contains("probe at default configuration"), "{err}");
+        assert!(err.0.contains("measurement command failed"), "{err}");
+    }
+
+    #[test]
+    fn failing_measure_command_stops_with_a_clear_error() {
+        let rsl = write_rsl("fail.rsl");
+        let cli = parse_args(&sv(&[
+            "tune",
+            rsl.to_str().unwrap(),
+            "--",
+            "sh",
+            "-c",
+            "echo boom >&2; exit 3",
+        ]))
+        .unwrap();
+        let err = run(cli.command).unwrap_err();
+        assert!(err.0.contains("exploration 1"), "{err}");
+        assert!(err.0.contains("measurement command failed"), "{err}");
+        assert!(err.0.contains("boom"), "{err}");
+    }
+
+    #[test]
+    fn unparseable_measure_output_stops_with_a_clear_error() {
+        let rsl = write_rsl("garbage.rsl");
+        let cli = parse_args(&sv(&[
+            "tune",
+            rsl.to_str().unwrap(),
+            "--",
+            "sh",
+            "-c",
+            "echo not-a-number",
+        ]))
+        .unwrap();
+        let err = run(cli.command).unwrap_err();
+        assert!(err.0.contains("exploration 1"), "{err}");
+        assert!(err.0.contains("not a number"), "{err}");
+        assert!(err.0.contains("not-a-number"), "{err}");
+    }
+
+    #[test]
+    fn serve_and_remote_tune_round_trip() {
+        let rsl = write_rsl("serve.rsl");
+        let db = std::env::temp_dir()
+            .join("harmony-cli-tests")
+            .join("serve-exp.json");
+        fs::remove_file(&db).ok();
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+
+        let report = serve(
+            rsl.to_str().unwrap(),
+            Some(db.to_str().unwrap()),
+            "127.0.0.1:0",
+            Some(50),
+            None,
+            |handle| {
+                let addr = handle.addr().to_string();
+                let tune = |label: &str, chars: &str| {
+                    let cli = parse_args(&sv(&[
+                        "tune",
+                        rsl.to_str().unwrap(),
+                        "--remote",
+                        &addr,
+                        "--label",
+                        label,
+                        "--characteristics",
+                        chars,
+                        "--",
+                        "sh",
+                        "-c",
+                        cmd,
+                    ]))
+                    .unwrap();
+                    run(cli.command).unwrap()
+                };
+
+                let out = tune("first", "0.2,0.8");
+                assert!(out.contains("best performance: 100"), "{out}");
+                assert!(
+                    out.contains("run recorded server-side as \"first\""),
+                    "{out}"
+                );
+
+                // The second session classifies against the first's run.
+                let out = tune("second", "0.21,0.79");
+                assert!(out.contains("training from prior run \"first\""), "{out}");
+                assert!(out.contains("best performance: 100"), "{out}");
+            },
+        )
+        .unwrap();
+        assert!(report.contains("2 session(s) completed"), "{report}");
+
+        // The daemon persisted its experience where we asked.
+        let cli = parse_args(&sv(&["db", db.to_str().unwrap()])).unwrap();
+        let out = run(cli.command).unwrap();
+        assert!(out.contains("2 run(s)"), "{out}");
+        fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn remote_tune_surfaces_measurement_failures() {
+        let rsl = write_rsl("serve-fail.rsl");
+        serve(
+            rsl.to_str().unwrap(),
+            None,
+            "127.0.0.1:0",
+            Some(20),
+            None,
+            |handle| {
+                let cli = parse_args(&sv(&[
+                    "tune",
+                    rsl.to_str().unwrap(),
+                    "--remote",
+                    &handle.addr().to_string(),
+                    "--",
+                    "sh",
+                    "-c",
+                    "exit 9",
+                ]))
+                .unwrap();
+                let err = run(cli.command).unwrap_err();
+                assert!(err.0.contains("exploration 1"), "{err}");
+                assert!(err.0.contains("measurement command failed"), "{err}");
+            },
+        )
+        .unwrap();
     }
 }

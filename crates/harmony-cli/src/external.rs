@@ -41,10 +41,18 @@ impl std::error::Error for MeasureError {}
 /// command with `HARMONY_<NAME>=<value>` environment variables and reading
 /// the last non-empty stdout line as the performance.
 ///
-/// A failed measurement is reported as `-inf` performance after
-/// `max_failures` consecutive failures abort via panic — a tuning session
-/// cannot meaningfully continue without measurements, and the panic
-/// carries the underlying error for the operator.
+/// [`measure_once`](Self::measure_once) is the primary interface: it
+/// returns a [`MeasureError`] describing exactly what went wrong (spawn
+/// failure, non-zero exit with captured stderr, unparseable output), and
+/// the tuning loops propagate that error immediately instead of feeding a
+/// sentinel value into the search.
+///
+/// The [`Objective`] impl exists for callers whose trait signature cannot
+/// carry errors (the sensitivity prioritizer): there a failure folds to
+/// `-inf`, and `max_failures` consecutive failures abort via panic since
+/// analysis cannot meaningfully continue without measurements. Callers
+/// should probe the command once via `measure_once` first to surface
+/// configuration mistakes as clean errors.
 pub struct ExternalObjective {
     space: ParameterSpace,
     command: Vec<String>,
@@ -62,14 +70,26 @@ impl ExternalObjective {
     /// Panics if `command` is empty.
     pub fn new(space: ParameterSpace, command: Vec<String>) -> Self {
         assert!(!command.is_empty(), "measurement command must not be empty");
-        ExternalObjective { space, command, consecutive_failures: 0, max_failures: 5, last_error: None }
+        ExternalObjective {
+            space,
+            command,
+            consecutive_failures: 0,
+            max_failures: 5,
+            last_error: None,
+        }
     }
 
     /// Environment variable name for a parameter.
     pub fn env_name(param: &str) -> String {
         let sanitized: String = param
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_uppercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         format!("HARMONY_{sanitized}")
     }
@@ -113,7 +133,10 @@ impl Objective for ExternalObjective {
                 let msg = e.to_string();
                 self.last_error = Some(e);
                 if self.consecutive_failures >= self.max_failures {
-                    panic!("measurement failed {} times in a row; last error: {msg}", self.consecutive_failures);
+                    panic!(
+                        "measurement failed {} times in a row; last error: {msg}",
+                        self.consecutive_failures
+                    );
                 }
                 f64::NEG_INFINITY
             }
@@ -173,7 +196,10 @@ mod tests {
             Err(MeasureError::Failed { .. })
         ));
 
-        let obj = ExternalObjective::new(space(), vec!["sh".into(), "-c".into(), "echo not-a-number".into()]);
+        let obj = ExternalObjective::new(
+            space(),
+            vec!["sh".into(), "-c".into(), "echo not-a-number".into()],
+        );
         assert!(matches!(
             obj.measure_once(&Configuration::new(vec![1, 1])),
             Err(MeasureError::BadOutput(_))
@@ -198,8 +224,13 @@ mod tests {
                 "echo $((100 - (HARMONY_BUF_SIZE-8)*(HARMONY_BUF_SIZE-8) - 5*(HARMONY_THREADS-2)*(HARMONY_THREADS-2)))".into(),
             ],
         );
-        let out = Tuner::new(space(), TuningOptions::improved().with_max_iterations(60)).run(&mut obj);
-        assert_eq!(out.best_performance, 100.0, "best {}", out.best_configuration);
+        let out =
+            Tuner::new(space(), TuningOptions::improved().with_max_iterations(60)).run(&mut obj);
+        assert_eq!(
+            out.best_performance, 100.0,
+            "best {}",
+            out.best_configuration
+        );
         assert_eq!(out.best_configuration.values(), &[8, 2]);
     }
 }

@@ -32,9 +32,9 @@
 //! assert!((x[2] - 1.0).abs() < 1e-9);
 //! ```
 
+mod lstsq;
 mod matrix;
 mod solve;
-mod lstsq;
 pub mod stats;
 pub mod vecops;
 

@@ -198,13 +198,7 @@ mod tests {
     #[test]
     fn overdetermined_plane_fit() {
         // p = 3a - 2b + 5 on five points, exactly consistent.
-        let pts = [
-            (0.0, 0.0),
-            (1.0, 0.0),
-            (0.0, 1.0),
-            (2.0, 3.0),
-            (4.0, 1.0),
-        ];
+        let pts = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (2.0, 3.0), (4.0, 1.0)];
         let rows: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b, 1.0]).collect();
         let a = Matrix::from_rows(&rows);
         let b: Vec<f64> = pts.iter().map(|&(x, y)| 3.0 * x - 2.0 * y + 5.0).collect();
@@ -228,7 +222,10 @@ mod tests {
         let x = lstsq(&a, &[2.0]).unwrap();
         let resid = (x[0] + x[1] - 2.0).abs();
         assert!(resid < 1e-5, "residual {resid}");
-        assert!((x[0] - x[1]).abs() < 1e-6, "expected symmetric solution, got {x:?}");
+        assert!(
+            (x[0] - x[1]).abs() < 1e-6,
+            "expected symmetric solution, got {x:?}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -44,7 +48,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build a matrix from a flat row-major buffer.
@@ -52,7 +60,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: wrong buffer size");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: wrong buffer size"
+        );
         Matrix { rows, cols, data }
     }
 

@@ -198,7 +198,9 @@ mod tests {
         let mut vals = Vec::with_capacity(n * n);
         let mut s = 1234567u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / (u32::MAX as f64) - 0.5
         };
         for _ in 0..n * n {

@@ -82,7 +82,9 @@ pub fn normalize_to_range(xs: &[f64], lo: f64, hi: f64) -> Vec<f64> {
     if (mx - mn).abs() < f64::EPSILON {
         return vec![(lo + hi) / 2.0; xs.len()];
     }
-    xs.iter().map(|x| lo + (x - mn) / (mx - mn) * (hi - lo)).collect()
+    xs.iter()
+        .map(|x| lo + (x - mn) / (mx - mn) * (hi - lo))
+        .collect()
 }
 
 /// A fixed-width histogram over `[lo, hi]` with `buckets` bins.
@@ -105,7 +107,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(buckets >= 1, "Histogram: need at least one bucket");
         assert!(hi > lo, "Histogram: empty range");
-        Histogram { lo, hi, counts: vec![0; buckets], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
     }
 
     /// Add one observation.
@@ -138,7 +145,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// `(low, high)` bounds of bucket `i`.
@@ -214,7 +224,11 @@ fn ranks(xs: &[f64]) -> Vec<f64> {
 /// Panics if lengths differ.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Squared Euclidean distance (the paper's classification minimizes

@@ -1,0 +1,207 @@
+//! Blocking client for the tuning daemon.
+
+use crate::codec::{read_frame, write_frame};
+use crate::protocol::{
+    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
+};
+use crate::NetError;
+use harmony_space::{Configuration, ParameterSpace};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server answered to a `SessionStart`.
+#[derive(Debug, Clone)]
+pub struct SessionStarted {
+    /// The authoritative space (clients sending RSL learn the parsed
+    /// parameter names and bounds from here).
+    pub space: ParameterSpace,
+    /// Prior run picked for training, when one matched.
+    pub trained_from: Option<String>,
+    /// Virtual iterations spent on that experience.
+    pub training_iterations: usize,
+}
+
+/// A configuration proposed by the server.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Parameter values, in space order.
+    pub values: Configuration,
+    /// Live iterations completed before this proposal.
+    pub iteration: usize,
+}
+
+/// Final result of a session.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// Best configuration measured live.
+    pub best: Configuration,
+    /// Its performance.
+    pub performance: f64,
+    /// Live iterations spent.
+    pub iterations: usize,
+    /// Whether the search converged (rather than exhausting its budget).
+    pub converged: bool,
+}
+
+/// A connection to a tuning daemon, driving one session at a time.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and complete the `Hello` exchange.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream };
+        let response = client.round_trip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: format!("harmony-net client {}", env!("CARGO_PKG_VERSION")),
+        })?;
+        match response {
+            Response::Hello { .. } => Ok(client),
+            other => Err(unexpected("Hello", other)),
+        }
+    }
+
+    /// Begin a tuning session.
+    pub fn start_session(
+        &mut self,
+        space: SpaceSpec,
+        label: impl Into<String>,
+        characteristics: Vec<f64>,
+        max_iterations: Option<usize>,
+    ) -> Result<SessionStarted, NetError> {
+        let response = self.round_trip(&Request::SessionStart {
+            space,
+            label: label.into(),
+            characteristics,
+            max_iterations,
+        })?;
+        match response {
+            Response::SessionStarted {
+                space,
+                trained_from,
+                training_iterations,
+            } => Ok(SessionStarted {
+                space,
+                trained_from,
+                training_iterations,
+            }),
+            other => Err(unexpected("SessionStarted", other)),
+        }
+    }
+
+    /// Ask for the next configuration; `None` once the session is over.
+    pub fn fetch(&mut self) -> Result<Option<Proposal>, NetError> {
+        match self.round_trip(&Request::Fetch)? {
+            Response::Config { values, iteration } => Ok(Some(Proposal {
+                values: Configuration::new(values),
+                iteration,
+            })),
+            Response::Done => Ok(None),
+            other => Err(unexpected("Config or Done", other)),
+        }
+    }
+
+    /// Report the measurement for the last fetched configuration.
+    pub fn report(&mut self, performance: f64) -> Result<(), NetError> {
+        match self.round_trip(&Request::Report { performance })? {
+            Response::Reported => Ok(()),
+            other => Err(unexpected("Reported", other)),
+        }
+    }
+
+    /// End the session; the run is recorded server-side.
+    pub fn end_session(&mut self) -> Result<SessionSummary, NetError> {
+        match self.round_trip(&Request::SessionEnd)? {
+            Response::SessionSummary {
+                values,
+                performance,
+                iterations,
+                converged,
+            } => Ok(SessionSummary {
+                best: Configuration::new(values),
+                performance,
+                iterations,
+                converged,
+            }),
+            other => Err(unexpected("SessionSummary", other)),
+        }
+    }
+
+    /// Per-parameter sensitivity estimated from prior and live
+    /// experience. Needs an active session.
+    pub fn sensitivity(&mut self) -> Result<Vec<SensitivityEntry>, NetError> {
+        match self.round_trip(&Request::Sensitivity)? {
+            Response::Sensitivity { entries } => Ok(entries),
+            other => Err(unexpected("Sensitivity", other)),
+        }
+    }
+
+    /// Summaries of every run in the server's experience database.
+    pub fn db_runs(&mut self) -> Result<Vec<RunSummary>, NetError> {
+        match self.round_trip(&Request::DbQuery)? {
+            Response::Runs { runs } => Ok(runs),
+            other => Err(unexpected("Runs", other)),
+        }
+    }
+
+    /// Drive a whole session with a measurement closure: fetch, measure,
+    /// report, until done; then end the session.
+    ///
+    /// The closure may fail (a crashed external program, say); the error
+    /// is surfaced immediately and the connection is dropped with the
+    /// session unfinished — the server still records what was measured.
+    pub fn tune_with<E>(
+        &mut self,
+        space: SpaceSpec,
+        label: impl Into<String>,
+        characteristics: Vec<f64>,
+        max_iterations: Option<usize>,
+        mut measure: impl FnMut(&Configuration) -> Result<f64, E>,
+    ) -> Result<(SessionStarted, SessionSummary), TuneError<E>> {
+        let started = self
+            .start_session(space, label, characteristics, max_iterations)
+            .map_err(TuneError::Net)?;
+        while let Some(proposal) = self.fetch().map_err(TuneError::Net)? {
+            let performance = measure(&proposal.values).map_err(TuneError::Measure)?;
+            self.report(performance).map_err(TuneError::Net)?;
+        }
+        let summary = self.end_session().map_err(TuneError::Net)?;
+        Ok((started, summary))
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            Response::Error { message } => Err(NetError::Remote(message)),
+            response => Ok(response),
+        }
+    }
+}
+
+/// Failure of a [`Client::tune_with`] loop: either the wire broke or the
+/// caller's measurement did.
+#[derive(Debug)]
+pub enum TuneError<E> {
+    /// Transport or protocol failure.
+    Net(NetError),
+    /// The measurement closure failed.
+    Measure(E),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TuneError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::Net(e) => write!(f, "{e}"),
+            TuneError::Measure(e) => write!(f, "measurement failed: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for TuneError<E> {}
+
+fn unexpected(wanted: &str, got: Response) -> NetError {
+    NetError::Protocol(format!("expected {wanted}, server sent {got:?}"))
+}

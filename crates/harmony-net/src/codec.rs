@@ -1,0 +1,129 @@
+//! Framing: `u32` big-endian length prefix, then that many bytes of
+//! JSON.
+//!
+//! Length-prefixing keeps the reader trivial (no scanning for
+//! delimiters, no JSON-aware buffering) and makes oversized or garbage
+//! input detectable before any parsing happens.
+
+use crate::NetError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Refuse frames larger than this (16 MiB) — nothing in the protocol
+/// comes close, so a bigger prefix means a confused or hostile peer.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Serialize `msg` and write it as one frame.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), NetError> {
+    let payload = serde_json::to_string(msg).map_err(|e| NetError::Protocol(e.to_string()))?;
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(NetError::Protocol(format!(
+            "outgoing frame of {} bytes exceeds the {} byte limit",
+            bytes.len(),
+            MAX_FRAME_LEN
+        )));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame and deserialize it.
+///
+/// A clean disconnect (EOF before any header byte) surfaces as an
+/// [`NetError::Io`] with `UnexpectedEof` — check
+/// [`NetError::is_disconnect`].
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, NetError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| NetError::Protocol(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| NetError::Protocol(format!("bad frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, SpaceSpec};
+    use std::io::Cursor;
+
+    fn round_trip(msg: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let messages = [
+            Request::Hello {
+                version: 1,
+                client: "test".into(),
+            },
+            Request::SessionStart {
+                space: SpaceSpec::Rsl("{ harmonyBundle x { int {0 9 1} }}".into()),
+                label: "w".into(),
+                characteristics: vec![0.25, 0.75],
+                max_iterations: Some(40),
+            },
+            Request::Fetch,
+            Request::Report { performance: -3.5 },
+            Request::SessionEnd,
+            Request::Sensitivity,
+            Request::DbQuery,
+        ];
+        for msg in &messages {
+            assert_eq!(&round_trip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Fetch).unwrap();
+        write_frame(&mut buf, &Request::Report { performance: 1.0 }).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame::<_, Request>(&mut cursor).unwrap(),
+            Request::Fetch
+        );
+        assert_eq!(
+            read_frame::<_, Request>(&mut cursor).unwrap(),
+            Request::Report { performance: 1.0 }
+        );
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        buf.extend_from_slice(b"ignored");
+        let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_reads_as_disconnect() {
+        let err = read_frame::<_, Request>(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert!(err.is_disconnect(), "{err}");
+    }
+
+    #[test]
+    fn garbage_payload_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(b"%%%%%");
+        let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+}

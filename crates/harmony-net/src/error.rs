@@ -1,0 +1,47 @@
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent something outside the protocol (bad frame, wrong
+    /// message for the current state, version mismatch).
+    Protocol(String),
+    /// The server answered with an in-protocol error message.
+    Remote(String),
+}
+
+impl NetError {
+    /// Whether this error is the peer closing the connection at a frame
+    /// boundary — a normal end of conversation, not a failure.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, NetError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}

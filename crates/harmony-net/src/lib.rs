@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Remote tuning for Active Harmony: a TCP daemon and client library.
+//!
+//! The original Active Harmony is a client/server system: applications
+//! connect to a tuning server, fetch configurations to try, and report
+//! the performance they measured. This crate restores that shape around
+//! the in-process kernel:
+//!
+//! * [`protocol`] — the message types. A session speaks
+//!   `Hello` → `SessionStart` → (`Fetch` → `Report`)* → `SessionEnd`,
+//!   with `Sensitivity` and `DbQuery` available as admin queries.
+//! * [`codec`] — the wire format: each message is one `u32` big-endian
+//!   length prefix followed by that many bytes of JSON.
+//! * [`server`] — [`server::TuningDaemon`], a thread-per-connection
+//!   daemon. All sessions share one experience database: each
+//!   `SessionStart` is classified against it (the §4.2 warm start) and
+//!   each completed session is recorded back into it, so later clients
+//!   train on earlier clients' runs. The database persists to disk
+//!   across restarts.
+//! * [`client`] — [`client::Client`], a blocking client driving the
+//!   ask–tell loop over the wire.
+//!
+//! ```no_run
+//! use harmony_net::client::Client;
+//! use harmony_net::protocol::SpaceSpec;
+//!
+//! let mut client = Client::connect("127.0.0.1:777")?;
+//! let started = client.start_session(
+//!     SpaceSpec::Rsl("{ harmonyBundle x { int {0 100 1} }}".into()),
+//!     "my-workload",
+//!     vec![0.4, 0.6],
+//!     Some(60),
+//! )?;
+//! println!("tuning {} parameters", started.space.len());
+//! while let Some(proposal) = client.fetch()? {
+//!     let performance = 0.0; // measure proposal.values here
+//!     client.report(performance)?;
+//! }
+//! let best = client.end_session()?;
+//! println!("best {} at {}", best.best, best.performance);
+//! # Ok::<(), harmony_net::NetError>(())
+//! ```
+
+pub mod client;
+pub mod codec;
+mod error;
+pub mod protocol;
+pub mod server;
+
+pub use error::NetError;
+pub use protocol::PROTOCOL_VERSION;

@@ -1,0 +1,230 @@
+//! Wire messages.
+//!
+//! Each frame carries one [`Request`] (client → server) or one
+//! [`Response`] (server → client), JSON-encoded with externally-tagged
+//! enums: `"Fetch"`, `{"Report":{"performance":1.5}}`, and so on.
+//!
+//! A conversation:
+//!
+//! ```text
+//! client                          server
+//!   Hello            ──────────▶
+//!                    ◀──────────   Hello
+//!   SessionStart     ──────────▶           classify vs experience db
+//!                    ◀──────────   SessionStarted (authoritative space)
+//!   Fetch            ──────────▶
+//!                    ◀──────────   Config { values, iteration }
+//!   Report           ──────────▶
+//!                    ◀──────────   Reported
+//!   …                                      until Fetch answers Done
+//!   SessionEnd       ──────────▶           record run into the db
+//!                    ◀──────────   SessionSummary { best, … }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Version spoken by this build. The server rejects a `Hello` carrying
+/// anything else; bump on any incompatible message change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// How a client describes the space it wants tuned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpaceSpec {
+    /// A resource-specification-language document (Appendix B), parsed
+    /// server-side.
+    Rsl(String),
+    /// An explicit, already-structured space.
+    Explicit(harmony_space::ParameterSpace),
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Opens every connection; the server checks the version.
+    Hello {
+        /// Client's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Free-form client identification, for server logs.
+        client: String,
+    },
+    /// Begin a tuning session on this connection.
+    SessionStart {
+        /// The space to tune.
+        space: SpaceSpec,
+        /// Label the finished run is recorded under.
+        label: String,
+        /// Observed workload characteristics, classified against prior
+        /// runs to pick training experience (§4.2).
+        characteristics: Vec<f64>,
+        /// Override the server's default live-measurement budget.
+        max_iterations: Option<usize>,
+    },
+    /// Ask for the next configuration to measure. Idempotent: asking
+    /// again without a `Report` returns the same configuration.
+    Fetch,
+    /// Report the measured performance of the fetched configuration.
+    Report {
+        /// The measurement (higher is better).
+        performance: f64,
+    },
+    /// Close the session: the run is recorded into the experience
+    /// database and the best configuration comes back.
+    SessionEnd,
+    /// Ask for a per-parameter sensitivity estimate (§3) computed from
+    /// prior matched experience plus this session's live trace.
+    Sensitivity,
+    /// List the experience database's recorded runs.
+    DbQuery,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Hello`].
+    Hello {
+        /// Server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Free-form server identification.
+        server: String,
+    },
+    /// The session is live.
+    SessionStarted {
+        /// The authoritative parameter space (RSL specs are parsed
+        /// server-side; clients need the parameter names and bounds).
+        space: harmony_space::ParameterSpace,
+        /// Label of the prior run selected for training, when the
+        /// characteristics matched one.
+        trained_from: Option<String>,
+        /// Virtual iterations spent replaying that experience.
+        training_iterations: usize,
+    },
+    /// A configuration to measure.
+    Config {
+        /// Parameter values, in space order.
+        values: Vec<i64>,
+        /// Live iterations completed so far.
+        iteration: usize,
+    },
+    /// No further configurations: the session converged or spent its
+    /// budget. Send [`Request::SessionEnd`] next.
+    Done,
+    /// The report was folded into the search.
+    Reported,
+    /// Answer to [`Request::SessionEnd`].
+    SessionSummary {
+        /// Best configuration measured live.
+        values: Vec<i64>,
+        /// Its performance.
+        performance: f64,
+        /// Live iterations spent.
+        iterations: usize,
+        /// Whether the spread criteria (not the budget) ended the search.
+        converged: bool,
+    },
+    /// Answer to [`Request::Sensitivity`].
+    Sensitivity {
+        /// Per-parameter estimates, in space order.
+        entries: Vec<SensitivityEntry>,
+    },
+    /// Answer to [`Request::DbQuery`].
+    Runs {
+        /// One summary per recorded run.
+        runs: Vec<RunSummary>,
+    },
+    /// The request could not be served; the connection stays usable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// One parameter's sensitivity estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityEntry {
+    /// Index in the space.
+    pub index: usize,
+    /// Parameter name.
+    pub name: String,
+    /// The ΔP/Δv′ score (≥ 0).
+    pub sensitivity: f64,
+    /// The value with the best observed performance.
+    pub best_value: i64,
+}
+
+/// One recorded run, as reported by [`Request::DbQuery`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Label the run was recorded under.
+    pub label: String,
+    /// Workload characteristics observed for the run.
+    pub characteristics: Vec<f64>,
+    /// Number of recorded explorations.
+    pub records: usize,
+    /// Best recorded performance, when any explorations exist.
+    pub best_performance: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_survive_json() {
+        let msg = Request::SessionStart {
+            space: SpaceSpec::Rsl("{ harmonyBundle x { int {0 4 1} }}".into()),
+            label: "w1".into(),
+            characteristics: vec![1.0, 0.0],
+            max_iterations: None,
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn unit_requests_are_plain_strings() {
+        assert_eq!(serde_json::to_string(&Request::Fetch).unwrap(), "\"Fetch\"");
+        assert_eq!(
+            serde_json::to_string(&Request::DbQuery).unwrap(),
+            "\"DbQuery\""
+        );
+    }
+
+    #[test]
+    fn responses_survive_json() {
+        let msg = Response::SessionSummary {
+            values: vec![3, 1, 4],
+            performance: 15.9,
+            iterations: 26,
+            converged: true,
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn explicit_space_spec_round_trips() {
+        let space = harmony_space::ParameterSpace::builder()
+            .param(harmony_space::ParamDef::int("cache", 1, 64, 8, 1))
+            .build()
+            .unwrap();
+        let msg = Request::SessionStart {
+            space: SpaceSpec::Explicit(space.clone()),
+            label: "explicit".into(),
+            characteristics: vec![],
+            max_iterations: Some(10),
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        match serde_json::from_str(&json).unwrap() {
+            Request::SessionStart {
+                space: SpaceSpec::Explicit(s),
+                ..
+            } => {
+                assert_eq!(s.len(), space.len());
+                assert_eq!(s.param(0).name(), "cache");
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

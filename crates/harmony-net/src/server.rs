@@ -1,0 +1,657 @@
+//! The tuning daemon: a TCP server sharing one experience database
+//! across all client sessions.
+//!
+//! Threading model: one acceptor thread plus one thread per live
+//! connection, capped at [`DaemonConfig::max_connections`]. Connections
+//! over the cap get an in-protocol `Error` and are closed immediately
+//! rather than queued, so a stalled client cannot starve new ones.
+//!
+//! The experience database sits behind an `RwLock`: classification at
+//! `SessionStart` and `DbQuery` take read locks, recording a finished
+//! run takes a brief write lock. Tuning itself touches only
+//! connection-local state, so concurrent sessions never contend beyond
+//! those two moments.
+
+use crate::codec::{write_frame, MAX_FRAME_LEN};
+use crate::protocol::{
+    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
+};
+use crate::NetError;
+use harmony::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
+use harmony::sensitivity::SensitivityReport;
+use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
+use harmony_space::{parse_rsl, ParameterSpace};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked reads wake up to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Daemon settings.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port; read it back
+    /// from [`DaemonHandle::addr`]).
+    pub listen: String,
+    /// Experience-database file. Loaded at startup when it exists;
+    /// written after completed sessions and at shutdown. `None` keeps
+    /// the database in memory only.
+    pub db_path: Option<PathBuf>,
+    /// Concurrent-connection cap; further connections are refused with
+    /// an `Error` response.
+    pub max_connections: usize,
+    /// Default tuning options for sessions (clients may override the
+    /// budget per session).
+    pub tuning: TuningOptions,
+    /// How matched prior experience trains a session (§4.2).
+    pub training: TrainingMode,
+    /// Classification mechanism and match gate.
+    pub analyzer: DataAnalyzer,
+    /// Persist the database after every N completed sessions.
+    pub save_every: usize,
+    /// Name reported in the `Hello` exchange.
+    pub server_name: String,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen: "127.0.0.1:0".into(),
+            db_path: None,
+            max_connections: 32,
+            tuning: TuningOptions::improved(),
+            training: TrainingMode::Replay(12),
+            analyzer: DataAnalyzer::new(),
+            save_every: 1,
+            server_name: "harmony-net".into(),
+        }
+    }
+}
+
+struct Shared {
+    config: DaemonConfig,
+    db: RwLock<ExperienceDb>,
+    active: AtomicUsize,
+    completed: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Write the database to its configured path, logging (not
+    /// propagating) failures: persistence must never take down serving.
+    fn persist(&self) {
+        if let Some(path) = &self.config.db_path {
+            let db = self.db.read().expect("db lock poisoned");
+            if let Err(e) = db.save(path) {
+                eprintln!("harmony-net: failed to persist experience db: {e}");
+            }
+        }
+    }
+}
+
+/// The daemon entry point.
+pub struct TuningDaemon;
+
+impl TuningDaemon {
+    /// Bind, load any persisted experience, and start serving.
+    pub fn start(config: DaemonConfig) -> Result<DaemonHandle, NetError> {
+        let db = match &config.db_path {
+            Some(path) if path.exists() => ExperienceDb::load(path)
+                .map_err(|e| NetError::Protocol(format!("cannot load experience db: {e}")))?,
+            _ => ExperienceDb::new(),
+        };
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            db: RwLock::new(db),
+            active: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (useful with a `:0` listen port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Completed sessions since startup.
+    pub fn completed_sessions(&self) -> usize {
+        self.shared.completed.load(Ordering::SeqCst)
+    }
+
+    /// Runs currently in the shared experience database.
+    pub fn db_runs(&self) -> usize {
+        self.shared.db.read().expect("db lock poisoned").len()
+    }
+
+    /// Stop accepting, wait for connection threads, persist the
+    /// database.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        self.shared.persist();
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            let _ = write_frame(
+                &mut stream,
+                &Response::Error {
+                    message: "server busy: connection limit reached".into(),
+                },
+            );
+            // Drain until the peer hangs up (bounded by the timeout) so
+            // the close is graceful: an immediate close can RST the
+            // connection before the client has read the refusal.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut sink = [0u8; 256];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+            continue;
+        }
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let shared_conn = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let _ = serve_connection(&mut stream, &shared_conn);
+            shared_conn.active.fetch_sub(1, Ordering::SeqCst);
+        });
+        workers.lock().expect("worker list poisoned").push(handle);
+    }
+    for handle in workers.into_inner().expect("worker list poisoned") {
+        let _ = handle.join();
+    }
+}
+
+/// Per-connection session state.
+struct ActiveSession {
+    session: TuningSession,
+    label: String,
+    characteristics: Vec<f64>,
+    /// The prior run selected at `SessionStart`, kept for `Sensitivity`.
+    prior: Option<RunHistory>,
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut active: Option<ActiveSession> = None;
+    loop {
+        let request = match read_request(stream, shared) {
+            Ok(Some(req)) => req,
+            Ok(None) => break, // clean disconnect or shutdown
+            Err(e) => {
+                // One best-effort complaint, then give up on the stream.
+                let _ = write_frame(
+                    stream,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return Err(e);
+            }
+        };
+        let response = handle_request(request, &mut active, shared);
+        write_frame(stream, &response)?;
+    }
+    // A dropped connection abandons its session: whatever was measured is
+    // still experience worth keeping.
+    if let Some(sess) = active.take() {
+        if sess.session.iterations() > 0 {
+            record_session(sess, shared);
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(
+    request: Request,
+    active: &mut Option<ActiveSession>,
+    shared: &Shared,
+) -> Response {
+    match request {
+        Request::Hello { version, client: _ } => {
+            if version != PROTOCOL_VERSION {
+                Response::Error {
+                    message: format!(
+                        "protocol version mismatch: client speaks {version}, server speaks {PROTOCOL_VERSION}"
+                    ),
+                }
+            } else {
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                    server: shared.config.server_name.clone(),
+                }
+            }
+        }
+        Request::SessionStart {
+            space,
+            label,
+            characteristics,
+            max_iterations,
+        } => {
+            if active.is_some() {
+                return Response::Error {
+                    message: "a session is already active on this connection".into(),
+                };
+            }
+            let space = match resolve_space(space) {
+                Ok(s) => s,
+                Err(message) => return Response::Error { message },
+            };
+            let mut options = shared.config.tuning.clone();
+            if let Some(n) = max_iterations {
+                options = options.with_max_iterations(n);
+            }
+            // Classify the observed characteristics against everyone's
+            // prior experience (§4.2). A match whose space shape differs
+            // from this session's cannot seed the simplex — skip it.
+            let prior = {
+                let db = shared.db.read().expect("db lock poisoned");
+                shared
+                    .config
+                    .analyzer
+                    .select(&db, &characteristics)
+                    .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()))
+            };
+            let tuner = Tuner::new(space, options);
+            let session = match &prior {
+                Some(history) => tuner.session_trained(history, shared.config.training),
+                None => tuner.session(),
+            };
+            let response = Response::SessionStarted {
+                space: session.space().clone(),
+                trained_from: prior.as_ref().map(|r| r.label.clone()),
+                training_iterations: session.training_iterations(),
+            };
+            *active = Some(ActiveSession {
+                session,
+                label,
+                characteristics,
+                prior,
+            });
+            response
+        }
+        Request::Fetch => match active {
+            None => no_session(),
+            Some(sess) => match sess.session.next_config() {
+                Some(cfg) => Response::Config {
+                    values: cfg.values().to_vec(),
+                    iteration: sess.session.iterations(),
+                },
+                None => Response::Done,
+            },
+        },
+        Request::Report { performance } => match active {
+            None => no_session(),
+            Some(sess) => match sess.session.observe(performance) {
+                Ok(()) => Response::Reported,
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+        },
+        Request::SessionEnd => match active.take() {
+            None => no_session(),
+            Some(sess) => record_session(sess, shared),
+        },
+        Request::Sensitivity => match active {
+            None => no_session(),
+            Some(sess) => {
+                // Free estimate from experience already paid for: the
+                // matched prior run plus this session's live trace.
+                let mut records: Vec<TuningRecord> = sess
+                    .prior
+                    .as_ref()
+                    .map(|run| run.records.clone())
+                    .unwrap_or_default();
+                records.extend(
+                    sess.session
+                        .trace()
+                        .iter()
+                        .map(|t| TuningRecord::new(&t.config, t.performance)),
+                );
+                if records.is_empty() {
+                    return Response::Error {
+                        message: "no experience yet: no prior match and nothing measured".into(),
+                    };
+                }
+                let report = SensitivityReport::from_history(sess.session.space(), &records);
+                Response::Sensitivity {
+                    entries: report
+                        .entries()
+                        .iter()
+                        .map(|e| SensitivityEntry {
+                            index: e.index,
+                            name: e.name.clone(),
+                            sensitivity: e.sensitivity,
+                            best_value: e.best_value,
+                        })
+                        .collect(),
+                }
+            }
+        },
+        Request::DbQuery => {
+            let db = shared.db.read().expect("db lock poisoned");
+            Response::Runs {
+                runs: db
+                    .runs()
+                    .iter()
+                    .map(|run| RunSummary {
+                        label: run.label.clone(),
+                        characteristics: run.characteristics.clone(),
+                        records: run.records.len(),
+                        best_performance: run.best().map(|r| r.performance),
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+fn no_session() -> Response {
+    Response::Error {
+        message: "no active session: send SessionStart first".into(),
+    }
+}
+
+fn resolve_space(spec: SpaceSpec) -> Result<ParameterSpace, String> {
+    match spec {
+        SpaceSpec::Rsl(text) => parse_rsl(&text).map_err(|e| format!("bad RSL: {e}")),
+        SpaceSpec::Explicit(space) => {
+            if space.is_empty() {
+                Err("empty parameter space".into())
+            } else {
+                Ok(space)
+            }
+        }
+    }
+}
+
+/// Fold a finished (or abandoned) session into the shared database and
+/// answer with its summary.
+fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
+    let outcome = sess.session.finish();
+    let summary = Response::SessionSummary {
+        values: outcome.best_configuration.values().to_vec(),
+        performance: outcome.best_performance,
+        iterations: outcome.trace.len(),
+        converged: outcome.converged,
+    };
+    if !outcome.trace.is_empty() {
+        let run = outcome.to_history(sess.label, sess.characteristics);
+        shared.db.write().expect("db lock poisoned").add_run(run);
+    }
+    let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+    if shared.config.save_every > 0 && completed % shared.config.save_every == 0 {
+        shared.persist();
+    }
+    summary
+}
+
+/// Read one request, polling so the thread notices shutdown and clean
+/// disconnects. `Ok(None)` means "stop serving this connection".
+fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Request>, NetError> {
+    let mut header = [0u8; 4];
+    match fill(stream, &mut header, shared, true)? {
+        Fill::Closed => return Ok(None),
+        Fill::Full => {}
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, shared, false)? {
+        Fill::Closed => return Ok(None), // shutdown mid-frame
+        Fill::Full => {}
+    }
+    let text = String::from_utf8(payload)
+        .map_err(|e| NetError::Protocol(format!("frame is not UTF-8: {e}")))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| NetError::Protocol(format!("bad frame: {e}")))
+}
+
+enum Fill {
+    Full,
+    Closed,
+}
+
+/// `read_exact` that survives the poll timeout without losing partial
+/// reads, and bails out on shutdown.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+    at_frame_boundary: bool,
+) -> Result<Fill, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(Fill::Closed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_frame_boundary => return Ok(Fill::Closed),
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use harmony_space::Configuration;
+
+    fn paraboloid(cfg: &Configuration) -> f64 {
+        let x = cfg.get(0) as f64;
+        let y = cfg.get(1) as f64;
+        1000.0 - (x - 40.0).powi(2) - (y - 70.0).powi(2)
+    }
+
+    const RSL: &str = "{ harmonyBundle x { int {0 100 1} }}\n{ harmonyBundle y { int {0 100 1} }}";
+
+    fn daemon() -> DaemonHandle {
+        TuningDaemon::start(DaemonConfig::default()).expect("daemon starts")
+    }
+
+    #[test]
+    fn one_session_end_to_end() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let started = client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "w1", vec![1.0, 0.0], Some(80))
+            .unwrap();
+        assert_eq!(started.space.len(), 2);
+        assert_eq!(started.space.param(0).name(), "x");
+        assert!(started.trained_from.is_none(), "empty db cannot warm-start");
+        while let Some(p) = client.fetch().unwrap() {
+            client.report(paraboloid(&p.values)).unwrap();
+        }
+        let summary = client.end_session().unwrap();
+        assert!(summary.performance > 950.0, "found {}", summary.performance);
+        assert!(summary.iterations > 0 && summary.iterations <= 80);
+        drop(client);
+        assert_eq!(handle.completed_sessions(), 1);
+        assert_eq!(handle.db_runs(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fetch_is_idempotent_over_the_wire() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "w", vec![0.5], Some(20))
+            .unwrap();
+        let a = client.fetch().unwrap().unwrap();
+        let b = client.fetch().unwrap().unwrap();
+        assert_eq!(a.values, b.values, "retried fetch must repeat the proposal");
+        client.report(1.0).unwrap();
+        let c = client.fetch().unwrap().unwrap();
+        assert_ne!(a.values, c.values);
+    }
+
+    #[test]
+    fn protocol_misuse_gets_in_protocol_errors() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        // Report with no session.
+        let err = client.report(1.0).unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "{err}");
+        // Fetch with no session.
+        let err = client.fetch().unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "{err}");
+        // The connection stays usable afterwards.
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "w", vec![], Some(10))
+            .unwrap();
+        // Report before any fetch: kernel has nothing outstanding.
+        let err = client.report(1.0).unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "{err}");
+        // Bad RSL in a second session attempt while one is active.
+        let err = client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "w2", vec![], None)
+            .unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "{err}");
+    }
+
+    #[test]
+    fn sensitivity_and_db_query_answer_mid_session() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "w", vec![0.2], Some(30))
+            .unwrap();
+        // Before anything is measured there is no experience to rank.
+        let err = client.sensitivity().unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)), "{err}");
+        for _ in 0..10 {
+            let p = client.fetch().unwrap().unwrap();
+            client.report(paraboloid(&p.values)).unwrap();
+        }
+        let entries = client.sensitivity().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "x");
+        assert!(entries.iter().any(|e| e.sensitivity > 0.0));
+        let runs = client.db_runs().unwrap();
+        assert!(runs.is_empty(), "session not ended yet: db still empty");
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let handle = daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION + 1,
+                client: "old".into(),
+            },
+        )
+        .unwrap();
+        let response: Response = crate::codec::read_frame(&mut stream).unwrap();
+        assert!(matches!(response, Response::Error { .. }), "{response:?}");
+    }
+
+    #[test]
+    fn connection_cap_refuses_politely() {
+        let handle = TuningDaemon::start(DaemonConfig {
+            max_connections: 0,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let err = Client::connect(handle.addr()).unwrap_err();
+        assert!(
+            matches!(err, NetError::Remote(ref m) if m.contains("busy")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dropped_connection_still_records_measured_experience() {
+        let handle = daemon();
+        {
+            let mut client = Client::connect(handle.addr()).unwrap();
+            client
+                .start_session(SpaceSpec::Rsl(RSL.into()), "dropped", vec![0.1], Some(50))
+                .unwrap();
+            for _ in 0..5 {
+                let p = client.fetch().unwrap().unwrap();
+                client.report(paraboloid(&p.values)).unwrap();
+            }
+            // Client vanishes without SessionEnd.
+        }
+        // The handler notices the disconnect asynchronously.
+        for _ in 0..100 {
+            if handle.db_runs() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(handle.db_runs(), 1, "abandoned session experience is kept");
+    }
+}

@@ -188,7 +188,12 @@ impl Expr {
             Expr::Param(name) => {
                 out.insert(name.clone());
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
                 a.collect_refs(out);
                 b.collect_refs(out);
             }
@@ -209,7 +214,10 @@ impl Expr {
     /// assert_eq!(v, 3);
     /// ```
     pub fn parse(input: &str) -> Result<Self, ExprError> {
-        let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+        let mut p = Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        };
         let e = p.expr()?;
         if p.pos != p.tokens.len() {
             return Err(ExprError::Parse(format!(
@@ -414,9 +422,9 @@ impl Parser {
                     Ok(Expr::Max(Box::new(a), Box::new(b)))
                 }
             }
-            Some(Token::Ident(name)) => {
-                Err(ExprError::Parse(format!("unknown identifier {name:?} (parameter references need '$')")))
-            }
+            Some(Token::Ident(name)) => Err(ExprError::Parse(format!(
+                "unknown identifier {name:?} (parameter references need '$')"
+            ))),
             other => Err(ExprError::Parse(format!("unexpected token {other:?}"))),
         }
     }
@@ -447,7 +455,10 @@ mod tests {
         let e = Expr::parse("9-$B").unwrap();
         let f = env(&[("B", 3)]);
         assert_eq!(e.eval_with(&f).unwrap(), 6);
-        assert_eq!(e.references().into_iter().collect::<Vec<_>>(), vec!["B".to_string()]);
+        assert_eq!(
+            e.references().into_iter().collect::<Vec<_>>(),
+            vec!["B".to_string()]
+        );
     }
 
     #[test]
@@ -470,13 +481,19 @@ mod tests {
     #[test]
     fn unknown_param_error() {
         let e = Expr::parse("$missing").unwrap();
-        assert_eq!(e.eval_const(), Err(ExprError::UnknownParam("missing".into())));
+        assert_eq!(
+            e.eval_const(),
+            Err(ExprError::UnknownParam("missing".into()))
+        );
     }
 
     #[test]
     fn division_by_zero_error() {
         let e = Expr::parse("1/($A-$A)").unwrap();
-        assert_eq!(e.eval_with(&env(&[("A", 5)])), Err(ExprError::DivisionByZero));
+        assert_eq!(
+            e.eval_with(&env(&[("A", 5)])),
+            Err(ExprError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -511,7 +528,14 @@ mod tests {
         };
         // Exhaustively check soundness: every concrete evaluation must fall
         // inside the interval result.
-        for src in ["9-$A", "$A*$B", "$A+$B-2", "min($A,4)-max($B,0)", "-$A", "20/$A"] {
+        for src in [
+            "9-$A",
+            "$A*$B",
+            "$A+$B-2",
+            "min($A,4)-max($B,0)",
+            "-$A",
+            "20/$A",
+        ] {
             let e = Expr::parse(src).unwrap();
             let (lo, hi) = e.eval_interval(&ranges).unwrap();
             for a in 1..=8i64 {
@@ -530,12 +554,13 @@ mod tests {
 
     #[test]
     fn interval_division_straddling_zero() {
-        let ranges = |name: &str| -> Option<(i64, i64)> {
-            (name == "B").then_some((-3, 3))
-        };
+        let ranges = |name: &str| -> Option<(i64, i64)> { (name == "B").then_some((-3, 3)) };
         let e = Expr::parse("10/$B").unwrap();
         let (lo, hi) = e.eval_interval(&ranges).unwrap();
-        assert!(lo <= -10 && hi >= 10, "interval [{lo}, {hi}] must cover ±10");
+        assert!(
+            lo <= -10 && hi >= 10,
+            "interval [{lo}, {hi}] must cover ±10"
+        );
         // All-zero divisor is an error.
         let zero = |name: &str| -> Option<(i64, i64)> { (name == "B").then_some((0, 0)) };
         assert_eq!(e.eval_interval(&zero), Err(ExprError::DivisionByZero));
@@ -545,6 +570,9 @@ mod tests {
     fn references_collects_all() {
         let e = Expr::parse("$A + min($B, $C) * -$A").unwrap();
         let refs: Vec<String> = e.references().into_iter().collect();
-        assert_eq!(refs, vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+        assert_eq!(
+            refs,
+            vec!["A".to_string(), "B".to_string(), "C".to_string()]
+        );
     }
 }

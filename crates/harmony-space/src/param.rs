@@ -44,7 +44,16 @@ impl ParamDef {
     /// bounds — these are programmer errors in the space declaration.
     pub fn int(name: impl Into<String>, min: i64, max: i64, default: i64, step: i64) -> Self {
         assert!(min <= max, "ParamDef {:?}: min > max", name.into());
-        Self::checked(name.into(), ParamKind::Int, Expr::constant(min), Expr::constant(max), default, step, min, max)
+        Self::checked(
+            name.into(),
+            ParamKind::Int,
+            Expr::constant(min),
+            Expr::constant(max),
+            default,
+            step,
+            min,
+            max,
+        )
     }
 
     /// A categorical parameter over a list of labels; default is an index.
@@ -83,7 +92,16 @@ impl ParamDef {
         static_min: i64,
         static_max: i64,
     ) -> Self {
-        Self::checked(name.into(), ParamKind::Int, min, max, default, step, static_min, static_max)
+        Self::checked(
+            name.into(),
+            ParamKind::Int,
+            min,
+            max,
+            default,
+            step,
+            static_min,
+            static_max,
+        )
     }
 
     #[allow(clippy::too_many_arguments)] // private constructor mirroring the field list
@@ -98,12 +116,24 @@ impl ParamDef {
         static_max: i64,
     ) -> Self {
         assert!(step > 0, "ParamDef {name}: step must be positive");
-        assert!(static_min <= static_max, "ParamDef {name}: static bounds inverted");
+        assert!(
+            static_min <= static_max,
+            "ParamDef {name}: static bounds inverted"
+        );
         assert!(
             (static_min..=static_max).contains(&default),
             "ParamDef {name}: default {default} outside [{static_min}, {static_max}]"
         );
-        ParamDef { name, kind, min, max, default, step, static_min, static_max }
+        ParamDef {
+            name,
+            kind,
+            min,
+            max,
+            default,
+            step,
+            static_min,
+            static_max,
+        }
     }
 
     /// Parameter name.
@@ -175,7 +205,8 @@ impl ParamDef {
     /// Inverse of [`normalize`](Self::normalize): map a fraction in `[0, 1]`
     /// back to the nearest admissible value on the step grid.
     pub fn denormalize(&self, frac: f64) -> i64 {
-        let raw = self.static_min as f64 + frac.clamp(0.0, 1.0) * (self.static_max - self.static_min) as f64;
+        let raw = self.static_min as f64
+            + frac.clamp(0.0, 1.0) * (self.static_max - self.static_min) as f64;
         self.snap(raw)
     }
 
@@ -197,9 +228,10 @@ impl ParamDef {
     pub fn label(&self, v: i64) -> Option<&str> {
         match &self.kind {
             ParamKind::Int => None,
-            ParamKind::Categorical(labels) => {
-                usize::try_from(v).ok().and_then(|i| labels.get(i)).map(String::as_str)
-            }
+            ParamKind::Categorical(labels) => usize::try_from(v)
+                .ok()
+                .and_then(|i| labels.get(i))
+                .map(String::as_str),
         }
     }
 }

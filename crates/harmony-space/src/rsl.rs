@@ -84,7 +84,9 @@ pub fn parse_rsl(input: &str) -> Result<ParameterSpace, RslError> {
         pos = next;
     }
     if defs.is_empty() {
-        return Err(RslError::Syntax("no harmonyBundle declarations found".into()));
+        return Err(RslError::Syntax(
+            "no harmonyBundle declarations found".into(),
+        ));
     }
     Ok(ParameterSpace::new(defs)?)
 }
@@ -190,7 +192,9 @@ fn parse_bundle(
     expect(tokens, &mut pos, &Tok::Open)?;
     let kw = expect_word(tokens, &mut pos)?;
     if kw != "harmonyBundle" {
-        return Err(RslError::Syntax(format!("expected 'harmonyBundle', got {kw:?}")));
+        return Err(RslError::Syntax(format!(
+            "expected 'harmonyBundle', got {kw:?}"
+        )));
     }
     let name = expect_word(tokens, &mut pos)?;
     expect(tokens, &mut pos, &Tok::Open)?;
@@ -230,7 +234,9 @@ fn parse_int_body(
         .eval_const()
         .map_err(|_| RslError::Syntax(format!("int bundle {name:?}: step must be a constant")))?;
     if step <= 0 {
-        return Err(RslError::Syntax(format!("int bundle {name:?}: step must be positive")));
+        return Err(RslError::Syntax(format!(
+            "int bundle {name:?}: step must be positive"
+        )));
     }
 
     // Derive the static envelope by interval arithmetic over earlier
@@ -252,9 +258,9 @@ fn parse_int_body(
     // else a value that lies inside every possible range if one exists
     // (min's upper envelope .. max's lower envelope), else the static min.
     let default = if fields.len() == 4 {
-        Expr::parse(&fields[3])?
-            .eval_const()
-            .map_err(|_| RslError::Syntax(format!("int bundle {name:?}: default must be a constant")))?
+        Expr::parse(&fields[3])?.eval_const().map_err(|_| {
+            RslError::Syntax(format!("int bundle {name:?}: default must be a constant"))
+        })?
     } else if min_hi <= max_lo {
         // Middle of the always-feasible band, snapped onto the step grid.
         let mid = min_hi + (max_lo - min_hi) / 2;
@@ -267,7 +273,15 @@ fn parse_int_body(
             "int bundle {name:?}: default {default} outside static bounds [{static_min}, {static_max}]"
         )));
     }
-    Ok(ParamDef::restricted(name.to_string(), min, max, default, step, static_min, static_max))
+    Ok(ParamDef::restricted(
+        name.to_string(),
+        min,
+        max,
+        default,
+        step,
+        static_min,
+        static_max,
+    ))
 }
 
 fn parse_enum_body(tokens: &[Tok], pos: &mut usize, name: &str) -> Result<ParamDef, RslError> {
@@ -285,14 +299,17 @@ fn parse_enum_body(tokens: &[Tok], pos: &mut usize, name: &str) -> Result<ParamD
     }
     expect(tokens, pos, &Tok::Close)?;
     if labels.is_empty() {
-        return Err(RslError::Syntax(format!("enum bundle {name:?} has no labels")));
+        return Err(RslError::Syntax(format!(
+            "enum bundle {name:?} has no labels"
+        )));
     }
     let default = match default_label {
         None => 0,
-        Some(l) => labels
-            .iter()
-            .position(|x| *x == l)
-            .ok_or_else(|| RslError::Syntax(format!("enum bundle {name:?}: default {l:?} not in label list")))?,
+        Some(l) => labels.iter().position(|x| *x == l).ok_or_else(|| {
+            RslError::Syntax(format!(
+                "enum bundle {name:?}: default {l:?} not in label list"
+            ))
+        })?,
     };
     Ok(ParamDef::categorical(name.to_string(), labels, default))
 }
@@ -303,7 +320,9 @@ fn expect(tokens: &[Tok], pos: &mut usize, want: &Tok) -> Result<(), RslError> {
             *pos += 1;
             Ok(())
         }
-        other => Err(RslError::Syntax(format!("expected {want:?}, got {other:?}"))),
+        other => Err(RslError::Syntax(format!(
+            "expected {want:?}, got {other:?}"
+        ))),
     }
 }
 
@@ -378,21 +397,34 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let s = parse_rsl(
-            "# tuning spec\n{ harmonyBundle B { int {1 4 1} }} # trailing\n",
-        )
-        .unwrap();
+        let s =
+            parse_rsl("# tuning spec\n{ harmonyBundle B { int {1 4 1} }} # trailing\n").unwrap();
         assert_eq!(s.len(), 1);
     }
 
     #[test]
     fn syntax_errors() {
         assert!(matches!(parse_rsl(""), Err(RslError::Syntax(_))));
-        assert!(matches!(parse_rsl("{ bundle B { int {1 2 1} }}"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse_rsl("{ harmonyBundle B { int {1 2} }}"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse_rsl("{ harmonyBundle B { int {1 2 0} }}"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse_rsl("{ harmonyBundle B { float {1 2 1} }}"), Err(RslError::Syntax(_))));
-        assert!(matches!(parse_rsl("{ harmonyBundle B { enum {} }}"), Err(RslError::Syntax(_))));
+        assert!(matches!(
+            parse_rsl("{ bundle B { int {1 2 1} }}"),
+            Err(RslError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_rsl("{ harmonyBundle B { int {1 2} }}"),
+            Err(RslError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_rsl("{ harmonyBundle B { int {1 2 0} }}"),
+            Err(RslError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_rsl("{ harmonyBundle B { float {1 2 1} }}"),
+            Err(RslError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_rsl("{ harmonyBundle B { enum {} }}"),
+            Err(RslError::Syntax(_))
+        ));
     }
 
     #[test]
@@ -400,7 +432,10 @@ mod tests {
         let doc = "\
             { harmonyBundle C { int {1 9-$B 1} }}\n\
             { harmonyBundle B { int {1 8 1} }}\n";
-        assert!(matches!(parse_rsl(doc), Err(RslError::Space(_)) | Err(RslError::Expr(_))));
+        assert!(matches!(
+            parse_rsl(doc),
+            Err(RslError::Space(_)) | Err(RslError::Expr(_))
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl fmt::Display for SpaceError {
             ),
             SpaceError::Eval(e) => write!(f, "bound evaluation failed: {e}"),
             SpaceError::DimensionMismatch { expected, got } => {
-                write!(f, "configuration has {got} values, space has {expected} parameters")
+                write!(
+                    f,
+                    "configuration has {got} values, space has {expected} parameters"
+                )
             }
             SpaceError::Empty => write!(f, "parameter space has no parameters"),
         }
@@ -117,7 +120,10 @@ impl SpaceBuilder {
                 }
             }
         }
-        Ok(ParameterSpace { params: self.params, by_name })
+        Ok(ParameterSpace {
+            params: self.params,
+            by_name,
+        })
     }
 }
 
@@ -210,7 +216,13 @@ impl ParameterSpace {
         }
     }
 
-    fn count_rec(&self, depth: usize, prefix: &mut Vec<i64>, count: &mut u128, limit: u128) -> bool {
+    fn count_rec(
+        &self,
+        depth: usize,
+        prefix: &mut Vec<i64>,
+        count: &mut u128,
+        limit: u128,
+    ) -> bool {
         if depth == self.len() {
             *count += 1;
             return *count <= limit;
@@ -249,7 +261,9 @@ impl ParameterSpace {
         debug_assert!(prefix.len() >= i.min(self.len()), "prefix too short");
         let p = &self.params[i];
         let resolve = |name: &str| -> Option<i64> {
-            self.index_of(name).filter(|&j| j < prefix.len()).map(|j| prefix[j])
+            self.index_of(name)
+                .filter(|&j| j < prefix.len())
+                .map(|j| prefix[j])
         };
         let lo = p.min_expr().eval_with(&resolve)?;
         let hi = p.max_expr().eval_with(&resolve)?;
@@ -277,7 +291,10 @@ impl ParameterSpace {
     /// Is this configuration inside the (restricted) space and on-grid?
     pub fn is_feasible(&self, cfg: &Configuration) -> Result<bool, SpaceError> {
         if cfg.len() != self.len() {
-            return Err(SpaceError::DimensionMismatch { expected: self.len(), got: cfg.len() });
+            return Err(SpaceError::DimensionMismatch {
+                expected: self.len(),
+                got: cfg.len(),
+            });
         }
         for (i, p) in self.params.iter().enumerate() {
             let v = cfg.get(i);
@@ -334,7 +351,11 @@ impl ParameterSpace {
     /// within its *effective* range given the earlier choices, so a uniform
     /// source distribution covers exactly the restricted space.
     pub fn from_fractions(&self, fracs: &[f64]) -> Configuration {
-        assert_eq!(fracs.len(), self.len(), "from_fractions: dimension mismatch");
+        assert_eq!(
+            fracs.len(),
+            self.len(),
+            "from_fractions: dimension mismatch"
+        );
         let mut values = Vec::with_capacity(self.len());
         for (i, p) in self.params.iter().enumerate() {
             let (lo, hi) = match self.effective_bounds(i, &values) {
@@ -413,13 +434,18 @@ impl<'a> SpaceIter<'a> {
                 }
             }
         }
-        SpaceIter { space, current: if ok { Some(values) } else { None } }
+        SpaceIter {
+            space,
+            current: if ok { Some(values) } else { None },
+        }
     }
 
     /// Advance the odometer (try to increment the deepest digit; on
     /// overflow, carry left). Returns false when exhausted.
     fn advance(&mut self) -> bool {
-        let Some(mut values) = self.current.take() else { return false };
+        let Some(mut values) = self.current.take() else {
+            return false;
+        };
         let n = self.space.len();
         let mut depth = n;
         loop {
@@ -468,7 +494,10 @@ impl Iterator for SpaceIter<'_> {
     type Item = Configuration;
 
     fn next(&mut self) -> Option<Configuration> {
-        let out = self.current.as_ref().map(|v| Configuration::new(v.clone()))?;
+        let out = self
+            .current
+            .as_ref()
+            .map(|v| Configuration::new(v.clone()))?;
         self.advance();
         Some(out)
     }
@@ -496,12 +525,23 @@ mod tests {
         assert!(matches!(dup, Err(SpaceError::DuplicateName(_))));
 
         let fwd = ParameterSpace::builder()
-            .param(ParamDef::restricted("a", Expr::parse("$b").unwrap(), Expr::constant(10), 5, 1, 0, 10))
+            .param(ParamDef::restricted(
+                "a",
+                Expr::parse("$b").unwrap(),
+                Expr::constant(10),
+                5,
+                1,
+                0,
+                10,
+            ))
             .param(ParamDef::int("b", 0, 10, 5, 1))
             .build();
         assert!(matches!(fwd, Err(SpaceError::ForwardReference { .. })));
 
-        assert!(matches!(ParameterSpace::builder().build(), Err(SpaceError::Empty)));
+        assert!(matches!(
+            ParameterSpace::builder().build(),
+            Err(SpaceError::Empty)
+        ));
     }
 
     #[test]

@@ -9,7 +9,9 @@ fn arb_space() -> impl Strategy<Value = ParameterSpace> {
         ParameterSpace::new(
             dims.into_iter()
                 .enumerate()
-                .map(|(i, (lo, span, step))| ParamDef::int(format!("p{i}"), lo, lo + span, lo, step))
+                .map(|(i, (lo, span, step))| {
+                    ParamDef::int(format!("p{i}"), lo, lo + span, lo, step)
+                })
                 .collect(),
         )
         .expect("valid space")

@@ -93,7 +93,11 @@ impl LatentSurface {
     /// Panics on dimension mismatches.
     pub fn eval(&self, params: &[f64], workload: &[f64]) -> f64 {
         assert_eq!(params.len(), self.shapes.len(), "LatentSurface: param dims");
-        assert_eq!(workload.len(), self.workload_dims, "LatentSurface: workload dims");
+        assert_eq!(
+            workload.len(),
+            self.workload_dims,
+            "LatentSurface: workload dims"
+        );
         let bumps: Vec<f64> = self
             .shapes
             .iter()
@@ -124,7 +128,11 @@ impl LatentSurface {
     /// Wrap into a closure over parameter coordinates with the workload
     /// frozen — the form [`crate::GridRuleSet`] consumes.
     pub fn with_workload(self, workload: Vec<f64>) -> crate::ruleset::Latent {
-        assert_eq!(workload.len(), self.workload_dims, "LatentSurface: workload dims");
+        assert_eq!(
+            workload.len(),
+            self.workload_dims,
+            "LatentSurface: workload dims"
+        );
         Box::new(move |params| self.eval(params, &workload))
     }
 }
@@ -185,7 +193,10 @@ impl LatentSurfaceBuilder {
     /// Panics if `i == j` or out of range.
     pub fn interaction(mut self, i: usize, j: usize, strength: f64) -> Self {
         assert_ne!(i, j, "interaction must couple two distinct parameters");
-        assert!(i < self.shapes.len() && j < self.shapes.len(), "interaction index out of range");
+        assert!(
+            i < self.shapes.len() && j < self.shapes.len(),
+            "interaction index out of range"
+        );
         self.interactions.push((i, j, strength));
         self
     }
@@ -209,7 +220,10 @@ impl LatentSurfaceBuilder {
     /// # Panics
     /// Panics unless both values are positive.
     pub fn saturating(mut self, cap: f64, half: f64) -> Self {
-        assert!(cap > 0.0 && half > 0.0, "saturation parameters must be positive");
+        assert!(
+            cap > 0.0 && half > 0.0,
+            "saturation parameters must be positive"
+        );
         self.saturation = Some((cap, half));
         self
     }
@@ -267,12 +281,13 @@ mod tests {
     fn weight_coupling_changes_importance_with_workload() {
         let s = surface();
         // Swing of parameter 0 under two workloads.
-        let swing = |w: &[f64]| {
-            s.eval(&[5.0, 2.0, 0.0], w) - s.eval(&[9.0, 2.0, 0.0], w)
-        };
+        let swing = |w: &[f64]| s.eval(&[5.0, 2.0, 0.0], w) - s.eval(&[9.0, 2.0, 0.0], w);
         let low = swing(&[0.0, 0.0]);
         let high = swing(&[1.0, 0.0]);
-        assert!(high > low, "workload dim 0 should amplify parameter 0: {high} vs {low}");
+        assert!(
+            high > low,
+            "workload dim 0 should amplify parameter 0: {high} vs {low}"
+        );
     }
 
     #[test]

@@ -24,8 +24,14 @@ impl Perturb {
     /// # Panics
     /// Panics if `level` is negative or not finite.
     pub fn new(level: f64, seed: u64) -> Self {
-        assert!(level.is_finite() && level >= 0.0, "perturbation level must be >= 0");
-        Perturb { level, rng: ChaCha8Rng::seed_from_u64(seed) }
+        assert!(
+            level.is_finite() && level >= 0.0,
+            "perturbation level must be >= 0"
+        );
+        Perturb {
+            level,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The perturbation level.

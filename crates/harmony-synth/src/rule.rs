@@ -29,7 +29,10 @@ impl Rule {
         for w in conditions.windows(2) {
             assert_ne!(w[0].0, w[1].0, "Rule: variable {} appears twice", w[0].0);
         }
-        Rule { conditions, performance }
+        Rule {
+            conditions,
+            performance,
+        }
     }
 
     /// The conjunction's conditions, sorted by variable index.
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn satisfaction_is_conjunction() {
         let rule = r(
-            vec![(0, Condition::Eq(3)), (2, Condition::Range { lo: 2, hi: 8 })],
+            vec![
+                (0, Condition::Eq(3)),
+                (2, Condition::Range { lo: 2, hi: 8 }),
+            ],
             42.0,
         );
         assert!(rule.satisfied(&[3, 99, 5]));
@@ -158,11 +164,17 @@ mod tests {
         assert!(a.conflicts_with(&d));
         // Same variable, disjoint second condition.
         let e = r(
-            vec![(0, Condition::Range { lo: 0, hi: 5 }), (1, Condition::Eq(1))],
+            vec![
+                (0, Condition::Range { lo: 0, hi: 5 }),
+                (1, Condition::Eq(1)),
+            ],
             5.0,
         );
         let f = r(
-            vec![(0, Condition::Range { lo: 0, hi: 5 }), (1, Condition::Eq(2))],
+            vec![
+                (0, Condition::Range { lo: 0, hi: 5 }),
+                (1, Condition::Eq(2)),
+            ],
             6.0,
         );
         assert!(!e.conflicts_with(&f));

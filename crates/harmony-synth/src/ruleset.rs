@@ -108,7 +108,10 @@ impl GridRuleSet {
     pub fn new(edges: Vec<Vec<i64>>, latent: Latent) -> Self {
         for (d, e) in edges.iter().enumerate() {
             assert!(e.len() >= 2, "GridRuleSet: dimension {d} needs >= 2 edges");
-            assert!(e.windows(2).all(|w| w[0] < w[1]), "GridRuleSet: dimension {d} edges not sorted");
+            assert!(
+                e.windows(2).all(|w| w[0] < w[1]),
+                "GridRuleSet: dimension {d} edges not sorted"
+            );
         }
         GridRuleSet { edges, latent }
     }
@@ -179,7 +182,13 @@ impl GridRuleSet {
         for (d, &v) in values.iter().enumerate() {
             let i = self.cell_index(d, v);
             let e = &self.edges[d];
-            conds.push((d, Condition::Range { lo: e[i], hi: e[i + 1] }));
+            conds.push((
+                d,
+                Condition::Range {
+                    lo: e[i],
+                    hi: e[i + 1],
+                },
+            ));
             center.push(self.cell_center(d, i));
         }
         Rule::new(conds, (self.latent)(&center))
@@ -188,7 +197,12 @@ impl GridRuleSet {
 
 impl fmt::Debug for GridRuleSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GridRuleSet({} dims, {} rules)", self.dims(), self.rule_count())
+        write!(
+            f,
+            "GridRuleSet({} dims, {} rules)",
+            self.dims(),
+            self.rule_count()
+        )
     }
 }
 
@@ -204,7 +218,10 @@ mod tests {
     fn ruleset_rejects_conflicts_and_empty() {
         let a = rule(0, Condition::Range { lo: 0, hi: 5 }, 1.0);
         let b = rule(0, Condition::Range { lo: 3, hi: 8 }, 2.0);
-        assert_eq!(RuleSet::new(vec![a.clone(), b]), Err(RuleSetError::Conflict(0, 1)));
+        assert_eq!(
+            RuleSet::new(vec![a.clone(), b]),
+            Err(RuleSetError::Conflict(0, 1))
+        );
         assert_eq!(RuleSet::new(vec![]), Err(RuleSetError::Empty));
         assert!(RuleSet::new(vec![a]).is_ok());
     }

@@ -59,7 +59,12 @@ impl SyntheticSystem {
     /// Assemble a system.
     pub fn new(space: ParameterSpace, grid: GridRuleSet, perturb: Option<Perturb>) -> Self {
         assert_eq!(space.len(), grid.dims(), "space and grid dimensions differ");
-        SyntheticSystem { space, grid, perturb, evaluations: 0 }
+        SyntheticSystem {
+            space,
+            grid,
+            perturb,
+            evaluations: 0,
+        }
     }
 
     /// The tunable space.
@@ -129,7 +134,10 @@ pub fn section5_surface() -> LatentSurface {
         b = b.weight_coupling(j, k, 6.0);
     }
     // A few weak interactions (§3 assumes interaction is relatively small).
-    b = b.interaction(0, 2, 3.0).interaction(5, 7, 2.0).interaction(11, 14, 2.5);
+    b = b
+        .interaction(0, 2, 3.0)
+        .interaction(5, 7, 2.0)
+        .interaction(11, 14, 2.5);
     b.build()
 }
 
@@ -207,7 +215,11 @@ pub fn weblike_surface() -> LatentSurface {
 /// # Panics
 /// Panics if the workload vector has the wrong length.
 pub fn weblike_system(workload: &[f64], perturb_level: f64, seed: u64) -> SyntheticSystem {
-    assert_eq!(workload.len(), WEBLIKE_WORKLOAD_DIMS, "weblike workload dims");
+    assert_eq!(
+        workload.len(),
+        WEBLIKE_WORKLOAD_DIMS,
+        "weblike workload dims"
+    );
     let space = weblike_space();
     let additive = weblike_surface().with_workload(workload.to_vec());
     // Web throughput is bottleneck-limited: undersized concurrency knobs
@@ -259,7 +271,11 @@ pub fn weblike_system(workload: &[f64], perturb_level: f64, seed: u64) -> Synthe
 /// Unlike [`weblike_system`] there is no saturating plateau: the response
 /// is a steep unimodal basin, so the distance of the starting simplex from
 /// the optimum translates directly into extra search iterations.
-pub fn history_sensitivity_system(workload: &[f64], perturb_level: f64, seed: u64) -> SyntheticSystem {
+pub fn history_sensitivity_system(
+    workload: &[f64],
+    perturb_level: f64,
+    seed: u64,
+) -> SyntheticSystem {
     assert_eq!(workload.len(), WEBLIKE_WORKLOAD_DIMS, "workload dims");
     let space = weblike_space();
     let mut b = LatentSurface::builder(WEBLIKE_PARAMS, WEBLIKE_WORKLOAD_DIMS).offset(40.0);
@@ -332,7 +348,10 @@ mod tests {
                 moved += 1;
             }
         }
-        assert!(moved >= 11, "only {moved} of 13 relevant parameters moved the output");
+        assert!(
+            moved >= 11,
+            "only {moved} of 13 relevant parameters moved the output"
+        );
     }
 
     #[test]
@@ -390,7 +409,10 @@ mod tests {
         // Parameter 0 couples positively to dim 0 and negatively to dim 3.
         let b1 = best_value(&s1, 0);
         let b2 = best_value(&s2, 0);
-        assert_ne!(b1, b2, "optimum of parameter 0 should move between workloads");
+        assert_ne!(
+            b1, b2,
+            "optimum of parameter 0 should move between workloads"
+        );
     }
 
     #[test]
@@ -414,7 +436,10 @@ mod tests {
         };
         let b1 = best(&s1);
         let b2 = best(&s2);
-        assert!((b1 - b2).abs() >= 4, "optimum should move substantially: {b1} vs {b2}");
+        assert!(
+            (b1 - b2).abs() >= 4,
+            "optimum should move substantially: {b1} vs {b2}"
+        );
         // And a config tuned for w1 loses real performance under w2.
         let tuned_for_w1 = base.with_value(0, b1);
         let loss = s2.evaluate_clean(&base.with_value(0, b2)) - s2.evaluate_clean(&tuned_for_w1);
@@ -430,7 +455,9 @@ mod tests {
         for _ in 0..200 {
             let fracs: Vec<f64> = (0..space.len())
                 .map(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((s >> 33) as f64) / (u32::MAX as f64)
                 })
                 .collect();

@@ -142,7 +142,12 @@ pub fn evaluate_detailed_with(
         let m = servers[k].max(1) as f64;
         residence[k] = r[k] + raw[k] * (m - 1.0) / m;
     }
-    DetailedReport { wips, utilization, queue_length: q, residence }
+    DetailedReport {
+        wips,
+        utilization,
+        queue_length: q,
+        residence,
+    }
 }
 
 /// Solve with the default cluster population and think time.
@@ -189,7 +194,10 @@ mod tests {
     #[test]
     fn single_processor_is_a_severe_bottleneck() {
         let good = evaluate(&model_with(|_| {}), &WorkloadMix::shopping());
-        let bad = evaluate(&model_with(|c| c.ajp_max_processors = 1), &WorkloadMix::shopping());
+        let bad = evaluate(
+            &model_with(|c| c.ajp_max_processors = 1),
+            &WorkloadMix::shopping(),
+        );
         assert!(
             bad.wips < good.wips * 0.8,
             "p=1 should hurt: {} vs {}",
@@ -210,7 +218,12 @@ mod tests {
             let cfg = harmony_space::Configuration::new(vals);
             let m = DemandModel::new(WebServiceConfig::decode(&s, &cfg));
             let r = evaluate(&m, &WorkloadMix::shopping());
-            assert!(r.wips < good.wips, "extreme {cfg} gave {} >= {}", r.wips, good.wips);
+            assert!(
+                r.wips < good.wips,
+                "extreme {cfg} gave {} >= {}",
+                r.wips,
+                good.wips
+            );
         }
     }
 
@@ -253,14 +266,24 @@ mod tests {
 
     #[test]
     fn starving_the_app_tier_makes_it_the_bottleneck() {
-        let r = evaluate_detailed(&model_with(|c| c.ajp_max_processors = 1), &WorkloadMix::shopping());
+        let r = evaluate_detailed(
+            &model_with(|c| c.ajp_max_processors = 1),
+            &WorkloadMix::shopping(),
+        );
         assert_eq!(r.bottleneck(), Station::App);
-        assert!(r.utilization[1] > 0.9, "a 1-processor app tier should saturate: {:?}", r.utilization);
+        assert!(
+            r.utilization[1] > 0.9,
+            "a 1-processor app tier should saturate: {:?}",
+            r.utilization
+        );
     }
 
     #[test]
     fn starving_the_db_pool_makes_it_the_bottleneck() {
-        let r = evaluate_detailed(&model_with(|c| c.mysql_max_connections = 1), &WorkloadMix::ordering());
+        let r = evaluate_detailed(
+            &model_with(|c| c.mysql_max_connections = 1),
+            &WorkloadMix::ordering(),
+        );
         assert_eq!(r.bottleneck(), Station::Db);
     }
 

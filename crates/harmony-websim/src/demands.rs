@@ -192,7 +192,14 @@ impl DemandModel {
         let commit_wait = if p.writes { 0.0035 * dq } else { 0.0 };
         let delay = self.accept_penalty() + commit_wait;
 
-        InteractionDemand { hit_probability, proxy_hit, proxy_miss, app_on_miss, db_on_miss, delay }
+        InteractionDemand {
+            hit_probability,
+            proxy_hit,
+            proxy_miss,
+            app_on_miss,
+            db_on_miss,
+            delay,
+        }
     }
 
     /// Mix-averaged demands for a workload.
@@ -299,9 +306,7 @@ mod tests {
     fn net_buffer_matters_more_for_ordering_mix() {
         let small = model_with(|c| c.mysql_net_buffer_kb = 1);
         let big = model_with(|c| c.mysql_net_buffer_kb = 24);
-        let swing = |mix: &WorkloadMix| {
-            small.mix_demands(mix).db - big.mix_demands(mix).db
-        };
+        let swing = |mix: &WorkloadMix| small.mix_demands(mix).db - big.mix_demands(mix).db;
         let ordering_swing = swing(&WorkloadMix::ordering());
         let browsing_swing = swing(&WorkloadMix::browsing());
         assert!(
@@ -315,8 +320,14 @@ mod tests {
         let shallow = model_with(|c| c.mysql_delayed_queue = 1);
         let deep = model_with(|c| c.mysql_delayed_queue = 64);
         let mix = WorkloadMix::ordering();
-        assert!(deep.mix_demands(&mix).db < shallow.mix_demands(&mix).db, "batching should cut db time");
-        assert!(deep.mix_demands(&mix).delay > shallow.mix_demands(&mix).delay, "deep queue should add commit latency");
+        assert!(
+            deep.mix_demands(&mix).db < shallow.mix_demands(&mix).db,
+            "batching should cut db time"
+        );
+        assert!(
+            deep.mix_demands(&mix).delay > shallow.mix_demands(&mix).delay,
+            "deep queue should add commit latency"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ struct Station {
 
 impl Station {
     fn new(servers: usize) -> Self {
-        Station { servers: servers.max(1), busy: 0, queue: VecDeque::new() }
+        Station {
+            servers: servers.max(1),
+            busy: 0,
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -170,7 +174,14 @@ pub fn evaluate_sessions_with(
 ) -> WipsReport {
     let mix = WorkloadMix::from_transitions("sessions", transitions);
     let mut states = vec![crate::request::Interaction::Home; des.population];
-    simulate_inner(model, &mix, des, seed, None, Some((transitions, &mut states)))
+    simulate_inner(
+        model,
+        &mix,
+        des,
+        seed,
+        None,
+        Some((transitions, &mut states)),
+    )
 }
 
 fn simulate(
@@ -201,10 +212,15 @@ fn simulate_inner(
 
     let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind: EventKind| {
-        *seq += 1;
-        heap.push(Reverse(Event { time, seq: *seq, kind }));
-    };
+    let push =
+        |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, time: f64, kind: EventKind| {
+            *seq += 1;
+            heap.push(Reverse(Event {
+                time,
+                seq: *seq,
+                kind,
+            }));
+        };
 
     let mut jobs: Vec<Job> = Vec::with_capacity(des.population * 4);
     let mut free_jobs: Vec<u32> = Vec::new();
@@ -275,7 +291,12 @@ fn simulate_inner(
                 };
                 let dem = model.interaction_demand(interaction);
                 let hit = rng.gen_bool(dem.hit_probability.clamp(0.0, 1.0));
-                let job = Job { eb, interaction, hit, issued_at: now };
+                let job = Job {
+                    eb,
+                    interaction,
+                    hit,
+                    issued_at: now,
+                };
                 let id = match free_jobs.pop() {
                     Some(id) => {
                         jobs[id as usize] = job;
@@ -287,7 +308,16 @@ fn simulate_inner(
                     }
                 };
                 let mean = if hit { dem.proxy_hit } else { dem.proxy_miss };
-                offer(&mut stations, PROXY, id, now, mean, &mut rng, &mut heap, &mut seq);
+                offer(
+                    &mut stations,
+                    PROXY,
+                    id,
+                    now,
+                    mean,
+                    &mut rng,
+                    &mut heap,
+                    &mut seq,
+                );
             }
             EventKind::ServiceDone { station, job } => {
                 // Route the finished job onward.
@@ -295,16 +325,44 @@ fn simulate_inner(
                 let dem = model.interaction_demand(j.interaction);
                 match station {
                     PROXY if j.hit => {
-                        push(&mut heap, &mut seq, now + dem.delay, EventKind::DelayDone { job });
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + dem.delay,
+                            EventKind::DelayDone { job },
+                        );
                     }
                     PROXY => {
-                        offer(&mut stations, APP, job, now, dem.app_on_miss, &mut rng, &mut heap, &mut seq);
+                        offer(
+                            &mut stations,
+                            APP,
+                            job,
+                            now,
+                            dem.app_on_miss,
+                            &mut rng,
+                            &mut heap,
+                            &mut seq,
+                        );
                     }
                     APP => {
-                        offer(&mut stations, DB, job, now, dem.db_on_miss, &mut rng, &mut heap, &mut seq);
+                        offer(
+                            &mut stations,
+                            DB,
+                            job,
+                            now,
+                            dem.db_on_miss,
+                            &mut rng,
+                            &mut heap,
+                            &mut seq,
+                        );
                     }
                     DB => {
-                        push(&mut heap, &mut seq, now + dem.delay, EventKind::DelayDone { job });
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            now + dem.delay,
+                            EventKind::DelayDone { job },
+                        );
                     }
                     _ => unreachable!("unknown station {station}"),
                 }
@@ -328,7 +386,12 @@ fn simulate_inner(
                     };
                     st.busy += 1;
                     let svc = exp_sample(&mut rng, mean);
-                    push(&mut heap, &mut seq, now + svc, EventKind::ServiceDone { station, job: next });
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        now + svc,
+                        EventKind::ServiceDone { station, job: next },
+                    );
                 }
             }
             EventKind::DelayDone { job } => {
@@ -349,7 +412,12 @@ fn simulate_inner(
                 }
                 free_jobs.push(job);
                 let think = exp_sample(&mut rng, des.think_time);
-                push(&mut heap, &mut seq, now + think, EventKind::ThinkDone { eb: j.eb });
+                push(
+                    &mut heap,
+                    &mut seq,
+                    now + think,
+                    EventKind::ThinkDone { eb: j.eb },
+                );
             }
         }
     }
@@ -361,8 +429,16 @@ fn simulate_inner(
         wips,
         wipsb,
         wipso: wips - wipsb,
-        mean_response: if measured_jobs > 0 { response_sum / measured_jobs as f64 } else { 0.0 },
-        hit_ratio: if measured_jobs > 0 { hits as f64 / measured_jobs as f64 } else { 0.0 },
+        mean_response: if measured_jobs > 0 {
+            response_sum / measured_jobs as f64
+        } else {
+            0.0
+        },
+        hit_ratio: if measured_jobs > 0 {
+            hits as f64 / measured_jobs as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -407,20 +483,46 @@ mod tests {
     fn matches_analytic_at_default_config() {
         let m = model_with(|_| {});
         let mix = WorkloadMix::shopping();
-        let des = evaluate_with(&m, &mix, &DesConfig { measure: 120.0, ..DesConfig::default() }, 3);
+        let des = evaluate_with(
+            &m,
+            &mix,
+            &DesConfig {
+                measure: 120.0,
+                ..DesConfig::default()
+            },
+            3,
+        );
         let mva = analytic::evaluate(&m, &mix);
         let rel = (des.wips - mva.wips).abs() / mva.wips;
-        assert!(rel < 0.12, "DES {} vs MVA {} differ by {rel:.2}", des.wips, mva.wips);
+        assert!(
+            rel < 0.12,
+            "DES {} vs MVA {} differ by {rel:.2}",
+            des.wips,
+            mva.wips
+        );
     }
 
     #[test]
     fn matches_analytic_at_bottlenecked_config() {
         let m = model_with(|c| c.ajp_max_processors = 2);
         let mix = WorkloadMix::shopping();
-        let des = evaluate_with(&m, &mix, &DesConfig { measure: 120.0, ..DesConfig::default() }, 3);
+        let des = evaluate_with(
+            &m,
+            &mix,
+            &DesConfig {
+                measure: 120.0,
+                ..DesConfig::default()
+            },
+            3,
+        );
         let mva = analytic::evaluate(&m, &mix);
         let rel = (des.wips - mva.wips).abs() / mva.wips;
-        assert!(rel < 0.18, "DES {} vs MVA {} differ by {rel:.2}", des.wips, mva.wips);
+        assert!(
+            rel < 0.18,
+            "DES {} vs MVA {} differ by {rel:.2}",
+            des.wips,
+            mva.wips
+        );
     }
 
     #[test]
@@ -433,8 +535,16 @@ mod tests {
 
     #[test]
     fn hit_ratio_tracks_cache_size() {
-        let cold = evaluate(&model_with(|c| c.proxy_cache_mb = 1), &WorkloadMix::shopping(), 2);
-        let warm = evaluate(&model_with(|c| c.proxy_cache_mb = 128), &WorkloadMix::shopping(), 2);
+        let cold = evaluate(
+            &model_with(|c| c.proxy_cache_mb = 1),
+            &WorkloadMix::shopping(),
+            2,
+        );
+        let warm = evaluate(
+            &model_with(|c| c.proxy_cache_mb = 128),
+            &WorkloadMix::shopping(),
+            2,
+        );
         assert!(warm.hit_ratio > cold.hit_ratio);
         assert!(warm.wips > cold.wips);
     }
@@ -445,10 +555,18 @@ mod tests {
         let (report, lat) = evaluate_detailed_with(
             &m,
             &WorkloadMix::shopping(),
-            &DesConfig { warmup: 5.0, measure: 30.0, ..DesConfig::default() },
+            &DesConfig {
+                warmup: 5.0,
+                measure: 30.0,
+                ..DesConfig::default()
+            },
             4,
         );
-        assert!(lat.samples > 100, "expected many completions, got {}", lat.samples);
+        assert!(
+            lat.samples > 100,
+            "expected many completions, got {}",
+            lat.samples
+        );
         assert!(lat.p50 > 0.0);
         assert!(lat.p50 <= lat.p95);
         assert!(lat.p95 <= lat.p99);
@@ -465,7 +583,11 @@ mod tests {
             evaluate_detailed_with(
                 &m,
                 &WorkloadMix::shopping(),
-                &DesConfig { warmup: 5.0, measure: 30.0, ..DesConfig::default() },
+                &DesConfig {
+                    warmup: 5.0,
+                    measure: 30.0,
+                    ..DesConfig::default()
+                },
                 8,
             )
             .1
@@ -481,7 +603,12 @@ mod tests {
 
     #[test]
     fn short_horizon_still_terminates() {
-        let cfg = DesConfig { population: 10, think_time: 0.5, warmup: 0.5, measure: 2.0 };
+        let cfg = DesConfig {
+            population: 10,
+            think_time: 0.5,
+            warmup: 0.5,
+            measure: 2.0,
+        };
         let r = evaluate_with(&model_with(|_| {}), &WorkloadMix::browsing(), &cfg, 9);
         assert!(r.wips >= 0.0);
     }
@@ -494,15 +621,27 @@ mod tests {
         // long-run frequencies.
         let m = model_with(|_| {});
         let transitions = crate::tpcw::shopping_transitions();
-        let cfg = DesConfig { warmup: 5.0, measure: 60.0, ..DesConfig::default() };
+        let cfg = DesConfig {
+            warmup: 5.0,
+            measure: 60.0,
+            ..DesConfig::default()
+        };
         let sess = evaluate_sessions_with(&m, &transitions, &cfg, 11);
         let mix = WorkloadMix::from_transitions("stationary", &transitions);
         let iid = evaluate_with(&m, &mix, &cfg, 11);
         assert!(sess.is_consistent(1e-9));
         let rel = (sess.wips - iid.wips).abs() / iid.wips;
-        assert!(rel < 0.1, "session {} vs iid {} differ by {rel:.2}", sess.wips, iid.wips);
+        assert!(
+            rel < 0.1,
+            "session {} vs iid {} differ by {rel:.2}",
+            sess.wips,
+            iid.wips
+        );
         let sess_order = sess.wipso / sess.wips;
         let iid_order = iid.wipso / iid.wips;
-        assert!((sess_order - iid_order).abs() < 0.07, "order shares {sess_order} vs {iid_order}");
+        assert!(
+            (sess_order - iid_order).abs() < 0.07,
+            "order shares {sess_order} vs {iid_order}"
+        );
     }
 }

@@ -34,7 +34,13 @@ mod tests {
 
     #[test]
     fn consistency_check() {
-        let r = WipsReport { wips: 80.0, wipsb: 64.0, wipso: 16.0, mean_response: 0.1, hit_ratio: 0.3 };
+        let r = WipsReport {
+            wips: 80.0,
+            wipsb: 64.0,
+            wipso: 16.0,
+            mean_response: 0.1,
+            hit_ratio: 0.3,
+        };
         assert!(r.is_consistent(1e-9));
         let bad = WipsReport { wipso: 20.0, ..r };
         assert!(!bad.is_consistent(1e-9));

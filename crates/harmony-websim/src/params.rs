@@ -35,8 +35,8 @@ pub fn webservice_space() -> ParameterSpace {
         ParamDef::int("MYSQLDelayedQueue", 1, 64, 8, 1),
         ParamDef::int("MYSQLNetBufferLength", 1, 64, 8, 1), // KB
         ParamDef::int("PROXYMaxObjectInMemory", 1, 256, 64, 1), // KB
-        ParamDef::int("PROXYMinObject", 0, 32, 2, 1), // KB
-        ParamDef::int("PROXYCacheMem", 1, 256, 32, 1), // MB
+        ParamDef::int("PROXYMinObject", 0, 32, 2, 1),       // KB
+        ParamDef::int("PROXYCacheMem", 1, 256, 32, 1),      // MB
     ])
     .expect("webservice space is statically valid")
 }

@@ -281,8 +281,14 @@ mod tests {
     #[test]
     fn classification_matches_tpcw_split() {
         use InteractionClass::*;
-        let browse = Interaction::ALL.iter().filter(|i| i.class() == Browse).count();
-        let order = Interaction::ALL.iter().filter(|i| i.class() == Order).count();
+        let browse = Interaction::ALL
+            .iter()
+            .filter(|i| i.class() == Browse)
+            .count();
+        let order = Interaction::ALL
+            .iter()
+            .filter(|i| i.class() == Order)
+            .count();
         assert_eq!(browse, 6);
         assert_eq!(order, 8);
         assert_eq!(Interaction::BuyConfirm.class(), Order);
@@ -331,7 +337,11 @@ mod tests {
     fn writers_are_order_class() {
         for i in Interaction::ALL {
             if i.profile().writes {
-                assert_eq!(i.class(), InteractionClass::Order, "{i:?} writes but is Browse");
+                assert_eq!(
+                    i.class(),
+                    InteractionClass::Order,
+                    "{i:?} writes but is Browse"
+                );
             }
         }
     }

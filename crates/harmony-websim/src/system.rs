@@ -45,7 +45,10 @@ impl WebServiceSystem {
     /// `noise_level` adds uniform ±level multiplicative noise to analytic
     /// evaluations (DES has intrinsic noise already and ignores it).
     pub fn new(mix: WorkloadMix, fidelity: Fidelity, noise_level: f64, seed: u64) -> Self {
-        assert!(noise_level >= 0.0 && noise_level.is_finite(), "noise level must be >= 0");
+        assert!(
+            noise_level >= 0.0 && noise_level.is_finite(),
+            "noise level must be >= 0"
+        );
         WebServiceSystem {
             space: webservice_space(),
             mix,
@@ -150,7 +153,11 @@ mod tests {
     #[test]
     fn des_fidelity_varies_run_to_run() {
         let mut s = WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Des, 0.0, 1)
-            .with_des_horizon(DesConfig { warmup: 2.0, measure: 10.0, ..DesConfig::default() });
+            .with_des_horizon(DesConfig {
+                warmup: 2.0,
+                measure: 10.0,
+                ..DesConfig::default()
+            });
         let cfg = s.space().default_configuration();
         let a = s.evaluate(&cfg);
         let b = s.evaluate(&cfg);

@@ -138,41 +138,68 @@ fn navigation() -> [[f64; STATES]; STATES] {
             nav[from.index()][to.index()] = w;
         }
     };
-    set(Home, &[
-        (SearchRequest, 30.0),
-        (NewProducts, 20.0),
-        (BestSellers, 20.0),
-        (ProductDetail, 20.0),
-        (OrderInquiry, 4.0),
-        (CustomerRegistration, 6.0),
-    ]);
-    set(NewProducts, &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)]);
-    set(BestSellers, &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)]);
-    set(ProductDetail, &[
-        (ShoppingCart, 25.0),
-        (ProductDetail, 25.0),
-        (SearchRequest, 25.0),
-        (Home, 20.0),
-        (AdminRequest, 5.0),
-    ]);
+    set(
+        Home,
+        &[
+            (SearchRequest, 30.0),
+            (NewProducts, 20.0),
+            (BestSellers, 20.0),
+            (ProductDetail, 20.0),
+            (OrderInquiry, 4.0),
+            (CustomerRegistration, 6.0),
+        ],
+    );
+    set(
+        NewProducts,
+        &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)],
+    );
+    set(
+        BestSellers,
+        &[(ProductDetail, 60.0), (Home, 25.0), (SearchRequest, 15.0)],
+    );
+    set(
+        ProductDetail,
+        &[
+            (ShoppingCart, 25.0),
+            (ProductDetail, 25.0),
+            (SearchRequest, 25.0),
+            (Home, 20.0),
+            (AdminRequest, 5.0),
+        ],
+    );
     set(SearchRequest, &[(SearchResults, 90.0), (Home, 10.0)]);
-    set(SearchResults, &[
-        (ProductDetail, 55.0),
-        (SearchRequest, 25.0),
-        (ShoppingCart, 10.0),
-        (Home, 10.0),
-    ]);
-    set(ShoppingCart, &[
-        (CustomerRegistration, 40.0),
-        (ShoppingCart, 15.0),
-        (ProductDetail, 25.0),
-        (Home, 20.0),
-    ]);
+    set(
+        SearchResults,
+        &[
+            (ProductDetail, 55.0),
+            (SearchRequest, 25.0),
+            (ShoppingCart, 10.0),
+            (Home, 10.0),
+        ],
+    );
+    set(
+        ShoppingCart,
+        &[
+            (CustomerRegistration, 40.0),
+            (ShoppingCart, 15.0),
+            (ProductDetail, 25.0),
+            (Home, 20.0),
+        ],
+    );
     set(CustomerRegistration, &[(BuyRequest, 75.0), (Home, 25.0)]);
-    set(BuyRequest, &[(BuyConfirm, 70.0), (ShoppingCart, 15.0), (Home, 15.0)]);
-    set(BuyConfirm, &[(Home, 70.0), (SearchRequest, 20.0), (OrderInquiry, 10.0)]);
+    set(
+        BuyRequest,
+        &[(BuyConfirm, 70.0), (ShoppingCart, 15.0), (Home, 15.0)],
+    );
+    set(
+        BuyConfirm,
+        &[(Home, 70.0), (SearchRequest, 20.0), (OrderInquiry, 10.0)],
+    );
     set(OrderInquiry, &[(OrderDisplay, 75.0), (Home, 25.0)]);
-    set(OrderDisplay, &[(Home, 60.0), (SearchRequest, 25.0), (OrderInquiry, 15.0)]);
+    set(
+        OrderDisplay,
+        &[(Home, 60.0), (SearchRequest, 25.0), (OrderInquiry, 15.0)],
+    );
     set(AdminRequest, &[(AdminConfirm, 70.0), (ProductDetail, 30.0)]);
     set(AdminConfirm, &[(Home, 60.0), (ProductDetail, 40.0)]);
     nav
@@ -184,9 +211,9 @@ fn navigation() -> [[f64; STATES]; STATES] {
 fn biased(order_bias: f64) -> TransitionMatrix {
     let mut nav = navigation();
     for row in &mut nav {
-        for j in 0..STATES {
+        for (j, weight) in row.iter_mut().enumerate() {
             if Interaction::ALL[j].class() == InteractionClass::Order {
-                row[j] *= order_bias;
+                *weight *= order_bias;
             }
         }
     }
@@ -216,7 +243,11 @@ mod tests {
 
     #[test]
     fn rows_are_stochastic() {
-        for t in [browsing_transitions(), shopping_transitions(), ordering_transitions()] {
+        for t in [
+            browsing_transitions(),
+            shopping_transitions(),
+            ordering_transitions(),
+        ] {
             for i in Interaction::ALL {
                 let sum: f64 = Interaction::ALL.iter().map(|&j| t.probability(i, j)).sum();
                 assert!((sum - 1.0).abs() < 1e-12, "row {i:?} sums to {sum}");
@@ -278,7 +309,10 @@ mod tests {
         assert!(t.probability(Interaction::BuyRequest, Interaction::BuyConfirm) > 0.5);
         assert!(t.probability(Interaction::SearchRequest, Interaction::SearchResults) > 0.5);
         // No teleporting from Home straight to BuyConfirm.
-        assert_eq!(t.probability(Interaction::Home, Interaction::BuyConfirm), 0.0);
+        assert_eq!(
+            t.probability(Interaction::Home, Interaction::BuyConfirm),
+            0.0
+        );
     }
 
     #[test]
@@ -302,7 +336,10 @@ mod tests {
         // own row is also the fallback.
         p[0][0] = 0.0;
         let t = TransitionMatrix::new(p);
-        assert_eq!(t.probability(Interaction::BuyConfirm, Interaction::Home), 1.0);
+        assert_eq!(
+            t.probability(Interaction::BuyConfirm, Interaction::Home),
+            1.0
+        );
         let pi = t.stationary();
         assert!((pi[Interaction::Home.index()] - 1.0).abs() < 1e-9);
     }

@@ -36,7 +36,10 @@ impl WorkloadMix {
         for w in &mut normalized {
             *w /= sum;
         }
-        WorkloadMix { name: name.into(), weights: normalized }
+        WorkloadMix {
+            name: name.into(),
+            weights: normalized,
+        }
     }
 
     /// TPC-W browsing mix: ~95% browse interactions (WIPSb interval).
@@ -148,7 +151,11 @@ mod tests {
 
     #[test]
     fn frequencies_sum_to_one() {
-        for mix in [WorkloadMix::browsing(), WorkloadMix::shopping(), WorkloadMix::ordering()] {
+        for mix in [
+            WorkloadMix::browsing(),
+            WorkloadMix::shopping(),
+            WorkloadMix::ordering(),
+        ] {
             let sum: f64 = mix.frequencies().iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "{} sums to {sum}", mix.name());
         }
@@ -160,7 +167,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let obs = mix.observe(200_000, &mut rng);
         for (k, (&o, &e)) in obs.iter().zip(mix.frequencies()).enumerate() {
-            assert!((o - e).abs() < 0.01, "interaction {k}: observed {o}, expected {e}");
+            assert!(
+                (o - e).abs() < 0.01,
+                "interaction {k}: observed {o}, expected {e}"
+            );
         }
     }
 

@@ -26,7 +26,10 @@ pub struct AdaptiveOptions {
 
 impl Default for AdaptiveOptions {
     fn default() -> Self {
-        AdaptiveOptions { drift_threshold: 0.10, server: ServerOptions::default() }
+        AdaptiveOptions {
+            drift_threshold: 0.10,
+            server: ServerOptions::default(),
+        }
     }
 }
 
@@ -64,7 +67,13 @@ impl AdaptiveTuner {
     /// Controller over a space.
     pub fn new(space: ParameterSpace, options: AdaptiveOptions) -> Self {
         let server = HarmonyServer::new(space, options.server.clone());
-        AdaptiveTuner { server, options, tuned_for: None, deployed: None, sessions: 0 }
+        AdaptiveTuner {
+            server,
+            options,
+            tuned_for: None,
+            deployed: None,
+            sessions: 0,
+        }
     }
 
     /// The wrapped server (e.g. to preload experience or sensitivity).
@@ -175,7 +184,11 @@ mod tests {
         assert_eq!(at.sessions(), 2);
         let new = at.deployed().unwrap();
         assert_ne!(new, &old, "configuration should move with the workload");
-        assert!((new.get(0) - 32).abs() <= 4, "new optimum near 32, got {}", new.get(0));
+        assert!(
+            (new.get(0) - 32).abs() <= 4,
+            "new optimum near 32, got {}",
+            new.get(0)
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ mod tests {
     }
 
     fn rec(values: Vec<i64>, performance: f64) -> TuningRecord {
-        TuningRecord { values, performance }
+        TuningRecord {
+            values,
+            performance,
+        }
     }
 
     /// The affine ground truth used across tests: p = 3a + 2b + 10.
@@ -116,7 +119,10 @@ mod tests {
     #[test]
     fn no_records_gives_none() {
         let s = space2();
-        assert_eq!(estimate_performance(&s, &[], &s.default_configuration()), None);
+        assert_eq!(
+            estimate_performance(&s, &[], &s.default_configuration()),
+            None
+        );
     }
 
     #[test]
@@ -139,7 +145,11 @@ mod tests {
         ];
         let t = Configuration::new(vec![4, 6]);
         let est = estimate_performance(&s, &records, &t).unwrap();
-        assert!((est - plane(4, 6)).abs() < 1e-9, "est {est} vs truth {}", plane(4, 6));
+        assert!(
+            (est - plane(4, 6)).abs() < 1e-9,
+            "est {est} vs truth {}",
+            plane(4, 6)
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl TwoLevelDesign {
     /// # Panics
     /// Panics if `responses.len() != self.runs()`.
     pub fn main_effects(&self, responses: &[f64]) -> Vec<f64> {
-        assert_eq!(responses.len(), self.runs(), "one response per run required");
+        assert_eq!(
+            responses.len(),
+            self.runs(),
+            "one response per run required"
+        );
         (0..self.factors)
             .map(|j| {
                 let mut hi_sum = 0.0;
@@ -78,7 +82,11 @@ impl TwoLevelDesign {
     /// factorial; in a PB screening design this measures the *alias
     /// chain*, which is still useful as an interaction alarm.
     pub fn interaction_effect(&self, a: usize, b: usize, responses: &[f64]) -> f64 {
-        assert_eq!(responses.len(), self.runs(), "one response per run required");
+        assert_eq!(
+            responses.len(),
+            self.runs(),
+            "one response per run required"
+        );
         let mut hi_sum = 0.0;
         let mut hi_n = 0u32;
         let mut lo_sum = 0.0;
@@ -121,7 +129,10 @@ impl TwoLevelDesign {
 /// Panics if `factors > 20` (over a million runs — a programming error for
 /// a measurement design).
 pub fn full_factorial(factors: usize) -> TwoLevelDesign {
-    assert!((1..=20).contains(&factors), "full factorial limited to 1..=20 factors");
+    assert!(
+        (1..=20).contains(&factors),
+        "full factorial limited to 1..=20 factors"
+    );
     let runs = 1usize << factors;
     let rows = (0..runs)
         .map(|i| (0..factors).map(|j| (i >> j) & 1 == 1).collect())
@@ -256,13 +267,31 @@ pub fn screen(
         (0.0..=1.0).contains(&low_q) && (0.0..=1.0).contains(&high_q) && low_q < high_q,
         "quantiles must satisfy 0 <= low < high <= 1"
     );
-    assert_eq!(design.factors(), space.len(), "design factor count must match the space");
-    let lows: Vec<i64> = space.params().iter().map(|p| p.denormalize(low_q)).collect();
-    let highs: Vec<i64> = space.params().iter().map(|p| p.denormalize(high_q)).collect();
+    assert_eq!(
+        design.factors(),
+        space.len(),
+        "design factor count must match the space"
+    );
+    let lows: Vec<i64> = space
+        .params()
+        .iter()
+        .map(|p| p.denormalize(low_q))
+        .collect();
+    let highs: Vec<i64> = space
+        .params()
+        .iter()
+        .map(|p| p.denormalize(high_q))
+        .collect();
     let mut responses = Vec::with_capacity(design.runs());
     for i in 0..design.runs() {
         let values: Vec<i64> = (0..space.len())
-            .map(|j| if design.level(i, j) { highs[j] } else { lows[j] })
+            .map(|j| {
+                if design.level(i, j) {
+                    highs[j]
+                } else {
+                    lows[j]
+                }
+            })
             .collect();
         // Project so restricted spaces stay feasible.
         let cfg = space.project(&Configuration::new(values).to_point());
@@ -317,7 +346,10 @@ mod tests {
     fn screening_designs_are_orthogonal() {
         for factors in [3usize, 7, 8, 11, 15, 19, 23] {
             let d = plackett_burman(factors);
-            assert!(d.is_orthogonal(), "PB design for {factors} factors not orthogonal");
+            assert!(
+                d.is_orthogonal(),
+                "PB design for {factors} factors not orthogonal"
+            );
         }
     }
 
@@ -351,7 +383,11 @@ mod tests {
             .collect();
         let e = d.main_effects(&responses);
         for (j, (&c, got)) in coefs.iter().zip(&e).enumerate() {
-            assert!((got - 2.0 * c).abs() < 1e-9, "factor {j}: effect {got} vs {}", 2.0 * c);
+            assert!(
+                (got - 2.0 * c).abs() < 1e-9,
+                "factor {j}: effect {got} vs {}",
+                2.0 * c
+            );
         }
     }
 
@@ -410,13 +446,17 @@ mod tests {
         let mut obj = FnObjective::new(f);
         let s = screen(&space, &mut obj, &d, 0.0, 1.0);
         let inter = d.interaction_effect(0, 1, &s.responses);
-        assert!(inter.abs() > 1.0, "interaction effect should be visible: {inter}");
+        assert!(
+            inter.abs() > 1.0,
+            "interaction effect should be visible: {inter}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "quantiles")]
     fn bad_quantiles_rejected() {
-        let space = harmony_space::ParameterSpace::new(vec![ParamDef::int("a", 0, 1, 0, 1)]).unwrap();
+        let space =
+            harmony_space::ParameterSpace::new(vec![ParamDef::int("a", 0, 1, 0, 1)]).unwrap();
         let mut obj = FnObjective::new(|_: &Configuration| 0.0);
         let d = plackett_burman(1);
         let _ = screen(&space, &mut obj, &d, 0.9, 0.1);

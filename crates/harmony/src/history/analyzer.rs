@@ -40,7 +40,10 @@ pub struct DataAnalyzer {
 
 impl Default for DataAnalyzer {
     fn default() -> Self {
-        DataAnalyzer { classifier: Classifier::LeastSquares, max_match_distance: f64::INFINITY }
+        DataAnalyzer {
+            classifier: Classifier::LeastSquares,
+            max_match_distance: f64::INFINITY,
+        }
     }
 }
 
@@ -91,7 +94,14 @@ impl DataAnalyzer {
                     return None;
                 }
                 let mut merged = RunHistory::new(
-                    format!("knn:{}", within.iter().map(|r| r.label.as_str()).collect::<Vec<_>>().join("+")),
+                    format!(
+                        "knn:{}",
+                        within
+                            .iter()
+                            .map(|r| r.label.as_str())
+                            .collect::<Vec<_>>()
+                            .join("+")
+                    ),
                     observed.to_vec(),
                 );
                 for r in within {
@@ -136,7 +146,10 @@ mod tests {
     #[test]
     fn distance_gate_rejects_far_matches() {
         let an = DataAnalyzer::new().with_max_match_distance(0.2);
-        assert!(an.select(&db(), &[0.5, 0.5]).is_none(), "all runs are ~0.7 away");
+        assert!(
+            an.select(&db(), &[0.5, 0.5]).is_none(),
+            "all runs are ~0.7 away"
+        );
         assert!(an.select(&db(), &[0.05, 0.05]).is_some());
     }
 
@@ -197,6 +210,8 @@ mod tests {
 
     #[test]
     fn train_tree_empty_db_is_none() {
-        assert!(ExperienceDb::new().train_tree(crate::history::TreeParams::default()).is_none());
+        assert!(ExperienceDb::new()
+            .train_tree(crate::history::TreeParams::default())
+            .is_none());
     }
 }

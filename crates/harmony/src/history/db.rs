@@ -138,7 +138,11 @@ impl ExperienceDb {
         if self.runs.iter().any(|r| r.characteristics.len() != dims) {
             return; // heterogeneous characteristics: refuse to merge
         }
-        let points: Vec<Vec<f64>> = self.runs.iter().map(|r| r.characteristics.clone()).collect();
+        let points: Vec<Vec<f64>> = self
+            .runs
+            .iter()
+            .map(|r| r.characteristics.clone())
+            .collect();
         let clustering = kmeans(&points, k, 50);
         let mut merged: Vec<RunHistory> = clustering
             .centroids
@@ -160,7 +164,10 @@ impl ExperienceDb {
     /// [`Classifier::DecisionTree`](crate::history::Classifier)). Returns
     /// `None` when the database is empty or characteristics are
     /// heterogeneous in dimension.
-    pub fn train_tree(&self, params: crate::history::TreeParams) -> Option<crate::history::DecisionTree> {
+    pub fn train_tree(
+        &self,
+        params: crate::history::TreeParams,
+    ) -> Option<crate::history::DecisionTree> {
         if self.runs.is_empty() {
             return None;
         }
@@ -178,10 +185,32 @@ impl ExperienceDb {
     }
 
     /// Persist as JSON.
+    ///
+    /// The write is crash-safe: the JSON goes to a temporary file in the
+    /// same directory which is then atomically renamed over `path`, so a
+    /// crash mid-write can never leave a truncated database — readers see
+    /// either the old contents or the new, complete ones.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        let path = path.as_ref();
         let json = serde_json::to_string_pretty(self)?;
-        fs::write(path, json)?;
-        Ok(())
+        // The temp file must live on the same filesystem as the target
+        // for the rename to be atomic, so place it alongside.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            {
+                use io::Write as _;
+                let mut file = fs::File::create(&tmp)?;
+                file.write_all(json.as_bytes())?;
+                file.sync_all()?;
+            }
+            fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            fs::remove_file(&tmp).ok();
+        }
+        result.map_err(DbError::Io)
     }
 
     /// Load from JSON.
@@ -225,7 +254,11 @@ mod tests {
         db.add_run(run("far", vec![9.0], 0.0));
         db.add_run(run("near", vec![1.1], 0.0));
         db.add_run(run("mid", vec![3.0], 0.0));
-        let names: Vec<&str> = db.nearest_k(&[1.0], 2).iter().map(|(_, r)| r.label.as_str()).collect();
+        let names: Vec<&str> = db
+            .nearest_k(&[1.0], 2)
+            .iter()
+            .map(|(_, r)| r.label.as_str())
+            .collect();
         assert_eq!(names, vec!["near", "mid"]);
     }
 
@@ -268,6 +301,35 @@ mod tests {
         let back = ExperienceDb::load(&path).unwrap();
         assert_eq!(back, db);
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("harmony-db-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.json");
+
+        let mut db = ExperienceDb::new();
+        db.add_run(run("first", vec![1.0], 1.0));
+        db.save(&path).unwrap();
+        db.add_run(run("second", vec![2.0], 2.0));
+        db.save(&path).unwrap();
+
+        assert_eq!(ExperienceDb::load(&path).unwrap(), db);
+        assert!(
+            !dir.join("atomic.json.tmp").exists(),
+            "temporary file must not survive a successful save"
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_into_missing_directory_errors_cleanly() {
+        let db = ExperienceDb::new();
+        assert!(matches!(
+            db.save("/nonexistent/harmony/db.json"),
+            Err(DbError::Io(_))
+        ));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> Clustering {
     assert!(k > 0, "kmeans: k must be positive");
     assert!(!points.is_empty(), "kmeans: no points");
     let dims = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dims), "kmeans: ragged points");
+    assert!(
+        points.iter().all(|p| p.len() == dims),
+        "kmeans: ragged points"
+    );
     let k = k.min(points.len());
 
     // Farthest-point initialization from the dataset centroid.
@@ -48,8 +51,14 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> Clustering {
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                let da = centroids.iter().map(|c| euclidean_sq(a.1, c)).fold(f64::INFINITY, f64::min);
-                let db = centroids.iter().map(|c| euclidean_sq(b.1, c)).fold(f64::INFINITY, f64::min);
+                let da = centroids
+                    .iter()
+                    .map(|c| euclidean_sq(a.1, c))
+                    .fold(f64::INFINITY, f64::min);
+                let db = centroids
+                    .iter()
+                    .map(|c| euclidean_sq(b.1, c))
+                    .fold(f64::INFINITY, f64::min);
                 da.total_cmp(&db)
             })
             .expect("non-empty")
@@ -97,7 +106,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> Clustering {
         .zip(&assignment)
         .map(|(p, &a)| euclidean_sq(p, &centroids[a]))
         .sum();
-    Clustering { centroids, assignment, inertia }
+    Clustering {
+        centroids,
+        assignment,
+        inertia,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +153,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 7) as f64, (i % 3) as f64])
+            .collect();
         let a = kmeans(&pts, 3, 30);
         let b = kmeans(&pts, 3, 30);
         assert_eq!(a, b);

@@ -15,7 +15,10 @@ pub struct TuningRecord {
 impl TuningRecord {
     /// Build from a configuration.
     pub fn new(cfg: &Configuration, performance: f64) -> Self {
-        TuningRecord { values: cfg.values().to_vec(), performance }
+        TuningRecord {
+            values: cfg.values().to_vec(),
+            performance,
+        }
     }
 
     /// View as a configuration.
@@ -40,7 +43,11 @@ pub struct RunHistory {
 impl RunHistory {
     /// New, empty run.
     pub fn new(label: impl Into<String>, characteristics: Vec<f64>) -> Self {
-        RunHistory { label: label.into(), characteristics, records: Vec::new() }
+        RunHistory {
+            label: label.into(),
+            characteristics,
+            records: Vec::new(),
+        }
     }
 
     /// Append one record.

@@ -18,7 +18,10 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 8, min_leaf: 1 }
+        TreeParams {
+            max_depth: 8,
+            min_leaf: 1,
+        }
     }
 }
 
@@ -69,13 +72,26 @@ impl DecisionTree {
     /// # Panics
     /// Panics on a feature-count mismatch.
     pub fn predict(&self, x: &[f64]) -> usize {
-        assert_eq!(x.len(), self.features, "DecisionTree: feature count mismatch");
+        assert_eq!(
+            x.len(),
+            self.features,
+            "DecisionTree: feature count mismatch"
+        );
         let mut node = &self.root;
         loop {
             match node {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -125,7 +141,10 @@ fn gini(samples: &[(Vec<f64>, usize)], idx: &[usize]) -> f64 {
         *counts.entry(samples[i].1).or_default() += 1;
     }
     let n = idx.len() as f64;
-    1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+    1.0 - counts
+        .values()
+        .map(|&c| (c as f64 / n).powi(2))
+        .sum::<f64>()
 }
 
 fn build(
@@ -137,7 +156,9 @@ fn build(
 ) -> Node {
     let pure = idx.iter().all(|&i| samples[i].1 == samples[idx[0]].1);
     if pure || depth >= params.max_depth || idx.len() < 2 * params.min_leaf {
-        return Node::Leaf { class: majority(samples, idx) };
+        return Node::Leaf {
+            class: majority(samples, idx),
+        };
     }
 
     // Best axis-aligned split by weighted Gini.
@@ -170,8 +191,9 @@ fn build(
     // recursion.
     match best {
         Some((gain, feature, threshold)) if gain > -1e-12 => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| samples[i].0[feature] <= threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| samples[i].0[feature] <= threshold);
             Node::Split {
                 feature,
                 threshold,
@@ -179,7 +201,9 @@ fn build(
                 right: Box::new(build(samples, &right_idx, features, params, depth + 1)),
             }
         }
-        _ => Node::Leaf { class: majority(samples, idx) },
+        _ => Node::Leaf {
+            class: majority(samples, idx),
+        },
     }
 }
 
@@ -214,7 +238,13 @@ mod tests {
 
     #[test]
     fn solves_xor_with_enough_depth() {
-        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 3, min_leaf: 1 });
+        let tree = DecisionTree::fit(
+            &xor_data(),
+            TreeParams {
+                max_depth: 3,
+                min_leaf: 1,
+            },
+        );
         for (x, y) in xor_data() {
             assert_eq!(tree.predict(&x), y, "at {x:?}");
         }
@@ -223,13 +253,25 @@ mod tests {
 
     #[test]
     fn depth_limit_is_respected() {
-        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 1, min_leaf: 1 });
+        let tree = DecisionTree::fit(
+            &xor_data(),
+            TreeParams {
+                max_depth: 1,
+                min_leaf: 1,
+            },
+        );
         assert!(tree.depth() <= 1);
     }
 
     #[test]
     fn min_leaf_prevents_overfitting_splits() {
-        let tree = DecisionTree::fit(&xor_data(), TreeParams { max_depth: 10, min_leaf: 3 });
+        let tree = DecisionTree::fit(
+            &xor_data(),
+            TreeParams {
+                max_depth: 10,
+                min_leaf: 3,
+            },
+        );
         // No split can give both sides >= 3 of 4 samples.
         assert_eq!(tree.depth(), 0);
         assert_eq!(tree.leaves(), 1);

@@ -51,7 +51,9 @@ impl InitStrategy {
             }
             InitStrategy::EvenSpread => (0..=n)
                 .map(|i| {
-                    point_at(&|j| ((i + j) % (n + 1)) as f64 / (n + 1) as f64 + 0.5 / (n + 1) as f64)
+                    point_at(&|j| {
+                        ((i + j) % (n + 1)) as f64 / (n + 1) as f64 + 0.5 / (n + 1) as f64
+                    })
                 })
                 .collect(),
             InitStrategy::Diagonal => (0..=n)
@@ -78,7 +80,11 @@ mod tests {
     #[test]
     fn all_strategies_emit_n_plus_one_points() {
         let s = space(4);
-        for strat in [InitStrategy::ExtremeCorners, InitStrategy::EvenSpread, InitStrategy::Diagonal] {
+        for strat in [
+            InitStrategy::ExtremeCorners,
+            InitStrategy::EvenSpread,
+            InitStrategy::Diagonal,
+        ] {
             let pts = strat.initial_points(&s);
             assert_eq!(pts.len(), 5, "{strat:?}");
             for p in &pts {
@@ -104,7 +110,10 @@ mod tests {
         let s = space(3);
         for p in InitStrategy::EvenSpread.initial_points(&s) {
             for &x in &p {
-                assert!(x > 0.0 && x < 100.0, "even spread must stay interior, got {x}");
+                assert!(
+                    x > 0.0 && x < 100.0,
+                    "even spread must stay interior, got {x}"
+                );
             }
         }
     }
@@ -131,7 +140,10 @@ mod tests {
         let pts = InitStrategy::EvenSpread.initial_points(&s);
         let (a, b, c) = (&pts[0], &pts[1], &pts[2]);
         let cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
-        assert!(cross.abs() > 1e-6, "EvenSpread produced a degenerate simplex");
+        assert!(
+            cross.abs() > 1e-6,
+            "EvenSpread produced a degenerate simplex"
+        );
     }
 
     #[test]
@@ -140,6 +152,9 @@ mod tests {
         let pts = InitStrategy::Diagonal.initial_points(&s);
         let (a, b, c) = (&pts[0], &pts[1], &pts[2]);
         let cross = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]);
-        assert!(cross.abs() < 1e-9, "Diagonal should be collinear (it is the ablation)");
+        assert!(
+            cross.abs() < 1e-9,
+            "Diagonal should be collinear (it is the ablation)"
+        );
     }
 }

@@ -19,7 +19,12 @@ pub struct SimplexOptions {
 
 impl Default for SimplexOptions {
     fn default() -> Self {
-        SimplexOptions { alpha: 1.0, gamma: 2.0, rho: 0.5, sigma: 0.5 }
+        SimplexOptions {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+        }
     }
 }
 
@@ -37,9 +42,17 @@ enum State {
     /// Waiting for the reflection point's value.
     Reflect { centroid: Vec<f64>, point: Vec<f64> },
     /// Waiting for the expansion point's value.
-    Expand { point: Vec<f64>, reflect_point: Vec<f64>, reflect_value: f64 },
+    Expand {
+        point: Vec<f64>,
+        reflect_point: Vec<f64>,
+        reflect_value: f64,
+    },
     /// Waiting for a contraction point's value.
-    Contract { point: Vec<f64>, reflect_value: f64, outside: bool },
+    Contract {
+        point: Vec<f64>,
+        reflect_value: f64,
+        outside: bool,
+    },
     /// Re-evaluating shrunk vertices one at a time.
     Shrink { idx: usize, point: Vec<f64> },
     /// Re-measuring existing vertices (after a training stage, so stale
@@ -125,7 +138,10 @@ impl SimplexKernel {
             if best_config.is_none() {
                 best_config = Some((cfg.clone(), *value));
             }
-            vertices.push(Vertex { point: cfg.to_point(), value: *value });
+            vertices.push(Vertex {
+                point: cfg.to_point(),
+                value: *value,
+            });
         }
         let missing = (n + 1).saturating_sub(vertices.len());
         let seed_min = seeds.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
@@ -134,7 +150,10 @@ impl SimplexKernel {
             space,
             opts: SimplexOptions::default(),
             vertices,
-            state: State::Init { points: Vec::new(), next: 0 },
+            state: State::Init {
+                points: Vec::new(),
+                next: 0,
+            },
             best_config,
             observations: 0,
             seen_min: seed_min,
@@ -165,7 +184,10 @@ impl SimplexKernel {
                     pt
                 })
                 .collect();
-            kernel.state = State::Init { points: fill, next: 0 };
+            kernel.state = State::Init {
+                points: fill,
+                next: 0,
+            };
         } else {
             kernel.begin_iteration();
         }
@@ -265,10 +287,19 @@ impl SimplexKernel {
         let value = self.penalized(&proposal, value);
 
         // Take the state out to appease the borrow checker while mutating.
-        let state = std::mem::replace(&mut self.state, State::Init { points: Vec::new(), next: 0 });
+        let state = std::mem::replace(
+            &mut self.state,
+            State::Init {
+                points: Vec::new(),
+                next: 0,
+            },
+        );
         match state {
             State::Init { points, next } => {
-                self.vertices.push(Vertex { point: points[next].clone(), value });
+                self.vertices.push(Vertex {
+                    point: points[next].clone(),
+                    value,
+                });
                 let next = next + 1;
                 if next < points.len() {
                     self.state = State::Init { points, next };
@@ -301,10 +332,18 @@ impl SimplexKernel {
                         self.vertices[self.worst_index()].point.clone()
                     };
                     let contract = vecops::lerp(&centroid, &target, self.opts.rho);
-                    self.state = State::Contract { point: contract, reflect_value: value, outside };
+                    self.state = State::Contract {
+                        point: contract,
+                        reflect_value: value,
+                        outside,
+                    };
                 }
             }
-            State::Expand { point, reflect_point, reflect_value } => {
+            State::Expand {
+                point,
+                reflect_point,
+                reflect_value,
+            } => {
                 if value > reflect_value {
                     self.replace_worst(point, value);
                 } else {
@@ -312,8 +351,16 @@ impl SimplexKernel {
                 }
                 self.begin_iteration();
             }
-            State::Contract { point, reflect_value, outside } => {
-                let accept = if outside { value >= reflect_value } else { value > self.worst_value() };
+            State::Contract {
+                point,
+                reflect_value,
+                outside,
+            } => {
+                let accept = if outside {
+                    value >= reflect_value
+                } else {
+                    value > self.worst_value()
+                };
                 if accept {
                     self.replace_worst(point, value);
                     self.begin_iteration();
@@ -516,8 +563,7 @@ impl SimplexKernel {
         while idx < self.vertices.len() {
             if idx != bi {
                 let best_point = self.vertices[bi].point.clone();
-                let shrunk =
-                    vecops::lerp(&best_point, &self.vertices[idx].point, self.opts.sigma);
+                let shrunk = vecops::lerp(&best_point, &self.vertices[idx].point, self.opts.sigma);
                 self.state = State::Shrink { idx, point: shrunk };
                 return;
             }
@@ -578,7 +624,11 @@ mod tests {
     fn extreme_corners_also_converges_but_starts_at_extremes() {
         let mut k = SimplexKernel::new(space2(), InitStrategy::ExtremeCorners);
         let first = k.next_config();
-        assert_eq!(first.values(), &[0, 0], "original kernel starts at an extreme corner");
+        assert_eq!(
+            first.values(),
+            &[0, 0],
+            "original kernel starts at an extreme corner"
+        );
         // Boundary-heavy starts converge noticeably slower (that is §4.1's
         // whole point), so give it a generous budget.
         drive(&mut k, paraboloid, 400);
@@ -605,7 +655,10 @@ mod tests {
         let early = k.value_spread();
         drive(&mut k, paraboloid, 200);
         let late = k.value_spread();
-        assert!(late < early, "spread should shrink: early {early}, late {late}");
+        assert!(
+            late < early,
+            "spread should shrink: early {early}, late {late}"
+        );
         assert!(k.point_spread() < 0.5);
     }
 
@@ -614,28 +667,47 @@ mod tests {
         let mut k = SimplexKernel::new(space2(), InitStrategy::ExtremeCorners);
         for _ in 0..200 {
             let cfg = k.next_config();
-            assert!(k.space().is_feasible(&cfg).unwrap(), "infeasible proposal {cfg}");
+            assert!(
+                k.space().is_feasible(&cfg).unwrap(),
+                "infeasible proposal {cfg}"
+            );
             // Adversarial objective: reward the boundary to push the
             // simplex outward.
             let v = cfg.get(0) as f64 + cfg.get(1) as f64;
             k.observe(v);
         }
         let (best, _) = k.best().unwrap();
-        assert_eq!(best.values(), &[100, 100], "should find the boundary optimum");
+        assert_eq!(
+            best.values(),
+            &[100, 100],
+            "should find the boundary optimum"
+        );
     }
 
     #[test]
     fn seeded_simplex_skips_init() {
         let seeds = vec![
-            (Configuration::new(vec![60, 30]), paraboloid(&Configuration::new(vec![60, 30]))),
-            (Configuration::new(vec![65, 35]), paraboloid(&Configuration::new(vec![65, 35]))),
-            (Configuration::new(vec![55, 28]), paraboloid(&Configuration::new(vec![55, 28]))),
+            (
+                Configuration::new(vec![60, 30]),
+                paraboloid(&Configuration::new(vec![60, 30])),
+            ),
+            (
+                Configuration::new(vec![65, 35]),
+                paraboloid(&Configuration::new(vec![65, 35])),
+            ),
+            (
+                Configuration::new(vec![55, 28]),
+                paraboloid(&Configuration::new(vec![55, 28])),
+            ),
         ];
         let mut k = SimplexKernel::with_seeded_simplex(space2(), seeds);
         assert!(k.initialized(), "seeded kernel must skip the init phase");
         drive(&mut k, paraboloid, 40);
         let (best, val) = k.best().unwrap();
-        assert!(val > 990.0, "warm start should converge fast: {val} at {best}");
+        assert!(
+            val > 990.0,
+            "warm start should converge fast: {val} at {best}"
+        );
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub mod prelude {
     pub use crate::report::TuningReport;
     pub use crate::sensitivity::{Prioritizer, SensitivityReport};
     pub use crate::server::{HarmonyServer, ServerOptions};
-    pub use crate::tuner::{Tuner, TuningOptions, TuningOutcome};
+    pub use crate::tuner::{Tuner, TuningOptions, TuningOutcome, TuningSession};
     pub use harmony_space::Configuration;
 }

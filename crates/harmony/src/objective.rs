@@ -64,7 +64,12 @@ pub struct CachedObjective<O: Objective> {
 impl<O: Objective> CachedObjective<O> {
     /// Wrap an objective.
     pub fn new(inner: O) -> Self {
-        CachedObjective { inner, cache: HashMap::new(), hits: 0, misses: 0 }
+        CachedObjective {
+            inner,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Cache hits so far.

@@ -35,7 +35,11 @@ pub struct ReportOptions {
 
 impl Default for ReportOptions {
     fn default() -> Self {
-        ReportOptions { convergence_eps: 0.01, bad_fraction: 0.75, initial_window: 20 }
+        ReportOptions {
+            convergence_eps: 0.01,
+            bad_fraction: 0.75,
+            initial_window: 20,
+        }
     }
 }
 
@@ -154,7 +158,10 @@ mod tests {
     #[test]
     fn initial_window_statistics() {
         let t = trace(&[10.0, 20.0, 30.0, 100.0, 100.0]);
-        let opts = ReportOptions { initial_window: 3, ..Default::default() };
+        let opts = ReportOptions {
+            initial_window: 3,
+            ..Default::default()
+        };
         let r = analyze_trace(&t, &opts);
         assert!((r.initial_mean - 20.0).abs() < 1e-12);
         assert!((r.initial_std - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
@@ -171,8 +178,14 @@ mod tests {
 
     #[test]
     fn smoother_run_has_smaller_initial_std() {
-        let rough = analyze_trace(&trace(&[10.0, 90.0, 20.0, 85.0, 90.0]), &ReportOptions::default());
-        let smooth = analyze_trace(&trace(&[70.0, 80.0, 85.0, 88.0, 90.0]), &ReportOptions::default());
+        let rough = analyze_trace(
+            &trace(&[10.0, 90.0, 20.0, 85.0, 90.0]),
+            &ReportOptions::default(),
+        );
+        let smooth = analyze_trace(
+            &trace(&[70.0, 80.0, 85.0, 88.0, 90.0]),
+            &ReportOptions::default(),
+        );
         assert!(smooth.initial_std < rough.initial_std);
         assert!(smooth.worst_performance > rough.worst_performance);
     }

@@ -18,7 +18,11 @@ pub fn exhaustive_search(
     let mut trace = Vec::new();
     for (iteration, config) in space.iter().enumerate() {
         let performance = objective.measure(&config);
-        trace.push(TraceEntry { iteration, config, performance });
+        trace.push(TraceEntry {
+            iteration,
+            config,
+            performance,
+        });
     }
     SearchOutcome::from_trace(trace)
 }
@@ -61,7 +65,11 @@ where
         .into_iter()
         .zip(perfs)
         .enumerate()
-        .map(|(iteration, (config, performance))| TraceEntry { iteration, config, performance })
+        .map(|(iteration, (config, performance))| TraceEntry {
+            iteration,
+            config,
+            performance,
+        })
         .collect();
     SearchOutcome::from_trace(trace)
 }

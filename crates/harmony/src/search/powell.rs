@@ -30,7 +30,10 @@ pub struct PowellOptions {
 
 impl Default for PowellOptions {
     fn default() -> Self {
-        PowellOptions { budget: 300, max_sweeps: 10 }
+        PowellOptions {
+            budget: 300,
+            max_sweeps: 10,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ pub fn powell_search(
     let mut current = space.default_configuration();
     let measure = |cfg: &Configuration, trace: &mut Vec<TraceEntry>, obj: &mut dyn Objective| {
         let performance = obj.measure(cfg);
-        trace.push(TraceEntry { iteration: trace.len(), config: cfg.clone(), performance });
+        trace.push(TraceEntry {
+            iteration: trace.len(),
+            config: cfg.clone(),
+            performance,
+        });
         performance
     };
     if opts.budget == 0 {
@@ -76,10 +83,10 @@ pub fn powell_search(
             let mut axis_best = current_value;
             let mut axis_best_value = current.get(j);
             let probe = |idx: usize,
-                             trace: &mut Vec<TraceEntry>,
-                             obj: &mut dyn Objective,
-                             axis_best: &mut f64,
-                             axis_best_value: &mut i64|
+                         trace: &mut Vec<TraceEntry>,
+                         obj: &mut dyn Objective,
+                         axis_best: &mut f64,
+                         axis_best_value: &mut i64|
              -> Option<f64> {
                 if trace.len() >= opts.budget {
                     return None;
@@ -96,11 +103,23 @@ pub fn powell_search(
             while hi - lo > 2 {
                 let m1 = lo + (hi - lo) / 3;
                 let m2 = hi - (hi - lo) / 3;
-                let p1 = match probe(m1, &mut trace, objective, &mut axis_best, &mut axis_best_value) {
+                let p1 = match probe(
+                    m1,
+                    &mut trace,
+                    objective,
+                    &mut axis_best,
+                    &mut axis_best_value,
+                ) {
                     Some(p) => p,
                     None => break 'sweeps,
                 };
-                let p2 = match probe(m2, &mut trace, objective, &mut axis_best, &mut axis_best_value) {
+                let p2 = match probe(
+                    m2,
+                    &mut trace,
+                    objective,
+                    &mut axis_best,
+                    &mut axis_best_value,
+                ) {
                     Some(p) => p,
                     None => break 'sweeps,
                 };
@@ -111,7 +130,15 @@ pub fn powell_search(
                 }
             }
             for idx in lo..=hi {
-                if probe(idx, &mut trace, objective, &mut axis_best, &mut axis_best_value).is_none() {
+                if probe(
+                    idx,
+                    &mut trace,
+                    objective,
+                    &mut axis_best,
+                    &mut axis_best_value,
+                )
+                .is_none()
+                {
                     break 'sweeps;
                 }
             }
@@ -144,9 +171,7 @@ mod tests {
 
     #[test]
     fn solves_separable_unimodal_objectives() {
-        let f = |c: &Configuration| {
-            -(c.get(0) - 73).pow(2) as f64 - (c.get(1) - 12).pow(2) as f64
-        };
+        let f = |c: &Configuration| -(c.get(0) - 73).pow(2) as f64 - (c.get(1) - 12).pow(2) as f64;
         let mut obj = FnObjective::new(f);
         let out = powell_search(&space(), &mut obj, PowellOptions::default()).unwrap();
         assert_eq!(out.best_configuration.values(), &[73, 12]);
@@ -162,15 +187,35 @@ mod tests {
             -(x - y).powi(2) - 0.1 * (x - 80.0).powi(2)
         };
         let mut obj = FnObjective::new(f);
-        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 500, max_sweeps: 20 }).unwrap();
-        assert!(out.best_configuration.get(0) > 70, "{:?}", out.best_configuration);
+        let out = powell_search(
+            &space(),
+            &mut obj,
+            PowellOptions {
+                budget: 500,
+                max_sweeps: 20,
+            },
+        )
+        .unwrap();
+        assert!(
+            out.best_configuration.get(0) > 70,
+            "{:?}",
+            out.best_configuration
+        );
         assert!((out.best_configuration.get(0) - out.best_configuration.get(1)).abs() <= 3);
     }
 
     #[test]
     fn respects_budget() {
         let mut obj = FnObjective::new(|_: &Configuration| 1.0);
-        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 25, max_sweeps: 100 }).unwrap();
+        let out = powell_search(
+            &space(),
+            &mut obj,
+            PowellOptions {
+                budget: 25,
+                max_sweeps: 100,
+            },
+        )
+        .unwrap();
         assert!(out.trace.len() <= 25);
         assert_eq!(obj.count() as usize, out.trace.len());
     }
@@ -178,14 +223,34 @@ mod tests {
     #[test]
     fn zero_budget_is_none() {
         let mut obj = FnObjective::new(|_: &Configuration| 1.0);
-        assert!(powell_search(&space(), &mut obj, PowellOptions { budget: 0, max_sweeps: 1 }).is_none());
+        assert!(powell_search(
+            &space(),
+            &mut obj,
+            PowellOptions {
+                budget: 0,
+                max_sweeps: 1
+            }
+        )
+        .is_none());
     }
 
     #[test]
     fn stops_when_no_improvement() {
         // Flat objective: one sweep, no improvement, stop well under budget.
         let mut obj = FnObjective::new(|_: &Configuration| 5.0);
-        let out = powell_search(&space(), &mut obj, PowellOptions { budget: 10_000, max_sweeps: 50 }).unwrap();
-        assert!(out.trace.len() < 200, "flat objective should stop early, used {}", out.trace.len());
+        let out = powell_search(
+            &space(),
+            &mut obj,
+            PowellOptions {
+                budget: 10_000,
+                max_sweeps: 50,
+            },
+        )
+        .unwrap();
+        assert!(
+            out.trace.len() < 200,
+            "flat objective should stop early, used {}",
+            out.trace.len()
+        );
     }
 }

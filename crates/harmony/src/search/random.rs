@@ -23,7 +23,11 @@ pub fn random_search(
         let fracs: Vec<f64> = (0..space.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
         let config = space.from_fractions(&fracs);
         let performance = objective.measure(&config);
-        trace.push(TraceEntry { iteration, config, performance });
+        trace.push(TraceEntry {
+            iteration,
+            config,
+            performance,
+        });
     }
     SearchOutcome::from_trace(trace)
 }
@@ -56,7 +60,11 @@ mod tests {
         let mut o2 = FnObjective::new(f);
         let b = random_search(&space(), &mut o2, 200, 7).unwrap();
         assert_eq!(a, b);
-        assert!(a.best_performance > -100.0, "200 samples should get close: {}", a.best_performance);
+        assert!(
+            a.best_performance > -100.0,
+            "200 samples should get close: {}",
+            a.best_performance
+        );
         assert_eq!(a.trace.len(), 200);
     }
 

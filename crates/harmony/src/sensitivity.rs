@@ -64,6 +64,79 @@ impl SensitivityReport {
         self.ranked().into_iter().take(n).map(|e| e.index).collect()
     }
 
+    /// Estimate sensitivities from recorded explorations instead of fresh
+    /// sweeps.
+    ///
+    /// Prior runs already paid for their measurements; re-using them gives
+    /// a free (if rougher) ranking: for each parameter the records are
+    /// bucketed by that parameter's value, each bucket keeps its mean
+    /// performance, and the bucket means are scored with the same ΔP/Δv′
+    /// formula the live tool uses. Parameters whose records never vary
+    /// score zero.
+    pub fn from_history(
+        space: &ParameterSpace,
+        records: &[crate::history::TuningRecord],
+    ) -> SensitivityReport {
+        let mut entries = Vec::with_capacity(space.len());
+        for j in 0..space.len() {
+            let p = space.param(j);
+            // Bucket mean performance by this parameter's value.
+            let mut buckets: std::collections::BTreeMap<i64, (f64, usize)> =
+                std::collections::BTreeMap::new();
+            for r in records {
+                if let Some(&v) = r.values.get(j) {
+                    let slot = buckets.entry(v).or_insert((0.0, 0));
+                    slot.0 += r.performance;
+                    slot.1 += 1;
+                }
+            }
+            let sweep: Vec<(i64, f64)> = buckets
+                .into_iter()
+                .map(|(v, (sum, n))| (v, sum / n as f64))
+                .collect();
+            let entry =
+                match sweep.iter().copied().reduce(
+                    |best, cand| {
+                        if cand.1 > best.1 {
+                            cand
+                        } else {
+                            best
+                        }
+                    },
+                ) {
+                    Some((best_value, best_perf)) if sweep.len() > 1 => {
+                        let (worst_value, worst_perf) = sweep
+                            .iter()
+                            .copied()
+                            .reduce(|w, c| if c.1 < w.1 { c } else { w })
+                            .expect("non-empty");
+                        let dp = (best_perf - worst_perf).max(0.0);
+                        let dv = (p.normalize(best_value) - p.normalize(worst_value)).abs();
+                        ParamSensitivity {
+                            index: j,
+                            name: p.name().to_string(),
+                            sensitivity: if dp > 0.0 && dv > 0.0 { dp / dv } else { 0.0 },
+                            best_value,
+                            sweep,
+                        }
+                    }
+                    _ => ParamSensitivity {
+                        index: j,
+                        name: p.name().to_string(),
+                        sensitivity: 0.0,
+                        best_value: sweep.first().map_or_else(|| p.default(), |&(v, _)| v),
+                        sweep,
+                    },
+                };
+            entries.push(entry);
+        }
+        // Historical records are sunk cost: no new explorations spent.
+        SensitivityReport {
+            entries,
+            explorations: 0,
+        }
+    }
+
     /// Indices whose sensitivity falls below `fraction` of the maximum —
     /// candidates for discarding.
     pub fn irrelevant(&self, fraction: f64) -> Vec<usize> {
@@ -114,7 +187,13 @@ impl Prioritizer {
     /// Tool over a space, sweeping around the space's defaults.
     pub fn new(space: ParameterSpace) -> Self {
         let base = space.default_configuration();
-        Prioritizer { space, base, max_samples_per_param: None, repeats: 1, noise_floor_samples: 0 }
+        Prioritizer {
+            space,
+            base,
+            max_samples_per_param: None,
+            repeats: 1,
+            noise_floor_samples: 0,
+        }
     }
 
     /// Estimate the run-to-run noise floor by measuring the base
@@ -139,7 +218,11 @@ impl Prioritizer {
 
     /// Sweep around a custom base configuration instead of the defaults.
     pub fn with_base(mut self, base: Configuration) -> Self {
-        assert_eq!(base.len(), self.space.len(), "base configuration dimension mismatch");
+        assert_eq!(
+            base.len(),
+            self.space.len(),
+            "base configuration dimension mismatch"
+        );
         self.base = base;
         self
     }
@@ -159,16 +242,19 @@ impl Prioritizer {
         match self.max_samples_per_param {
             Some(cap) if all.len() > cap => {
                 let last = all.len() - 1;
-                (0..cap)
-                    .map(|k| all[(k * last) / (cap - 1)])
-                    .collect()
+                (0..cap).map(|k| all[(k * last) / (cap - 1)]).collect()
             }
             _ => all,
         }
     }
 
     /// One averaged measurement of a configuration.
-    fn measure_avg(&self, objective: &mut dyn Objective, cfg: &Configuration, count: &mut u64) -> f64 {
+    fn measure_avg(
+        &self,
+        objective: &mut dyn Objective,
+        cfg: &Configuration,
+        count: &mut u64,
+    ) -> f64 {
         let mut sum = 0.0;
         for _ in 0..self.repeats {
             *count += 1;
@@ -242,7 +328,10 @@ impl Prioritizer {
                 .collect();
             entries.push(self.score_with_floor(j, sweep, floor));
         }
-        SensitivityReport { entries, explorations }
+        SensitivityReport {
+            entries,
+            explorations,
+        }
     }
 
     /// Parallel variant for pure evaluation functions: parameters are
@@ -309,7 +398,10 @@ impl Prioritizer {
             }
         });
         SensitivityReport {
-            entries: slots.into_iter().map(|s| s.expect("all slots filled")).collect(),
+            entries: slots
+                .into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect(),
             explorations,
         }
     }
@@ -347,7 +439,11 @@ impl SubspaceFocus {
                 full.param(i).name()
             );
         }
-        SubspaceFocus { full, indices, base }
+        SubspaceFocus {
+            full,
+            indices,
+            base,
+        }
     }
 
     /// The reduced space (one dimension per focused parameter).
@@ -363,7 +459,11 @@ impl SubspaceFocus {
 
     /// Embed a reduced configuration back into the full space.
     pub fn embed(&self, reduced: &Configuration) -> Configuration {
-        assert_eq!(reduced.len(), self.indices.len(), "reduced dimension mismatch");
+        assert_eq!(
+            reduced.len(),
+            self.indices.len(),
+            "reduced dimension mismatch"
+        );
         let mut values = self.base.values().to_vec();
         for (k, &i) in self.indices.iter().enumerate() {
             values[i] = reduced.get(k);
@@ -428,6 +528,44 @@ mod tests {
         assert_eq!(report.top_n(2), vec![0, 1]);
         assert!(report.irrelevant(0.01).contains(&2));
         assert!(!report.irrelevant(0.01).contains(&0));
+    }
+
+    #[test]
+    fn history_estimate_ranks_like_the_live_tool() {
+        use crate::history::RunHistory;
+        let space = space3();
+        // Records covering a grid along each axis pair.
+        let mut run = RunHistory::new("prior", vec![0.5]);
+        for a in [0, 2, 5, 7, 10] {
+            for b in [0, 3, 6, 10] {
+                let cfg = space
+                    .default_configuration()
+                    .with_value(0, a)
+                    .with_value(1, b);
+                run.push(&cfg, eval(&cfg));
+            }
+        }
+        let report = SensitivityReport::from_history(&space, &run.records);
+        let ranked = report.ranked();
+        assert_eq!(ranked[0].name, "strong");
+        assert_eq!(ranked[2].name, "dead");
+        assert_eq!(
+            ranked[2].sensitivity, 0.0,
+            "never-varied parameter scores zero"
+        );
+        assert_eq!(
+            report.explorations(),
+            0,
+            "history costs no new measurements"
+        );
+    }
+
+    #[test]
+    fn history_estimate_handles_empty_records() {
+        let space = space3();
+        let report = SensitivityReport::from_history(&space, &[]);
+        assert_eq!(report.entries().len(), 3);
+        assert!(report.entries().iter().all(|e| e.sensitivity == 0.0));
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub struct HarmonyServer {
 impl HarmonyServer {
     /// Server over a parameter space.
     pub fn new(space: ParameterSpace, options: ServerOptions) -> Self {
-        HarmonyServer { space, options, db: ExperienceDb::new(), sensitivity: None }
+        HarmonyServer {
+            space,
+            options,
+            db: ExperienceDb::new(),
+            sensitivity: None,
+        }
     }
 
     /// Server from a resource-specification-language document (Appendix B).
@@ -138,7 +143,9 @@ impl HarmonyServer {
             None => {
                 let tuner = Tuner::new(self.space.clone(), self.options.tuning.clone());
                 match &prior {
-                    Some(history) => objective_trained(&tuner, objective, history, self.options.training),
+                    Some(history) => {
+                        objective_trained(&tuner, objective, history, self.options.training)
+                    }
                     None => tuner.run(objective),
                 }
             }
@@ -146,7 +153,10 @@ impl HarmonyServer {
                 let reduced = focus.reduced_space();
                 let tuner = Tuner::new(reduced.clone(), self.options.tuning.clone());
                 // Bridge: measure reduced configs by embedding them.
-                let mut bridged = BridgedObjective { focus, inner: objective };
+                let mut bridged = BridgedObjective {
+                    focus,
+                    inner: objective,
+                };
                 let prior_reduced = prior.as_ref().map(|h| reduce_history(h, focus));
                 let mut out = match &prior_reduced {
                     Some(history) => {
@@ -171,7 +181,11 @@ impl HarmonyServer {
             Some(f) => f.indices().to_vec(),
             None => (0..self.space.len()).collect(),
         };
-        SessionOutcome { tuning: outcome, trained_from, tuned_indices }
+        SessionOutcome {
+            tuning: outcome,
+            trained_from,
+            tuned_indices,
+        }
     }
 }
 
@@ -254,12 +268,19 @@ mod tests {
     fn focused_session_tunes_only_top_parameters() {
         let mut server = HarmonyServer::new(
             space(),
-            ServerOptions { focus_top_n: Some(1), ..Default::default() },
+            ServerOptions {
+                focus_top_n: Some(1),
+                ..Default::default()
+            },
         );
         let mut obj = FnObjective::new(eval);
         server.prioritize(&mut obj);
         let out = server.tune_session(&mut obj, "w", &[0.5, 0.5]);
-        assert_eq!(out.tuned_indices, vec![0], "only the most sensitive parameter is tuned");
+        assert_eq!(
+            out.tuned_indices,
+            vec![0],
+            "only the most sensitive parameter is tuned"
+        );
         // Frozen parameters stay at their defaults in every explored config.
         for t in &out.tuning.trace {
             assert_eq!(t.config.get(1), 20);

@@ -64,7 +64,10 @@ impl TuningOptions {
     /// The paper's improved configuration: evenly spread initial simplex
     /// (§4.1).
     pub fn improved() -> Self {
-        TuningOptions { init: InitStrategy::EvenSpread, ..Self::original() }
+        TuningOptions {
+            init: InitStrategy::EvenSpread,
+            ..Self::original()
+        }
     }
 
     /// Builder-style max iterations.
@@ -107,6 +110,179 @@ impl TuningOutcome {
             run.push(&t.config, t.performance);
         }
         run
+    }
+}
+
+/// Stepping a [`TuningSession`] out of order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// [`TuningSession::observe`] was called with no outstanding
+    /// configuration to attach the measurement to.
+    NoPendingConfiguration,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NoPendingConfiguration => {
+                write!(
+                    f,
+                    "observe called before next_config proposed a configuration"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// An incremental (ask–tell) tuning session.
+///
+/// [`Tuner::run`] drives the whole measurement loop itself; a session
+/// exposes the same loop one step at a time, for callers that cannot hand
+/// over control — a network daemon answering `Fetch`/`Report` messages,
+/// or any measurement harness living outside the process.
+///
+/// ```
+/// use harmony::objective::FnObjective;
+/// use harmony::prelude::*;
+/// use harmony_space::{ParamDef, ParameterSpace};
+///
+/// let space = ParameterSpace::builder()
+///     .param(ParamDef::int("x", 0, 50, 25, 1))
+///     .build()
+///     .unwrap();
+/// let mut session = Tuner::new(space, TuningOptions::improved()).session();
+/// while let Some(cfg) = session.next_config() {
+///     session.observe(-((cfg.get(0) - 30).pow(2)) as f64).unwrap();
+/// }
+/// let outcome = session.finish();
+/// assert!(outcome.best_performance > -5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TuningSession {
+    space: ParameterSpace,
+    options: TuningOptions,
+    kernel: SimplexKernel,
+    trace: Vec<TraceEntry>,
+    live_best: Option<(Configuration, f64)>,
+    pending: Option<Configuration>,
+    converged: bool,
+    training_iterations: usize,
+}
+
+impl TuningSession {
+    fn from_kernel(
+        space: ParameterSpace,
+        options: TuningOptions,
+        kernel: SimplexKernel,
+        training_iterations: usize,
+    ) -> Self {
+        TuningSession {
+            space,
+            options,
+            kernel,
+            trace: Vec::new(),
+            live_best: None,
+            pending: None,
+            converged: false,
+            training_iterations,
+        }
+    }
+
+    /// The next configuration to measure, or `None` once the session is
+    /// over (budget spent or converged).
+    ///
+    /// Idempotent until the proposal is answered: asking again without an
+    /// intervening [`observe`](Self::observe) returns the same
+    /// configuration, so a retried `Fetch` cannot burn budget.
+    pub fn next_config(&mut self) -> Option<Configuration> {
+        if let Some(cfg) = &self.pending {
+            return Some(cfg.clone());
+        }
+        if self.is_done() {
+            return None;
+        }
+        let cfg = self.kernel.next_config();
+        self.pending = Some(cfg.clone());
+        Some(cfg)
+    }
+
+    /// Report the measured performance of the outstanding configuration.
+    pub fn observe(&mut self, performance: f64) -> Result<(), SessionError> {
+        let config = self
+            .pending
+            .take()
+            .ok_or(SessionError::NoPendingConfiguration)?;
+        self.kernel.observe(performance);
+        match &self.live_best {
+            Some((_, b)) if *b >= performance => {}
+            _ => self.live_best = Some((config.clone(), performance)),
+        }
+        let iteration = self.trace.len();
+        self.trace.push(TraceEntry {
+            iteration,
+            config,
+            performance,
+        });
+        if self.kernel.initialized()
+            && self.trace.len() >= self.options.min_iterations
+            && self.kernel.value_spread() < self.options.value_eps
+            && self.kernel.point_spread() < self.options.point_eps
+        {
+            self.converged = true;
+        }
+        Ok(())
+    }
+
+    /// Whether the session has ended (no further configurations will be
+    /// proposed).
+    pub fn is_done(&self) -> bool {
+        self.converged || self.trace.len() >= self.options.max_iterations
+    }
+
+    /// Live measurements spent so far.
+    pub fn iterations(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Best live measurement so far.
+    pub fn best(&self) -> Option<(&Configuration, f64)> {
+        self.live_best.as_ref().map(|(c, p)| (c, *p))
+    }
+
+    /// Live explorations so far, in measurement order.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// The space under tuning.
+    pub fn space(&self) -> &ParameterSpace {
+        &self.space
+    }
+
+    /// Virtual iterations spent training before the live stage.
+    pub fn training_iterations(&self) -> usize {
+        self.training_iterations
+    }
+
+    /// Close the session and analyze its trace.
+    ///
+    /// Callable at any point — an abandoned session still yields a valid
+    /// outcome over whatever was measured.
+    pub fn finish(self) -> TuningOutcome {
+        let (best_configuration, best_performance) = self
+            .live_best
+            .unwrap_or_else(|| (self.space.default_configuration(), f64::NEG_INFINITY));
+        let report = analyze_trace(&self.trace, &self.options.report);
+        TuningOutcome {
+            trace: self.trace,
+            best_configuration,
+            best_performance,
+            report,
+            converged: self.converged,
+            training_iterations: self.training_iterations,
+        }
     }
 }
 
@@ -175,12 +351,36 @@ impl Tuner {
         history: &RunHistory,
         mode: TrainingMode,
     ) -> TuningOutcome {
+        let (kernel, trained) = self.trained_kernel(history, mode);
+        self.drive(kernel, objective, trained)
+    }
+
+    /// Step-at-a-time flavour of [`run`](Self::run): the caller measures.
+    pub fn session(&self) -> TuningSession {
+        let kernel = SimplexKernel::new(self.space.clone(), self.options.init);
+        TuningSession::from_kernel(self.space.clone(), self.options.clone(), kernel, 0)
+    }
+
+    /// Step-at-a-time flavour of [`run_trained`](Self::run_trained).
+    ///
+    /// The training stage costs no live measurements, so it runs entirely
+    /// here; the returned session starts at the live stage.
+    pub fn session_trained(&self, history: &RunHistory, mode: TrainingMode) -> TuningSession {
+        let (kernel, trained) = self.trained_kernel(history, mode);
+        TuningSession::from_kernel(self.space.clone(), self.options.clone(), kernel, trained)
+    }
+
+    /// Build the starting kernel for a trained session, returning it with
+    /// the count of virtual training iterations spent. Falls back to the
+    /// cold-start kernel when the history cannot seed one.
+    fn trained_kernel(&self, history: &RunHistory, mode: TrainingMode) -> (SimplexKernel, usize) {
+        let cold = || SimplexKernel::new(self.space.clone(), self.options.init);
         match mode {
-            TrainingMode::None => self.run(objective),
+            TrainingMode::None => (cold(), 0),
             TrainingMode::SeedSimplex => {
                 let seeds = self.diverse_seeds(history);
                 if seeds.is_empty() {
-                    return self.run(objective);
+                    return (cold(), 0);
                 }
                 let mut kernel = SimplexKernel::with_seeded_simplex(self.space.clone(), seeds);
                 // Seeded values came from a (possibly different) prior
@@ -190,11 +390,11 @@ impl Tuner {
                     kernel.expand_around_best(0.25);
                 }
                 kernel.refresh();
-                self.drive(kernel, objective, 0)
+                (kernel, 0)
             }
             TrainingMode::Replay(budget) => {
                 if history.records.is_empty() {
-                    return self.run(objective);
+                    return (cold(), 0);
                 }
                 // Start from the recorded experience as the simplex, then
                 // let the kernel explore *virtually*: requests are answered
@@ -221,7 +421,7 @@ impl Tuner {
                     kernel.expand_around_best(0.25);
                 }
                 kernel.refresh();
-                self.drive(kernel, objective, trained)
+                (kernel, trained)
             }
         }
     }
@@ -239,7 +439,9 @@ impl Tuner {
         let mut order: Vec<usize> = (0..records.len()).collect();
         order.sort_by(|&a, &b| records[b].performance.total_cmp(&records[a].performance));
         // Candidates: the better half (at least n+1 when available).
-        let keep = (records.len() / 2).max(self.space.len() + 1).min(records.len());
+        let keep = (records.len() / 2)
+            .max(self.space.len() + 1)
+            .min(records.len());
         let candidates = &order[..keep];
 
         let mut chosen: Vec<usize> = vec![candidates[0]]; // the best record
@@ -275,49 +477,34 @@ impl Tuner {
         let c = records[candidate].configuration();
         chosen
             .iter()
-            .map(|&i| self.space.normalized_distance(&records[i].configuration(), &c))
+            .map(|&i| {
+                self.space
+                    .normalized_distance(&records[i].configuration(), &c)
+            })
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// Main measurement loop shared by all flows.
+    /// Main measurement loop shared by all flows: drive a session to
+    /// completion against an in-process objective.
     fn drive(
         &self,
-        mut kernel: SimplexKernel,
+        kernel: SimplexKernel,
         objective: &mut dyn Objective,
         training_iterations: usize,
     ) -> TuningOutcome {
-        let mut trace: Vec<TraceEntry> = Vec::with_capacity(self.options.max_iterations);
-        let mut converged = false;
-        let mut live_best: Option<(Configuration, f64)> = None;
-        for iteration in 0..self.options.max_iterations {
-            let config = kernel.next_config();
-            let performance = objective.measure(&config);
-            kernel.observe(performance);
-            match &live_best {
-                Some((_, b)) if *b >= performance => {}
-                _ => live_best = Some((config.clone(), performance)),
-            }
-            trace.push(TraceEntry { iteration, config, performance });
-            if kernel.initialized()
-                && trace.len() >= self.options.min_iterations
-                && kernel.value_spread() < self.options.value_eps
-                && kernel.point_spread() < self.options.point_eps
-            {
-                converged = true;
-                break;
-            }
-        }
-        let (best_configuration, best_performance) = live_best
-            .unwrap_or_else(|| (self.space.default_configuration(), f64::NEG_INFINITY));
-        let report = analyze_trace(&trace, &self.options.report);
-        TuningOutcome {
-            trace,
-            best_configuration,
-            best_performance,
-            report,
-            converged,
+        let mut session = TuningSession::from_kernel(
+            self.space.clone(),
+            self.options.clone(),
+            kernel,
             training_iterations,
+        );
+        while let Some(config) = session.next_config() {
+            let performance = objective.measure(&config);
+            session
+                .observe(performance)
+                .expect("a configuration is outstanding");
         }
+        session.finish()
     }
 }
 
@@ -350,7 +537,11 @@ mod tests {
         assert_eq!(out.trace.len(), out.report.iterations);
         assert_eq!(out.training_iterations, 0);
         // The recorded best matches the trace maximum.
-        let trace_max = out.trace.iter().map(|t| t.performance).fold(f64::MIN, f64::max);
+        let trace_max = out
+            .trace
+            .iter()
+            .map(|t| t.performance)
+            .fold(f64::MIN, f64::max);
         assert_eq!(out.best_performance, trace_max);
     }
 
@@ -364,7 +555,11 @@ mod tests {
         for t in &out.trace[..3] {
             for j in 0..2 {
                 let v = t.config.get(j);
-                assert!(v > 0 && v < 100, "initial exploration at extreme: {}", t.config);
+                assert!(
+                    v > 0 && v < 100,
+                    "initial exploration at extreme: {}",
+                    t.config
+                );
             }
         }
     }
@@ -405,9 +600,12 @@ mod tests {
         let warm = tuner.run_trained(&mut warm_obj, &history, TrainingMode::SeedSimplex);
 
         assert!(warm.report.convergence_time <= cold.report.convergence_time);
-        assert!(warm.report.worst_performance >= cold.report.worst_performance,
+        assert!(
+            warm.report.worst_performance >= cold.report.worst_performance,
             "warm start should avoid the deep initial dips: warm {} vs cold {}",
-            warm.report.worst_performance, cold.report.worst_performance);
+            warm.report.worst_performance,
+            cold.report.worst_performance
+        );
         assert!(warm.best_performance > 990.0);
     }
 
@@ -448,6 +646,91 @@ mod tests {
         assert_eq!(run.records.len(), out.trace.len());
         assert_eq!(run.best().unwrap().performance, out.best_performance);
         assert_eq!(run.characteristics, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn session_matches_run_exactly() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let run_out = tuner.run(&mut obj);
+
+        let mut session = tuner.session();
+        while let Some(cfg) = session.next_config() {
+            session.observe(paraboloid(&cfg)).unwrap();
+        }
+        let session_out = session.finish();
+        assert_eq!(
+            run_out, session_out,
+            "session stepping must replay run() exactly"
+        );
+    }
+
+    #[test]
+    fn session_next_config_is_idempotent_until_observed() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut session = tuner.session();
+        let a = session.next_config().unwrap();
+        let b = session.next_config().unwrap();
+        assert_eq!(a, b, "repeated fetch must not advance the kernel");
+        session.observe(paraboloid(&a)).unwrap();
+        let c = session.next_config().unwrap();
+        assert_ne!(a, c, "after observe the kernel proposes the next vertex");
+        assert_eq!(session.iterations(), 1);
+    }
+
+    #[test]
+    fn session_observe_without_fetch_is_an_error() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut session = tuner.session();
+        assert_eq!(
+            session.observe(1.0),
+            Err(SessionError::NoPendingConfiguration)
+        );
+        let cfg = session.next_config().unwrap();
+        assert!(session.observe(paraboloid(&cfg)).is_ok());
+        assert_eq!(
+            session.observe(1.0),
+            Err(SessionError::NoPendingConfiguration)
+        );
+    }
+
+    #[test]
+    fn trained_session_matches_run_trained() {
+        let space = space2();
+        let mut history = RunHistory::new("prior", vec![0.5]);
+        for x in [20, 40, 60, 80] {
+            for y in [30, 50, 70, 90] {
+                let cfg = Configuration::new(vec![x, y]);
+                history.push(&cfg, paraboloid(&cfg));
+            }
+        }
+        let tuner = Tuner::new(space, TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let run_out = tuner.run_trained(&mut obj, &history, TrainingMode::Replay(15));
+
+        let mut session = tuner.session_trained(&history, TrainingMode::Replay(15));
+        assert!(session.training_iterations() > 0);
+        while let Some(cfg) = session.next_config() {
+            session.observe(paraboloid(&cfg)).unwrap();
+        }
+        assert_eq!(run_out, session.finish());
+    }
+
+    #[test]
+    fn abandoned_session_reports_partial_trace() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut session = tuner.session();
+        for _ in 0..3 {
+            let cfg = session.next_config().unwrap();
+            session.observe(paraboloid(&cfg)).unwrap();
+        }
+        assert_eq!(
+            session.best().unwrap().1,
+            session.clone().finish().best_performance
+        );
+        let out = session.finish();
+        assert_eq!(out.trace.len(), 3);
+        assert!(!out.converged);
     }
 
     #[test]

@@ -26,16 +26,27 @@ fn main() {
     // then returns to shopping.
     let periods: [(&str, WorkloadMix); 6] = [
         ("06:00", WorkloadMix::browsing()),
-        ("09:00", WorkloadMix::browsing().blend(&WorkloadMix::shopping(), 0.15)),
+        (
+            "09:00",
+            WorkloadMix::browsing().blend(&WorkloadMix::shopping(), 0.15),
+        ),
         ("12:00", WorkloadMix::shopping()),
-        ("15:00", WorkloadMix::shopping().blend(&WorkloadMix::ordering(), 0.9)),
+        (
+            "15:00",
+            WorkloadMix::shopping().blend(&WorkloadMix::ordering(), 0.9),
+        ),
         ("18:00", WorkloadMix::ordering()),
         ("21:00", WorkloadMix::shopping()),
     ];
 
     banner("simulated day with drifting traffic");
     for (i, (clock, mix)) in periods.iter().enumerate() {
-        let mut sys = Web(WebServiceSystem::new(mix.clone(), Fidelity::Analytic, 0.05, i as u64));
+        let mut sys = Web(WebServiceSystem::new(
+            mix.clone(),
+            Fidelity::Analytic,
+            0.05,
+            i as u64,
+        ));
         let chars = sys.0.observe_characteristics(400);
         match controller.observe(&mut sys, &format!("period-{clock}"), &chars) {
             Decision::Steady { drift } => {
@@ -60,5 +71,8 @@ fn main() {
         periods.len(),
         controller.server().db().len(),
     );
-    println!("deployed configuration: {}", controller.deployed().expect("deployed"));
+    println!(
+        "deployed configuration: {}",
+        controller.deployed().expect("deployed")
+    );
 }

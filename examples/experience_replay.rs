@@ -23,11 +23,16 @@ fn main() {
     let mut sys1 = weblike_system(&workload_day1, 0.05, 1);
     let space = sys1.space().clone();
     let mut obj1 = FnObjective::new(move |cfg: &Configuration| sys1.evaluate(cfg));
-    let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(120));
+    let tuner = Tuner::new(
+        space.clone(),
+        TuningOptions::improved().with_max_iterations(120),
+    );
     let out1 = tuner.run(&mut obj1);
     println!(
         "  best {:.1} after {} iterations, {} bad iterations",
-        out1.best_performance, out1.trace.len(), out1.report.bad_iterations
+        out1.best_performance,
+        out1.trace.len(),
+        out1.report.bad_iterations
     );
     let mut db = ExperienceDb::new();
     db.add_run(out1.to_history("day-1", workload_day1.to_vec()));
@@ -38,7 +43,10 @@ fn main() {
     let db = ExperienceDb::load(&db_path).expect("load experience");
     println!("  loaded {} prior run(s)", db.len());
     let (idx, matched) = db.classify(&workload_day2).expect("match found");
-    println!("  classified day-2 traffic -> prior run #{idx} ({:?})", matched.label);
+    println!(
+        "  classified day-2 traffic -> prior run #{idx} ({:?})",
+        matched.label
+    );
     let mut sys2 = weblike_system(&workload_day2, 0.05, 2);
     let mut obj2 = FnObjective::new(move |cfg: &Configuration| sys2.evaluate(cfg));
     let out2 = tuner.run_trained(&mut obj2, matched, TrainingMode::Replay(10));

@@ -52,8 +52,8 @@ fn main() {
             .fold(0.0f64, f64::max);
         1000.0 / makespan // higher is better
     });
-    let outcome = Tuner::new(space, TuningOptions::improved().with_max_iterations(120))
-        .run(&mut objective);
+    let outcome =
+        Tuner::new(space, TuningOptions::improved().with_max_iterations(120)).run(&mut objective);
 
     let (p1, p2, p3) = (
         outcome.best_configuration.get(0),
@@ -65,7 +65,13 @@ fn main() {
         K - p1 - p2 - p3,
         outcome.best_performance
     );
-    println!("explored {} configurations, all feasible by construction", outcome.trace.len());
+    println!(
+        "explored {} configurations, all feasible by construction",
+        outcome.trace.len()
+    );
     // The weighted-balanced split puts fewer rows in the heavy blocks.
-    assert!(p1 >= p3, "heavier blocks should get fewer rows (p1={p1}, p3={p3})");
+    assert!(
+        p1 >= p3,
+        "heavier blocks should get fewer rows (p1={p1}, p3={p3})"
+    );
 }

@@ -44,10 +44,16 @@ fn main() {
             .label(outcome.best_configuration.get(2))
             .unwrap_or("?"),
     );
-    println!("performance: {:.1} (converged: {})", outcome.best_performance, outcome.converged);
+    println!(
+        "performance: {:.1} (converged: {})",
+        outcome.best_performance, outcome.converged
+    );
     println!(
         "convergence after {} iterations; worst dip {:.1}",
         outcome.report.convergence_time, outcome.report.worst_performance
     );
-    assert!(outcome.best_performance > 205.0, "tuning should approach the optimum");
+    assert!(
+        outcome.best_performance > 205.0,
+        "tuning should approach the optimum"
+    );
 }

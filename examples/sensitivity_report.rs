@@ -22,15 +22,30 @@ fn main() {
         .analyze(&mut obj);
     println!("{} explorations spent", report.explorations());
     for e in report.ranked() {
-        let mark = if SECTION5_IRRELEVANT.contains(&e.index) { "  <- planted irrelevant" } else { "" };
-        println!("  {:<3} sensitivity {:>8.2}  best value {}{}", e.name, e.sensitivity, e.best_value, mark);
+        let mark = if SECTION5_IRRELEVANT.contains(&e.index) {
+            "  <- planted irrelevant"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<3} sensitivity {:>8.2}  best value {}{}",
+            e.name, e.sensitivity, e.best_value, mark
+        );
     }
 
     banner("parallel sweep (pure evaluation function, noise-free)");
     let clean = section5_system(workload, 0.0, 0);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let par = Prioritizer::new(space).analyze_parallel(|cfg| clean.evaluate_clean(cfg), threads);
-    println!("top-5 parameters on {threads} threads: {:?}",
-        par.ranked().iter().take(5).map(|e| e.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "top-5 parameters on {threads} threads: {:?}",
+        par.ranked()
+            .iter()
+            .take(5)
+            .map(|e| e.name.as_str())
+            .collect::<Vec<_>>()
+    );
     println!("irrelevant (<=1% of max): {:?}", par.irrelevant(0.01));
 }

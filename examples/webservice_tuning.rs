@@ -32,7 +32,12 @@ fn main() {
     );
 
     banner("1. parameter prioritizing (once, amortized)");
-    let mut probe = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 1));
+    let mut probe = Web(WebServiceSystem::new(
+        WorkloadMix::shopping(),
+        Fidelity::Analytic,
+        0.05,
+        1,
+    ));
     let report = harmony::sensitivity::Prioritizer::new(server.space().clone())
         .with_max_samples(10)
         .analyze(&mut probe);
@@ -42,7 +47,12 @@ fn main() {
     server.set_sensitivity(report);
 
     banner("2. first execution: shopping workload, no prior experience");
-    let mut sys = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 2));
+    let mut sys = Web(WebServiceSystem::new(
+        WorkloadMix::shopping(),
+        Fidelity::Analytic,
+        0.05,
+        2,
+    ));
     let chars = sys.0.observe_characteristics(400);
     let out1 = server.tune_session(&mut sys, "shopping", &chars);
     println!(
@@ -54,7 +64,12 @@ fn main() {
     );
 
     banner("3. second execution: ordering workload — closest experience is reused");
-    let mut sys2 = Web(WebServiceSystem::new(WorkloadMix::ordering(), Fidelity::Analytic, 0.05, 3));
+    let mut sys2 = Web(WebServiceSystem::new(
+        WorkloadMix::ordering(),
+        Fidelity::Analytic,
+        0.05,
+        3,
+    ));
     let chars2 = sys2.0.observe_characteristics(400);
     let out2 = server.tune_session(&mut sys2, "ordering", &chars2);
     println!(
@@ -63,7 +78,12 @@ fn main() {
     );
 
     banner("4. shopping returns — now there is a close match in the database");
-    let mut sys3 = Web(WebServiceSystem::new(WorkloadMix::shopping(), Fidelity::Analytic, 0.05, 4));
+    let mut sys3 = Web(WebServiceSystem::new(
+        WorkloadMix::shopping(),
+        Fidelity::Analytic,
+        0.05,
+        4,
+    ));
     let chars3 = sys3.0.observe_characteristics(400);
     let out3 = server.tune_session(&mut sys3, "shopping-2", &chars3);
     println!(

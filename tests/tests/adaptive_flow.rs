@@ -10,11 +10,11 @@ use integration_tests::WebObjective;
 fn controller_rides_out_a_full_day_of_traffic() {
     let mut controller = AdaptiveTuner::new(webservice_space(), AdaptiveOptions::default());
     let day: Vec<(WorkloadMix, bool)> = vec![
-        (WorkloadMix::browsing(), true),   // cold start: must tune
-        (WorkloadMix::browsing(), false),  // same traffic: keep
-        (WorkloadMix::ordering(), true),   // big shift: retune
-        (WorkloadMix::ordering(), false),  // stable again
-        (WorkloadMix::browsing(), true),   // shift back: retune, trained
+        (WorkloadMix::browsing(), true),  // cold start: must tune
+        (WorkloadMix::browsing(), false), // same traffic: keep
+        (WorkloadMix::ordering(), true),  // big shift: retune
+        (WorkloadMix::ordering(), false), // stable again
+        (WorkloadMix::browsing(), true),  // shift back: retune, trained
     ];
     for (i, (mix, expect_retune)) in day.into_iter().enumerate() {
         let mut sys = WebObjective::analytic(mix, 0.05, i as u64);
@@ -56,7 +56,10 @@ fn deployed_configuration_performs_well_on_the_current_mix() {
     let mut sys = WebObjective::analytic(WorkloadMix::shopping(), 0.05, 7);
     let chars = sys.0.observe_characteristics(600);
     let _ = controller.observe(&mut sys, "shopping", &chars);
-    let deployed = controller.deployed().expect("deployed after first period").clone();
+    let deployed = controller
+        .deployed()
+        .expect("deployed after first period")
+        .clone();
 
     let clean = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 0);
     let space = webservice_space();
@@ -70,9 +73,8 @@ fn deployed_configuration_performs_well_on_the_current_mix() {
         "deployed {deployed_wips} should be competitive with default {default_wips}"
     );
     // And far above a genuinely bad configuration.
-    let starved = space.default_configuration().with_value(
-        space.index_of("AJPMaxProcessors").unwrap(),
-        1,
-    );
+    let starved = space
+        .default_configuration()
+        .with_value(space.index_of("AJPMaxProcessors").unwrap(), 1);
     assert!(deployed_wips > clean.0.evaluate_clean(&starved) * 1.5);
 }

@@ -21,7 +21,11 @@ fn estimates_correlate_with_truth_on_the_weblike_system() {
         let mut s2 = weblike_system(&workload, 0.0, 0);
         FnObjective::new(move |cfg: &Configuration| s2.evaluate(cfg))
     };
-    let out = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(120)).run(&mut obj);
+    let out = Tuner::new(
+        space.clone(),
+        TuningOptions::improved().with_max_iterations(120),
+    )
+    .run(&mut obj);
     let history = out.to_history("run", workload.to_vec());
 
     // Estimate performance at configurations near the best record.
@@ -41,7 +45,10 @@ fn estimates_correlate_with_truth_on_the_weblike_system() {
     }
     assert!(estimates.len() >= 12, "estimator should produce estimates");
     let rho = spearman(&estimates, &truths).expect("defined");
-    assert!(rho > 0.4, "estimates should rank like truth near the optimum: rho={rho}");
+    assert!(
+        rho > 0.4,
+        "estimates should rank like truth near the optimum: rho={rho}"
+    );
 }
 
 #[test]
@@ -49,7 +56,10 @@ fn estimates_track_truth_on_the_websim() {
     let web = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 3);
     let space = web.0.space().clone();
     let out = {
-        let tuner = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(100));
+        let tuner = Tuner::new(
+            space.clone(),
+            TuningOptions::improved().with_max_iterations(100),
+        );
         let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 3);
         tuner.run(&mut obj)
     };
@@ -101,5 +111,8 @@ fn training_stage_costs_zero_live_measurements() {
         assert!(out.training_iterations > 0);
         assert_eq!(out.trace.len() as u64, live_measurements);
     }
-    assert!(live_measurements <= 30, "live budget respected: {live_measurements}");
+    assert!(
+        live_measurements <= 30,
+        "live budget respected: {live_measurements}"
+    );
 }

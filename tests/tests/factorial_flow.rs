@@ -40,8 +40,14 @@ fn screening_is_far_cheaper_than_the_full_sweep() {
     assert_eq!(s.explorations, 12);
 
     let mut obj2 = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 2);
-    let oat = Prioritizer::new(space).with_max_samples(12).analyze(&mut obj2);
-    assert!(oat.explorations() >= 100, "full sweep cost {}", oat.explorations());
+    let oat = Prioritizer::new(space)
+        .with_max_samples(12)
+        .analyze(&mut obj2);
+    assert!(
+        oat.explorations() >= 100,
+        "full sweep cost {}",
+        oat.explorations()
+    );
 }
 
 #[test]
@@ -56,7 +62,14 @@ fn full_factorial_interactions_on_a_small_focus() {
     let s = screen(&space, &mut obj, &d, 0.1, 0.9);
     let idx = |name: &str| space.index_of(name).unwrap();
     let inter_cache = d
-        .interaction_effect(idx("PROXYCacheMem"), idx("PROXYMaxObjectInMemory"), &s.responses)
+        .interaction_effect(
+            idx("PROXYCacheMem"),
+            idx("PROXYMaxObjectInMemory"),
+            &s.responses,
+        )
         .abs();
-    assert!(inter_cache > 0.0, "cache knobs should interact: {inter_cache}");
+    assert!(
+        inter_cache > 0.0,
+        "cache knobs should interact: {inter_cache}"
+    );
 }

@@ -1,0 +1,148 @@
+//! End-to-end flows through the network layer: concurrent remote
+//! sessions sharing one daemon, §4.2 warm starts from another client's
+//! recorded experience, and database persistence across daemon restarts.
+
+use harmony::prelude::*;
+use harmony_net::client::Client;
+use harmony_net::protocol::SpaceSpec;
+use harmony_net::server::{DaemonConfig, TuningDaemon};
+use harmony_net::NetError;
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::path::PathBuf;
+
+fn space() -> ParameterSpace {
+    ParameterSpace::builder()
+        .param(ParamDef::int("cache", 1, 20, 10, 1))
+        .param(ParamDef::int("threads", 1, 20, 10, 1))
+        .build()
+        .unwrap()
+}
+
+/// Smooth synthetic system with its optimum at cache=14, threads=6.
+fn perf(cfg: &Configuration) -> f64 {
+    let c = cfg.values()[0] as f64;
+    let t = cfg.values()[1] as f64;
+    200.0 - (c - 14.0).powi(2) - 2.0 * (t - 6.0).powi(2)
+}
+
+fn daemon_config(db: Option<PathBuf>) -> DaemonConfig {
+    DaemonConfig {
+        db_path: db,
+        tuning: TuningOptions::improved().with_max_iterations(60),
+        ..DaemonConfig::default()
+    }
+}
+
+fn run_session(
+    addr: std::net::SocketAddr,
+    label: &str,
+    characteristics: Vec<f64>,
+) -> (
+    harmony_net::client::SessionStarted,
+    harmony_net::client::SessionSummary,
+) {
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .tune_with(
+            SpaceSpec::Explicit(space()),
+            label,
+            characteristics,
+            None,
+            |cfg| Ok::<f64, NetError>(perf(cfg)),
+        )
+        .unwrap()
+}
+
+fn temp_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("harmony-net-flow");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+#[test]
+fn concurrent_sessions_share_one_daemon() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                run_session(addr, &format!("client-{i}"), vec![i as f64, 1.0])
+            })
+        })
+        .collect();
+    for worker in workers {
+        let (_, summary) = worker.join().unwrap();
+        assert!(
+            summary.performance > 190.0,
+            "remote tuning should approach the optimum, got {}",
+            summary.performance
+        );
+        assert!(summary.iterations > 0);
+    }
+
+    assert_eq!(handle.completed_sessions(), 3);
+    assert_eq!(
+        handle.db_runs(),
+        3,
+        "every session feeds the shared experience db"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn second_session_warm_starts_from_the_firsts_experience() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+
+    let (started, _) = run_session(addr, "monday", vec![0.2, 0.8]);
+    assert_eq!(
+        started.trained_from, None,
+        "nothing to train from on an empty db"
+    );
+
+    // Similar workload characteristics: the daemon classifies them to
+    // monday's run and trains the new session on it (§4.2).
+    let (started, summary) = run_session(addr, "tuesday", vec![0.21, 0.79]);
+    assert_eq!(started.trained_from.as_deref(), Some("monday"));
+    assert!(
+        started.training_iterations > 0,
+        "training replays prior explorations"
+    );
+    assert!(summary.performance > 190.0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn experience_survives_a_daemon_restart() {
+    let db = temp_db("restart.json");
+
+    let handle = TuningDaemon::start(daemon_config(Some(db.clone()))).unwrap();
+    let (_, summary) = run_session(handle.addr(), "before-restart", vec![0.5, 0.5]);
+    assert!(summary.iterations > 0);
+    handle.shutdown();
+    assert!(db.exists(), "shutdown persists the experience db");
+
+    // A fresh daemon on the same file sees the prior run and uses it.
+    let handle = TuningDaemon::start(daemon_config(Some(db.clone()))).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let runs = client.db_runs().unwrap();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].label, "before-restart");
+    assert!(runs[0].records > 0);
+    drop(client);
+
+    let (started, _) = run_session(handle.addr(), "after-restart", vec![0.5, 0.5]);
+    assert_eq!(started.trained_from.as_deref(), Some("before-restart"));
+    handle.shutdown();
+
+    assert_eq!(
+        harmony::history::ExperienceDb::load(&db).unwrap().len(),
+        2,
+        "the restarted daemon records new runs into the same file"
+    );
+    std::fs::remove_file(&db).ok();
+}

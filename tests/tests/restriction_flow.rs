@@ -28,10 +28,17 @@ fn perf(cfg: &Configuration) -> f64 {
 fn every_explored_configuration_is_feasible() {
     let space = restricted_space();
     let mut obj = FnObjective::new(perf);
-    let out = Tuner::new(space.clone(), TuningOptions::improved().with_max_iterations(80))
-        .run(&mut obj);
+    let out = Tuner::new(
+        space.clone(),
+        TuningOptions::improved().with_max_iterations(80),
+    )
+    .run(&mut obj);
     for t in &out.trace {
-        assert!(space.is_feasible(&t.config).unwrap(), "explored infeasible {}", t.config);
+        assert!(
+            space.is_feasible(&t.config).unwrap(),
+            "explored infeasible {}",
+            t.config
+        );
         assert!(t.config.get(0) + t.config.get(1) <= 9);
     }
 }
@@ -41,7 +48,11 @@ fn simplex_finds_the_constrained_optimum() {
     let space = restricted_space();
     let mut obj = FnObjective::new(perf);
     let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(80)).run(&mut obj);
-    assert_eq!(out.best_performance, 100.0, "optimum is (3, 4): got {}", out.best_configuration);
+    assert_eq!(
+        out.best_performance, 100.0,
+        "optimum is (3, 4): got {}",
+        out.best_configuration
+    );
 }
 
 #[test]
@@ -57,9 +68,17 @@ fn baselines_agree_on_the_optimum() {
         assert!(space.is_feasible(&t.config).unwrap());
     }
 
-    let powell =
-        powell_search(&space, &mut FnObjective::new(perf), PowellOptions::default()).unwrap();
-    assert!(powell.best_performance >= 90.0, "powell got {}", powell.best_performance);
+    let powell = powell_search(
+        &space,
+        &mut FnObjective::new(perf),
+        PowellOptions::default(),
+    )
+    .unwrap();
+    assert!(
+        powell.best_performance >= 90.0,
+        "powell got {}",
+        powell.best_performance
+    );
 }
 
 #[test]

@@ -15,7 +15,11 @@ fn planted_irrelevant_parameters_score_zero_without_noise() {
     let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(cfg));
     let report = Prioritizer::new(space).analyze(&mut obj);
     for &j in &SECTION5_IRRELEVANT {
-        assert_eq!(report.entries()[j].sensitivity, 0.0, "param {j} should be flat");
+        assert_eq!(
+            report.entries()[j].sensitivity,
+            0.0,
+            "param {j} should be flat"
+        );
     }
     // And every other parameter scores strictly positive.
     for (j, e) in report.entries().iter().enumerate() {
@@ -57,11 +61,16 @@ fn tuning_fewer_parameters_takes_fewer_iterations() {
         };
         let mut sys = section5_system(WORKLOAD, 0.0, 0);
         let space = sys.space().clone();
-        let focus = SubspaceFocus::new(space.clone(), ranking.top_n(n), space.default_configuration());
+        let focus = SubspaceFocus::new(
+            space.clone(),
+            ranking.top_n(n),
+            space.default_configuration(),
+        );
         let reduced = focus.reduced_space();
         let fc = focus.clone();
         let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
-        let out = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
+        let out =
+            Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
         out.report.convergence_time
     };
     let t1 = time_for(1);
@@ -89,11 +98,16 @@ fn tuning_top_parameters_sacrifices_little_performance() {
         let clean = section5_system(WORKLOAD, 0.0, 0);
         let mut sys = section5_system(WORKLOAD, 0.0, 0);
         let space = sys.space().clone();
-        let focus = SubspaceFocus::new(space.clone(), ranking.top_n(n), space.default_configuration());
+        let focus = SubspaceFocus::new(
+            space.clone(),
+            ranking.top_n(n),
+            space.default_configuration(),
+        );
         let reduced = focus.reduced_space();
         let fc = focus.clone();
         let mut obj = FnObjective::new(move |cfg: &Configuration| sys.evaluate(&fc.embed(cfg)));
-        let out = Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
+        let out =
+            Tuner::new(reduced, TuningOptions::improved().with_max_iterations(150)).run(&mut obj);
         clean.evaluate_clean(&focus.embed(&out.best_configuration))
     };
     let p5 = perf_for(5);

@@ -85,7 +85,10 @@ fn experience_database_roundtrips_through_disk() {
 
 #[test]
 fn focused_server_freezes_unfocused_parameters() {
-    let opts = ServerOptions { focus_top_n: Some(3), ..options() };
+    let opts = ServerOptions {
+        focus_top_n: Some(3),
+        ..options()
+    };
     let mut server = HarmonyServer::new(webservice_space(), opts);
     let mut probe = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 5);
     server.prioritize(&mut probe);

@@ -17,7 +17,8 @@ fn tuning_beats_the_default_configuration() {
     let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.0, 1);
     let space = obj.0.space().clone();
     let default_wips = obj.0.evaluate_clean(&space.default_configuration());
-    let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+    let out =
+        Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
     let tuned = obj.0.evaluate_clean(&out.best_configuration);
     assert!(
         tuned > default_wips,
@@ -85,13 +86,15 @@ fn history_training_smooths_and_speeds_tuning() {
     let history = {
         let mut obj = WebObjective::analytic(WorkloadMix::browsing(), 0.05, 9);
         let space = obj.0.space().clone();
-        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+        let out =
+            Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
         out.to_history("browsing", vec![0.5; 14])
     };
     let cold_bad = avg(|seed| {
         let mut obj = WebObjective::analytic(WorkloadMix::shopping(), 0.05, seed);
         let space = obj.0.space().clone();
-        let out = Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
+        let out =
+            Tuner::new(space, TuningOptions::improved().with_max_iterations(BUDGET)).run(&mut obj);
         out.report.bad_iterations as f64
     });
     let warm_bad = avg(|seed| {
@@ -151,7 +154,9 @@ fn des_and_analytic_rank_configurations_consistently() {
     for _ in 0..24 {
         let fracs: Vec<f64> = (0..space.len())
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64) / (u32::MAX as f64)
             })
             .collect();

@@ -1,0 +1,274 @@
+//! Vendored mini-criterion.
+//!
+//! Implements the subset of criterion 0.5 this workspace's benches use:
+//! `Criterion`, `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Like the real crate, the binary inspects its arguments: `cargo bench`
+//! passes `--bench` and gets full sampled measurement; under `cargo test`
+//! (which runs `harness = false` bench targets as smoke tests) each
+//! closure runs once so the suite stays fast. Reporting is plain text —
+//! median, min, and max per-iteration time — with no HTML or history.
+
+// Vendored stand-in: keep the code close to the real crate's shapes rather
+// than clippy-idiomatic.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    mode: Mode,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full measurement (`--bench` was passed, i.e. `cargo bench`).
+    Measure,
+    /// Run each closure once to prove it works (`cargo test`).
+    Smoke,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 60;
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            mode: self.mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.mode, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    mode: Mode,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&full, self.mode, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group. (No summary state to flush in this stub.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter, for groups benchmarking one function.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Accepts either a `BenchmarkId` or a plain `&str` name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Times the closure handed to it by a benchmark function.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Per-iteration times, one entry per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm up, and size batches so each sample spans >= ~1ms: timing a
+        // batch amortises Instant overhead for nanosecond-scale closures.
+        let warm_start = Instant::now();
+        std::hint::black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mode: Mode, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Smoke => println!("bench {name}: ok (smoke run)"),
+        Mode::Measure => {
+            let mut samples = bencher.samples;
+            if samples.is_empty() {
+                println!("bench {name}: no samples (Bencher::iter never called)");
+                return;
+            }
+            samples.sort();
+            let median = samples[samples.len() / 2];
+            println!(
+                "bench {name}: median {} (min {}, max {}, {} samples)",
+                fmt_duration(median),
+                fmt_duration(samples[0]),
+                fmt_duration(*samples.last().unwrap()),
+                samples.len(),
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running one or more `criterion_group!` groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_closure_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

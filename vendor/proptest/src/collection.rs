@@ -1,0 +1,121 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Allowed collection sizes: either exact or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+/// Vectors of values from an element strategy, with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.gen(rng)).collect()
+    }
+}
+
+/// Ordered sets with a size in `size`; generation retries duplicates a
+/// bounded number of times, so the result may be smaller than requested
+/// when the element domain is nearly exhausted.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn gen(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let want = self.size.pick(rng).max(self.size.lo);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < want && attempts < want * 50 + 100 {
+            set.insert(self.element.gen(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = TestRng::deterministic("collection-tests");
+        for _ in 0..100 {
+            assert_eq!(vec(0i64..5, 3).gen(&mut rng).len(), 3);
+            let n = vec(0i64..5, 1..4).gen(&mut rng).len();
+            assert!((1..4).contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_requested_sizes_when_domain_allows() {
+        let mut rng = TestRng::deterministic("collection-tests-2");
+        for _ in 0..100 {
+            let s = btree_set(0i64..100, 2..6).gen(&mut rng);
+            assert!((2..6).contains(&s.len()), "{}", s.len());
+        }
+    }
+}

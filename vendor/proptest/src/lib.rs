@@ -1,0 +1,151 @@
+//! Vendored mini-proptest.
+//!
+//! Supports the subset of proptest 1.x this workspace's property tests
+//! use: the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! range/tuple/`&str`-regex strategies, `prop_map`, `prop_oneof!`,
+//! `collection::{vec, btree_set}`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its assertion message but not a minimized input), and generation is
+//! deterministic per test name so CI runs are reproducible.
+
+// Vendored stand-in: keep the code close to the real crate's shapes rather
+// than clippy-idiomatic.
+#![allow(clippy::all)]
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run property-style test functions.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, then any
+/// number of `#[test] fn name(bindings…) { body }` items where each
+/// binding is `pattern in strategy_expr`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20) + 1000,
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, config.cases,
+                    );
+                    $(let $pat = $crate::Strategy::gen(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} (case {}): {}", stringify!($name), accepted, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "{:?} != {:?}: {}",
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Fail the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(*l != *r, "{:?} == {:?}", l, r),
+        }
+    };
+}
+
+/// Discard the current case (it is regenerated, not counted) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Choose uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}

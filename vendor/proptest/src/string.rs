@@ -1,0 +1,194 @@
+//! Regex-pattern string strategy (`&'static str` implements `Strategy`).
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literal characters, `[..]` character classes with ranges, `.` as any
+//! printable ASCII, and the quantifiers `?`, `*`, `+` (capped at 8),
+//! `{n}`, and `{m,n}` applied to the preceding atom.
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A single literal character.
+    Literal(char),
+    /// One choice from a set of characters.
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn gen(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let (atom, next) = parse_atom(&chars, i, pattern);
+        let (lo, hi, next) = parse_quantifier(&chars, next, pattern);
+        i = next;
+        let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+        for _ in 0..n {
+            out.push(atom.gen(rng));
+        }
+    }
+    out
+}
+
+fn parse_atom(chars: &[char], i: usize, pattern: &str) -> (Atom, usize) {
+    match chars[i] {
+        '[' => parse_class(chars, i + 1, pattern),
+        '.' => {
+            let any: Vec<char> = (' '..='~').collect();
+            (Atom::Class(any), i + 1)
+        }
+        '\\' => {
+            let c = *chars
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("regex {pattern:?}: trailing backslash"));
+            (escape_atom(c, pattern), i + 2)
+        }
+        c if "?*+{}()|".contains(c) => {
+            panic!("regex {pattern:?}: unsupported syntax at {c:?}")
+        }
+        c => (Atom::Literal(c), i + 1),
+    }
+}
+
+fn escape_atom(c: char, pattern: &str) -> Atom {
+    match c {
+        'd' => Atom::Class(('0'..='9').collect()),
+        'w' => {
+            let mut set: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+            set.push('_');
+            Atom::Class(set)
+        }
+        's' => Atom::Class(vec![' ', '\t']),
+        '.' | '\\' | '[' | ']' | '{' | '}' | '(' | ')' | '?' | '*' | '+' | '|' | '-' => {
+            Atom::Literal(c)
+        }
+        other => panic!("regex {pattern:?}: unsupported escape \\{other}"),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Atom, usize) {
+    assert!(
+        chars.get(i) != Some(&'^'),
+        "regex {pattern:?}: negated classes unsupported"
+    );
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = match chars[i] {
+            '\\' => {
+                i += 1;
+                match escape_atom(chars[i], pattern) {
+                    Atom::Literal(c) => c,
+                    Atom::Class(cs) => {
+                        set.extend(cs);
+                        i += 1;
+                        continue;
+                    }
+                }
+            }
+            c => c,
+        };
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&e| e != ']') {
+            let end = chars[i + 2];
+            assert!(c <= end, "regex {pattern:?}: inverted range {c}-{end}");
+            set.extend(c..=end);
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "regex {pattern:?}: unterminated class");
+    assert!(!set.is_empty(), "regex {pattern:?}: empty class");
+    (Atom::Class(set), i + 1)
+}
+
+/// Returns `(min, max, next_index)` for any quantifier at `i`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("regex {pattern:?}: unterminated quantifier"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((lo, "")) => {
+                    let lo = parse_count(lo, pattern);
+                    (lo, lo + UNBOUNDED_CAP)
+                }
+                Some((lo, hi)) => (parse_count(lo, pattern), parse_count(hi, pattern)),
+                None => {
+                    let n = parse_count(&body, pattern);
+                    (n, n)
+                }
+            };
+            assert!(
+                lo <= hi,
+                "regex {pattern:?}: quantifier {{{body}}} inverted"
+            );
+            (lo, hi, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn parse_count(s: &str, pattern: &str) -> u32 {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("regex {pattern:?}: bad quantifier count {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("[A-Za-z][A-Za-z0-9_]{0,6}", &mut r);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_classes_and_quantifiers() {
+        let mut r = rng();
+        assert_eq!(generate("abc", &mut r), "abc");
+        assert_eq!(generate("a{3}", &mut r), "aaa");
+        for _ in 0..100 {
+            let s = generate(r"x\d+", &mut r);
+            assert!(s.starts_with('x') && s.len() >= 2, "{s:?}");
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+            let t = generate("[abc]?", &mut r);
+            assert!(t.is_empty() || "abc".contains(&t), "{t:?}");
+        }
+    }
+}

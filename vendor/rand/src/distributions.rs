@@ -1,0 +1,268 @@
+//! Distributions: `Standard`, uniform range sampling, and `WeightedIndex`.
+
+use crate::{Rng, RngCore};
+use std::borrow::Borrow;
+use std::fmt;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: uniform `[0, 1)` for floats, uniform bits
+/// for integers, fair coin for `bool`.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        uniform::unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use super::RngCore;
+
+    /// Uniform `f64` in `[0, 1)` built from 53 random bits.
+    pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `u64` in `[0, n)` by widening multiply (Lemire), with a
+    /// rejection step to remove modulo bias.
+    pub fn below<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let m = (rng.next_u64() as u128) * (n as u128);
+            if (m as u64) < threshold {
+                continue; // reject the biased tail
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    /// A range that can produce uniform samples of `T` — the bound behind
+    /// `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + below(rng, span) as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + below(rng, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_ranges!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl SampleRange<f64> for std::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            let v = self.start + unit_f64(rng) * (self.end - self.start);
+            // Floating rounding can land exactly on `end`; nudge inside.
+            if v >= self.end {
+                self.end - (self.end - self.start) * f64::EPSILON
+            } else {
+                v
+            }
+        }
+    }
+
+    impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            lo + unit_f64(rng) * (hi - lo)
+        }
+    }
+
+    impl SampleRange<f32> for std::ops::Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            let v = self.start + unit_f64(rng) as f32 * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were supplied.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights are zero.
+    AllWeightsZero,
+}
+
+impl fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Sample indices `0..n` proportionally to a weight per index.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Build from any iterable of (borrowable) `f64` weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let target = uniform::unit_f64(rng) * total;
+        // First index whose cumulative weight exceeds the target;
+        // zero-weight entries (flat spots) are never selected.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite weights"))
+        {
+            Ok(mut i) => {
+                // Landed exactly on a boundary: move past it (and past any
+                // zero-weight run) to the next selectable index.
+                while i + 1 < self.cumulative.len() && self.cumulative[i + 1] == self.cumulative[i]
+                {
+                    i += 1;
+                }
+                (i + 1).min(self.cumulative.len() - 1)
+            }
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Mix(u64);
+
+    impl RngCore for Mix {
+        fn next_u32(&mut self) -> u32 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut rng = Mix(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight must never be drawn");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.2..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f64>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([-1.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+    }
+
+    #[test]
+    fn weighted_index_borrows_and_owns() {
+        let owned = [0.5f64, 0.5];
+        let vec = vec![0.5f64, 0.5];
+        assert!(WeightedIndex::new(owned).is_ok());
+        assert!(WeightedIndex::new(&vec).is_ok());
+    }
+}

@@ -1,0 +1,145 @@
+//! Vendored mini-rand.
+//!
+//! Implements the subset of the `rand` 0.8 API this workspace uses —
+//! [`RngCore`], the [`Rng`] extension trait (`gen_range`, `gen_bool`,
+//! `gen`), [`SeedableRng`], and `distributions::{Distribution,
+//! WeightedIndex, Standard}` — on top of any `RngCore`. The concrete
+//! generator (`ChaCha8Rng`) lives in the sibling `rand_chacha` vendored
+//! crate. Sequences differ from real rand 0.8, but every consumer in this
+//! workspace only relies on statistical uniformity and determinism for a
+//! fixed seed, not on exact streams.
+
+// Vendored stand-in: keep the code close to the real crate's shapes rather
+// than clippy-idiomatic.
+#![allow(clippy::all)]
+
+pub mod distributions;
+
+pub use distributions::Distribution;
+
+/// The core of a random number generator: a source of uniform bits.
+pub trait RngCore {
+    /// The next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be deterministically seeded.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` by expanding it with a PCG32 stream, the
+    /// same scheme (and constants) `rand_core` 0.6 uses, so seeds expand
+    /// to the same bytes as with the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            for (b, byte) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = byte;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`start..end` or `start..=end`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::uniform::unit_f64(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// A sample from the [`distributions::Standard`] distribution
+    /// (uniform `[0, 1)` for floats, uniform bits for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            // Weyl sequence: full-period, uniform enough for API tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            (z >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let y: i64 = rng.gen_range(-3i64..10);
+            assert!((-3..10).contains(&y));
+            let z: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&z));
+            let u: usize = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_support() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Counter(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,450 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — those are
+//! unavailable offline) and emits `impl serde::Serialize` /
+//! `impl serde::Deserialize` blocks as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (`#[serde(skip)]` honoured: skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! * tuple structs (arity 1 serializes transparently, like serde
+//!   newtypes; higher arities serialize as arrays);
+//! * enums with unit, newtype, tuple, and struct variants, in serde's
+//!   externally-tagged representation.
+//!
+//! Generic types and `where` clauses are rejected with a compile error.
+
+// Vendored stand-in: keep the code close to the real crate's shapes rather
+// than clippy-idiomatic.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; the payload is the arity.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: enum body not found"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(group),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advance past leading outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Does an attribute token group spell `serde(skip)`?
+fn is_serde_skip(group: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (collect the skip flag).
+        let mut skip = false;
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let TokenTree::Group(g) = &tokens[i + 1] {
+                skip |= is_serde_skip(&g.stream());
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+        // Separator comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle brackets
+/// tracked manually — they are plain puncts, unlike `()`/`[]` groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if depth == 0 => return,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fields) => {
+            let mut out = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                out.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(m)");
+            out
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({fields})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", other)),\n\
+                 }}",
+                fields = items.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::Deserialize::from_value(v.field(\"{0}\")?)?",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+                let mut inner = String::from("let mut fields = ::serde::Map::new();\n");
+                for f in fs {
+                    inner.push_str(&format!(
+                        "fields.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}));\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                         {inner}\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(fields));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} =>\n\
+                             ::std::result::Result::Ok({name}::{vname}({fields})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", other)),\n\
+                     }},\n",
+                    fields = items.join(", ")
+                ));
+            }
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{0}: ::serde::Deserialize::from_value(inner.field(\"{0}\")?)?",
+                            f.name
+                        )
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(\n\
+                     ::std::format!(\"unknown unit variant {{other:?}} for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError(\n\
+                         ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+         }}"
+    )
+}

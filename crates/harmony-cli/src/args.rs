@@ -61,6 +61,13 @@ pub enum Command {
         iterations: Option<usize>,
         /// Concurrent-connection cap.
         max_connections: Option<usize>,
+        /// Append structured JSONL events to this file.
+        log_json: Option<String>,
+    },
+    /// Fetch live metrics from a running daemon.
+    Stats {
+        /// Daemon address (`host:port`).
+        addr: String,
     },
     /// Inspect an experience database.
     Db {
@@ -99,7 +106,8 @@ USAGE:
               [--characteristics a,b,c] [--remote <host:port>]
               -- <measure-cmd> [args…]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
-              [--iterations N] [--max-connections N]
+              [--iterations N] [--max-connections N] [--log-json <events.jsonl>]
+  harmony-cli stats <host:port>
   harmony-cli db <experience.json>
 
 The measure command is executed once per exploration with one environment
@@ -110,7 +118,10 @@ With --remote, the configurations come from a tuning daemon (see 'serve')
 instead of the in-process kernel: the daemon classifies the session against
 its shared experience database and records the finished run back into it.
 --db and --original are daemon-side decisions and cannot be combined with
---remote. 'serve' listens until stdin reaches end-of-file.";
+--remote. 'serve' listens until stdin reaches end-of-file; --log-json appends
+one structured JSON event per line (session starts, records, persistence
+failures) to the given file. 'stats' prints the daemon's live metrics in
+Prometheus text exposition format.";
 
 /// Parse a full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
@@ -248,6 +259,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut listen = "127.0.0.1:1977".to_string();
             let mut iterations = None;
             let mut max_connections = None;
+            let mut log_json = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--db" => db = Some(next_str(&mut it, "--db")?),
@@ -256,6 +268,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "--max-connections" => {
                         max_connections = Some(parse_value(&mut it, "--max-connections")?)
                     }
+                    "--log-json" => log_json = Some(next_str(&mut it, "--log-json")?),
                     other => return Err(err(format!("serve: unexpected argument {other:?}"))),
                 }
             }
@@ -266,7 +279,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     listen,
                     iterations,
                     max_connections,
+                    log_json,
                 },
+            })
+        }
+        "stats" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| err("stats: missing daemon address"))?
+                .clone();
+            expect_end(&mut it, "stats")?;
+            Ok(Cli {
+                command: Command::Stats { addr },
             })
         }
         other => Err(err(format!(
@@ -471,6 +495,7 @@ mod tests {
                 listen: "127.0.0.1:1977".into(),
                 iterations: None,
                 max_connections: None,
+                log_json: None,
             }
         );
 
@@ -485,6 +510,8 @@ mod tests {
             "80",
             "--max-connections",
             "4",
+            "--log-json",
+            "events.jsonl",
         ]))
         .unwrap();
         assert_eq!(
@@ -495,11 +522,27 @@ mod tests {
                 listen: "0.0.0.0:7007".into(),
                 iterations: Some(80),
                 max_connections: Some(4),
+                log_json: Some("events.jsonl".into()),
             }
         );
 
         assert!(parse_args(&v(&["serve"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--port", "1"])).is_err());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--log-json"])).is_err());
+    }
+
+    #[test]
+    fn stats_takes_one_address() {
+        assert_eq!(
+            parse_args(&v(&["stats", "127.0.0.1:1977"]))
+                .unwrap()
+                .command,
+            Command::Stats {
+                addr: "127.0.0.1:1977".into()
+            }
+        );
+        assert!(parse_args(&v(&["stats"])).is_err());
+        assert!(parse_args(&v(&["stats", "a:1", "b:2"])).is_err());
     }
 
     #[test]

@@ -145,12 +145,19 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 )?;
             }
         }
+        Command::Stats { addr } => {
+            let mut client = Client::connect(&addr)
+                .map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
+            let text = client.stats().map_err(|e| fail(e.to_string()))?;
+            out.push_str(&text);
+        }
         Command::Serve {
             rsl,
             db,
             listen,
             iterations,
             max_connections,
+            log_json,
         } => {
             return serve(
                 &rsl,
@@ -158,6 +165,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 &listen,
                 iterations,
                 max_connections,
+                log_json.as_deref(),
                 |handle| {
                     eprintln!(
                         "harmony-cli: tuning daemon listening on {} (stdin end-of-file stops it)",
@@ -318,14 +326,24 @@ fn measure_exploration(
 
 /// Start the tuning daemon, hand the handle to `wait`, and shut down when
 /// it returns. `main` waits for stdin end-of-file; tests drive sessions.
+///
+/// With `log_json`, structured events (session starts, recorded runs,
+/// persistence failures, …) are appended to the given file, one JSON
+/// object per line.
+#[allow(clippy::too_many_arguments)]
 pub fn serve(
     rsl: &str,
     db: Option<&str>,
     listen: &str,
     iterations: Option<usize>,
     max_connections: Option<usize>,
+    log_json: Option<&str>,
     wait: impl FnOnce(&DaemonHandle),
 ) -> Result<String, RunError> {
+    if let Some(path) = log_json {
+        harmony_obs::event::log_to_file(path)
+            .map_err(|e| fail(format!("cannot open event log {path}: {e}")))?;
+    }
     let space = load_space(rsl)?;
     let mut config = DaemonConfig {
         listen: listen.to_string(),
@@ -550,6 +568,7 @@ mod tests {
             "127.0.0.1:0",
             Some(50),
             None,
+            None,
             |handle| {
                 let addr = handle.addr().to_string();
                 let tune = |label: &str, chars: &str| {
@@ -595,6 +614,77 @@ mod tests {
     }
 
     #[test]
+    fn stats_reports_live_daemon_metrics() {
+        let rsl = write_rsl("stats.rsl");
+        serve(
+            rsl.to_str().unwrap(),
+            None,
+            "127.0.0.1:0",
+            Some(20),
+            None,
+            None,
+            |handle| {
+                let cli = parse_args(&sv(&["stats", &handle.addr().to_string()])).unwrap();
+                let out = run(cli.command).unwrap();
+                assert!(out.contains("harmony_net_connections_total"), "{out}");
+                assert!(
+                    out.contains("# TYPE harmony_net_request_seconds histogram"),
+                    "{out}"
+                );
+                assert!(out.contains("harmony_net_sessions_started_total"), "{out}");
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_log_json_appends_structured_events() {
+        let rsl = write_rsl("logjson.rsl");
+        let log = std::env::temp_dir()
+            .join("harmony-cli-tests")
+            .join("events.jsonl");
+        fs::remove_file(&log).ok();
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3)))";
+        serve(
+            rsl.to_str().unwrap(),
+            None,
+            "127.0.0.1:0",
+            Some(20),
+            None,
+            Some(log.to_str().unwrap()),
+            |handle| {
+                let cli = parse_args(&sv(&[
+                    "tune",
+                    rsl.to_str().unwrap(),
+                    "--remote",
+                    &handle.addr().to_string(),
+                    "--label",
+                    "logged",
+                    "--",
+                    "sh",
+                    "-c",
+                    cmd,
+                ]))
+                .unwrap();
+                run(cli.command).unwrap();
+            },
+        )
+        .unwrap();
+        let text = fs::read_to_string(&log).unwrap();
+        assert!(text.contains("\"event\":\"net.daemon_start\""), "{text}");
+        assert!(text.contains("\"event\":\"net.session_start\""), "{text}");
+        assert!(text.contains("\"event\":\"net.session_record\""), "{text}");
+        // Every line is a standalone JSON object.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not JSONL: {line}"
+            );
+        }
+        fs::remove_file(&log).ok();
+    }
+
+    #[test]
     fn remote_tune_surfaces_measurement_failures() {
         let rsl = write_rsl("serve-fail.rsl");
         serve(
@@ -602,6 +692,7 @@ mod tests {
             None,
             "127.0.0.1:0",
             Some(20),
+            None,
             None,
             |handle| {
                 let cli = parse_args(&sv(&[

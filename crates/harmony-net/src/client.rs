@@ -147,6 +147,15 @@ impl Client {
         }
     }
 
+    /// The daemon's live metrics in Prometheus text exposition format.
+    /// Needs no session.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { text } => Ok(text),
+            other => Err(unexpected("Stats", other)),
+        }
+    }
+
     /// Drive a whole session with a measurement closure: fetch, measure,
     /// report, until done; then end the session.
     ///

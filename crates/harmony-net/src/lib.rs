@@ -9,7 +9,8 @@
 //!
 //! * [`protocol`] — the message types. A session speaks
 //!   `Hello` → `SessionStart` → (`Fetch` → `Report`)* → `SessionEnd`,
-//!   with `Sensitivity` and `DbQuery` available as admin queries.
+//!   with `Sensitivity`, `DbQuery`, and `Stats` (live metrics in
+//!   Prometheus text format) available as admin queries.
 //! * [`codec`] — the wire format: each message is one `u32` big-endian
 //!   length prefix followed by that many bytes of JSON.
 //! * [`server`] — [`server::TuningDaemon`], a thread-per-connection
@@ -45,6 +46,7 @@
 pub mod client;
 pub mod codec;
 mod error;
+mod obs;
 pub mod protocol;
 pub mod server;
 

@@ -1,0 +1,206 @@
+//! Daemon-side metric handles, registered in the process-global
+//! [`harmony_obs`] registry.
+//!
+//! [`preregister`] touches every handle at daemon startup so a `Stats`
+//! request on a freshly started daemon already exposes the full metric
+//! set (lazily registered series would otherwise be invisible until
+//! first use).
+//!
+//! Metric names exported here:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `harmony_net_connections_total` | counter | connections accepted |
+//! | `harmony_net_connections_active` | gauge | connections currently being served |
+//! | `harmony_net_connections_refused_total` | counter | connections turned away at the cap |
+//! | `harmony_net_requests_total{type=…}` | counter | requests served, by message type |
+//! | `harmony_net_request_seconds{type=…}` | histogram | request handling latency, by message type |
+//! | `harmony_net_errors_total` | counter | in-protocol `Error` responses sent |
+//! | `harmony_net_sessions_started_total` | counter | sessions opened via `SessionStart` |
+//! | `harmony_net_sessions_completed_total` | counter | sessions closed via `SessionEnd` |
+//! | `harmony_net_sessions_abandoned_total` | counter | sessions whose connection dropped mid-tune |
+//! | `harmony_net_warm_start_total{result=…}` | counter | `SessionStart` classification hits/misses |
+//! | `harmony_net_db_runs` | gauge | runs currently in the shared experience db |
+//! | `harmony_net_db_persist_failures_total` | counter | failed experience-db persistence attempts |
+
+use harmony_obs::metrics::{global, Counter, Gauge, Histogram, LATENCY_SECONDS};
+use std::sync::{Arc, OnceLock};
+
+macro_rules! handle {
+    ($fn_name:ident, $kind:ty, $init:expr) => {
+        pub(crate) fn $fn_name() -> &'static Arc<$kind> {
+            static H: OnceLock<Arc<$kind>> = OnceLock::new();
+            H.get_or_init(|| $init)
+        }
+    };
+}
+
+handle!(
+    connections_total,
+    Counter,
+    global().counter(
+        "harmony_net_connections_total",
+        "Connections accepted by the daemon.",
+    )
+);
+
+handle!(
+    connections_active,
+    Gauge,
+    global().gauge(
+        "harmony_net_connections_active",
+        "Connections currently being served.",
+    )
+);
+
+handle!(
+    connections_refused_total,
+    Counter,
+    global().counter(
+        "harmony_net_connections_refused_total",
+        "Connections refused at the concurrent-connection cap.",
+    )
+);
+
+handle!(
+    errors_total,
+    Counter,
+    global().counter(
+        "harmony_net_errors_total",
+        "In-protocol Error responses sent to clients.",
+    )
+);
+
+handle!(
+    sessions_started_total,
+    Counter,
+    global().counter(
+        "harmony_net_sessions_started_total",
+        "Tuning sessions opened via SessionStart.",
+    )
+);
+
+handle!(
+    sessions_completed_total,
+    Counter,
+    global().counter(
+        "harmony_net_sessions_completed_total",
+        "Tuning sessions closed cleanly via SessionEnd.",
+    )
+);
+
+handle!(
+    sessions_abandoned_total,
+    Counter,
+    global().counter(
+        "harmony_net_sessions_abandoned_total",
+        "Sessions whose connection dropped before SessionEnd (measured work is still recorded).",
+    )
+);
+
+handle!(
+    warm_start_hits_total,
+    Counter,
+    global().counter_with(
+        "harmony_net_warm_start_total",
+        "SessionStart classifications against the experience db, by outcome.",
+        &[("result", "hit")],
+    )
+);
+
+handle!(
+    warm_start_misses_total,
+    Counter,
+    global().counter_with(
+        "harmony_net_warm_start_total",
+        "SessionStart classifications against the experience db, by outcome.",
+        &[("result", "miss")],
+    )
+);
+
+handle!(
+    db_runs,
+    Gauge,
+    global().gauge(
+        "harmony_net_db_runs",
+        "Runs currently held in the shared experience database.",
+    )
+);
+
+handle!(
+    db_persist_failures_total,
+    Counter,
+    global().counter(
+        "harmony_net_db_persist_failures_total",
+        "Failed attempts to persist the experience database.",
+    )
+);
+
+/// Per-request-type counter and latency histogram.
+pub(crate) struct RequestMetrics {
+    pub total: Arc<Counter>,
+    pub seconds: Arc<Histogram>,
+}
+
+/// Every message type the protocol knows, in one place so the metric
+/// series exist before the first request of each kind arrives.
+pub(crate) const REQUEST_KINDS: &[&str] = &[
+    "Hello",
+    "SessionStart",
+    "Fetch",
+    "Report",
+    "SessionEnd",
+    "Sensitivity",
+    "DbQuery",
+    "Stats",
+];
+
+pub(crate) fn request_metrics(kind: &'static str) -> &'static RequestMetrics {
+    static H: OnceLock<Vec<(&'static str, RequestMetrics)>> = OnceLock::new();
+    let all = H.get_or_init(|| {
+        REQUEST_KINDS
+            .iter()
+            .map(|&k| {
+                (
+                    k,
+                    RequestMetrics {
+                        total: global().counter_with(
+                            "harmony_net_requests_total",
+                            "Requests served, by message type.",
+                            &[("type", k)],
+                        ),
+                        seconds: global().histogram_with(
+                            "harmony_net_request_seconds",
+                            "Request handling latency (read to response written), by message type.",
+                            LATENCY_SECONDS,
+                            &[("type", k)],
+                        ),
+                    },
+                )
+            })
+            .collect()
+    });
+    all.iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, m)| m)
+        .expect("unknown request kind")
+}
+
+/// Touch every handle so the full metric set is registered (and thus
+/// visible in a `Stats` exposition) from daemon startup.
+pub(crate) fn preregister() {
+    connections_total();
+    connections_active();
+    connections_refused_total();
+    errors_total();
+    sessions_started_total();
+    sessions_completed_total();
+    sessions_abandoned_total();
+    warm_start_hits_total();
+    warm_start_misses_total();
+    db_runs();
+    db_persist_failures_total();
+    for kind in REQUEST_KINDS {
+        request_metrics(kind);
+    }
+}

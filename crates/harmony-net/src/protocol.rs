@@ -75,6 +75,26 @@ pub enum Request {
     Sensitivity,
     /// List the experience database's recorded runs.
     DbQuery,
+    /// Ask for the daemon's metrics in Prometheus text exposition
+    /// format. Needs no session; usable as a pure admin probe.
+    Stats,
+}
+
+impl Request {
+    /// The message type's name — the value of the `type` label on the
+    /// daemon's per-request metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "Hello",
+            Request::SessionStart { .. } => "SessionStart",
+            Request::Fetch => "Fetch",
+            Request::Report { .. } => "Report",
+            Request::SessionEnd => "SessionEnd",
+            Request::Sensitivity => "Sensitivity",
+            Request::DbQuery => "DbQuery",
+            Request::Stats => "Stats",
+        }
+    }
 }
 
 /// Server → client messages.
@@ -130,6 +150,12 @@ pub enum Response {
     Runs {
         /// One summary per recorded run.
         runs: Vec<RunSummary>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The daemon's metric registry in Prometheus text exposition
+        /// format.
+        text: String,
     },
     /// The request could not be served; the connection stays usable.
     Error {
@@ -188,6 +214,27 @@ mod tests {
             serde_json::to_string(&Request::DbQuery).unwrap(),
             "\"DbQuery\""
         );
+    }
+
+    #[test]
+    fn stats_round_trips_and_kind_is_stable() {
+        assert_eq!(serde_json::to_string(&Request::Stats).unwrap(), "\"Stats\"");
+        assert_eq!(Request::Stats.kind(), "Stats");
+        assert_eq!(Request::Fetch.kind(), "Fetch");
+        assert_eq!(
+            Request::Hello {
+                version: 1,
+                client: "c".into()
+            }
+            .kind(),
+            "Hello"
+        );
+        let msg = Response::Stats {
+            text: "# TYPE x counter\nx 1\n".into(),
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::NetError;
 use harmony::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
 use harmony::sensitivity::SensitivityReport;
 use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
+use harmony_obs::event::{event, Level};
 use harmony_space::{parse_rsl, ParameterSpace};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -88,7 +89,11 @@ impl Shared {
         if let Some(path) = &self.config.db_path {
             let db = self.db.read().expect("db lock poisoned");
             if let Err(e) = db.save(path) {
-                eprintln!("harmony-net: failed to persist experience db: {e}");
+                crate::obs::db_persist_failures_total().inc();
+                event(Level::Error, "net.db_persist_failed")
+                    .str("path", path.display().to_string())
+                    .str("error", e.to_string())
+                    .emit();
             }
         }
     }
@@ -107,6 +112,12 @@ impl TuningDaemon {
         };
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
+        crate::obs::preregister();
+        crate::obs::db_runs().set(db.len() as i64);
+        event(Level::Info, "net.daemon_start")
+            .str("addr", addr.to_string())
+            .u64("db_runs", db.len() as u64)
+            .emit();
         let shared = Arc::new(Shared {
             config,
             db: RwLock::new(db),
@@ -164,6 +175,13 @@ impl DaemonHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = acceptor.join();
         self.shared.persist();
+        event(Level::Info, "net.daemon_shutdown")
+            .str("addr", self.addr.to_string())
+            .u64(
+                "completed_sessions",
+                self.shared.completed.load(Ordering::SeqCst) as u64,
+            )
+            .emit();
     }
 }
 
@@ -181,6 +199,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         let Ok(mut stream) = stream else { continue };
         if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+            crate::obs::connections_refused_total().inc();
+            event(Level::Warn, "net.connection_refused")
+                .u64("max_connections", shared.config.max_connections as u64)
+                .emit();
             let _ = write_frame(
                 &mut stream,
                 &Response::Error {
@@ -196,10 +218,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             continue;
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
+        crate::obs::connections_total().inc();
+        crate::obs::connections_active().inc();
         let shared_conn = Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
             let _ = serve_connection(&mut stream, &shared_conn);
             shared_conn.active.fetch_sub(1, Ordering::SeqCst);
+            crate::obs::connections_active().dec();
         });
         workers.lock().expect("worker list poisoned").push(handle);
     }
@@ -236,12 +261,24 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
                 return Err(e);
             }
         };
+        let metrics = crate::obs::request_metrics(request.kind());
+        let timer = metrics.seconds.start_timer();
         let response = handle_request(request, &mut active, shared);
+        if matches!(response, Response::Error { .. }) {
+            crate::obs::errors_total().inc();
+        }
         write_frame(stream, &response)?;
+        drop(timer);
+        metrics.total.inc();
     }
     // A dropped connection abandons its session: whatever was measured is
     // still experience worth keeping.
     if let Some(sess) = active.take() {
+        crate::obs::sessions_abandoned_total().inc();
+        event(Level::Warn, "net.session_abandoned")
+            .str("label", &sess.label)
+            .u64("iterations", sess.session.iterations() as u64)
+            .emit();
         if sess.session.iterations() > 0 {
             record_session(sess, shared);
         }
@@ -299,11 +336,22 @@ fn handle_request(
                     .select(&db, &characteristics)
                     .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()))
             };
+            if prior.is_some() {
+                crate::obs::warm_start_hits_total().inc();
+            } else {
+                crate::obs::warm_start_misses_total().inc();
+            }
             let tuner = Tuner::new(space, options);
             let session = match &prior {
                 Some(history) => tuner.session_trained(history, shared.config.training),
                 None => tuner.session(),
             };
+            crate::obs::sessions_started_total().inc();
+            event(Level::Info, "net.session_start")
+                .str("label", &label)
+                .bool("warm_start", prior.is_some())
+                .u64("training_iterations", session.training_iterations() as u64)
+                .emit();
             let response = Response::SessionStarted {
                 space: session.space().clone(),
                 trained_from: prior.as_ref().map(|r| r.label.clone()),
@@ -338,7 +386,10 @@ fn handle_request(
         },
         Request::SessionEnd => match active.take() {
             None => no_session(),
-            Some(sess) => record_session(sess, shared),
+            Some(sess) => {
+                crate::obs::sessions_completed_total().inc();
+                record_session(sess, shared)
+            }
         },
         Request::Sensitivity => match active {
             None => no_session(),
@@ -391,6 +442,9 @@ fn handle_request(
                     .collect(),
             }
         }
+        Request::Stats => Response::Stats {
+            text: harmony_obs::metrics::global().encode(),
+        },
     }
 }
 
@@ -423,9 +477,17 @@ fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
         iterations: outcome.trace.len(),
         converged: outcome.converged,
     };
+    event(Level::Info, "net.session_record")
+        .str("label", &sess.label)
+        .u64("iterations", outcome.trace.len() as u64)
+        .f64("best", outcome.best_performance)
+        .bool("converged", outcome.converged)
+        .emit();
     if !outcome.trace.is_empty() {
         let run = outcome.to_history(sess.label, sess.characteristics);
-        shared.db.write().expect("db lock poisoned").add_run(run);
+        let mut db = shared.db.write().expect("db lock poisoned");
+        db.add_run(run);
+        crate::obs::db_runs().set(db.len() as i64);
     }
     let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
     if shared.config.save_every > 0 && completed % shared.config.save_every == 0 {
@@ -599,6 +661,38 @@ mod tests {
         assert!(entries.iter().any(|e| e.sensitivity > 0.0));
         let runs = client.db_runs().unwrap();
         assert!(runs.is_empty(), "session not ended yet: db still empty");
+    }
+
+    #[test]
+    fn stats_exposition_names_the_daemon_metrics() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let text = client.stats().unwrap();
+        // Pre-registration makes the full set visible before any
+        // sessions run, including every per-type latency series.
+        for name in [
+            "harmony_net_connections_total",
+            "harmony_net_connections_active",
+            "harmony_net_connections_refused_total",
+            "harmony_net_requests_total",
+            "harmony_net_request_seconds",
+            "harmony_net_errors_total",
+            "harmony_net_sessions_started_total",
+            "harmony_net_sessions_completed_total",
+            "harmony_net_sessions_abandoned_total",
+            "harmony_net_warm_start_total",
+            "harmony_net_db_runs",
+            "harmony_net_db_persist_failures_total",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        for kind in crate::obs::REQUEST_KINDS {
+            assert!(
+                text.contains(&format!("type=\"{kind}\"")),
+                "missing per-type series for {kind}"
+            );
+        }
+        handle.shutdown();
     }
 
     #[test]

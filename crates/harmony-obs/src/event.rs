@@ -1,0 +1,485 @@
+//! Structured events: one JSON object per line to a configurable sink.
+//!
+//! An event is a level, a name, and key-value fields, stamped with a
+//! monotonic timestamp (microseconds since the process first touched
+//! the observability layer) and the wall clock (milliseconds since the
+//! Unix epoch). Per-thread context fields — a session label, a peer
+//! address — attach themselves to every event the thread emits while a
+//! [`ContextGuard`] is alive.
+//!
+//! When no sink is installed, emitting costs one atomic load: builders
+//! are inert and allocate nothing. Install a sink with [`log_to_file`]
+//! (the daemon's `--log-json`), [`set_sink`], or [`Capture::install`]
+//! in tests.
+//!
+//! ```
+//! use harmony_obs::event::{event, push_context, Capture, Level};
+//!
+//! let capture = Capture::install();
+//! let _session = push_context("session", "w1");
+//! event(Level::Info, "tune.start").u64("budget", 50).emit();
+//! let lines = capture.lines();
+//! assert!(lines[0].contains(r#""event":"tune.start""#));
+//! assert!(lines[0].contains(r#""session":"w1""#));
+//! # harmony_obs::event::clear_sink();
+//! ```
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// High-volume diagnostics (per-iteration progress).
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Something unexpected the process recovered from.
+    Warn,
+    /// A failure worth paging over.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Debug,
+            1 => Level::Info,
+            2 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(0); // Debug
+
+type Sink = Mutex<Option<Box<dyn Write + Send>>>;
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Route events to an arbitrary writer (one JSON object per line).
+pub fn set_sink(w: Box<dyn Write + Send>) {
+    *sink().lock().expect("event sink poisoned") = Some(w);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Append events to a JSONL file, creating it if needed.
+pub fn log_to_file(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    set_sink(Box::new(file));
+    Ok(())
+}
+
+/// Remove the sink; subsequent events are dropped at near-zero cost.
+pub fn clear_sink() {
+    ENABLED.store(false, Ordering::Release);
+    *sink().lock().expect("event sink poisoned") = None;
+}
+
+/// Drop events below `level` (default: keep everything).
+pub fn set_min_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Microseconds on the monotonic clock since this process first used
+/// the observability layer.
+pub fn monotonic_us() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+fn wall_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Vec<(String, String)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Attach a key-value pair to every event this thread emits until the
+/// returned guard drops. Guards nest LIFO.
+#[must_use = "the context lasts only while the guard is alive"]
+pub fn push_context(key: &str, value: impl Into<String>) -> ContextGuard {
+    CONTEXT.with(|c| c.borrow_mut().push((key.to_string(), value.into())));
+    ContextGuard { _private: () }
+}
+
+/// Guard from [`push_context`]; pops the field when dropped.
+#[derive(Debug)]
+pub struct ContextGuard {
+    _private: (),
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CONTEXT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Start building an event. Call field methods, then
+/// [`emit`](EventBuilder::emit).
+pub fn event(level: Level, name: &str) -> EventBuilder {
+    let active = ENABLED.load(Ordering::Acquire)
+        && level >= Level::from_u8(MIN_LEVEL.load(Ordering::Relaxed));
+    if !active {
+        return EventBuilder { buf: None };
+    }
+    let mut buf = String::with_capacity(128);
+    buf.push_str("{\"ts_us\":");
+    buf.push_str(&monotonic_us().to_string());
+    buf.push_str(",\"wall_ms\":");
+    buf.push_str(&wall_ms().to_string());
+    buf.push_str(",\"level\":\"");
+    buf.push_str(level.as_str());
+    buf.push_str("\",\"event\":\"");
+    escape_json(&mut buf, name);
+    buf.push('"');
+    CONTEXT.with(|c| {
+        for (k, v) in c.borrow().iter() {
+            push_key(&mut buf, k);
+            buf.push('"');
+            escape_json(&mut buf, v);
+            buf.push('"');
+        }
+    });
+    EventBuilder { buf: Some(buf) }
+}
+
+/// An event under construction. Inert (every method is a no-op) when no
+/// sink is installed or the level is filtered out.
+#[derive(Debug)]
+#[must_use = "events do nothing until .emit()"]
+pub struct EventBuilder {
+    buf: Option<String>,
+}
+
+impl EventBuilder {
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: impl AsRef<str>) -> Self {
+        if let Some(buf) = &mut self.buf {
+            push_key(buf, key);
+            buf.push('"');
+            escape_json(buf, value.as_ref());
+            buf.push('"');
+        }
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        if let Some(buf) = &mut self.buf {
+            push_key(buf, key);
+            buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if let Some(buf) = &mut self.buf {
+            push_key(buf, key);
+            buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// Add a float field (non-finite values are emitted as strings,
+    /// since JSON has no literal for them).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if let Some(buf) = &mut self.buf {
+            push_key(buf, key);
+            if value.is_finite() {
+                buf.push_str(&format!("{value}"));
+            } else {
+                buf.push('"');
+                buf.push_str(&format!("{value}"));
+                buf.push('"');
+            }
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        if let Some(buf) = &mut self.buf {
+            push_key(buf, key);
+            buf.push_str(if value { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Write the event to the sink as one JSONL line.
+    pub fn emit(self) {
+        let Some(mut buf) = self.buf else { return };
+        buf.push_str("}\n");
+        if let Some(w) = sink().lock().expect("event sink poisoned").as_mut() {
+            // A dead sink (full disk, closed pipe) must never take the
+            // instrumented process down with it.
+            let _ = w.write_all(buf.as_bytes());
+            let _ = w.flush();
+        }
+    }
+}
+
+fn push_key(buf: &mut String, key: &str) {
+    buf.push_str(",\"");
+    escape_json(buf, key);
+    buf.push_str("\":");
+}
+
+fn escape_json(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// Start a span: a named scope whose duration is reported as a
+/// `span.end` event when the returned guard drops. Attach extra fields
+/// with [`Span::str`].
+pub fn span(level: Level, name: impl Into<String>) -> Span {
+    Span {
+        level,
+        name: name.into(),
+        start: Instant::now(),
+        fields: Vec::new(),
+    }
+}
+
+/// Guard from [`span`]; emits its closing event on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope of its guard"]
+pub struct Span {
+    level: Level,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Attach a string field to the closing event.
+    pub fn str(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let mut e = event(self.level, "span.end").str("span", &self.name);
+        for (k, v) in &self.fields {
+            e = e.str(k, v);
+        }
+        e.u64("duration_us", self.start.elapsed().as_micros() as u64)
+            .emit();
+    }
+}
+
+/// A test sink buffering emitted lines in memory.
+///
+/// The sink is process-global, so tests sharing a binary must not
+/// assume exclusive ownership: filter captured lines by event name.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Capture {
+    /// Install a fresh capture as the global sink and return a handle
+    /// to its buffer.
+    pub fn install() -> Capture {
+        let capture = Capture::default();
+        set_sink(Box::new(CaptureWriter {
+            buf: Arc::clone(&capture.buf),
+        }));
+        capture
+    }
+
+    /// The captured JSONL lines so far.
+    pub fn lines(&self) -> Vec<String> {
+        let buf = self.buf.lock().expect("capture buffer poisoned");
+        String::from_utf8_lossy(&buf)
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Discard everything captured so far.
+    pub fn clear(&self) {
+        self.buf.lock().expect("capture buffer poisoned").clear();
+    }
+}
+
+#[derive(Debug)]
+struct CaptureWriter {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Write for CaptureWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf
+            .lock()
+            .expect("capture buffer poisoned")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sink is global: serialize the tests that reconfigure it.
+    fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn events_are_valid_jsonl_with_fields() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        event(Level::Info, "test.event")
+            .str("label", "w\"1\"")
+            .i64("delta", -3)
+            .u64("count", 7)
+            .f64("perf", 1.5)
+            .f64("bad", f64::NAN)
+            .bool("ok", true)
+            .emit();
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        assert!(line.contains(r#""level":"info""#), "{line}");
+        assert!(line.contains(r#""event":"test.event""#), "{line}");
+        assert!(line.contains(r#""label":"w\"1\"""#), "{line}");
+        assert!(line.contains(r#""delta":-3"#), "{line}");
+        assert!(line.contains(r#""count":7"#), "{line}");
+        assert!(line.contains(r#""perf":1.5"#), "{line}");
+        assert!(line.contains(r#""bad":"NaN""#), "{line}");
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        clear_sink();
+    }
+
+    #[test]
+    fn no_sink_means_no_output_and_no_panic() {
+        let _guard = sink_lock();
+        clear_sink();
+        event(Level::Error, "dropped").str("k", "v").emit();
+    }
+
+    #[test]
+    fn min_level_filters() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        set_min_level(Level::Warn);
+        event(Level::Info, "quiet").emit();
+        event(Level::Error, "loud").emit();
+        set_min_level(Level::Debug);
+        let lines = capture.lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("loud"));
+        clear_sink();
+    }
+
+    #[test]
+    fn context_nests_and_pops() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        {
+            let _outer = push_context("session", "s1");
+            {
+                let _inner = push_context("peer", "127.0.0.1:9");
+                event(Level::Info, "both").emit();
+            }
+            event(Level::Info, "outer_only").emit();
+        }
+        event(Level::Info, "neither").emit();
+        let lines = capture.lines();
+        assert!(lines[0].contains(r#""session":"s1""#) && lines[0].contains(r#""peer":"#));
+        assert!(lines[1].contains(r#""session":"s1""#) && !lines[1].contains("peer"));
+        assert!(!lines[2].contains("session"));
+        clear_sink();
+    }
+
+    #[test]
+    fn context_is_per_thread() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        let _ctx = push_context("session", "main-thread");
+        std::thread::spawn(|| event(Level::Info, "from.elsewhere").emit())
+            .join()
+            .unwrap();
+        let lines = capture.lines();
+        let other = lines.iter().find(|l| l.contains("from.elsewhere")).unwrap();
+        assert!(!other.contains("main-thread"), "{other}");
+        clear_sink();
+    }
+
+    #[test]
+    fn span_reports_duration() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        {
+            let _span = span(Level::Info, "db.save").str("path", "/tmp/x");
+        }
+        let lines = capture.lines();
+        let line = lines.iter().find(|l| l.contains("span.end")).unwrap();
+        assert!(line.contains(r#""span":"db.save""#), "{line}");
+        assert!(line.contains(r#""path":"/tmp/x""#), "{line}");
+        assert!(line.contains(r#""duration_us":"#), "{line}");
+        clear_sink();
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = monotonic_us();
+        let b = monotonic_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,641 @@
+//! Process-global metrics: atomic counters, gauges, and fixed-bucket
+//! histograms behind a registry with Prometheus-style text exposition.
+//!
+//! Registration is get-or-create and keyed by `(name, labels)`: asking
+//! for the same metric twice returns the same handle, so call sites can
+//! register lazily without coordinating. Handles are `Arc`s whose hot
+//! path is lock-free — the registry lock is touched only at
+//! registration and encoding time.
+//!
+//! ```
+//! use harmony_obs::metrics::{Registry, LATENCY_SECONDS};
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests_total", "Requests served.");
+//! let latency = registry.histogram("request_seconds", "Latency.", LATENCY_SECONDS);
+//! requests.inc();
+//! {
+//!     let _timer = latency.start_timer(); // observes on drop
+//! }
+//! let text = registry.encode();
+//! assert!(text.contains("requests_total 1"));
+//! assert!(text.contains("request_seconds_count 1"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Default buckets for latency histograms, in seconds: 1µs to 10s,
+/// roughly logarithmic. Covers everything from a loopback frame
+/// round-trip to a slow external measurement.
+pub const LATENCY_SECONDS: &[f64] = &[
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// Buckets are cumulative upper bounds (Prometheus `le` semantics); an
+/// implicit `+Inf` bucket catches everything else. Observation is a
+/// couple of relaxed atomic operations — safe on any hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Non-finite values land in the `+Inf`
+    /// bucket and are excluded from the sum.
+    pub fn observe(&self, v: f64) {
+        let idx = if v.is_finite() {
+            self.bounds.partition_point(|b| *b < v)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut old = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(old) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    old,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(o) => old = o,
+                }
+            }
+        }
+    }
+
+    /// Start timing; the elapsed wall time in seconds is observed when
+    /// the returned guard drops.
+    pub fn start_timer(&self) -> HistogramTimer<'_> {
+        HistogramTimer {
+            histogram: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative per-bucket counts, `(upper_bound, count ≤ bound)`
+    /// pairs ending with the `+Inf` bucket (bound `f64::INFINITY`).
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        let mut cumulative = 0u64;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, cumulative));
+        }
+        out
+    }
+}
+
+/// Guard from [`Histogram::start_timer`]: observes the elapsed seconds
+/// when dropped.
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    histogram: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        self.histogram.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    kind: Kind,
+}
+
+type MetricKey = (String, Vec<(String, String)>);
+
+/// A collection of named metrics.
+///
+/// Most code uses the process-wide [`global`] registry; a private
+/// `Registry::new()` exists for tests that need isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<BTreeMap<MetricKey, Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or register a counter carrying fixed labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, labels, || {
+            Kind::Counter(Arc::new(Counter::default()))
+        }) {
+            Kind::Counter(c) => c,
+            other => mismatch(name, "counter", &other),
+        }
+    }
+
+    /// Get or register an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or register a gauge carrying fixed labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, labels, || {
+            Kind::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Kind::Gauge(g) => g,
+            other => mismatch(name, "gauge", &other),
+        }
+    }
+
+    /// Get or register an unlabelled histogram with the given bucket
+    /// upper bounds (strictly ascending; `+Inf` is implicit).
+    pub fn histogram(&self, name: &str, help: &str, buckets: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, buckets, &[])
+    }
+
+    /// Get or register a histogram carrying fixed labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        buckets: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Kind::Histogram(Arc::new(Histogram::new(buckets)))
+        }) {
+            Kind::Histogram(h) => h,
+            other => mismatch(name, "histogram", &other),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Kind,
+    ) -> Kind {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let key: MetricKey = (
+            name.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| {
+                    assert!(valid_name(k), "invalid label name {k:?}");
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+        );
+        if let Some(entry) = self
+            .entries
+            .read()
+            .expect("metrics registry poisoned")
+            .get(&key)
+        {
+            return entry.kind.clone();
+        }
+        let mut entries = self.entries.write().expect("metrics registry poisoned");
+        entries
+            .entry(key)
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                kind: make(),
+            })
+            .kind
+            .clone()
+    }
+
+    /// Number of registered metric series.
+    pub fn len(&self) -> usize {
+        self.entries
+            .read()
+            .expect("metrics registry poisoned")
+            .len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encode every metric in the Prometheus text exposition format.
+    ///
+    /// Series sharing a name (same metric, different labels) are grouped
+    /// under one `# HELP`/`# TYPE` header; histograms expand into
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    pub fn encode(&self) -> String {
+        let entries = self.entries.read().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), entry) in entries.iter() {
+            if last_name != Some(name.as_str()) {
+                out.push_str("# HELP ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&entry.help);
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(entry.kind.type_name());
+                out.push('\n');
+                last_name = Some(name.as_str());
+            }
+            match &entry.kind {
+                Kind::Counter(c) => {
+                    write_series(&mut out, name, labels, None, &c.get().to_string());
+                }
+                Kind::Gauge(g) => {
+                    write_series(&mut out, name, labels, None, &g.get().to_string());
+                }
+                Kind::Histogram(h) => {
+                    for (bound, cumulative) in h.buckets() {
+                        let le = if bound.is_finite() {
+                            format_f64(bound)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        write_series(
+                            &mut out,
+                            &format!("{name}_bucket"),
+                            labels,
+                            Some(("le", &le)),
+                            &cumulative.to_string(),
+                        );
+                    }
+                    write_series(
+                        &mut out,
+                        &format!("{name}_sum"),
+                        labels,
+                        None,
+                        &format_f64(h.sum()),
+                    );
+                    write_series(
+                        &mut out,
+                        &format!("{name}_count"),
+                        labels,
+                        None,
+                        &h.count().to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry every instrumented crate shares.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+fn mismatch(name: &str, wanted: &str, got: &Kind) -> ! {
+    panic!(
+        "metric {name:?} already registered as a {}, requested as a {wanted}",
+        got.type_name()
+    );
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn write_series(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label(out, v);
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn escape_label(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Shortest-round-trip float formatting (Prometheus accepts any valid
+/// float literal).
+fn format_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_count() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("g", "a gauge");
+        g.set(7);
+        g.dec();
+        g.add(-2);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("dup_total", "first");
+        let b = r.counter("dup_total", "second help is ignored");
+        a.inc();
+        assert_eq!(b.get(), 1, "same handle behind both registrations");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let hit = r.counter_with("ws_total", "warm starts", &[("result", "hit")]);
+        let miss = r.counter_with("ws_total", "warm starts", &[("result", "miss")]);
+        hit.inc();
+        hit.inc();
+        miss.inc();
+        assert_eq!(hit.get(), 2);
+        assert_eq!(miss.get(), 1);
+        let text = r.encode();
+        assert!(text.contains("ws_total{result=\"hit\"} 2"), "{text}");
+        assert!(text.contains("ws_total{result=\"miss\"} 1"), "{text}");
+        // One header for the shared name.
+        assert_eq!(text.matches("# TYPE ws_total counter").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("twice", "as counter");
+        r.gauge("twice", "as gauge");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        Registry::new().counter("no spaces", "help");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency", &[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.5, 0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 56.05).abs() < 1e-9);
+        assert_eq!(
+            h.buckets(),
+            vec![(0.1, 1), (1.0, 3), (10.0, 4), (f64::INFINITY, 5)]
+        );
+        let text = r.encode();
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 5"), "{text}");
+        assert!(text.contains("lat_seconds_count 5"), "{text}");
+    }
+
+    #[test]
+    fn histogram_boundary_lands_in_its_bucket() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0); // le="1" includes exactly 1.0
+        assert_eq!(h.buckets()[0], (1.0, 1));
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_sums() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.buckets(), vec![(1.0, 0), (f64::INFINITY, 2)]);
+    }
+
+    #[test]
+    fn timer_observes_on_drop() {
+        let h = Histogram::new(&[1000.0]);
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("conc_total", "hammered");
+        let h = r.histogram("conc_seconds", "hammered", &[0.5]);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(if i % 2 == 0 { 0.25 } else { 0.75 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.buckets(), vec![(0.5, 4000), (f64::INFINITY, 8000)]);
+        assert!((h.sum() - 4000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exposition_groups_and_sorts() {
+        let r = Registry::new();
+        r.counter("b_total", "second").inc();
+        r.gauge("a_gauge", "first").set(3);
+        let text = r.encode();
+        let a = text.find("a_gauge").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b, "series are name-sorted:\n{text}");
+        assert!(text.contains("# HELP a_gauge first"));
+        assert!(text.contains("# TYPE a_gauge gauge"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("esc_total", "h", &[("msg", "a\"b\\c\nd")])
+            .inc();
+        let text = r.encode();
+        assert!(
+            text.contains("esc_total{msg=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{text}"
+        );
+    }
+}

@@ -100,6 +100,7 @@ impl ExperienceDb {
     /// `None` if the database is empty or no run has matching
     /// dimensionality.
     pub fn classify(&self, observed: &[f64]) -> Option<(usize, &RunHistory)> {
+        let _timer = crate::obs::db_classify_seconds().start_timer();
         self.runs
             .iter()
             .enumerate()
@@ -191,6 +192,7 @@ impl ExperienceDb {
     /// crash mid-write can never leave a truncated database — readers see
     /// either the old contents or the new, complete ones.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        let _timer = crate::obs::db_save_seconds().start_timer();
         let path = path.as_ref();
         let json = serde_json::to_string_pretty(self)?;
         // The temp file must live on the same filesystem as the target
@@ -209,6 +211,8 @@ impl ExperienceDb {
         })();
         if result.is_err() {
             fs::remove_file(&tmp).ok();
+        } else {
+            crate::obs::db_saves_total().inc();
         }
         result.map_err(DbError::Io)
     }

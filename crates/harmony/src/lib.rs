@@ -50,6 +50,7 @@ pub mod factorial;
 pub mod history;
 pub mod kernel;
 pub mod objective;
+pub(crate) mod obs;
 pub mod report;
 pub mod search;
 pub mod sensitivity;

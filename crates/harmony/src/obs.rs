@@ -1,0 +1,148 @@
+//! Metric handles for the tuning kernel, registered lazily in the
+//! process-global [`harmony_obs`] registry.
+//!
+//! Every accessor caches its `Arc` in a `OnceLock`, so the hot paths
+//! (one counter bump per live iteration, one histogram observation per
+//! classify/save) never touch the registry lock after first use.
+//!
+//! Metric names exported here:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `harmony_session_iterations_total` | counter | live measurements observed across all sessions |
+//! | `harmony_sessions_finished_total` | counter | sessions closed via `finish()` |
+//! | `harmony_sessions_converged_total` | counter | finished sessions that met the spread criteria |
+//! | `harmony_session_wall_seconds` | histogram | wall time from session creation to `finish()` |
+//! | `harmony_training_iterations_total` | counter | virtual (estimated) training iterations spent |
+//! | `harmony_simplex_ops_total{op=…}` | counter | simplex state transitions by kind |
+//! | `harmony_db_classify_seconds` | histogram | experience-db classification latency |
+//! | `harmony_db_save_seconds` | histogram | experience-db persistence latency |
+//! | `harmony_db_saves_total` | counter | successful experience-db saves |
+//! | `harmony_sensitivity_reports_total` | counter | sensitivity reports computed from history |
+
+use harmony_obs::metrics::{global, Counter, Histogram, LATENCY_SECONDS};
+use std::sync::{Arc, OnceLock};
+
+/// Buckets for whole-session wall time: 100µs up to ~half an hour.
+const SESSION_SECONDS: &[f64] = &[
+    1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0,
+];
+
+macro_rules! handle {
+    ($fn_name:ident, $kind:ty, $init:expr) => {
+        pub(crate) fn $fn_name() -> &'static Arc<$kind> {
+            static H: OnceLock<Arc<$kind>> = OnceLock::new();
+            H.get_or_init(|| $init)
+        }
+    };
+}
+
+handle!(
+    iterations_total,
+    Counter,
+    global().counter(
+        "harmony_session_iterations_total",
+        "Live tuning iterations observed across all sessions.",
+    )
+);
+
+handle!(
+    sessions_finished_total,
+    Counter,
+    global().counter(
+        "harmony_sessions_finished_total",
+        "Tuning sessions closed (including abandoned ones).",
+    )
+);
+
+handle!(
+    sessions_converged_total,
+    Counter,
+    global().counter(
+        "harmony_sessions_converged_total",
+        "Finished sessions stopped by the spread criteria rather than the budget.",
+    )
+);
+
+handle!(
+    session_wall_seconds,
+    Histogram,
+    global().histogram(
+        "harmony_session_wall_seconds",
+        "Wall time from session creation to finish().",
+        SESSION_SECONDS,
+    )
+);
+
+handle!(
+    training_iterations_total,
+    Counter,
+    global().counter(
+        "harmony_training_iterations_total",
+        "Virtual iterations answered from prior experience during training stages.",
+    )
+);
+
+handle!(
+    db_classify_seconds,
+    Histogram,
+    global().histogram(
+        "harmony_db_classify_seconds",
+        "Experience-db least-squares classification latency.",
+        LATENCY_SECONDS,
+    )
+);
+
+handle!(
+    db_save_seconds,
+    Histogram,
+    global().histogram(
+        "harmony_db_save_seconds",
+        "Experience-db persistence latency (serialize + atomic rename).",
+        LATENCY_SECONDS,
+    )
+);
+
+handle!(
+    db_saves_total,
+    Counter,
+    global().counter("harmony_db_saves_total", "Successful experience-db saves.",)
+);
+
+handle!(
+    sensitivity_reports_total,
+    Counter,
+    global().counter(
+        "harmony_sensitivity_reports_total",
+        "Sensitivity reports computed (live sweeps and from-history estimates).",
+    )
+);
+
+/// Per-operation counters for the simplex state machine.
+pub(crate) struct SimplexOps {
+    pub reflect: Arc<Counter>,
+    pub expand: Arc<Counter>,
+    pub contract: Arc<Counter>,
+    pub shrink: Arc<Counter>,
+    pub refresh: Arc<Counter>,
+}
+
+pub(crate) fn simplex_ops() -> &'static SimplexOps {
+    static H: OnceLock<SimplexOps> = OnceLock::new();
+    H.get_or_init(|| {
+        let op = |name: &str| {
+            global().counter_with(
+                "harmony_simplex_ops_total",
+                "Simplex kernel state transitions, by operation.",
+                &[("op", name)],
+            )
+        };
+        SimplexOps {
+            reflect: op("reflect"),
+            expand: op("expand"),
+            contract: op("contract"),
+            shrink: op("shrink"),
+            refresh: op("refresh"),
+        }
+    })
+}

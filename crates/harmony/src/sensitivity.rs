@@ -77,6 +77,7 @@ impl SensitivityReport {
         space: &ParameterSpace,
         records: &[crate::history::TuningRecord],
     ) -> SensitivityReport {
+        crate::obs::sensitivity_reports_total().inc();
         let mut entries = Vec::with_capacity(space.len());
         for j in 0..space.len() {
             let p = space.param(j);
@@ -314,6 +315,7 @@ impl Prioritizer {
 
     /// Run the tool against a (possibly stateful) objective.
     pub fn analyze(&self, objective: &mut dyn Objective) -> SensitivityReport {
+        crate::obs::sensitivity_reports_total().inc();
         let mut entries = Vec::with_capacity(self.space.len());
         let mut explorations = 0u64;
         let floor = self.noise_floor(objective, &mut explorations);
@@ -340,6 +342,7 @@ impl Prioritizer {
     where
         F: Fn(&Configuration) -> f64 + Sync,
     {
+        crate::obs::sensitivity_reports_total().inc();
         let threads = threads.max(1);
         let n = self.space.len();
         let mut slots: Vec<Option<ParamSensitivity>> = (0..n).map(|_| None).collect();

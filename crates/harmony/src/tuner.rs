@@ -6,7 +6,9 @@ use crate::history::RunHistory;
 use crate::kernel::{InitStrategy, SimplexKernel};
 use crate::objective::Objective;
 use crate::report::{analyze_trace, ReportOptions, TraceEntry, TuningReport};
+use harmony_obs::event::{event, Level};
 use harmony_space::{Configuration, ParameterSpace};
+use std::time::Instant;
 
 /// Normalized point spread below which a trained simplex counts as
 /// collapsed and is re-expanded before live tuning.
@@ -169,6 +171,7 @@ pub struct TuningSession {
     pending: Option<Configuration>,
     converged: bool,
     training_iterations: usize,
+    created: Instant,
 }
 
 impl TuningSession {
@@ -178,6 +181,7 @@ impl TuningSession {
         kernel: SimplexKernel,
         training_iterations: usize,
     ) -> Self {
+        crate::obs::training_iterations_total().add(training_iterations as u64);
         TuningSession {
             space,
             options,
@@ -187,6 +191,7 @@ impl TuningSession {
             pending: None,
             converged: false,
             training_iterations,
+            created: Instant::now(),
         }
     }
 
@@ -220,6 +225,18 @@ impl TuningSession {
             _ => self.live_best = Some((config.clone(), performance)),
         }
         let iteration = self.trace.len();
+        crate::obs::iterations_total().inc();
+        event(Level::Debug, "tune.iteration")
+            .u64("iteration", iteration as u64)
+            .f64("performance", performance)
+            .f64(
+                "best",
+                self.live_best
+                    .as_ref()
+                    .map(|(_, b)| *b)
+                    .unwrap_or(performance),
+            )
+            .emit();
         self.trace.push(TraceEntry {
             iteration,
             config,
@@ -274,6 +291,17 @@ impl TuningSession {
         let (best_configuration, best_performance) = self
             .live_best
             .unwrap_or_else(|| (self.space.default_configuration(), f64::NEG_INFINITY));
+        crate::obs::sessions_finished_total().inc();
+        if self.converged {
+            crate::obs::sessions_converged_total().inc();
+        }
+        crate::obs::session_wall_seconds().observe(self.created.elapsed().as_secs_f64());
+        event(Level::Info, "tune.finish")
+            .u64("iterations", self.trace.len() as u64)
+            .u64("training_iterations", self.training_iterations as u64)
+            .f64("best", best_performance)
+            .bool("converged", self.converged)
+            .emit();
         let report = analyze_trace(&self.trace, &self.options.report);
         TuningOutcome {
             trace: self.trace,

@@ -1,6 +1,11 @@
 //! End-to-end flows through the network layer: concurrent remote
 //! sessions sharing one daemon, §4.2 warm starts from another client's
-//! recorded experience, and database persistence across daemon restarts.
+//! recorded experience, database persistence across daemon restarts, and
+//! the daemon's telemetry (`Stats` exposition, structured events).
+//!
+//! The metrics registry and event sink are process-global and these
+//! tests run in parallel, so telemetry assertions work on before/after
+//! deltas (`>=`, never `==`) and filter captured events by label.
 
 use harmony::prelude::*;
 use harmony_net::client::Client;
@@ -8,6 +13,7 @@ use harmony_net::protocol::SpaceSpec;
 use harmony_net::server::{DaemonConfig, TuningDaemon};
 use harmony_net::NetError;
 use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::collections::HashMap;
 use std::path::PathBuf;
 
 fn space() -> ParameterSpace {
@@ -59,6 +65,34 @@ fn temp_db(name: &str) -> PathBuf {
     let path = dir.join(name);
     std::fs::remove_file(&path).ok();
     path
+}
+
+/// Parse a Prometheus text exposition into a series → value map, failing
+/// on any sample line that does not follow `name[{labels}] value`.
+fn parse_exposition(text: &str) -> HashMap<String, f64> {
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line:?}"));
+        map.insert(series.to_string(), value);
+    }
+    map
+}
+
+fn stats_snapshot(addr: std::net::SocketAddr) -> HashMap<String, f64> {
+    let mut client = Client::connect(addr).unwrap();
+    parse_exposition(&client.stats().unwrap())
+}
+
+fn series(map: &HashMap<String, f64>, key: &str) -> f64 {
+    map.get(key).copied().unwrap_or(0.0)
 }
 
 #[test]
@@ -114,6 +148,147 @@ fn second_session_warm_starts_from_the_firsts_experience() {
     assert!(summary.performance > 190.0);
 
     handle.shutdown();
+}
+
+#[test]
+fn stats_counters_stay_monotonic_across_concurrent_sessions() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+    let before = stats_snapshot(addr);
+
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                run_session(
+                    addr,
+                    &format!("stats-client-{i}"),
+                    vec![20.0 + i as f64, 1.0],
+                )
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    let after = stats_snapshot(addr);
+    // Counters, histogram buckets, sums, and counts never go backwards,
+    // no matter how the three sessions interleaved.
+    for (name, &was) in &before {
+        let monotonic = name.contains("_total")
+            || name.contains("_bucket")
+            || name.ends_with("_sum")
+            || name.ends_with("_count");
+        if monotonic {
+            let now = series(&after, name);
+            assert!(now >= was, "{name} went backwards: {was} -> {now}");
+        }
+    }
+    // And the three sessions are visible in the deltas (>=: the registry
+    // is process-global, so parallel tests may add more).
+    for (key, min_delta) in [
+        ("harmony_net_sessions_started_total", 3.0),
+        ("harmony_net_sessions_completed_total", 3.0),
+        ("harmony_net_connections_total", 3.0),
+        ("harmony_net_requests_total{type=\"SessionStart\"}", 3.0),
+        ("harmony_net_requests_total{type=\"SessionEnd\"}", 3.0),
+        ("harmony_net_request_seconds_count{type=\"Fetch\"}", 3.0),
+    ] {
+        let delta = series(&after, key) - series(&before, key);
+        assert!(delta >= min_delta, "{key} delta {delta} < {min_delta}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn warm_start_hits_and_misses_are_accounted() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+    let before = stats_snapshot(addr);
+
+    // Empty per-daemon db: the first classification must miss.
+    let (started, _) = run_session(addr, "cold", vec![31.0, 17.0]);
+    assert!(started.trained_from.is_none());
+    // Near-identical characteristics: the second must hit.
+    let (started, _) = run_session(addr, "warm", vec![31.01, 16.99]);
+    assert_eq!(started.trained_from.as_deref(), Some("cold"));
+
+    let after = stats_snapshot(addr);
+    let miss_key = "harmony_net_warm_start_total{result=\"miss\"}";
+    let hit_key = "harmony_net_warm_start_total{result=\"hit\"}";
+    assert!(series(&after, miss_key) >= series(&before, miss_key) + 1.0);
+    assert!(series(&after, hit_key) >= series(&before, hit_key) + 1.0);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_exposition_parses_with_consistent_histograms() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+    run_session(addr, "shape", vec![41.0, 2.0]);
+
+    let mut client = Client::connect(addr).unwrap();
+    let text = client.stats().unwrap();
+    let map = parse_exposition(&text); // panics on any malformed line
+    assert!(
+        map.len() >= 10,
+        "expected a rich exposition, got {} series",
+        map.len()
+    );
+    let families = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert!(families >= 10, "only {families} metric families");
+
+    // The Fetch latency histogram is internally consistent: cumulative
+    // buckets never decrease and the +Inf bucket equals the count.
+    let mut last = 0.0;
+    let mut buckets = 0;
+    for line in text
+        .lines()
+        .filter(|l| l.starts_with("harmony_net_request_seconds_bucket{type=\"Fetch\""))
+    {
+        let v: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(v >= last, "bucket not cumulative: {line}");
+        last = v;
+        buckets += 1;
+    }
+    assert!(buckets > 2, "expected several Fetch latency buckets");
+    assert_eq!(
+        series(
+            &map,
+            "harmony_net_request_seconds_bucket{type=\"Fetch\",le=\"+Inf\"}"
+        ),
+        series(&map, "harmony_net_request_seconds_count{type=\"Fetch\"}"),
+        "+Inf bucket must equal the observation count"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn daemon_emits_structured_session_events() {
+    let capture = harmony_obs::event::Capture::install();
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    run_session(handle.addr(), "evented-run", vec![55.0, 44.0]);
+    handle.shutdown();
+
+    // The sink is process-global: filter by this test's unique label.
+    let lines = capture.lines();
+    let start = lines
+        .iter()
+        .find(|l| {
+            l.contains("\"event\":\"net.session_start\"") && l.contains("\"label\":\"evented-run\"")
+        })
+        .unwrap_or_else(|| panic!("no session_start event in {lines:#?}"));
+    assert!(start.contains("\"warm_start\":false"), "{start}");
+    assert!(start.contains("\"ts_us\":"), "{start}");
+    let record = lines
+        .iter()
+        .find(|l| {
+            l.contains("\"event\":\"net.session_record\"")
+                && l.contains("\"label\":\"evented-run\"")
+        })
+        .unwrap_or_else(|| panic!("no session_record event in {lines:#?}"));
+    assert!(record.contains("\"converged\":"), "{record}");
+    assert!(record.contains("\"best\":"), "{record}");
 }
 
 #[test]

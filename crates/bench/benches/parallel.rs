@@ -1,0 +1,85 @@
+//! Criterion: the execution engine — sequential vs parallel batch
+//! evaluation, and the memoized hot path, with a deterministic objective
+//! that *blocks* like a real measurement.
+//!
+//! Tuning measurements here are external commands (the CLI spawns one
+//! process per exploration) or remote systems: the worker waits far more
+//! than it computes. Blocked workers overlap even on a single core, so
+//! the engine's speedup tracks the job count rather than the machine's
+//! core count — which is also what makes the benches meaningful on
+//! one-core CI runners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony::search::exhaustive_search_with;
+use harmony::sensitivity::Prioritizer;
+use harmony_exec::{Executor, MemoCache};
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn space() -> ParameterSpace {
+    ParameterSpace::builder()
+        .param(ParamDef::int("a", 0, 7, 0, 1))
+        .param(ParamDef::int("b", 0, 7, 0, 1))
+        .build()
+        .unwrap()
+}
+
+/// Deterministic objective costing ~1 ms of wall time per call, blocked
+/// rather than computing — the shape of a real external measurement.
+fn expensive(cfg: &Configuration) -> f64 {
+    std::thread::sleep(Duration::from_millis(1));
+    -(((cfg.get(0) - 5).pow(2) + (cfg.get(1) - 2).pow(2)) as f64)
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_exhaustive_sweep");
+    let s = space();
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let executor = Executor::new(jobs);
+            b.iter(|| black_box(exhaustive_search_with(&s, &expensive, &executor, None)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exec_sensitivity_sweep");
+    let s = space();
+    for jobs in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            let executor = Executor::new(jobs);
+            b.iter(|| {
+                black_box(Prioritizer::new(s.clone()).analyze_with(&expensive, &executor, None))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cached_hot(c: &mut Criterion) {
+    c.bench_function("exec_exhaustive_sweep_cached_hot", |b| {
+        let s = space();
+        let executor = Executor::new(4);
+        let cache = MemoCache::new(4096);
+        // Warm the cache; the measured sweeps are then pure hits.
+        exhaustive_search_with(&s, &expensive, &executor, Some(&cache));
+        b.iter(|| {
+            black_box(exhaustive_search_with(
+                &s,
+                &expensive,
+                &executor,
+                Some(&cache),
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_sensitivity,
+    bench_cached_hot
+);
+criterion_main!(benches);

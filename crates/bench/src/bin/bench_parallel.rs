@@ -1,0 +1,117 @@
+//! Perf baseline for the execution engine.
+//!
+//! Times the same exhaustive sweep and sensitivity analysis sequentially
+//! and on 1/2/4/8 worker threads, checks that every parallel result is
+//! bit-identical to the sequential one, measures the memo-cache hit rate
+//! of a repeated sweep, and writes the lot to `BENCH_parallel.json`.
+//!
+//! The objective blocks (sleeps) for a fixed wall time per call, the
+//! shape of the measurements this system actually takes — external
+//! commands and remote systems where the worker waits rather than
+//! computes. Blocked workers overlap even on a one-core machine, so the
+//! reported speedups reflect the engine's scheduling, not the host's
+//! core count (which is recorded in the output for context).
+
+use harmony::search::exhaustive_search_with;
+use harmony::sensitivity::Prioritizer;
+use harmony_exec::{Executor, MemoCache};
+use harmony_space::{Configuration, ParamDef, ParameterSpace};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall time each evaluation blocks for, in microseconds.
+const EVAL_SLEEP_US: u64 = 1_000;
+
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 3;
+
+fn space() -> ParameterSpace {
+    ParameterSpace::builder()
+        .param(ParamDef::int("a", 0, 7, 0, 1))
+        .param(ParamDef::int("b", 0, 7, 0, 1))
+        .build()
+        .unwrap()
+}
+
+fn expensive(cfg: &Configuration) -> f64 {
+    std::thread::sleep(Duration::from_micros(EVAL_SLEEP_US));
+    -(((cfg.get(0) - 5).pow(2) + (cfg.get(1) - 2).pow(2)) as f64)
+}
+
+/// Best-of-`REPS` wall time of `f`, in milliseconds.
+fn time_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let s = space();
+    let seq_exec = Executor::new(1);
+    let seq_sweep = exhaustive_search_with(&s, &expensive, &seq_exec, None).unwrap();
+    let seq_sens = Prioritizer::new(s.clone()).analyze_with(&expensive, &seq_exec, None);
+
+    let sweep_seq_ms = time_ms(|| exhaustive_search_with(&s, &expensive, &seq_exec, None));
+    let sens_seq_ms =
+        time_ms(|| Prioritizer::new(s.clone()).analyze_with(&expensive, &seq_exec, None));
+
+    let mut rows = String::new();
+    for jobs in [1usize, 2, 4, 8] {
+        let executor = Executor::new(jobs);
+
+        let par_sweep = exhaustive_search_with(&s, &expensive, &executor, None).unwrap();
+        assert_eq!(
+            par_sweep, seq_sweep,
+            "sweep must be bit-identical at jobs={jobs}"
+        );
+        let par_sens = Prioritizer::new(s.clone()).analyze_with(&expensive, &executor, None);
+        assert_eq!(
+            par_sens, seq_sens,
+            "sensitivity must be bit-identical at jobs={jobs}"
+        );
+
+        let sweep_ms = time_ms(|| exhaustive_search_with(&s, &expensive, &executor, None));
+        let sens_ms =
+            time_ms(|| Prioritizer::new(s.clone()).analyze_with(&expensive, &executor, None));
+
+        // Cache behaviour: a cold sweep populates, a second sweep hits.
+        let cache = MemoCache::new(4096);
+        exhaustive_search_with(&s, &expensive, &executor, Some(&cache));
+        exhaustive_search_with(&s, &expensive, &executor, Some(&cache));
+        let lookups = cache.hits() + cache.misses();
+        let hit_rate = cache.hits() as f64 / lookups as f64;
+        let cached_ms = time_ms(|| exhaustive_search_with(&s, &expensive, &executor, Some(&cache)));
+
+        let sweep_speedup = sweep_seq_ms / sweep_ms;
+        let sens_speedup = sens_seq_ms / sens_ms;
+        println!(
+            "jobs {jobs}: sweep {sweep_ms:.2} ms ({sweep_speedup:.2}x), \
+             sensitivity {sens_ms:.2} ms ({sens_speedup:.2}x), \
+             cached sweep {cached_ms:.3} ms, hit rate {hit_rate:.3}"
+        );
+        let _ = write!(
+            rows,
+            "{}    {{\"jobs\": {jobs}, \"sweep_ms\": {sweep_ms:.4}, \
+             \"sweep_speedup\": {sweep_speedup:.4}, \"sensitivity_ms\": {sens_ms:.4}, \
+             \"sensitivity_speedup\": {sens_speedup:.4}, \"cached_sweep_ms\": {cached_ms:.4}, \
+             \"cache_hit_rate\": {hit_rate:.4}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"sweep_configs\": {},\n  \
+         \"eval_sleep_us\": {EVAL_SLEEP_US},\n  \"host_cores\": {cores},\n  \
+         \"sequential\": {{\"sweep_ms\": {sweep_seq_ms:.4}, \"sensitivity_ms\": {sens_seq_ms:.4}}},\n  \
+         \"results\": [\n{rows}\n  ]\n}}\n",
+        seq_sweep.trace.len(),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

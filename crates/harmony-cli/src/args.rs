@@ -25,6 +25,8 @@ pub enum Command {
         samples: Option<usize>,
         /// Measurements averaged per value.
         repeats: usize,
+        /// Worker threads measuring concurrently (1 = sequential).
+        jobs: usize,
         /// The external measurement command and its arguments.
         measure: Vec<String>,
     },
@@ -46,6 +48,8 @@ pub enum Command {
         /// Drive a remote tuning daemon at this address instead of the
         /// in-process kernel.
         remote: Option<String>,
+        /// Worker threads measuring concurrently (1 = sequential).
+        jobs: usize,
         /// The external measurement command and its arguments.
         measure: Vec<String>,
     },
@@ -100,8 +104,9 @@ harmony-cli — Active Harmony automated tuning
 
 USAGE:
   harmony-cli space <params.rsl>
-  harmony-cli sensitivity <params.rsl> [--samples N] [--repeats R] -- <measure-cmd> [args…]
-  harmony-cli tune <params.rsl> [--iterations N] [--original]
+  harmony-cli sensitivity <params.rsl> [--samples N] [--repeats R] [--jobs N]
+              -- <measure-cmd> [args…]
+  harmony-cli tune <params.rsl> [--iterations N] [--original] [--jobs N]
               [--db <experience.json>] [--label <name>]
               [--characteristics a,b,c] [--remote <host:port>]
               -- <measure-cmd> [args…]
@@ -113,6 +118,12 @@ USAGE:
 The measure command is executed once per exploration with one environment
 variable per parameter (HARMONY_<NAME>=<value>); its last non-empty stdout
 line must be the performance (higher is better).
+
+--jobs N measures up to N configurations concurrently (each as its own
+process) and memoizes results per exact configuration, so revisited points
+are answered from the in-memory cache instead of re-measured. Results are
+identical to a sequential run for a deterministic measure command; under
+measurement noise the cache pins each configuration to its first sample.
 
 With --remote, the configurations come from a tuning daemon (see 'serve')
 instead of the in-process kernel: the daemon classifies the session against
@@ -165,11 +176,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 .clone();
             let mut samples = None;
             let mut repeats = 1usize;
+            let mut jobs = 1usize;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--samples" => samples = Some(parse_value(&mut it, "--samples")?),
                     "--repeats" => repeats = parse_value(&mut it, "--repeats")?,
+                    "--jobs" => jobs = parse_jobs(&mut it)?,
                     "--" => {
                         measure = it.cloned().collect();
                         break;
@@ -187,6 +200,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     rsl,
                     samples,
                     repeats,
+                    jobs,
                     measure,
                 },
             })
@@ -202,11 +216,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut label = "run".to_string();
             let mut characteristics = Vec::new();
             let mut remote = None;
+            let mut jobs = 1usize;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--iterations" => iterations = parse_value(&mut it, "--iterations")?,
                     "--original" => original = true,
+                    "--jobs" => jobs = parse_jobs(&mut it)?,
                     "--db" => db = Some(next_str(&mut it, "--db")?),
                     "--remote" => remote = Some(next_str(&mut it, "--remote")?),
                     "--label" => label = next_str(&mut it, "--label")?,
@@ -237,6 +253,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                      (the daemon owns the experience database and search strategy)",
                 ));
             }
+            if remote.is_some() && jobs > 1 {
+                return Err(err("tune: --jobs applies to local tuning only \
+                     (a remote daemon proposes configurations one at a time)"));
+            }
             Ok(Cli {
                 command: Command::Tune {
                     rsl,
@@ -246,6 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     label,
                     characteristics,
                     remote,
+                    jobs,
                     measure,
                 },
             })
@@ -297,6 +318,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             "unknown subcommand {other:?} (try 'harmony-cli help')"
         ))),
     }
+}
+
+fn parse_jobs<'a>(
+    it: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>,
+) -> Result<usize, CliError> {
+    let jobs: usize = parse_value(it, "--jobs")?;
+    if jobs == 0 {
+        return Err(err("--jobs: must be at least 1"));
+    }
+    Ok(jobs)
 }
 
 fn next_str<'a>(
@@ -379,6 +410,7 @@ mod tests {
                 rsl: "p.rsl".into(),
                 samples: Some(8),
                 repeats: 3,
+                jobs: 1,
                 measure: v(&["./m.sh", "arg"]),
             }
         );
@@ -543,6 +575,33 @@ mod tests {
         );
         assert!(parse_args(&v(&["stats"])).is_err());
         assert!(parse_args(&v(&["stats", "a:1", "b:2"])).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_zero() {
+        let cli = parse_args(&v(&["tune", "p.rsl", "--jobs", "4", "--", "m"])).unwrap();
+        match cli.command {
+            Command::Tune { jobs, .. } => assert_eq!(jobs, 4),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&v(&["sensitivity", "p.rsl", "--jobs", "2", "--", "m"])).unwrap();
+        match cli.command {
+            Command::Sensitivity { jobs, .. } => assert_eq!(jobs, 2),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults to sequential.
+        let cli = parse_args(&v(&["tune", "p.rsl", "--", "m"])).unwrap();
+        match cli.command {
+            Command::Tune { jobs, .. } => assert_eq!(jobs, 1),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse_args(&v(&["tune", "p.rsl", "--jobs", "0", "--", "m"])).is_err());
+        assert!(parse_args(&v(&["sensitivity", "p.rsl", "--jobs", "x", "--", "m"])).is_err());
+        // The remote daemon proposes one configuration at a time.
+        assert!(parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--jobs", "4", "--", "m"
+        ]))
+        .is_err());
     }
 
     #[test]

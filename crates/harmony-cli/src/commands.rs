@@ -2,11 +2,12 @@
 //! `Write` sink (tests capture a buffer; `main` passes stdout).
 
 use crate::args::Command;
-use crate::external::ExternalObjective;
+use crate::external::{ExternalObjective, MeasureError};
 use harmony::history::{DataAnalyzer, ExperienceDb};
 use harmony::prelude::*;
 use harmony::sensitivity::Prioritizer;
 use harmony::tuner::TrainingMode;
+use harmony_exec::{Executor, MemoCache};
 use harmony_net::client::Client;
 use harmony_net::protocol::SpaceSpec;
 use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
@@ -30,6 +31,51 @@ impl std::error::Error for RunError {}
 
 fn fail(msg: impl Into<String>) -> RunError {
     RunError(msg.into())
+}
+
+/// Entries the in-memory memo cache can hold in `--jobs` runs. Each entry
+/// is one measured configuration; tuning and sensitivity explorations are
+/// orders of magnitude smaller, so in practice nothing is ever evicted.
+const JOBS_CACHE_CAPACITY: usize = 65_536;
+
+/// Adapts [`ExternalObjective::measure_once`] to the pure `Fn` an
+/// [`Executor`] wants: a failed measurement folds to `-inf` so the rest
+/// of the batch can finish, and the *first* failure (with its
+/// configuration) is stashed for [`check`](Self::check) to surface as a
+/// clean error before the bogus value influences the search.
+struct StashingEval<'a> {
+    obj: &'a ExternalObjective,
+    first_error: std::sync::Mutex<Option<(Configuration, MeasureError)>>,
+}
+
+impl<'a> StashingEval<'a> {
+    fn new(obj: &'a ExternalObjective) -> Self {
+        StashingEval {
+            obj,
+            first_error: std::sync::Mutex::new(None),
+        }
+    }
+
+    fn eval(&self, cfg: &Configuration) -> f64 {
+        match self.obj.measure_once(cfg) {
+            Ok(v) => v,
+            Err(e) => {
+                let mut stash = self.first_error.lock().unwrap();
+                if stash.is_none() {
+                    *stash = Some((cfg.clone(), e));
+                }
+                f64::NEG_INFINITY
+            }
+        }
+    }
+
+    /// Surface the first stashed failure, if any.
+    fn check(&self) -> Result<(), RunError> {
+        match self.first_error.lock().unwrap().take() {
+            Some((cfg, e)) => Err(fail(format!("measurement at {cfg}: {e}"))),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Execute a parsed command, returning the report text.
@@ -89,6 +135,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             rsl,
             samples,
             repeats,
+            jobs,
             measure,
         } => {
             let space = load_space(&rsl)?;
@@ -102,7 +149,19 @@ pub fn run(command: Command) -> Result<String, RunError> {
             let defaults = Configuration::new(space.params().iter().map(|p| p.default()).collect());
             obj.measure_once(&defaults)
                 .map_err(|e| fail(format!("probe at default configuration {defaults}: {e}")))?;
-            let report = prioritizer.analyze(&mut obj);
+            let report = if jobs > 1 {
+                let stash = StashingEval::new(&obj);
+                let cache = MemoCache::new(JOBS_CACHE_CAPACITY);
+                let report = prioritizer.analyze_with(
+                    &|cfg: &Configuration| stash.eval(cfg),
+                    &Executor::new(jobs),
+                    Some(&cache),
+                );
+                stash.check()?;
+                report
+            } else {
+                prioritizer.analyze(&mut obj)
+            };
             let _ = writeln!(out, "sensitivity ({} explorations):", report.explorations());
             for e in report.ranked() {
                 let _ = writeln!(
@@ -120,6 +179,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             label,
             characteristics,
             remote,
+            jobs,
             measure,
         } => {
             if let Some(addr) = remote {
@@ -141,6 +201,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     db,
                     label,
                     characteristics,
+                    jobs,
                     measure,
                 )?;
             }
@@ -188,6 +249,12 @@ pub fn run(command: Command) -> Result<String, RunError> {
 /// crashed command, a non-zero exit, or unparseable output stops the run
 /// with the underlying error — it is never silently folded into the
 /// search as a performance value.
+///
+/// With `jobs > 1`, batchable phases of the search (the initial simplex,
+/// vertex refreshes) measure on that many worker threads, and every
+/// measurement is memoized per exact configuration so revisited points
+/// cost nothing; for a deterministic measure command the outcome is
+/// identical to the sequential run.
 #[allow(clippy::too_many_arguments)]
 fn tune_local(
     out: &mut String,
@@ -197,6 +264,7 @@ fn tune_local(
     db: Option<String>,
     label: String,
     characteristics: Vec<f64>,
+    jobs: usize,
     measure: Vec<String>,
 ) -> Result<(), RunError> {
     let space = load_space(rsl)?;
@@ -229,11 +297,30 @@ fn tune_local(
         }
         None => tuner.session(),
     };
-    while let Some(cfg) = session.next_config() {
-        let performance = measure_exploration(&obj, &cfg, session.iterations())?;
-        session
-            .observe(performance)
-            .map_err(|e| fail(e.to_string()))?;
+    if jobs > 1 {
+        let executor = Executor::new(jobs);
+        let cache = MemoCache::new(JOBS_CACHE_CAPACITY);
+        let stash = StashingEval::new(&obj);
+        let eval = |cfg: &Configuration| stash.eval(cfg);
+        loop {
+            let batch = session.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            let performances = executor.evaluate_batch_cached(&batch, &cache, &eval);
+            // Bail before a failure's -inf placeholder reaches the search.
+            stash.check()?;
+            session
+                .observe_batch(&performances)
+                .map_err(|e| fail(e.to_string()))?;
+        }
+    } else {
+        while let Some(cfg) = session.next_config() {
+            let performance = measure_exploration(&obj, &cfg, session.iterations())?;
+            session
+                .observe(performance)
+                .map_err(|e| fail(e.to_string()))?;
+        }
     }
     let outcome = session.finish();
 
@@ -474,6 +561,73 @@ mod tests {
     }
 
     #[test]
+    fn tune_with_jobs_matches_sequential_tuning() {
+        let rsl = write_rsl("jobs.rsl");
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+        let tune = |jobs: &str| {
+            let cli = parse_args(&sv(&[
+                "tune",
+                rsl.to_str().unwrap(),
+                "--iterations",
+                "40",
+                "--jobs",
+                jobs,
+                "--",
+                "sh",
+                "-c",
+                cmd,
+            ]))
+            .unwrap();
+            run(cli.command).unwrap()
+        };
+        let seq = tune("1");
+        let par = tune("4");
+        // Deterministic measure command → identical report, line for line.
+        assert_eq!(par, seq);
+        assert!(par.contains("best performance: 100"), "{par}");
+    }
+
+    #[test]
+    fn tune_with_jobs_surfaces_measurement_failures() {
+        let rsl = write_rsl("jobs-fail.rsl");
+        let cli = parse_args(&sv(&[
+            "tune",
+            rsl.to_str().unwrap(),
+            "--jobs",
+            "4",
+            "--",
+            "sh",
+            "-c",
+            "echo kaput >&2; exit 3",
+        ]))
+        .unwrap();
+        let err = run(cli.command).unwrap_err();
+        assert!(err.0.contains("measurement at"), "{err}");
+        assert!(err.0.contains("measurement command failed"), "{err}");
+        assert!(err.0.contains("kaput"), "{err}");
+    }
+
+    #[test]
+    fn sensitivity_with_jobs_matches_sequential_analysis() {
+        let rsl = write_rsl("sens-jobs.rsl");
+        let analyze = |jobs: &str| {
+            let cli = parse_args(&sv(&[
+                "sensitivity",
+                rsl.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "--",
+                "sh",
+                "-c",
+                "echo $((HARMONY_B * 10 + HARMONY_C))",
+            ]))
+            .unwrap();
+            run(cli.command).unwrap()
+        };
+        assert_eq!(analyze("3"), analyze("1"));
+    }
+
+    #[test]
     fn sensitivity_on_external_command() {
         let rsl = write_rsl("sens.rsl");
         let cli = parse_args(&sv(&[
@@ -632,6 +786,10 @@ mod tests {
                     "{out}"
                 );
                 assert!(out.contains("harmony_net_sessions_started_total"), "{out}");
+                // Execution-engine metrics are preregistered so they show
+                // up (as zeros) before the first parallel batch runs.
+                assert!(out.contains("harmony_exec_cache_hits_total"), "{out}");
+                assert!(out.contains("harmony_exec_queue_depth"), "{out}");
             },
         )
         .unwrap();

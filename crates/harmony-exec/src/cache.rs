@@ -1,0 +1,193 @@
+//! Sharded exact-config memo cache.
+
+use crate::obs;
+use harmony_space::Configuration;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shard count: enough to keep lock contention negligible at the job
+/// counts the executor runs (a handful of threads), small enough that a
+/// tiny capacity still spreads usefully.
+const SHARDS: usize = 16;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Vec<i64>, f64>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Vec<i64>>,
+}
+
+/// An exact-match memo cache over discrete configurations.
+///
+/// Keys are the raw parameter values; two configurations hit the same
+/// entry iff they are value-identical — there is no interpolation here
+/// (that is [`estimate`](https://docs.rs/harmony)'s job), just a memo of
+/// what has already been measured. Entries are spread over
+/// mutex-guarded shards by key hash, each shard FIFO-evicting once it
+/// exceeds its slice of the capacity, so concurrent workers rarely
+/// contend on the same lock.
+///
+/// Hit/miss/eviction counts feed both the per-cache accessors and the
+/// process-global `harmony_exec_cache_*` metrics.
+#[derive(Debug)]
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoCache {
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo cache capacity must be positive");
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, values: &[i64]) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        values.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The memoized performance of `config`, if present. Counts a hit
+    /// or a miss either way.
+    pub fn get(&self, config: &Configuration) -> Option<f64> {
+        let shard = self.shard(config.values()).lock().expect("cache poisoned");
+        match shard.map.get(config.values()).copied() {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::cache_hits_total().inc();
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::cache_misses_total().inc();
+                None
+            }
+        }
+    }
+
+    /// Memoize a measurement. First write wins: re-inserting an already
+    /// cached configuration keeps the original value, so every reader
+    /// sees one consistent performance per configuration.
+    pub fn insert(&self, config: &Configuration, value: f64) {
+        let mut shard = self.shard(config.values()).lock().expect("cache poisoned");
+        if shard.map.contains_key(config.values()) {
+            return;
+        }
+        shard.map.insert(config.values().to_vec(), value);
+        shard.order.push_back(config.values().to_vec());
+        obs::cache_entries().inc();
+        while shard.map.len() > self.shard_capacity {
+            if let Some(old) = shard.order.pop_front() {
+                shard.map.remove(&old);
+                obs::cache_evictions_total().inc();
+                obs::cache_entries().dec();
+            }
+        }
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity bound (after per-shard rounding).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(v: i64) -> Configuration {
+        Configuration::new(vec![v, v * 7])
+    }
+
+    #[test]
+    fn get_insert_roundtrip_with_accounting() {
+        let cache = MemoCache::new(64);
+        assert_eq!(cache.get(&cfg(1)), None);
+        cache.insert(&cfg(1), 42.0);
+        assert_eq!(cache.get(&cfg(1)), Some(42.0));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let cache = MemoCache::new(64);
+        cache.insert(&cfg(5), 1.0);
+        cache.insert(&cfg(5), 2.0);
+        assert_eq!(cache.get(&cfg(5)), Some(1.0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo_per_shard() {
+        let cache = MemoCache::new(16); // one entry per shard
+        for v in 0..1000 {
+            cache.insert(&cfg(v), v as f64);
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.capacity() >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        MemoCache::new(0);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache = MemoCache::new(4096);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for v in 0..200 {
+                        cache.insert(&cfg(v), v as f64);
+                        assert_eq!(cache.get(&cfg(v)), Some(v as f64), "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+        assert_eq!(cache.hits(), 1600);
+    }
+}

@@ -189,6 +189,10 @@ pub(crate) fn request_metrics(kind: &'static str) -> &'static RequestMetrics {
 /// Touch every handle so the full metric set is registered (and thus
 /// visible in a `Stats` exposition) from daemon startup.
 pub(crate) fn preregister() {
+    // Execution-engine metrics (batch counters, queue depth, memo-cache
+    // hit/miss/eviction accounting) share the global registry; register
+    // them too so `Stats` shows them as zeros before the first batch.
+    harmony_exec::preregister();
     connections_total();
     connections_active();
     connections_refused_total();

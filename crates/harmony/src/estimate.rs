@@ -11,6 +11,7 @@
 use crate::history::TuningRecord;
 use harmony_linalg::{lstsq, Matrix};
 use harmony_space::{Configuration, ParameterSpace};
+use std::collections::HashMap;
 
 /// How many vertices to use: the paper's simplex has `N+1` vertices for
 /// `N` parameters; we take a few extra when available so noisy records
@@ -25,70 +26,134 @@ fn vertex_count(dims: usize, available: usize) -> usize {
 /// records short-circuits to its recorded performance. Coordinates are
 /// normalized before fitting so wide-range parameters don't dominate the
 /// conditioning (the fit itself is affine-equivalent either way).
+///
+/// One-shot convenience over [`Estimator`]; callers issuing many queries
+/// against the same records (the replay training stage, virtual search)
+/// should build the [`Estimator`] once and reuse it.
 pub fn estimate_performance(
     space: &ParameterSpace,
     records: &[TuningRecord],
     target: &Configuration,
 ) -> Option<f64> {
-    if records.is_empty() {
-        return None;
+    Estimator::new(space, records).estimate(target)
+}
+
+/// A reusable estimation index over one set of historical records.
+///
+/// Construction is a single O(n) pass that hashes every recorded
+/// configuration for exact-match lookup and pre-normalizes its
+/// coordinates; each [`estimate`](Estimator::estimate) is then O(n) — a
+/// hash probe, one distance pass, and an O(n) partial select of the k
+/// nearest vertices (`select_nth_unstable_by`) instead of a full
+/// O(n log n) sort — followed by the fixed-size k-vertex fit.
+#[derive(Debug, Clone)]
+pub struct Estimator<'a> {
+    space: &'a ParameterSpace,
+    records: &'a [TuningRecord],
+    /// First-recorded performance per exact configuration (first wins,
+    /// matching the linear-scan short-circuit this index replaces).
+    exact: HashMap<&'a [i64], f64>,
+    /// Normalized coordinates per record, computed once.
+    normalized: Vec<Vec<f64>>,
+}
+
+impl<'a> Estimator<'a> {
+    /// Build the index.
+    pub fn new(space: &'a ParameterSpace, records: &'a [TuningRecord]) -> Self {
+        let mut exact: HashMap<&[i64], f64> = HashMap::with_capacity(records.len());
+        let normalized = records
+            .iter()
+            .map(|r| {
+                exact.entry(r.values.as_slice()).or_insert(r.performance);
+                space.normalize(&Configuration::new(r.values.clone()))
+            })
+            .collect();
+        Estimator {
+            space,
+            records,
+            exact,
+            normalized,
+        }
     }
-    assert_eq!(target.len(), space.len(), "estimate: dimension mismatch");
 
-    // Exact match wins.
-    if let Some(r) = records.iter().find(|r| r.values == *target.values()) {
-        return Some(r.performance);
+    /// Estimate the performance of `target` (see
+    /// [`estimate_performance`]).
+    pub fn estimate(&self, target: &Configuration) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        assert_eq!(
+            target.len(),
+            self.space.len(),
+            "estimate: dimension mismatch"
+        );
+
+        // Exact match wins.
+        if let Some(&p) = self.exact.get(target.values()) {
+            return Some(p);
+        }
+
+        // "Currently our implementation uses vertices that are close to
+        // the target vertex": take the k nearest by normalized distance.
+        // Ties break by record index, the order the old stable full sort
+        // produced.
+        let tn = self.space.normalize(target);
+        let mut by_distance: Vec<(f64, usize)> = self
+            .normalized
+            .iter()
+            .enumerate()
+            .map(|(i, rn)| {
+                let d2: f64 = rn.iter().zip(&tn).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, i)
+            })
+            .collect();
+        let k = vertex_count(self.space.len(), by_distance.len());
+        let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        if k < by_distance.len() {
+            by_distance.select_nth_unstable_by(k - 1, cmp);
+        }
+        let chosen = &mut by_distance[..k];
+        chosen.sort_unstable_by(cmp);
+
+        // A = [C'_i 1], b = P_i in normalized coordinates. The fit is done
+        // in *centered* form — subtract the mean coordinate and mean
+        // performance, fit the slope, add the means back — which is
+        // algebraically identical for determined/over-determined systems
+        // but makes the regularized under-determined solution shrink
+        // toward the local mean performance instead of toward zero (one
+        // record estimates itself everywhere).
+        let b: Vec<f64> = chosen
+            .iter()
+            .map(|&(_, i)| self.records[i].performance)
+            .collect();
+        let mean_b = b.iter().sum::<f64>() / b.len() as f64;
+        if chosen.len() == 1 {
+            return Some(mean_b);
+        }
+        let coords: Vec<&[f64]> = chosen
+            .iter()
+            .map(|&(_, i)| self.normalized[i].as_slice())
+            .collect();
+        let dims = self.space.len();
+        let mean_c: Vec<f64> = (0..dims)
+            .map(|j| coords.iter().map(|c| c[j]).sum::<f64>() / coords.len() as f64)
+            .collect();
+        let rows: Vec<Vec<f64>> = coords
+            .iter()
+            .map(|c| c.iter().zip(&mean_c).map(|(x, m)| x - m).collect())
+            .collect();
+        let b_centered: Vec<f64> = b.iter().map(|p| p - mean_b).collect();
+        let a = Matrix::from_rows(&rows);
+        let x = lstsq(&a, &b_centered).ok()?;
+
+        let pt: f64 = mean_b
+            + tn.iter()
+                .zip(&mean_c)
+                .zip(&x)
+                .map(|((t, m), xi)| (t - m) * xi)
+                .sum::<f64>();
+        pt.is_finite().then_some(pt)
     }
-
-    // "Currently our implementation uses vertices that are close to the
-    // target vertex": rank by normalized distance.
-    let tn = space.normalize(target);
-    let mut by_distance: Vec<(f64, &TuningRecord)> = records
-        .iter()
-        .map(|r| {
-            let rn = space.normalize(&Configuration::new(r.values.clone()));
-            let d2: f64 = rn.iter().zip(&tn).map(|(a, b)| (a - b) * (a - b)).sum();
-            (d2, r)
-        })
-        .collect();
-    by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let k = vertex_count(space.len(), by_distance.len());
-    let chosen = &by_distance[..k];
-
-    // A = [C'_i 1], b = P_i in normalized coordinates. The fit is done in
-    // *centered* form — subtract the mean coordinate and mean performance,
-    // fit the slope, add the means back — which is algebraically identical
-    // for determined/over-determined systems but makes the regularized
-    // under-determined solution shrink toward the local mean performance
-    // instead of toward zero (one record estimates itself everywhere).
-    let b: Vec<f64> = chosen.iter().map(|(_, r)| r.performance).collect();
-    let mean_b = b.iter().sum::<f64>() / b.len() as f64;
-    if chosen.len() == 1 {
-        return Some(mean_b);
-    }
-    let coords: Vec<Vec<f64>> = chosen
-        .iter()
-        .map(|(_, r)| space.normalize(&Configuration::new(r.values.clone())))
-        .collect();
-    let dims = space.len();
-    let mean_c: Vec<f64> = (0..dims)
-        .map(|j| coords.iter().map(|c| c[j]).sum::<f64>() / coords.len() as f64)
-        .collect();
-    let rows: Vec<Vec<f64>> = coords
-        .iter()
-        .map(|c| c.iter().zip(&mean_c).map(|(x, m)| x - m).collect())
-        .collect();
-    let b_centered: Vec<f64> = b.iter().map(|p| p - mean_b).collect();
-    let a = Matrix::from_rows(&rows);
-    let x = lstsq(&a, &b_centered).ok()?;
-
-    let pt: f64 = mean_b
-        + tn.iter()
-            .zip(&mean_c)
-            .zip(&x)
-            .map(|((t, m), xi)| (t - m) * xi)
-            .sum::<f64>();
-    pt.is_finite().then_some(pt)
 }
 
 #[cfg(test)]
@@ -202,6 +267,36 @@ mod tests {
         // Local plane through the nearest points: estimate should be near
         // the true 0 maximum, certainly better than the global mean (~-17).
         assert!(est > -6.0, "estimate {est} not local enough");
+    }
+
+    #[test]
+    fn estimator_index_matches_one_shot_everywhere() {
+        let s = space2();
+        let mut records = Vec::new();
+        for a in 0..=10 {
+            for b in (0..=10).step_by(2) {
+                records.push(rec(vec![a, b], plane(a, b) + ((a * b) % 3) as f64));
+            }
+        }
+        let est = Estimator::new(&s, &records);
+        for a in 0..=10 {
+            for b in 0..=10 {
+                let t = Configuration::new(vec![a, b]);
+                assert_eq!(
+                    est.estimate(&t),
+                    estimate_performance(&s, &records, &t),
+                    "target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_on_duplicates_uses_the_first_record() {
+        let s = space2();
+        let records = vec![rec(vec![5, 5], 1.0), rec(vec![5, 5], 2.0)];
+        let t = Configuration::new(vec![5, 5]);
+        assert_eq!(estimate_performance(&s, &records, &t), Some(1.0));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   prioritizing tool's ranking.
 
 use crate::objective::Objective;
+use harmony_exec::{Executor, MemoCache};
 use harmony_space::{Configuration, ParameterSpace};
 
 /// A two-level design matrix: `runs × factors` entries in {−1, +1},
@@ -283,20 +284,83 @@ pub fn screen(
         .map(|p| p.denormalize(high_q))
         .collect();
     let mut responses = Vec::with_capacity(design.runs());
-    for i in 0..design.runs() {
-        let values: Vec<i64> = (0..space.len())
-            .map(|j| {
-                if design.level(i, j) {
-                    highs[j]
-                } else {
-                    lows[j]
-                }
-            })
-            .collect();
-        // Project so restricted spaces stay feasible.
-        let cfg = space.project(&Configuration::new(values).to_point());
+    for cfg in design_configs(space, design, &lows, &highs) {
         responses.push(objective.measure(&cfg));
     }
+    screening_from_responses(design, responses)
+}
+
+/// [`screen`] for a pure evaluation function: every design run is
+/// independent, so the whole design is measured as one batch on
+/// `executor`, consulting `cache` first when given. Identical to
+/// [`screen`] for a pure evaluation at any job count.
+///
+/// # Panics
+/// Same contract as [`screen`].
+pub fn screen_with<F>(
+    space: &ParameterSpace,
+    eval: &F,
+    design: &TwoLevelDesign,
+    low_q: f64,
+    high_q: f64,
+    executor: &Executor,
+    cache: Option<&MemoCache>,
+) -> Screening
+where
+    F: Fn(&Configuration) -> f64 + Sync,
+{
+    assert!(
+        (0.0..=1.0).contains(&low_q) && (0.0..=1.0).contains(&high_q) && low_q < high_q,
+        "quantiles must satisfy 0 <= low < high <= 1"
+    );
+    assert_eq!(
+        design.factors(),
+        space.len(),
+        "design factor count must match the space"
+    );
+    let lows: Vec<i64> = space
+        .params()
+        .iter()
+        .map(|p| p.denormalize(low_q))
+        .collect();
+    let highs: Vec<i64> = space
+        .params()
+        .iter()
+        .map(|p| p.denormalize(high_q))
+        .collect();
+    let configs = design_configs(space, design, &lows, &highs);
+    let responses = match cache {
+        Some(c) => executor.evaluate_batch_cached(&configs, c, eval),
+        None => executor.evaluate_batch(&configs, eval),
+    };
+    screening_from_responses(design, responses)
+}
+
+/// The design's runs mapped onto feasible configurations, in run order.
+fn design_configs(
+    space: &ParameterSpace,
+    design: &TwoLevelDesign,
+    lows: &[i64],
+    highs: &[i64],
+) -> Vec<Configuration> {
+    (0..design.runs())
+        .map(|i| {
+            let values: Vec<i64> = (0..space.len())
+                .map(|j| {
+                    if design.level(i, j) {
+                        highs[j]
+                    } else {
+                        lows[j]
+                    }
+                })
+                .collect();
+            // Project so restricted spaces stay feasible.
+            space.project(&Configuration::new(values).to_point())
+        })
+        .collect()
+}
+
+fn screening_from_responses(design: &TwoLevelDesign, responses: Vec<f64>) -> Screening {
     let effects = design
         .main_effects(&responses)
         .into_iter()
@@ -450,6 +514,39 @@ mod tests {
             inter.abs() > 1.0,
             "interaction effect should be visible: {inter}"
         );
+    }
+
+    #[test]
+    fn screen_with_matches_sequential_screen() {
+        let space = harmony_space::ParameterSpace::new(
+            (0..11)
+                .map(|i| ParamDef::int(format!("p{i}"), 0, 100, 50, 1))
+                .collect(),
+        )
+        .unwrap();
+        let f = |cfg: &Configuration| {
+            (0..11)
+                .map(|j| (j as f64 - 5.0) * cfg.get(j) as f64)
+                .sum::<f64>()
+        };
+        let design = plackett_burman(11);
+        let mut obj = FnObjective::new(f);
+        let seq = screen(&space, &mut obj, &design, 0.25, 0.75);
+        for jobs in [1, 3, 8] {
+            let par = screen_with(&space, &f, &design, 0.25, 0.75, &Executor::new(jobs), None);
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+        let cache = MemoCache::new(256);
+        let cached = screen_with(
+            &space,
+            &f,
+            &design,
+            0.25,
+            0.75,
+            &Executor::new(4),
+            Some(&cache),
+        );
+        assert_eq!(cached, seq);
     }
 
     #[test]

@@ -101,30 +101,50 @@ impl ExperienceDb {
     /// dimensionality.
     pub fn classify(&self, observed: &[f64]) -> Option<(usize, &RunHistory)> {
         let _timer = crate::obs::db_classify_seconds().start_timer();
-        self.runs
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.characteristics.len() == observed.len())
-            .min_by(|a, b| {
-                euclidean_sq(&a.1.characteristics, observed)
-                    .total_cmp(&euclidean_sq(&b.1.characteristics, observed))
-            })
+        // One distance per candidate, no allocation: a running minimum
+        // over a single pass (the comparator-based version recomputed
+        // both distances on every comparison). Ties keep the earliest
+        // run, matching `Iterator::min_by`.
+        let mut best: Option<(f64, usize)> = None;
+        for (i, r) in self.runs.iter().enumerate() {
+            if r.characteristics.len() != observed.len() {
+                continue;
+            }
+            let d = euclidean_sq(&r.characteristics, observed);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, i));
+            }
+        }
+        best.map(|(_, i)| (i, &self.runs[i]))
     }
 
     /// The `k` nearest runs, nearest first (for k-NN style analyzers).
     pub fn nearest_k(&self, observed: &[f64], k: usize) -> Vec<(usize, &RunHistory)> {
-        let mut v: Vec<(usize, &RunHistory)> = self
+        // Each candidate's distance is computed exactly once; the k
+        // nearest are then picked with an O(n) partial select and only
+        // those k sorted. Ties break by run index — the order the old
+        // stable full sort produced.
+        let mut by_distance: Vec<(f64, usize)> = self
             .runs
             .iter()
             .enumerate()
             .filter(|(_, r)| r.characteristics.len() == observed.len())
+            .map(|(i, r)| (euclidean_sq(&r.characteristics, observed), i))
             .collect();
-        v.sort_by(|a, b| {
-            euclidean_sq(&a.1.characteristics, observed)
-                .total_cmp(&euclidean_sq(&b.1.characteristics, observed))
-        });
-        v.truncate(k);
-        v
+        let k = k.min(by_distance.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        if k < by_distance.len() {
+            by_distance.select_nth_unstable_by(k - 1, cmp);
+            by_distance.truncate(k);
+        }
+        by_distance.sort_unstable_by(cmp);
+        by_distance
+            .into_iter()
+            .map(|(_, i)| (i, &self.runs[i]))
+            .collect()
     }
 
     /// Compress the database into at most `k` runs by k-means clustering

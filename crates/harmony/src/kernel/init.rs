@@ -26,6 +26,12 @@ pub enum InitStrategy {
 
 impl InitStrategy {
     /// Generate the `n+1` initial vertices in continuous coordinates.
+    ///
+    /// Every strategy fixes all vertices up front — none depends on a
+    /// measured value — which is what lets the kernel expose the whole
+    /// initial simplex as one batch
+    /// ([`SimplexKernel::batchable_configs`](crate::kernel::SimplexKernel::batchable_configs))
+    /// for parallel evaluation on an executor.
     pub fn initial_points(&self, space: &ParameterSpace) -> Vec<Vec<f64>> {
         let n = space.len();
         let point_at = |fracs: &dyn Fn(usize) -> f64| -> Vec<f64> {

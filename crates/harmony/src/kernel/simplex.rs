@@ -270,6 +270,31 @@ impl SimplexKernel {
         self.space.project(&self.next_point())
     }
 
+    /// Every proposal whose configuration is already decided — the
+    /// measurements can be gathered as one parallel batch and fed back
+    /// through [`observe`](Self::observe) in order.
+    ///
+    /// During the `Init` phase the remaining initial vertices are all
+    /// known up front, and during `Refresh` the remaining vertices are
+    /// re-measured as-is: in both phases the proposal sequence does not
+    /// depend on the values observed along the way, so batching is
+    /// exact. Everywhere else (reflect/expand/contract/shrink) the next
+    /// proposal is computed *from* the previous observation, and the
+    /// batch degenerates to the single outstanding configuration.
+    pub fn batchable_configs(&self) -> Vec<Configuration> {
+        match &self.state {
+            State::Init { points, next } => points[*next..]
+                .iter()
+                .map(|p| self.space.project(p))
+                .collect(),
+            State::Refresh { idx } => self.vertices[*idx..]
+                .iter()
+                .map(|v| self.space.project(&v.point))
+                .collect(),
+            _ => vec![self.next_config()],
+        }
+    }
+
     /// Report the performance of the configuration from
     /// [`next_config`](Self::next_config). Advances the state machine.
     pub fn observe(&mut self, value: f64) {
@@ -781,6 +806,38 @@ mod tests {
                 assert!(x >= p.static_min() as f64 && x <= p.static_max() as f64);
             }
         }
+    }
+
+    #[test]
+    fn batchable_init_matches_sequential_stepping() {
+        let mut seq = SimplexKernel::new(space2(), InitStrategy::EvenSpread);
+        let mut bat = seq.clone();
+        let batch = bat.batchable_configs();
+        assert_eq!(batch.len(), 3, "init proposes the whole initial simplex");
+        for v in batch.iter().map(paraboloid) {
+            bat.observe(v);
+        }
+        drive(&mut seq, paraboloid, 3);
+        assert_eq!(seq.next_config(), bat.next_config());
+        assert_eq!(
+            bat.batchable_configs(),
+            vec![bat.next_config()],
+            "post-init iterations are strictly sequential"
+        );
+    }
+
+    #[test]
+    fn batchable_refresh_lists_remaining_vertices() {
+        let seeds = vec![
+            (Configuration::new(vec![10, 10]), 5.0),
+            (Configuration::new(vec![20, 10]), 4.0),
+            (Configuration::new(vec![10, 20]), 3.0),
+        ];
+        let mut k = SimplexKernel::with_seeded_simplex(space2(), seeds);
+        k.refresh();
+        assert_eq!(k.batchable_configs().len(), 3);
+        k.observe(1.0);
+        assert_eq!(k.batchable_configs().len(), 2);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod tuner;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
-    pub use crate::estimate::estimate_performance;
+    pub use crate::estimate::{estimate_performance, Estimator};
     pub use crate::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
     pub use crate::kernel::{InitStrategy, SimplexKernel};
     pub use crate::objective::{CachedObjective, FnObjective, Objective};
@@ -67,5 +67,6 @@ pub mod prelude {
     pub use crate::sensitivity::{Prioritizer, SensitivityReport};
     pub use crate::server::{HarmonyServer, ServerOptions};
     pub use crate::tuner::{Tuner, TuningOptions, TuningOutcome, TuningSession};
+    pub use harmony_exec::{Executor, MemoCache};
     pub use harmony_space::Configuration;
 }

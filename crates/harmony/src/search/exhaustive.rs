@@ -4,6 +4,7 @@
 use crate::objective::Objective;
 use crate::report::TraceEntry;
 use crate::search::SearchOutcome;
+use harmony_exec::{Executor, MemoCache};
 use harmony_space::{Configuration, ParameterSpace};
 
 /// Evaluate every feasible configuration sequentially.
@@ -30,8 +31,8 @@ pub fn exhaustive_search(
 /// Evaluate every feasible configuration on `threads` scoped threads.
 ///
 /// Requires a pure evaluation function; configurations are materialized
-/// once and chunks are scored independently — the embarrassingly parallel
-/// shape scoped threads handle without any shared mutable state.
+/// once and scored on an [`Executor`] — the embarrassingly parallel
+/// shape the evaluation engine exists for.
 pub fn par_exhaustive_search<F>(
     space: &ParameterSpace,
     eval: F,
@@ -40,27 +41,34 @@ pub fn par_exhaustive_search<F>(
 where
     F: Fn(&Configuration) -> f64 + Sync,
 {
+    exhaustive_search_with(space, &eval, &Executor::new(threads), None)
+}
+
+/// [`par_exhaustive_search`] over a caller-supplied [`Executor`], with
+/// an optional [`MemoCache`] consulted before any measurement.
+///
+/// An exhaustive sweep never revisits a configuration *within* itself,
+/// so the cache only pays off when shared with other stages of a
+/// session (a sensitivity sweep or a tuning run over the same space);
+/// the sweep then both reuses their measurements and seeds the cache
+/// for them.
+pub fn exhaustive_search_with<F>(
+    space: &ParameterSpace,
+    eval: &F,
+    executor: &Executor,
+    cache: Option<&MemoCache>,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&Configuration) -> f64 + Sync,
+{
     let configs: Vec<Configuration> = space.iter().collect();
     if configs.is_empty() {
         return None;
     }
-    let threads = threads.max(1).min(configs.len());
-    let chunk = configs.len().div_ceil(threads);
-    let mut perfs: Vec<f64> = vec![0.0; configs.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (cfg_chunk, perf_chunk) in configs.chunks(chunk).zip(perfs.chunks_mut(chunk)) {
-            let eval = &eval;
-            handles.push(scope.spawn(move || {
-                for (c, p) in cfg_chunk.iter().zip(perf_chunk.iter_mut()) {
-                    *p = eval(c);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("exhaustive worker panicked");
-        }
-    });
+    let perfs = match cache {
+        Some(c) => executor.evaluate_batch_cached(&configs, c, eval),
+        None => executor.evaluate_batch(&configs, eval),
+    };
     let trace: Vec<TraceEntry> = configs
         .into_iter()
         .zip(perfs)
@@ -111,6 +119,21 @@ mod tests {
             let par = par_exhaustive_search(&s, f, threads).unwrap();
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn cached_sweep_matches_and_seeds_the_cache() {
+        let s = space();
+        let mut obj = FnObjective::new(f);
+        let seq = exhaustive_search(&s, &mut obj).unwrap();
+        let cache = MemoCache::new(1000);
+        let first = exhaustive_search_with(&s, &f, &Executor::new(4), Some(&cache)).unwrap();
+        assert_eq!(first, seq);
+        assert_eq!(cache.hits(), 0, "a sweep never revisits within itself");
+        // A second sweep over the same space is answered from the cache.
+        let second = exhaustive_search_with(&s, &f, &Executor::new(4), Some(&cache)).unwrap();
+        assert_eq!(second, seq);
+        assert_eq!(cache.hits(), 100);
     }
 
     #[test]

@@ -7,9 +7,9 @@ mod exhaustive;
 mod powell;
 mod random;
 
-pub use exhaustive::{exhaustive_search, par_exhaustive_search};
+pub use exhaustive::{exhaustive_search, exhaustive_search_with, par_exhaustive_search};
 pub use powell::{powell_search, PowellOptions};
-pub use random::random_search;
+pub use random::{random_search, random_search_with};
 
 use crate::report::TraceEntry;
 use harmony_space::Configuration;

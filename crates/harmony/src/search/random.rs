@@ -3,7 +3,8 @@
 use crate::objective::Objective;
 use crate::report::TraceEntry;
 use crate::search::SearchOutcome;
-use harmony_space::ParameterSpace;
+use harmony_exec::{Executor, MemoCache};
+use harmony_space::{Configuration, ParameterSpace};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -29,6 +30,50 @@ pub fn random_search(
             performance,
         });
     }
+    SearchOutcome::from_trace(trace)
+}
+
+/// [`random_search`] for a pure evaluation function, measured through an
+/// [`Executor`] with an optional [`MemoCache`] consulted first.
+///
+/// The sample stream depends only on the seed — configurations never
+/// depend on measured values — so the whole budget is drawn up front and
+/// evaluated as one batch; the outcome is identical to [`random_search`]
+/// with the same seed at any job count (for a deterministic objective
+/// when a cache is used: duplicate draws then answer with their first
+/// measurement).
+pub fn random_search_with<F>(
+    space: &ParameterSpace,
+    eval: &F,
+    budget: usize,
+    seed: u64,
+    executor: &Executor,
+    cache: Option<&MemoCache>,
+) -> Option<SearchOutcome>
+where
+    F: Fn(&Configuration) -> f64 + Sync,
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let configs: Vec<Configuration> = (0..budget)
+        .map(|_| {
+            let fracs: Vec<f64> = (0..space.len()).map(|_| rng.gen_range(0.0..1.0)).collect();
+            space.from_fractions(&fracs)
+        })
+        .collect();
+    let perfs = match cache {
+        Some(c) => executor.evaluate_batch_cached(&configs, c, eval),
+        None => executor.evaluate_batch(&configs, eval),
+    };
+    let trace: Vec<TraceEntry> = configs
+        .into_iter()
+        .zip(perfs)
+        .enumerate()
+        .map(|(iteration, (config, performance))| TraceEntry {
+            iteration,
+            config,
+            performance,
+        })
+        .collect();
     SearchOutcome::from_trace(trace)
 }
 
@@ -66,6 +111,22 @@ mod tests {
             a.best_performance
         );
         assert_eq!(a.trace.len(), 200);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_the_same_seed() {
+        let f = |c: &Configuration| -((c.get(0) - 30).pow(2) + (c.get(1) - 10).pow(2)) as f64;
+        let mut obj = FnObjective::new(f);
+        let seq = random_search(&space(), &mut obj, 150, 11).unwrap();
+        for jobs in [1, 2, 8] {
+            let par = random_search_with(&space(), &f, 150, 11, &Executor::new(jobs), None);
+            assert_eq!(par.unwrap(), seq, "jobs={jobs}");
+        }
+        // With a cache, duplicate draws reuse their first measurement —
+        // identical here because the objective is deterministic.
+        let cache = MemoCache::new(10_000);
+        let cached = random_search_with(&space(), &f, 150, 11, &Executor::new(4), Some(&cache));
+        assert_eq!(cached.unwrap(), seq);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! exactly the data-parallel shape the HPC guides recommend exploiting.
 
 use crate::objective::Objective;
+use harmony_exec::{Executor, MemoCache};
 use harmony_space::{Configuration, ParameterSpace};
 
 /// Sensitivity result for one parameter.
@@ -336,19 +337,37 @@ impl Prioritizer {
         }
     }
 
-    /// Parallel variant for pure evaluation functions: parameters are
-    /// swept concurrently on scoped threads.
+    /// Parallel variant for pure evaluation functions: the sweeps run
+    /// on an [`Executor`] with `threads` jobs.
     pub fn analyze_parallel<F>(&self, eval: F, threads: usize) -> SensitivityReport
     where
         F: Fn(&Configuration) -> f64 + Sync,
     {
+        self.analyze_with(&eval, &Executor::new(threads), None)
+    }
+
+    /// Run the tool through an [`Executor`], optionally consulting a
+    /// [`MemoCache`] before any measurement.
+    ///
+    /// Every `(parameter, value, repeat)` probe is independent, so the
+    /// whole sweep is flattened into one batch; results are identical
+    /// to [`analyze`](Self::analyze) for a pure evaluation function at
+    /// any job count. The noise floor (when enabled) is always measured
+    /// uncached and sequentially — its entire purpose is to observe
+    /// fresh run-to-run swing, which a memo of the first sample would
+    /// hide.
+    pub fn analyze_with<F>(
+        &self,
+        eval: &F,
+        executor: &Executor,
+        cache: Option<&MemoCache>,
+    ) -> SensitivityReport
+    where
+        F: Fn(&Configuration) -> f64 + Sync,
+    {
         crate::obs::sensitivity_reports_total().inc();
-        let threads = threads.max(1);
-        let n = self.space.len();
-        let mut slots: Vec<Option<ParamSensitivity>> = (0..n).map(|_| None).collect();
         let mut explorations = 0u64;
-        // Noise floor is measured up front (sequentially; it is one
-        // configuration).
+        // Noise floor first (uncached: see above).
         let floor = if self.noise_floor_samples >= 2 {
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
@@ -366,45 +385,44 @@ impl Prioritizer {
         } else {
             0.0
         };
-        // Partition parameter indices across scoped threads; each thread
-        // writes to its own disjoint chunk of the results.
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                let eval = &eval;
-                let this = &*self;
-                handles.push(scope.spawn(move || {
-                    let mut local_explorations = 0u64;
-                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                        let j = t * chunk + off;
-                        let sweep: Vec<(i64, f64)> = this
-                            .sweep_values(j)
-                            .into_iter()
-                            .map(|v| {
-                                let cfg = this.base.with_value(j, v);
-                                let mut sum = 0.0;
-                                for _ in 0..this.repeats {
-                                    local_explorations += 1;
-                                    sum += eval(&cfg);
-                                }
-                                (v, sum / this.repeats as f64)
-                            })
-                            .collect();
-                        *slot = Some(this.score_with_floor(j, sweep, floor));
-                    }
-                    local_explorations
-                }));
+        // Flatten every (parameter, value, repeat) probe into one batch.
+        let sweeps: Vec<Vec<i64>> = (0..self.space.len())
+            .map(|j| self.sweep_values(j))
+            .collect();
+        let mut batch: Vec<Configuration> = Vec::new();
+        for (j, values) in sweeps.iter().enumerate() {
+            for &v in values {
+                for _ in 0..self.repeats {
+                    batch.push(self.base.with_value(j, v));
+                }
             }
-            for h in handles {
-                explorations += h.join().expect("sensitivity worker panicked");
-            }
-        });
+        }
+        explorations += batch.len() as u64;
+        let measured = match cache {
+            Some(c) => executor.evaluate_batch_cached(&batch, c, eval),
+            None => executor.evaluate_batch(&batch, eval),
+        };
+        // Reassemble per-value averages in sweep order.
+        let mut results = measured.iter();
+        let entries = sweeps
+            .into_iter()
+            .enumerate()
+            .map(|(j, values)| {
+                let sweep: Vec<(i64, f64)> = values
+                    .into_iter()
+                    .map(|v| {
+                        let mut sum = 0.0;
+                        for _ in 0..self.repeats {
+                            sum += results.next().expect("one result per probe");
+                        }
+                        (v, sum / self.repeats as f64)
+                    })
+                    .collect();
+                self.score_with_floor(j, sweep, floor)
+            })
+            .collect();
         SensitivityReport {
-            entries: slots
-                .into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect(),
+            entries,
             explorations,
         }
     }

@@ -1,11 +1,12 @@
 //! Tuning sessions: the normal one-stage flow and the §4.2 two-stage
 //! (training + live) flow.
 
-use crate::estimate::estimate_performance;
+use crate::estimate::Estimator;
 use crate::history::RunHistory;
 use crate::kernel::{InitStrategy, SimplexKernel};
 use crate::objective::Objective;
 use crate::report::{analyze_trace, ReportOptions, TraceEntry, TuningReport};
+use harmony_exec::{Executor, MemoCache};
 use harmony_obs::event::{event, Level};
 use harmony_space::{Configuration, ParameterSpace};
 use std::time::Instant;
@@ -213,6 +214,52 @@ impl TuningSession {
         Some(cfg)
     }
 
+    /// Every configuration whose measurement can be gathered before the
+    /// next proposal depends on it, capped at the remaining budget —
+    /// the whole remaining initial simplex during the init phase, the
+    /// remaining vertices during a post-training refresh, and otherwise
+    /// the single outstanding configuration.
+    ///
+    /// Evaluate the batch (in any order, e.g. on an
+    /// [`Executor`]) and report the results *in
+    /// batch order* through [`observe_batch`](Self::observe_batch).
+    /// Empty once the session is over.
+    pub fn next_batch(&mut self) -> Vec<Configuration> {
+        if let Some(cfg) = &self.pending {
+            return vec![cfg.clone()];
+        }
+        if self.is_done() {
+            return Vec::new();
+        }
+        let remaining = self.options.max_iterations - self.trace.len();
+        let mut batch = self.kernel.batchable_configs();
+        batch.truncate(remaining.max(1));
+        batch
+    }
+
+    /// Report measurements for a batch from
+    /// [`next_batch`](Self::next_batch), in batch order.
+    ///
+    /// Observation stops as soon as the session ends mid-batch (the
+    /// convergence check runs after every single measurement, exactly as
+    /// in the one-at-a-time loop); surplus measurements are discarded so
+    /// the outcome is identical to sequential stepping. Returns how many
+    /// measurements were consumed.
+    pub fn observe_batch(&mut self, performances: &[f64]) -> Result<usize, SessionError> {
+        let mut used = 0;
+        for &performance in performances {
+            if self.is_done() {
+                break;
+            }
+            if self.pending.is_none() {
+                self.pending = Some(self.kernel.next_config());
+            }
+            self.observe(performance)?;
+            used += 1;
+        }
+        Ok(used)
+    }
+
     /// Report the measured performance of the outstanding configuration.
     pub fn observe(&mut self, performance: f64) -> Result<(), SessionError> {
         let config = self
@@ -383,6 +430,84 @@ impl Tuner {
         self.drive(kernel, objective, trained)
     }
 
+    /// [`run`](Self::run) for a pure evaluation function, with batchable
+    /// phases (initial simplex, post-training refresh) measured through
+    /// `executor` and, when a `cache` is given, every measurement
+    /// consulted against it first.
+    ///
+    /// Without a cache the outcome is identical to [`run`](Self::run)
+    /// at any job count: batches preserve input order and the
+    /// observation loop replays the sequential one exactly. With a
+    /// cache, revisited configurations answer with their memoized first
+    /// measurement instead of a fresh sample — for a deterministic
+    /// objective that changes nothing; for a noisy one it keeps the
+    /// kernel from chasing noise on configurations it already paid for.
+    pub fn run_parallel<F>(
+        &self,
+        eval: &F,
+        executor: &Executor,
+        cache: Option<&MemoCache>,
+    ) -> TuningOutcome
+    where
+        F: Fn(&Configuration) -> f64 + Sync,
+    {
+        let kernel = SimplexKernel::new(self.space.clone(), self.options.init);
+        self.drive_parallel(kernel, eval, executor, cache, 0)
+    }
+
+    /// [`run_trained`](Self::run_trained) for a pure evaluation function
+    /// (see [`run_parallel`](Self::run_parallel)). The training stage
+    /// itself is virtual and stays sequential; the live refresh of the
+    /// trained simplex is where the batch evaluation pays off.
+    pub fn run_trained_parallel<F>(
+        &self,
+        eval: &F,
+        history: &RunHistory,
+        mode: TrainingMode,
+        executor: &Executor,
+        cache: Option<&MemoCache>,
+    ) -> TuningOutcome
+    where
+        F: Fn(&Configuration) -> f64 + Sync,
+    {
+        let (kernel, trained) = self.trained_kernel(history, mode);
+        self.drive_parallel(kernel, eval, executor, cache, trained)
+    }
+
+    /// Batch counterpart of [`drive`](Self::drive).
+    fn drive_parallel<F>(
+        &self,
+        kernel: SimplexKernel,
+        eval: &F,
+        executor: &Executor,
+        cache: Option<&MemoCache>,
+        training_iterations: usize,
+    ) -> TuningOutcome
+    where
+        F: Fn(&Configuration) -> f64 + Sync,
+    {
+        let mut session = TuningSession::from_kernel(
+            self.space.clone(),
+            self.options.clone(),
+            kernel,
+            training_iterations,
+        );
+        loop {
+            let batch = session.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            let performances = match cache {
+                Some(c) => executor.evaluate_batch_cached(&batch, c, eval),
+                None => executor.evaluate_batch(&batch, eval),
+            };
+            session
+                .observe_batch(&performances)
+                .expect("batch proposals are outstanding");
+        }
+        session.finish()
+    }
+
     /// Step-at-a-time flavour of [`run`](Self::run): the caller measures.
     pub fn session(&self) -> TuningSession {
         let kernel = SimplexKernel::new(self.space.clone(), self.options.init);
@@ -430,9 +555,13 @@ impl Tuner {
                 let seeds = self.diverse_seeds(history);
                 let mut kernel = SimplexKernel::with_seeded_simplex(self.space.clone(), seeds);
                 let mut trained = 0usize;
+                // One index over the records answers every virtual
+                // iteration; rebuilding it per request would re-sort the
+                // whole history each time.
+                let estimator = Estimator::new(&self.space, &history.records);
                 for _ in 0..budget {
                     let cfg = kernel.next_config();
-                    match estimate_performance(&self.space, &history.records, &cfg) {
+                    match estimator.estimate(&cfg) {
                         Some(est) => {
                             kernel.observe(est);
                             trained += 1;
@@ -759,6 +888,79 @@ mod tests {
         let out = session.finish();
         assert_eq!(out.trace.len(), 3);
         assert!(!out.converged);
+    }
+
+    #[test]
+    fn run_parallel_matches_run_exactly() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let seq = tuner.run(&mut obj);
+        for jobs in [1, 2, 8] {
+            let par = tuner.run_parallel(&paraboloid, &Executor::new(jobs), None);
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_trained_parallel_matches_run_trained() {
+        let space = space2();
+        let mut history = RunHistory::new("prior", vec![0.5]);
+        for x in [20, 40, 60, 80] {
+            for y in [30, 50, 70, 90] {
+                let cfg = Configuration::new(vec![x, y]);
+                history.push(&cfg, paraboloid(&cfg));
+            }
+        }
+        let tuner = Tuner::new(space, TuningOptions::improved());
+        let mut obj = FnObjective::new(paraboloid);
+        let seq = tuner.run_trained(&mut obj, &history, TrainingMode::Replay(15));
+        let par = tuner.run_trained_parallel(
+            &paraboloid,
+            &history,
+            TrainingMode::Replay(15),
+            &Executor::new(4),
+            None,
+        );
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn cached_run_consults_the_cache_before_measuring() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let tuner = Tuner::new(space2(), TuningOptions::improved());
+        let calls = AtomicU64::new(0);
+        let eval = |cfg: &Configuration| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            paraboloid(cfg)
+        };
+        let cache = MemoCache::new(100_000);
+        let out = tuner.run_parallel(&eval, &Executor::new(2), Some(&cache));
+        // The deterministic objective makes caching behaviour-neutral:
+        // same outcome as the uncached run.
+        let uncached = tuner.run_parallel(&paraboloid, &Executor::new(2), None);
+        assert_eq!(out, uncached);
+        // The discrete simplex revisits grid points; all of those came
+        // from the cache instead of fresh measurements.
+        assert!(cache.hits() > 0, "simplex revisits must hit the cache");
+        assert_eq!(
+            calls.load(Ordering::Relaxed) + cache.hits(),
+            out.trace.len() as u64
+        );
+    }
+
+    #[test]
+    fn next_batch_respects_pending_and_budget() {
+        let tuner = Tuner::new(space2(), TuningOptions::improved().with_max_iterations(2));
+        let mut session = tuner.session();
+        let batch = session.next_batch();
+        assert_eq!(batch.len(), 2, "3 init vertices capped at budget 2");
+        let cfg = session.next_config().unwrap();
+        assert_eq!(session.next_batch(), vec![cfg.clone()], "pending wins");
+        session.observe(paraboloid(&cfg)).unwrap();
+        let used = session.observe_batch(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(used, 1, "budget ends the session mid-batch");
+        assert!(session.is_done());
+        assert!(session.next_batch().is_empty());
     }
 
     #[test]

@@ -57,8 +57,12 @@ pub enum Command {
     Serve {
         /// Path to the RSL file describing the space the daemon serves.
         rsl: String,
-        /// Experience-database path, persisted across restarts.
+        /// Experience-database snapshot path, persisted across restarts.
         db: Option<String>,
+        /// Write-ahead journal path (defaults to the db path + ".wal").
+        wal: Option<String>,
+        /// Fold journal into snapshot after this many appends.
+        compact_every: Option<usize>,
         /// Address to bind.
         listen: String,
         /// Default live-iteration budget for sessions.
@@ -111,6 +115,7 @@ USAGE:
               [--characteristics a,b,c] [--remote <host:port>]
               -- <measure-cmd> [args…]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
+              [--wal <journal.wal>] [--compact-every N]
               [--iterations N] [--max-connections N] [--log-json <events.jsonl>]
   harmony-cli stats <host:port>
   harmony-cli db <experience.json>
@@ -132,7 +137,13 @@ its shared experience database and records the finished run back into it.
 --remote. 'serve' listens until stdin reaches end-of-file; --log-json appends
 one structured JSON event per line (session starts, records, persistence
 failures) to the given file. 'stats' prints the daemon's live metrics in
-Prometheus text exposition format.";
+Prometheus text exposition format.
+
+With --db, completed runs are journaled to a write-ahead log (one JSON line
+per run, --wal overrides its location) and folded into the snapshot file
+every --compact-every appends (default 64) and at shutdown. A crash between
+compactions loses nothing: on restart the daemon replays the journal on top
+of the snapshot, tolerating at most one torn final line.";
 
 /// Parse a full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
@@ -277,6 +288,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 .ok_or_else(|| err("serve: missing RSL file"))?
                 .clone();
             let mut db = None;
+            let mut wal = None;
+            let mut compact_every = None;
             let mut listen = "127.0.0.1:1977".to_string();
             let mut iterations = None;
             let mut max_connections = None;
@@ -284,6 +297,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--db" => db = Some(next_str(&mut it, "--db")?),
+                    "--wal" => wal = Some(next_str(&mut it, "--wal")?),
+                    "--compact-every" => {
+                        compact_every = Some(parse_value(&mut it, "--compact-every")?)
+                    }
                     "--listen" => listen = next_str(&mut it, "--listen")?,
                     "--iterations" => iterations = Some(parse_value(&mut it, "--iterations")?),
                     "--max-connections" => {
@@ -293,10 +310,17 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     other => return Err(err(format!("serve: unexpected argument {other:?}"))),
                 }
             }
+            if db.is_none() && (wal.is_some() || compact_every.is_some()) {
+                return Err(err(
+                    "serve: --wal and --compact-every need --db (nothing persists without it)",
+                ));
+            }
             Ok(Cli {
                 command: Command::Serve {
                     rsl,
                     db,
+                    wal,
+                    compact_every,
                     listen,
                     iterations,
                     max_connections,
@@ -524,6 +548,8 @@ mod tests {
             Command::Serve {
                 rsl: "p.rsl".into(),
                 db: None,
+                wal: None,
+                compact_every: None,
                 listen: "127.0.0.1:1977".into(),
                 iterations: None,
                 max_connections: None,
@@ -538,6 +564,10 @@ mod tests {
             "0.0.0.0:7007",
             "--db",
             "e.json",
+            "--wal",
+            "e.wal",
+            "--compact-every",
+            "16",
             "--iterations",
             "80",
             "--max-connections",
@@ -551,6 +581,8 @@ mod tests {
             Command::Serve {
                 rsl: "p.rsl".into(),
                 db: Some("e.json".into()),
+                wal: Some("e.wal".into()),
+                compact_every: Some(16),
                 listen: "0.0.0.0:7007".into(),
                 iterations: Some(80),
                 max_connections: Some(4),
@@ -561,6 +593,13 @@ mod tests {
         assert!(parse_args(&v(&["serve"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--port", "1"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--log-json"])).is_err());
+    }
+
+    #[test]
+    fn serve_wal_flags_need_a_db() {
+        assert!(parse_args(&v(&["serve", "p.rsl", "--wal", "e.wal"])).is_err());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--compact-every", "8"])).is_err());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--compact-every", "x", "--db", "e"])).is_err());
     }
 
     #[test]

@@ -215,6 +215,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
         Command::Serve {
             rsl,
             db,
+            wal,
+            compact_every,
             listen,
             iterations,
             max_connections,
@@ -223,6 +225,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
             return serve(
                 &rsl,
                 db.as_deref(),
+                wal.as_deref(),
+                compact_every,
                 &listen,
                 iterations,
                 max_connections,
@@ -421,6 +425,8 @@ fn measure_exploration(
 pub fn serve(
     rsl: &str,
     db: Option<&str>,
+    wal: Option<&str>,
+    compact_every: Option<usize>,
     listen: &str,
     iterations: Option<usize>,
     max_connections: Option<usize>,
@@ -435,6 +441,7 @@ pub fn serve(
     let mut config = DaemonConfig {
         listen: listen.to_string(),
         db_path: db.map(PathBuf::from),
+        wal_path: wal.map(PathBuf::from),
         server_name: format!("harmony-cli {}", env!("CARGO_PKG_VERSION")),
         ..DaemonConfig::default()
     };
@@ -443,6 +450,9 @@ pub fn serve(
     }
     if let Some(n) = max_connections {
         config.max_connections = n;
+    }
+    if let Some(n) = compact_every {
+        config.compact_every = n;
     }
     let handle = TuningDaemon::start(config).map_err(|e| fail(e.to_string()))?;
     eprintln!("harmony-cli: serving {} parameters from {rsl}", space.len());
@@ -719,6 +729,8 @@ mod tests {
         let report = serve(
             rsl.to_str().unwrap(),
             Some(db.to_str().unwrap()),
+            None,
+            None,
             "127.0.0.1:0",
             Some(50),
             None,
@@ -773,6 +785,8 @@ mod tests {
         serve(
             rsl.to_str().unwrap(),
             None,
+            None,
+            None,
             "127.0.0.1:0",
             Some(20),
             None,
@@ -805,6 +819,8 @@ mod tests {
         let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3)))";
         serve(
             rsl.to_str().unwrap(),
+            None,
+            None,
             None,
             "127.0.0.1:0",
             Some(20),
@@ -847,6 +863,8 @@ mod tests {
         let rsl = write_rsl("serve-fail.rsl");
         serve(
             rsl.to_str().unwrap(),
+            None,
+            None,
             None,
             "127.0.0.1:0",
             Some(20),

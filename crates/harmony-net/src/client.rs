@@ -1,6 +1,6 @@
 //! Blocking client for the tuning daemon.
 
-use crate::codec::{read_frame, write_frame};
+use crate::codec::{read_frame_buf, write_frame_buf};
 use crate::protocol::{
     Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
 };
@@ -46,6 +46,9 @@ pub struct SessionSummary {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Frame scratch, reused across round trips (requests are written
+    /// before responses are read, so one buffer serves both directions).
+    buf: Vec<u8>,
 }
 
 impl Client {
@@ -53,7 +56,10 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let mut client = Client { stream };
+        let mut client = Client {
+            stream,
+            buf: Vec::new(),
+        };
         let response = client.round_trip(&Request::Hello {
             version: PROTOCOL_VERSION,
             client: format!("harmony-net client {}", env!("CARGO_PKG_VERSION")),
@@ -182,8 +188,8 @@ impl Client {
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
-        write_frame(&mut self.stream, request)?;
-        match read_frame(&mut self.stream)? {
+        write_frame_buf(&mut self.stream, request, &mut self.buf)?;
+        match read_frame_buf(&mut self.stream, &mut self.buf)? {
             Response::Error { message } => Err(NetError::Remote(message)),
             response => Ok(response),
         }

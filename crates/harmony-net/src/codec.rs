@@ -4,6 +4,17 @@
 //! Length-prefixing keeps the reader trivial (no scanning for
 //! delimiters, no JSON-aware buffering) and makes oversized or garbage
 //! input detectable before any parsing happens.
+//!
+//! The hot paths are allocation-conscious: writers assemble header and
+//! payload in one buffer and issue a **single** `write_all` (one
+//! syscall per frame instead of two), readers decode straight from the
+//! receive buffer with [`serde_json::from_slice`] (UTF-8 validated in
+//! place, no owned `String` copy), and the `_buf` variants reuse a
+//! caller-held scratch buffer so a long-lived connection stops
+//! allocating once its buffer has grown to the workload's frame size.
+//! A frame's length prefix is untrusted input: the reader allocates at
+//! most [`READ_CHUNK`] up front and grows as bytes actually arrive, so
+//! a hostile 16 MiB header cannot balloon memory by itself.
 
 use crate::NetError;
 use serde::{Deserialize, Serialize};
@@ -13,21 +24,57 @@ use std::io::{Read, Write};
 /// comes close, so a bigger prefix means a confused or hostile peer.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
-/// Serialize `msg` and write it as one frame.
-pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), NetError> {
+/// Upper bound on the *initial* payload allocation (64 KiB). The buffer
+/// grows chunk by chunk as payload bytes arrive, so memory tracks what
+/// the peer actually sent rather than what its header promised.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// Serialize `msg` into `out` as one length-prefixed frame (header and
+/// payload contiguous). `out` is cleared first; its capacity is reused.
+pub fn encode_frame<T: Serialize>(msg: &T, out: &mut Vec<u8>) -> Result<(), NetError> {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
     let payload = serde_json::to_string(msg).map_err(|e| NetError::Protocol(e.to_string()))?;
-    let bytes = payload.as_bytes();
-    if bytes.len() as u64 > MAX_FRAME_LEN as u64 {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(NetError::Protocol(format!(
             "outgoing frame of {} bytes exceeds the {} byte limit",
-            bytes.len(),
+            payload.len(),
             MAX_FRAME_LEN
         )));
     }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
+    out.extend_from_slice(payload.as_bytes());
+    let header = (payload.len() as u32).to_be_bytes();
+    out[..4].copy_from_slice(&header);
+    Ok(())
+}
+
+/// Serialize `msg` and write it as one frame with a single `write_all`.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), NetError> {
+    let mut buf = Vec::new();
+    write_frame_buf(w, msg, &mut buf)
+}
+
+/// [`write_frame`] reusing `scratch` for the frame bytes: a steady-state
+/// connection assembles every outgoing frame in the same allocation.
+pub fn write_frame_buf<W: Write, T: Serialize>(
+    w: &mut W,
+    msg: &T,
+    scratch: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    encode_frame(msg, scratch)?;
+    w.write_all(scratch)?;
     w.flush()?;
     Ok(())
+}
+
+/// Validate a frame length against [`MAX_FRAME_LEN`].
+pub(crate) fn check_len(len: u32) -> Result<usize, NetError> {
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+        )));
+    }
+    Ok(len as usize)
 }
 
 /// Read one frame and deserialize it.
@@ -36,19 +83,33 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), Net
 /// [`NetError::Io`] with `UnexpectedEof` — check
 /// [`NetError::is_disconnect`].
 pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> Result<T, NetError> {
+    let mut buf = Vec::new();
+    read_frame_buf(r, &mut buf)
+}
+
+/// [`read_frame`] reusing `scratch` as the receive buffer: the payload
+/// is read into it (clamped-chunk growth) and decoded in place.
+pub fn read_frame_buf<R: Read, T: Deserialize>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+) -> Result<T, NetError> {
     let mut header = [0u8; 4];
     r.read_exact(&mut header)?;
-    let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME_LEN {
-        return Err(NetError::Protocol(format!(
-            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
-        )));
+    let len = check_len(u32::from_be_bytes(header))?;
+    scratch.clear();
+    let mut filled = 0;
+    while filled < len {
+        let target = len.min(filled + READ_CHUNK);
+        scratch.resize(target, 0);
+        r.read_exact(&mut scratch[filled..target])?;
+        filled = target;
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    let text = String::from_utf8(payload)
-        .map_err(|e| NetError::Protocol(format!("frame is not UTF-8: {e}")))?;
-    serde_json::from_str(&text).map_err(|e| NetError::Protocol(format!("bad frame: {e}")))
+    decode_payload(&scratch[..len])
+}
+
+/// Decode one frame payload (UTF-8 validated in place, no copy).
+pub(crate) fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, NetError> {
+    serde_json::from_slice(payload).map_err(|e| NetError::Protocol(format!("bad frame: {e}")))
 }
 
 #[cfg(test)]
@@ -104,12 +165,93 @@ mod tests {
     }
 
     #[test]
+    fn frame_is_one_contiguous_buffer() {
+        // Header and payload come out of a single write: a writer that
+        // counts calls sees exactly one.
+        struct CountingWriter {
+            writes: usize,
+            bytes: Vec<u8>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.writes += 1;
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = CountingWriter {
+            writes: 0,
+            bytes: Vec::new(),
+        };
+        write_frame(&mut w, &Request::Fetch).unwrap();
+        assert_eq!(w.writes, 1, "header+payload must coalesce");
+        let got: Request = read_frame(&mut Cursor::new(w.bytes)).unwrap();
+        assert_eq!(got, Request::Fetch);
+    }
+
+    #[test]
+    fn buffered_variants_reuse_scratch_and_round_trip() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_buf(&mut wire, &Request::Fetch, &mut scratch).unwrap();
+        write_frame_buf(
+            &mut wire,
+            &Request::Report { performance: 2.5 },
+            &mut scratch,
+        )
+        .unwrap();
+        let mut cursor = Cursor::new(wire);
+        let mut rbuf = Vec::new();
+        assert_eq!(
+            read_frame_buf::<_, Request>(&mut cursor, &mut rbuf).unwrap(),
+            Request::Fetch
+        );
+        assert_eq!(
+            read_frame_buf::<_, Request>(&mut cursor, &mut rbuf).unwrap(),
+            Request::Report { performance: 2.5 }
+        );
+    }
+
+    #[test]
+    fn large_frame_crosses_the_chunk_boundary() {
+        // > READ_CHUNK of payload exercises the grow-while-reading path.
+        let big = "x".repeat(READ_CHUNK + 1234);
+        let msg = Request::SessionStart {
+            space: SpaceSpec::Rsl(big),
+            label: "big".into(),
+            characteristics: vec![],
+            max_iterations: None,
+        };
+        assert_eq!(round_trip(&msg), msg);
+    }
+
+    #[test]
     fn oversized_header_is_rejected_before_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
         buf.extend_from_slice(b"ignored");
         let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn huge_header_with_no_payload_fails_without_ballooning() {
+        // A legal-but-huge header followed by nothing: the reader must
+        // hit EOF after at most one chunk, never having resized to the
+        // promised 16 MiB.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAX_FRAME_LEN.to_be_bytes());
+        let mut scratch = Vec::new();
+        let err = read_frame_buf::<_, Request>(&mut Cursor::new(buf), &mut scratch).unwrap_err();
+        assert!(err.is_disconnect(), "{err}");
+        assert!(
+            scratch.capacity() <= 2 * READ_CHUNK,
+            "allocated {} bytes for a payload that never arrived",
+            scratch.capacity()
+        );
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! | `harmony_net_warm_start_total{result=…}` | counter | `SessionStart` classification hits/misses |
 //! | `harmony_net_db_runs` | gauge | runs currently in the shared experience db |
 //! | `harmony_net_db_persist_failures_total` | counter | failed experience-db persistence attempts |
+//! | `harmony_net_db_snapshot_swaps_total` | counter | copy-on-write database snapshot swaps |
+//!
+//! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
+//! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
+//! the same registry and are preregistered here too, so a `Stats`
+//! request sees the whole experience-path set from startup.
 
 use harmony_obs::metrics::{global, Counter, Gauge, Histogram, LATENCY_SECONDS};
 use std::sync::{Arc, OnceLock};
@@ -136,6 +142,15 @@ handle!(
     )
 );
 
+handle!(
+    db_snapshot_swaps_total,
+    Counter,
+    global().counter(
+        "harmony_net_db_snapshot_swaps_total",
+        "Copy-on-write experience-database snapshot swaps.",
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -193,6 +208,9 @@ pub(crate) fn preregister() {
     // hit/miss/eviction accounting) share the global registry; register
     // them too so `Stats` shows them as zeros before the first batch.
     harmony_exec::preregister();
+    // Likewise the experience-path WAL/compaction metrics the harmony
+    // crate emits from inside `history::wal`.
+    harmony::preregister_db_metrics();
     connections_total();
     connections_active();
     connections_refused_total();
@@ -204,6 +222,7 @@ pub(crate) fn preregister() {
     warm_start_misses_total();
     db_runs();
     db_persist_failures_total();
+    db_snapshot_swaps_total();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

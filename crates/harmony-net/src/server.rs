@@ -6,27 +6,43 @@
 //! over the cap get an in-protocol `Error` and are closed immediately
 //! rather than queued, so a stalled client cannot starve new ones.
 //!
-//! The experience database sits behind an `RwLock`: classification at
-//! `SessionStart` and `DbQuery` take read locks, recording a finished
-//! run takes a brief write lock. Tuning itself touches only
-//! connection-local state, so concurrent sessions never contend beyond
-//! those two moments.
+//! The experience database is an **atomic snapshot**: readers
+//! (`SessionStart` classification, `DbQuery`) grab an
+//! `Arc<DbSnapshot>` — an immutable database plus its prebuilt
+//! [`CharacteristicsIndex`] — with nothing but a pointer load, so they
+//! never wait on a writer. Recording a finished run copies the database,
+//! rebuilds the index, and swaps the pointer under a small writer mutex;
+//! only concurrent *writers* serialize, and the swap itself holds the
+//! read path's lock for a single pointer store.
+//!
+//! Durability runs off the request path entirely: recorded runs are
+//! handed to a background *flusher* thread which appends them to a
+//! write-ahead journal (see [`harmony::history::wal`]) and periodically
+//! folds journal plus snapshot into a fresh whole-file snapshot
+//! (*compaction*). A slow disk therefore delays nothing but the flusher.
+//! The pre-snapshot design (one `RwLock`, synchronous whole-file save on
+//! the request thread) is preserved behind
+//! [`DaemonConfig::legacy_lock`] so `bench_daemon` can measure the
+//! difference.
 
-use crate::codec::{write_frame, MAX_FRAME_LEN};
+use crate::codec::{write_frame, write_frame_buf, READ_CHUNK};
 use crate::protocol::{
     Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
 };
 use crate::NetError;
-use harmony::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
+use harmony::history::wal::{self, WalWriter};
+use harmony::history::{
+    CharacteristicsIndex, DataAnalyzer, DbError, ExperienceDb, RunHistory, TuningRecord,
+};
 use harmony::sensitivity::SensitivityReport;
 use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
 use harmony_obs::event::{event, Level};
 use harmony_space::{parse_rsl, ParameterSpace};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -39,10 +55,14 @@ pub struct DaemonConfig {
     /// Address to bind (`"127.0.0.1:0"` picks a free port; read it back
     /// from [`DaemonHandle::addr`]).
     pub listen: String,
-    /// Experience-database file. Loaded at startup when it exists;
-    /// written after completed sessions and at shutdown. `None` keeps
-    /// the database in memory only.
+    /// Experience-database snapshot file. Loaded at startup when it
+    /// exists (together with any journal alongside it); compacted to
+    /// periodically and at shutdown. `None` keeps the database in
+    /// memory only.
     pub db_path: Option<PathBuf>,
+    /// Write-ahead journal file. Defaults to `db_path` with `.wal`
+    /// appended; ignored when `db_path` is `None`.
+    pub wal_path: Option<PathBuf>,
     /// Concurrent-connection cap; further connections are refused with
     /// an `Error` response.
     pub max_connections: usize,
@@ -53,8 +73,16 @@ pub struct DaemonConfig {
     pub training: TrainingMode,
     /// Classification mechanism and match gate.
     pub analyzer: DataAnalyzer,
-    /// Persist the database after every N completed sessions.
+    /// Legacy mode only: persist the database after every N completed
+    /// sessions. The snapshot path persists via the journal instead.
     pub save_every: usize,
+    /// Fold journal + snapshot into a fresh snapshot after this many
+    /// journal appends (0 compacts only at shutdown).
+    pub compact_every: usize,
+    /// Run the pre-snapshot scheme: one `RwLock` around the database and
+    /// synchronous whole-file persistence on the request thread. Kept so
+    /// `bench_daemon --legacy-lock` can measure the old behavior.
+    pub legacy_lock: bool,
     /// Name reported in the `Hello` exchange.
     pub server_name: String,
 }
@@ -64,30 +92,206 @@ impl Default for DaemonConfig {
         DaemonConfig {
             listen: "127.0.0.1:0".into(),
             db_path: None,
+            wal_path: None,
             max_connections: 32,
             tuning: TuningOptions::improved(),
             training: TrainingMode::Replay(12),
             analyzer: DataAnalyzer::new(),
             save_every: 1,
+            compact_every: 64,
+            legacy_lock: false,
             server_name: "harmony-net".into(),
         }
     }
 }
 
+/// Where the background flusher puts recorded runs.
+///
+/// The daemon's default sink journals to a [`WalWriter`] and compacts to
+/// the snapshot file; tests inject slow or failing sinks via
+/// [`TuningDaemon::start_with_sink`] to exercise the decoupling.
+pub trait DbSink: Send {
+    /// Append one recorded run to durable storage.
+    fn append(&mut self, run: &RunHistory) -> Result<(), DbError>;
+    /// Barrier after a batch of appends (an `fsync`, typically).
+    fn sync(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+    /// Fold the full database into a compacted snapshot, superseding
+    /// everything appended so far.
+    fn compact(&mut self, db: &ExperienceDb) -> Result<(), DbError>;
+}
+
+/// The standard sink: WAL appends plus whole-file snapshot compaction.
+pub struct FileSink {
+    snapshot: PathBuf,
+    wal: WalWriter,
+}
+
+impl FileSink {
+    /// Open (creating if needed) the journal next to the snapshot.
+    pub fn open(snapshot: PathBuf, journal: PathBuf) -> Result<FileSink, DbError> {
+        Ok(FileSink {
+            snapshot,
+            wal: WalWriter::open(journal)?,
+        })
+    }
+}
+
+impl DbSink for FileSink {
+    fn append(&mut self, run: &RunHistory) -> Result<(), DbError> {
+        self.wal.append_run(run)
+    }
+
+    fn sync(&mut self) -> Result<(), DbError> {
+        self.wal.sync()
+    }
+
+    fn compact(&mut self, db: &ExperienceDb) -> Result<(), DbError> {
+        wal::compact(db, &self.snapshot, &mut self.wal)
+    }
+}
+
+/// Immutable view of the database at one point in time, with its
+/// classification index prebuilt so readers share the indexing cost.
+struct DbSnapshot {
+    db: ExperienceDb,
+    index: CharacteristicsIndex,
+}
+
+impl DbSnapshot {
+    fn new(db: ExperienceDb) -> Arc<DbSnapshot> {
+        let index = db.build_index();
+        Arc::new(DbSnapshot { db, index })
+    }
+}
+
+/// Atomic-snapshot cell: readers clone an `Arc` under a momentary read
+/// lock; writers serialize on `writer`, copy-on-write outside any lock
+/// the readers see, then swap the pointer.
+struct DbCell {
+    current: RwLock<Arc<DbSnapshot>>,
+    writer: Mutex<()>,
+}
+
+impl DbCell {
+    fn new(db: ExperienceDb) -> DbCell {
+        DbCell {
+            current: RwLock::new(DbSnapshot::new(db)),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The current snapshot — a pointer clone, never blocked by writers.
+    fn load(&self) -> Arc<DbSnapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Copy-on-write append: clone the database, add the run, rebuild
+    /// the index, swap. Returns the new run count.
+    fn add_run(&self, run: RunHistory) -> usize {
+        let _writing = self.writer.lock().expect("writer lock poisoned");
+        let mut db = self.load().db.clone();
+        db.add_run(run);
+        let len = db.len();
+        let next = DbSnapshot::new(db);
+        *self.current.write().expect("snapshot lock poisoned") = next;
+        crate::obs::db_snapshot_swaps_total().inc();
+        len
+    }
+}
+
+enum Backend {
+    /// Atomic snapshots + background flusher (the default).
+    Snapshot {
+        cell: DbCell,
+        /// Hands recorded runs to the flusher; `None` when nothing
+        /// persists. Taking it closes the channel and stops the flusher.
+        tx: Mutex<Option<mpsc::Sender<RunHistory>>>,
+    },
+    /// Pre-snapshot scheme: lock-per-request reads, synchronous saves.
+    Legacy(RwLock<ExperienceDb>),
+}
+
 struct Shared {
     config: DaemonConfig,
-    db: RwLock<ExperienceDb>,
+    backend: Backend,
     active: AtomicUsize,
     completed: AtomicUsize,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    /// Write the database to its configured path, logging (not
-    /// propagating) failures: persistence must never take down serving.
-    fn persist(&self) {
+    /// Classify `observed` against the shared experience (§4.2).
+    fn select_prior(&self, observed: &[f64]) -> Option<RunHistory> {
+        match &self.backend {
+            Backend::Snapshot { cell, .. } => {
+                let snap = cell.load();
+                self.config
+                    .analyzer
+                    .select_with(&snap.db, Some(&snap.index), observed)
+            }
+            Backend::Legacy(lock) => {
+                let db = lock.read().expect("db lock poisoned");
+                self.config.analyzer.select(&db, observed)
+            }
+        }
+    }
+
+    /// Fold a recorded run into the shared database (and, in snapshot
+    /// mode, queue it for the flusher).
+    fn record_run(&self, run: RunHistory) {
+        match &self.backend {
+            Backend::Snapshot { cell, tx } => {
+                let len = cell.add_run(run.clone());
+                crate::obs::db_runs().set(len as i64);
+                if let Some(tx) = tx.lock().expect("flusher sender poisoned").as_ref() {
+                    // A dead flusher only costs durability, not serving.
+                    let _ = tx.send(run);
+                }
+            }
+            Backend::Legacy(lock) => {
+                let mut db = lock.write().expect("db lock poisoned");
+                db.add_run(run);
+                crate::obs::db_runs().set(db.len() as i64);
+            }
+        }
+    }
+
+    fn run_summaries(&self) -> Vec<RunSummary> {
+        let summarize = |db: &ExperienceDb| {
+            db.runs()
+                .iter()
+                .map(|run| RunSummary {
+                    label: run.label.clone(),
+                    characteristics: run.characteristics.clone(),
+                    records: run.records.len(),
+                    best_performance: run.best().map(|r| r.performance),
+                })
+                .collect()
+        };
+        match &self.backend {
+            Backend::Snapshot { cell, .. } => summarize(&cell.load().db),
+            Backend::Legacy(lock) => summarize(&lock.read().expect("db lock poisoned")),
+        }
+    }
+
+    fn db_len(&self) -> usize {
+        match &self.backend {
+            Backend::Snapshot { cell, .. } => cell.load().db.len(),
+            Backend::Legacy(lock) => lock.read().expect("db lock poisoned").len(),
+        }
+    }
+
+    /// Legacy mode: write the database to its configured path, logging
+    /// (not propagating) failures — persistence must never take down
+    /// serving.
+    fn persist_legacy(&self) {
+        let Backend::Legacy(lock) = &self.backend else {
+            return;
+        };
         if let Some(path) = &self.config.db_path {
-            let db = self.db.read().expect("db lock poisoned");
+            let db = lock.read().expect("db lock poisoned");
             if let Err(e) = db.save(path) {
                 crate::obs::db_persist_failures_total().inc();
                 event(Level::Error, "net.db_persist_failed")
@@ -99,12 +303,104 @@ impl Shared {
     }
 }
 
+/// The journal lives next to the snapshot unless configured elsewhere.
+fn effective_wal_path(config: &DaemonConfig, db_path: &Path) -> PathBuf {
+    config.wal_path.clone().unwrap_or_else(|| {
+        let mut name = db_path.as_os_str().to_os_string();
+        name.push(".wal");
+        PathBuf::from(name)
+    })
+}
+
 /// The daemon entry point.
 pub struct TuningDaemon;
 
 impl TuningDaemon {
-    /// Bind, load any persisted experience, and start serving.
+    /// Bind, load any persisted experience (snapshot plus journal), and
+    /// start serving.
     pub fn start(config: DaemonConfig) -> Result<DaemonHandle, NetError> {
+        if config.legacy_lock {
+            return Self::start_legacy(config);
+        }
+        let sink = match &config.db_path {
+            Some(path) => {
+                let journal = effective_wal_path(&config, path);
+                let sink = FileSink::open(path.clone(), journal)
+                    .map_err(|e| NetError::Protocol(format!("cannot open wal: {e}")))?;
+                Some(Box::new(sink) as Box<dyn DbSink>)
+            }
+            None => None,
+        };
+        Self::start_snapshot(config, sink)
+    }
+
+    /// [`start`](Self::start) with a caller-provided persistence sink —
+    /// how tests observe (or sabotage) the background flusher.
+    pub fn start_with_sink(
+        config: DaemonConfig,
+        sink: Box<dyn DbSink>,
+    ) -> Result<DaemonHandle, NetError> {
+        Self::start_snapshot(config, Some(sink))
+    }
+
+    fn start_snapshot(
+        config: DaemonConfig,
+        sink: Option<Box<dyn DbSink>>,
+    ) -> Result<DaemonHandle, NetError> {
+        let db = match &config.db_path {
+            Some(path) => {
+                let journal = effective_wal_path(&config, path);
+                wal::load_with_wal(path, &journal)
+                    .map_err(|e| NetError::Protocol(format!("cannot load experience db: {e}")))?
+            }
+            None => ExperienceDb::new(),
+        };
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        crate::obs::preregister();
+        crate::obs::db_runs().set(db.len() as i64);
+        event(Level::Info, "net.daemon_start")
+            .str("addr", addr.to_string())
+            .u64("db_runs", db.len() as u64)
+            .bool("legacy_lock", false)
+            .emit();
+        let (tx, rx) = match sink {
+            Some(_) => {
+                let (tx, rx) = mpsc::channel();
+                (Some(tx), Some(rx))
+            }
+            None => (None, None),
+        };
+        let shared = Arc::new(Shared {
+            config,
+            backend: Backend::Snapshot {
+                cell: DbCell::new(db),
+                tx: Mutex::new(tx),
+            },
+            active: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let flusher = match (sink, rx) {
+            (Some(sink), Some(rx)) => {
+                let shared = Arc::clone(&shared);
+                Some(std::thread::spawn(move || flusher_loop(rx, sink, shared)))
+            }
+            _ => None,
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(DaemonHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            flusher,
+        })
+    }
+
+    fn start_legacy(config: DaemonConfig) -> Result<DaemonHandle, NetError> {
         let db = match &config.db_path {
             Some(path) if path.exists() => ExperienceDb::load(path)
                 .map_err(|e| NetError::Protocol(format!("cannot load experience db: {e}")))?,
@@ -117,10 +413,11 @@ impl TuningDaemon {
         event(Level::Info, "net.daemon_start")
             .str("addr", addr.to_string())
             .u64("db_runs", db.len() as u64)
+            .bool("legacy_lock", true)
             .emit();
         let shared = Arc::new(Shared {
             config,
-            db: RwLock::new(db),
+            backend: Backend::Legacy(RwLock::new(db)),
             active: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -133,6 +430,7 @@ impl TuningDaemon {
             addr,
             shared,
             acceptor: Some(acceptor),
+            flusher: None,
         })
     }
 }
@@ -142,6 +440,7 @@ pub struct DaemonHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -157,11 +456,11 @@ impl DaemonHandle {
 
     /// Runs currently in the shared experience database.
     pub fn db_runs(&self) -> usize {
-        self.shared.db.read().expect("db lock poisoned").len()
+        self.shared.db_len()
     }
 
     /// Stop accepting, wait for connection threads, persist the
-    /// database.
+    /// database (in snapshot mode: drain the flusher and compact).
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -174,7 +473,18 @@ impl DaemonHandle {
         // Unblock the acceptor with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = acceptor.join();
-        self.shared.persist();
+        match &self.shared.backend {
+            Backend::Snapshot { tx, .. } => {
+                // Closing the channel ends the flusher loop; it drains
+                // queued runs and compacts once more on the way out, so
+                // the snapshot file alone holds the full database.
+                tx.lock().expect("flusher sender poisoned").take();
+                if let Some(flusher) = self.flusher.take() {
+                    let _ = flusher.join();
+                }
+            }
+            Backend::Legacy(_) => self.shared.persist_legacy(),
+        }
         event(Level::Info, "net.daemon_shutdown")
             .str("addr", self.addr.to_string())
             .u64(
@@ -189,6 +499,53 @@ impl Drop for DaemonHandle {
     fn drop(&mut self) {
         self.shutdown_inner();
     }
+}
+
+/// The background flusher: drains recorded runs, appends them to the
+/// sink in coalesced batches, and compacts every
+/// [`DaemonConfig::compact_every`] appends plus once at shutdown.
+fn flusher_loop(rx: mpsc::Receiver<RunHistory>, mut sink: Box<dyn DbSink>, shared: Arc<Shared>) {
+    let compact_every = shared.config.compact_every;
+    let mut since_compact = 0usize;
+    while let Ok(first) = rx.recv() {
+        // Coalesce whatever queued up while the last batch was on disk:
+        // a slow sink batches harder instead of falling further behind.
+        let mut batch = vec![first];
+        while let Ok(more) = rx.try_recv() {
+            batch.push(more);
+        }
+        for run in &batch {
+            if let Err(e) = sink.append(run) {
+                persist_failure("net.db_wal_append_failed", &e);
+            }
+        }
+        if let Err(e) = sink.sync() {
+            persist_failure("net.db_wal_sync_failed", &e);
+        }
+        since_compact += batch.len();
+        if compact_every > 0 && since_compact >= compact_every {
+            compact_now(&shared, sink.as_mut());
+            since_compact = 0;
+        }
+    }
+    // Channel closed: final fold so a plain snapshot load sees
+    // everything (the restart path reads snapshot + journal anyway).
+    compact_now(&shared, sink.as_mut());
+}
+
+fn compact_now(shared: &Shared, sink: &mut dyn DbSink) {
+    let Backend::Snapshot { cell, .. } = &shared.backend else {
+        return;
+    };
+    let snap = cell.load();
+    if let Err(e) = sink.compact(&snap.db) {
+        persist_failure("net.db_compact_failed", &e);
+    }
+}
+
+fn persist_failure(what: &'static str, e: &DbError) {
+    crate::obs::db_persist_failures_total().inc();
+    event(Level::Error, what).str("error", e.to_string()).emit();
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
@@ -246,17 +603,23 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
     let mut active: Option<ActiveSession> = None;
+    // Connection-lifetime scratch: request payloads land in `rbuf`,
+    // response frames are assembled in `wbuf`, so the steady state
+    // allocates nothing for framing.
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
     loop {
-        let request = match read_request(stream, shared) {
+        let request = match read_request(stream, shared, &mut rbuf) {
             Ok(Some(req)) => req,
             Ok(None) => break, // clean disconnect or shutdown
             Err(e) => {
                 // One best-effort complaint, then give up on the stream.
-                let _ = write_frame(
+                let _ = write_frame_buf(
                     stream,
                     &Response::Error {
                         message: e.to_string(),
                     },
+                    &mut wbuf,
                 );
                 return Err(e);
             }
@@ -267,7 +630,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
         if matches!(response, Response::Error { .. }) {
             crate::obs::errors_total().inc();
         }
-        write_frame(stream, &response)?;
+        write_frame_buf(stream, &response, &mut wbuf)?;
         drop(timer);
         metrics.total.inc();
     }
@@ -328,14 +691,9 @@ fn handle_request(
             // Classify the observed characteristics against everyone's
             // prior experience (§4.2). A match whose space shape differs
             // from this session's cannot seed the simplex — skip it.
-            let prior = {
-                let db = shared.db.read().expect("db lock poisoned");
-                shared
-                    .config
-                    .analyzer
-                    .select(&db, &characteristics)
-                    .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()))
-            };
+            let prior = shared
+                .select_prior(&characteristics)
+                .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()));
             if prior.is_some() {
                 crate::obs::warm_start_hits_total().inc();
             } else {
@@ -427,21 +785,9 @@ fn handle_request(
                 }
             }
         },
-        Request::DbQuery => {
-            let db = shared.db.read().expect("db lock poisoned");
-            Response::Runs {
-                runs: db
-                    .runs()
-                    .iter()
-                    .map(|run| RunSummary {
-                        label: run.label.clone(),
-                        characteristics: run.characteristics.clone(),
-                        records: run.records.len(),
-                        best_performance: run.best().map(|r| r.performance),
-                    })
-                    .collect(),
-            }
-        }
+        Request::DbQuery => Response::Runs {
+            runs: shared.run_summaries(),
+        },
         Request::Stats => Response::Stats {
             text: harmony_obs::metrics::global().encode(),
         },
@@ -485,41 +831,48 @@ fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
         .emit();
     if !outcome.trace.is_empty() {
         let run = outcome.to_history(sess.label, sess.characteristics);
-        let mut db = shared.db.write().expect("db lock poisoned");
-        db.add_run(run);
-        crate::obs::db_runs().set(db.len() as i64);
+        shared.record_run(run);
     }
     let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
-    if shared.config.save_every > 0 && completed % shared.config.save_every == 0 {
-        shared.persist();
+    // Snapshot mode persists through the flusher; legacy mode keeps the
+    // old synchronous whole-file save on the request thread.
+    if matches!(shared.backend, Backend::Legacy(_))
+        && shared.config.save_every > 0
+        && completed % shared.config.save_every == 0
+    {
+        shared.persist_legacy();
     }
     summary
 }
 
-/// Read one request, polling so the thread notices shutdown and clean
-/// disconnects. `Ok(None)` means "stop serving this connection".
-fn read_request(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Request>, NetError> {
+/// Read one request into `scratch`, polling so the thread notices
+/// shutdown and clean disconnects. The payload is decoded in place; the
+/// allocation is clamped to [`READ_CHUNK`]-sized growth so a hostile
+/// length prefix cannot balloon memory. `Ok(None)` means "stop serving
+/// this connection".
+fn read_request(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<Request>, NetError> {
     let mut header = [0u8; 4];
     match fill(stream, &mut header, shared, true)? {
         Fill::Closed => return Ok(None),
         Fill::Full => {}
     }
-    let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME_LEN {
-        return Err(NetError::Protocol(format!(
-            "incoming frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte limit"
-        )));
+    let len = crate::codec::check_len(u32::from_be_bytes(header))?;
+    scratch.clear();
+    let mut filled = 0;
+    while filled < len {
+        let target = len.min(filled + READ_CHUNK);
+        scratch.resize(target, 0);
+        match fill(stream, &mut scratch[filled..target], shared, false)? {
+            Fill::Closed => return Ok(None), // shutdown mid-frame
+            Fill::Full => {}
+        }
+        filled = target;
     }
-    let mut payload = vec![0u8; len as usize];
-    match fill(stream, &mut payload, shared, false)? {
-        Fill::Closed => return Ok(None), // shutdown mid-frame
-        Fill::Full => {}
-    }
-    let text = String::from_utf8(payload)
-        .map_err(|e| NetError::Protocol(format!("frame is not UTF-8: {e}")))?;
-    serde_json::from_str(&text)
-        .map(Some)
-        .map_err(|e| NetError::Protocol(format!("bad frame: {e}")))
+    crate::codec::decode_payload(&scratch[..len]).map(Some)
 }
 
 enum Fill {
@@ -567,6 +920,7 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use harmony_space::Configuration;
+    use std::time::Instant;
 
     fn paraboloid(cfg: &Configuration) -> f64 {
         let x = cfg.get(0) as f64;
@@ -603,6 +957,31 @@ mod tests {
     }
 
     #[test]
+    fn legacy_lock_mode_still_serves_sessions() {
+        let handle = TuningDaemon::start(DaemonConfig {
+            legacy_lock: true,
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .start_session(
+                SpaceSpec::Rsl(RSL.into()),
+                "legacy",
+                vec![0.3, 0.7],
+                Some(40),
+            )
+            .unwrap();
+        while let Some(p) = client.fetch().unwrap() {
+            client.report(paraboloid(&p.values)).unwrap();
+        }
+        client.end_session().unwrap();
+        drop(client);
+        assert_eq!(handle.db_runs(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
     fn fetch_is_idempotent_over_the_wire() {
         let handle = daemon();
         let mut client = Client::connect(handle.addr()).unwrap();
@@ -615,6 +994,7 @@ mod tests {
         client.report(1.0).unwrap();
         let c = client.fetch().unwrap().unwrap();
         assert_ne!(a.values, c.values);
+        handle.shutdown();
     }
 
     #[test]
@@ -639,6 +1019,7 @@ mod tests {
             .start_session(SpaceSpec::Rsl(RSL.into()), "w2", vec![], None)
             .unwrap_err();
         assert!(matches!(err, NetError::Remote(_)), "{err}");
+        handle.shutdown();
     }
 
     #[test]
@@ -661,6 +1042,7 @@ mod tests {
         assert!(entries.iter().any(|e| e.sensitivity > 0.0));
         let runs = client.db_runs().unwrap();
         assert!(runs.is_empty(), "session not ended yet: db still empty");
+        handle.shutdown();
     }
 
     #[test]
@@ -683,6 +1065,10 @@ mod tests {
             "harmony_net_warm_start_total",
             "harmony_net_db_runs",
             "harmony_net_db_persist_failures_total",
+            "harmony_net_db_snapshot_swaps_total",
+            "harmony_db_wal_appends_total",
+            "harmony_db_wal_flush_seconds",
+            "harmony_db_compactions_total",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
@@ -747,5 +1133,75 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(handle.db_runs(), 1, "abandoned session experience is kept");
+    }
+
+    /// Satellite: a slow disk must never delay a concurrent classify.
+    /// The sink sleeps 400 ms per append; after queueing several
+    /// appends, a fresh `SessionStart` (which classifies against the
+    /// snapshot) still answers immediately.
+    #[test]
+    fn slow_persistence_never_delays_classification() {
+        struct SleepySink;
+        impl DbSink for SleepySink {
+            fn append(&mut self, _run: &RunHistory) -> Result<(), DbError> {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(())
+            }
+            fn compact(&mut self, _db: &ExperienceDb) -> Result<(), DbError> {
+                Ok(())
+            }
+        }
+        let handle =
+            TuningDaemon::start_with_sink(DaemonConfig::default(), Box::new(SleepySink)).unwrap();
+        // Record three runs: each costs the flusher 400 ms of "disk".
+        for i in 0..3 {
+            let mut client = Client::connect(handle.addr()).unwrap();
+            client
+                .start_session(
+                    SpaceSpec::Rsl(RSL.into()),
+                    format!("seed{i}"),
+                    vec![i as f64, 0.0],
+                    Some(8),
+                )
+                .unwrap();
+            while let Some(p) = client.fetch().unwrap() {
+                client.report(paraboloid(&p.values)).unwrap();
+            }
+            client.end_session().unwrap();
+        }
+        // The flusher is now busy sleeping; classification reads the
+        // snapshot and must not queue behind it.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let t = Instant::now();
+        let started = client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "probe", vec![1.0, 0.0], Some(8))
+            .unwrap();
+        let elapsed = t.elapsed();
+        assert!(started.trained_from.is_some(), "snapshot visible to reads");
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "classify took {elapsed:?} while the sink slept"
+        );
+        handle.shutdown();
+    }
+
+    /// The snapshot swap counter moves once per recorded run.
+    #[test]
+    fn snapshot_swaps_are_counted() {
+        let before = crate::obs::db_snapshot_swaps_total().get();
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "swap", vec![0.9, 0.9], Some(6))
+            .unwrap();
+        while let Some(p) = client.fetch().unwrap() {
+            client.report(paraboloid(&p.values)).unwrap();
+        }
+        client.end_session().unwrap();
+        handle.shutdown();
+        assert!(
+            crate::obs::db_snapshot_swaps_total().get() > before,
+            "recording a run must swap the snapshot"
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! classification mechanisms can easily be substituted."
 
 use crate::history::db::ExperienceDb;
+use crate::history::index::CharacteristicsIndex;
 use crate::history::record::RunHistory;
 use crate::history::tree::DecisionTree;
 
@@ -70,6 +71,21 @@ impl DataAnalyzer {
     /// Select the experience to train from, or `None` when the workload is
     /// effectively new.
     pub fn select(&self, db: &ExperienceDb, observed: &[f64]) -> Option<RunHistory> {
+        self.select_with(db, None, observed)
+    }
+
+    /// [`select`](Self::select) with an optional prebuilt
+    /// [`CharacteristicsIndex`] over `db`'s current contents. With an
+    /// index the distance-based classifiers answer from the k-d
+    /// partition instead of scanning every run; results are
+    /// bit-identical either way, so callers may pass `None` freely (the
+    /// daemon passes its per-snapshot index).
+    pub fn select_with(
+        &self,
+        db: &ExperienceDb,
+        index: Option<&CharacteristicsIndex>,
+        observed: &[f64],
+    ) -> Option<RunHistory> {
         match &self.classifier {
             Classifier::DecisionTree(tree) => {
                 if tree.features() != observed.len() {
@@ -80,11 +96,17 @@ impl DataAnalyzer {
                 self.within(observed, run).then(|| run.clone())
             }
             Classifier::LeastSquares => {
-                let (_, run) = db.classify(observed)?;
+                let (_, run) = match index {
+                    Some(ix) => ix.classify(db, observed)?,
+                    None => db.classify(observed)?,
+                };
                 self.within(observed, run).then(|| run.clone())
             }
             Classifier::KNearest(k) => {
-                let near = db.nearest_k(observed, (*k).max(1));
+                let near = match index {
+                    Some(ix) => ix.nearest_k(db, observed, (*k).max(1)),
+                    None => db.nearest_k(observed, (*k).max(1)),
+                };
                 let within: Vec<&RunHistory> = near
                     .into_iter()
                     .map(|(_, r)| r)
@@ -170,6 +192,22 @@ mod tests {
         // Only run "a" is within 0.5 of the origin-ish observation.
         let sel = an.select(&db(), &[0.1, 0.1]).unwrap();
         assert_eq!(sel.records.len(), 1);
+    }
+
+    #[test]
+    fn select_with_index_matches_unindexed_select() {
+        let database = db();
+        let index = database.build_index();
+        for classifier in [Classifier::LeastSquares, Classifier::KNearest(2)] {
+            let an = DataAnalyzer::new().with_classifier(classifier);
+            for observed in [&[0.9, 0.1][..], &[0.4, 0.4], &[0.05, 0.05], &[0.5]] {
+                assert_eq!(
+                    an.select_with(&database, Some(&index), observed),
+                    an.select(&database, observed),
+                    "at {observed:?}"
+                );
+            }
+        }
     }
 
     #[test]

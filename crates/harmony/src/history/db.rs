@@ -242,6 +242,14 @@ impl ExperienceDb {
         let json = fs::read_to_string(path)?;
         Ok(serde_json::from_str(&json)?)
     }
+
+    /// Build a spatial index over the current contents. The index
+    /// answers [`classify`](Self::classify) and
+    /// [`nearest_k`](Self::nearest_k) queries bit-identically without a
+    /// full scan; it is a snapshot — rebuild after mutating the db.
+    pub fn build_index(&self) -> crate::history::CharacteristicsIndex {
+        crate::history::CharacteristicsIndex::build(self)
+    }
 }
 
 #[cfg(test)]

@@ -7,12 +7,15 @@
 
 mod analyzer;
 mod db;
+mod index;
 mod kmeans;
 mod record;
 mod tree;
+pub mod wal;
 
 pub use analyzer::{Classifier, DataAnalyzer};
 pub use db::{DbError, ExperienceDb};
+pub use index::CharacteristicsIndex;
 pub use kmeans::kmeans;
 pub use record::{RunHistory, TuningRecord};
 pub use tree::{DecisionTree, TreeParams};

@@ -51,6 +51,7 @@ pub mod history;
 pub mod kernel;
 pub mod objective;
 pub(crate) mod obs;
+pub use obs::preregister_db_metrics;
 pub mod report;
 pub mod search;
 pub mod sensitivity;

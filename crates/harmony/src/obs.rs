@@ -110,6 +110,47 @@ handle!(
 );
 
 handle!(
+    wal_appends_total,
+    Counter,
+    global().counter(
+        "harmony_db_wal_appends_total",
+        "Runs appended to the experience-db write-ahead journal.",
+    )
+);
+
+handle!(
+    wal_flush_seconds,
+    Histogram,
+    global().histogram(
+        "harmony_db_wal_flush_seconds",
+        "Write-ahead journal append+flush latency, per run.",
+        LATENCY_SECONDS,
+    )
+);
+
+handle!(
+    db_compactions_total,
+    Counter,
+    global().counter(
+        "harmony_db_compactions_total",
+        "Journal compactions into a full experience-db snapshot.",
+    )
+);
+
+/// Touch every database-path metric handle so a freshly started process
+/// exposes the full `harmony_db_*` set (as zeros) before any run is
+/// classified, journaled, or compacted. Called by daemon startup via
+/// `harmony-net`'s preregistration.
+pub fn preregister_db_metrics() {
+    db_classify_seconds();
+    db_save_seconds();
+    db_saves_total();
+    wal_appends_total();
+    wal_flush_seconds();
+    db_compactions_total();
+}
+
+handle!(
     sensitivity_reports_total,
     Counter,
     global().counter(

@@ -321,3 +321,112 @@ fn experience_survives_a_daemon_restart() {
     );
     std::fs::remove_file(&db).ok();
 }
+
+#[test]
+fn daemon_recovers_runs_from_a_journal_with_a_torn_tail() {
+    use harmony::history::{wal::WalWriter, ExperienceDb, RunHistory};
+    use std::io::Write as _;
+
+    let db = temp_db("torn.json");
+    let wal = temp_db("torn.json.wal");
+
+    // A crashed daemon leaves: a compacted snapshot, journal lines for
+    // runs recorded since, and half a line from the append the crash
+    // interrupted.
+    let mut snapshot = ExperienceDb::new();
+    let mut run = RunHistory::new("compacted", vec![0.1, 0.1]);
+    run.push(&Configuration::new(vec![5, 5]), 50.0);
+    snapshot.add_run(run);
+    snapshot.save(&db).unwrap();
+    let mut writer = WalWriter::open(&wal).unwrap();
+    for (label, c) in [("journaled-1", 0.5), ("journaled-2", 0.9)] {
+        let mut run = RunHistory::new(label, vec![c, c]);
+        run.push(&Configuration::new(vec![7, 7]), 70.0);
+        writer.append_run(&run).unwrap();
+    }
+    drop(writer);
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(b"{\"label\":\"torn-by-cra").unwrap();
+    drop(f);
+
+    // The restarted daemon replays snapshot + journal and drops the torn
+    // tail; the journaled experience is live for classification.
+    let handle = TuningDaemon::start(daemon_config(Some(db.clone()))).unwrap();
+    assert_eq!(handle.db_runs(), 3, "snapshot + journal, torn tail dropped");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let started = client
+        .start_session(SpaceSpec::Explicit(space()), "probe", vec![0.9, 0.9], None)
+        .unwrap();
+    assert_eq!(started.trained_from.as_deref(), Some("journaled-2"));
+    drop(client);
+    handle.shutdown();
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn journal_absorbs_runs_between_compactions() {
+    let db = temp_db("journal.json");
+    let wal = temp_db("journal.json.wal");
+
+    // Compaction threshold higher than the session count: completed runs
+    // must reach the journal, not the snapshot.
+    let handle = TuningDaemon::start(DaemonConfig {
+        compact_every: 1000,
+        ..daemon_config(Some(db.clone()))
+    })
+    .unwrap();
+    run_session(handle.addr(), "journal-only", vec![0.3, 0.3]);
+
+    // The flusher appends asynchronously; wait for the line to land.
+    let mut journal_len = 0;
+    for _ in 0..100 {
+        journal_len = std::fs::metadata(&wal).map(|m| m.len()).unwrap_or(0);
+        if journal_len > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(journal_len > 0, "recorded run must hit the journal");
+    assert!(!db.exists(), "no compaction yet: snapshot not written");
+
+    // Shutdown folds the journal into the snapshot and truncates it.
+    handle.shutdown();
+    assert_eq!(harmony::history::ExperienceDb::load(&db).unwrap().len(), 1);
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), 0);
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn periodic_compaction_matches_the_live_database() {
+    let db = temp_db("compact-live.json");
+    let wal = temp_db("compact-live.json.wal");
+
+    // Every recorded run triggers a compaction, so after the sessions
+    // finish the snapshot alone must equal the daemon's live state.
+    let handle = TuningDaemon::start(DaemonConfig {
+        compact_every: 1,
+        ..daemon_config(Some(db.clone()))
+    })
+    .unwrap();
+    for i in 0..3 {
+        run_session(handle.addr(), &format!("compact-{i}"), vec![i as f64, 0.0]);
+    }
+    let live_runs = handle.db_runs();
+    // Compaction is asynchronous; wait until the snapshot catches up.
+    let mut snapshot_runs = 0;
+    for _ in 0..100 {
+        snapshot_runs = harmony::history::ExperienceDb::load(&db)
+            .map(|d| d.len())
+            .unwrap_or(0);
+        if snapshot_runs == live_runs {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(snapshot_runs, live_runs, "snapshot == in-memory database");
+    handle.shutdown();
+    std::fs::remove_file(&db).ok();
+    std::fs::remove_file(&wal).ok();
+}

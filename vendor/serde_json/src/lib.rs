@@ -64,6 +64,20 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
     Ok(T::from_value(&value)?)
 }
 
+/// Parse JSON bytes into a deserializable type.
+///
+/// UTF-8 is validated in place (`str::from_utf8`) — no owned `String`
+/// copy is made of the input, matching real `serde_json::from_slice`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
 // ---------------------------------------------------------------- printing
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
@@ -393,6 +407,20 @@ mod tests {
             parse("2.0").unwrap(),
             Value::Number(Number::Float(_))
         ));
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let v: Value = from_slice(br#"{"a": [1, 2.5]}"#).unwrap();
+        let w: Value = from_str(r#"{"a": [1, 2.5]}"#).unwrap();
+        assert_eq!(v, w);
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err(), "bad UTF-8");
+    }
+
+    #[test]
+    fn to_vec_matches_to_string() {
+        let v = parse(r#"{"a":[1]}"#).unwrap();
+        assert_eq!(to_vec(&v).unwrap(), to_string(&v).unwrap().into_bytes());
     }
 
     #[test]

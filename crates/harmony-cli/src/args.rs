@@ -48,6 +48,10 @@ pub enum Command {
         /// Drive a remote tuning daemon at this address instead of the
         /// in-process kernel.
         remote: Option<String>,
+        /// Retries per request against the remote daemon (needs --remote).
+        retry: Option<u32>,
+        /// Per-request deadline in milliseconds (needs --remote).
+        deadline_ms: Option<u64>,
         /// Worker threads measuring concurrently (1 = sequential).
         jobs: usize,
         /// The external measurement command and its arguments.
@@ -113,6 +117,7 @@ USAGE:
   harmony-cli tune <params.rsl> [--iterations N] [--original] [--jobs N]
               [--db <experience.json>] [--label <name>]
               [--characteristics a,b,c] [--remote <host:port>]
+              [--retry N] [--deadline MS]
               -- <measure-cmd> [args…]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
               [--wal <journal.wal>] [--compact-every N]
@@ -134,7 +139,13 @@ With --remote, the configurations come from a tuning daemon (see 'serve')
 instead of the in-process kernel: the daemon classifies the session against
 its shared experience database and records the finished run back into it.
 --db and --original are daemon-side decisions and cannot be combined with
---remote. 'serve' listens until stdin reaches end-of-file; --log-json appends
+--remote. --retry N retries each failed-but-retryable request up to N times
+with jittered backoff, reconnecting and resuming the session in place;
+--deadline MS bounds each request's response time (expiry counts as
+retryable). 'serve' listens until stdin reaches end-of-file or the process
+receives SIGTERM/SIGINT, then drains: new work is refused with a retryable
+answer, unfinished sessions are parked to disk next to the database, and
+the journal is flushed before exit. --log-json appends
 one structured JSON event per line (session starts, records, persistence
 failures) to the given file. 'stats' prints the daemon's live metrics in
 Prometheus text exposition format.
@@ -227,6 +238,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut label = "run".to_string();
             let mut characteristics = Vec::new();
             let mut remote = None;
+            let mut retry = None;
+            let mut deadline_ms = None;
             let mut jobs = 1usize;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
@@ -236,6 +249,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "--jobs" => jobs = parse_jobs(&mut it)?,
                     "--db" => db = Some(next_str(&mut it, "--db")?),
                     "--remote" => remote = Some(next_str(&mut it, "--remote")?),
+                    "--retry" => retry = Some(parse_value(&mut it, "--retry")?),
+                    "--deadline" => {
+                        let ms: u64 = parse_value(&mut it, "--deadline")?;
+                        if ms == 0 {
+                            return Err(err("--deadline: must be at least 1 millisecond"));
+                        }
+                        deadline_ms = Some(ms);
+                    }
                     "--label" => label = next_str(&mut it, "--label")?,
                     "--characteristics" => {
                         let raw = next_str(&mut it, "--characteristics")?;
@@ -268,6 +289,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 return Err(err("tune: --jobs applies to local tuning only \
                      (a remote daemon proposes configurations one at a time)"));
             }
+            if remote.is_none() && (retry.is_some() || deadline_ms.is_some()) {
+                return Err(err(
+                    "tune: --retry and --deadline apply to --remote tuning only",
+                ));
+            }
             Ok(Cli {
                 command: Command::Tune {
                     rsl,
@@ -277,6 +303,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     label,
                     characteristics,
                     remote,
+                    retry,
+                    deadline_ms,
                     jobs,
                     measure,
                 },
@@ -534,6 +562,62 @@ mod tests {
             "--remote",
             "h:1",
             "--original",
+            "--",
+            "m"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn retry_and_deadline_need_remote() {
+        let cli = parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--remote",
+            "h:1",
+            "--retry",
+            "7",
+            "--deadline",
+            "2500",
+            "--",
+            "m",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune {
+                retry, deadline_ms, ..
+            } => {
+                assert_eq!(retry, Some(7));
+                assert_eq!(deadline_ms, Some(2500));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: both unset.
+        let cli = parse_args(&v(&["tune", "p.rsl", "--remote", "h:1", "--", "m"])).unwrap();
+        match cli.command {
+            Command::Tune {
+                retry, deadline_ms, ..
+            } => {
+                assert_eq!(retry, None);
+                assert_eq!(deadline_ms, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Local tuning has no wire to retry.
+        assert!(parse_args(&v(&["tune", "p.rsl", "--retry", "3", "--", "m"])).is_err());
+        assert!(parse_args(&v(&["tune", "p.rsl", "--deadline", "100", "--", "m"])).is_err());
+        // Bad values.
+        assert!(parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--retry", "x", "--", "m"
+        ]))
+        .is_err());
+        assert!(parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--remote",
+            "h:1",
+            "--deadline",
+            "0",
             "--",
             "m"
         ]))

@@ -8,7 +8,7 @@ use harmony::prelude::*;
 use harmony::sensitivity::Prioritizer;
 use harmony::tuner::TrainingMode;
 use harmony_exec::{Executor, MemoCache};
-use harmony_net::client::Client;
+use harmony_net::client::{Client, RetryPolicy};
 use harmony_net::protocol::SpaceSpec;
 use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
 use harmony_space::{parse_rsl, Configuration};
@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::Read as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Top-level error type for command execution.
 #[derive(Debug)]
@@ -179,6 +180,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
             label,
             characteristics,
             remote,
+            retry,
+            deadline_ms,
             jobs,
             measure,
         } => {
@@ -190,6 +193,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     &label,
                     characteristics,
                     &addr,
+                    retry,
+                    deadline_ms,
                     measure,
                 )?;
             } else {
@@ -232,14 +237,37 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 max_connections,
                 log_json.as_deref(),
                 |handle| {
+                    crate::signals::install();
                     eprintln!(
-                        "harmony-cli: tuning daemon listening on {} (stdin end-of-file stops it)",
+                        "harmony-cli: tuning daemon listening on {} \
+                         (stdin end-of-file or SIGTERM stops it)",
                         handle.addr()
                     );
-                    // Park until the operator closes stdin.
-                    let mut sink = [0u8; 256];
-                    let mut stdin = std::io::stdin().lock();
-                    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                    // Park until the operator closes stdin or signals.
+                    // Stdin is consumed on its own thread so a signal
+                    // can interrupt the wait even mid-read.
+                    let stdin_done = std::sync::Arc::new(AtomicBool::new(false));
+                    {
+                        let stdin_done = std::sync::Arc::clone(&stdin_done);
+                        std::thread::spawn(move || {
+                            let mut sink = [0u8; 256];
+                            let mut stdin = std::io::stdin().lock();
+                            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+                            stdin_done.store(true, Ordering::SeqCst);
+                        });
+                    }
+                    while !stdin_done.load(Ordering::SeqCst)
+                        && !crate::signals::termination_requested()
+                    {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                    }
+                    if crate::signals::termination_requested() {
+                        eprintln!("harmony-cli: termination signal received, draining");
+                        // Refuse new work right away; `serve` follows up
+                        // with the full shutdown (park sessions, flush
+                        // the journal) once we return.
+                        handle.drain();
+                    }
                 },
             );
         }
@@ -353,6 +381,12 @@ fn tune_local(
 
 /// Tune against a remote daemon: the server proposes configurations and
 /// owns the experience database; this side only measures.
+///
+/// `retry` and `deadline_ms` configure the client's resilience: requests
+/// that fail retryably (connection loss, deadline expiry, a draining
+/// daemon) are retried with jittered backoff, reconnecting and resuming
+/// the session in place.
+#[allow(clippy::too_many_arguments)]
 fn tune_remote(
     out: &mut String,
     rsl: &str,
@@ -360,11 +394,21 @@ fn tune_remote(
     label: &str,
     characteristics: Vec<f64>,
     addr: &str,
+    retry: Option<u32>,
+    deadline_ms: Option<u64>,
     measure: Vec<String>,
 ) -> Result<(), RunError> {
     let text = fs::read_to_string(rsl).map_err(|e| fail(format!("cannot read {rsl}: {e}")))?;
-    let mut client =
-        Client::connect(addr).map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
+    let mut builder = Client::builder(addr);
+    if let Some(n) = retry {
+        builder = builder.retry(RetryPolicy::default().with_max_retries(n));
+    }
+    if let Some(ms) = deadline_ms {
+        builder = builder.request_deadline(std::time::Duration::from_millis(ms));
+    }
+    let mut client = builder
+        .connect()
+        .map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
     let started = client
         .start_session(
             SpaceSpec::Rsl(text),

@@ -22,5 +22,6 @@
 pub mod args;
 pub mod commands;
 pub mod external;
+pub mod signals;
 
 pub use args::{parse_args, Cli, CliError, Command};

@@ -1,0 +1,54 @@
+//! Minimal SIGTERM/SIGINT handling without a libc dependency.
+//!
+//! The daemon wants one bit of information — "the operator asked us to
+//! stop" — so a process-global flag set from a signal handler is enough.
+//! `std` already links the platform C library; declaring `signal(2)`
+//! ourselves avoids pulling in a bindings crate for two constants.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATED;
+    use std::sync::atomic::Ordering;
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only the async-signal-safe atomic store happens here; the
+        // daemon's wait loop notices the flag and does the real work.
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal story on this platform; stdin end-of-file still stops
+    /// the daemon.
+    pub fn install() {}
+}
+
+/// Route SIGTERM and SIGINT to the termination flag.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn termination_requested() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}

@@ -1,12 +1,39 @@
-//! Blocking client for the tuning daemon.
+//! Blocking client for the tuning daemon, with reconnect/resume,
+//! per-request deadlines, and retry with decorrelated-jitter backoff.
+//!
+//! [`Client::connect`] gives the defaults; [`Client::builder`] exposes
+//! the knobs:
+//!
+//! ```no_run
+//! use harmony_net::client::{Client, RetryPolicy};
+//! use std::time::Duration;
+//!
+//! let client = Client::builder("127.0.0.1:777")
+//!     .connect_timeout(Duration::from_secs(2))
+//!     .request_deadline(Duration::from_secs(10))
+//!     .retry(RetryPolicy::default())
+//!     .connect()?;
+//! # drop(client);
+//! # Ok::<(), harmony_net::NetError>(())
+//! ```
+//!
+//! When a request fails retryably (transport error, deadline expiry, a
+//! `Draining` refusal) the client tears the connection down, sleeps a
+//! decorrelated-jitter backoff, reconnects, re-attaches its session via
+//! `Resume`, and replays the request. `Fetch` is idempotent server-side;
+//! `Report` carries a sequence number the server deduplicates, so a
+//! replayed report is acknowledged without being observed twice.
 
 use crate::codec::{read_frame_buf, write_frame_buf};
 use crate::protocol::{
-    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
+    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::NetError;
 use harmony_space::{Configuration, ParameterSpace};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What the server answered to a `SessionStart`.
 #[derive(Debug, Clone)]
@@ -18,6 +45,9 @@ pub struct SessionStarted {
     pub trained_from: Option<String>,
     /// Virtual iterations spent on that experience.
     pub training_iterations: usize,
+    /// Resume token, when the server speaks protocol v2. The client
+    /// keeps it internally too — this copy is informational.
+    pub session_token: Option<String>,
 }
 
 /// A configuration proposed by the server.
@@ -42,32 +72,162 @@ pub struct SessionSummary {
     pub converged: bool,
 }
 
+/// How a [`Client`] retries requests that fail retryably.
+///
+/// Backoff is decorrelated jitter: each sleep is drawn uniformly from
+/// `[base, prev * 3]` and clamped to `cap`, so concurrent clients spread
+/// out instead of reconnecting in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries per request after the first attempt. Zero disables
+    /// retrying entirely.
+    pub max_retries: u32,
+    /// Lower bound of every backoff sleep, and the first draw's scale.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed for the jitter stream, so tests can be deterministic.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Same policy with a different retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> RetryPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// Same policy with a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(500),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Configures and opens a [`Client`]. Built by [`Client::builder`].
+#[derive(Debug)]
+pub struct ClientBuilder {
+    addrs: io::Result<Vec<SocketAddr>>,
+    connect_timeout: Option<Duration>,
+    request_deadline: Option<Duration>,
+    retry: RetryPolicy,
+}
+
+impl ClientBuilder {
+    /// Cap on each TCP connection attempt (including reconnects).
+    pub fn connect_timeout(mut self, timeout: Duration) -> ClientBuilder {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Deadline on each request's response. Expiry surfaces as
+    /// [`NetError::Timeout`], which the retry loop treats as retryable.
+    pub fn request_deadline(mut self, deadline: Duration) -> ClientBuilder {
+        self.request_deadline = Some(deadline);
+        self
+    }
+
+    /// Retry policy for retryable failures.
+    pub fn retry(mut self, policy: RetryPolicy) -> ClientBuilder {
+        self.retry = policy;
+        self
+    }
+
+    /// Connect and complete the `Hello` exchange.
+    pub fn connect(self) -> Result<Client, NetError> {
+        let addrs = self.addrs.map_err(NetError::Io)?;
+        if addrs.is_empty() {
+            return Err(NetError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "address resolved to nothing",
+            )));
+        }
+        let rng = self.retry.seed | 1;
+        let mut client = Client {
+            addrs,
+            connect_timeout: self.connect_timeout,
+            request_deadline: self.request_deadline,
+            retry: self.retry,
+            stream: None,
+            buf: Vec::new(),
+            version: MIN_SUPPORTED_VERSION,
+            token: None,
+            seq: 0,
+            rng,
+            prev_backoff: Duration::ZERO,
+        };
+        client.with_retries(|c| c.ensure_connected())?;
+        Ok(client)
+    }
+}
+
 /// A connection to a tuning daemon, driving one session at a time.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    connect_timeout: Option<Duration>,
+    request_deadline: Option<Duration>,
+    retry: RetryPolicy,
+    stream: Option<TcpStream>,
     /// Frame scratch, reused across round trips (requests are written
     /// before responses are read, so one buffer serves both directions).
     buf: Vec<u8>,
+    /// Protocol version negotiated at the last `Hello`.
+    version: u32,
+    /// Resume token of the active session, when the server issued one.
+    token: Option<String>,
+    /// Sequence number the next `Report` will carry.
+    seq: u64,
+    /// xorshift64 state for backoff jitter.
+    rng: u64,
+    /// Previous backoff sleep, anchoring the decorrelated-jitter draw.
+    prev_backoff: Duration,
 }
 
 impl Client {
-    /// Connect and complete the `Hello` exchange.
+    /// Connect with the default configuration and complete the `Hello`
+    /// exchange. Shorthand for `Client::builder(addr).connect()`.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let mut client = Client {
-            stream,
-            buf: Vec::new(),
-        };
-        let response = client.round_trip(&Request::Hello {
-            version: PROTOCOL_VERSION,
-            client: format!("harmony-net client {}", env!("CARGO_PKG_VERSION")),
-        })?;
-        match response {
-            Response::Hello { .. } => Ok(client),
-            other => Err(unexpected("Hello", other)),
+        Client::builder(addr).connect()
+    }
+
+    /// Start configuring a connection.
+    pub fn builder(addr: impl ToSocketAddrs) -> ClientBuilder {
+        ClientBuilder {
+            addrs: addr.to_socket_addrs().map(|a| a.collect()),
+            connect_timeout: None,
+            request_deadline: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// The protocol version negotiated with the server.
+    pub fn protocol_version(&self) -> u32 {
+        self.version
+    }
+
+    /// The active session's resume token, when the server issued one.
+    pub fn session_token(&self) -> Option<&str> {
+        self.token.as_deref()
     }
 
     /// Begin a tuning session.
@@ -78,27 +238,37 @@ impl Client {
         characteristics: Vec<f64>,
         max_iterations: Option<usize>,
     ) -> Result<SessionStarted, NetError> {
-        let response = self.round_trip(&Request::SessionStart {
+        let request = Request::SessionStart {
             space,
             label: label.into(),
             characteristics,
             max_iterations,
-        })?;
+        };
+        let response = self.round_trip(&request)?;
         match response {
             Response::SessionStarted {
                 space,
                 trained_from,
                 training_iterations,
-            } => Ok(SessionStarted {
-                space,
-                trained_from,
-                training_iterations,
-            }),
+                session_token,
+            } => {
+                self.token = session_token.clone();
+                self.seq = 0;
+                Ok(SessionStarted {
+                    space,
+                    trained_from,
+                    training_iterations,
+                    session_token,
+                })
+            }
             other => Err(unexpected("SessionStarted", other)),
         }
     }
 
     /// Ask for the next configuration; `None` once the session is over.
+    ///
+    /// Idempotent server-side: a replayed fetch re-receives the pending
+    /// proposal rather than burning an iteration.
     pub fn fetch(&mut self) -> Result<Option<Proposal>, NetError> {
         match self.round_trip(&Request::Fetch)? {
             Response::Config { values, iteration } => Ok(Some(Proposal {
@@ -111,9 +281,19 @@ impl Client {
     }
 
     /// Report the measurement for the last fetched configuration.
+    ///
+    /// On a v2 connection the report carries a sequence number; a replay
+    /// after reconnect is acknowledged by the server without observing
+    /// the measurement twice.
     pub fn report(&mut self, performance: f64) -> Result<(), NetError> {
-        match self.round_trip(&Request::Report { performance })? {
-            Response::Reported => Ok(()),
+        let seq = (self.version >= 2).then_some(self.seq);
+        match self.round_trip(&Request::Report { performance, seq })? {
+            Response::Reported => {
+                if seq.is_some() {
+                    self.seq += 1;
+                }
+                Ok(())
+            }
             other => Err(unexpected("Reported", other)),
         }
     }
@@ -126,12 +306,16 @@ impl Client {
                 performance,
                 iterations,
                 converged,
-            } => Ok(SessionSummary {
-                best: Configuration::new(values),
-                performance,
-                iterations,
-                converged,
-            }),
+            } => {
+                self.token = None;
+                self.seq = 0;
+                Ok(SessionSummary {
+                    best: Configuration::new(values),
+                    performance,
+                    iterations,
+                    converged,
+                })
+            }
             other => Err(unexpected("SessionSummary", other)),
         }
     }
@@ -166,56 +350,185 @@ impl Client {
     /// report, until done; then end the session.
     ///
     /// The closure may fail (a crashed external program, say); the error
-    /// is surfaced immediately and the connection is dropped with the
-    /// session unfinished — the server still records what was measured.
-    pub fn tune_with<E>(
+    /// surfaces as [`NetError::Measurement`] and the session is left
+    /// unfinished — the server still records what was measured.
+    pub fn tune_with<E: std::fmt::Display>(
         &mut self,
         space: SpaceSpec,
         label: impl Into<String>,
         characteristics: Vec<f64>,
         max_iterations: Option<usize>,
         mut measure: impl FnMut(&Configuration) -> Result<f64, E>,
-    ) -> Result<(SessionStarted, SessionSummary), TuneError<E>> {
-        let started = self
-            .start_session(space, label, characteristics, max_iterations)
-            .map_err(TuneError::Net)?;
-        while let Some(proposal) = self.fetch().map_err(TuneError::Net)? {
-            let performance = measure(&proposal.values).map_err(TuneError::Measure)?;
-            self.report(performance).map_err(TuneError::Net)?;
+    ) -> Result<(SessionStarted, SessionSummary), NetError> {
+        let started = self.start_session(space, label, characteristics, max_iterations)?;
+        while let Some(proposal) = self.fetch()? {
+            let performance =
+                measure(&proposal.values).map_err(|e| NetError::Measurement(e.to_string()))?;
+            self.report(performance)?;
         }
-        let summary = self.end_session().map_err(TuneError::Net)?;
+        let summary = self.end_session()?;
         Ok((started, summary))
     }
 
+    /// One request/response exchange with retry: on a retryable failure
+    /// the connection is torn down, a backoff sleep taken, the session
+    /// re-attached via `Resume`, and the request replayed.
     fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
-        write_frame_buf(&mut self.stream, request, &mut self.buf)?;
-        match read_frame_buf(&mut self.stream, &mut self.buf)? {
-            Response::Error { message } => Err(NetError::Remote(message)),
-            response => Ok(response),
+        self.with_retries(|client| {
+            client.ensure_connected()?;
+            let response = client.exchange(request)?;
+            match response {
+                Response::Error { message } => Err(NetError::Remote(message)),
+                Response::Draining => Err(NetError::Draining),
+                response => Ok(response),
+            }
+        })
+    }
+
+    /// Run `attempt` under the retry policy, tearing down the connection
+    /// and sleeping a decorrelated-jitter backoff between tries.
+    fn with_retries<T>(
+        &mut self,
+        mut attempt: impl FnMut(&mut Client) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let mut retries = 0;
+        loop {
+            match attempt(self) {
+                Err(e) if e.is_retryable() && retries < self.retry.max_retries => {
+                    retries += 1;
+                    crate::obs::retries_total().inc();
+                    self.stream = None;
+                    let sleep = self.next_backoff();
+                    std::thread::sleep(sleep);
+                }
+                Err(e) => {
+                    // The connection state is unknown after a transport
+                    // failure; don't reuse it.
+                    if e.is_retryable() {
+                        self.stream = None;
+                    }
+                    return Err(e);
+                }
+                Ok(value) => {
+                    self.prev_backoff = Duration::ZERO;
+                    return Ok(value);
+                }
+            }
         }
+    }
+
+    /// Decorrelated jitter: uniform in `[base, prev * 3]`, clamped to
+    /// `cap`.
+    fn next_backoff(&mut self) -> Duration {
+        let base = self.retry.base.max(Duration::from_micros(1));
+        let prev = self.prev_backoff.max(base);
+        let lo = base.as_nanos() as u64;
+        let hi = (prev.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        let draw = lo + self.next_u64() % (hi - lo);
+        let sleep = Duration::from_nanos(draw).min(self.retry.cap);
+        self.prev_backoff = sleep;
+        sleep
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Dial, `Hello`, and re-attach the active session if one was in
+    /// flight when the previous connection died.
+    fn ensure_connected(&mut self) -> Result<(), NetError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = self.dial()?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.request_deadline)?;
+        stream.set_write_timeout(self.request_deadline)?;
+        self.stream = Some(stream);
+        let response = self.exchange(&Request::Hello {
+            version: None,
+            min_version: Some(MIN_SUPPORTED_VERSION),
+            max_version: Some(PROTOCOL_VERSION),
+            client: format!("harmony-net client {}", env!("CARGO_PKG_VERSION")),
+        })?;
+        match response {
+            Response::Hello { version, .. } => self.version = version,
+            Response::Error { message } => return Err(NetError::Remote(message)),
+            Response::Draining => return Err(NetError::Draining),
+            other => return Err(unexpected("Hello", other)),
+        }
+        if let Some(token) = self.token.clone() {
+            match self.exchange(&Request::Resume { token })? {
+                Response::Resumed { .. } => {}
+                Response::Error { message } => return Err(NetError::Remote(message)),
+                Response::Draining => return Err(NetError::Draining),
+                other => return Err(unexpected("Resumed", other)),
+            }
+        }
+        Ok(())
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
+        let mut last: Option<io::Error> = None;
+        for addr in &self.addrs {
+            let attempt = match self.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(NetError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no addresses to dial")
+        })))
+    }
+
+    /// One raw request/response exchange on the live stream, mapping
+    /// read-timeout expiry to [`NetError::Timeout`].
+    fn exchange(&mut self, request: &Request) -> Result<Response, NetError> {
+        let stream = self
+            .stream
+            .as_mut()
+            .expect("exchange called without a connection");
+        let what = request_name(request);
+        write_frame_buf(stream, request, &mut self.buf).map_err(|e| deadline_expiry(e, what))?;
+        read_frame_buf(stream, &mut self.buf).map_err(|e| deadline_expiry(e, what))
     }
 }
 
-/// Failure of a [`Client::tune_with`] loop: either the wire broke or the
-/// caller's measurement did.
-#[derive(Debug)]
-pub enum TuneError<E> {
-    /// Transport or protocol failure.
-    Net(NetError),
-    /// The measurement closure failed.
-    Measure(E),
-}
-
-impl<E: std::fmt::Display> std::fmt::Display for TuneError<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TuneError::Net(e) => write!(f, "{e}"),
-            TuneError::Measure(e) => write!(f, "measurement failed: {e}"),
+/// Rewrite the i/o errors a socket read/write timeout produces into the
+/// dedicated `Timeout` kind, naming the request that missed its deadline.
+fn deadline_expiry(e: NetError, what: &str) -> NetError {
+    match e {
+        NetError::Io(io)
+            if io.kind() == io::ErrorKind::WouldBlock || io.kind() == io::ErrorKind::TimedOut =>
+        {
+            NetError::Timeout(what.to_string())
         }
+        other => other,
     }
 }
 
-impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for TuneError<E> {}
+fn request_name(request: &Request) -> &'static str {
+    match request {
+        Request::Hello { .. } => "Hello",
+        Request::SessionStart { .. } => "SessionStart",
+        Request::Resume { .. } => "Resume",
+        Request::Fetch => "Fetch",
+        Request::Report { .. } => "Report",
+        Request::SessionEnd => "SessionEnd",
+        Request::Sensitivity => "Sensitivity",
+        Request::DbQuery => "DbQuery",
+        Request::Stats => "Stats",
+    }
+}
 
 fn unexpected(wanted: &str, got: Response) -> NetError {
     NetError::Protocol(format!("expected {wanted}, server sent {got:?}"))

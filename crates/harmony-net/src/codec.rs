@@ -128,7 +128,9 @@ mod tests {
     fn frames_round_trip() {
         let messages = [
             Request::Hello {
-                version: 1,
+                version: Some(1),
+                min_version: None,
+                max_version: None,
                 client: "test".into(),
             },
             Request::SessionStart {
@@ -138,7 +140,10 @@ mod tests {
                 max_iterations: Some(40),
             },
             Request::Fetch,
-            Request::Report { performance: -3.5 },
+            Request::Report {
+                performance: -3.5,
+                seq: Some(4),
+            },
             Request::SessionEnd,
             Request::Sensitivity,
             Request::DbQuery,
@@ -152,7 +157,14 @@ mod tests {
     fn multiple_frames_in_one_stream() {
         let mut buf = Vec::new();
         write_frame(&mut buf, &Request::Fetch).unwrap();
-        write_frame(&mut buf, &Request::Report { performance: 1.0 }).unwrap();
+        write_frame(
+            &mut buf,
+            &Request::Report {
+                performance: 1.0,
+                seq: None,
+            },
+        )
+        .unwrap();
         let mut cursor = Cursor::new(buf);
         assert_eq!(
             read_frame::<_, Request>(&mut cursor).unwrap(),
@@ -160,7 +172,10 @@ mod tests {
         );
         assert_eq!(
             read_frame::<_, Request>(&mut cursor).unwrap(),
-            Request::Report { performance: 1.0 }
+            Request::Report {
+                performance: 1.0,
+                seq: None,
+            }
         );
     }
 
@@ -199,7 +214,10 @@ mod tests {
         write_frame_buf(&mut wire, &Request::Fetch, &mut scratch).unwrap();
         write_frame_buf(
             &mut wire,
-            &Request::Report { performance: 2.5 },
+            &Request::Report {
+                performance: 2.5,
+                seq: None,
+            },
             &mut scratch,
         )
         .unwrap();
@@ -211,7 +229,10 @@ mod tests {
         );
         assert_eq!(
             read_frame_buf::<_, Request>(&mut cursor, &mut rbuf).unwrap(),
-            Request::Report { performance: 2.5 }
+            Request::Report {
+                performance: 2.5,
+                seq: None,
+            }
         );
     }
 

@@ -1,3 +1,12 @@
+//! The unified error surface for everything `harmony-net`.
+//!
+//! One type covers transport failures, protocol violations, in-protocol
+//! server errors, deadline expiry, drain refusals, and (for the driving
+//! helpers like [`Client::tune_with`](crate::client::Client::tune_with))
+//! caller-side measurement failures. Retry loops key off
+//! [`is_retryable`](NetError::is_retryable) instead of matching on
+//! variants or strings.
+
 use std::fmt;
 use std::io;
 
@@ -6,14 +15,62 @@ use std::io;
 pub enum NetError {
     /// Transport failure.
     Io(io::Error),
+    /// A request deadline expired before the response arrived.
+    Timeout(String),
+    /// The server is draining: it refused to advance the session but the
+    /// state survives server-side, so the request can be replayed.
+    Draining,
     /// The peer sent something outside the protocol (bad frame, wrong
     /// message for the current state, version mismatch).
     Protocol(String),
     /// The server answered with an in-protocol error message.
     Remote(String),
+    /// The caller's measurement function failed (only produced by driving
+    /// helpers that call back into user code, e.g. `tune_with`).
+    Measurement(String),
+}
+
+/// Coarse classification of a [`NetError`], for matching without binding
+/// the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Transport failure.
+    Io,
+    /// Deadline expiry.
+    Timeout,
+    /// Server-is-draining refusal.
+    Draining,
+    /// Protocol violation.
+    Protocol,
+    /// In-protocol server error.
+    Remote,
+    /// Caller-side measurement failure.
+    Measurement,
 }
 
 impl NetError {
+    /// Which class of failure this is.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            NetError::Io(_) => ErrorKind::Io,
+            NetError::Timeout(_) => ErrorKind::Timeout,
+            NetError::Draining => ErrorKind::Draining,
+            NetError::Protocol(_) => ErrorKind::Protocol,
+            NetError::Remote(_) => ErrorKind::Remote,
+            NetError::Measurement(_) => ErrorKind::Measurement,
+        }
+    }
+
+    /// Whether retrying the request may succeed: transport failures,
+    /// deadline expiry, and drain refusals are transient; protocol
+    /// violations, server rejections, and measurement failures are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.kind(),
+            ErrorKind::Io | ErrorKind::Timeout | ErrorKind::Draining
+        )
+    }
+
     /// Whether this error is the peer closing the connection at a frame
     /// boundary — a normal end of conversation, not a failure.
     pub fn is_disconnect(&self) -> bool {
@@ -25,8 +82,11 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Timeout(what) => write!(f, "deadline expired: {what}"),
+            NetError::Draining => write!(f, "server is draining"),
             NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             NetError::Remote(msg) => write!(f, "server error: {msg}"),
+            NetError::Measurement(msg) => write!(f, "measurement error: {msg}"),
         }
     }
 }
@@ -43,5 +103,42 @@ impl std::error::Error for NetError {
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
         NetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_follows_the_kind() {
+        let cases: Vec<(NetError, ErrorKind, bool)> = vec![
+            (
+                NetError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "rst")),
+                ErrorKind::Io,
+                true,
+            ),
+            (NetError::Timeout("fetch".into()), ErrorKind::Timeout, true),
+            (NetError::Draining, ErrorKind::Draining, true),
+            (NetError::Protocol("bad".into()), ErrorKind::Protocol, false),
+            (NetError::Remote("no".into()), ErrorKind::Remote, false),
+            (
+                NetError::Measurement("boom".into()),
+                ErrorKind::Measurement,
+                false,
+            ),
+        ];
+        for (err, kind, retryable) in cases {
+            assert_eq!(err.kind(), kind, "{err}");
+            assert_eq!(err.is_retryable(), retryable, "{err}");
+        }
+    }
+
+    #[test]
+    fn disconnect_is_only_eof_at_a_frame_boundary() {
+        let eof = NetError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        assert!(eof.is_disconnect());
+        assert!(!NetError::Draining.is_disconnect());
+        assert!(!NetError::Timeout("x".into()).is_disconnect());
     }
 }

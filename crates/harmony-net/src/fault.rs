@@ -1,0 +1,246 @@
+//! Fault-injection proxy for resilience testing.
+//!
+//! [`FaultProxy`] sits between a client and a daemon, forwarding whole
+//! frames (one `u32` big-endian length prefix plus payload per message)
+//! and injecting faults from a [`FaultPlan`] on a chosen schedule: it
+//! can cut the connection before a request reaches the server, cut it
+//! after the server processed the request but before the response gets
+//! back, truncate a response mid-frame, or delay a response past the
+//! client's deadline. Each of those exercises a different leg of the
+//! reconnect/resume/replay machinery.
+//!
+//! The schedule is keyed by the proxy-global request-frame counter, so a
+//! plan replays identically for a deterministic client (including the
+//! extra `Hello`/`Resume` frames reconnects add).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One way the proxy can break a conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drop both connections before the request frame is forwarded: the
+    /// server never sees the request.
+    CutBeforeForward,
+    /// Forward the request, let the server process it, then drop both
+    /// connections before the response gets back: the client must
+    /// replay a request whose effect already happened.
+    CutBeforeResponse,
+    /// Forward the request, then send only half of the response frame
+    /// and drop: the client reads a short frame.
+    TruncateResponse,
+    /// Forward the request, sit on the response for the given time,
+    /// then deliver it (late — typically past the client's deadline).
+    DelayResponse(Duration),
+}
+
+/// Which request frames get which faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: HashMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// No faults: the proxy is a transparent relay.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Explicit schedule: `(request frame index, fault)` pairs. Frame 0
+    /// is the first request the proxy ever sees (usually `Hello`).
+    pub fn at(faults: impl IntoIterator<Item = (u64, FaultKind)>) -> FaultPlan {
+        FaultPlan {
+            faults: faults.into_iter().collect(),
+        }
+    }
+
+    /// `count` pseudorandom faults over pseudorandom frame indices,
+    /// deterministic in `seed`. Frames 0 and 1 are spared so the very
+    /// first `Hello`/`SessionStart` exchange establishes a session to
+    /// resume; everything after is fair game.
+    pub fn seeded(seed: u64, count: usize) -> FaultPlan {
+        // Golden-ratio mix so adjacent seeds give unrelated streams
+        // (xorshift needs a nonzero state, hence the `| 1`).
+        let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut faults = HashMap::new();
+        while faults.len() < count {
+            let frame = 2 + next() % (4 * count as u64 + 8);
+            let kind = match next() % 4 {
+                0 => FaultKind::CutBeforeForward,
+                1 => FaultKind::CutBeforeResponse,
+                2 => FaultKind::TruncateResponse,
+                _ => FaultKind::DelayResponse(Duration::from_millis(5 + next() % 20)),
+            };
+            faults.entry(frame).or_insert(kind);
+        }
+        FaultPlan { faults }
+    }
+}
+
+struct ProxyShared {
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    /// Request frames seen so far, across all proxied connections.
+    frames: AtomicU64,
+    /// Faults actually injected (a plan entry past the last frame the
+    /// client sends never fires).
+    injected: Mutex<Vec<(u64, FaultKind)>>,
+    stop: AtomicBool,
+}
+
+/// A TCP relay that injects faults from a [`FaultPlan`].
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Bind a local port and start relaying to `upstream`.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream,
+            plan,
+            frames: AtomicU64::new(0),
+            injected: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared))
+        };
+        Ok(FaultProxy {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Faults injected so far, as `(frame index, fault)` pairs.
+    pub fn injected(&self) -> Vec<(u64, FaultKind)> {
+        self.shared.injected.lock().unwrap().clone()
+    }
+
+    /// Request frames relayed or faulted so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.shared.frames.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join the acceptor. In-flight relay threads
+    /// wind down on their own as connections close.
+    pub fn stop(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<ProxyShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(client) = stream else { continue };
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _ = relay(client, &shared);
+        });
+    }
+}
+
+/// Relay one client connection frame-by-frame until either side closes
+/// or a cut fault fires.
+fn relay(mut client: TcpStream, shared: &Arc<ProxyShared>) -> io::Result<()> {
+    let mut server = TcpStream::connect(shared.upstream)?;
+    server.set_nodelay(true)?;
+    client.set_nodelay(true)?;
+    loop {
+        let request = match read_raw_frame(&mut client) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(()), // client went away
+        };
+        let index = shared.frames.fetch_add(1, Ordering::SeqCst);
+        let fault = shared.plan.faults.get(&index).copied();
+        if let Some(kind) = fault {
+            shared.injected.lock().unwrap().push((index, kind));
+        }
+        match fault {
+            Some(FaultKind::CutBeforeForward) => return Ok(()),
+            None
+            | Some(FaultKind::CutBeforeResponse)
+            | Some(FaultKind::TruncateResponse)
+            | Some(FaultKind::DelayResponse(_)) => {
+                server.write_all(&request)?;
+                let response = read_raw_frame(&mut server)?;
+                match fault {
+                    Some(FaultKind::CutBeforeResponse) => return Ok(()),
+                    Some(FaultKind::TruncateResponse) => {
+                        client.write_all(&response[..response.len() / 2])?;
+                        return Ok(());
+                    }
+                    Some(FaultKind::DelayResponse(delay)) => {
+                        std::thread::sleep(delay);
+                        client.write_all(&response)?;
+                    }
+                    _ => client.write_all(&response)?,
+                }
+            }
+        }
+    }
+}
+
+/// Read one length-prefixed frame, returning prefix + payload verbatim.
+fn read_raw_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut frame = vec![0u8; 4 + len];
+    frame[..4].copy_from_slice(&prefix);
+    stream.read_exact(&mut frame[4..])?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_spare_the_handshake() {
+        let a = FaultPlan::seeded(42, 6);
+        let b = FaultPlan::seeded(42, 6);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 6);
+        assert!(a.faults.keys().all(|&f| f >= 2));
+        let c = FaultPlan::seeded(43, 6);
+        assert_ne!(a.faults, c.faults);
+    }
+}

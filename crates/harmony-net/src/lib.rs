@@ -20,7 +20,18 @@
 //!   train on earlier clients' runs. The database persists to disk
 //!   across restarts.
 //! * [`client`] — [`client::Client`], a blocking client driving the
-//!   ask–tell loop over the wire.
+//!   ask–tell loop over the wire. [`client::ClientBuilder`] adds
+//!   connect timeouts, per-request deadlines, and retry with
+//!   decorrelated-jitter backoff.
+//! * [`fault`] — a fault-injection proxy the resilience suite uses to
+//!   cut, truncate, or delay frames on a seeded schedule.
+//!
+//! Sessions survive disconnects: a protocol-v2 server issues a resume
+//! token at `SessionStart`, parks the session when its connection drops,
+//! and re-attaches it when the client reconnects and sends `Resume`.
+//! Replayed `Report`s carry sequence numbers the server deduplicates,
+//! and a draining server answers with `Draining`, which clients treat
+//! as retryable.
 //!
 //! ```no_run
 //! use harmony_net::client::Client;
@@ -46,9 +57,11 @@
 pub mod client;
 pub mod codec;
 mod error;
+pub mod fault;
 mod obs;
 pub mod protocol;
 pub mod server;
 
-pub use error::NetError;
-pub use protocol::PROTOCOL_VERSION;
+pub use client::RetryPolicy;
+pub use error::{ErrorKind, NetError};
+pub use protocol::{MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};

@@ -23,6 +23,11 @@
 //! | `harmony_net_db_runs` | gauge | runs currently in the shared experience db |
 //! | `harmony_net_db_persist_failures_total` | counter | failed experience-db persistence attempts |
 //! | `harmony_net_db_snapshot_swaps_total` | counter | copy-on-write database snapshot swaps |
+//! | `harmony_net_retries_total` | counter | client-side request retries (backoff loop) |
+//! | `harmony_net_resumes_total` | counter | parked sessions re-attached via `Resume` |
+//! | `harmony_net_draining_responses_total` | counter | requests refused with `Draining` during shutdown |
+//! | `harmony_net_sessions_parked` | gauge | disconnected sessions currently parked awaiting `Resume` |
+//! | `harmony_net_session_ttl_expirations_total` | counter | parked sessions reaped at the keepalive TTL |
 //!
 //! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
 //! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
@@ -151,6 +156,51 @@ handle!(
     )
 );
 
+handle!(
+    retries_total,
+    Counter,
+    global().counter(
+        "harmony_net_retries_total",
+        "Client-side request retries taken by the backoff loop.",
+    )
+);
+
+handle!(
+    resumes_total,
+    Counter,
+    global().counter(
+        "harmony_net_resumes_total",
+        "Parked sessions re-attached to a connection via Resume.",
+    )
+);
+
+handle!(
+    draining_responses_total,
+    Counter,
+    global().counter(
+        "harmony_net_draining_responses_total",
+        "Requests refused with a Draining response during shutdown.",
+    )
+);
+
+handle!(
+    sessions_parked,
+    Gauge,
+    global().gauge(
+        "harmony_net_sessions_parked",
+        "Disconnected sessions currently parked awaiting Resume.",
+    )
+);
+
+handle!(
+    session_ttl_expirations_total,
+    Counter,
+    global().counter(
+        "harmony_net_session_ttl_expirations_total",
+        "Parked sessions reaped after the keepalive TTL expired.",
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -162,6 +212,7 @@ pub(crate) struct RequestMetrics {
 pub(crate) const REQUEST_KINDS: &[&str] = &[
     "Hello",
     "SessionStart",
+    "Resume",
     "Fetch",
     "Report",
     "SessionEnd",
@@ -223,6 +274,11 @@ pub(crate) fn preregister() {
     db_runs();
     db_persist_failures_total();
     db_snapshot_swaps_total();
+    retries_total();
+    resumes_total();
+    draining_responses_total();
+    sessions_parked();
+    session_ttl_expirations_total();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

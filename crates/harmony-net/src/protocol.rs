@@ -23,9 +23,24 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Version spoken by this build. The server rejects a `Hello` carrying
-/// anything else; bump on any incompatible message change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Newest protocol version spoken by this build; bump on any message
+/// change. Version 2 added `Resume`/`Resumed`, `Draining`, report
+/// sequence numbers, and session tokens.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest version this build still serves. `Hello` negotiation picks the
+/// highest version inside both sides' ranges.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
+
+/// Pick the protocol version for a connection: the highest version in
+/// both the client's `[client_min, client_max]` and this build's
+/// `[`[`MIN_SUPPORTED_VERSION`]`, `[`PROTOCOL_VERSION`]`]`, or `None`
+/// when the ranges do not overlap.
+pub fn negotiate(client_min: u32, client_max: u32) -> Option<u32> {
+    let lo = client_min.max(MIN_SUPPORTED_VERSION);
+    let hi = client_max.min(PROTOCOL_VERSION);
+    (lo <= hi).then_some(hi)
+}
 
 /// How a client describes the space it wants tuned.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,10 +55,19 @@ pub enum SpaceSpec {
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Opens every connection; the server checks the version.
+    /// Opens every connection; the server picks the version.
+    ///
+    /// Version-1 clients send `version` alone; version-2 clients send a
+    /// `[min_version, max_version]` range. A v1 `Hello` therefore reads
+    /// as the degenerate range `[version, version]`.
     Hello {
-        /// Client's [`PROTOCOL_VERSION`].
-        version: u32,
+        /// Single version spoken (v1 clients). `None` when a range is
+        /// given instead.
+        version: Option<u32>,
+        /// Lowest version the client accepts (v2 clients).
+        min_version: Option<u32>,
+        /// Highest version the client accepts (v2 clients).
+        max_version: Option<u32>,
         /// Free-form client identification, for server logs.
         client: String,
     },
@@ -59,6 +83,13 @@ pub enum Request {
         /// Override the server's default live-measurement budget.
         max_iterations: Option<usize>,
     },
+    /// Re-attach to a parked session after a disconnect (protocol ≥ 2).
+    /// The token came back in
+    /// [`Response::SessionStarted::session_token`].
+    Resume {
+        /// The server-issued session token.
+        token: String,
+    },
     /// Ask for the next configuration to measure. Idempotent: asking
     /// again without a `Report` returns the same configuration.
     Fetch,
@@ -66,6 +97,10 @@ pub enum Request {
     Report {
         /// The measurement (higher is better).
         performance: f64,
+        /// Client-side sequence number (protocol ≥ 2): the server
+        /// observes each number once, so a replayed report after an
+        /// ambiguous disconnect is deduplicated instead of double-counted.
+        seq: Option<u64>,
     },
     /// Close the session: the run is recorded into the experience
     /// database and the best configuration comes back.
@@ -87,6 +122,7 @@ impl Request {
         match self {
             Request::Hello { .. } => "Hello",
             Request::SessionStart { .. } => "SessionStart",
+            Request::Resume { .. } => "Resume",
             Request::Fetch => "Fetch",
             Request::Report { .. } => "Report",
             Request::SessionEnd => "SessionEnd",
@@ -102,7 +138,8 @@ impl Request {
 pub enum Response {
     /// Answer to [`Request::Hello`].
     Hello {
-        /// Server's [`PROTOCOL_VERSION`].
+        /// The negotiated version — the highest inside both sides'
+        /// ranges. Every later message on the connection speaks it.
         version: u32,
         /// Free-form server identification.
         server: String,
@@ -117,7 +154,25 @@ pub enum Response {
         trained_from: Option<String>,
         /// Virtual iterations spent replaying that experience.
         training_iterations: usize,
+        /// Token for [`Request::Resume`] after a disconnect. Issued only
+        /// on protocol ≥ 2 connections.
+        session_token: Option<String>,
     },
+    /// Answer to [`Request::Resume`]: the session is re-attached.
+    Resumed {
+        /// Live iterations already recorded.
+        iteration: usize,
+        /// The next report sequence number the server expects; the
+        /// client re-synchronizes its counter to this.
+        next_seq: u64,
+        /// Whether the session had already finished (its summary can
+        /// still be collected with [`Request::SessionEnd`]).
+        done: bool,
+    },
+    /// The server is draining for shutdown: session state is parked and
+    /// the request can be retried — against this server until it exits,
+    /// then against its successor via [`Request::Resume`].
+    Draining,
     /// A configuration to measure.
     Config {
         /// Parameter values, in space order.
@@ -223,12 +278,15 @@ mod tests {
         assert_eq!(Request::Fetch.kind(), "Fetch");
         assert_eq!(
             Request::Hello {
-                version: 1,
+                version: Some(1),
+                min_version: None,
+                max_version: None,
                 client: "c".into()
             }
             .kind(),
             "Hello"
         );
+        assert_eq!(Request::Resume { token: "t".into() }.kind(), "Resume");
         let msg = Response::Stats {
             text: "# TYPE x counter\nx 1\n".into(),
         };
@@ -248,6 +306,70 @@ mod tests {
         let json = serde_json::to_string(&msg).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn negotiation_picks_the_highest_common_version() {
+        // A v1 client's degenerate range lands on v1.
+        assert_eq!(negotiate(1, 1), Some(1));
+        // A current client gets the newest version.
+        assert_eq!(negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION), Some(2));
+        // A future client that still speaks v2 meets us there.
+        assert_eq!(negotiate(2, 99), Some(2));
+        // No overlap: refused.
+        assert_eq!(negotiate(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 5), None);
+        assert_eq!(negotiate(0, 0), None);
+    }
+
+    #[test]
+    fn v1_hello_wire_shape_still_parses() {
+        // Exactly what a version-1 client emits: a bare `version` field.
+        let raw = r#"{"Hello":{"version":1,"client":"old"}}"#;
+        match serde_json::from_str(raw).unwrap() {
+            Request::Hello {
+                version,
+                min_version,
+                max_version,
+                client,
+            } => {
+                assert_eq!(version, Some(1));
+                assert_eq!(min_version, None);
+                assert_eq!(max_version, None);
+                assert_eq!(client, "old");
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // And a v1 `Report` has no sequence number.
+        let raw = r#"{"Report":{"performance":2.5}}"#;
+        match serde_json::from_str(raw).unwrap() {
+            Request::Report { performance, seq } => {
+                assert_eq!(performance, 2.5);
+                assert_eq!(seq, None);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_messages_round_trip() {
+        let resume = Request::Resume {
+            token: "s-42".into(),
+        };
+        let back: Request = serde_json::from_str(&serde_json::to_string(&resume).unwrap()).unwrap();
+        assert_eq!(back, resume);
+
+        let resumed = Response::Resumed {
+            iteration: 7,
+            next_seq: 9,
+            done: false,
+        };
+        let back: Response =
+            serde_json::from_str(&serde_json::to_string(&resumed).unwrap()).unwrap();
+        assert_eq!(back, resumed);
+
+        let draining: Response =
+            serde_json::from_str(&serde_json::to_string(&Response::Draining).unwrap()).unwrap();
+        assert_eq!(draining, Response::Draining);
     }
 
     #[test]

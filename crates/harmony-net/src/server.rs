@@ -27,7 +27,8 @@
 
 use crate::codec::{write_frame, write_frame_buf, READ_CHUNK};
 use crate::protocol::{
-    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, PROTOCOL_VERSION,
+    negotiate, Request, Response, RunSummary, SensitivityEntry, SpaceSpec, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::NetError;
 use harmony::history::wal::{self, WalWriter};
@@ -38,13 +39,15 @@ use harmony::sensitivity::SensitivityReport;
 use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
 use harmony_obs::event::{event, Level};
 use harmony_space::{parse_rsl, ParameterSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked reads wake up to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -85,6 +88,15 @@ pub struct DaemonConfig {
     pub legacy_lock: bool,
     /// Name reported in the `Hello` exchange.
     pub server_name: String,
+    /// How long a disconnected session stays parked awaiting
+    /// [`Request::Resume`] before the reaper folds whatever it measured
+    /// into the experience database. Also bounds how long a finished
+    /// session's cached summary stays answerable.
+    pub session_ttl: Duration,
+    /// Grace period for connection teardown: how long a refused or
+    /// draining connection is drained before the socket closes (so the
+    /// peer reliably reads the refusal instead of seeing an RST).
+    pub drain_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -101,6 +113,8 @@ impl Default for DaemonConfig {
             compact_every: 64,
             legacy_lock: false,
             server_name: "harmony-net".into(),
+            session_ttl: Duration::from_secs(30),
+            drain_timeout: Duration::from_millis(200),
         }
     }
 }
@@ -213,12 +227,146 @@ enum Backend {
     Legacy(RwLock<ExperienceDb>),
 }
 
+/// A disconnected session waiting for its client to [`Request::Resume`].
+struct ParkedSession {
+    sess: ActiveSession,
+    parked_at: Instant,
+}
+
+/// Token-keyed session state that outlives connections.
+///
+/// `parked` holds live sessions whose connection dropped; `completed`
+/// caches the `SessionSummary` of finished sessions so a client that
+/// lost the final response can replay `SessionEnd` idempotently. Both
+/// sides expire at [`DaemonConfig::session_ttl`].
+struct SessionRegistry {
+    parked: Mutex<HashMap<String, ParkedSession>>,
+    completed: Mutex<HashMap<String, (Response, Instant)>>,
+    counter: AtomicU64,
+    /// Per-process uniqueness component, so tokens issued after a
+    /// restart cannot collide with ones loaded from the sessions file.
+    epoch: String,
+}
+
+impl SessionRegistry {
+    fn new() -> SessionRegistry {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        SessionRegistry {
+            parked: Mutex::new(HashMap::new()),
+            completed: Mutex::new(HashMap::new()),
+            counter: AtomicU64::new(0),
+            epoch: format!("{nanos:x}"),
+        }
+    }
+
+    fn issue_token(&self) -> String {
+        let n = self.counter.fetch_add(1, Ordering::SeqCst);
+        format!("hs-{}-{n:x}", self.epoch)
+    }
+
+    /// Whether this registry could have issued `token` (this process's
+    /// epoch, or a token revived from the sessions file at startup). A
+    /// `Resume` for such a token is worth waiting for briefly — the
+    /// session may be mid-park on another connection's teardown — while
+    /// a foreign token is refused immediately.
+    fn recognizes(&self, token: &str) -> bool {
+        token.starts_with(&format!("hs-{}-", self.epoch))
+            || self
+                .parked
+                .lock()
+                .expect("parked sessions poisoned")
+                .contains_key(token)
+    }
+
+    fn park(&self, token: String, sess: ActiveSession) {
+        crate::obs::sessions_parked().inc();
+        self.parked
+            .lock()
+            .expect("parked sessions poisoned")
+            .insert(
+                token,
+                ParkedSession {
+                    sess,
+                    parked_at: Instant::now(),
+                },
+            );
+    }
+
+    fn unpark(&self, token: &str) -> Option<ActiveSession> {
+        let taken = self
+            .parked
+            .lock()
+            .expect("parked sessions poisoned")
+            .remove(token)
+            .map(|p| p.sess);
+        if taken.is_some() {
+            crate::obs::sessions_parked().dec();
+        }
+        taken
+    }
+
+    fn cache_summary(&self, token: String, summary: Response) {
+        self.completed
+            .lock()
+            .expect("completed sessions poisoned")
+            .insert(token, (summary, Instant::now()));
+    }
+
+    fn cached_summary(&self, token: &str) -> Option<Response> {
+        self.completed
+            .lock()
+            .expect("completed sessions poisoned")
+            .get(token)
+            .map(|(r, _)| r.clone())
+    }
+
+    /// Remove and return every parked session older than `ttl`.
+    fn take_expired(&self, ttl: Duration) -> Vec<ActiveSession> {
+        let mut parked = self.parked.lock().expect("parked sessions poisoned");
+        let dead: Vec<String> = parked
+            .iter()
+            .filter(|(_, p)| p.parked_at.elapsed() >= ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let taken: Vec<ActiveSession> = dead
+            .iter()
+            .filter_map(|k| parked.remove(k))
+            .map(|p| p.sess)
+            .collect();
+        for _ in &taken {
+            crate::obs::sessions_parked().dec();
+        }
+        drop(parked);
+        self.completed
+            .lock()
+            .expect("completed sessions poisoned")
+            .retain(|_, (_, at)| at.elapsed() < ttl);
+        taken
+    }
+
+    /// Remove and return everything parked (shutdown path).
+    fn drain_all(&self) -> Vec<(String, ActiveSession)> {
+        let mut parked = self.parked.lock().expect("parked sessions poisoned");
+        let all: Vec<(String, ActiveSession)> =
+            parked.drain().map(|(token, p)| (token, p.sess)).collect();
+        for _ in &all {
+            crate::obs::sessions_parked().dec();
+        }
+        all
+    }
+}
+
 struct Shared {
     config: DaemonConfig,
     backend: Backend,
+    registry: SessionRegistry,
     active: AtomicUsize,
     completed: AtomicUsize,
     shutdown: AtomicBool,
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -312,6 +460,67 @@ fn effective_wal_path(config: &DaemonConfig, db_path: &Path) -> PathBuf {
     })
 }
 
+/// Resumable sessions persist next to the snapshot at shutdown.
+fn sessions_path(db_path: &Path) -> PathBuf {
+    let mut name = db_path.as_os_str().to_os_string();
+    name.push(".sessions");
+    PathBuf::from(name)
+}
+
+/// One parked session as written to the sessions file: everything a
+/// successor daemon needs to continue the exact trajectory.
+#[derive(Serialize, Deserialize)]
+struct PersistedSession {
+    token: String,
+    session: TuningSession,
+    label: String,
+    characteristics: Vec<f64>,
+    prior: Option<RunHistory>,
+    next_seq: u64,
+}
+
+/// Load (and remove) the sessions file a predecessor left behind,
+/// parking its sessions for `Resume`.
+fn load_parked_sessions(registry: &SessionRegistry, db_path: &Path) {
+    let path = sessions_path(db_path);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    // Consumed either way: a file that fails to parse must not poison
+    // every future startup.
+    let _ = std::fs::remove_file(&path);
+    let loaded: Vec<PersistedSession> = match serde_json::from_str(&text) {
+        Ok(sessions) => sessions,
+        Err(e) => {
+            event(Level::Error, "net.sessions_load_failed")
+                .str("path", path.display().to_string())
+                .str("error", e.to_string())
+                .emit();
+            return;
+        }
+    };
+    let count = loaded.len();
+    for p in loaded {
+        registry.park(
+            p.token.clone(),
+            ActiveSession {
+                session: p.session,
+                label: p.label,
+                characteristics: p.characteristics,
+                prior: p.prior,
+                token: Some(p.token),
+                next_seq: p.next_seq,
+            },
+        );
+    }
+    if count > 0 {
+        event(Level::Info, "net.sessions_loaded")
+            .str("path", path.display().to_string())
+            .u64("sessions", count as u64)
+            .emit();
+    }
+}
+
 /// The daemon entry point.
 pub struct TuningDaemon;
 
@@ -371,15 +580,21 @@ impl TuningDaemon {
             }
             None => (None, None),
         };
+        let registry = SessionRegistry::new();
+        if let Some(path) = &config.db_path {
+            load_parked_sessions(&registry, path);
+        }
         let shared = Arc::new(Shared {
             config,
             backend: Backend::Snapshot {
                 cell: DbCell::new(db),
                 tx: Mutex::new(tx),
             },
+            registry,
             active: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         });
         let flusher = match (sink, rx) {
             (Some(sink), Some(rx)) => {
@@ -387,6 +602,10 @@ impl TuningDaemon {
                 Some(std::thread::spawn(move || flusher_loop(rx, sink, shared)))
             }
             _ => None,
+        };
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reaper_loop(&shared))
         };
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -397,6 +616,7 @@ impl TuningDaemon {
             shared,
             acceptor: Some(acceptor),
             flusher,
+            reaper: Some(reaper),
         })
     }
 
@@ -415,13 +635,23 @@ impl TuningDaemon {
             .u64("db_runs", db.len() as u64)
             .bool("legacy_lock", true)
             .emit();
+        let registry = SessionRegistry::new();
+        if let Some(path) = &config.db_path {
+            load_parked_sessions(&registry, path);
+        }
         let shared = Arc::new(Shared {
             config,
             backend: Backend::Legacy(RwLock::new(db)),
+            registry,
             active: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         });
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || reaper_loop(&shared))
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, shared))
@@ -431,7 +661,27 @@ impl TuningDaemon {
             shared,
             acceptor: Some(acceptor),
             flusher: None,
+            reaper: Some(reaper),
         })
+    }
+}
+
+/// The keepalive reaper: folds parked sessions whose TTL expired into
+/// the experience database and drops stale cached summaries.
+fn reaper_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL_INTERVAL);
+        for sess in shared.registry.take_expired(shared.config.session_ttl) {
+            crate::obs::session_ttl_expirations_total().inc();
+            crate::obs::sessions_abandoned_total().inc();
+            event(Level::Warn, "net.session_ttl_expired")
+                .str("label", &sess.label)
+                .u64("iterations", sess.session.iterations() as u64)
+                .emit();
+            if sess.session.iterations() > 0 {
+                record_session(sess, shared);
+            }
+        }
     }
 }
 
@@ -441,6 +691,7 @@ pub struct DaemonHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
 }
 
 impl DaemonHandle {
@@ -459,8 +710,29 @@ impl DaemonHandle {
         self.shared.db_len()
     }
 
+    /// Enter drain mode without stopping: new connections and
+    /// session-advancing requests (`SessionStart`, `Resume`, `Fetch`,
+    /// `Report`) are answered with [`Response::Draining`], which clients
+    /// treat as retryable; `SessionEnd` and admin requests still serve so
+    /// in-flight sessions can finish. [`shutdown`](Self::shutdown) drains
+    /// implicitly.
+    pub fn drain(&self) {
+        if !self.shared.draining.swap(true, Ordering::SeqCst) {
+            event(Level::Info, "net.daemon_draining")
+                .str("addr", self.addr.to_string())
+                .emit();
+        }
+    }
+
+    /// Whether [`drain`](Self::drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
     /// Stop accepting, wait for connection threads, persist the
-    /// database (in snapshot mode: drain the flusher and compact).
+    /// database (in snapshot mode: drain the flusher and compact), and
+    /// write parked resumable sessions to the sessions file next to the
+    /// database so a successor daemon can honor their tokens.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -469,10 +741,19 @@ impl DaemonHandle {
         let Some(acceptor) = self.acceptor.take() else {
             return;
         };
+        self.drain();
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = acceptor.join();
+        if let Some(reaper) = self.reaper.take() {
+            let _ = reaper.join();
+        }
+        // Connection threads have parked their tokened sessions by now;
+        // persist them (or fold them into the db when nothing persists)
+        // before the flusher compacts, so a run recorded here still
+        // reaches the snapshot file.
+        persist_parked(&self.shared);
         match &self.shared.backend {
             Backend::Snapshot { tx, .. } => {
                 // Closing the channel ends the flusher loop; it drains
@@ -492,6 +773,54 @@ impl DaemonHandle {
                 self.shared.completed.load(Ordering::SeqCst) as u64,
             )
             .emit();
+    }
+}
+
+/// Shutdown path for parked sessions: write them to the sessions file
+/// when a database path exists (tokens stay resumable across restart);
+/// otherwise fold whatever they measured into the in-memory database's
+/// last compaction like any abandoned session.
+fn persist_parked(shared: &Arc<Shared>) {
+    let parked = shared.registry.drain_all();
+    if parked.is_empty() {
+        return;
+    }
+    if let Some(db_path) = &shared.config.db_path {
+        let persisted: Vec<PersistedSession> = parked
+            .into_iter()
+            .map(|(token, sess)| PersistedSession {
+                token,
+                session: sess.session,
+                label: sess.label,
+                characteristics: sess.characteristics,
+                prior: sess.prior,
+                next_seq: sess.next_seq,
+            })
+            .collect();
+        let path = sessions_path(db_path);
+        let write = serde_json::to_string(&persisted)
+            .map_err(|e| e.to_string())
+            .and_then(|text| std::fs::write(&path, text).map_err(|e| e.to_string()));
+        match write {
+            Ok(()) => event(Level::Info, "net.sessions_persisted")
+                .str("path", path.display().to_string())
+                .u64("sessions", persisted.len() as u64)
+                .emit(),
+            Err(e) => {
+                crate::obs::db_persist_failures_total().inc();
+                event(Level::Error, "net.sessions_persist_failed")
+                    .str("path", path.display().to_string())
+                    .str("error", e)
+                    .emit();
+            }
+        }
+    } else {
+        for (_, sess) in parked {
+            crate::obs::sessions_abandoned_total().inc();
+            if sess.session.iterations() > 0 {
+                record_session(sess, shared);
+            }
+        }
     }
 }
 
@@ -555,6 +884,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
+        if shared.draining.load(Ordering::SeqCst) {
+            // A draining daemon accepts no new conversations; the peer
+            // reads the refusal, backs off, and resumes against the
+            // successor daemon.
+            crate::obs::draining_responses_total().inc();
+            let _ = write_frame(&mut stream, &Response::Draining);
+            linger_close(stream, shared.config.drain_timeout);
+            continue;
+        }
         if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
             crate::obs::connections_refused_total().inc();
             event(Level::Warn, "net.connection_refused")
@@ -566,12 +904,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     message: "server busy: connection limit reached".into(),
                 },
             );
-            // Drain until the peer hangs up (bounded by the timeout) so
-            // the close is graceful: an immediate close can RST the
-            // connection before the client has read the refusal.
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-            let mut sink = [0u8; 256];
-            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+            linger_close(stream, shared.config.drain_timeout);
             continue;
         }
         shared.active.fetch_add(1, Ordering::SeqCst);
@@ -590,6 +923,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// Drain a refused connection until the peer hangs up (bounded by the
+/// timeout) so the close is graceful: an immediate close can RST the
+/// connection before the client has read the response.
+fn linger_close(mut stream: TcpStream, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let mut sink = [0u8; 256];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
 /// Per-connection session state.
 struct ActiveSession {
     session: TuningSession,
@@ -597,12 +939,36 @@ struct ActiveSession {
     characteristics: Vec<f64>,
     /// The prior run selected at `SessionStart`, kept for `Sensitivity`.
     prior: Option<RunHistory>,
+    /// Resume token, issued on protocol ≥ 2 connections. A tokened
+    /// session parks on disconnect instead of being abandoned.
+    token: Option<String>,
+    /// The next `Report` sequence number accepted; everything below it
+    /// was already observed and a replay answers `Reported` unchanged.
+    next_seq: u64,
+}
+
+/// Per-connection protocol state: the live session plus what `Hello`
+/// negotiated.
+struct ConnState {
+    active: Option<ActiveSession>,
+    /// Negotiated protocol version. Tokens and sequence numbers only
+    /// exist from version 2 on.
+    version: u32,
+    /// Set when `Resume` named an already-finished session: the
+    /// follow-up `SessionEnd` answers from the cached summary.
+    completed_token: Option<String>,
 }
 
 fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
-    let mut active: Option<ActiveSession> = None;
+    let mut conn = ConnState {
+        active: None,
+        // Before Hello negotiates anything, speak the oldest supported
+        // version: a client that skips Hello gets v1 semantics.
+        version: MIN_SUPPORTED_VERSION,
+        completed_token: None,
+    };
     // Connection-lifetime scratch: request payloads land in `rbuf`,
     // response frames are assembled in `wbuf`, so the steady state
     // allocates nothing for framing.
@@ -626,7 +992,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
         };
         let metrics = crate::obs::request_metrics(request.kind());
         let timer = metrics.seconds.start_timer();
-        let response = handle_request(request, &mut active, shared);
+        let response = handle_request(request, &mut conn, shared);
         if matches!(response, Response::Error { .. }) {
             crate::obs::errors_total().inc();
         }
@@ -634,39 +1000,83 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
         drop(timer);
         metrics.total.inc();
     }
-    // A dropped connection abandons its session: whatever was measured is
-    // still experience worth keeping.
-    if let Some(sess) = active.take() {
-        crate::obs::sessions_abandoned_total().inc();
-        event(Level::Warn, "net.session_abandoned")
-            .str("label", &sess.label)
-            .u64("iterations", sess.session.iterations() as u64)
-            .emit();
-        if sess.session.iterations() > 0 {
-            record_session(sess, shared);
+    if let Some(sess) = conn.active.take() {
+        match sess.token.clone() {
+            // A tokened session parks, waiting for `Resume` on a new
+            // connection (or the TTL reaper).
+            Some(token) => {
+                event(Level::Info, "net.session_parked")
+                    .str("label", &sess.label)
+                    .u64("iterations", sess.session.iterations() as u64)
+                    .emit();
+                shared.registry.park(token, sess);
+            }
+            // A dropped v1 connection abandons its session: whatever was
+            // measured is still experience worth keeping.
+            None => {
+                crate::obs::sessions_abandoned_total().inc();
+                event(Level::Warn, "net.session_abandoned")
+                    .str("label", &sess.label)
+                    .u64("iterations", sess.session.iterations() as u64)
+                    .emit();
+                if sess.session.iterations() > 0 {
+                    record_session(sess, shared);
+                }
+            }
         }
     }
     Ok(())
 }
 
-fn handle_request(
-    request: Request,
-    active: &mut Option<ActiveSession>,
-    shared: &Shared,
-) -> Response {
+fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Response {
+    // While draining, anything that would advance or create session
+    // state is refused with `Draining` (retryable; the state is parked
+    // for the successor daemon). `SessionEnd` and the read-only admin
+    // requests still serve so in-flight sessions can wrap up.
+    if shared.draining.load(Ordering::SeqCst)
+        && matches!(
+            request,
+            Request::SessionStart { .. }
+                | Request::Resume { .. }
+                | Request::Fetch
+                | Request::Report { .. }
+        )
+    {
+        crate::obs::draining_responses_total().inc();
+        return Response::Draining;
+    }
+    let active = &mut conn.active;
     match request {
-        Request::Hello { version, client: _ } => {
-            if version != PROTOCOL_VERSION {
-                Response::Error {
+        Request::Hello {
+            version,
+            min_version,
+            max_version,
+            client: _,
+        } => {
+            // A v1 client sends `version` alone — the degenerate range.
+            let (lo, hi) = match (version, min_version, max_version) {
+                (_, Some(lo), Some(hi)) => (lo, hi),
+                (Some(v), _, _) => (v, v),
+                _ => {
+                    return Response::Error {
+                        message: "Hello carries neither a version nor a version range".into(),
+                    }
+                }
+            };
+            match negotiate(lo, hi) {
+                Some(v) => {
+                    conn.version = v;
+                    Response::Hello {
+                        version: v,
+                        server: shared.config.server_name.clone(),
+                    }
+                }
+                None => Response::Error {
                     message: format!(
-                        "protocol version mismatch: client speaks {version}, server speaks {PROTOCOL_VERSION}"
+                        "protocol version mismatch: client speaks [{lo}, {hi}], \
+                         server speaks [{MIN_SUPPORTED_VERSION}, {PROTOCOL_VERSION}]"
                     ),
-                }
-            } else {
-                Response::Hello {
-                    version: PROTOCOL_VERSION,
-                    server: shared.config.server_name.clone(),
-                }
+                },
             }
         }
         Request::SessionStart {
@@ -704,6 +1114,7 @@ fn handle_request(
                 Some(history) => tuner.session_trained(history, shared.config.training),
                 None => tuner.session(),
             };
+            let token = (conn.version >= 2).then(|| shared.registry.issue_token());
             crate::obs::sessions_started_total().inc();
             event(Level::Info, "net.session_start")
                 .str("label", &label)
@@ -714,14 +1125,73 @@ fn handle_request(
                 space: session.space().clone(),
                 trained_from: prior.as_ref().map(|r| r.label.clone()),
                 training_iterations: session.training_iterations(),
+                session_token: token.clone(),
             };
             *active = Some(ActiveSession {
                 session,
                 label,
                 characteristics,
                 prior,
+                token,
+                next_seq: 0,
             });
             response
+        }
+        Request::Resume { token } => {
+            if conn.version < 2 {
+                return Response::Error {
+                    message: "Resume needs protocol version 2".into(),
+                };
+            }
+            if active.is_some() {
+                return Response::Error {
+                    message: "a session is already active on this connection".into(),
+                };
+            }
+            // A reconnecting client can race the server noticing that
+            // its old connection died: the session is still attached to
+            // the dying handler, not yet parked. For tokens we issued,
+            // poll briefly before giving up.
+            let grace = Instant::now() + Duration::from_millis(500);
+            loop {
+                if let Some(sess) = shared.registry.unpark(&token) {
+                    crate::obs::resumes_total().inc();
+                    event(Level::Info, "net.session_resumed")
+                        .str("label", &sess.label)
+                        .u64("iterations", sess.session.iterations() as u64)
+                        .emit();
+                    let response = Response::Resumed {
+                        iteration: sess.session.iterations(),
+                        next_seq: sess.next_seq,
+                        done: sess.session.is_done(),
+                    };
+                    *active = Some(sess);
+                    return response;
+                }
+                // A finished session's token answers from the summary
+                // cache: the client lost its own SessionEnd response.
+                if let Some(Response::SessionSummary { iterations, .. }) =
+                    shared.registry.cached_summary(&token)
+                {
+                    crate::obs::resumes_total().inc();
+                    conn.completed_token = Some(token);
+                    return Response::Resumed {
+                        iteration: iterations,
+                        next_seq: 0,
+                        done: true,
+                    };
+                }
+                if !shared.registry.recognizes(&token)
+                    || Instant::now() >= grace
+                    || shared.shutdown.load(Ordering::SeqCst)
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Response::Error {
+                message: "unknown or expired session token".into(),
+            }
         }
         Request::Fetch => match active {
             None => no_session(),
@@ -733,20 +1203,54 @@ fn handle_request(
                 None => Response::Done,
             },
         },
-        Request::Report { performance } => match active {
-            None => no_session(),
-            Some(sess) => match sess.session.observe(performance) {
-                Ok(()) => Response::Reported,
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
-            },
-        },
-        Request::SessionEnd => match active.take() {
+        Request::Report { performance, seq } => match active {
             None => no_session(),
             Some(sess) => {
+                match seq {
+                    // A replayed report: already observed, answer the
+                    // acknowledgment it lost.
+                    Some(s) if s < sess.next_seq => return Response::Reported,
+                    Some(s) if s > sess.next_seq => {
+                        return Response::Error {
+                            message: format!(
+                                "report sequence gap: got {s}, expected {}",
+                                sess.next_seq
+                            ),
+                        }
+                    }
+                    _ => {}
+                }
+                match sess.session.observe(performance) {
+                    Ok(()) => {
+                        if seq.is_some() {
+                            sess.next_seq += 1;
+                        }
+                        Response::Reported
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+        },
+        Request::SessionEnd => match active.take() {
+            None => match conn.completed_token.take() {
+                // Resume of a finished session: replay the cached
+                // summary instead of complaining.
+                Some(token) => match shared.registry.cached_summary(&token) {
+                    Some(summary) => summary,
+                    None => no_session(),
+                },
+                None => no_session(),
+            },
+            Some(sess) => {
                 crate::obs::sessions_completed_total().inc();
-                record_session(sess, shared)
+                let token = sess.token.clone();
+                let summary = record_session(sess, shared);
+                if let Some(token) = token {
+                    shared.registry.cache_summary(token, summary.clone());
+                }
+                summary
             }
         },
         Request::Sensitivity => match active {
@@ -1066,6 +1570,11 @@ mod tests {
             "harmony_net_db_runs",
             "harmony_net_db_persist_failures_total",
             "harmony_net_db_snapshot_swaps_total",
+            "harmony_net_retries_total",
+            "harmony_net_resumes_total",
+            "harmony_net_draining_responses_total",
+            "harmony_net_sessions_parked",
+            "harmony_net_session_ttl_expirations_total",
             "harmony_db_wal_appends_total",
             "harmony_db_wal_flush_seconds",
             "harmony_db_compactions_total",
@@ -1088,13 +1597,257 @@ mod tests {
         write_frame(
             &mut stream,
             &Request::Hello {
-                version: PROTOCOL_VERSION + 1,
-                client: "old".into(),
+                version: None,
+                min_version: Some(PROTOCOL_VERSION + 1),
+                max_version: Some(PROTOCOL_VERSION + 1),
+                client: "from the future".into(),
             },
         )
         .unwrap();
         let response: Response = crate::codec::read_frame(&mut stream).unwrap();
         assert!(matches!(response, Response::Error { .. }), "{response:?}");
+    }
+
+    #[test]
+    fn v1_client_negotiates_and_tunes_without_tokens() {
+        let handle = daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: Some(1),
+                min_version: None,
+                max_version: None,
+                client: "v1 relic".into(),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::Hello { version, .. } => assert_eq!(version, 1, "server must meet v1 at v1"),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        write_frame(
+            &mut stream,
+            &Request::SessionStart {
+                space: SpaceSpec::Rsl(RSL.into()),
+                label: "v1".into(),
+                characteristics: vec![0.5],
+                max_iterations: Some(5),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::SessionStarted { session_token, .. } => {
+                assert!(session_token.is_none(), "v1 connections get no token")
+            }
+            other => panic!("expected SessionStarted, got {other:?}"),
+        }
+        // Seq-less reports (the v1 wire shape) still observe.
+        write_frame(&mut stream, &Request::Fetch).unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Config { .. }
+        ));
+        write_frame(
+            &mut stream,
+            &Request::Report {
+                performance: 1.0,
+                seq: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Reported
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn resume_continues_a_parked_session_and_dedups_replayed_reports() {
+        let handle = daemon();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "parked", vec![0.4], Some(30))
+            .unwrap();
+        let token = client
+            .session_token()
+            .expect("v2 issues a token")
+            .to_string();
+        let p = client.fetch().unwrap().unwrap();
+        client.report(paraboloid(&p.values)).unwrap();
+        drop(client);
+
+        // Reconnect raw and resume: the session continues where it was.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(MIN_SUPPORTED_VERSION),
+                max_version: Some(PROTOCOL_VERSION),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        // Parking happens asynchronously when the handler notices the
+        // disconnect; retry until the token resolves.
+        let mut resumed = None;
+        for _ in 0..100 {
+            write_frame(
+                &mut stream,
+                &Request::Resume {
+                    token: token.clone(),
+                },
+            )
+            .unwrap();
+            match crate::codec::read_frame(&mut stream).unwrap() {
+                Response::Resumed {
+                    iteration,
+                    next_seq,
+                    done,
+                } => {
+                    resumed = Some((iteration, next_seq, done));
+                    break;
+                }
+                Response::Error { .. } => std::thread::sleep(Duration::from_millis(10)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let (iteration, next_seq, done) = resumed.expect("session resumes");
+        assert_eq!(iteration, 1, "one live iteration happened before the drop");
+        assert_eq!(next_seq, 1, "one sequenced report was observed");
+        assert!(!done);
+        // A replayed report (seq 0 again) is acknowledged, not observed.
+        write_frame(
+            &mut stream,
+            &Request::Report {
+                performance: 123.0,
+                seq: Some(0),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Reported
+        ));
+        // ...and a gapped sequence number is refused.
+        write_frame(
+            &mut stream,
+            &Request::Report {
+                performance: 123.0,
+                seq: Some(7),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Error { .. }
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_token_is_refused() {
+        let handle = daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(2),
+                max_version: Some(PROTOCOL_VERSION),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Resume {
+                token: "hs-nope-1".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Error { .. }
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn parked_sessions_expire_at_the_ttl_and_keep_their_experience() {
+        let handle = TuningDaemon::start(DaemonConfig {
+            session_ttl: Duration::from_millis(50),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "ttl", vec![0.2], Some(40))
+            .unwrap();
+        let token = client.session_token().unwrap().to_string();
+        for _ in 0..4 {
+            let p = client.fetch().unwrap().unwrap();
+            client.report(paraboloid(&p.values)).unwrap();
+        }
+        drop(client);
+        // The reaper records the measured work once the TTL lapses.
+        for _ in 0..100 {
+            if handle.db_runs() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(handle.db_runs(), 1, "expired session experience is kept");
+        // The token is gone afterwards.
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(2),
+                max_version: Some(PROTOCOL_VERSION),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        write_frame(&mut stream, &Request::Resume { token }).unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::Error { .. }
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn draining_daemon_refuses_session_work_but_serves_admin() {
+        let handle = daemon();
+        let mut client = Client::builder(handle.addr())
+            .retry(crate::client::RetryPolicy::none())
+            .connect()
+            .unwrap();
+        client
+            .start_session(SpaceSpec::Rsl(RSL.into()), "drain", vec![0.1], Some(20))
+            .unwrap();
+        handle.drain();
+        assert!(handle.is_draining());
+        // In-flight session work is refused retryably...
+        let err = client.fetch().unwrap_err();
+        assert!(matches!(err, NetError::Draining), "{err}");
+        assert!(err.is_retryable());
+        // ...while a fresh connection is turned away at accept with the
+        // same answer.
+        let err = Client::builder(handle.addr())
+            .retry(crate::client::RetryPolicy::none())
+            .connect()
+            .unwrap_err();
+        assert!(matches!(err, NetError::Draining), "{err}");
+        handle.shutdown();
     }
 
     #[test]
@@ -1113,7 +1866,13 @@ mod tests {
 
     #[test]
     fn dropped_connection_still_records_measured_experience() {
-        let handle = daemon();
+        // A short keepalive TTL so the parked session expires quickly;
+        // the reaper then records its measured work as an abandoned run.
+        let handle = TuningDaemon::start(DaemonConfig {
+            session_ttl: Duration::from_millis(50),
+            ..DaemonConfig::default()
+        })
+        .unwrap();
         {
             let mut client = Client::connect(handle.addr()).unwrap();
             client

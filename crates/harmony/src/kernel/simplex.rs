@@ -3,9 +3,11 @@
 use crate::kernel::init::InitStrategy;
 use harmony_linalg::vecops;
 use harmony_space::{Configuration, ParameterSpace};
+use serde::value::{Map, Number, Value};
+use serde::{DeError, Deserialize, Serialize};
 
 /// Reflection/expansion/contraction/shrink coefficients.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimplexOptions {
     /// Reflection coefficient (α in Nelder & Mead).
     pub alpha: f64,
@@ -28,14 +30,14 @@ impl Default for SimplexOptions {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Vertex {
     point: Vec<f64>,
     value: f64,
 }
 
 /// Internal state machine: what the kernel is waiting to hear about.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum State {
     /// Collecting values for the initial vertices.
     Init { points: Vec<Vec<f64>>, next: usize },
@@ -603,6 +605,58 @@ impl SimplexKernel {
     }
 }
 
+// Hand-written serialization: `seen_min`/`seen_max` start at ±infinity,
+// which the JSON layer flattens to `null`, so both travel as the exact
+// `f64::to_bits` pattern (reinterpreted as `i64`, which round-trips
+// losslessly). Every other field uses its ordinary representation.
+impl Serialize for SimplexKernel {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("space".into(), self.space.to_value());
+        m.insert("opts".into(), self.opts.to_value());
+        m.insert("vertices".into(), self.vertices.to_value());
+        m.insert("state".into(), self.state.to_value());
+        m.insert("best_config".into(), self.best_config.to_value());
+        m.insert(
+            "observations".into(),
+            Value::Number(Number::Int(self.observations as i64)),
+        );
+        m.insert(
+            "seen_min_bits".into(),
+            Value::Number(Number::Int(self.seen_min.to_bits() as i64)),
+        );
+        m.insert(
+            "seen_max_bits".into(),
+            Value::Number(Number::Int(self.seen_max.to_bits() as i64)),
+        );
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for SimplexKernel {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let bits = |key: &str| -> Result<f64, DeError> {
+            let n = v
+                .field(key)?
+                .as_i64()
+                .ok_or_else(|| DeError::expected("integer bit pattern", v.field(key).unwrap()))?;
+            Ok(f64::from_bits(n as u64))
+        };
+        let mut space = ParameterSpace::from_value(v.field("space")?)?;
+        space.reindex();
+        Ok(SimplexKernel {
+            space,
+            opts: SimplexOptions::from_value(v.field("opts")?)?,
+            vertices: Vec::from_value(v.field("vertices")?)?,
+            state: State::from_value(v.field("state")?)?,
+            best_config: Option::from_value(v.field("best_config")?)?,
+            observations: u64::from_value(v.field("observations")?)?,
+            seen_min: bits("seen_min_bits")?,
+            seen_max: bits("seen_max_bits")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,5 +901,29 @@ mod tests {
         let mut b = a.clone();
         drive(&mut b, paraboloid, 50);
         assert!(b.observations() > a.observations());
+    }
+
+    #[test]
+    fn serde_round_trip_continues_bit_identically() {
+        // Interrupt the kernel at several depths — including before the
+        // init simplex is complete, where seen_min/seen_max are still at
+        // their ±infinity sentinels — and check the revived copy replays
+        // the exact proposal/observation trajectory of the original.
+        for cut in [0usize, 1, 2, 7, 23, 61] {
+            let mut live = SimplexKernel::new(space2(), InitStrategy::EvenSpread);
+            drive(&mut live, paraboloid, cut);
+            let json = serde_json::to_string(&live).unwrap();
+            let mut revived: SimplexKernel = serde_json::from_str(&json).unwrap();
+            assert_eq!(revived.seen_min.to_bits(), live.seen_min.to_bits());
+            assert_eq!(revived.seen_max.to_bits(), live.seen_max.to_bits());
+            for _ in 0..80 {
+                assert_eq!(revived.next_config(), live.next_config(), "cut at {cut}");
+                let v = paraboloid(&live.next_config());
+                live.observe(v);
+                revived.observe(v);
+            }
+            assert_eq!(revived.best(), live.best());
+            assert_eq!(revived.observations(), live.observations());
+        }
     }
 }

@@ -6,10 +6,11 @@
 //! there" (§4.1). These metrics quantify that.
 
 use harmony_space::Configuration;
+use serde::{Deserialize, Serialize};
 
 /// One live exploration: iteration number, configuration, measured
 /// performance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// 0-based iteration index.
     pub iteration: usize,
@@ -20,7 +21,7 @@ pub struct TraceEntry {
 }
 
 /// Thresholds for trace analysis.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReportOptions {
     /// Convergence: the first iteration whose best-so-far is within this
     /// relative tolerance of the final best counts as "converged".

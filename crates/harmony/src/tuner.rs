@@ -9,6 +9,7 @@ use crate::report::{analyze_trace, ReportOptions, TraceEntry, TuningReport};
 use harmony_exec::{Executor, MemoCache};
 use harmony_obs::event::{event, Level};
 use harmony_space::{Configuration, ParameterSpace};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Normalized point spread below which a trained simplex counts as
@@ -32,7 +33,7 @@ pub enum TrainingMode {
 }
 
 /// Session options.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TuningOptions {
     /// Live measurement budget.
     pub max_iterations: usize,
@@ -162,7 +163,7 @@ impl std::error::Error for SessionError {}
 /// let outcome = session.finish();
 /// assert!(outcome.best_performance > -5.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuningSession {
     space: ParameterSpace,
     options: TuningOptions,
@@ -172,7 +173,20 @@ pub struct TuningSession {
     pending: Option<Configuration>,
     converged: bool,
     training_iterations: usize,
-    created: Instant,
+    #[serde(skip)]
+    created: SessionClock,
+}
+
+/// Wall-clock anchor for the session-duration metric. Not serialized — a
+/// session revived from a snapshot restarts its clock, so the wall-time
+/// histogram only ever counts time the session spent resident.
+#[derive(Debug, Clone, Copy)]
+struct SessionClock(Instant);
+
+impl Default for SessionClock {
+    fn default() -> Self {
+        SessionClock(Instant::now())
+    }
 }
 
 impl TuningSession {
@@ -192,7 +206,7 @@ impl TuningSession {
             pending: None,
             converged: false,
             training_iterations,
-            created: Instant::now(),
+            created: SessionClock::default(),
         }
     }
 
@@ -342,7 +356,7 @@ impl TuningSession {
         if self.converged {
             crate::obs::sessions_converged_total().inc();
         }
-        crate::obs::session_wall_seconds().observe(self.created.elapsed().as_secs_f64());
+        crate::obs::session_wall_seconds().observe(self.created.0.elapsed().as_secs_f64());
         event(Level::Info, "tune.finish")
             .u64("iterations", self.trace.len() as u64)
             .u64("training_iterations", self.training_iterations as u64)
@@ -683,6 +697,39 @@ mod tests {
         let x = cfg.get(0) as f64;
         let y = cfg.get(1) as f64;
         1000.0 - (x - 40.0).powi(2) - (y - 70.0).powi(2)
+    }
+
+    #[test]
+    fn serialized_session_resumes_bit_identically() {
+        // Interrupt a session at various depths — including with a
+        // proposal outstanding — and check the revived copy finishes the
+        // run with exactly the same trajectory and outcome.
+        for cut in [0usize, 1, 4, 17] {
+            let opts = TuningOptions::improved().with_max_iterations(60);
+            let mut live = Tuner::new(space2(), opts).session();
+            for _ in 0..cut {
+                let cfg = live.next_config().unwrap();
+                live.observe(paraboloid(&cfg)).unwrap();
+            }
+            // Leave a proposal pending, as a mid-`Fetch` disconnect would.
+            let pending = live.next_config();
+            let json = serde_json::to_string(&live).unwrap();
+            let mut revived: TuningSession = serde_json::from_str(&json).unwrap();
+            assert_eq!(revived.next_config(), pending, "cut at {cut}");
+            assert_eq!(revived.iterations(), live.iterations());
+            let drive = |mut s: TuningSession| {
+                while let Some(cfg) = s.next_config() {
+                    s.observe(paraboloid(&cfg)).unwrap();
+                }
+                s.finish()
+            };
+            let a = drive(live);
+            let b = drive(revived);
+            assert_eq!(a.trace, b.trace, "cut at {cut}");
+            assert_eq!(a.best_configuration, b.best_configuration);
+            assert_eq!(a.best_performance, b.best_performance);
+            assert_eq!(a.converged, b.converged);
+        }
     }
 
     #[test]

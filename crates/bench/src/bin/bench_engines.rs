@@ -1,0 +1,127 @@
+//! Engine tournament baseline: every registered search engine, raced
+//! (hyperparameters included) across the websim workload mixes.
+//!
+//! Runs the same meta-tuning tournament as `harmony-cli tournament` and
+//! records, per (workload mix, engine): the best WIPS the winning
+//! hyperparameter candidate reached, the measurements it spent
+//! (iterations to converge when it converged before its budget), and the
+//! winning hyperparameters. Writes the machine-readable comparison to
+//! `BENCH_engines.json` and the deterministic leaderboard to stdout.
+//!
+//! Everything is seeded: two runs with the same flags produce
+//! byte-identical leaderboards and JSON at any `--jobs`. `--smoke`
+//! shrinks the budget and candidate field for CI.
+
+use harmony_engines::{render_leaderboard, run_tournament, RaceResult, TournamentOptions};
+use harmony_exec::Executor;
+use harmony_websim::WorkloadMix;
+use std::fmt::Write as _;
+
+/// Workload knobs; `--smoke` swaps in the small set.
+struct Params {
+    budget: usize,
+    candidates: usize,
+}
+
+const FULL: Params = Params {
+    budget: 120,
+    candidates: 4,
+};
+
+const SMOKE: Params = Params {
+    budget: 30,
+    candidates: 2,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(bad) = args.iter().find(|a| !matches!(a.as_str(), "--smoke")) {
+        eprintln!("bench_engines: unknown flag {bad:?} (--smoke)");
+        std::process::exit(2);
+    }
+    let p = if smoke { SMOKE } else { FULL };
+
+    let opts = TournamentOptions {
+        budget: p.budget,
+        candidates: p.candidates,
+        seed: 42,
+        mixes: vec![
+            WorkloadMix::browsing(),
+            WorkloadMix::shopping(),
+            WorkloadMix::ordering(),
+        ],
+    };
+    let jobs = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let results = run_tournament(&opts, &Executor::new(jobs));
+    print!("{}", render_leaderboard(&results, &opts));
+
+    // Determinism is the contract the leaderboard artifact rests on:
+    // prove it here by re-running at a different job count.
+    let again = run_tournament(&opts, &Executor::new(1));
+    assert_eq!(
+        results, again,
+        "tournament must be byte-identical for a fixed seed at any job count"
+    );
+    for mix in &opts.mixes {
+        for name in harmony_engines::ENGINE_NAMES {
+            assert!(
+                results
+                    .iter()
+                    .any(|r| r.mix == mix.name() && r.engine == name),
+                "missing race: {name} on {}",
+                mix.name()
+            );
+        }
+    }
+
+    let mut rows = String::new();
+    for r in &results {
+        let RaceResult {
+            mix,
+            engine,
+            best_wips,
+            evaluations,
+            converged,
+            hyper,
+        } = r;
+        let hyper_json = hyper
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            rows,
+            "{}    {{\"mix\": \"{mix}\", \"engine\": \"{engine}\", \
+             \"best_wips\": {best_wips:.3}, \"iterations_to_converge\": {evaluations}, \
+             \"converged\": {converged}, \"hyper\": {{{hyper_json}}}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engines\",\n  \"smoke\": {smoke},\n  \"seed\": {},\n  \
+         \"budget\": {},\n  \"candidates\": {},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        opts.seed, opts.budget, opts.candidates,
+    );
+    std::fs::write("BENCH_engines.json", &json).expect("write BENCH_engines.json");
+    println!("wrote BENCH_engines.json");
+
+    // Sanity gate for the full run: every engine must actually search
+    // (finite, positive WIPS) within its budget.
+    if !smoke {
+        for r in &results {
+            assert!(
+                r.best_wips.is_finite() && r.best_wips > 0.0,
+                "{} found no throughput on {}",
+                r.engine,
+                r.mix
+            );
+            assert!(
+                r.evaluations <= opts.budget,
+                "{} overspent its budget on {}",
+                r.engine,
+                r.mix
+            );
+        }
+    }
+}

@@ -39,6 +39,9 @@ pub enum Command {
         /// Use the original extreme-corner initial simplex instead of the
         /// improved evenly-spread one.
         original: bool,
+        /// Search engine from the `harmony-engines` registry (defaults to
+        /// the classic simplex tuner flow when unset).
+        engine: Option<String>,
         /// Experience-database path (loaded if present, updated after).
         db: Option<String>,
         /// Label recorded for this run in the database.
@@ -75,6 +78,22 @@ pub enum Command {
         max_connections: Option<usize>,
         /// Append structured JSONL events to this file.
         log_json: Option<String>,
+    },
+    /// Race every registered engine (and its hyperparameters) across
+    /// websim workload mixes; write the deterministic leaderboard.
+    Tournament {
+        /// Measurement budget per engine run.
+        budget: usize,
+        /// Hyperparameter candidates per race (defaults included).
+        candidates: usize,
+        /// Seed for candidate draws and engine randomness.
+        seed: u64,
+        /// Worker threads scoring candidates concurrently.
+        jobs: usize,
+        /// Workload mixes to race on (`browsing`, `shopping`, `ordering`).
+        mixes: Vec<String>,
+        /// Leaderboard output path.
+        out: String,
     },
     /// Fetch live metrics from a running daemon.
     Stats {
@@ -115,10 +134,12 @@ USAGE:
   harmony-cli sensitivity <params.rsl> [--samples N] [--repeats R] [--jobs N]
               -- <measure-cmd> [args…]
   harmony-cli tune <params.rsl> [--iterations N] [--original] [--jobs N]
-              [--db <experience.json>] [--label <name>]
+              [--engine <name>] [--db <experience.json>] [--label <name>]
               [--characteristics a,b,c] [--remote <host:port>]
               [--retry N] [--deadline MS]
               -- <measure-cmd> [args…]
+  harmony-cli tournament [--budget N] [--candidates N] [--seed N] [--jobs N]
+              [--mixes browsing,shopping,ordering] [--out <leaderboard.txt>]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
               [--wal <journal.wal>] [--compact-every N]
               [--iterations N] [--max-connections N] [--log-json <events.jsonl>]
@@ -134,6 +155,16 @@ process) and memoizes results per exact configuration, so revisited points
 are answered from the in-memory cache instead of re-measured. Results are
 identical to a sequential run for a deterministic measure command; under
 measurement noise the cache pins each configuration to its first sample.
+
+--engine <name> picks the local search strategy from the harmony-engines
+registry: 'simplex' (the classic kernel behind the engine trait),
+'divide-diverge' (BestConfig-style sampling with recursive bound-and-search)
+or 'tuneful' (online significance-aware tuning that shrinks the active
+parameter set). All engines honour --db warm starting and --jobs batching.
+'tournament' needs no RSL or measure command: it races every engine on the
+built-in websim workload mixes, meta-tunes each engine's hyperparameters and
+writes a deterministic leaderboard (byte-identical for a fixed --seed at any
+--jobs) to --out (default results/engines_leaderboard.txt).
 
 With --remote, the configurations come from a tuning daemon (see 'serve')
 instead of the in-process kernel: the daemon classifies the session against
@@ -234,6 +265,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 .clone();
             let mut iterations = 100usize;
             let mut original = false;
+            let mut engine = None;
             let mut db = None;
             let mut label = "run".to_string();
             let mut characteristics = Vec::new();
@@ -246,6 +278,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 match a.as_str() {
                     "--iterations" => iterations = parse_value(&mut it, "--iterations")?,
                     "--original" => original = true,
+                    "--engine" => {
+                        let name = next_str(&mut it, "--engine")?;
+                        // Validate against the registry here so a typo
+                        // fails with the list of real engines instead of
+                        // a generic parse failure downstream.
+                        harmony_engines::registry::lookup(&name)
+                            .map_err(|e| err(format!("--engine: {e}")))?;
+                        engine = Some(name);
+                    }
                     "--jobs" => jobs = parse_jobs(&mut it)?,
                     "--db" => db = Some(next_str(&mut it, "--db")?),
                     "--remote" => remote = Some(next_str(&mut it, "--remote")?),
@@ -289,6 +330,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 return Err(err("tune: --jobs applies to local tuning only \
                      (a remote daemon proposes configurations one at a time)"));
             }
+            if remote.is_some() && engine.is_some() {
+                return Err(err("tune: --engine applies to local tuning only \
+                     (the daemon owns the search strategy)"));
+            }
+            if original && engine.as_deref().is_some_and(|e| e != "simplex") {
+                return Err(err(
+                    "tune: --original configures the simplex engine's initial \
+                     simplex and cannot be combined with another --engine",
+                ));
+            }
             if remote.is_none() && (retry.is_some() || deadline_ms.is_some()) {
                 return Err(err(
                     "tune: --retry and --deadline apply to --remote tuning only",
@@ -299,6 +350,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     rsl,
                     iterations,
                     original,
+                    engine,
                     db,
                     label,
                     characteristics,
@@ -353,6 +405,60 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     iterations,
                     max_connections,
                     log_json,
+                },
+            })
+        }
+        "tournament" => {
+            let mut budget = 120usize;
+            let mut candidates = 4usize;
+            let mut seed = 42u64;
+            let mut jobs = 1usize;
+            let mut mixes = vec![
+                "browsing".to_string(),
+                "shopping".to_string(),
+                "ordering".to_string(),
+            ];
+            let mut out = "results/engines_leaderboard.txt".to_string();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--budget" => {
+                        budget = parse_value(&mut it, "--budget")?;
+                        if budget == 0 {
+                            return Err(err("--budget: must be at least 1"));
+                        }
+                    }
+                    "--candidates" => {
+                        candidates = parse_value(&mut it, "--candidates")?;
+                        if candidates == 0 {
+                            return Err(err("--candidates: must be at least 1"));
+                        }
+                    }
+                    "--seed" => seed = parse_value(&mut it, "--seed")?,
+                    "--jobs" => jobs = parse_jobs(&mut it)?,
+                    "--mixes" => {
+                        let raw = next_str(&mut it, "--mixes")?;
+                        mixes = raw.split(',').map(|s| s.trim().to_string()).collect();
+                        for m in &mixes {
+                            if !matches!(m.as_str(), "browsing" | "shopping" | "ordering") {
+                                return Err(err(format!(
+                                    "--mixes: unknown mix {m:?}; available mixes: \
+                                     browsing, shopping, ordering"
+                                )));
+                            }
+                        }
+                    }
+                    "--out" => out = next_str(&mut it, "--out")?,
+                    other => return Err(err(format!("tournament: unexpected argument {other:?}"))),
+                }
+            }
+            Ok(Cli {
+                command: Command::Tournament {
+                    budget,
+                    candidates,
+                    seed,
+                    jobs,
+                    mixes,
+                    out,
                 },
             })
         }
@@ -725,6 +831,108 @@ mod tests {
             "tune", "p.rsl", "--remote", "h:1", "--jobs", "4", "--", "m"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn engine_flag_validates_against_the_registry() {
+        let cli = parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--engine",
+            "divide-diverge",
+            "--",
+            "m",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { engine, .. } => assert_eq!(engine.as_deref(), Some("divide-diverge")),
+            other => panic!("wrong command {other:?}"),
+        }
+        // A typo fails up front, listing what actually exists.
+        let e = parse_args(&v(&["tune", "p.rsl", "--engine", "annealing", "--", "m"])).unwrap_err();
+        assert!(e.0.contains("unknown engine \"annealing\""), "{e}");
+        for name in harmony_engines::ENGINE_NAMES {
+            assert!(e.0.contains(name), "{e}");
+        }
+        // The daemon owns the search strategy.
+        let e = parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--engine", "tuneful", "--", "m",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--engine applies to local tuning only"), "{e}");
+        // --original is a simplex-only knob.
+        let e = parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--original",
+            "--engine",
+            "tuneful",
+            "--",
+            "m",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--original"), "{e}");
+        assert!(parse_args(&v(&[
+            "tune",
+            "p.rsl",
+            "--original",
+            "--engine",
+            "simplex",
+            "--",
+            "m",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn tournament_defaults_and_flags() {
+        let cli = parse_args(&v(&["tournament"])).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Tournament {
+                budget: 120,
+                candidates: 4,
+                seed: 42,
+                jobs: 1,
+                mixes: v(&["browsing", "shopping", "ordering"]),
+                out: "results/engines_leaderboard.txt".into(),
+            }
+        );
+
+        let cli = parse_args(&v(&[
+            "tournament",
+            "--budget",
+            "30",
+            "--candidates",
+            "2",
+            "--seed",
+            "7",
+            "--jobs",
+            "4",
+            "--mixes",
+            "shopping, ordering",
+            "--out",
+            "lb.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Tournament {
+                budget: 30,
+                candidates: 2,
+                seed: 7,
+                jobs: 4,
+                mixes: v(&["shopping", "ordering"]),
+                out: "lb.txt".into(),
+            }
+        );
+
+        assert!(parse_args(&v(&["tournament", "--budget", "0"])).is_err());
+        assert!(parse_args(&v(&["tournament", "--candidates", "0"])).is_err());
+        assert!(parse_args(&v(&["tournament", "--jobs", "0"])).is_err());
+        let e = parse_args(&v(&["tournament", "--mixes", "browsing,gaming"])).unwrap_err();
+        assert!(e.0.contains("unknown mix \"gaming\""), "{e}");
+        assert!(parse_args(&v(&["tournament", "--frob"])).is_err());
     }
 
     #[test]

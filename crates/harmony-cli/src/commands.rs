@@ -3,15 +3,19 @@
 
 use crate::args::Command;
 use crate::external::{ExternalObjective, MeasureError};
-use harmony::history::{DataAnalyzer, ExperienceDb};
+use harmony::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
 use harmony::prelude::*;
 use harmony::sensitivity::Prioritizer;
 use harmony::tuner::TrainingMode;
+use harmony_engines::{
+    registry, render_leaderboard, run_tournament, SearchEngine, TournamentOptions,
+};
 use harmony_exec::{Executor, MemoCache};
 use harmony_net::client::{Client, RetryPolicy};
 use harmony_net::protocol::SpaceSpec;
 use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
 use harmony_space::{parse_rsl, Configuration};
+use harmony_websim::WorkloadMix;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Read as _;
@@ -176,6 +180,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             rsl,
             iterations,
             original,
+            engine,
             db,
             label,
             characteristics,
@@ -197,6 +202,19 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     deadline_ms,
                     measure,
                 )?;
+            } else if let Some(name) = engine {
+                tune_with_engine(
+                    &mut out,
+                    &name,
+                    &rsl,
+                    iterations,
+                    original,
+                    db,
+                    label,
+                    characteristics,
+                    jobs,
+                    measure,
+                )?;
             } else {
                 tune_local(
                     &mut out,
@@ -210,6 +228,36 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     measure,
                 )?;
             }
+        }
+        Command::Tournament {
+            budget,
+            candidates,
+            seed,
+            jobs,
+            mixes,
+            out: out_path,
+        } => {
+            let opts = TournamentOptions {
+                budget,
+                candidates,
+                seed,
+                mixes: mixes
+                    .iter()
+                    .map(|m| mix_by_name(m))
+                    .collect::<Result<_, _>>()?,
+            };
+            let results = run_tournament(&opts, &Executor::new(jobs));
+            let leaderboard = render_leaderboard(&results, &opts);
+            if let Some(parent) = std::path::Path::new(&out_path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent)
+                        .map_err(|e| fail(format!("cannot create {}: {e}", parent.display())))?;
+                }
+            }
+            fs::write(&out_path, &leaderboard)
+                .map_err(|e| fail(format!("cannot write {out_path}: {e}")))?;
+            out.push_str(&leaderboard);
+            let _ = writeln!(out, "\nleaderboard written to {out_path}");
         }
         Command::Stats { addr } => {
             let mut client = Client::connect(&addr)
@@ -373,6 +421,126 @@ fn tune_local(
 
     if let Some(path) = db {
         database.add_run(outcome.to_history(label, characteristics));
+        database.save(&path).map_err(|e| fail(e.to_string()))?;
+        let _ = writeln!(out, "experience saved to {path} ({} runs)", database.len());
+    }
+    Ok(())
+}
+
+/// Seed for the stochastic engines when driven from `tune --engine`.
+/// Fixed so repeated invocations explore identically; operators wanting
+/// fresh trajectories can vary the measured system, not the search.
+const ENGINE_SEED: u64 = 42;
+
+fn mix_by_name(name: &str) -> Result<WorkloadMix, RunError> {
+    match name {
+        "browsing" => Ok(WorkloadMix::browsing()),
+        "shopping" => Ok(WorkloadMix::shopping()),
+        "ordering" => Ok(WorkloadMix::ordering()),
+        other => Err(fail(format!(
+            "unknown mix {other:?}; available mixes: browsing, shopping, ordering"
+        ))),
+    }
+}
+
+/// Tune with a pluggable [`harmony_engines`] search engine instead of
+/// the built-in simplex session. Shares `tune`'s measurement, memoizing
+/// `--jobs` batching, and experience-database handling: with
+/// `--characteristics` and a `--db`, the classified prior run warm-starts
+/// the engine through [`SearchEngine::warm_start`], and the finished
+/// run's records are saved back.
+///
+/// [`SearchEngine::warm_start`]: harmony_engines::SearchEngine::warm_start
+#[allow(clippy::too_many_arguments)]
+fn tune_with_engine(
+    out: &mut String,
+    name: &str,
+    rsl: &str,
+    iterations: usize,
+    original: bool,
+    db: Option<String>,
+    label: String,
+    characteristics: Vec<f64>,
+    jobs: usize,
+    measure: Vec<String>,
+) -> Result<(), RunError> {
+    let space = load_space(rsl)?;
+    let mut database = match &db {
+        Some(path) if fs::metadata(path).is_ok() => {
+            ExperienceDb::load(path).map_err(|e| fail(e.to_string()))?
+        }
+        _ => ExperienceDb::new(),
+    };
+    let obj = ExternalObjective::new(space.clone(), measure);
+    let spec = registry::lookup(name).map_err(|e| fail(e.to_string()))?;
+    let mut engine: Box<dyn SearchEngine> = if name == "simplex" && original {
+        // `--original` is only meaningful for the simplex engine (the
+        // parser rejects it for the others): swap the improved defaults
+        // for the paper's original initial-simplex strategy.
+        Box::new(harmony_engines::SimplexEngine::new(
+            space.clone(),
+            TuningOptions::original().with_max_iterations(iterations),
+        ))
+    } else {
+        spec.build(space.clone(), iterations, ENGINE_SEED)
+    };
+    let prior = if characteristics.is_empty() {
+        None
+    } else {
+        DataAnalyzer::new().select(&database, &characteristics)
+    };
+    if let Some(history) = &prior {
+        let _ = writeln!(out, "training from prior run {:?}", history.label);
+        engine.warm_start(history);
+    }
+    let mut records = Vec::new();
+    if jobs > 1 {
+        let executor = Executor::new(jobs);
+        let cache = MemoCache::new(JOBS_CACHE_CAPACITY);
+        let stash = StashingEval::new(&obj);
+        let eval = |cfg: &Configuration| stash.eval(cfg);
+        loop {
+            let batch = engine.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            let performances = executor.evaluate_batch_cached(&batch, &cache, &eval);
+            // Bail before a failure's -inf placeholder reaches the search.
+            stash.check()?;
+            let used = engine
+                .observe_batch(&performances)
+                .map_err(|e| fail(e.to_string()))?;
+            for (cfg, &perf) in batch.iter().zip(&performances).take(used) {
+                records.push(TuningRecord::new(cfg, perf));
+            }
+        }
+    } else {
+        while let Some(cfg) = engine.next_config() {
+            let performance = measure_exploration(&obj, &cfg, engine.iterations())?;
+            engine
+                .observe(performance)
+                .map_err(|e| fail(e.to_string()))?;
+            records.push(TuningRecord::new(&cfg, performance));
+        }
+    }
+    let (best_cfg, best_perf) = engine
+        .best()
+        .ok_or_else(|| fail("engine made no observations"))?;
+
+    let _ = writeln!(out, "engine: {name}");
+    let _ = writeln!(out, "explored {} configurations", records.len());
+    let _ = writeln!(out, "best performance: {best_perf:.4}");
+    for (p, &v) in space.params().iter().zip(best_cfg.values()) {
+        let _ = writeln!(out, "  {:<24} = {v}", p.name());
+    }
+    let _ = writeln!(out, "converged: {}", engine.converged());
+
+    if let Some(path) = db {
+        database.add_run(RunHistory {
+            label,
+            characteristics,
+            records,
+        });
         database.save(&path).map_err(|e| fail(e.to_string()))?;
         let _ = writeln!(out, "experience saved to {path} ({} runs)", database.len());
     }
@@ -662,6 +830,110 @@ mod tests {
     }
 
     #[test]
+    fn tune_with_engine_reports_and_warm_starts() {
+        let rsl = write_rsl("engine.rsl");
+        let db = std::env::temp_dir()
+            .join("harmony-cli-tests")
+            .join("engine-exp.json");
+        fs::remove_file(&db).ok();
+        // Best at B=3, C=4 (the space caps C at 9-B).
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+        let tune = |engine: &str, label: &str, chars: &str| {
+            let cli = parse_args(&sv(&[
+                "tune",
+                rsl.to_str().unwrap(),
+                "--iterations",
+                "60",
+                "--engine",
+                engine,
+                "--db",
+                db.to_str().unwrap(),
+                "--label",
+                label,
+                "--characteristics",
+                chars,
+                "--",
+                "sh",
+                "-c",
+                cmd,
+            ]))
+            .unwrap();
+            run(cli.command).unwrap()
+        };
+        let out = tune("divide-diverge", "first", "0.2,0.8");
+        assert!(out.contains("engine: divide-diverge"), "{out}");
+        assert!(out.contains("best performance: 100"), "{out}");
+        assert!(out.contains("experience saved"), "{out}");
+
+        // A close-by second run classifies and warm-starts the engine.
+        let out = tune("tuneful", "second", "0.21,0.79");
+        assert!(out.contains("training from prior run \"first\""), "{out}");
+        assert!(out.contains("best performance: 100"), "{out}");
+        fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn tune_with_engine_and_jobs_matches_sequential() {
+        let rsl = write_rsl("engine-jobs.rsl");
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+        let tune = |jobs: &str| {
+            let cli = parse_args(&sv(&[
+                "tune",
+                rsl.to_str().unwrap(),
+                "--iterations",
+                "40",
+                "--engine",
+                "divide-diverge",
+                "--jobs",
+                jobs,
+                "--",
+                "sh",
+                "-c",
+                cmd,
+            ]))
+            .unwrap();
+            run(cli.command).unwrap()
+        };
+        let seq = tune("1");
+        let par = tune("4");
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn tournament_writes_a_deterministic_leaderboard() {
+        let out_path = std::env::temp_dir()
+            .join("harmony-cli-tests")
+            .join("leaderboard")
+            .join("lb.txt");
+        fs::remove_file(&out_path).ok();
+        let race = || {
+            let cli = parse_args(&sv(&[
+                "tournament",
+                "--budget",
+                "20",
+                "--candidates",
+                "2",
+                "--mixes",
+                "browsing",
+                "--out",
+                out_path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            run(cli.command).unwrap()
+        };
+        let report = race();
+        assert!(report.contains("## mix=browsing"), "{report}");
+        for name in harmony_engines::ENGINE_NAMES {
+            assert!(report.contains(name), "{report}");
+        }
+        let first = fs::read_to_string(&out_path).unwrap();
+        race();
+        let second = fs::read_to_string(&out_path).unwrap();
+        assert_eq!(first, second, "same seed must render byte-identically");
+        fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
     fn sensitivity_with_jobs_matches_sequential_analysis() {
         let rsl = write_rsl("sens-jobs.rsl");
         let analyze = |jobs: &str| {
@@ -848,6 +1120,21 @@ mod tests {
                 // up (as zeros) before the first parallel batch runs.
                 assert!(out.contains("harmony_exec_cache_hits_total"), "{out}");
                 assert!(out.contains("harmony_exec_queue_depth"), "{out}");
+                // Pluggable-engine metrics likewise, one series per
+                // registered engine plus the tournament counter.
+                assert!(
+                    out.contains("harmony_engine_proposals_total{engine=\"simplex\"}"),
+                    "{out}"
+                );
+                assert!(
+                    out.contains("harmony_engine_evaluations_total{engine=\"tuneful\"}"),
+                    "{out}"
+                );
+                assert!(out.contains("harmony_engine_converged_iterations"), "{out}");
+                assert!(
+                    out.contains("harmony_engine_tournament_races_total"),
+                    "{out}"
+                );
             },
         )
         .unwrap();

@@ -1,0 +1,292 @@
+#![warn(missing_docs)]
+
+//! Pluggable search engines for the harmony workspace.
+//!
+//! The paper treats the discrete Nelder-Mead simplex as *the* search
+//! strategy and layers prior-run information around it. This crate lifts
+//! the strategy itself behind an ask-tell trait so the rest of the stack
+//! — the parallel [`Executor`], warm starting from an experience
+//! database, the CLI — works with any engine:
+//!
+//! * [`SearchEngine`] — the trait: propose ([`next_config`]/
+//!   [`next_batch`]), observe ([`observe`]/[`observe_batch`]), converge;
+//! * [`SimplexEngine`] — the existing kernel ported behind the trait,
+//!   trajectory-for-trajectory identical to [`harmony::tuner::Tuner::run`];
+//! * [`DivideDivergeEngine`] — a BestConfig-style sampler: divide the
+//!   space, sample one point per subrange, recursively bound the search
+//!   around the incumbent, diverge when progress stalls;
+//! * [`TunefulEngine`] — a Tuneful-style online tuner that keeps an
+//!   incremental sensitivity estimate from everything observed so far
+//!   and shrinks the active parameter set as significance resolves;
+//! * [`registry`] — engines by name, each with a hyperparameter space;
+//! * [`tournament`] — a meta-tuning harness racing engines (and their
+//!   hyperparameters) across `harmony-websim` workload mixes.
+//!
+//! [`next_config`]: SearchEngine::next_config
+//! [`next_batch`]: SearchEngine::next_batch
+//! [`observe`]: SearchEngine::observe
+//! [`observe_batch`]: SearchEngine::observe_batch
+//!
+//! # Quickstart
+//!
+//! ```
+//! use harmony_engines::{drive, registry, SearchEngine};
+//! use harmony_space::{Configuration, ParamDef, ParameterSpace};
+//!
+//! let space = ParameterSpace::builder()
+//!     .param(ParamDef::int("x", 0, 100, 50, 1))
+//!     .build()
+//!     .unwrap();
+//! let spec = registry::lookup("divide-diverge").unwrap();
+//! let mut engine = spec.build(space, 60, 7);
+//! let outcome = drive(engine.as_mut(), |cfg: &Configuration| {
+//!     -((cfg.get(0) - 72).pow(2)) as f64
+//! });
+//! assert!(outcome.best_performance > -30.0);
+//! ```
+
+use harmony::history::RunHistory;
+use harmony::report::TraceEntry;
+use harmony_exec::{Executor, MemoCache};
+use harmony_space::{Configuration, ParameterSpace};
+
+pub mod divide;
+mod obs;
+pub mod registry;
+mod rng;
+pub mod simplex;
+pub mod tournament;
+pub mod tuneful;
+
+pub use divide::{DivideDivergeEngine, DivideDivergeOptions};
+pub use obs::preregister;
+pub use registry::{EngineSpec, UnknownEngineError, ENGINE_NAMES};
+pub use simplex::SimplexEngine;
+pub use tournament::{render_leaderboard, run_tournament, RaceResult, TournamentOptions};
+pub use tuneful::{TunefulEngine, TunefulOptions};
+
+/// Stepping an engine out of order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// [`SearchEngine::observe`] was called with no outstanding proposal
+    /// to attach the measurement to.
+    NoPendingConfiguration,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoPendingConfiguration => {
+                write!(
+                    f,
+                    "observe called before next_config proposed a configuration"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<harmony::tuner::SessionError> for EngineError {
+    fn from(e: harmony::tuner::SessionError) -> Self {
+        match e {
+            harmony::tuner::SessionError::NoPendingConfiguration => {
+                EngineError::NoPendingConfiguration
+            }
+        }
+    }
+}
+
+/// An ask-tell search engine over a discrete [`ParameterSpace`],
+/// maximizing.
+///
+/// The lifecycle mirrors [`harmony::tuner::TuningSession`]:
+///
+/// 1. **Ask** — [`next_config`](Self::next_config) proposes the next
+///    configuration to measure, or `None` once the engine is done. The
+///    proposal is *idempotent*: asking again without an intervening
+///    observation returns the same configuration.
+/// 2. **Tell** — [`observe`](Self::observe) reports the measured
+///    performance of the outstanding proposal.
+/// 3. Repeat until [`is_done`](Self::is_done): either the engine
+///    [`converged`](Self::converged) or its measurement budget ran out.
+///
+/// Batching: [`next_batch`](Self::next_batch) returns every proposal
+/// whose configuration is already decided (so the measurements can run
+/// on an [`Executor`] in parallel), and
+/// [`observe_batch`](Self::observe_batch) replays the results *in batch
+/// order* through the sequential observation path — convergence is
+/// checked after every single measurement, surplus results are
+/// discarded, and the trajectory is bit-identical to one-at-a-time
+/// stepping at any job count.
+pub trait SearchEngine {
+    /// The engine's registry name.
+    fn name(&self) -> &'static str;
+
+    /// The space being searched.
+    fn space(&self) -> &ParameterSpace;
+
+    /// The next configuration to measure, or `None` once the engine is
+    /// done. Idempotent until the proposal is observed.
+    fn next_config(&mut self) -> Option<Configuration>;
+
+    /// Report the measured performance of the outstanding proposal.
+    fn observe(&mut self, performance: f64) -> Result<(), EngineError>;
+
+    /// Every proposal whose configuration is already decided, capped at
+    /// the remaining budget. Empty once the engine is done. The default
+    /// degenerates to the single outstanding proposal.
+    fn next_batch(&mut self) -> Vec<Configuration> {
+        match self.next_config() {
+            Some(cfg) => vec![cfg],
+            None => Vec::new(),
+        }
+    }
+
+    /// Report measurements for a batch from
+    /// [`next_batch`](Self::next_batch), in batch order. Stops as soon
+    /// as the engine finishes mid-batch; surplus measurements are
+    /// discarded. Returns how many measurements were consumed.
+    fn observe_batch(&mut self, performances: &[f64]) -> Result<usize, EngineError> {
+        let mut used = 0;
+        for &performance in performances {
+            if self.is_done() || self.next_config().is_none() {
+                break;
+            }
+            self.observe(performance)?;
+            used += 1;
+        }
+        Ok(used)
+    }
+
+    /// Whether the engine has ended (no further proposals).
+    fn is_done(&self) -> bool;
+
+    /// Whether the engine's own stopping criteria (rather than the
+    /// budget) ended the search.
+    fn converged(&self) -> bool;
+
+    /// Measurements observed so far.
+    fn iterations(&self) -> usize;
+
+    /// Best observation so far.
+    fn best(&self) -> Option<(Configuration, f64)>;
+
+    /// Seed the engine from a prior run (§4.2 warm start). Must be
+    /// called before the first proposal; how the history is used is
+    /// engine-specific (seeded simplex, pre-bounded region, pre-resolved
+    /// sensitivity).
+    fn warm_start(&mut self, history: &RunHistory);
+}
+
+/// Result of driving an engine to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Registry name of the engine that produced this outcome.
+    pub engine: String,
+    /// Every exploration, in measurement order.
+    pub trace: Vec<TraceEntry>,
+    /// Best configuration measured.
+    pub best_configuration: Configuration,
+    /// Its performance.
+    pub best_performance: f64,
+    /// Whether the engine's stopping criteria (rather than the budget)
+    /// ended the search.
+    pub converged: bool,
+}
+
+impl EngineOutcome {
+    /// Convert the trace into a [`RunHistory`] for the experience
+    /// database.
+    pub fn to_history(&self, label: impl Into<String>, characteristics: Vec<f64>) -> RunHistory {
+        let mut run = RunHistory::new(label, characteristics);
+        for t in &self.trace {
+            run.push(&t.config, t.performance);
+        }
+        run
+    }
+}
+
+fn finish(engine: &dyn SearchEngine, trace: Vec<TraceEntry>) -> EngineOutcome {
+    let (best_configuration, best_performance) = engine
+        .best()
+        .unwrap_or_else(|| (engine.space().default_configuration(), f64::NEG_INFINITY));
+    if engine.converged() {
+        obs::converged_iterations().observe(trace.len() as f64);
+    }
+    EngineOutcome {
+        engine: engine.name().to_string(),
+        trace,
+        best_configuration,
+        best_performance,
+        converged: engine.converged(),
+    }
+}
+
+/// Drive an engine to completion against an in-process evaluation
+/// function, one measurement at a time.
+pub fn drive<F>(engine: &mut dyn SearchEngine, mut eval: F) -> EngineOutcome
+where
+    F: FnMut(&Configuration) -> f64,
+{
+    let metrics = obs::engine_metrics(engine.name());
+    let mut trace = Vec::new();
+    while let Some(config) = engine.next_config() {
+        metrics.proposals.inc();
+        let performance = eval(&config);
+        engine
+            .observe(performance)
+            .expect("a proposal is outstanding");
+        metrics.evaluations.inc();
+        trace.push(TraceEntry {
+            iteration: trace.len(),
+            config,
+            performance,
+        });
+    }
+    finish(engine, trace)
+}
+
+/// [`drive`] with batchable phases measured through `executor` and,
+/// when a `cache` is given, every measurement consulted against it
+/// first.
+///
+/// Without a cache the outcome is identical to [`drive`] at any job
+/// count: batches preserve input order and observation replays the
+/// sequential loop exactly.
+pub fn drive_parallel<F>(
+    engine: &mut dyn SearchEngine,
+    eval: &F,
+    executor: &Executor,
+    cache: Option<&MemoCache>,
+) -> EngineOutcome
+where
+    F: Fn(&Configuration) -> f64 + Sync,
+{
+    let metrics = obs::engine_metrics(engine.name());
+    let mut trace = Vec::new();
+    loop {
+        let batch = engine.next_batch();
+        if batch.is_empty() {
+            break;
+        }
+        metrics.proposals.add(batch.len() as u64);
+        let performances = match cache {
+            Some(c) => executor.evaluate_batch_cached(&batch, c, eval),
+            None => executor.evaluate_batch(&batch, eval),
+        };
+        let used = engine
+            .observe_batch(&performances)
+            .expect("batch proposals are outstanding");
+        metrics.evaluations.add(used as u64);
+        for (config, &performance) in batch.into_iter().zip(&performances).take(used) {
+            trace.push(TraceEntry {
+                iteration: trace.len(),
+                config,
+                performance,
+            });
+        }
+    }
+    finish(engine, trace)
+}

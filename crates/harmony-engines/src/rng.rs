@@ -1,0 +1,41 @@
+//! Deterministic xorshift64* generator.
+//!
+//! Engine sampling and tournament candidate generation must replay
+//! identically for a fixed seed regardless of job count or batching, so
+//! randomness comes from this explicit, clonable state rather than any
+//! global source.
+
+#[derive(Debug, Clone)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn shuffle(&mut self, v: &mut [usize]) {
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+    }
+}

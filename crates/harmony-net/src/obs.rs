@@ -262,6 +262,9 @@ pub(crate) fn preregister() {
     // Likewise the experience-path WAL/compaction metrics the harmony
     // crate emits from inside `history::wal`.
     harmony::preregister_db_metrics();
+    // And the pluggable-engine series (per-engine proposal/evaluation
+    // counters, convergence histogram, tournament races).
+    harmony_engines::preregister();
     connections_total();
     connections_active();
     connections_refused_total();

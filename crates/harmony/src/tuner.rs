@@ -3,7 +3,7 @@
 
 use crate::estimate::Estimator;
 use crate::history::RunHistory;
-use crate::kernel::{InitStrategy, SimplexKernel};
+use crate::kernel::{InitStrategy, SimplexKernel, SimplexOptions};
 use crate::objective::Objective;
 use crate::report::{analyze_trace, ReportOptions, TraceEntry, TuningReport};
 use harmony_exec::{Executor, MemoCache};
@@ -319,6 +319,12 @@ impl TuningSession {
         self.converged || self.trace.len() >= self.options.max_iterations
     }
 
+    /// Whether the spread criteria (rather than the budget) have stopped
+    /// the session. `false` while the session is still running.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
     /// Live measurements spent so far.
     pub fn iterations(&self) -> usize {
         self.trace.len()
@@ -525,6 +531,19 @@ impl Tuner {
     /// Step-at-a-time flavour of [`run`](Self::run): the caller measures.
     pub fn session(&self) -> TuningSession {
         let kernel = SimplexKernel::new(self.space.clone(), self.options.init);
+        TuningSession::from_kernel(self.space.clone(), self.options.clone(), kernel, 0)
+    }
+
+    /// [`session`](Self::session) with custom simplex coefficients.
+    ///
+    /// Coefficients only take effect if installed before the kernel
+    /// computes its first reflection, so they are applied to a cold
+    /// kernel here rather than exposed as a mutator. Callers that tune
+    /// the kernel's hyperparameters (the engine tournament) go through
+    /// this entry point.
+    pub fn session_with_options(&self, simplex: SimplexOptions) -> TuningSession {
+        let kernel =
+            SimplexKernel::new(self.space.clone(), self.options.init).with_options(simplex);
         TuningSession::from_kernel(self.space.clone(), self.options.clone(), kernel, 0)
     }
 

@@ -55,6 +55,9 @@ pub enum Command {
         retry: Option<u32>,
         /// Per-request deadline in milliseconds (needs --remote).
         deadline_ms: Option<u64>,
+        /// Participate in distributed tracing (needs --remote): the
+        /// session becomes one trace in the daemon's flight recorder.
+        trace: bool,
         /// Worker threads measuring concurrently (1 = sequential).
         jobs: usize,
         /// The external measurement command and its arguments.
@@ -78,6 +81,13 @@ pub enum Command {
         max_connections: Option<usize>,
         /// Append structured JSONL events to this file.
         log_json: Option<String>,
+        /// Rotate the --log-json file when it reaches this many bytes.
+        log_rotate_bytes: Option<u64>,
+        /// Rotated files kept (events.jsonl.1 … .N); needs
+        /// --log-rotate-bytes.
+        log_keep: Option<usize>,
+        /// Do not enable the distributed-tracing flight recorder.
+        no_trace: bool,
     },
     /// Race every registered engine (and its hyperparameters) across
     /// websim workload mixes; write the deterministic leaderboard.
@@ -97,6 +107,12 @@ pub enum Command {
     },
     /// Fetch live metrics from a running daemon.
     Stats {
+        /// Daemon address (`host:port`).
+        addr: String,
+    },
+    /// Fetch the flight recorder from a running daemon and render span
+    /// waterfalls plus a cross-trace stage-attribution table.
+    Trace {
         /// Daemon address (`host:port`).
         addr: String,
     },
@@ -136,14 +152,16 @@ USAGE:
   harmony-cli tune <params.rsl> [--iterations N] [--original] [--jobs N]
               [--engine <name>] [--db <experience.json>] [--label <name>]
               [--characteristics a,b,c] [--remote <host:port>]
-              [--retry N] [--deadline MS]
+              [--retry N] [--deadline MS] [--trace]
               -- <measure-cmd> [args…]
   harmony-cli tournament [--budget N] [--candidates N] [--seed N] [--jobs N]
               [--mixes browsing,shopping,ordering] [--out <leaderboard.txt>]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
               [--wal <journal.wal>] [--compact-every N]
               [--iterations N] [--max-connections N] [--log-json <events.jsonl>]
+              [--log-rotate-bytes N] [--log-keep N] [--no-trace]
   harmony-cli stats <host:port>
+  harmony-cli trace <host:port>
   harmony-cli db <experience.json>
 
 The measure command is executed once per exploration with one environment
@@ -178,8 +196,19 @@ receives SIGTERM/SIGINT, then drains: new work is refused with a retryable
 answer, unfinished sessions are parked to disk next to the database, and
 the journal is flushed before exit. --log-json appends
 one structured JSON event per line (session starts, records, persistence
-failures) to the given file. 'stats' prints the daemon's live metrics in
-Prometheus text exposition format.
+failures) to the given file; --log-rotate-bytes N rotates it at roughly N
+bytes (always on a line boundary, so no event is ever torn across files),
+keeping --log-keep rotated files (default 3) as <file>.1 … <file>.N.
+'stats' prints the daemon's live metrics in Prometheus text exposition
+format.
+
+The daemon records distributed traces by default (disable with
+--no-trace): with 'tune --remote --trace' each session becomes one span
+tree covering the whole client → daemon → executor path, retained in a
+fixed-size flight recorder (slowest, errored, and a sampled fraction).
+'trace <host:port>' fetches it and renders per-trace waterfalls plus a
+cross-trace per-stage latency attribution table. Tracing never affects
+tuning: trajectories are bit-identical with it on or off.
 
 With --db, completed runs are journaled to a write-ahead log (one JSON line
 per run, --wal overrides its location) and folded into the snapshot file
@@ -272,6 +301,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut remote = None;
             let mut retry = None;
             let mut deadline_ms = None;
+            let mut trace = false;
             let mut jobs = 1usize;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
@@ -298,6 +328,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         }
                         deadline_ms = Some(ms);
                     }
+                    "--trace" => trace = true,
                     "--label" => label = next_str(&mut it, "--label")?,
                     "--characteristics" => {
                         let raw = next_str(&mut it, "--characteristics")?;
@@ -345,6 +376,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "tune: --retry and --deadline apply to --remote tuning only",
                 ));
             }
+            if remote.is_none() && trace {
+                return Err(err("tune: --trace applies to --remote tuning only \
+                     (the daemon hosts the flight recorder)"));
+            }
             Ok(Cli {
                 command: Command::Tune {
                     rsl,
@@ -357,6 +392,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     remote,
                     retry,
                     deadline_ms,
+                    trace,
                     jobs,
                     measure,
                 },
@@ -374,6 +410,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut iterations = None;
             let mut max_connections = None;
             let mut log_json = None;
+            let mut log_rotate_bytes = None;
+            let mut log_keep = None;
+            let mut no_trace = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--db" => db = Some(next_str(&mut it, "--db")?),
@@ -387,6 +426,21 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         max_connections = Some(parse_value(&mut it, "--max-connections")?)
                     }
                     "--log-json" => log_json = Some(next_str(&mut it, "--log-json")?),
+                    "--log-rotate-bytes" => {
+                        let bytes: u64 = parse_value(&mut it, "--log-rotate-bytes")?;
+                        if bytes == 0 {
+                            return Err(err("--log-rotate-bytes: must be at least 1"));
+                        }
+                        log_rotate_bytes = Some(bytes);
+                    }
+                    "--log-keep" => {
+                        let keep: usize = parse_value(&mut it, "--log-keep")?;
+                        if keep == 0 {
+                            return Err(err("--log-keep: must keep at least 1 rotated file"));
+                        }
+                        log_keep = Some(keep);
+                    }
+                    "--no-trace" => no_trace = true,
                     other => return Err(err(format!("serve: unexpected argument {other:?}"))),
                 }
             }
@@ -394,6 +448,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 return Err(err(
                     "serve: --wal and --compact-every need --db (nothing persists without it)",
                 ));
+            }
+            if log_json.is_none() && log_rotate_bytes.is_some() {
+                return Err(err(
+                    "serve: --log-rotate-bytes needs --log-json (nothing to rotate without it)",
+                ));
+            }
+            if log_rotate_bytes.is_none() && log_keep.is_some() {
+                return Err(err("serve: --log-keep needs --log-rotate-bytes"));
             }
             Ok(Cli {
                 command: Command::Serve {
@@ -405,6 +467,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     iterations,
                     max_connections,
                     log_json,
+                    log_rotate_bytes,
+                    log_keep,
+                    no_trace,
                 },
             })
         }
@@ -470,6 +535,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             expect_end(&mut it, "stats")?;
             Ok(Cli {
                 command: Command::Stats { addr },
+            })
+        }
+        "trace" => {
+            let addr = it
+                .next()
+                .ok_or_else(|| err("trace: missing daemon address"))?
+                .clone();
+            expect_end(&mut it, "trace")?;
+            Ok(Cli {
+                command: Command::Trace { addr },
             })
         }
         other => Err(err(format!(
@@ -744,6 +819,9 @@ mod tests {
                 iterations: None,
                 max_connections: None,
                 log_json: None,
+                log_rotate_bytes: None,
+                log_keep: None,
+                no_trace: false,
             }
         );
 
@@ -777,12 +855,102 @@ mod tests {
                 iterations: Some(80),
                 max_connections: Some(4),
                 log_json: Some("events.jsonl".into()),
+                log_rotate_bytes: None,
+                log_keep: None,
+                no_trace: false,
             }
         );
 
         assert!(parse_args(&v(&["serve"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--port", "1"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--log-json"])).is_err());
+    }
+
+    #[test]
+    fn serve_log_rotation_flags() {
+        let cli = parse_args(&v(&[
+            "serve",
+            "p.rsl",
+            "--log-json",
+            "events.jsonl",
+            "--log-rotate-bytes",
+            "65536",
+            "--log-keep",
+            "5",
+            "--no-trace",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                log_json,
+                log_rotate_bytes,
+                log_keep,
+                no_trace,
+                ..
+            } => {
+                assert_eq!(log_json.as_deref(), Some("events.jsonl"));
+                assert_eq!(log_rotate_bytes, Some(65536));
+                assert_eq!(log_keep, Some(5));
+                assert!(no_trace);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Rotation needs a log, keep needs rotation, zero is refused.
+        assert!(parse_args(&v(&["serve", "p.rsl", "--log-rotate-bytes", "1024"])).is_err());
+        assert!(parse_args(&v(&[
+            "serve",
+            "p.rsl",
+            "--log-json",
+            "e.jsonl",
+            "--log-keep",
+            "2"
+        ]))
+        .is_err());
+        assert!(parse_args(&v(&[
+            "serve",
+            "p.rsl",
+            "--log-json",
+            "e.jsonl",
+            "--log-rotate-bytes",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&v(&[
+            "serve",
+            "p.rsl",
+            "--log-json",
+            "e.jsonl",
+            "--log-rotate-bytes",
+            "1024",
+            "--log-keep",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn trace_flags_and_subcommand() {
+        let cli = parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--trace", "--", "m",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { trace, .. } => assert!(trace),
+            other => panic!("wrong command {other:?}"),
+        }
+        // The flight recorder lives in the daemon.
+        let e = parse_args(&v(&["tune", "p.rsl", "--trace", "--", "m"])).unwrap_err();
+        assert!(e.0.contains("--trace applies to --remote"), "{e}");
+        assert_eq!(
+            parse_args(&v(&["trace", "127.0.0.1:1977"]))
+                .unwrap()
+                .command,
+            Command::Trace {
+                addr: "127.0.0.1:1977".into()
+            }
+        );
+        assert!(parse_args(&v(&["trace"])).is_err());
+        assert!(parse_args(&v(&["trace", "a:1", "b:2"])).is_err());
     }
 
     #[test]

@@ -12,8 +12,9 @@ use harmony_engines::{
 };
 use harmony_exec::{Executor, MemoCache};
 use harmony_net::client::{Client, RetryPolicy};
-use harmony_net::protocol::SpaceSpec;
+use harmony_net::protocol::{SpaceSpec, WireSpan, WireTrace};
 use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
+use harmony_obs::trace::stage;
 use harmony_space::{parse_rsl, Configuration};
 use harmony_websim::WorkloadMix;
 use std::fmt::Write as _;
@@ -187,6 +188,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             remote,
             retry,
             deadline_ms,
+            trace,
             jobs,
             measure,
         } => {
@@ -200,6 +202,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     &addr,
                     retry,
                     deadline_ms,
+                    trace,
                     measure,
                 )?;
             } else if let Some(name) = engine {
@@ -265,6 +268,12 @@ pub fn run(command: Command) -> Result<String, RunError> {
             let text = client.stats().map_err(|e| fail(e.to_string()))?;
             out.push_str(&text);
         }
+        Command::Trace { addr } => {
+            let mut client = Client::connect(&addr)
+                .map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
+            let traces = client.trace_dump().map_err(|e| fail(e.to_string()))?;
+            out.push_str(&render_trace_report(&traces));
+        }
         Command::Serve {
             rsl,
             db,
@@ -274,6 +283,9 @@ pub fn run(command: Command) -> Result<String, RunError> {
             iterations,
             max_connections,
             log_json,
+            log_rotate_bytes,
+            log_keep,
+            no_trace,
         } => {
             return serve(
                 &rsl,
@@ -283,7 +295,12 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 &listen,
                 iterations,
                 max_connections,
-                log_json.as_deref(),
+                LogOptions {
+                    json: log_json,
+                    rotate_bytes: log_rotate_bytes,
+                    keep: log_keep,
+                },
+                no_trace,
                 |handle| {
                     crate::signals::install();
                     eprintln!(
@@ -554,6 +571,12 @@ fn tune_with_engine(
 /// that fail retryably (connection loss, deadline expiry, a draining
 /// daemon) are retried with jittered backoff, reconnecting and resuming
 /// the session in place.
+///
+/// With `trace`, the session becomes one distributed trace: requests
+/// carry its context to the daemon, and each measurement runs through an
+/// executor under an `eval` span so the daemon's flight recorder sees
+/// queue-wait/run attribution alongside its own serve-side spans. The
+/// proposals and the outcome are bit-identical with tracing on or off.
 #[allow(clippy::too_many_arguments)]
 fn tune_remote(
     out: &mut String,
@@ -564,10 +587,11 @@ fn tune_remote(
     addr: &str,
     retry: Option<u32>,
     deadline_ms: Option<u64>,
+    trace: bool,
     measure: Vec<String>,
 ) -> Result<(), RunError> {
     let text = fs::read_to_string(rsl).map_err(|e| fail(format!("cannot read {rsl}: {e}")))?;
-    let mut builder = Client::builder(addr);
+    let mut builder = Client::builder(addr).tracing(trace);
     if let Some(n) = retry {
         builder = builder.retry(RetryPolicy::default().with_max_retries(n));
     }
@@ -595,9 +619,27 @@ fn tune_remote(
     // The server's parse of the RSL is authoritative; use its space for
     // the environment-variable names.
     let obj = ExternalObjective::new(started.space.clone(), measure);
+    let executor = Executor::new(1);
     let mut explored = 0usize;
     while let Some(proposal) = client.fetch().map_err(|e| fail(e.to_string()))? {
-        let performance = measure_exploration(&obj, &proposal.values, proposal.iteration)?;
+        let performance = if trace {
+            // Route the measurement through the executor under an `eval`
+            // span, so queue-wait/run attribution lands in the trace.
+            // Executor::new(1) is exactly the sequential loop — the
+            // measured value is the same one the bare path produces.
+            let stash = StashingEval::new(&obj);
+            let values = client.traced(stage::EVAL, "measure", || {
+                executor.evaluate_batch(std::slice::from_ref(&proposal.values), &|cfg| {
+                    stash.eval(cfg)
+                })
+            });
+            stash
+                .check()
+                .map_err(|e| fail(format!("exploration {}: {e}", proposal.iteration + 1)))?;
+            values[0]
+        } else {
+            measure_exploration(&obj, &proposal.values, proposal.iteration)?
+        };
         client
             .report(performance)
             .map_err(|e| fail(e.to_string()))?;
@@ -627,12 +669,183 @@ fn measure_exploration(
         .map_err(|e| fail(format!("exploration {} at {cfg}: {e}", iteration + 1)))
 }
 
+/// Character width of a waterfall bar (the full trace duration).
+const WATERFALL_WIDTH: usize = 32;
+
+/// Render a daemon's flight-recorder dump: one waterfall per trace (span
+/// tree in depth-first order, each span a bar positioned inside its
+/// trace's extent) followed by a cross-trace per-stage latency
+/// attribution table. Deterministic for a given dump: traces and spans
+/// are rendered in the recorder's stable order (start time, then id).
+fn render_trace_report(traces: &[WireTrace]) -> String {
+    let mut out = String::new();
+    if traces.is_empty() {
+        out.push_str("flight recorder is empty (no traces retained yet)\n");
+        return out;
+    }
+    let _ = writeln!(out, "flight recorder: {} trace(s)", traces.len());
+    for trace in traces {
+        out.push('\n');
+        render_waterfall(&mut out, trace);
+    }
+    out.push('\n');
+    render_stage_table(&mut out, traces);
+    out
+}
+
+fn span_extent(spans: &[WireSpan]) -> (u64, u64) {
+    let start = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+    let end = spans.iter().map(|s| s.end_us).max().unwrap_or(start);
+    (start, end.max(start))
+}
+
+fn render_waterfall(out: &mut String, trace: &WireTrace) {
+    let (start, end) = span_extent(&trace.spans);
+    let total = (end - start).max(1);
+    let _ = writeln!(
+        out,
+        "trace {:016x}  {}  {} span(s)  {}",
+        trace.trace_id,
+        if trace.complete {
+            "complete"
+        } else {
+            "incomplete"
+        },
+        trace.spans.len(),
+        fmt_us(end - start),
+    );
+    // Parent → children, preserving the dump's (start, id) order.
+    let ids: std::collections::HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+    let mut children: std::collections::HashMap<u64, Vec<&WireSpan>> =
+        std::collections::HashMap::new();
+    let mut roots: Vec<&WireSpan> = Vec::new();
+    for span in &trace.spans {
+        if span.parent != 0 && ids.contains(&span.parent) && span.parent != span.id {
+            children.entry(span.parent).or_default().push(span);
+        } else {
+            roots.push(span);
+        }
+    }
+    // Depth-first with an explicit stack (a span tree is shallow, but a
+    // hostile dump shouldn't recurse unboundedly).
+    let mut stack: Vec<(&WireSpan, usize)> = roots.iter().rev().map(|s| (*s, 0)).collect();
+    let mut visited = std::collections::HashSet::new();
+    while let Some((span, depth)) = stack.pop() {
+        if !visited.insert(span.id) {
+            continue; // defensive: a malformed dump with a cycle
+        }
+        let label = if span.detail.is_empty() {
+            span.stage.clone()
+        } else {
+            format!("{} [{}]", span.stage, span.detail)
+        };
+        let indent = "  ".repeat(depth + 1);
+        let offset =
+            ((span.start_us.saturating_sub(start)) as usize * WATERFALL_WIDTH) / total as usize;
+        let len = (((span.end_us.saturating_sub(span.start_us)) as usize * WATERFALL_WIDTH)
+            / total as usize)
+            .max(1);
+        let offset = offset.min(WATERFALL_WIDTH.saturating_sub(1));
+        let len = len.min(WATERFALL_WIDTH - offset);
+        let mut bar = String::with_capacity(WATERFALL_WIDTH);
+        bar.push_str(&" ".repeat(offset));
+        bar.push_str(&"#".repeat(len));
+        bar.push_str(&" ".repeat(WATERFALL_WIDTH - offset - len));
+        let _ = writeln!(
+            out,
+            "{:<36} {:>10} |{bar}|{}",
+            format!("{indent}{label}"),
+            fmt_us(span.end_us.saturating_sub(span.start_us)),
+            if span.error { "  !error" } else { "" },
+        );
+        if let Some(kids) = children.get(&span.id) {
+            for kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+}
+
+fn render_stage_table(out: &mut String, traces: &[WireTrace]) {
+    // stage → sorted durations (µs).
+    let mut stages: std::collections::HashMap<&str, Vec<u64>> = std::collections::HashMap::new();
+    for trace in traces {
+        for span in &trace.spans {
+            stages
+                .entry(span.stage.as_str())
+                .or_default()
+                .push(span.end_us.saturating_sub(span.start_us));
+        }
+    }
+    let mut rows: Vec<(&str, Vec<u64>, u64)> = stages
+        .into_iter()
+        .map(|(stage, mut durations)| {
+            durations.sort_unstable();
+            let total = durations.iter().sum();
+            (stage, durations, total)
+        })
+        .collect();
+    // Heaviest stages first; name breaks ties so the table is stable.
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let _ = writeln!(
+        out,
+        "stage attribution (all traces):\n  {:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p95", "max", "total"
+    );
+    for (stage, durations, total) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            stage,
+            durations.len(),
+            fmt_us(percentile(&durations, 50)),
+            fmt_us(percentile(&durations, 95)),
+            fmt_us(*durations.last().unwrap_or(&0)),
+            fmt_us(total),
+        );
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted set of durations.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) * p) / 100]
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// How `serve` writes its structured JSONL event log.
+#[derive(Debug, Clone, Default)]
+pub struct LogOptions {
+    /// Append events to this file (`--log-json`); `None` disables the
+    /// sink.
+    pub json: Option<String>,
+    /// Rotate the file when it reaches this many bytes (always on a
+    /// line boundary, so no event is torn across files).
+    pub rotate_bytes: Option<u64>,
+    /// Rotated files kept as `<file>.1` … `<file>.N` (default 3).
+    pub keep: Option<usize>,
+}
+
+/// Rotated event-log files `serve` keeps when `--log-keep` is unset.
+const DEFAULT_LOG_KEEP: usize = 3;
+
 /// Start the tuning daemon, hand the handle to `wait`, and shut down when
 /// it returns. `main` waits for stdin end-of-file; tests drive sessions.
 ///
-/// With `log_json`, structured events (session starts, recorded runs,
-/// persistence failures, …) are appended to the given file, one JSON
-/// object per line.
+/// `log` configures the structured JSONL event sink (session starts,
+/// recorded runs, persistence failures, …), optionally size-rotated.
+/// `no_trace` skips enabling the distributed-tracing flight recorder.
 #[allow(clippy::too_many_arguments)]
 pub fn serve(
     rsl: &str,
@@ -642,12 +855,20 @@ pub fn serve(
     listen: &str,
     iterations: Option<usize>,
     max_connections: Option<usize>,
-    log_json: Option<&str>,
+    log: LogOptions,
+    no_trace: bool,
     wait: impl FnOnce(&DaemonHandle),
 ) -> Result<String, RunError> {
-    if let Some(path) = log_json {
-        harmony_obs::event::log_to_file(path)
-            .map_err(|e| fail(format!("cannot open event log {path}: {e}")))?;
+    if let Some(path) = &log.json {
+        match log.rotate_bytes {
+            Some(bytes) => harmony_obs::event::log_to_file_rotating(
+                path,
+                bytes,
+                log.keep.unwrap_or(DEFAULT_LOG_KEEP),
+            ),
+            None => harmony_obs::event::log_to_file(path),
+        }
+        .map_err(|e| fail(format!("cannot open event log {path}: {e}")))?;
     }
     let space = load_space(rsl)?;
     let mut config = DaemonConfig {
@@ -655,6 +876,7 @@ pub fn serve(
         db_path: db.map(PathBuf::from),
         wal_path: wal.map(PathBuf::from),
         server_name: format!("harmony-cli {}", env!("CARGO_PKG_VERSION")),
+        tracing: !no_trace,
         ..DaemonConfig::default()
     };
     if let Some(n) = iterations {
@@ -1050,7 +1272,8 @@ mod tests {
             "127.0.0.1:0",
             Some(50),
             None,
-            None,
+            LogOptions::default(),
+            false,
             |handle| {
                 let addr = handle.addr().to_string();
                 let tune = |label: &str, chars: &str| {
@@ -1106,7 +1329,8 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
-            None,
+            LogOptions::default(),
+            false,
             |handle| {
                 let cli = parse_args(&sv(&["stats", &handle.addr().to_string()])).unwrap();
                 let out = run(cli.command).unwrap();
@@ -1156,7 +1380,11 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
-            Some(log.to_str().unwrap()),
+            LogOptions {
+                json: Some(log.to_str().unwrap().to_string()),
+                ..LogOptions::default()
+            },
+            false,
             |handle| {
                 let cli = parse_args(&sv(&[
                     "tune",
@@ -1190,6 +1418,118 @@ mod tests {
     }
 
     #[test]
+    fn trace_report_renders_waterfalls_and_stage_attribution() {
+        let traces = vec![WireTrace {
+            trace_id: 0xab,
+            complete: true,
+            spans: vec![
+                WireSpan {
+                    id: 1,
+                    parent: 0,
+                    stage: "session".into(),
+                    detail: String::new(),
+                    start_us: 0,
+                    end_us: 1000,
+                    error: false,
+                },
+                WireSpan {
+                    id: 2,
+                    parent: 1,
+                    stage: "serve".into(),
+                    detail: "Fetch".into(),
+                    start_us: 100,
+                    end_us: 400,
+                    error: false,
+                },
+                WireSpan {
+                    id: 3,
+                    parent: 1,
+                    stage: "eval".into(),
+                    detail: String::new(),
+                    start_us: 400,
+                    end_us: 900,
+                    error: true,
+                },
+            ],
+        }];
+        let out = render_trace_report(&traces);
+        assert!(out.contains("trace 00000000000000ab"), "{out}");
+        assert!(out.contains("complete"), "{out}");
+        assert!(out.contains("serve [Fetch]"), "{out}");
+        assert!(out.contains("!error"), "{out}");
+        assert!(out.contains("stage attribution"), "{out}");
+        // Children are indented one level deeper than the root.
+        let root_line = out.lines().find(|l| l.contains("  session")).unwrap();
+        let child_line = out.lines().find(|l| l.contains("    eval")).unwrap();
+        assert!(root_line.contains("1.00ms"), "{root_line}");
+        assert!(child_line.contains("500us"), "{child_line}");
+        // The attribution table ranks by total time: session (1000) over
+        // eval (500) over serve (300).
+        let table = &out[out.find("stage attribution").unwrap()..];
+        let sess = table.find("session").unwrap();
+        let eval = table.find("eval").unwrap();
+        let serve = table.find("serve").unwrap();
+        assert!(sess < eval && eval < serve, "{table}");
+        // Same dump, same bytes.
+        assert_eq!(out, render_trace_report(&traces));
+        assert!(render_trace_report(&[]).contains("empty"));
+    }
+
+    #[test]
+    fn traced_remote_tune_fills_the_flight_recorder() {
+        let rsl = write_rsl("trace-flow.rsl");
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3)))";
+        serve(
+            rsl.to_str().unwrap(),
+            None,
+            None,
+            None,
+            "127.0.0.1:0",
+            Some(15),
+            None,
+            LogOptions::default(),
+            false,
+            |handle| {
+                let addr = handle.addr().to_string();
+                let cli = parse_args(&sv(&[
+                    "tune",
+                    rsl.to_str().unwrap(),
+                    "--remote",
+                    &addr,
+                    "--trace",
+                    "--label",
+                    "traced",
+                    "--",
+                    "sh",
+                    "-c",
+                    cmd,
+                ]))
+                .unwrap();
+                let out = run(cli.command).unwrap();
+                assert!(out.contains("best performance"), "{out}");
+                let cli = parse_args(&sv(&["trace", &addr])).unwrap();
+                let out = run(cli.command).unwrap();
+                assert!(out.contains("flight recorder"), "{out}");
+                // The whole client → daemon → executor path shows up.
+                for needle in [
+                    "session",
+                    "serve",
+                    "net.read",
+                    "classify",
+                    "eval",
+                    "queue.wait",
+                    "exec.run",
+                    "wal.append",
+                    "stage attribution",
+                ] {
+                    assert!(out.contains(needle), "missing {needle} in:\n{out}");
+                }
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
     fn remote_tune_surfaces_measurement_failures() {
         let rsl = write_rsl("serve-fail.rsl");
         serve(
@@ -1200,7 +1540,8 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
-            None,
+            LogOptions::default(),
+            false,
             |handle| {
                 let cli = parse_args(&sv(&[
                     "tune",

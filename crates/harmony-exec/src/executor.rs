@@ -2,6 +2,8 @@
 
 use crate::cache::MemoCache;
 use crate::obs;
+use harmony_obs::event::monotonic_us;
+use harmony_obs::trace::{self, stage, TraceContext};
 use harmony_space::Configuration;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -50,9 +52,30 @@ impl Executor {
         obs::batches_total().inc();
         obs::evaluations_total().add(configs.len() as u64);
         let _timer = obs::batch_seconds().start_timer();
+        // When the caller is inside a trace, every batch item gets a
+        // queue-wait span (submission → claimed by a worker) and a run
+        // span (claimed → done) under the caller's current span — the
+        // "was it slow, or just waiting for a slot?" attribution.
+        let tctx = if trace::is_enabled() {
+            trace::current()
+        } else {
+            None
+        };
+        let batch_start = monotonic_us();
         let workers = self.jobs.min(configs.len());
         if workers <= 1 {
-            return configs.iter().map(eval).collect();
+            return configs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let claimed = monotonic_us();
+                    let v = eval(c);
+                    if let Some(ctx) = &tctx {
+                        record_item(ctx, i, batch_start, claimed, false);
+                    }
+                    v
+                })
+                .collect();
         }
 
         let queue = obs::queue_depth();
@@ -66,7 +89,7 @@ impl Executor {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (cursor, abort) = (&cursor, &abort);
+                    let (cursor, abort, tctx) = (&cursor, &abort, &tctx);
                     scope.spawn(move || {
                         let mut local: Vec<(usize, f64)> = Vec::new();
                         let mut caught: Option<Box<dyn std::any::Any + Send>> = None;
@@ -75,15 +98,22 @@ impl Executor {
                             if i >= configs.len() {
                                 break;
                             }
+                            let claimed = monotonic_us();
                             match catch_unwind(AssertUnwindSafe(|| eval(&configs[i]))) {
                                 Ok(v) => {
                                     local.push((i, v));
                                     queue.dec();
+                                    if let Some(ctx) = tctx {
+                                        record_item(ctx, i, batch_start, claimed, false);
+                                    }
                                 }
                                 Err(p) => {
                                     abort.store(true, Ordering::Relaxed);
                                     caught = Some(p);
                                     queue.dec();
+                                    if let Some(ctx) = tctx {
+                                        record_item(ctx, i, batch_start, claimed, true);
+                                    }
                                     break;
                                 }
                             }
@@ -157,6 +187,34 @@ impl Default for Executor {
     fn default() -> Self {
         Executor::new(1)
     }
+}
+
+/// One batch item's trace attribution: a `queue.wait` span from batch
+/// submission to the moment a worker claimed the item, and an
+/// `exec.run` span from the claim to now (the evaluation just ended).
+/// `detail` is the item's batch index.
+fn record_item(ctx: &TraceContext, index: usize, batch_start: u64, claimed: u64, error: bool) {
+    let detail = index.to_string();
+    trace::record_span(
+        ctx.trace_id,
+        trace::new_id(),
+        ctx.span_id,
+        stage::QUEUE_WAIT,
+        &detail,
+        batch_start,
+        claimed,
+        false,
+    );
+    trace::record_span(
+        ctx.trace_id,
+        trace::new_id(),
+        ctx.span_id,
+        stage::EXEC_RUN,
+        &detail,
+        claimed,
+        monotonic_us(),
+        error,
+    );
 }
 
 #[cfg(test)]

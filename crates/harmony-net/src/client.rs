@@ -26,10 +26,11 @@
 
 use crate::codec::{read_frame_buf, write_frame_buf};
 use crate::protocol::{
-    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION,
+    Request, Response, RunSummary, SensitivityEntry, SpaceSpec, WireSpan, WireTrace,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 use crate::NetError;
+use harmony_obs::trace::{self, stage, TraceContext};
 use harmony_space::{Configuration, ParameterSpace};
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -130,6 +131,7 @@ pub struct ClientBuilder {
     connect_timeout: Option<Duration>,
     request_deadline: Option<Duration>,
     retry: RetryPolicy,
+    tracing: bool,
 }
 
 impl ClientBuilder {
@@ -152,6 +154,18 @@ impl ClientBuilder {
         self
     }
 
+    /// Participate in distributed tracing: each session becomes one
+    /// trace, requests carry its context to the server (protocol ≥ 2),
+    /// and client-side spans — `net.rpc` round trips, [`Client::traced`]
+    /// measurements — are piggybacked onto subsequent requests so the
+    /// daemon's flight recorder sees the whole client → daemon →
+    /// executor picture. Tracing is observation-only: proposals and
+    /// search trajectories are bit-identical with it on or off.
+    pub fn tracing(mut self, on: bool) -> ClientBuilder {
+        self.tracing = on;
+        self
+    }
+
     /// Connect and complete the `Hello` exchange.
     pub fn connect(self) -> Result<Client, NetError> {
         let addrs = self.addrs.map_err(NetError::Io)?;
@@ -162,6 +176,9 @@ impl ClientBuilder {
             )));
         }
         let rng = self.retry.seed | 1;
+        if self.tracing && !trace::is_enabled() {
+            trace::enable(trace::RecorderConfig::default());
+        }
         let mut client = Client {
             addrs,
             connect_timeout: self.connect_timeout,
@@ -174,6 +191,8 @@ impl ClientBuilder {
             seq: 0,
             rng,
             prev_backoff: Duration::ZERO,
+            tracing: self.tracing,
+            trace: None,
         };
         client.with_retries(|c| c.ensure_connected())?;
         Ok(client)
@@ -201,6 +220,20 @@ pub struct Client {
     rng: u64,
     /// Previous backoff sleep, anchoring the decorrelated-jitter draw.
     prev_backoff: Duration,
+    /// Whether sessions participate in distributed tracing.
+    tracing: bool,
+    /// The active session's trace, when tracing.
+    trace: Option<SessionTrace>,
+}
+
+/// Identity of the one trace a traced session accumulates into. The
+/// root span id is never recorded client-side — the daemon synthesizes
+/// the session root around it at finalize time, so a session whose
+/// client vanishes still dumps as a coherent (if incomplete) tree.
+#[derive(Debug, Clone, Copy)]
+struct SessionTrace {
+    trace_id: u64,
+    root_span: u64,
 }
 
 impl Client {
@@ -217,6 +250,7 @@ impl Client {
             connect_timeout: None,
             request_deadline: None,
             retry: RetryPolicy::default(),
+            tracing: false,
         }
     }
 
@@ -244,6 +278,14 @@ impl Client {
             characteristics,
             max_iterations,
         };
+        // The session's trace opens with the session itself, so even the
+        // SessionStart's classification/warm-start spans land in it.
+        if self.tracing {
+            self.trace = Some(SessionTrace {
+                trace_id: trace::new_id(),
+                root_span: trace::new_id(),
+            });
+        }
         let response = self.round_trip(&request)?;
         match response {
             Response::SessionStarted {
@@ -309,6 +351,11 @@ impl Client {
             } => {
                 self.token = None;
                 self.seq = 0;
+                // The daemon finalized the trace on SessionEnd; anything
+                // still unshipped client-side belongs to no one now.
+                if let Some(t) = self.trace.take() {
+                    trace::discard(t.trace_id);
+                }
                 Ok(SessionSummary {
                     best: Configuration::new(values),
                     performance,
@@ -346,6 +393,38 @@ impl Client {
         }
     }
 
+    /// The daemon's flight-recorder contents: every retained trace as a
+    /// span tree. Needs no session.
+    pub fn trace_dump(&mut self) -> Result<Vec<WireTrace>, NetError> {
+        match self.round_trip(&Request::TraceDump)? {
+            Response::TraceDump { traces } => Ok(traces),
+            other => Err(unexpected("TraceDump", other)),
+        }
+    }
+
+    /// The active session's trace context, when tracing. What
+    /// [`Client::traced`] spans hang off.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace.map(|t| TraceContext {
+            trace_id: t.trace_id,
+            span_id: t.root_span,
+        })
+    }
+
+    /// Run `f` under a span in the active session's trace — how a
+    /// measurement closure shows up as an `eval` stage (with any
+    /// executor queue-wait attribution recorded beneath it). Without
+    /// tracing, or without a session, `f` just runs.
+    pub fn traced<T>(&self, stage_name: &'static str, detail: &str, f: impl FnOnce() -> T) -> T {
+        match self.trace_context() {
+            Some(ctx) if trace::is_enabled() => {
+                let _span = trace::continue_from(ctx, stage_name, detail);
+                f()
+            }
+            _ => f(),
+        }
+    }
+
     /// Drive a whole session with a measurement closure: fetch, measure,
     /// report, until done; then end the session.
     ///
@@ -362,8 +441,9 @@ impl Client {
     ) -> Result<(SessionStarted, SessionSummary), NetError> {
         let started = self.start_session(space, label, characteristics, max_iterations)?;
         while let Some(proposal) = self.fetch()? {
-            let performance =
-                measure(&proposal.values).map_err(|e| NetError::Measurement(e.to_string()))?;
+            let performance = self
+                .traced(stage::EVAL, "measure", || measure(&proposal.values))
+                .map_err(|e| NetError::Measurement(e.to_string()))?;
             self.report(performance)?;
         }
         let summary = self.end_session()?;
@@ -376,12 +456,40 @@ impl Client {
     fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
         self.with_retries(|client| {
             client.ensure_connected()?;
-            let response = client.exchange(request)?;
+            let response = match client.trace_envelope(request) {
+                Some(envelope) => {
+                    let ctx = client.trace_context().expect("envelope implies trace");
+                    let _rpc = trace::continue_from(ctx, stage::NET_RPC, request.kind());
+                    client.exchange(&envelope)?
+                }
+                None => client.exchange(request)?,
+            };
             match response {
                 Response::Error { message } => Err(NetError::Remote(message)),
                 Response::Draining => Err(NetError::Draining),
                 response => Ok(response),
             }
+        })
+    }
+
+    /// Wrap `request` in the session's trace envelope, shipping every
+    /// client-side span completed since the last request. `None` (send
+    /// bare) without tracing, without a session trace, or on a v1
+    /// connection — a trace wrapper would be rejected there.
+    fn trace_envelope(&mut self, request: &Request) -> Option<Request> {
+        let t = self.trace?;
+        if !self.tracing || !trace::is_enabled() || self.version < 2 {
+            return None;
+        }
+        let spans: Vec<WireSpan> = trace::drain(t.trace_id)
+            .into_iter()
+            .map(Into::into)
+            .collect();
+        Some(Request::Traced {
+            trace_id: t.trace_id,
+            parent_span: t.root_span,
+            spans,
+            request: Box::new(request.clone()),
         })
     }
 
@@ -527,6 +635,8 @@ fn request_name(request: &Request) -> &'static str {
         Request::Sensitivity => "Sensitivity",
         Request::DbQuery => "DbQuery",
         Request::Stats => "Stats",
+        Request::Traced { request, .. } => request_name(request),
+        Request::TraceDump => "TraceDump",
     }
 }
 

@@ -28,6 +28,7 @@
 //! | `harmony_net_draining_responses_total` | counter | requests refused with `Draining` during shutdown |
 //! | `harmony_net_sessions_parked` | gauge | disconnected sessions currently parked awaiting `Resume` |
 //! | `harmony_net_session_ttl_expirations_total` | counter | parked sessions reaped at the keepalive TTL |
+//! | `harmony_net_traces_finalized_total` | counter | trace span trees sealed into the flight recorder |
 //!
 //! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
 //! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
@@ -201,6 +202,15 @@ handle!(
     )
 );
 
+handle!(
+    traces_finalized_total,
+    Counter,
+    global().counter(
+        "harmony_net_traces_finalized_total",
+        "Trace span trees sealed into the flight recorder.",
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -219,6 +229,7 @@ pub(crate) const REQUEST_KINDS: &[&str] = &[
     "Sensitivity",
     "DbQuery",
     "Stats",
+    "TraceDump",
 ];
 
 pub(crate) fn request_metrics(kind: &'static str) -> &'static RequestMetrics {
@@ -282,6 +293,7 @@ pub(crate) fn preregister() {
     draining_responses_total();
     sessions_parked();
     session_ttl_expirations_total();
+    traces_finalized_total();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

@@ -25,7 +25,11 @@ use serde::{Deserialize, Serialize};
 
 /// Newest protocol version spoken by this build; bump on any message
 /// change. Version 2 added `Resume`/`Resumed`, `Draining`, report
-/// sequence numbers, and session tokens.
+/// sequence numbers, and session tokens; later v2 builds additionally
+/// speak the additive [`Request::Traced`] wrapper and
+/// [`Request::TraceDump`] (v1 clients are untouched — a request
+/// arriving without trace context starts a fresh root trace
+/// server-side).
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest version this build still serves. `Hello` negotiation picks the
@@ -113,6 +117,28 @@ pub enum Request {
     /// Ask for the daemon's metrics in Prometheus text exposition
     /// format. Needs no session; usable as a pure admin probe.
     Stats,
+    /// A request wrapped with distributed-trace context (additive,
+    /// protocol ≥ 2). The daemon records its handling spans under
+    /// `parent_span` in trace `trace_id`, and merges the piggybacked
+    /// client-side `spans` (an eval the client just measured, say) into
+    /// the same trace. v1 clients never send this; a bare request on a
+    /// tracing daemon starts a fresh root trace instead.
+    Traced {
+        /// The trace every span of this tuning session shares.
+        trace_id: u64,
+        /// The client-side span new server spans hang off (usually the
+        /// session root).
+        parent_span: u64,
+        /// Client-side spans completed since the last request (empty
+        /// when nothing finished in between; always present on the
+        /// wire — serde cannot default fields of an enum variant).
+        spans: Vec<WireSpan>,
+        /// The request being carried.
+        request: Box<Request>,
+    },
+    /// Ask for the daemon's flight recorder contents (additive,
+    /// protocol ≥ 2). Needs no session; served even while draining.
+    TraceDump,
 }
 
 impl Request {
@@ -129,6 +155,10 @@ impl Request {
             Request::Sensitivity => "Sensitivity",
             Request::DbQuery => "DbQuery",
             Request::Stats => "Stats",
+            // Metrics attribute to the request being carried, so a
+            // traced Fetch and a bare Fetch land in the same series.
+            Request::Traced { request, .. } => request.kind(),
+            Request::TraceDump => "TraceDump",
         }
     }
 }
@@ -212,6 +242,11 @@ pub enum Response {
         /// format.
         text: String,
     },
+    /// Answer to [`Request::TraceDump`].
+    TraceDump {
+        /// Everything the flight recorder retained, oldest first.
+        traces: Vec<WireTrace>,
+    },
     /// The request could not be served; the connection stays usable.
     Error {
         /// Human-readable reason.
@@ -230,6 +265,78 @@ pub struct SensitivityEntry {
     pub sensitivity: f64,
     /// The value with the best observed performance.
     pub best_value: i64,
+}
+
+/// One completed span on the wire. Mirrors
+/// [`harmony_obs::trace::SpanRecord`]; timestamps are microseconds on
+/// the *sender's* monotonic clock (receivers rebase on ingest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Span ID, unique within its trace.
+    pub id: u64,
+    /// Parent span ID; 0 marks the root.
+    pub parent: u64,
+    /// Stage tag (`net.read`, `classify`, `eval`, …).
+    pub stage: String,
+    /// Free-form detail; may be empty.
+    #[serde(default)]
+    pub detail: String,
+    /// Start, sender-monotonic microseconds.
+    pub start_us: u64,
+    /// End, sender-monotonic microseconds.
+    pub end_us: u64,
+    /// True if the stage failed.
+    #[serde(default)]
+    pub error: bool,
+}
+
+impl From<harmony_obs::trace::SpanRecord> for WireSpan {
+    fn from(s: harmony_obs::trace::SpanRecord) -> Self {
+        WireSpan {
+            id: s.id,
+            parent: s.parent,
+            stage: s.stage,
+            detail: s.detail,
+            start_us: s.start_us,
+            end_us: s.end_us,
+            error: s.error,
+        }
+    }
+}
+
+impl From<WireSpan> for harmony_obs::trace::SpanRecord {
+    fn from(s: WireSpan) -> Self {
+        harmony_obs::trace::SpanRecord {
+            id: s.id,
+            parent: s.parent,
+            stage: s.stage,
+            detail: s.detail,
+            start_us: s.start_us,
+            end_us: s.end_us,
+            error: s.error,
+        }
+    }
+}
+
+/// One retained trace, as served by [`Request::TraceDump`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTrace {
+    /// The shared trace ID.
+    pub trace_id: u64,
+    /// Whether the trace was finalized (vs. still being assembled).
+    pub complete: bool,
+    /// All recorded spans, sorted by `(start_us, id)`.
+    pub spans: Vec<WireSpan>,
+}
+
+impl From<harmony_obs::trace::TraceRecord> for WireTrace {
+    fn from(t: harmony_obs::trace::TraceRecord) -> Self {
+        WireTrace {
+            trace_id: t.trace_id,
+            complete: t.complete,
+            spans: t.spans.into_iter().map(WireSpan::from).collect(),
+        }
+    }
 }
 
 /// One recorded run, as reported by [`Request::DbQuery`].
@@ -370,6 +477,83 @@ mod tests {
         let draining: Response =
             serde_json::from_str(&serde_json::to_string(&Response::Draining).unwrap()).unwrap();
         assert_eq!(draining, Response::Draining);
+    }
+
+    #[test]
+    fn traced_wrapper_round_trips_and_attributes_to_inner_kind() {
+        let msg = Request::Traced {
+            trace_id: 0xabcd,
+            parent_span: 7,
+            spans: vec![WireSpan {
+                id: 9,
+                parent: 7,
+                stage: "eval".into(),
+                detail: "round 3".into(),
+                start_us: 100,
+                end_us: 250,
+                error: false,
+            }],
+            request: Box::new(Request::Report {
+                performance: 1.5,
+                seq: Some(4),
+            }),
+        };
+        assert_eq!(msg.kind(), "Report", "metrics attribute to the inner kind");
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+        // A minimal wrapper (no client spans to ship) parses.
+        let raw = r#"{"Traced":{"trace_id":1,"parent_span":2,"spans":[],"request":"Fetch"}}"#;
+        match serde_json::from_str(raw).unwrap() {
+            Request::Traced {
+                trace_id,
+                parent_span,
+                spans,
+                request,
+            } => {
+                assert_eq!((trace_id, parent_span), (1, 2));
+                assert!(spans.is_empty());
+                assert_eq!(*request, Request::Fetch);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_dump_round_trips() {
+        assert_eq!(
+            serde_json::to_string(&Request::TraceDump).unwrap(),
+            "\"TraceDump\""
+        );
+        assert_eq!(Request::TraceDump.kind(), "TraceDump");
+        let msg = Response::TraceDump {
+            traces: vec![WireTrace {
+                trace_id: 3,
+                complete: true,
+                spans: vec![WireSpan {
+                    id: 1,
+                    parent: 0,
+                    stage: "session".into(),
+                    detail: String::new(),
+                    start_us: 0,
+                    end_us: 10,
+                    error: false,
+                }],
+            }],
+        };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn v1_wire_shapes_do_not_collide_with_trace_additions() {
+        // Every v1 request still decodes to the same variant: the new
+        // variants are additive names a v1 client never sends.
+        for raw in ["\"Fetch\"", "\"SessionEnd\"", "\"Stats\"", "\"DbQuery\""] {
+            let req: Request = serde_json::from_str(raw).unwrap();
+            assert_ne!(req.kind(), "TraceDump");
+        }
     }
 
     #[test]

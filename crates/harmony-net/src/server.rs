@@ -38,6 +38,7 @@ use harmony::history::{
 use harmony::sensitivity::SensitivityReport;
 use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
 use harmony_obs::event::{event, Level};
+use harmony_obs::trace::{self, stage, TraceContext};
 use harmony_space::{parse_rsl, ParameterSpace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -97,6 +98,13 @@ pub struct DaemonConfig {
     /// draining connection is drained before the socket closes (so the
     /// peer reliably reads the refusal instead of seeing an RST).
     pub drain_timeout: Duration,
+    /// Enable the distributed-tracing flight recorder at startup
+    /// (answering [`Request::TraceDump`] with recorded span trees).
+    /// Tracing is observation-only — trajectories are bit-identical
+    /// either way. Enabling is process-global; `false` merely skips
+    /// enabling (it never disables a recorder another daemon in the
+    /// same process already enabled).
+    pub tracing: bool,
 }
 
 impl Default for DaemonConfig {
@@ -115,6 +123,7 @@ impl Default for DaemonConfig {
             server_name: "harmony-net".into(),
             session_ttl: Duration::from_secs(30),
             drain_timeout: Duration::from_millis(200),
+            tracing: true,
         }
     }
 }
@@ -567,6 +576,9 @@ impl TuningDaemon {
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
         crate::obs::preregister();
+        if config.tracing && !trace::is_enabled() {
+            trace::enable(trace::RecorderConfig::default());
+        }
         crate::obs::db_runs().set(db.len() as i64);
         event(Level::Info, "net.daemon_start")
             .str("addr", addr.to_string())
@@ -629,6 +641,9 @@ impl TuningDaemon {
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
         crate::obs::preregister();
+        if config.tracing && !trace::is_enabled() {
+            trace::enable(trace::RecorderConfig::default());
+        }
         crate::obs::db_runs().set(db.len() as i64);
         event(Level::Info, "net.daemon_start")
             .str("addr", addr.to_string())
@@ -975,7 +990,7 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
     let mut rbuf: Vec<u8> = Vec::new();
     let mut wbuf: Vec<u8> = Vec::new();
     loop {
-        let request = match read_request(stream, shared, &mut rbuf) {
+        let (request, read_window) = match read_request(stream, shared, &mut rbuf) {
             Ok(Some(req)) => req,
             Ok(None) => break, // clean disconnect or shutdown
             Err(e) => {
@@ -990,15 +1005,102 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
                 return Err(e);
             }
         };
+        // Unwrap the trace envelope, if any: absorb piggybacked client
+        // spans (rebased onto this process's clock) and remember the
+        // propagated context so the serve span joins the caller's trace.
+        let (request, tctx) = match request {
+            Request::Traced {
+                trace_id,
+                parent_span,
+                spans,
+                request,
+            } => {
+                if trace::is_enabled() && !spans.is_empty() {
+                    trace::ingest(trace_id, spans.into_iter().map(Into::into).collect(), true);
+                }
+                (
+                    *request,
+                    Some(TraceContext {
+                        trace_id,
+                        span_id: parent_span,
+                    }),
+                )
+            }
+            other => (other, None),
+        };
+        let is_session_end = matches!(request, Request::SessionEnd);
         let metrics = crate::obs::request_metrics(request.kind());
         let timer = metrics.seconds.start_timer();
+        // Bare requests on a tracing daemon each get a fresh root trace;
+        // traced requests continue the caller's.
+        let mut serve_span = match tctx {
+            Some(ctx) => trace::continue_from(ctx, stage::SERVE, request.kind()),
+            None => trace::start_root(stage::SERVE, request.kind()),
+        };
+        let fresh_root = match (&tctx, serve_span.context()) {
+            (None, Some(ctx)) => Some(ctx.trace_id),
+            _ => None,
+        };
+        if let Some(ctx) = serve_span.context() {
+            if let Some((start_us, end_us)) = read_window {
+                // The frame read finished before the serve span opened, so
+                // it is recorded by hand: under the propagated parent when
+                // there is one, else under the fresh root.
+                let parent = tctx.map(|c| c.span_id).unwrap_or(ctx.span_id);
+                trace::record_span(
+                    ctx.trace_id,
+                    trace::new_id(),
+                    parent,
+                    stage::NET_READ,
+                    "",
+                    start_us,
+                    end_us,
+                    false,
+                );
+            }
+        }
         let response = handle_request(request, &mut conn, shared);
         if matches!(response, Response::Error { .. }) {
             crate::obs::errors_total().inc();
+            serve_span.mark_error();
         }
-        write_frame_buf(stream, &response, &mut wbuf)?;
-        drop(timer);
-        metrics.total.inc();
+        if is_session_end {
+            // A session's trace closes with the session — and it must be
+            // sealed BEFORE the response unblocks the client: an
+            // in-process client shares this recorder, and its
+            // post-response cleanup would otherwise race the finalize
+            // and discard the spans first. (The SessionEnd latency
+            // histogram consequently excludes response-write time.)
+            drop(timer);
+            drop(serve_span);
+            match tctx {
+                Some(ctx) => {
+                    trace::finalize_with_root(ctx.trace_id, ctx.span_id);
+                    crate::obs::traces_finalized_total().inc();
+                }
+                None => {
+                    if let Some(trace_id) = fresh_root {
+                        trace::finalize_with_root(trace_id, 0);
+                        crate::obs::traces_finalized_total().inc();
+                    }
+                }
+            }
+            write_frame_buf(stream, &response, &mut wbuf)?;
+            metrics.total.inc();
+        } else {
+            write_frame_buf(stream, &response, &mut wbuf)?;
+            // The timer drops while the serve span is still current so
+            // the request-latency histogram picks up an exemplar trace
+            // id.
+            drop(timer);
+            metrics.total.inc();
+            drop(serve_span);
+            // A bare request's fresh root closes with its response.
+            if let Some(trace_id) = fresh_root {
+                trace::finalize_with_root(trace_id, 0);
+                crate::obs::traces_finalized_total().inc();
+            }
+        }
     }
     if let Some(sess) = conn.active.take() {
         match sess.token.clone() {
@@ -1101,9 +1203,12 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
             // Classify the observed characteristics against everyone's
             // prior experience (§4.2). A match whose space shape differs
             // from this session's cannot seed the simplex — skip it.
-            let prior = shared
-                .select_prior(&characteristics)
-                .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()));
+            let prior = {
+                let _span = trace::child(stage::CLASSIFY, &label);
+                shared
+                    .select_prior(&characteristics)
+                    .filter(|run| run.records.iter().all(|r| r.values.len() == space.len()))
+            };
             if prior.is_some() {
                 crate::obs::warm_start_hits_total().inc();
             } else {
@@ -1111,7 +1216,10 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
             }
             let tuner = Tuner::new(space, options);
             let session = match &prior {
-                Some(history) => tuner.session_trained(history, shared.config.training),
+                Some(history) => {
+                    let _span = trace::child(stage::WARM_START, &history.label);
+                    tuner.session_trained(history, shared.config.training)
+                }
                 None => tuner.session(),
             };
             let token = (conn.version >= 2).then(|| shared.registry.issue_token());
@@ -1295,6 +1403,12 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
         Request::Stats => Response::Stats {
             text: harmony_obs::metrics::global().encode(),
         },
+        // The envelope is unwrapped in `serve_connection`; a nested one
+        // (malformed but harmless) just handles its inner request.
+        Request::Traced { request, .. } => handle_request(*request, conn, shared),
+        Request::TraceDump => Response::TraceDump {
+            traces: trace::dump().into_iter().map(Into::into).collect(),
+        },
     }
 }
 
@@ -1334,6 +1448,7 @@ fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
         .bool("converged", outcome.converged)
         .emit();
     if !outcome.trace.is_empty() {
+        let _span = trace::child(stage::WAL_APPEND, &sess.label);
         let run = outcome.to_history(sess.label, sess.characteristics);
         shared.record_run(run);
     }
@@ -1349,6 +1464,10 @@ fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
     summary
 }
 
+/// A decoded request plus the monotonic-us window its frame read took
+/// (present only while tracing, for the `net.read` span).
+type ReadRequest = (Request, Option<(u64, u64)>);
+
 /// Read one request into `scratch`, polling so the thread notices
 /// shutdown and clean disconnects. The payload is decoded in place; the
 /// allocation is clamped to [`READ_CHUNK`]-sized growth so a hostile
@@ -1358,12 +1477,15 @@ fn read_request(
     stream: &mut TcpStream,
     shared: &Shared,
     scratch: &mut Vec<u8>,
-) -> Result<Option<Request>, NetError> {
+) -> Result<Option<ReadRequest>, NetError> {
     let mut header = [0u8; 4];
     match fill(stream, &mut header, shared, true)? {
         Fill::Closed => return Ok(None),
         Fill::Full => {}
     }
+    // The idle wait for the header is the client thinking, not the
+    // network: `net.read` only covers pulling the announced payload.
+    let read_start = trace::is_enabled().then(harmony_obs::event::monotonic_us);
     let len = crate::codec::check_len(u32::from_be_bytes(header))?;
     scratch.clear();
     let mut filled = 0;
@@ -1376,7 +1498,8 @@ fn read_request(
         }
         filled = target;
     }
-    crate::codec::decode_payload(&scratch[..len]).map(Some)
+    let window = read_start.map(|s| (s, harmony_obs::event::monotonic_us()));
+    crate::codec::decode_payload(&scratch[..len]).map(|req| Some((req, window)))
 }
 
 enum Fill {
@@ -1575,6 +1698,7 @@ mod tests {
             "harmony_net_draining_responses_total",
             "harmony_net_sessions_parked",
             "harmony_net_session_ttl_expirations_total",
+            "harmony_net_traces_finalized_total",
             "harmony_db_wal_appends_total",
             "harmony_db_wal_flush_seconds",
             "harmony_db_compactions_total",

@@ -90,6 +90,109 @@ pub fn log_to_file(path: impl AsRef<Path>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Like [`log_to_file`], but with size-based rotation: once the live
+/// file reaches `max_bytes`, it is renamed to `<path>.1` (shifting
+/// `<path>.1` → `<path>.2` and so on, keeping at most `keep` rotated
+/// files) and a fresh file is opened.
+///
+/// Rollover is torn-write-safe: rotation only ever happens on a line
+/// boundary, so a JSONL line is never split across two files, and the
+/// shift uses atomic renames. If a rename fails (e.g. permissions),
+/// logging degrades to appending to the current file rather than
+/// dropping events.
+pub fn log_to_file_rotating(
+    path: impl AsRef<Path>,
+    max_bytes: u64,
+    keep: usize,
+) -> std::io::Result<()> {
+    let path = path.as_ref().to_path_buf();
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    let written = file.metadata()?.len();
+    set_sink(Box::new(RotatingWriter {
+        path,
+        file: Some(file),
+        written,
+        max_bytes: max_bytes.max(1),
+        keep: keep.max(1),
+        at_line_boundary: true,
+    }));
+    Ok(())
+}
+
+/// A [`Write`] sink that rotates its file by size at line boundaries.
+#[derive(Debug)]
+struct RotatingWriter {
+    path: std::path::PathBuf,
+    file: Option<std::fs::File>,
+    written: u64,
+    max_bytes: u64,
+    keep: usize,
+    at_line_boundary: bool,
+}
+
+impl RotatingWriter {
+    fn rotate(&mut self) {
+        use std::io::Write as _;
+        if let Some(mut f) = self.file.take() {
+            let _ = f.flush();
+        }
+        // Shift path.(keep-1) → path.keep, …, path.1 → path.2, then
+        // path → path.1. Renames are atomic; the oldest file falls off.
+        let rotated = |n: usize| {
+            let mut p = self.path.clone().into_os_string();
+            p.push(format!(".{n}"));
+            std::path::PathBuf::from(p)
+        };
+        for n in (1..self.keep).rev() {
+            let _ = std::fs::rename(rotated(n), rotated(n + 1));
+        }
+        let _ = std::fs::rename(&self.path, rotated(1));
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+        {
+            Ok(f) => {
+                self.written = f.metadata().map(|m| m.len()).unwrap_or(0);
+                self.file = Some(f);
+            }
+            Err(_) => {
+                // Reopen the old file (now possibly renamed) rather
+                // than losing events entirely.
+                self.file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(rotated(1))
+                    .ok();
+            }
+        }
+    }
+}
+
+impl Write for RotatingWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.at_line_boundary && self.written >= self.max_bytes {
+            self.rotate();
+        }
+        if let Some(f) = self.file.as_mut() {
+            f.write_all(data)?;
+        }
+        self.written += data.len() as u64;
+        self.at_line_boundary = data.ends_with(b"\n");
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self.file.as_mut() {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Remove the sink; subsequent events are dropped at near-zero cost.
 pub fn clear_sink() {
     ENABLED.store(false, Ordering::Release);
@@ -167,6 +270,14 @@ pub fn event(level: Level, name: &str) -> EventBuilder {
             buf.push('"');
         }
     });
+    // Events emitted inside a trace carry its ID, so a JSONL line can
+    // be joined against a flight-recorder dump.
+    if let Some(ctx) = crate::trace::current() {
+        push_key(&mut buf, "trace_id");
+        buf.push('"');
+        buf.push_str(&format!("{:016x}", ctx.trace_id));
+        buf.push('"');
+    }
     EventBuilder { buf: Some(buf) }
 }
 
@@ -481,5 +592,58 @@ mod tests {
         let a = monotonic_us();
         let b = monotonic_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn events_inside_a_trace_carry_its_id() {
+        let _guard = sink_lock();
+        let capture = Capture::install();
+        crate::trace::enable(crate::trace::RecorderConfig::default());
+        let root = crate::trace::start_root(crate::trace::stage::SESSION, "t");
+        let trace_id = root.context().unwrap().trace_id;
+        event(Level::Info, "traced.event").emit();
+        drop(root);
+        crate::trace::disable();
+        event(Level::Info, "untraced.event").emit();
+        let lines = capture.lines();
+        let traced = lines.iter().find(|l| l.contains("traced.event")).unwrap();
+        assert!(
+            traced.contains(&format!(r#""trace_id":"{trace_id:016x}""#)),
+            "{traced}"
+        );
+        let bare = lines.iter().find(|l| l.contains("untraced.event")).unwrap();
+        assert!(!bare.contains("trace_id"), "{bare}");
+        clear_sink();
+    }
+
+    #[test]
+    fn rotating_sink_rolls_over_at_line_boundaries() {
+        let _guard = sink_lock();
+        let dir = std::env::temp_dir().join(format!("harmony-obs-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        log_to_file_rotating(&path, 256, 2).unwrap();
+        for i in 0..50 {
+            event(Level::Info, "rotate.test").u64("i", i).emit();
+        }
+        clear_sink();
+        let live = std::fs::read_to_string(&path).unwrap();
+        let rotated1 = std::fs::read_to_string(dir.join("events.jsonl.1")).unwrap();
+        assert!(std::path::Path::new(&dir.join("events.jsonl.2")).exists());
+        assert!(
+            !dir.join("events.jsonl.3").exists(),
+            "keep=2 bounds the set"
+        );
+        // Every file holds only whole lines: no torn writes at the seam.
+        for content in [&live, &rotated1] {
+            assert!(content.ends_with('\n') || content.is_empty());
+            for line in content.lines() {
+                assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            }
+        }
+        // Rotation bounded the live file near the threshold.
+        assert!(live.len() as u64 <= 256 + 128, "{}", live.len());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

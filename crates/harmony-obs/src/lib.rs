@@ -19,6 +19,12 @@
 //!   exposition via [`metrics::Registry::encode`]. The
 //!   [`metrics::global`] registry is what `harmony-net`'s `Stats`
 //!   message serves over the wire.
+//! * [`trace`] — distributed tracing: span trees with trace/span/parent
+//!   IDs and monotonic timestamps, a thread-local current-span context
+//!   that composes with [`event::span`], and a bounded flight recorder
+//!   retaining the slowest and errored traces for post-hoc dumps.
+//!   Events emitted inside a trace carry its `trace_id`, and histogram
+//!   buckets record exemplar trace IDs.
 //!
 //! ```
 //! use harmony_obs::event::{event, Level};
@@ -36,6 +42,7 @@
 
 pub mod event;
 pub mod metrics;
+pub mod trace;
 
 pub use event::{event, push_context, span, Level};
 pub use metrics::global;

@@ -102,6 +102,12 @@ pub struct Histogram {
     counts: Vec<AtomicU64>,
     sum_bits: AtomicU64,
     count: AtomicU64,
+    /// Per-bucket exemplars: the trace ID and value of the most recent
+    /// observation that landed in the bucket while a trace was current
+    /// (0 = no exemplar yet). Lets a fat bucket link to a recorded
+    /// trace in the flight recorder.
+    exemplar_traces: Vec<AtomicU64>,
+    exemplar_values: Vec<AtomicU64>,
 }
 
 impl Histogram {
@@ -114,12 +120,16 @@ impl Histogram {
             bounds.iter().all(|b| b.is_finite()),
             "histogram bounds must be finite (+Inf is implicit)"
         );
-        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let counts: Vec<AtomicU64> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_traces = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_values = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
         Histogram {
             bounds: bounds.to_vec(),
             counts,
             sum_bits: AtomicU64::new(0f64.to_bits()),
             count: AtomicU64::new(0),
+            exemplar_traces,
+            exemplar_values,
         }
     }
 
@@ -132,6 +142,10 @@ impl Histogram {
             self.bounds.len()
         };
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(ctx) = crate::trace::current() {
+            self.exemplar_traces[idx].store(ctx.trace_id, Ordering::Relaxed);
+            self.exemplar_values[idx].store(v.to_bits(), Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         if v.is_finite() {
             let mut old = self.sum_bits.load(Ordering::Relaxed);
@@ -180,6 +194,24 @@ impl Histogram {
             out.push((bound, cumulative));
         }
         out
+    }
+
+    /// Per-bucket exemplars aligned with [`buckets`](Self::buckets):
+    /// `Some((trace_id, observed_value))` for buckets that caught an
+    /// observation made inside a trace.
+    pub fn exemplars(&self) -> Vec<Option<(u64, f64)>> {
+        self.exemplar_traces
+            .iter()
+            .zip(&self.exemplar_values)
+            .map(|(t, v)| {
+                let trace = t.load(Ordering::Relaxed);
+                if trace == 0 {
+                    None
+                } else {
+                    Some((trace, f64::from_bits(v.load(Ordering::Relaxed))))
+                }
+            })
+            .collect()
     }
 }
 
@@ -353,7 +385,7 @@ impl Registry {
                 out.push_str("# HELP ");
                 out.push_str(name);
                 out.push(' ');
-                out.push_str(&entry.help);
+                escape_help(&mut out, &entry.help);
                 out.push('\n');
                 out.push_str("# TYPE ");
                 out.push_str(name);
@@ -370,18 +402,28 @@ impl Registry {
                     write_series(&mut out, name, labels, None, &g.get().to_string());
                 }
                 Kind::Histogram(h) => {
-                    for (bound, cumulative) in h.buckets() {
+                    let exemplars = h.exemplars();
+                    for (i, (bound, cumulative)) in h.buckets().into_iter().enumerate() {
                         let le = if bound.is_finite() {
                             format_f64(bound)
                         } else {
                             "+Inf".to_string()
                         };
+                        let mut value = cumulative.to_string();
+                        if let Some(Some((trace_id, observed))) = exemplars.get(i) {
+                            // OpenMetrics-style exemplar: links the
+                            // bucket to a flight-recorder trace.
+                            value.push_str(&format!(
+                                " # {{trace_id=\"{trace_id:016x}\"}} {}",
+                                format_f64(*observed)
+                            ));
+                        }
                         write_series(
                             &mut out,
                             &format!("{name}_bucket"),
                             labels,
                             Some(("le", &le)),
-                            &cumulative.to_string(),
+                            &value,
                         );
                     }
                     write_series(
@@ -471,6 +513,18 @@ fn escape_label(out: &mut String, s: &str) {
         match c {
             '\\' => out.push_str("\\\\"),
             '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// HELP text escaping per the Prometheus text format: backslash and
+/// newline only (quotes are legal in help text).
+fn escape_help(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             c => out.push(c),
         }
@@ -637,5 +691,49 @@ mod tests {
             text.contains("esc_total{msg=\"a\\\"b\\\\c\\nd\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        // Per the text-format spec, HELP escapes backslash and newline
+        // (a raw newline would terminate the comment mid-help and make
+        // the next fragment parse as a bogus series).
+        let r = Registry::new();
+        r.counter("esc_help_total", "line one\nline two \\ done")
+            .inc();
+        let text = r.encode();
+        assert!(
+            text.contains("# HELP esc_help_total line one\\nline two \\\\ done\n"),
+            "{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("esc_help_total"),
+                "help newline leaked into the exposition: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_carry_exemplar_trace_ids() {
+        let r = Registry::new();
+        let h = r.histogram("exm_seconds", "latency", &[1.0, 10.0]);
+        h.observe(0.5); // outside any trace: no exemplar
+        assert!(h.exemplars().iter().all(Option::is_none));
+        crate::trace::enable(crate::trace::RecorderConfig::default());
+        let root = crate::trace::start_root(crate::trace::stage::SESSION, "exm");
+        let trace_id = root.context().unwrap().trace_id;
+        h.observe(5.0);
+        drop(root);
+        crate::trace::disable();
+        let exemplars = h.exemplars();
+        assert_eq!(exemplars[0], None);
+        assert_eq!(exemplars[1], Some((trace_id, 5.0)));
+        let text = r.encode();
+        let expected =
+            format!("exm_seconds_bucket{{le=\"10\"}} 2 # {{trace_id=\"{trace_id:016x}\"}} 5");
+        assert!(text.contains(&expected), "{text}");
+        // Untraced buckets render exactly as before.
+        assert!(text.contains("exm_seconds_bucket{le=\"1\"} 1\n"), "{text}");
     }
 }

@@ -280,7 +280,12 @@ impl TuningSession {
             .pending
             .take()
             .ok_or(SessionError::NoPendingConfiguration)?;
-        self.kernel.observe(performance);
+        {
+            // Observation-only: the span measures the kernel step, it
+            // never feeds back into it.
+            let _span = harmony_obs::trace::child(harmony_obs::trace::stage::SIMPLEX_STEP, "");
+            self.kernel.observe(performance);
+        }
         match &self.live_best {
             Some((_, b)) if *b >= performance => {}
             _ => self.live_best = Some((config.clone(), performance)),

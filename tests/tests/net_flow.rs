@@ -75,7 +75,11 @@ fn parse_exposition(text: &str) -> HashMap<String, f64> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (series, value) = line
+        // A tracing daemon appends OpenMetrics exemplars to histogram
+        // buckets (`… 3 # {trace_id="…"} 0.0012`); the sample value is
+        // what precedes the exemplar marker.
+        let sample = line.split(" # ").next().unwrap_or(line);
+        let (series, value) = sample
             .rsplit_once(' ')
             .unwrap_or_else(|| panic!("malformed sample line: {line:?}"));
         let value: f64 = value

@@ -1,0 +1,615 @@
+//! c10k benchmark: connection scalability of the daemon's two serving
+//! models.
+//!
+//! Drives many concurrent tuning sessions against a daemon running
+//! either the event-driven epoll reactor (the default) or the legacy
+//! thread-per-connection model (`DaemonConfig::threaded`), and measures
+//! what each model can sustain:
+//!
+//! * **sustain** — the reactor alone, at ten thousand concurrent
+//!   sessions: every connection opens a session and holds it until all
+//!   sessions are live simultaneously, then runs its script to
+//!   completion. Proves the reactor really carries 10k concurrent
+//!   sessions on one listener.
+//! * **compare** — reactor vs threaded at high (but thread-survivable)
+//!   concurrency, identical workload, so the throughput ratio isolates
+//!   the serving model.
+//!
+//! The daemon runs in a child process (spawned from this same binary
+//! with `--daemon <mode>`) so its peak RSS (`VmHWM`) is attributable
+//! per model and the client's ten thousand sockets don't share a file
+//! table with the server's. The client side is a single-threaded,
+//! poll-driven state machine over nonblocking sockets — a
+//! thread-per-connection *client* at 10k would itself be the bottleneck.
+//!
+//! Sessions speak raw protocol v1 (no `Hello`, so no session tokens):
+//! `SessionStart`, two idempotent `Fetch`es, `SessionEnd`. Nothing is
+//! reported, so no run is recorded and the experience database stays
+//! empty — the copy-on-write append path is `bench_daemon`'s subject;
+//! here it would only blur the connection-model comparison.
+//!
+//! Reports connections sustained, requests/s, p95/p99 request RTT, and
+//! the daemon's peak RSS per model, and writes `BENCH_c10k.json`. The
+//! full run asserts the reactor sustains all 10k sessions and beats the
+//! threaded model by ≥ 2x on requests/s; `--smoke` shrinks everything
+//! for CI and only sanity-checks that every session completes.
+
+use harmony_net::poll::Poller;
+use harmony_net::protocol::{Request, SpaceSpec};
+use harmony_net::server::{DaemonConfig, TuningDaemon};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const RSL: &str = "{ harmonyBundle x { int {0 100 1} }}\n{ harmonyBundle y { int {0 100 1} }}";
+
+/// Fetches per session; the script is `SessionStart`, `FETCHES` ×
+/// `Fetch`, `SessionEnd`, so each session is `FETCHES + 2` requests.
+const FETCHES: usize = 2;
+
+/// Give up on a phase after this long (a hung daemon or a lost frame
+/// would otherwise wedge the bench forever).
+const PHASE_DEADLINE: Duration = Duration::from_secs(300);
+
+struct Params {
+    sustain_conns: usize,
+    compare_conns: usize,
+}
+
+const FULL: Params = Params {
+    sustain_conns: 10_000,
+    compare_conns: 6_000,
+};
+
+const SMOKE: Params = Params {
+    sustain_conns: 128,
+    compare_conns: 64,
+};
+
+// ---------------------------------------------------------------------
+// RLIMIT_NOFILE: ten thousand client sockets need more than the default
+// 1024 descriptors. `std` links libc, so — like the epoll wrapper and
+// the CLI's signal(2) handling — declaring the two entry points beats a
+// bindings dependency.
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+unsafe extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+/// Raise the soft fd limit to the hard limit. Children inherit it.
+fn raise_nofile_limit() {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return;
+    }
+    if lim.cur < lim.max {
+        lim.cur = lim.max;
+        unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon child process.
+
+/// `--daemon <mode>`: run the daemon until stdin closes, reporting the
+/// bound address up front and peak RSS on the way out.
+fn run_daemon(mode: &str, max_conns: usize) -> ! {
+    let handle = TuningDaemon::start(DaemonConfig {
+        listen: "127.0.0.1:0".into(),
+        threaded: mode == "threaded",
+        max_connections: max_conns,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon starts");
+    println!("ADDR {}", handle.addr());
+    std::io::stdout().flush().expect("flush addr");
+    // Park until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().lock().read_to_end(&mut sink);
+    handle.shutdown();
+    println!("VMHWM_KB {}", peak_rss_kb());
+    std::process::exit(0);
+}
+
+/// Peak resident set of this process, from `/proc/self/status` `VmHWM`.
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+struct Daemon {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    addr: SocketAddr,
+}
+
+/// Spawn this binary as a daemon child and read back its address.
+fn spawn_daemon(mode: &str, max_conns: usize) -> Daemon {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .args([
+            "--daemon",
+            mode,
+            "--max-conns-internal",
+            &max_conns.to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon child");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read child addr");
+    let addr = line
+        .strip_prefix("ADDR ")
+        .and_then(|a| a.trim().parse().ok())
+        .unwrap_or_else(|| panic!("bad daemon hello {line:?}"));
+    Daemon {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+impl Daemon {
+    /// Close stdin (the child's cue to shut down) and collect its peak
+    /// RSS report.
+    fn stop(mut self) -> u64 {
+        drop(self.child.stdin.take());
+        let mut rss = 0;
+        let mut line = String::new();
+        while self.stdout.read_line(&mut line).unwrap_or(0) > 0 {
+            if let Some(rest) = line.strip_prefix("VMHWM_KB ") {
+                rss = rest.trim().parse().unwrap_or(0);
+            }
+            line.clear();
+        }
+        let _ = self.child.wait();
+        rss
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poll-driven client.
+
+fn frame(req: &Request) -> Vec<u8> {
+    let payload = serde_json::to_vec(req).expect("encode request");
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&payload);
+    buf
+}
+
+/// One client connection's script position.
+#[derive(PartialEq)]
+enum Step {
+    /// `SessionStart` in flight; holds at the barrier once answered.
+    Starting,
+    /// Parked at the barrier until every session is live.
+    Holding,
+    /// `Fetch` in flight, this many (including it) still to go.
+    Fetching(usize),
+    /// `SessionEnd` in flight.
+    Ending,
+    Finished,
+    Failed,
+}
+
+struct Conn {
+    stream: TcpStream,
+    step: Step,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    rbuf: Vec<u8>,
+    sent_at: Instant,
+    want_write: bool,
+}
+
+impl Conn {
+    fn queue(&mut self, req: &Request) {
+        self.wbuf.extend_from_slice(&frame(req));
+        self.sent_at = Instant::now();
+    }
+
+    /// Write as much of `wbuf` as the socket accepts.
+    fn flush(&mut self) -> bool {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        self.want_write = !self.wbuf.is_empty();
+        true
+    }
+
+    /// Read everything available; `false` on error or EOF.
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Pop one complete response frame, if buffered, reduced to its
+    /// externally-tagged enum tag (`"Config"`, `"SessionSummary"`, …).
+    /// The script only branches on the message *kind*, and skipping the
+    /// full decode keeps the client cheap — it shares a core with the
+    /// daemon under test. (It also sidesteps a wart: an unreported
+    /// session's summary carries `performance: NaN`, which JSON encodes
+    /// as `null` and a strict decode would refuse.)
+    fn next_response(&mut self) -> Option<String> {
+        if self.rbuf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(self.rbuf[..4].try_into().unwrap()) as usize;
+        if self.rbuf.len() < 4 + len {
+            return None;
+        }
+        let payload = &self.rbuf[4..4 + len];
+        // `{"Tag":{…}}` for struct variants, `"Tag"` for unit variants:
+        // either way the tag is the first double-quoted string.
+        let text = String::from_utf8_lossy(payload);
+        let tag = text.split('"').nth(1).unwrap_or("").to_string();
+        self.rbuf.drain(..4 + len);
+        Some(tag)
+    }
+}
+
+struct PhaseResult {
+    phase: &'static str,
+    mode: &'static str,
+    connections: usize,
+    sustained: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    rtt_p95_ms: f64,
+    rtt_p99_ms: f64,
+    daemon_peak_rss_kb: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Connections allowed to have an unanswered `SessionStart` while the
+/// ramp is still connecting. A sequential client can out-connect the
+/// accept queue of a daemon sharing its core — every overflowed SYN
+/// then costs a ~1s retransmission timeout — and the c10k claim is
+/// about concurrent *established* sessions, not about racing the
+/// listener backlog. Bounding unanswered work keeps the ramp at the
+/// daemon's own accept rate.
+const RAMP_WINDOW: usize = 64;
+
+/// The poll-driven client side of one phase.
+struct Client {
+    poller: Poller,
+    by_token: HashMap<u64, Conn>,
+    ready: Vec<harmony_net::poll::Readiness>,
+    rtts_ms: Vec<f64>,
+    requests: usize,
+    sustained: usize,
+    /// Connections parked at the barrier (answered `SessionStart`).
+    holding: usize,
+    /// Connections removed from `by_token` for any reason.
+    closed: usize,
+}
+
+impl Client {
+    /// One poll round: wait up to `timeout_ms`, then advance every
+    /// ready connection.
+    fn pump(&mut self, timeout_ms: i32) {
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        self.poller
+            .wait(&mut ready, timeout_ms)
+            .expect("client poll");
+        for r in &ready {
+            self.advance(r);
+        }
+        self.ready = ready;
+    }
+
+    fn advance(&mut self, r: &harmony_net::poll::Readiness) {
+        let Some(conn) = self.by_token.get_mut(&r.token) else {
+            return;
+        };
+        let mut alive = true;
+        if r.writable {
+            alive = conn.flush();
+        }
+        if alive && r.readable {
+            alive = conn.fill();
+            // Drain every complete response already buffered;
+            // `Finished` and `Failed` end the script.
+            loop {
+                if !alive || matches!(conn.step, Step::Finished | Step::Failed) {
+                    break;
+                }
+                let Some(resp) = conn.next_response() else {
+                    break;
+                };
+                self.rtts_ms
+                    .push(conn.sent_at.elapsed().as_secs_f64() * 1e3);
+                self.requests += 1;
+                match (&conn.step, resp.as_str()) {
+                    (Step::Starting, "SessionStarted") => {
+                        // Barrier: hold until every session is live,
+                        // so `conns` sessions really are concurrent.
+                        conn.step = Step::Holding;
+                        self.holding += 1;
+                    }
+                    (Step::Fetching(left), "Config") => {
+                        if let Some(more) = left.checked_sub(1).filter(|&m| m > 0) {
+                            conn.step = Step::Fetching(more);
+                            conn.queue(&Request::Fetch);
+                        } else {
+                            conn.step = Step::Ending;
+                            conn.queue(&Request::SessionEnd);
+                        }
+                    }
+                    (Step::Ending, "SessionSummary") => {
+                        conn.step = Step::Finished;
+                    }
+                    (_, other) => {
+                        eprintln!("bench_c10k: unexpected response {other:?}");
+                        conn.step = Step::Failed;
+                    }
+                }
+            }
+        }
+        if alive && !conn.wbuf.is_empty() {
+            alive = conn.flush();
+        }
+        if alive {
+            let done = matches!(conn.step, Step::Finished | Step::Failed);
+            if done {
+                self.sustained += usize::from(conn.step == Step::Finished);
+                self.close(r.token);
+            } else {
+                self.poller
+                    .modify(conn.stream.as_raw_fd(), r.token, true, conn.want_write)
+                    .expect("interest update");
+            }
+        } else {
+            eprintln!("bench_c10k: connection {} died mid-session", r.token);
+            self.close(r.token);
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        let conn = self.by_token.remove(&token).unwrap();
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        self.closed += 1;
+    }
+}
+
+/// Drive `conns` concurrent sessions against a fresh daemon in `mode`.
+fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResult {
+    let daemon = spawn_daemon(mode, conns + 8);
+    let addr = daemon.addr;
+
+    let start_req = Request::SessionStart {
+        space: SpaceSpec::Rsl(RSL.into()),
+        label: "c10k".into(),
+        characteristics: vec![0.5, 0.5],
+        max_iterations: Some(4),
+    };
+
+    let started = Instant::now();
+    let mut client = Client {
+        poller: Poller::new().expect("client poller"),
+        by_token: HashMap::with_capacity(conns),
+        ready: Vec::with_capacity(1024),
+        rtts_ms: Vec::with_capacity(conns * (FETCHES + 2)),
+        requests: 0,
+        sustained: 0,
+        holding: 0,
+        closed: 0,
+    };
+    for token in 0..conns as u64 {
+        // Paced ramp: stay at most `RAMP_WINDOW` unanswered
+        // `SessionStart`s ahead of the daemon.
+        while (token as usize).saturating_sub(client.holding + client.closed) >= RAMP_WINDOW {
+            if started.elapsed() > PHASE_DEADLINE {
+                panic!(
+                    "bench_c10k: {phase}/{mode}: deadline during connect ramp at {token}/{conns}"
+                );
+            }
+            client.pump(10);
+        }
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Conn {
+            stream,
+            step: Step::Starting,
+            wbuf: Vec::new(),
+            wpos: 0,
+            rbuf: Vec::new(),
+            sent_at: Instant::now(),
+            want_write: false,
+        };
+        conn.queue(&start_req);
+        if !conn.flush() {
+            panic!("connection {token} died during SessionStart");
+        }
+        client
+            .poller
+            .add(conn.stream.as_raw_fd(), token, true, conn.want_write)
+            .expect("register");
+        client.by_token.insert(token, conn);
+    }
+
+    let mut released = false;
+    while !client.by_token.is_empty() {
+        if started.elapsed() > PHASE_DEADLINE {
+            eprintln!(
+                "bench_c10k: {phase}/{mode}: deadline hit with {} connections unfinished",
+                client.by_token.len()
+            );
+            break;
+        }
+        client.pump(100);
+        if !released && client.holding >= client.by_token.len() {
+            // Every session answered SessionStart: all of them are live
+            // at once. Release the barrier and run the scripts out.
+            released = true;
+            for (&token, conn) in client.by_token.iter_mut() {
+                conn.step = Step::Fetching(FETCHES);
+                conn.queue(&Request::Fetch);
+                if conn.flush() {
+                    let _ =
+                        client
+                            .poller
+                            .modify(conn.stream.as_raw_fd(), token, true, conn.want_write);
+                }
+            }
+        }
+    }
+    let (requests, sustained, mut rtts_ms) = (client.requests, client.sustained, client.rtts_ms);
+    let wall = started.elapsed().as_secs_f64();
+    let rss = daemon.stop();
+
+    rtts_ms.sort_by(f64::total_cmp);
+    PhaseResult {
+        phase,
+        mode,
+        connections: conns,
+        sustained,
+        wall_ms: wall * 1e3,
+        requests_per_sec: requests as f64 / wall,
+        rtt_p95_ms: percentile(&rtts_ms, 0.95),
+        rtt_p99_ms: percentile(&rtts_ms, 0.99),
+        daemon_peak_rss_kb: rss,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--daemon") {
+        let mode = args.get(1).expect("--daemon needs a mode").clone();
+        let max_conns = args
+            .iter()
+            .position(|a| a == "--max-conns-internal")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(64);
+        run_daemon(&mode, max_conns);
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(bad) = args.iter().find(|a| !matches!(a.as_str(), "--smoke")) {
+        eprintln!("bench_c10k: unknown flag {bad:?} (--smoke)");
+        std::process::exit(2);
+    }
+    let p = if smoke { SMOKE } else { FULL };
+    raise_nofile_limit();
+
+    let results = [
+        run_phase("sustain", "reactor", p.sustain_conns),
+        run_phase("compare", "reactor", p.compare_conns),
+        run_phase("compare", "threaded", p.compare_conns),
+    ];
+    for r in &results {
+        println!(
+            "{:<8} {:<9} conns {:>6}  sustained {:>6}  wall {:>9.1} ms  requests {:>8.1}/s  \
+             rtt p95 {:>7.2} ms  p99 {:>7.2} ms  daemon peak rss {:>7} kB",
+            r.phase,
+            r.mode,
+            r.connections,
+            r.sustained,
+            r.wall_ms,
+            r.requests_per_sec,
+            r.rtt_p95_ms,
+            r.rtt_p99_ms,
+            r.daemon_peak_rss_kb,
+        );
+    }
+
+    let reactor = &results[1];
+    let threaded = &results[2];
+    let speedup = reactor.requests_per_sec / threaded.requests_per_sec;
+    println!("compare speedup (reactor / threaded): {speedup:.2}x");
+
+    let mut rows = String::new();
+    for r in &results {
+        let _ = write!(
+            rows,
+            "{}    {{\"phase\": \"{}\", \"mode\": \"{}\", \"connections\": {}, \
+             \"sustained\": {}, \"wall_ms\": {:.2}, \"requests_per_sec\": {:.2}, \
+             \"rtt_p95_ms\": {:.4}, \"rtt_p99_ms\": {:.4}, \"daemon_peak_rss_kb\": {}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+            r.phase,
+            r.mode,
+            r.connections,
+            r.sustained,
+            r.wall_ms,
+            r.requests_per_sec,
+            r.rtt_p95_ms,
+            r.rtt_p99_ms,
+            r.daemon_peak_rss_kb,
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"c10k\",\n  \"smoke\": {smoke},\n  \
+         \"requests_per_session\": {},\n  \"results\": [\n{rows}\n  ],\n  \
+         \"compare_speedup\": {speedup:.4}\n}}\n",
+        FETCHES + 2,
+    );
+    std::fs::write("BENCH_c10k.json", &json).expect("write BENCH_c10k.json");
+    println!("wrote BENCH_c10k.json");
+
+    // Every session must complete in every phase, smoke or full: a
+    // dropped connection is a correctness bug, not noise.
+    for r in &results {
+        assert_eq!(
+            r.sustained, r.connections,
+            "{}/{}: only {} of {} sessions completed",
+            r.phase, r.mode, r.sustained, r.connections
+        );
+    }
+    if !smoke {
+        // The full comparison exists to prove the reactor wins at high
+        // concurrency; smoke runs are too small to measure anything.
+        assert!(
+            speedup >= 2.0,
+            "reactor only {speedup:.2}x the threaded model at {} connections (need >= 2x)",
+            p.compare_conns
+        );
+    }
+}

@@ -79,6 +79,9 @@ pub enum Command {
         iterations: Option<usize>,
         /// Concurrent-connection cap.
         max_connections: Option<usize>,
+        /// Serve with the legacy thread-per-connection model instead of
+        /// the epoll reactor (honest-comparison escape hatch).
+        threaded: bool,
         /// Append structured JSONL events to this file.
         log_json: Option<String>,
         /// Rotate the --log-json file when it reaches this many bytes.
@@ -158,7 +161,8 @@ USAGE:
               [--mixes browsing,shopping,ordering] [--out <leaderboard.txt>]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
               [--wal <journal.wal>] [--compact-every N]
-              [--iterations N] [--max-connections N] [--log-json <events.jsonl>]
+              [--iterations N] [--max-connections N] [--threaded]
+              [--log-json <events.jsonl>]
               [--log-rotate-bytes N] [--log-keep N] [--no-trace]
   harmony-cli stats <host:port>
   harmony-cli trace <host:port>
@@ -409,6 +413,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut listen = "127.0.0.1:1977".to_string();
             let mut iterations = None;
             let mut max_connections = None;
+            let mut threaded = false;
             let mut log_json = None;
             let mut log_rotate_bytes = None;
             let mut log_keep = None;
@@ -422,9 +427,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     }
                     "--listen" => listen = next_str(&mut it, "--listen")?,
                     "--iterations" => iterations = Some(parse_value(&mut it, "--iterations")?),
-                    "--max-connections" => {
+                    "--max-connections" | "--max-conns" => {
                         max_connections = Some(parse_value(&mut it, "--max-connections")?)
                     }
+                    "--threaded" => threaded = true,
                     "--log-json" => log_json = Some(next_str(&mut it, "--log-json")?),
                     "--log-rotate-bytes" => {
                         let bytes: u64 = parse_value(&mut it, "--log-rotate-bytes")?;
@@ -466,6 +472,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     listen,
                     iterations,
                     max_connections,
+                    threaded,
                     log_json,
                     log_rotate_bytes,
                     log_keep,
@@ -818,6 +825,7 @@ mod tests {
                 listen: "127.0.0.1:1977".into(),
                 iterations: None,
                 max_connections: None,
+                threaded: false,
                 log_json: None,
                 log_rotate_bytes: None,
                 log_keep: None,
@@ -854,12 +862,27 @@ mod tests {
                 listen: "0.0.0.0:7007".into(),
                 iterations: Some(80),
                 max_connections: Some(4),
+                threaded: false,
                 log_json: Some("events.jsonl".into()),
                 log_rotate_bytes: None,
                 log_keep: None,
                 no_trace: false,
             }
         );
+
+        // --max-conns is an alias, --threaded flips the serving model.
+        let cli = parse_args(&v(&["serve", "p.rsl", "--max-conns", "9", "--threaded"])).unwrap();
+        match cli.command {
+            Command::Serve {
+                max_connections,
+                threaded,
+                ..
+            } => {
+                assert_eq!(max_connections, Some(9));
+                assert!(threaded);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
 
         assert!(parse_args(&v(&["serve"])).is_err());
         assert!(parse_args(&v(&["serve", "p.rsl", "--port", "1"])).is_err());

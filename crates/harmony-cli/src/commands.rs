@@ -282,6 +282,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             listen,
             iterations,
             max_connections,
+            threaded,
             log_json,
             log_rotate_bytes,
             log_keep,
@@ -295,6 +296,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 &listen,
                 iterations,
                 max_connections,
+                threaded,
                 LogOptions {
                     json: log_json,
                     rotate_bytes: log_rotate_bytes,
@@ -855,6 +857,7 @@ pub fn serve(
     listen: &str,
     iterations: Option<usize>,
     max_connections: Option<usize>,
+    threaded: bool,
     log: LogOptions,
     no_trace: bool,
     wait: impl FnOnce(&DaemonHandle),
@@ -877,6 +880,7 @@ pub fn serve(
         wal_path: wal.map(PathBuf::from),
         server_name: format!("harmony-cli {}", env!("CARGO_PKG_VERSION")),
         tracing: !no_trace,
+        threaded,
         ..DaemonConfig::default()
     };
     if let Some(n) = iterations {
@@ -1272,6 +1276,7 @@ mod tests {
             "127.0.0.1:0",
             Some(50),
             None,
+            false,
             LogOptions::default(),
             false,
             |handle| {
@@ -1329,6 +1334,7 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
+            false,
             LogOptions::default(),
             false,
             |handle| {
@@ -1380,6 +1386,7 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
+            false,
             LogOptions {
                 json: Some(log.to_str().unwrap().to_string()),
                 ..LogOptions::default()
@@ -1487,6 +1494,7 @@ mod tests {
             "127.0.0.1:0",
             Some(15),
             None,
+            false,
             LogOptions::default(),
             false,
             |handle| {
@@ -1540,6 +1548,7 @@ mod tests {
             "127.0.0.1:0",
             Some(20),
             None,
+            false,
             LogOptions::default(),
             false,
             |handle| {

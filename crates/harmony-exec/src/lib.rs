@@ -13,6 +13,10 @@
 //!   slot `i` of the output is exactly `eval(&configs[i])`, so for a
 //!   pure evaluation function the parallel result is bit-identical to
 //!   the sequential one regardless of the job count.
+//! * [`TaskPool`] — the complementary long-lived shape: a fixed set of
+//!   workers draining one FIFO of submit-and-forget jobs, used by the
+//!   daemon's event-driven reactor to keep slow request handling off
+//!   its event loop.
 //! * [`MemoCache`] — a sharded exact-config memo cache keyed on the
 //!   discrete parameter values, with a capacity bound (FIFO eviction per
 //!   shard) and hit/miss accounting. The discrete space revisits
@@ -59,7 +63,9 @@
 pub mod cache;
 pub mod executor;
 pub mod obs;
+pub mod pool;
 
 pub use cache::MemoCache;
 pub use executor::Executor;
 pub use obs::preregister;
+pub use pool::TaskPool;

@@ -13,6 +13,7 @@
 //! | `harmony_exec_cache_misses_total` | counter | memo-cache lookups that required a measurement |
 //! | `harmony_exec_cache_evictions_total` | counter | entries dropped by the capacity bound |
 //! | `harmony_exec_cache_entries` | gauge | entries currently resident across all caches |
+//! | `harmony_exec_pool_panics_total` | counter | task-pool jobs that panicked (caught; worker survives) |
 
 use harmony_obs::metrics::{global, Counter, Gauge, Histogram, LATENCY_SECONDS};
 use std::sync::{Arc, OnceLock};
@@ -99,6 +100,15 @@ handle!(
     )
 );
 
+handle!(
+    pool_panics_total,
+    Counter,
+    global().counter(
+        "harmony_exec_pool_panics_total",
+        "Task-pool jobs that panicked (caught; the worker survives).",
+    )
+);
+
 /// Touch every metric handle so the series appear in the registry (and
 /// therefore in a daemon's `Stats` exposition) before first use.
 pub fn preregister() {
@@ -110,4 +120,5 @@ pub fn preregister() {
     cache_misses_total();
     cache_evictions_total();
     cache_entries();
+    pool_panics_total();
 }

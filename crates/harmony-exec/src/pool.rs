@@ -1,0 +1,161 @@
+//! A persistent bounded worker pool for heterogeneous tasks.
+//!
+//! [`Executor`](crate::Executor) is batch-scoped: it spawns scoped
+//! threads per `evaluate_batch` call and tears them down when the batch
+//! returns, which is the right shape for a tuning kernel that works in
+//! bursts. A server event loop needs the opposite shape — a fixed set
+//! of long-lived workers draining an unbounded queue of small,
+//! unrelated jobs — so [`TaskPool`] provides it: `N` named threads, one
+//! shared FIFO, submit-and-forget semantics, and an orderly shutdown
+//! that drains everything already queued.
+//!
+//! The pool is deliberately minimal: jobs are boxed `FnOnce` closures,
+//! results travel back through whatever channel the caller baked into
+//! the closure, and a panicking job takes down neither its worker nor
+//! the pool (the panic is caught, counted, and logged).
+
+use harmony_obs::event::{event, Level};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining one shared job queue.
+///
+/// Jobs run in submission order (single FIFO) but complete in whatever
+/// order the workers finish them. Dropping the pool closes the queue
+/// and joins the workers, so every job submitted before the drop still
+/// runs.
+pub struct TaskPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawn a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> TaskPool {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("harmony-task-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn task-pool worker")
+            })
+            .collect();
+        TaskPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queue a job. Never blocks; the queue is unbounded, so callers
+    /// that need backpressure must bound admission themselves (the
+    /// daemon does, at its connection cap).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.tx {
+            // The only way a send fails is every worker having exited,
+            // which only happens after shutdown took `tx`.
+            let _ = tx.send(Box::new(job));
+        }
+    }
+
+    /// Close the queue and join the workers after they drain it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        // Lock only to receive: the guard is a temporary that drops
+        // before the job runs, so workers never serialize on job bodies.
+        let job = match rx.lock().expect("task queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => break, // queue closed and drained
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if result.is_err() {
+            crate::obs::pool_panics_total().inc();
+            event(Level::Error, "exec.task_panicked").emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = TaskPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = TaskPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let pool = TaskPool::new(1);
+        let before = crate::obs::pool_panics_total().get();
+        pool.submit(|| panic!("job goes boom"));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 1, "worker survived");
+        assert!(crate::obs::pool_panics_total().get() > before);
+    }
+
+    #[test]
+    fn at_least_one_worker() {
+        let pool = TaskPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

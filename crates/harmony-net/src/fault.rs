@@ -5,8 +5,10 @@
 //! and injecting faults from a [`FaultPlan`] on a chosen schedule: it
 //! can cut the connection before a request reaches the server, cut it
 //! after the server processed the request but before the response gets
-//! back, truncate a response mid-frame, or delay a response past the
-//! client's deadline. Each of those exercises a different leg of the
+//! back, truncate a response mid-frame, delay a response past the
+//! client's deadline, or trickle a request into the server one byte at
+//! a time (a slowloris, exercising the server's partial-frame
+//! buffering). Each of those exercises a different leg of the
 //! reconnect/resume/replay machinery.
 //!
 //! The schedule is keyed by the proxy-global request-frame counter, so a
@@ -37,6 +39,12 @@ pub enum FaultKind {
     /// Forward the request, sit on the response for the given time,
     /// then deliver it (late — typically past the client's deadline).
     DelayResponse(Duration),
+    /// Forward the request one byte at a time with the given pause
+    /// between bytes — a cooperative slowloris. The server sees the
+    /// frame dribble in and must hold partial-frame state (cheaply)
+    /// until the last byte lands; the conversation then continues
+    /// normally.
+    TrickleForward(Duration),
 }
 
 /// Which request frames get which faults.
@@ -198,8 +206,17 @@ fn relay(mut client: TcpStream, shared: &Arc<ProxyShared>) -> io::Result<()> {
             None
             | Some(FaultKind::CutBeforeResponse)
             | Some(FaultKind::TruncateResponse)
-            | Some(FaultKind::DelayResponse(_)) => {
-                server.write_all(&request)?;
+            | Some(FaultKind::DelayResponse(_))
+            | Some(FaultKind::TrickleForward(_)) => {
+                if let Some(FaultKind::TrickleForward(pause)) = fault {
+                    for byte in &request {
+                        server.write_all(std::slice::from_ref(byte))?;
+                        server.flush()?;
+                        std::thread::sleep(pause);
+                    }
+                } else {
+                    server.write_all(&request)?;
+                }
                 let response = read_raw_frame(&mut server)?;
                 match fault {
                     Some(FaultKind::CutBeforeResponse) => return Ok(()),

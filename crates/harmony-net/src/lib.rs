@@ -13,8 +13,12 @@
 //!   Prometheus text format) available as admin queries.
 //! * [`codec`] — the wire format: each message is one `u32` big-endian
 //!   length prefix followed by that many bytes of JSON.
-//! * [`server`] — [`server::TuningDaemon`], a thread-per-connection
-//!   daemon. All sessions share one experience database: each
+//! * [`server`] — [`server::TuningDaemon`]: on Linux an event-driven
+//!   `epoll` reactor (pipelined requests, a worker pool for request
+//!   execution, a few hundred bytes per idle connection), with the
+//!   original thread-per-connection model kept behind
+//!   `DaemonConfig::threaded` and as the non-Linux fallback.
+//!   All sessions share one experience database: each
 //!   `SessionStart` is classified against it (the §4.2 warm start) and
 //!   each completed session is recorded back into it, so later clients
 //!   train on earlier clients' runs. The database persists to disk
@@ -59,7 +63,10 @@ pub mod codec;
 mod error;
 pub mod fault;
 mod obs;
+pub mod poll;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 
 pub use client::RetryPolicy;

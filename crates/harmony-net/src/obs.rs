@@ -29,6 +29,10 @@
 //! | `harmony_net_sessions_parked` | gauge | disconnected sessions currently parked awaiting `Resume` |
 //! | `harmony_net_session_ttl_expirations_total` | counter | parked sessions reaped at the keepalive TTL |
 //! | `harmony_net_traces_finalized_total` | counter | trace span trees sealed into the flight recorder |
+//! | `harmony_net_reactor_wakeups_total` | counter | reactor event-loop wakeups (`epoll_wait` returns) |
+//! | `harmony_net_reactor_ready_events_depth` | histogram | descriptors ready per event-loop wakeup |
+//! | `harmony_net_reactor_pipelined_requests_total` | counter | requests decoded while an earlier one on the same connection was still queued or executing |
+//! | `harmony_net_reactor_fds_active` | gauge | connections currently registered with the reactor |
 //!
 //! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
 //! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
@@ -211,6 +215,47 @@ handle!(
     )
 );
 
+/// Bucket bounds for the ready-events-per-wakeup histogram: event
+/// counts, not seconds, so the latency buckets don't fit.
+const READY_EVENTS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+
+handle!(
+    reactor_wakeups_total,
+    Counter,
+    global().counter(
+        "harmony_net_reactor_wakeups_total",
+        "Reactor event-loop wakeups (epoll_wait returns).",
+    )
+);
+
+handle!(
+    reactor_ready_events_depth,
+    Histogram,
+    global().histogram(
+        "harmony_net_reactor_ready_events_depth",
+        "Descriptors reported ready per event-loop wakeup.",
+        READY_EVENTS,
+    )
+);
+
+handle!(
+    reactor_pipelined_requests_total,
+    Counter,
+    global().counter(
+        "harmony_net_reactor_pipelined_requests_total",
+        "Requests decoded while an earlier request on the same connection was still queued or executing.",
+    )
+);
+
+handle!(
+    reactor_fds_active,
+    Gauge,
+    global().gauge(
+        "harmony_net_reactor_fds_active",
+        "Connections currently registered with the reactor.",
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -294,6 +339,10 @@ pub(crate) fn preregister() {
     sessions_parked();
     session_ttl_expirations_total();
     traces_finalized_total();
+    reactor_wakeups_total();
+    reactor_ready_events_depth();
+    reactor_pipelined_requests_total();
+    reactor_fds_active();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

@@ -1,0 +1,312 @@
+//! Minimal readiness polling over raw `epoll(7)`, without a libc crate.
+//!
+//! `std` already links the platform C library, so — exactly like the
+//! CLI's `signal(2)` handling — declaring the four `epoll` entry points
+//! ourselves costs a dozen lines instead of a bindings dependency. The
+//! wrapper is deliberately small: level-triggered only, one `u64` token
+//! per registration, and a [`Poller::wait`] that translates raw event
+//! masks into a plain [`Readiness`] struct.
+//!
+//! Only Linux has `epoll`; on other platforms [`Poller::new`] reports
+//! `Unsupported` and the daemon falls back to its thread-per-connection
+//! model (see `DaemonConfig::threaded`).
+
+use std::io;
+
+/// Readiness reported for one registered file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// Data (or EOF) is readable without blocking.
+    pub readable: bool,
+    /// The socket's send buffer has room again.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored; a read will surface
+    /// the details.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    /// The kernel ABI for one epoll event. x86-64 packs the struct so
+    /// the 64-bit payload sits at offset 4; every other Linux target
+    /// uses natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    unsafe extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn close(fd: i32) -> i32;
+    }
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+}
+
+/// Widen an already-listening socket's accept backlog.
+///
+/// `std` hardcodes a backlog of 128 in `TcpListener::bind`, which a
+/// burst of a few hundred simultaneous connects overflows — and an
+/// overflowed SYN is silently dropped, costing that client a full
+/// retransmission timeout (~1s) even if the server drains the queue
+/// microseconds later. POSIX allows calling `listen(2)` again on a
+/// listening socket to update the backlog; the kernel clamps the value
+/// to `net.core.somaxconn`. Best-effort: a failure leaves the original
+/// backlog in place.
+pub fn widen_listen_backlog(listener: &std::net::TcpListener, backlog: i32) {
+    #[cfg(unix)]
+    {
+        use std::os::fd::AsRawFd;
+        unsafe extern "C" {
+            fn listen(fd: i32, backlog: i32) -> i32;
+        }
+        let _ = unsafe { listen(listener.as_raw_fd(), backlog) };
+    }
+    #[cfg(not(unix))]
+    let _ = (listener, backlog);
+}
+
+/// An `epoll` instance owning its descriptor.
+///
+/// Registrations are level-triggered and always watch for readability;
+/// `writable` interest is toggled per descriptor as send buffers fill
+/// and drain. Closing a registered descriptor deregisters it in the
+/// kernel automatically, but [`Poller::remove`] exists for the explicit
+/// path.
+#[derive(Debug)]
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: i32,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Create an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    /// Register `fd` under `token` with the given interest set. With
+    /// both flags false the descriptor still reports hangups and
+    /// errors (the kernel always watches those).
+    pub fn add(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, readable, writable)
+    }
+
+    /// Change an existing registration's interest set.
+    pub fn modify(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, readable, writable)
+    }
+
+    /// Drop a registration.
+    pub fn remove(&self, fd: i32) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, false, false)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        let mut events = 0;
+        if readable {
+            events |= sys::EPOLLIN;
+        }
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Wait up to `timeout_ms` (`-1` blocks indefinitely) and append
+    /// ready descriptors to `out`. Returns how many were appended; an
+    /// interrupting signal reports zero rather than an error.
+    pub fn wait(&self, out: &mut Vec<Readiness>, timeout_ms: i32) -> io::Result<usize> {
+        const CAPACITY: usize = 1024;
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let n =
+            unsafe { sys::epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            let hangup = bits & (sys::EPOLLHUP | sys::EPOLLERR) != 0;
+            out.push(Readiness {
+                token: ev.data,
+                // A hangup is surfaced as readable too: the owner's
+                // next read observes the EOF or the pending error.
+                readable: bits & sys::EPOLLIN != 0 || hangup,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    /// `epoll` does not exist here; callers fall back to the threaded
+    /// connection model.
+    pub fn new() -> io::Result<Poller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only",
+        ))
+    }
+
+    /// Unreachable off Linux (`new` never constructs a `Poller`).
+    pub fn add(&self, _fd: i32, _token: u64, _readable: bool, _writable: bool) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// Unreachable off Linux (`new` never constructs a `Poller`).
+    pub fn modify(
+        &self,
+        _fd: i32,
+        _token: u64,
+        _readable: bool,
+        _writable: bool,
+    ) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// Unreachable off Linux (`new` never constructs a `Poller`).
+    pub fn remove(&self, _fd: i32) -> io::Result<()> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+
+    /// Unreachable off Linux (`new` never constructs a `Poller`).
+    pub fn wait(&self, _out: &mut Vec<Readiness>, _timeout_ms: i32) -> io::Result<usize> {
+        unreachable!("Poller cannot be constructed off Linux")
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn reports_readability_when_bytes_arrive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(rx.as_raw_fd(), 7, true, false).unwrap();
+
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty(), "nothing written yet");
+
+        tx.write_all(b"ping").unwrap();
+        let mut ready = Vec::new();
+        let n = poller.wait(&mut ready, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(ready[0].token, 7);
+        assert!(ready[0].readable);
+    }
+
+    #[test]
+    fn level_triggered_until_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        tx.write_all(b"data").unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(rx.as_raw_fd(), 1, true, false).unwrap();
+        for _ in 0..2 {
+            let mut ready = Vec::new();
+            poller.wait(&mut ready, 1000).unwrap();
+            assert_eq!(ready.len(), 1, "level-triggered: still readable");
+        }
+        let mut buf = [0u8; 16];
+        let _ = rx.read(&mut buf).unwrap();
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty(), "drained: no longer readable");
+    }
+
+    #[test]
+    fn listener_wakes_on_pending_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 9, true, false).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let start = std::time::Instant::now();
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, 3000).unwrap();
+        assert!(
+            ready.iter().any(|r| r.token == 9 && r.readable),
+            "a pending connection must wake the poller"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(500),
+            "wakeup took {:?}: listener readiness did not fire",
+            start.elapsed()
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn writable_interest_toggles() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let poller = Poller::new().unwrap();
+        // An idle socket with write interest is immediately writable.
+        poller.add(tx.as_raw_fd(), 2, true, true).unwrap();
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, 1000).unwrap();
+        assert!(ready.iter().any(|r| r.token == 2 && r.writable));
+        // Dropping write interest silences it.
+        poller.modify(tx.as_raw_fd(), 2, true, false).unwrap();
+        let mut ready = Vec::new();
+        poller.wait(&mut ready, 0).unwrap();
+        assert!(ready.is_empty());
+        poller.remove(tx.as_raw_fd()).unwrap();
+    }
+}

@@ -1,0 +1,658 @@
+//! The event-driven daemon core: one `epoll` loop, per-connection state
+//! machines, and a worker pool executing requests.
+//!
+//! # Architecture
+//!
+//! One reactor thread owns every socket. It waits on a [`Poller`]
+//! (level-triggered `epoll` via raw syscalls — see [`crate::poll`]),
+//! accepts non-blocking connections, and runs a small state machine per
+//! connection:
+//!
+//! * **reading** — readable bytes are pulled into the connection's
+//!   receive buffer (`rbuf`, the same clamped-growth discipline as
+//!   [`crate::codec`]); every *complete* frame is decoded and queued,
+//!   so a client that pipelines requests back-to-back has its whole
+//!   burst parsed while the first request is still executing. Partial
+//!   frames (a slowloris dribbling bytes) simply stay buffered — they
+//!   cost memory proportional to what actually arrived, never a thread.
+//! * **executing** — at most one request per connection is *checked
+//!   out* to the worker pool (a [`harmony_exec::TaskPool`]) at a time,
+//!   which preserves per-connection request ordering while slow work
+//!   (classification, `Resume` grace polling) never blocks the event
+//!   loop. The connection's protocol state travels with the job and
+//!   comes back on the completion channel, together with the encoded
+//!   response frame.
+//! * **writing** — response frames append to the connection's write
+//!   buffer (`wbuf`); the reactor flushes opportunistically and only
+//!   registers `EPOLLOUT` interest while bytes are actually pending.
+//!
+//! Requests themselves run through [`server::serve_request`] — the very
+//! function the thread-per-connection model uses — so protocol
+//! behavior, tracing, and metrics are identical byte for byte; only the
+//! transport scheduling differs. Error parity is deliberate too: a
+//! connection that framed garbage gets one best-effort `Error` frame
+//! and is dropped *without* parking its session, exactly like the
+//! threaded model's early-return path, while a clean EOF at a frame
+//! boundary parks (or records) the session via
+//! [`server::finish_connection`].
+//!
+//! Backpressure: refusals over [`max_connections`] and while draining
+//! reuse the accept-time refusal frames and linger (bounded by
+//! `drain_timeout`) so the peer reads the refusal instead of an RST. A
+//! single connection cannot balloon the daemon either — once its
+//! pipeline backlog hits [`MAX_PIPELINE`] queued requests the reactor
+//! drops read interest until the backlog drains.
+//!
+//! [`max_connections`]: crate::server::DaemonConfig::max_connections
+
+use crate::codec::{self, READ_CHUNK};
+use crate::poll::{Poller, Readiness};
+use crate::protocol::{Request, Response};
+use crate::server::{self, ConnState, Shared, POLL_INTERVAL};
+use harmony_exec::TaskPool;
+use harmony_obs::event::{event, monotonic_us, Level};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Event-loop token for the listening socket.
+const LISTENER: u64 = u64::MAX;
+/// Event-loop token for the worker-completion wakeup pipe.
+const WAKE: u64 = u64::MAX - 1;
+
+/// Per-connection cap on decoded-but-unserved pipelined requests;
+/// beyond it the reactor stops reading from the socket until the
+/// backlog drains, bounding both `rbuf` and the response backlog.
+const MAX_PIPELINE: usize = 32;
+
+/// One request's worth of work queued on a connection.
+enum Work {
+    /// A decoded request plus its `net.read` trace window.
+    Request(Request, Option<(u64, u64)>),
+    /// A framing/decoding error to answer — in order, after everything
+    /// decoded before it — with one best-effort `Error` frame before
+    /// the connection closes (threaded-model parity).
+    Fail(String),
+}
+
+/// A finished request coming back from the worker pool.
+struct Done {
+    token: u64,
+    state: ConnState,
+    /// The encoded response frame (header + payload).
+    frame: Vec<u8>,
+    /// The response failed to encode; treat like a write error.
+    fatal: bool,
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Receive buffer: bytes `rpos..` are unparsed.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Send buffer: bytes `wpos..` are unsent.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Protocol state; `None` while checked out to a worker (or after
+    /// the connection stopped serving).
+    state: Option<ConnState>,
+    in_flight: bool,
+    pending: VecDeque<Work>,
+    /// Clean EOF observed (the peer finished sending).
+    peer_closed: bool,
+    /// Socket error observed; close without parking.
+    dead: bool,
+    /// A real conversation (counted against `max_connections`), as
+    /// opposed to a refusal that only lingers.
+    serving: bool,
+    /// A protocol error was answered; close once the frame is flushed.
+    poisoned: bool,
+    /// Linger/flush bound for refusals and poisoned connections.
+    deadline: Option<Instant>,
+    /// When the currently-buffered partial frame started arriving
+    /// (tracing only — feeds the `net.read` span).
+    frame_start_us: Option<u64>,
+    /// Interest currently registered with the poller.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, serving: bool) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            state: serving.then(ConnState::new),
+            in_flight: false,
+            pending: VecDeque::new(),
+            peer_closed: false,
+            dead: false,
+            serving,
+            poisoned: false,
+            deadline: None,
+            frame_start_us: None,
+            want_read: true,
+            want_write: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+}
+
+/// Entry point: serve `listener` until shutdown. Runs on the daemon's
+/// acceptor thread in place of the threaded accept loop.
+pub(crate) fn reactor_loop(listener: TcpListener, shared: Arc<Shared>) {
+    match Reactor::new(&listener, Arc::clone(&shared)) {
+        Ok((mut reactor, done_rx)) => {
+            reactor.run(&listener, &done_rx);
+            reactor.teardown(&done_rx);
+        }
+        Err(e) => {
+            // No epoll instance means no serving at all — surface it
+            // loudly; the daemon handle still shuts down cleanly.
+            event(Level::Error, "net.reactor_failed")
+                .str("error", e.to_string())
+                .emit();
+        }
+    }
+}
+
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    pool: TaskPool,
+    done_tx: mpsc::Sender<Done>,
+    wake_rx: UnixStream,
+    wake_tx: Arc<UnixStream>,
+    /// Tokens with a linger/flush deadline to sweep.
+    timers: Vec<u64>,
+}
+
+impl Reactor {
+    fn new(
+        listener: &TcpListener,
+        shared: Arc<Shared>,
+    ) -> std::io::Result<(Reactor, mpsc::Receiver<Done>)> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER, true, false)?;
+        // Workers signal completion by writing one byte to this pair;
+        // a socketpair needs no extra syscall declarations, unlike
+        // `pipe(2)`.
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        poller.add(wake_rx.as_raw_fd(), WAKE, true, false)?;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8);
+        let (done_tx, done_rx) = mpsc::channel();
+        Ok((
+            Reactor {
+                shared,
+                poller,
+                conns: HashMap::new(),
+                pool: TaskPool::new(workers),
+                done_tx,
+                wake_rx,
+                wake_tx: Arc::new(wake_tx),
+                timers: Vec::new(),
+            },
+            done_rx,
+        ))
+    }
+
+    fn run(&mut self, listener: &TcpListener, done_rx: &mpsc::Receiver<Done>) {
+        let mut ready: Vec<Readiness> = Vec::new();
+        loop {
+            ready.clear();
+            let timeout = POLL_INTERVAL.as_millis() as i32;
+            if let Err(e) = self.poller.wait(&mut ready, timeout) {
+                event(Level::Error, "net.reactor_failed")
+                    .str("error", e.to_string())
+                    .emit();
+                return;
+            }
+            crate::obs::reactor_wakeups_total().inc();
+            crate::obs::reactor_ready_events_depth().observe(ready.len() as f64);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            for ev in &ready {
+                match ev.token {
+                    LISTENER => self.accept_ready(listener),
+                    WAKE => drain_wake(&self.wake_rx),
+                    token => self.pump(token, ev.readable, ev.writable),
+                }
+            }
+            while let Ok(done) = done_rx.try_recv() {
+                self.on_done(done);
+            }
+            self.sweep_timers();
+        }
+    }
+
+    /// Accept until the listener would block.
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Small-frame request/response traffic: without TCP_NODELAY
+            // every exchange eats a Nagle delay.
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                crate::obs::draining_responses_total().inc();
+                self.install_refusal(stream, &Response::Draining);
+            } else if self.shared.active.load(Ordering::SeqCst)
+                >= self.shared.config.max_connections
+            {
+                crate::obs::connections_refused_total().inc();
+                event(Level::Warn, "net.connection_refused")
+                    .u64("max_connections", self.shared.config.max_connections as u64)
+                    .emit();
+                self.install_refusal(
+                    stream,
+                    &Response::Error {
+                        message: "server busy: connection limit reached".into(),
+                    },
+                );
+            } else {
+                self.shared.active.fetch_add(1, Ordering::SeqCst);
+                crate::obs::connections_total().inc();
+                crate::obs::connections_active().inc();
+                let conn = Conn::new(stream, true);
+                if let Some(token) = self.register(conn) {
+                    self.pump(token, true, false);
+                }
+            }
+        }
+    }
+
+    /// A refusal conversation: one pre-encoded frame, then linger until
+    /// the peer hangs up or `drain_timeout` passes (the non-blocking
+    /// equivalent of the threaded model's `linger_close`).
+    fn install_refusal(&mut self, stream: TcpStream, response: &Response) {
+        let mut conn = Conn::new(stream, false);
+        if codec::encode_frame(response, &mut conn.wbuf).is_err() {
+            return; // both refusal frames always encode
+        }
+        conn.deadline = Some(Instant::now() + self.shared.config.drain_timeout);
+        if let Some(token) = self.register(conn) {
+            self.timers.push(token);
+            self.flush(token);
+            self.maybe_close(token);
+        }
+    }
+
+    /// Put a connection under the poller, keyed by its fd.
+    fn register(&mut self, conn: Conn) -> Option<u64> {
+        let fd = conn.stream.as_raw_fd();
+        let token = fd as u64;
+        if self
+            .poller
+            .add(fd, token, conn.want_read, conn.want_write)
+            .is_err()
+        {
+            if conn.serving {
+                self.shared.active.fetch_sub(1, Ordering::SeqCst);
+                crate::obs::connections_active().dec();
+            }
+            return None;
+        }
+        crate::obs::reactor_fds_active().inc();
+        self.conns.insert(token, conn);
+        Some(token)
+    }
+
+    /// Drive one connection through read → parse → dispatch → write.
+    fn pump(&mut self, token: u64, readable: bool, writable: bool) {
+        if readable {
+            self.read_ready(token);
+        }
+        self.dispatch(token);
+        if writable || readable {
+            self.flush(token);
+        }
+        self.maybe_close(token);
+    }
+
+    /// Pull whatever the socket has, then decode complete frames.
+    fn read_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.dead || conn.peer_closed || !conn.want_read {
+            return;
+        }
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    if conn.serving && !conn.poisoned {
+                        conn.rbuf.extend_from_slice(&buf[..n]);
+                    }
+                    // Refusals and poisoned connections read to
+                    // discard: the linger drain.
+                    if conn.pending.len() >= MAX_PIPELINE {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        parse_frames(conn);
+        // Pipeline backpressure: a backlogged connection loses read
+        // interest until workers catch up, so neither `rbuf` nor the
+        // response backlog grows without bound.
+        let want = !conn.peer_closed && !conn.dead && conn.pending.len() < MAX_PIPELINE;
+        if want != conn.want_read {
+            conn.want_read = want;
+            let (r, w) = (conn.want_read, conn.want_write);
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, r, w);
+        }
+    }
+
+    /// Hand the next queued request to the worker pool (one in flight
+    /// per connection keeps responses in request order).
+    fn dispatch(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.in_flight || conn.dead || conn.poisoned || conn.state.is_none() {
+            return;
+        }
+        match conn.pending.pop_front() {
+            None => {}
+            Some(Work::Fail(message)) => {
+                // Threaded parity: one best-effort Error frame, then
+                // the connection is done and its session is dropped
+                // without parking.
+                let mut frame = Vec::new();
+                if codec::encode_frame(&Response::Error { message }, &mut frame).is_ok() {
+                    conn.wbuf.extend_from_slice(&frame);
+                }
+                conn.poisoned = true;
+                conn.state = None;
+                conn.pending.clear();
+                conn.deadline = Some(Instant::now() + self.shared.config.drain_timeout);
+                self.timers.push(token);
+            }
+            Some(Work::Request(request, window)) => {
+                let mut state = conn.state.take().expect("state present: checked above");
+                conn.in_flight = true;
+                let shared = Arc::clone(&self.shared);
+                let tx = self.done_tx.clone();
+                let wake = Arc::clone(&self.wake_tx);
+                self.pool.submit(move || {
+                    let mut frame = Vec::new();
+                    let result =
+                        server::serve_request(request, window, &mut state, &shared, &mut |resp| {
+                            codec::encode_frame(resp, &mut frame)
+                        });
+                    let fatal = result.is_err();
+                    let _ = tx.send(Done {
+                        token,
+                        state,
+                        frame,
+                        fatal,
+                    });
+                    // A full wakeup pipe already guarantees a wakeup.
+                    let _ = (&*wake).write(&[1]);
+                });
+            }
+        }
+    }
+
+    /// A worker finished: bank the response, restore the state, and
+    /// keep the connection moving.
+    fn on_done(&mut self, done: Done) {
+        let Some(conn) = self.conns.get_mut(&done.token) else {
+            return; // connection died while the request ran
+        };
+        conn.in_flight = false;
+        if done.fatal {
+            // An unencodable response is the reactor's version of the
+            // threaded model's write error: drop the connection and its
+            // session.
+            conn.dead = true;
+        } else {
+            conn.wbuf.extend_from_slice(&done.frame);
+            conn.state = Some(done.state);
+        }
+        // Serving the backlog may have been paused at MAX_PIPELINE;
+        // popping one request may re-enable reading.
+        let want = !conn.peer_closed && !conn.dead && conn.pending.len() < MAX_PIPELINE;
+        if want != conn.want_read {
+            conn.want_read = want;
+            let (r, w) = (conn.want_read, conn.want_write);
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), done.token, r, w);
+        }
+        self.dispatch(done.token);
+        self.flush(done.token);
+        self.maybe_close(done.token);
+    }
+
+    /// Write as much of `wbuf` as the socket accepts; keep `EPOLLOUT`
+    /// interest only while bytes remain.
+    fn flush(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        if conn.flushed() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+        let want = !conn.flushed() && !conn.dead;
+        if want != conn.want_write {
+            conn.want_write = want;
+            let (r, w) = (conn.want_read, conn.want_write);
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, r, w);
+        }
+    }
+
+    /// Decide whether this connection's conversation is over.
+    fn maybe_close(&mut self, token: u64) {
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if conn.in_flight {
+            return; // wait for the worker; `on_done` re-checks
+        }
+        let expired = conn.deadline.is_some_and(|d| Instant::now() >= d);
+        let done = if conn.dead {
+            true
+        } else if conn.poisoned {
+            // The threaded model closes right after its best-effort
+            // error write; wait only for the flush (bounded).
+            conn.flushed() || expired
+        } else if !conn.serving {
+            // A refusal lingers so the peer reads it before the close.
+            (conn.flushed() && conn.peer_closed) || expired
+        } else {
+            conn.peer_closed && conn.pending.is_empty() && conn.flushed()
+        };
+        if done {
+            self.close(token);
+        }
+    }
+
+    /// Tear a connection down and settle its session.
+    fn close(&mut self, token: u64) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        crate::obs::reactor_fds_active().dec();
+        if conn.serving {
+            self.shared.active.fetch_sub(1, Ordering::SeqCst);
+            crate::obs::connections_active().dec();
+        }
+        // EOF inside a frame is an error, not a clean goodbye — the
+        // threaded model drops the session in that case too.
+        let mid_frame = conn.rpos < conn.rbuf.len();
+        if let Some(mut state) = conn.state.take() {
+            if !conn.dead && !mid_frame {
+                server::finish_connection(&mut state, &self.shared);
+            }
+        }
+    }
+
+    /// Close refusals and poisoned connections whose deadline passed.
+    fn sweep_timers(&mut self) {
+        if self.timers.is_empty() {
+            return;
+        }
+        let due: Vec<u64> = self
+            .timers
+            .iter()
+            .copied()
+            .filter(|t| {
+                self.conns
+                    .get(t)
+                    .is_some_and(|c| c.deadline.is_some_and(|d| Instant::now() >= d))
+            })
+            .collect();
+        for token in due {
+            self.maybe_close(token);
+        }
+        self.timers.retain(|t| self.conns.contains_key(t));
+    }
+
+    /// Shutdown: let checked-out requests finish (their responses still
+    /// go out best-effort, like the threaded model completing its
+    /// current request), then settle every connection — parking tokened
+    /// sessions for the sessions file, recording v1 ones.
+    fn teardown(&mut self, done_rx: &mpsc::Receiver<Done>) {
+        for conn in self.conns.values_mut() {
+            // Already-decoded-but-unserved requests are dropped, the
+            // same as bytes the threaded model never read.
+            conn.pending.clear();
+        }
+        while self.conns.values().any(|c| c.in_flight) {
+            match done_rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(done) => self.on_done(done),
+                Err(_) => break,
+            }
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.flush(token);
+            self.close(token);
+        }
+    }
+}
+
+/// Swallow queued wakeup bytes (their only job was ending `epoll_wait`).
+fn drain_wake(mut wake_rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// Decode every complete frame sitting in `rbuf` into `pending`.
+fn parse_frames(conn: &mut Conn) {
+    if !conn.serving || conn.poisoned || conn.dead {
+        return;
+    }
+    loop {
+        let avail = conn.rbuf.len() - conn.rpos;
+        if avail < 4 {
+            break;
+        }
+        let header: [u8; 4] = conn.rbuf[conn.rpos..conn.rpos + 4]
+            .try_into()
+            .expect("4 bytes checked");
+        let len = match codec::check_len(u32::from_be_bytes(header)) {
+            Ok(len) => len,
+            Err(e) => {
+                conn.pending.push_back(Work::Fail(e.to_string()));
+                break;
+            }
+        };
+        if avail < 4 + len {
+            // Partial frame: note (once) when its payload started
+            // arriving so the eventual `net.read` span covers the wait,
+            // matching the threaded reader's window.
+            if conn.frame_start_us.is_none() && harmony_obs::trace::is_enabled() {
+                conn.frame_start_us = Some(monotonic_us());
+            }
+            break;
+        }
+        let payload = &conn.rbuf[conn.rpos + 4..conn.rpos + 4 + len];
+        match codec::decode_payload::<Request>(payload) {
+            Ok(request) => {
+                conn.rpos += 4 + len;
+                let window = harmony_obs::trace::is_enabled().then(|| {
+                    let end = monotonic_us();
+                    (conn.frame_start_us.take().unwrap_or(end), end)
+                });
+                conn.frame_start_us = None;
+                if conn.in_flight || !conn.pending.is_empty() {
+                    crate::obs::reactor_pipelined_requests_total().inc();
+                }
+                conn.pending.push_back(Work::Request(request, window));
+            }
+            Err(e) => {
+                conn.rpos += 4 + len;
+                conn.pending.push_back(Work::Fail(e.to_string()));
+                break;
+            }
+        }
+    }
+    // Reclaim consumed bytes so a long-lived connection's buffer stays
+    // at its frame-size steady state.
+    if conn.rpos > 0 {
+        conn.rbuf.drain(..conn.rpos);
+        conn.rpos = 0;
+    }
+}

@@ -1,10 +1,21 @@
 //! The tuning daemon: a TCP server sharing one experience database
 //! across all client sessions.
 //!
-//! Threading model: one acceptor thread plus one thread per live
-//! connection, capped at [`DaemonConfig::max_connections`]. Connections
-//! over the cap get an in-protocol `Error` and are closed immediately
-//! rather than queued, so a stalled client cannot starve new ones.
+//! Threading model: on Linux the default is an event-driven reactor
+//! (`reactor` module) — one `epoll` event loop owning every
+//! connection's read/write buffers plus a small worker pool (a
+//! [`harmony_exec::TaskPool`]) that executes requests, so the cost of
+//! an idle connection is a few hundred bytes of state instead of a
+//! thread stack, and requests pipelined on one connection are parsed
+//! while earlier ones execute. The original thread-per-connection model
+//! (one acceptor thread plus one thread per live connection) is kept
+//! behind [`DaemonConfig::threaded`] — the same honest-comparison
+//! pattern as [`DaemonConfig::legacy_lock`] — and remains the fallback
+//! on platforms without `epoll`. Both models refuse connections over
+//! [`DaemonConfig::max_connections`] with an in-protocol `Error` rather
+//! than queuing, so a stalled client cannot starve new ones, and both
+//! funnel every request through the same `serve_request` path, so
+//! protocol behavior is identical byte for byte.
 //!
 //! The experience database is an **atomic snapshot**: readers
 //! (`SessionStart` classification, `DbQuery`) grab an
@@ -50,8 +61,9 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How often blocked reads wake up to check for shutdown.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How often blocked reads (and the reactor's event wait) wake up to
+/// check for shutdown.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Daemon settings.
 #[derive(Debug, Clone)]
@@ -87,6 +99,12 @@ pub struct DaemonConfig {
     /// synchronous whole-file persistence on the request thread. Kept so
     /// `bench_daemon --legacy-lock` can measure the old behavior.
     pub legacy_lock: bool,
+    /// Serve with the original thread-per-connection model instead of
+    /// the event-driven reactor. Kept (like `legacy_lock`) so
+    /// `bench_c10k --threaded` can measure the difference honestly; also
+    /// the forced fallback on platforms without `epoll`. Protocol
+    /// behavior is identical either way.
+    pub threaded: bool,
     /// Name reported in the `Hello` exchange.
     pub server_name: String,
     /// How long a disconnected session stays parked awaiting
@@ -120,6 +138,7 @@ impl Default for DaemonConfig {
             save_every: 1,
             compact_every: 64,
             legacy_lock: false,
+            threaded: false,
             server_name: "harmony-net".into(),
             session_ttl: Duration::from_secs(30),
             drain_timeout: Duration::from_millis(200),
@@ -248,7 +267,7 @@ struct ParkedSession {
 /// caches the `SessionSummary` of finished sessions so a client that
 /// lost the final response can replay `SessionEnd` idempotently. Both
 /// sides expire at [`DaemonConfig::session_ttl`].
-struct SessionRegistry {
+pub(crate) struct SessionRegistry {
     parked: Mutex<HashMap<String, ParkedSession>>,
     completed: Mutex<HashMap<String, (Response, Instant)>>,
     counter: AtomicU64,
@@ -368,14 +387,14 @@ impl SessionRegistry {
     }
 }
 
-struct Shared {
-    config: DaemonConfig,
+pub(crate) struct Shared {
+    pub(crate) config: DaemonConfig,
     backend: Backend,
-    registry: SessionRegistry,
-    active: AtomicUsize,
+    pub(crate) registry: SessionRegistry,
+    pub(crate) active: AtomicUsize,
     completed: AtomicUsize,
-    shutdown: AtomicBool,
-    draining: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) draining: AtomicBool,
 }
 
 impl Shared {
@@ -584,6 +603,7 @@ impl TuningDaemon {
             .str("addr", addr.to_string())
             .u64("db_runs", db.len() as u64)
             .bool("legacy_lock", false)
+            .bool("threaded", config.threaded)
             .emit();
         let (tx, rx) = match sink {
             Some(_) => {
@@ -619,10 +639,7 @@ impl TuningDaemon {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || reaper_loop(&shared))
         };
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
-        };
+        let acceptor = spawn_serving_loop(listener, Arc::clone(&shared));
         Ok(DaemonHandle {
             addr,
             shared,
@@ -649,6 +666,7 @@ impl TuningDaemon {
             .str("addr", addr.to_string())
             .u64("db_runs", db.len() as u64)
             .bool("legacy_lock", true)
+            .bool("threaded", config.threaded)
             .emit();
         let registry = SessionRegistry::new();
         if let Some(path) = &config.db_path {
@@ -667,10 +685,7 @@ impl TuningDaemon {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || reaper_loop(&shared))
         };
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
-        };
+        let acceptor = spawn_serving_loop(listener, Arc::clone(&shared));
         Ok(DaemonHandle {
             addr,
             shared,
@@ -892,6 +907,23 @@ fn persist_failure(what: &'static str, e: &DbError) {
     event(Level::Error, what).str("error", e.to_string()).emit();
 }
 
+/// Start the configured connection-serving model: the epoll reactor by
+/// default, the thread-per-connection loop when
+/// [`DaemonConfig::threaded`] asks for it — or unconditionally on
+/// platforms without `epoll`.
+fn spawn_serving_loop(listener: TcpListener, shared: Arc<Shared>) -> JoinHandle<()> {
+    // `std` binds with a 128-entry accept backlog; a burst of a few
+    // hundred simultaneous connects overflows that, and every dropped
+    // SYN costs its client a ~1s retransmission timeout. Both serving
+    // models get the wider queue (the kernel clamps it to somaxconn).
+    crate::poll::widen_listen_backlog(&listener, 4096);
+    #[cfg(target_os = "linux")]
+    if !shared.config.threaded {
+        return std::thread::spawn(move || crate::reactor::reactor_loop(listener, shared));
+    }
+    std::thread::spawn(move || accept_loop(listener, shared))
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let workers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     for stream in listener.incoming() {
@@ -899,6 +931,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
+        // Request/response frames are small; without TCP_NODELAY every
+        // exchange eats a Nagle delay. Refusal frames benefit too, so
+        // set it before any write.
+        let _ = stream.set_nodelay(true);
         if shared.draining.load(Ordering::SeqCst) {
             // A draining daemon accepts no new conversations; the peer
             // reads the refusal, backs off, and resumes against the
@@ -948,15 +984,15 @@ fn linger_close(mut stream: TcpStream, timeout: Duration) {
 }
 
 /// Per-connection session state.
-struct ActiveSession {
-    session: TuningSession,
-    label: String,
+pub(crate) struct ActiveSession {
+    pub(crate) session: TuningSession,
+    pub(crate) label: String,
     characteristics: Vec<f64>,
     /// The prior run selected at `SessionStart`, kept for `Sensitivity`.
     prior: Option<RunHistory>,
     /// Resume token, issued on protocol ≥ 2 connections. A tokened
     /// session parks on disconnect instead of being abandoned.
-    token: Option<String>,
+    pub(crate) token: Option<String>,
     /// The next `Report` sequence number accepted; everything below it
     /// was already observed and a replay answers `Reported` unchanged.
     next_seq: u64,
@@ -964,8 +1000,8 @@ struct ActiveSession {
 
 /// Per-connection protocol state: the live session plus what `Hello`
 /// negotiated.
-struct ConnState {
-    active: Option<ActiveSession>,
+pub(crate) struct ConnState {
+    pub(crate) active: Option<ActiveSession>,
     /// Negotiated protocol version. Tokens and sequence numbers only
     /// exist from version 2 on.
     version: u32,
@@ -974,16 +1010,23 @@ struct ConnState {
     completed_token: Option<String>,
 }
 
+impl ConnState {
+    /// The state a connection starts in, before `Hello` negotiates
+    /// anything: the oldest supported protocol version (a client that
+    /// skips `Hello` gets v1 semantics) and no session.
+    pub(crate) fn new() -> ConnState {
+        ConnState {
+            active: None,
+            version: MIN_SUPPORTED_VERSION,
+            completed_token: None,
+        }
+    }
+}
+
 fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetError> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_nodelay(true)?;
-    let mut conn = ConnState {
-        active: None,
-        // Before Hello negotiates anything, speak the oldest supported
-        // version: a client that skips Hello gets v1 semantics.
-        version: MIN_SUPPORTED_VERSION,
-        completed_token: None,
-    };
+    let mut conn = ConnState::new();
     // Connection-lifetime scratch: request payloads land in `rbuf`,
     // response frames are assembled in `wbuf`, so the steady state
     // allocates nothing for framing.
@@ -1005,103 +1048,19 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
                 return Err(e);
             }
         };
-        // Unwrap the trace envelope, if any: absorb piggybacked client
-        // spans (rebased onto this process's clock) and remember the
-        // propagated context so the serve span joins the caller's trace.
-        let (request, tctx) = match request {
-            Request::Traced {
-                trace_id,
-                parent_span,
-                spans,
-                request,
-            } => {
-                if trace::is_enabled() && !spans.is_empty() {
-                    trace::ingest(trace_id, spans.into_iter().map(Into::into).collect(), true);
-                }
-                (
-                    *request,
-                    Some(TraceContext {
-                        trace_id,
-                        span_id: parent_span,
-                    }),
-                )
-            }
-            other => (other, None),
-        };
-        let is_session_end = matches!(request, Request::SessionEnd);
-        let metrics = crate::obs::request_metrics(request.kind());
-        let timer = metrics.seconds.start_timer();
-        // Bare requests on a tracing daemon each get a fresh root trace;
-        // traced requests continue the caller's.
-        let mut serve_span = match tctx {
-            Some(ctx) => trace::continue_from(ctx, stage::SERVE, request.kind()),
-            None => trace::start_root(stage::SERVE, request.kind()),
-        };
-        let fresh_root = match (&tctx, serve_span.context()) {
-            (None, Some(ctx)) => Some(ctx.trace_id),
-            _ => None,
-        };
-        if let Some(ctx) = serve_span.context() {
-            if let Some((start_us, end_us)) = read_window {
-                // The frame read finished before the serve span opened, so
-                // it is recorded by hand: under the propagated parent when
-                // there is one, else under the fresh root.
-                let parent = tctx.map(|c| c.span_id).unwrap_or(ctx.span_id);
-                trace::record_span(
-                    ctx.trace_id,
-                    trace::new_id(),
-                    parent,
-                    stage::NET_READ,
-                    "",
-                    start_us,
-                    end_us,
-                    false,
-                );
-            }
-        }
-        let response = handle_request(request, &mut conn, shared);
-        if matches!(response, Response::Error { .. }) {
-            crate::obs::errors_total().inc();
-            serve_span.mark_error();
-        }
-        if is_session_end {
-            // A session's trace closes with the session — and it must be
-            // sealed BEFORE the response unblocks the client: an
-            // in-process client shares this recorder, and its
-            // post-response cleanup would otherwise race the finalize
-            // and discard the spans first. (The SessionEnd latency
-            // histogram consequently excludes response-write time.)
-            drop(timer);
-            drop(serve_span);
-            match tctx {
-                Some(ctx) => {
-                    trace::finalize_with_root(ctx.trace_id, ctx.span_id);
-                    crate::obs::traces_finalized_total().inc();
-                }
-                None => {
-                    if let Some(trace_id) = fresh_root {
-                        trace::finalize_with_root(trace_id, 0);
-                        crate::obs::traces_finalized_total().inc();
-                    }
-                }
-            }
-            write_frame_buf(stream, &response, &mut wbuf)?;
-            metrics.total.inc();
-        } else {
-            write_frame_buf(stream, &response, &mut wbuf)?;
-            // The timer drops while the serve span is still current so
-            // the request-latency histogram picks up an exemplar trace
-            // id.
-            drop(timer);
-            metrics.total.inc();
-            drop(serve_span);
-            // A bare request's fresh root closes with its response.
-            if let Some(trace_id) = fresh_root {
-                trace::finalize_with_root(trace_id, 0);
-                crate::obs::traces_finalized_total().inc();
-            }
-        }
+        serve_request(request, read_window, &mut conn, shared, &mut |response| {
+            write_frame_buf(stream, response, &mut wbuf)
+        })?;
     }
+    finish_connection(&mut conn, shared);
+    Ok(())
+}
+
+/// Clean-disconnect teardown, shared by both connection models: park a
+/// tokened session for `Resume`, fold an abandoned v1 session's
+/// measurements into the experience database. Error paths deliberately
+/// skip this — an errored connection drops its session.
+pub(crate) fn finish_connection(conn: &mut ConnState, shared: &Shared) {
     if let Some(sess) = conn.active.take() {
         match sess.token.clone() {
             // A tokened session parks, waiting for `Resume` on a new
@@ -1125,6 +1084,118 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
                     record_session(sess, shared);
                 }
             }
+        }
+    }
+}
+
+/// Serve one decoded request end to end: unwrap the trace envelope,
+/// time it, open the serve span, dispatch to [`handle_request`], and
+/// emit the response through `write` with the protocol-required
+/// ordering (a `SessionEnd`'s trace is sealed *before* its response
+/// unblocks the client). Both connection models — the threaded loop and
+/// the reactor's worker pool — funnel through here, so their observable
+/// behavior cannot drift.
+pub(crate) fn serve_request(
+    request: Request,
+    read_window: Option<(u64, u64)>,
+    conn: &mut ConnState,
+    shared: &Shared,
+    write: &mut dyn FnMut(&Response) -> Result<(), NetError>,
+) -> Result<(), NetError> {
+    // Unwrap the trace envelope, if any: absorb piggybacked client
+    // spans (rebased onto this process's clock) and remember the
+    // propagated context so the serve span joins the caller's trace.
+    let (request, tctx) = match request {
+        Request::Traced {
+            trace_id,
+            parent_span,
+            spans,
+            request,
+        } => {
+            if trace::is_enabled() && !spans.is_empty() {
+                trace::ingest(trace_id, spans.into_iter().map(Into::into).collect(), true);
+            }
+            (
+                *request,
+                Some(TraceContext {
+                    trace_id,
+                    span_id: parent_span,
+                }),
+            )
+        }
+        other => (other, None),
+    };
+    let is_session_end = matches!(request, Request::SessionEnd);
+    let metrics = crate::obs::request_metrics(request.kind());
+    let timer = metrics.seconds.start_timer();
+    // Bare requests on a tracing daemon each get a fresh root trace;
+    // traced requests continue the caller's.
+    let mut serve_span = match tctx {
+        Some(ctx) => trace::continue_from(ctx, stage::SERVE, request.kind()),
+        None => trace::start_root(stage::SERVE, request.kind()),
+    };
+    let fresh_root = match (&tctx, serve_span.context()) {
+        (None, Some(ctx)) => Some(ctx.trace_id),
+        _ => None,
+    };
+    if let Some(ctx) = serve_span.context() {
+        if let Some((start_us, end_us)) = read_window {
+            // The frame read finished before the serve span opened, so
+            // it is recorded by hand: under the propagated parent when
+            // there is one, else under the fresh root.
+            let parent = tctx.map(|c| c.span_id).unwrap_or(ctx.span_id);
+            trace::record_span(
+                ctx.trace_id,
+                trace::new_id(),
+                parent,
+                stage::NET_READ,
+                "",
+                start_us,
+                end_us,
+                false,
+            );
+        }
+    }
+    let response = handle_request(request, conn, shared);
+    if matches!(response, Response::Error { .. }) {
+        crate::obs::errors_total().inc();
+        serve_span.mark_error();
+    }
+    if is_session_end {
+        // A session's trace closes with the session — and it must be
+        // sealed BEFORE the response unblocks the client: an
+        // in-process client shares this recorder, and its
+        // post-response cleanup would otherwise race the finalize
+        // and discard the spans first. (The SessionEnd latency
+        // histogram consequently excludes response-write time.)
+        drop(timer);
+        drop(serve_span);
+        match tctx {
+            Some(ctx) => {
+                trace::finalize_with_root(ctx.trace_id, ctx.span_id);
+                crate::obs::traces_finalized_total().inc();
+            }
+            None => {
+                if let Some(trace_id) = fresh_root {
+                    trace::finalize_with_root(trace_id, 0);
+                    crate::obs::traces_finalized_total().inc();
+                }
+            }
+        }
+        write(&response)?;
+        metrics.total.inc();
+    } else {
+        write(&response)?;
+        // The timer drops while the serve span is still current so
+        // the request-latency histogram picks up an exemplar trace
+        // id.
+        drop(timer);
+        metrics.total.inc();
+        drop(serve_span);
+        // A bare request's fresh root closes with its response.
+        if let Some(trace_id) = fresh_root {
+            trace::finalize_with_root(trace_id, 0);
+            crate::obs::traces_finalized_total().inc();
         }
     }
     Ok(())
@@ -1433,7 +1504,7 @@ fn resolve_space(spec: SpaceSpec) -> Result<ParameterSpace, String> {
 
 /// Fold a finished (or abandoned) session into the shared database and
 /// answer with its summary.
-fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
+pub(crate) fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
     let outcome = sess.session.finish();
     let summary = Response::SessionSummary {
         values: outcome.best_configuration.values().to_vec(),
@@ -1699,6 +1770,10 @@ mod tests {
             "harmony_net_sessions_parked",
             "harmony_net_session_ttl_expirations_total",
             "harmony_net_traces_finalized_total",
+            "harmony_net_reactor_wakeups_total",
+            "harmony_net_reactor_ready_events_depth",
+            "harmony_net_reactor_pipelined_requests_total",
+            "harmony_net_reactor_fds_active",
             "harmony_db_wal_appends_total",
             "harmony_db_wal_flush_seconds",
             "harmony_db_compactions_total",

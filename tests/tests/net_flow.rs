@@ -9,11 +9,14 @@
 
 use harmony::prelude::*;
 use harmony_net::client::Client;
-use harmony_net::protocol::SpaceSpec;
+use harmony_net::fault::{FaultKind, FaultPlan, FaultProxy};
+use harmony_net::protocol::{Request, SpaceSpec};
 use harmony_net::server::{DaemonConfig, TuningDaemon};
 use harmony_net::NetError;
 use harmony_space::{Configuration, ParamDef, ParameterSpace};
 use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 
 fn space() -> ParameterSpace {
@@ -250,7 +253,10 @@ fn stats_exposition_parses_with_consistent_histograms() {
         .lines()
         .filter(|l| l.starts_with("harmony_net_request_seconds_bucket{type=\"Fetch\""))
     {
-        let v: f64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        // Strip an OpenMetrics exemplar, if one is attached: the
+        // cumulative count is what precedes the ` # ` marker.
+        let sample = line.split(" # ").next().unwrap_or(line);
+        let v: f64 = sample.rsplit_once(' ').unwrap().1.parse().unwrap();
         assert!(v >= last, "bucket not cumulative: {line}");
         last = v;
         buckets += 1;
@@ -433,4 +439,228 @@ fn periodic_compaction_matches_the_live_database() {
     handle.shutdown();
     std::fs::remove_file(&db).ok();
     std::fs::remove_file(&wal).ok();
+}
+
+// ---------------------------------------------------------------------
+// Reactor-era flows: request pipelining, slowloris isolation, raw v1
+// clients, and reactor/threaded trajectory parity. The raw-socket
+// helpers speak protocol v1 (no Hello), framing requests by hand.
+
+/// Encode one request as a length-prefixed wire frame.
+fn raw_frame(req: &Request) -> Vec<u8> {
+    let payload = serde_json::to_vec(req).unwrap();
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&payload);
+    buf
+}
+
+/// Read one response frame, returning its externally-tagged enum tag
+/// (`"Config"`, `"SessionSummary"`, …) plus the raw JSON payload.
+fn read_raw_response(stream: &mut TcpStream) -> (String, String) {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    let text = String::from_utf8(payload).unwrap();
+    let tag = text.split('"').nth(1).unwrap_or("").to_string();
+    (tag, text)
+}
+
+fn session_start_request(characteristics: Vec<f64>, max_iterations: Option<usize>) -> Request {
+    Request::SessionStart {
+        space: SpaceSpec::Explicit(space()),
+        label: "raw".into(),
+        characteristics,
+        max_iterations,
+    }
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_answer_in_order() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let before = stats_snapshot(handle.addr());
+
+    // A whole session's worth of requests in one burst: the server must
+    // answer each in order, never interleaving or dropping one.
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&raw_frame(&session_start_request(vec![3.0, 4.0], Some(10))));
+    burst.extend_from_slice(&raw_frame(&Request::Fetch));
+    burst.extend_from_slice(&raw_frame(&Request::Report {
+        performance: 50.0,
+        seq: None,
+    }));
+    burst.extend_from_slice(&raw_frame(&Request::Fetch));
+    burst.extend_from_slice(&raw_frame(&Request::SessionEnd));
+    stream.write_all(&burst).unwrap();
+
+    let tags: Vec<String> = (0..5).map(|_| read_raw_response(&mut stream).0).collect();
+    assert_eq!(
+        tags,
+        [
+            "SessionStarted",
+            "Config",
+            "Reported",
+            "Config",
+            "SessionSummary"
+        ],
+        "pipelined responses must come back in request order"
+    );
+
+    // On Linux the reactor serves this connection, and decoding requests
+    // behind an unfinished one is exactly what its pipelining counter
+    // counts. (Elsewhere the threaded fallback serves it: same bytes,
+    // no reactor series.)
+    if cfg!(target_os = "linux") {
+        let after = stats_snapshot(handle.addr());
+        assert!(
+            series(&after, "harmony_net_reactor_pipelined_requests_total")
+                > series(&before, "harmony_net_reactor_pipelined_requests_total"),
+            "a single-burst session must register pipelined requests"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_connection_does_not_stall_others() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let addr = handle.addr();
+
+    // The proxy dribbles the very first request frame into the daemon a
+    // byte at a time; a ~300-byte SessionStart takes seconds to arrive.
+    let proxy = FaultProxy::start(
+        addr,
+        FaultPlan::at([(
+            0,
+            FaultKind::TrickleForward(std::time::Duration::from_millis(8)),
+        )]),
+    )
+    .unwrap();
+    let proxy_addr = proxy.addr();
+    let slow = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(proxy_addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .unwrap();
+        stream
+            .write_all(&raw_frame(&session_start_request(vec![8.0, 9.0], Some(5))))
+            .unwrap();
+        let (tag, _) = read_raw_response(&mut stream);
+        (tag, std::time::Instant::now())
+    });
+
+    // Meanwhile a direct client runs an entire tuning session. If the
+    // server held a thread (or the reactor's event loop) hostage to the
+    // dribbling frame, this would stall behind it.
+    let (_, summary) = run_session(addr, "direct-past-slowloris", vec![1.0, 2.0]);
+    let direct_done = std::time::Instant::now();
+    assert!(summary.performance > 190.0);
+
+    let (tag, slow_done) = slow.join().unwrap();
+    assert_eq!(tag, "SessionStarted", "the dribbled frame still lands");
+    assert!(
+        direct_done < slow_done,
+        "a full direct session must finish while the slowloris frame is still dribbling"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn raw_v1_client_tunes_end_to_end() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+
+    // No Hello: the first request lands on a fresh connection, which the
+    // server must treat as protocol v1 — served, but no session token.
+    stream
+        .write_all(&raw_frame(&session_start_request(vec![0.3, 0.7], Some(5))))
+        .unwrap();
+    let (tag, payload) = read_raw_response(&mut stream);
+    assert_eq!(tag, "SessionStarted");
+    assert!(
+        payload.contains("\"session_token\":null"),
+        "v1 connections get no resume token: {payload}"
+    );
+
+    let mut reports = 0;
+    loop {
+        stream.write_all(&raw_frame(&Request::Fetch)).unwrap();
+        let (tag, _) = read_raw_response(&mut stream);
+        if tag == "Done" {
+            break;
+        }
+        assert_eq!(tag, "Config");
+        stream
+            .write_all(&raw_frame(&Request::Report {
+                performance: 10.0 + reports as f64,
+                seq: None,
+            }))
+            .unwrap();
+        let (tag, _) = read_raw_response(&mut stream);
+        assert_eq!(tag, "Reported");
+        reports += 1;
+    }
+    assert_eq!(reports, 5, "the budget bounds live iterations");
+
+    stream.write_all(&raw_frame(&Request::SessionEnd)).unwrap();
+    let (tag, payload) = read_raw_response(&mut stream);
+    assert_eq!(tag, "SessionSummary");
+    assert!(payload.contains("\"iterations\":5"), "{payload}");
+
+    assert_eq!(handle.completed_sessions(), 1);
+    assert_eq!(handle.db_runs(), 1, "the v1 session's run is recorded");
+    handle.shutdown();
+}
+
+#[test]
+fn reactor_and_threaded_models_produce_identical_trajectories() {
+    // Identical sessions against the two serving models must propose the
+    // same configurations in the same order and report the same summary:
+    // the models may differ in throughput, never in behavior.
+    let trajectory = |threaded: bool| {
+        let handle = TuningDaemon::start(DaemonConfig {
+            threaded,
+            ..daemon_config(None)
+        })
+        .unwrap();
+        let mut proposals: Vec<Vec<i64>> = Vec::new();
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let (started, summary) = client
+            .tune_with(
+                SpaceSpec::Explicit(space()),
+                "parity",
+                vec![0.4, 0.6],
+                None,
+                |cfg| {
+                    proposals.push(cfg.values().to_vec());
+                    Ok::<f64, NetError>(perf(cfg))
+                },
+            )
+            .unwrap();
+        handle.shutdown();
+        (
+            proposals,
+            started.training_iterations,
+            summary.best.values().to_vec(),
+            summary.performance,
+            summary.iterations,
+            summary.converged,
+        )
+    };
+    let reactor = trajectory(false);
+    let threaded = trajectory(true);
+    assert_eq!(
+        reactor, threaded,
+        "serving model must not change tuning behavior"
+    );
+    assert!(!reactor.0.is_empty());
 }

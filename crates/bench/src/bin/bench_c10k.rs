@@ -22,34 +22,59 @@
 //! poll-driven state machine over nonblocking sockets — a
 //! thread-per-connection *client* at 10k would itself be the bottleneck.
 //!
-//! Sessions speak raw protocol v1 (no `Hello`, so no session tokens):
-//! `SessionStart`, two idempotent `Fetch`es, `SessionEnd`. Nothing is
-//! reported, so no run is recorded and the experience database stays
-//! empty — the copy-on-write append path is `bench_daemon`'s subject;
-//! here it would only blur the connection-model comparison.
+//! Sessions open with a `Hello` capping the protocol at v2 (JSON
+//! framing) or v3 (binary framing, the daemon's preference), then run
+//! `SessionStart` over a 32-parameter space, `FETCHES` idempotent
+//! `Fetch`es, `SessionEnd` — each session is `FETCHES + 3` requests.
+//! Nothing is reported, so no run is recorded and the experience
+//! database stays empty — the copy-on-write append path is
+//! `bench_daemon`'s subject; here it would only blur the
+//! connection-model comparison.
 //!
-//! Reports connections sustained, requests/s, p95/p99 request RTT, and
-//! the daemon's peak RSS per model, and writes `BENCH_c10k.json`. The
-//! full run asserts the reactor sustains all 10k sessions and beats the
-//! threaded model by ≥ 2x on requests/s; `--smoke` shrinks everything
-//! for CI and only sanity-checks that every session completes.
+//! Reports connections sustained, requests/s (whole phase and the
+//! steady-state loop after the all-sessions-live barrier), p95/p99
+//! request RTT, and the daemon's peak RSS per model and wire format,
+//! and writes `BENCH_c10k.json`. The full run asserts the reactor
+//! sustains all 10k sessions, beats the threaded model by ≥ 2x on
+//! requests/s, and — when both formats run — that binary framing beats
+//! JSON by ≥ 1.25x on the reactor's steady-state loop throughput at the
+//! compare concurrency (the connect ramp is identical TCP work in both
+//! formats, so the format gate excludes it). `--format json|binary`
+//! restricts the phases to one wire format (the default runs both);
+//! `--smoke` shrinks everything for CI and only sanity-checks that
+//! every session completes.
 
+use harmony_net::codec::{encode_frame_as, WireFormat};
 use harmony_net::poll::Poller;
 use harmony_net::protocol::{Request, SpaceSpec};
 use harmony_net::server::{DaemonConfig, TuningDaemon};
+use harmony_net::wire::response_wire_kind;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
 use std::process::{Child, Command, Stdio};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-const RSL: &str = "{ harmonyBundle x { int {0 100 1} }}\n{ harmonyBundle y { int {0 100 1} }}";
+/// Tuning-space width. Real spaces have tens of parameters (the paper's
+/// web-system study tunes dozens), and the width is what puts payload on
+/// the wire: every `Config` response carries one value per parameter, so
+/// a toy two-parameter space would measure syscalls, not framing.
+const PARAMS: usize = 32;
 
-/// Fetches per session; the script is `SessionStart`, `FETCHES` ×
-/// `Fetch`, `SessionEnd`, so each session is `FETCHES + 2` requests.
-const FETCHES: usize = 2;
+fn rsl() -> String {
+    (0..PARAMS)
+        .map(|i| format!("{{ harmonyBundle p{i} {{ int {{0 100 1}} }}}}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Fetches per session; the script is `Hello`, `SessionStart`,
+/// `FETCHES` × `Fetch`, `SessionEnd`, so each session is `FETCHES + 3`
+/// requests.
+const FETCHES: usize = 6;
 
 /// Give up on a phase after this long (a hung daemon or a lost frame
 /// would otherwise wedge the bench forever).
@@ -190,17 +215,17 @@ impl Daemon {
 // ---------------------------------------------------------------------
 // Poll-driven client.
 
-fn frame(req: &Request) -> Vec<u8> {
-    let payload = serde_json::to_vec(req).expect("encode request");
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    buf.extend_from_slice(&payload);
+fn frame(format: WireFormat, req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_frame_as(format, req, &mut buf).expect("encode request");
     buf
 }
 
 /// One client connection's script position.
 #[derive(PartialEq)]
 enum Step {
+    /// `Hello` in flight; the answer fixes the connection's wire format.
+    Greeting,
     /// `SessionStart` in flight; holds at the barrier once answered.
     Starting,
     /// Parked at the barrier until every session is live.
@@ -216,6 +241,15 @@ enum Step {
 struct Conn {
     stream: TcpStream,
     step: Step,
+    /// The connection's current wire format: JSON until the daemon's
+    /// `Hello` answer lands, then whatever the session negotiated.
+    format: WireFormat,
+    /// The format this phase negotiates (what `format` becomes once the
+    /// `Hello` exchange completes).
+    target: WireFormat,
+    /// The phase's pre-encoded `SessionStart` frame, already in the
+    /// negotiated format; shared by every connection.
+    start: std::rc::Rc<Vec<u8>>,
     wbuf: Vec<u8>,
     wpos: usize,
     rbuf: Vec<u8>,
@@ -225,7 +259,8 @@ struct Conn {
 
 impl Conn {
     fn queue(&mut self, req: &Request) {
-        self.wbuf.extend_from_slice(&frame(req));
+        let f = frame(self.format, req);
+        self.wbuf.extend_from_slice(&f);
         self.sent_at = Instant::now();
     }
 
@@ -263,12 +298,14 @@ impl Conn {
     }
 
     /// Pop one complete response frame, if buffered, reduced to its
-    /// externally-tagged enum tag (`"Config"`, `"SessionSummary"`, …).
-    /// The script only branches on the message *kind*, and skipping the
-    /// full decode keeps the client cheap — it shares a core with the
-    /// daemon under test. (It also sidesteps a wart: an unreported
-    /// session's summary carries `performance: NaN`, which JSON encodes
-    /// as `null` and a strict decode would refuse.)
+    /// variant name (`"Config"`, `"SessionSummary"`, …). The script only
+    /// branches on the message *kind*, and skipping the full decode
+    /// keeps the client cheap — it shares a core with the daemon under
+    /// test. (It also sidesteps a wart: an unreported session's summary
+    /// carries `performance: NaN`, which JSON encodes as `null` and a
+    /// strict decode would refuse.) Binary frames carry the variant in
+    /// their leading tag byte; JSON frames carry it as the first
+    /// double-quoted string of the externally-tagged encoding.
     fn next_response(&mut self) -> Option<String> {
         if self.rbuf.len() < 4 {
             return None;
@@ -278,10 +315,13 @@ impl Conn {
             return None;
         }
         let payload = &self.rbuf[4..4 + len];
-        // `{"Tag":{…}}` for struct variants, `"Tag"` for unit variants:
-        // either way the tag is the first double-quoted string.
-        let text = String::from_utf8_lossy(payload);
-        let tag = text.split('"').nth(1).unwrap_or("").to_string();
+        let tag = match self.format {
+            WireFormat::Binary => response_wire_kind(payload).unwrap_or("").to_string(),
+            WireFormat::Json => {
+                let text = String::from_utf8_lossy(payload);
+                text.split('"').nth(1).unwrap_or("").to_string()
+            }
+        };
         self.rbuf.drain(..4 + len);
         Some(tag)
     }
@@ -290,10 +330,16 @@ impl Conn {
 struct PhaseResult {
     phase: &'static str,
     mode: &'static str,
+    format: &'static str,
     connections: usize,
     sustained: usize,
     wall_ms: f64,
     requests_per_sec: f64,
+    /// Steady-state request throughput: requests answered from barrier
+    /// release (every session live) to the last session's summary. The
+    /// connect ramp before the barrier is TCP/accept cost, identical
+    /// across wire formats, so the format comparison gates on this.
+    loop_requests_per_sec: f64,
     rtt_p95_ms: f64,
     rtt_p99_ms: f64,
     daemon_peak_rss_kb: u64,
@@ -368,6 +414,16 @@ impl Client {
                     .push(conn.sent_at.elapsed().as_secs_f64() * 1e3);
                 self.requests += 1;
                 match (&conn.step, resp.as_str()) {
+                    (Step::Greeting, "Hello") => {
+                        // The Hello answer travels in the pre-negotiation
+                        // format; everything after speaks the negotiated
+                        // one.
+                        conn.format = conn.target;
+                        conn.step = Step::Starting;
+                        let start = Rc::clone(&conn.start);
+                        conn.wbuf.extend_from_slice(&start);
+                        conn.sent_at = Instant::now();
+                    }
                     (Step::Starting, "SessionStarted") => {
                         // Barrier: hold until every session is live,
                         // so `conns` sessions really are concurrent.
@@ -419,17 +475,32 @@ impl Client {
     }
 }
 
-/// Drive `conns` concurrent sessions against a fresh daemon in `mode`.
-fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResult {
+/// Drive `conns` concurrent sessions against a fresh daemon in `mode`,
+/// framing everything after the handshake in `format`.
+fn run_phase(
+    phase: &'static str,
+    mode: &'static str,
+    format: WireFormat,
+    conns: usize,
+) -> PhaseResult {
     let daemon = spawn_daemon(mode, conns + 8);
     let addr = daemon.addr;
 
+    // Cap the handshake at v2 for JSON so the daemon never switches the
+    // connection to binary framing; v3 for binary.
+    let hello_req = Request::Hello {
+        version: None,
+        min_version: Some(1),
+        max_version: Some(if format == WireFormat::Binary { 3 } else { 2 }),
+        client: "bench_c10k".into(),
+    };
     let start_req = Request::SessionStart {
-        space: SpaceSpec::Rsl(RSL.into()),
+        space: SpaceSpec::Rsl(rsl()),
         label: "c10k".into(),
         characteristics: vec![0.5, 0.5],
-        max_iterations: Some(4),
+        max_iterations: Some(FETCHES + 2),
     };
+    let start_frame = Rc::new(frame(format, &start_req));
 
     let started = Instant::now();
     let mut client = Client {
@@ -458,16 +529,19 @@ fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResu
         stream.set_nonblocking(true).expect("nonblocking");
         let mut conn = Conn {
             stream,
-            step: Step::Starting,
+            step: Step::Greeting,
+            format: WireFormat::Json,
+            target: format,
+            start: Rc::clone(&start_frame),
             wbuf: Vec::new(),
             wpos: 0,
             rbuf: Vec::new(),
             sent_at: Instant::now(),
             want_write: false,
         };
-        conn.queue(&start_req);
+        conn.queue(&hello_req);
         if !conn.flush() {
-            panic!("connection {token} died during SessionStart");
+            panic!("connection {token} died during Hello");
         }
         client
             .poller
@@ -476,7 +550,7 @@ fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResu
         client.by_token.insert(token, conn);
     }
 
-    let mut released = false;
+    let mut released: Option<(Instant, usize)> = None;
     while !client.by_token.is_empty() {
         if started.elapsed() > PHASE_DEADLINE {
             eprintln!(
@@ -486,10 +560,10 @@ fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResu
             break;
         }
         client.pump(100);
-        if !released && client.holding >= client.by_token.len() {
+        if released.is_none() && client.holding >= client.by_token.len() {
             // Every session answered SessionStart: all of them are live
             // at once. Release the barrier and run the scripts out.
-            released = true;
+            released = Some((Instant::now(), client.requests));
             for (&token, conn) in client.by_token.iter_mut() {
                 conn.step = Step::Fetching(FETCHES);
                 conn.queue(&Request::Fetch);
@@ -504,16 +578,24 @@ fn run_phase(phase: &'static str, mode: &'static str, conns: usize) -> PhaseResu
     }
     let (requests, sustained, mut rtts_ms) = (client.requests, client.sustained, client.rtts_ms);
     let wall = started.elapsed().as_secs_f64();
+    let loop_rate = released
+        .map(|(at, before)| (requests - before) as f64 / at.elapsed().as_secs_f64())
+        .unwrap_or(0.0);
     let rss = daemon.stop();
 
     rtts_ms.sort_by(f64::total_cmp);
     PhaseResult {
         phase,
         mode,
+        format: match format {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "binary",
+        },
         connections: conns,
         sustained,
         wall_ms: wall * 1e3,
         requests_per_sec: requests as f64 / wall,
+        loop_requests_per_sec: loop_rate,
         rtt_p95_ms: percentile(&rtts_ms, 0.95),
         rtt_p99_ms: percentile(&rtts_ms, 0.99),
         daemon_peak_rss_kb: rss,
@@ -533,63 +615,145 @@ fn main() {
         run_daemon(&mode, max_conns);
     }
     let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(bad) = args.iter().find(|a| !matches!(a.as_str(), "--smoke")) {
-        eprintln!("bench_c10k: unknown flag {bad:?} (--smoke)");
-        std::process::exit(2);
+    let mut only_format = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--format" => {
+                only_format = match it.next().map(String::as_str) {
+                    Some("json") => Some(WireFormat::Json),
+                    Some("binary") => Some(WireFormat::Binary),
+                    other => {
+                        eprintln!("bench_c10k: --format needs json or binary, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            bad => {
+                eprintln!("bench_c10k: unknown flag {bad:?} (--smoke | --format json|binary)");
+                std::process::exit(2);
+            }
+        }
     }
     let p = if smoke { SMOKE } else { FULL };
     raise_nofile_limit();
 
-    let results = [
-        run_phase("sustain", "reactor", p.sustain_conns),
-        run_phase("compare", "reactor", p.compare_conns),
-        run_phase("compare", "threaded", p.compare_conns),
-    ];
+    // The sustain phase runs the daemon's preferred format; the compare
+    // phases measure the serving models on JSON and the wire formats on
+    // the reactor. With `--format` everything runs in that one format
+    // (and the cross-format speedup is not computed).
+    let mut results = Vec::new();
+    match only_format {
+        None => {
+            results.push(run_phase(
+                "sustain",
+                "reactor",
+                WireFormat::Binary,
+                p.sustain_conns,
+            ));
+            results.push(run_phase(
+                "compare",
+                "reactor",
+                WireFormat::Json,
+                p.compare_conns,
+            ));
+            results.push(run_phase(
+                "compare",
+                "reactor",
+                WireFormat::Binary,
+                p.compare_conns,
+            ));
+            results.push(run_phase(
+                "compare",
+                "threaded",
+                WireFormat::Json,
+                p.compare_conns,
+            ));
+        }
+        Some(f) => {
+            results.push(run_phase("sustain", "reactor", f, p.sustain_conns));
+            results.push(run_phase("compare", "reactor", f, p.compare_conns));
+            results.push(run_phase("compare", "threaded", f, p.compare_conns));
+        }
+    }
     for r in &results {
         println!(
-            "{:<8} {:<9} conns {:>6}  sustained {:>6}  wall {:>9.1} ms  requests {:>8.1}/s  \
-             rtt p95 {:>7.2} ms  p99 {:>7.2} ms  daemon peak rss {:>7} kB",
+            "{:<8} {:<9} {:<7} conns {:>6}  sustained {:>6}  wall {:>9.1} ms  requests {:>8.1}/s  \
+             loop {:>8.1}/s  rtt p95 {:>7.2} ms  p99 {:>7.2} ms  daemon peak rss {:>7} kB",
             r.phase,
             r.mode,
+            r.format,
             r.connections,
             r.sustained,
             r.wall_ms,
             r.requests_per_sec,
+            r.loop_requests_per_sec,
             r.rtt_p95_ms,
             r.rtt_p99_ms,
             r.daemon_peak_rss_kb,
         );
     }
 
-    let reactor = &results[1];
-    let threaded = &results[2];
+    let compare = |mode: &str, format: &str| {
+        results
+            .iter()
+            .find(|r| r.phase == "compare" && r.mode == mode && r.format == format)
+    };
+    let reactor_json = compare("reactor", "json");
+    let reactor = reactor_json
+        .or_else(|| compare("reactor", "binary"))
+        .expect("a reactor compare phase ran");
+    let threaded = compare("threaded", "json")
+        .or_else(|| compare("threaded", "binary"))
+        .expect("a threaded compare phase ran");
     let speedup = reactor.requests_per_sec / threaded.requests_per_sec;
     println!("compare speedup (reactor / threaded): {speedup:.2}x");
+    // The format comparison gates on steady-state loop throughput: the
+    // connect ramp ahead of the barrier is TCP and accept-queue cost,
+    // byte-for-byte identical work in either format, and including it
+    // would dilute the thing under test (per-request framing).
+    let format_speedup = match (reactor_json, compare("reactor", "binary")) {
+        (Some(json), Some(binary)) => {
+            let s = binary.loop_requests_per_sec / json.loop_requests_per_sec;
+            println!("format speedup (binary / json, reactor steady-state loop): {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
 
     let mut rows = String::new();
     for r in &results {
         let _ = write!(
             rows,
-            "{}    {{\"phase\": \"{}\", \"mode\": \"{}\", \"connections\": {}, \
+            "{}    {{\"phase\": \"{}\", \"mode\": \"{}\", \"format\": \"{}\", \
+             \"connections\": {}, \
              \"sustained\": {}, \"wall_ms\": {:.2}, \"requests_per_sec\": {:.2}, \
+             \"loop_requests_per_sec\": {:.2}, \
              \"rtt_p95_ms\": {:.4}, \"rtt_p99_ms\": {:.4}, \"daemon_peak_rss_kb\": {}}}",
             if rows.is_empty() { "" } else { ",\n" },
             r.phase,
             r.mode,
+            r.format,
             r.connections,
             r.sustained,
             r.wall_ms,
             r.requests_per_sec,
+            r.loop_requests_per_sec,
             r.rtt_p95_ms,
             r.rtt_p99_ms,
             r.daemon_peak_rss_kb,
         );
     }
+    let format_row = match format_speedup {
+        Some(s) => format!(",\n  \"format_speedup\": {s:.4}"),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"bench\": \"c10k\",\n  \"smoke\": {smoke},\n  \
          \"requests_per_session\": {},\n  \"results\": [\n{rows}\n  ],\n  \
-         \"compare_speedup\": {speedup:.4}\n}}\n",
-        FETCHES + 2,
+         \"compare_speedup\": {speedup:.4}{format_row}\n}}\n",
+        FETCHES + 3,
     );
     std::fs::write("BENCH_c10k.json", &json).expect("write BENCH_c10k.json");
     println!("wrote BENCH_c10k.json");
@@ -599,17 +763,26 @@ fn main() {
     for r in &results {
         assert_eq!(
             r.sustained, r.connections,
-            "{}/{}: only {} of {} sessions completed",
-            r.phase, r.mode, r.sustained, r.connections
+            "{}/{}/{}: only {} of {} sessions completed",
+            r.phase, r.mode, r.format, r.sustained, r.connections
         );
     }
     if !smoke {
-        // The full comparison exists to prove the reactor wins at high
-        // concurrency; smoke runs are too small to measure anything.
+        // The full comparisons exist to prove the reactor wins at high
+        // concurrency and binary framing wins on the wire; smoke runs
+        // are too small to measure anything.
         assert!(
             speedup >= 2.0,
             "reactor only {speedup:.2}x the threaded model at {} connections (need >= 2x)",
             p.compare_conns
         );
+        if let Some(s) = format_speedup {
+            assert!(
+                s >= 1.25,
+                "binary framing only {s:.2}x JSON on the reactor's steady-state loop at {} \
+                 connections (need >= 1.25x)",
+                p.compare_conns
+            );
+        }
     }
 }

@@ -1,0 +1,249 @@
+//! Microbench for the protocol codecs: JSON (protocol v1/v2) versus the
+//! v3 binary wire format, on the message mix a steady-state tuning
+//! session actually sends.
+//!
+//! The mix is dominated by the hot loop — `Fetch`/`Config` and
+//! `Report`/`Reported` pairs — with one handshake and one summary per
+//! session's worth of traffic, plus a `Traced`-wrapped report so the
+//! tracing wrapper's cost is on the scoreboard. For each format the
+//! bench times encode and decode separately over the whole mix and
+//! records the wire payload bytes.
+//!
+//! Floor gates (asserted, so CI fails on a regression):
+//!
+//! * binary encode+decode must be ≥ 1.5× faster than JSON on the mix;
+//! * binary wire bytes must be ≤ 0.6× of JSON's.
+//!
+//! Writes `BENCH_codec.json`. `--smoke` shrinks the iteration count for
+//! CI; the gates hold at any scale because they are per-message
+//! properties, not throughput ceilings.
+
+use harmony_net::protocol::{Request, Response, SpaceSpec, WireSpan};
+use harmony_net::wire::{from_bytes, to_bytes};
+use harmony_space::{ParamDef, ParameterSpace};
+use std::time::Instant;
+
+fn space() -> ParameterSpace {
+    ParameterSpace::builder()
+        .param(ParamDef::int("cache_size", 1, 4096, 256, 1))
+        .param(ParamDef::int("threads", 1, 64, 8, 1))
+        .param(ParamDef::int("batch", 16, 8192, 512, 16))
+        .param(ParamDef::categorical(
+            "policy",
+            vec!["lru".into(), "lfu".into(), "arc".into()],
+            0,
+        ))
+        .build()
+        .expect("bench space is valid")
+}
+
+/// One session's worth of requests: handshake, start, the hot loop,
+/// and the close — weighted the way a 60-iteration session weights them.
+fn request_mix() -> Vec<Request> {
+    let mut mix = vec![
+        Request::Hello {
+            version: None,
+            min_version: Some(1),
+            max_version: Some(3),
+            client: "bench_codec".into(),
+        },
+        Request::SessionStart {
+            space: SpaceSpec::Explicit(space()),
+            label: "bench-session".into(),
+            characteristics: vec![0.25, 0.75, 12.5],
+            max_iterations: Some(60),
+        },
+    ];
+    for i in 0..60u64 {
+        mix.push(Request::Fetch);
+        mix.push(Request::Report {
+            performance: 180.0 + (i as f64) * 0.25,
+            seq: Some(i),
+        });
+    }
+    // One traced report: the tracing wrapper must stay cheap too.
+    mix.push(Request::Traced {
+        trace_id: 0xfeed_beef,
+        parent_span: 3,
+        spans: vec![WireSpan {
+            id: 4,
+            parent: 3,
+            stage: "eval".into(),
+            detail: "measure".into(),
+            start_us: 1_000,
+            end_us: 5_400,
+            error: false,
+        }],
+        request: Box::new(Request::Report {
+            performance: 199.5,
+            seq: Some(60),
+        }),
+    });
+    mix.push(Request::SessionEnd);
+    mix
+}
+
+/// The responses answering that mix.
+fn response_mix() -> Vec<Response> {
+    let mut mix = vec![
+        Response::Hello {
+            version: 3,
+            server: "bench_codec".into(),
+        },
+        Response::SessionStarted {
+            space: space(),
+            trained_from: Some("monday-run".into()),
+            training_iterations: 41,
+            session_token: Some("0123456789abcdef0123456789abcdef".into()),
+        },
+    ];
+    for i in 0..60usize {
+        mix.push(Response::Config {
+            values: vec![256 + i as i64, 8, 512, 1],
+            iteration: i,
+        });
+        mix.push(Response::Reported);
+    }
+    mix.push(Response::SessionSummary {
+        values: vec![1024, 16, 2048, 2],
+        performance: 199.875,
+        iterations: 61,
+        converged: true,
+    });
+    mix
+}
+
+struct Timing {
+    encode_ns: f64,
+    decode_ns: f64,
+    bytes: usize,
+}
+
+/// Time encode and decode of the whole mix, `iters` times over.
+fn measure<T, E, D>(items: &[T], iters: usize, encode: E, decode: D) -> Timing
+where
+    E: Fn(&T) -> Vec<u8>,
+    D: Fn(&[u8]) -> T,
+{
+    let encoded: Vec<Vec<u8>> = items.iter().map(&encode).collect();
+    let bytes: usize = encoded.iter().map(Vec::len).sum();
+
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..iters {
+        for item in items {
+            sink = sink.wrapping_add(encode(item).len());
+        }
+    }
+    let encode_ns = start.elapsed().as_nanos() as f64 / (iters * items.len()) as f64;
+    assert_eq!(
+        sink,
+        bytes.wrapping_mul(iters),
+        "encoder went nondeterministic"
+    );
+
+    let start = Instant::now();
+    let mut decoded = 0usize;
+    for _ in 0..iters {
+        for payload in &encoded {
+            std::hint::black_box(decode(payload));
+            decoded += 1;
+        }
+    }
+    let decode_ns = start.elapsed().as_nanos() as f64 / decoded as f64;
+
+    Timing {
+        encode_ns,
+        decode_ns,
+        bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--smoke") {
+        eprintln!("bench_codec: unknown flag {bad:?} (--smoke)");
+        std::process::exit(2);
+    }
+    let iters = if smoke { 40 } else { 400 };
+
+    let requests = request_mix();
+    let responses = response_mix();
+
+    // Round-trip sanity before timing anything: both codecs must agree
+    // with themselves on every message in the mix.
+    for r in &requests {
+        assert_eq!(&from_bytes::<Request>(&to_bytes(r)).unwrap(), r);
+        // JSON drops the space's `#[serde(skip)]` name index, so compare
+        // re-encoded bytes rather than values.
+        let json = serde_json::to_vec(r).unwrap();
+        let back: Request = serde_json::from_slice(&json).unwrap();
+        assert_eq!(serde_json::to_vec(&back).unwrap(), json);
+    }
+    for r in &responses {
+        assert_eq!(&from_bytes::<Response>(&to_bytes(r)).unwrap(), r);
+    }
+
+    let json_req = measure(
+        &requests,
+        iters,
+        |r| serde_json::to_vec(r).expect("serialize"),
+        |b| serde_json::from_slice(b).expect("deserialize"),
+    );
+    let bin_req = measure(&requests, iters, to_bytes, |b| {
+        from_bytes(b).expect("decode")
+    });
+    let json_resp = measure(
+        &responses,
+        iters,
+        |r| serde_json::to_vec(r).expect("serialize"),
+        |b| serde_json::from_slice(b).expect("deserialize"),
+    );
+    let bin_resp = measure(&responses, iters, to_bytes, |b| {
+        from_bytes(b).expect("decode")
+    });
+
+    let json_ns =
+        json_req.encode_ns + json_req.decode_ns + json_resp.encode_ns + json_resp.decode_ns;
+    let bin_ns = bin_req.encode_ns + bin_req.decode_ns + bin_resp.encode_ns + bin_resp.decode_ns;
+    let speedup = json_ns / bin_ns;
+    let json_bytes = json_req.bytes + json_resp.bytes;
+    let bin_bytes = bin_req.bytes + bin_resp.bytes;
+    let byte_ratio = bin_bytes as f64 / json_bytes as f64;
+
+    let mut results = String::new();
+    for (format, req, resp, bytes) in [
+        ("json", &json_req, &json_resp, json_bytes),
+        ("binary", &bin_req, &bin_resp, bin_bytes),
+    ] {
+        if !results.is_empty() {
+            results.push_str(",\n    ");
+        }
+        results.push_str(&format!(
+            "{{\"format\": \"{format}\", \
+             \"request_encode_ns\": {:.1}, \"request_decode_ns\": {:.1}, \
+             \"response_encode_ns\": {:.1}, \"response_decode_ns\": {:.1}, \
+             \"wire_bytes\": {bytes}}}",
+            req.encode_ns, req.decode_ns, resp.encode_ns, resp.decode_ns,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"codec\",\n  \"smoke\": {smoke},\n  \
+         \"messages\": {},\n  \"iters\": {iters},\n  \"results\": [\n    {results}\n  ],\n  \
+         \"codec_speedup\": {speedup:.4},\n  \"byte_ratio\": {byte_ratio:.4}\n}}\n",
+        requests.len() + responses.len(),
+    );
+    std::fs::write("BENCH_codec.json", &json).expect("write BENCH_codec.json");
+    print!("{json}");
+    println!("wrote BENCH_codec.json");
+
+    assert!(
+        speedup >= 1.5,
+        "floor gate: binary encode+decode must be >= 1.5x JSON, got {speedup:.2}x"
+    );
+    assert!(
+        byte_ratio <= 0.6,
+        "floor gate: binary wire bytes must be <= 0.6x JSON, got {byte_ratio:.2}x"
+    );
+}

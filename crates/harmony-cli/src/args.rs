@@ -58,6 +58,10 @@ pub enum Command {
         /// Participate in distributed tracing (needs --remote): the
         /// session becomes one trace in the daemon's flight recorder.
         trace: bool,
+        /// Wire encoding against the daemon (needs --remote): `None`
+        /// negotiates the newest protocol (binary framing on a v3
+        /// daemon), `Some(Json)` pins the client at protocol v2 JSON.
+        wire: Option<WireChoice>,
         /// Worker threads measuring concurrently (1 = sequential).
         jobs: usize,
         /// The external measurement command and its arguments.
@@ -128,6 +132,17 @@ pub enum Command {
     Help,
 }
 
+/// The `--wire` choice for remote tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireChoice {
+    /// Pin the client at protocol v2: every frame is JSON.
+    Json,
+    /// Negotiate the newest protocol (v3 binary framing when the daemon
+    /// supports it, with automatic JSON fallback on older daemons).
+    /// This is also the behavior when `--wire` is omitted.
+    Binary,
+}
+
 /// Argument errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliError(pub String);
@@ -155,7 +170,7 @@ USAGE:
   harmony-cli tune <params.rsl> [--iterations N] [--original] [--jobs N]
               [--engine <name>] [--db <experience.json>] [--label <name>]
               [--characteristics a,b,c] [--remote <host:port>]
-              [--retry N] [--deadline MS] [--trace]
+              [--retry N] [--deadline MS] [--trace] [--wire json|binary]
               -- <measure-cmd> [args…]
   harmony-cli tournament [--budget N] [--candidates N] [--seed N] [--jobs N]
               [--mixes browsing,shopping,ordering] [--out <leaderboard.txt>]
@@ -195,7 +210,11 @@ its shared experience database and records the finished run back into it.
 --remote. --retry N retries each failed-but-retryable request up to N times
 with jittered backoff, reconnecting and resuming the session in place;
 --deadline MS bounds each request's response time (expiry counts as
-retryable). 'serve' listens until stdin reaches end-of-file or the process
+retryable). --wire picks the encoding against the daemon: 'binary' (the
+default) negotiates the newest protocol — compact binary framing against a
+v3 daemon, with automatic JSON fallback on older ones — while 'json' pins
+the client at protocol v2 so every frame stays human-readable JSON.
+Both encodings drive bit-identical tuning trajectories. 'serve' listens until stdin reaches end-of-file or the process
 receives SIGTERM/SIGINT, then drains: new work is refused with a retryable
 answer, unfinished sessions are parked to disk next to the database, and
 the journal is flushed before exit. --log-json appends
@@ -306,6 +325,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut retry = None;
             let mut deadline_ms = None;
             let mut trace = false;
+            let mut wire = None;
             let mut jobs = 1usize;
             let mut measure = Vec::new();
             while let Some(a) = it.next() {
@@ -333,6 +353,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         deadline_ms = Some(ms);
                     }
                     "--trace" => trace = true,
+                    "--wire" => {
+                        let raw = next_str(&mut it, "--wire")?;
+                        wire = Some(match raw.as_str() {
+                            "json" => WireChoice::Json,
+                            "binary" => WireChoice::Binary,
+                            other => {
+                                return Err(err(format!(
+                                    "--wire: unknown format {other:?} (json or binary)"
+                                )))
+                            }
+                        });
+                    }
                     "--label" => label = next_str(&mut it, "--label")?,
                     "--characteristics" => {
                         let raw = next_str(&mut it, "--characteristics")?;
@@ -384,6 +416,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 return Err(err("tune: --trace applies to --remote tuning only \
                      (the daemon hosts the flight recorder)"));
             }
+            if remote.is_none() && wire.is_some() {
+                return Err(err("tune: --wire applies to --remote tuning only \
+                     (local tuning has no wire)"));
+            }
             Ok(Cli {
                 command: Command::Tune {
                     rsl,
@@ -397,6 +433,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     retry,
                     deadline_ms,
                     trace,
+                    wire,
                     jobs,
                     measure,
                 },
@@ -810,6 +847,41 @@ mod tests {
             "m"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn wire_flag_needs_remote_and_validates_the_format() {
+        let cli = parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--wire", "json", "--", "m",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { wire, .. } => assert_eq!(wire, Some(WireChoice::Json)),
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--wire", "binary", "--", "m",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Tune { wire, .. } => assert_eq!(wire, Some(WireChoice::Binary)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Default: negotiate (None, meaning binary-when-available).
+        let cli = parse_args(&v(&["tune", "p.rsl", "--remote", "h:1", "--", "m"])).unwrap();
+        match cli.command {
+            Command::Tune { wire, .. } => assert_eq!(wire, None),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Local tuning has no wire.
+        let e = parse_args(&v(&["tune", "p.rsl", "--wire", "json", "--", "m"])).unwrap_err();
+        assert!(e.0.contains("--wire applies to --remote"), "{e}");
+        // Unknown formats are refused with the valid choices.
+        let e = parse_args(&v(&[
+            "tune", "p.rsl", "--remote", "h:1", "--wire", "xml", "--", "m",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("json or binary"), "{e}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Subcommand implementations, writing human-readable reports to any
 //! `Write` sink (tests capture a buffer; `main` passes stdout).
 
-use crate::args::Command;
+use crate::args::{Command, WireChoice};
 use crate::external::{ExternalObjective, MeasureError};
 use harmony::history::{DataAnalyzer, ExperienceDb, RunHistory, TuningRecord};
 use harmony::prelude::*;
@@ -189,6 +189,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
             retry,
             deadline_ms,
             trace,
+            wire,
             jobs,
             measure,
         } => {
@@ -203,6 +204,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     retry,
                     deadline_ms,
                     trace,
+                    wire,
                     measure,
                 )?;
             } else if let Some(name) = engine {
@@ -590,10 +592,17 @@ fn tune_remote(
     retry: Option<u32>,
     deadline_ms: Option<u64>,
     trace: bool,
+    wire: Option<WireChoice>,
     measure: Vec<String>,
 ) -> Result<(), RunError> {
     let text = fs::read_to_string(rsl).map_err(|e| fail(format!("cannot read {rsl}: {e}")))?;
     let mut builder = Client::builder(addr).tracing(trace);
+    if wire == Some(WireChoice::Json) {
+        // Pin the handshake at protocol v2: the daemon never switches
+        // the connection to binary framing. `binary` (and the default)
+        // negotiate the newest version and fall back on old daemons.
+        builder = builder.max_protocol_version(2);
+    }
     if let Some(n) = retry {
         builder = builder.retry(RetryPolicy::default().with_max_retries(n));
     }

@@ -24,7 +24,7 @@
 //! `Report` carries a sequence number the server deduplicates, so a
 //! replayed report is acknowledged without being observed twice.
 
-use crate::codec::{read_frame_buf, write_frame_buf};
+use crate::codec::{clamp_scratch, read_frame_buf_as, write_frame_buf_as, WireFormat};
 use crate::protocol::{
     Request, Response, RunSummary, SensitivityEntry, SpaceSpec, WireSpan, WireTrace,
     MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
@@ -132,6 +132,7 @@ pub struct ClientBuilder {
     request_deadline: Option<Duration>,
     retry: RetryPolicy,
     tracing: bool,
+    max_version: u32,
 }
 
 impl ClientBuilder {
@@ -166,6 +167,16 @@ impl ClientBuilder {
         self
     }
 
+    /// Cap the protocol version offered at `Hello`. The default is
+    /// [`PROTOCOL_VERSION`] — prefer v3's binary framing, falling back
+    /// to whatever the server speaks. Capping at 2 pins a JSON-only
+    /// connection (useful against old proxies, or to compare formats);
+    /// values outside the supported range are clamped into it.
+    pub fn max_protocol_version(mut self, version: u32) -> ClientBuilder {
+        self.max_version = version.clamp(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION);
+        self
+    }
+
     /// Connect and complete the `Hello` exchange.
     pub fn connect(self) -> Result<Client, NetError> {
         let addrs = self.addrs.map_err(NetError::Io)?;
@@ -187,6 +198,8 @@ impl ClientBuilder {
             stream: None,
             buf: Vec::new(),
             version: MIN_SUPPORTED_VERSION,
+            max_version: self.max_version,
+            format: WireFormat::Json,
             token: None,
             seq: 0,
             rng,
@@ -212,6 +225,11 @@ pub struct Client {
     buf: Vec<u8>,
     /// Protocol version negotiated at the last `Hello`.
     version: u32,
+    /// Highest protocol version offered at `Hello`.
+    max_version: u32,
+    /// Payload encoding for the next frame: JSON until `Hello` lands on
+    /// v3, binary afterwards; reset to JSON on every fresh dial.
+    format: WireFormat,
     /// Resume token of the active session, when the server issued one.
     token: Option<String>,
     /// Sequence number the next `Report` will carry.
@@ -251,7 +269,14 @@ impl Client {
             request_deadline: None,
             retry: RetryPolicy::default(),
             tracing: false,
+            max_version: PROTOCOL_VERSION,
         }
+    }
+
+    /// The payload encoding the connection negotiated (JSON until a v3
+    /// `Hello` lands).
+    pub fn wire_format(&self) -> WireFormat {
+        self.format
     }
 
     /// The protocol version negotiated with the server.
@@ -558,14 +583,25 @@ impl Client {
         stream.set_read_timeout(self.request_deadline)?;
         stream.set_write_timeout(self.request_deadline)?;
         self.stream = Some(stream);
+        // A fresh connection always opens in JSON; the format the Hello
+        // negotiates takes effect from the next frame on (the server
+        // flips on the same boundary).
+        self.format = WireFormat::Json;
         let response = self.exchange(&Request::Hello {
             version: None,
             min_version: Some(MIN_SUPPORTED_VERSION),
-            max_version: Some(PROTOCOL_VERSION),
+            max_version: Some(self.max_version),
             client: format!("harmony-net client {}", env!("CARGO_PKG_VERSION")),
         })?;
         match response {
-            Response::Hello { version, .. } => self.version = version,
+            Response::Hello { version, .. } => {
+                self.version = version;
+                self.format = if version >= 3 {
+                    WireFormat::Binary
+                } else {
+                    WireFormat::Json
+                };
+            }
             Response::Error { message } => return Err(NetError::Remote(message)),
             Response::Draining => return Err(NetError::Draining),
             other => return Err(unexpected("Hello", other)),
@@ -606,8 +642,14 @@ impl Client {
             .as_mut()
             .expect("exchange called without a connection");
         let what = request_name(request);
-        write_frame_buf(stream, request, &mut self.buf).map_err(|e| deadline_expiry(e, what))?;
-        read_frame_buf(stream, &mut self.buf).map_err(|e| deadline_expiry(e, what))
+        write_frame_buf_as(stream, self.format, request, &mut self.buf)
+            .map_err(|e| deadline_expiry(e, what))?;
+        let response = read_frame_buf_as(stream, self.format, &mut self.buf)
+            .map_err(|e| deadline_expiry(e, what));
+        // The scratch serves every round trip; don't let one oversized
+        // response (a TraceDump, say) pin its size for the session.
+        clamp_scratch(&mut self.buf);
+        response
     }
 }
 

@@ -1,5 +1,10 @@
-//! Framing: `u32` big-endian length prefix, then that many bytes of
-//! JSON.
+//! Framing: `u32` big-endian length prefix, then that many payload
+//! bytes — JSON for protocols 1–2, the [`crate::wire`] binary encoding
+//! for protocol 3. The `_as` function family takes a [`WireFormat`] and
+//! is what the server, reactor, and client call once a connection has
+//! negotiated; the unsuffixed functions are the original JSON-only
+//! paths, kept byte-for-byte unchanged so v1/v2 peers are served
+//! exactly as before.
 //!
 //! Length-prefixing keeps the reader trivial (no scanning for
 //! delimiters, no JSON-aware buffering) and makes oversized or garbage
@@ -12,13 +17,21 @@
 //! place, no owned `String` copy), and the `_buf` variants reuse a
 //! caller-held scratch buffer so a long-lived connection stops
 //! allocating once its buffer has grown to the workload's frame size.
+//! Pooled scratch is bounded by [`clamp_scratch`]: a buffer that one
+//! huge frame (say a `TraceDump`) grew past [`SCRATCH_CLAMP`] is shrunk
+//! before reuse, so the outlier doesn't pin its high-water mark on
+//! every connection forever.
 //! A frame's length prefix is untrusted input: the reader allocates at
 //! most [`READ_CHUNK`] up front and grows as bytes actually arrive, so
 //! a hostile 16 MiB header cannot balloon memory by itself.
 
+use crate::obs;
+use crate::wire::{WireDecode, WireEncode};
 use crate::NetError;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
+
+pub use crate::wire::WireFormat;
 
 /// Refuse frames larger than this (16 MiB) — nothing in the protocol
 /// comes close, so a bigger prefix means a confused or hostile peer.
@@ -65,6 +78,139 @@ pub fn write_frame_buf<W: Write, T: Serialize>(
     w.write_all(scratch)?;
     w.flush()?;
     Ok(())
+}
+
+/// Pooled scratch buffers (connection read/write scratch, the reactor's
+/// per-connection response pool, the client's frame buffer) are shrunk
+/// back to zero capacity before reuse once they grow past this (64 KiB,
+/// mirroring [`READ_CHUNK`]). Steady-state tuning frames are tens to
+/// hundreds of bytes, so the clamp never fires for them; it only stops
+/// a one-off giant frame from pinning megabytes per connection.
+pub const SCRATCH_CLAMP: usize = 64 * 1024;
+
+/// Clear `buf` for reuse, releasing its allocation if a previous frame
+/// grew it past [`SCRATCH_CLAMP`].
+pub fn clamp_scratch(buf: &mut Vec<u8>) {
+    buf.clear();
+    if buf.capacity() > SCRATCH_CLAMP {
+        buf.shrink_to(SCRATCH_CLAMP);
+    }
+}
+
+/// Serialize `msg` into `out` as one length-prefixed frame in the given
+/// wire format. This is the single counting site for the frame-format
+/// metrics: every frame that goes through a format-aware path (server,
+/// reactor, v3-capable client) lands here.
+pub fn encode_frame_as<T: Serialize + WireEncode>(
+    format: WireFormat,
+    msg: &T,
+    out: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    match format {
+        WireFormat::Json => {
+            encode_frame(msg, out)?;
+            obs::frame_bytes_json_total().add((out.len() - 4) as u64);
+        }
+        WireFormat::Binary => {
+            out.clear();
+            out.extend_from_slice(&[0u8; 4]);
+            msg.encode(out);
+            let payload = out.len() - 4;
+            if payload as u64 > MAX_FRAME_LEN as u64 {
+                return Err(NetError::Protocol(format!(
+                    "outgoing frame of {payload} bytes exceeds the {MAX_FRAME_LEN} byte limit"
+                )));
+            }
+            let header = (payload as u32).to_be_bytes();
+            out[..4].copy_from_slice(&header);
+            obs::frames_binary_total().inc();
+            obs::frame_bytes_binary_total().add(payload as u64);
+        }
+    }
+    Ok(())
+}
+
+/// [`write_frame_buf`] in the given wire format.
+pub fn write_frame_buf_as<W: Write, T: Serialize + WireEncode>(
+    w: &mut W,
+    format: WireFormat,
+    msg: &T,
+    scratch: &mut Vec<u8>,
+) -> Result<(), NetError> {
+    encode_frame_as(format, msg, scratch)?;
+    w.write_all(scratch)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// [`read_frame_buf`] in the given wire format.
+pub fn read_frame_buf_as<R: Read, T: Deserialize + WireDecode>(
+    r: &mut R,
+    format: WireFormat,
+    scratch: &mut Vec<u8>,
+) -> Result<T, NetError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = check_len(u32::from_be_bytes(header))?;
+    scratch.clear();
+    let mut filled = 0;
+    while filled < len {
+        let target = len.min(filled + READ_CHUNK);
+        scratch.resize(target, 0);
+        r.read_exact(&mut scratch[filled..target])?;
+        filled = target;
+    }
+    decode_payload_as(format, &scratch[..len])
+}
+
+/// Decode one frame payload in the given wire format.
+pub(crate) fn decode_payload_as<T: Deserialize + WireDecode>(
+    format: WireFormat,
+    payload: &[u8],
+) -> Result<T, NetError> {
+    match format {
+        WireFormat::Json => decode_payload(payload),
+        WireFormat::Binary => crate::wire::from_bytes(payload),
+    }
+}
+
+/// What [`try_decode_frame`] found at the front of a receive buffer.
+#[derive(Debug)]
+pub enum FrameOutcome<T> {
+    /// Not enough bytes yet for a whole frame; read more and retry.
+    Incomplete,
+    /// One complete frame occupied the first `consumed` bytes. `result`
+    /// carries the decoded message, or the protocol error if its
+    /// payload was garbage — either way the frame boundary is known, so
+    /// the caller can drain those bytes and report the error in-band.
+    Frame {
+        /// The decoded message, or why the payload didn't parse.
+        result: Result<T, NetError>,
+        /// Total bytes (header + payload) this frame occupied.
+        consumed: usize,
+    },
+}
+
+/// Try to decode one length-prefixed frame from the front of `buf`
+/// without blocking. An `Err` return means the header itself is
+/// unusable (oversized length prefix) and the connection can't recover;
+/// a malformed payload inside a well-framed message comes back as
+/// `FrameOutcome::Frame { result: Err(..), .. }` instead.
+pub fn try_decode_frame<T: Deserialize + WireDecode>(
+    format: WireFormat,
+    buf: &[u8],
+) -> Result<FrameOutcome<T>, NetError> {
+    if buf.len() < 4 {
+        return Ok(FrameOutcome::Incomplete);
+    }
+    let len = check_len(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]))?;
+    if buf.len() < 4 + len {
+        return Ok(FrameOutcome::Incomplete);
+    }
+    Ok(FrameOutcome::Frame {
+        result: decode_payload_as(format, &buf[4..4 + len]),
+        consumed: 4 + len,
+    })
 }
 
 /// Validate a frame length against [`MAX_FRAME_LEN`].
@@ -288,5 +434,102 @@ mod tests {
         buf.extend_from_slice(b"%%%%%");
         let err = read_frame::<_, Request>(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_frames_round_trip_through_the_format_aware_path() {
+        let msg = Request::Report {
+            performance: 2.25,
+            seq: Some(9),
+        };
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame_buf_as(&mut wire, WireFormat::Binary, &msg, &mut scratch).unwrap();
+        let got: Request =
+            read_frame_buf_as(&mut Cursor::new(&wire), WireFormat::Binary, &mut scratch).unwrap();
+        assert_eq!(got, msg);
+        // The same bytes are gibberish to a JSON reader — the formats
+        // really are distinct on the wire.
+        let err = read_frame_buf_as::<_, Request>(
+            &mut Cursor::new(&wire),
+            WireFormat::Json,
+            &mut scratch,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn json_format_aware_path_matches_the_legacy_encoder_byte_for_byte() {
+        let msg = Request::Report {
+            performance: 1.5,
+            seq: None,
+        };
+        let mut legacy = Vec::new();
+        encode_frame(&msg, &mut legacy).unwrap();
+        let mut via_format = Vec::new();
+        encode_frame_as(WireFormat::Json, &msg, &mut via_format).unwrap();
+        assert_eq!(legacy, via_format, "v1/v2 clients must see identical bytes");
+    }
+
+    #[test]
+    fn try_decode_frame_reports_incomplete_then_the_frame() {
+        let mut frame = Vec::new();
+        encode_frame_as(WireFormat::Binary, &Request::Fetch, &mut frame).unwrap();
+        for cut in 0..frame.len() {
+            match try_decode_frame::<Request>(WireFormat::Binary, &frame[..cut]).unwrap() {
+                FrameOutcome::Incomplete => {}
+                other => panic!("{cut} bytes decoded as {other:?}"),
+            }
+        }
+        // The whole frame, plus the start of a next one: only the first
+        // frame's bytes are consumed.
+        let mut stream = frame.clone();
+        stream.extend_from_slice(&[0, 0]);
+        match try_decode_frame::<Request>(WireFormat::Binary, &stream).unwrap() {
+            FrameOutcome::Frame { result, consumed } => {
+                assert_eq!(result.unwrap(), Request::Fetch);
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_decode_frame_keeps_the_boundary_on_a_bad_payload() {
+        // Well-framed garbage: the outcome is a recoverable in-frame
+        // error with the boundary intact, not a connection-fatal Err.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe, 0xfd]);
+        match try_decode_frame::<Request>(WireFormat::Binary, &buf).unwrap() {
+            FrameOutcome::Frame { result, consumed } => {
+                assert!(matches!(result.unwrap_err(), NetError::Protocol(_)));
+                assert_eq!(consumed, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An oversized header, by contrast, is fatal.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        assert!(try_decode_frame::<Request>(WireFormat::Json, &huge).is_err());
+    }
+
+    #[test]
+    fn clamp_scratch_releases_oversized_buffers_only() {
+        let mut small = Vec::with_capacity(512);
+        small.extend_from_slice(&[7u8; 100]);
+        clamp_scratch(&mut small);
+        assert!(small.is_empty());
+        assert!(small.capacity() >= 512, "small buffers keep their capacity");
+
+        let mut big = vec![0u8; SCRATCH_CLAMP * 4];
+        clamp_scratch(&mut big);
+        assert!(big.is_empty());
+        assert!(
+            big.capacity() <= SCRATCH_CLAMP,
+            "a {}-byte buffer survived the clamp",
+            big.capacity()
+        );
     }
 }

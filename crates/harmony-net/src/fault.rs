@@ -14,6 +14,11 @@
 //! The schedule is keyed by the proxy-global request-frame counter, so a
 //! plan replays identically for a deterministic client (including the
 //! extra `Hello`/`Resume` frames reconnects add).
+//!
+//! The proxy is wire-format-agnostic: it relays and faults raw
+//! length-prefixed frames without ever decoding a payload, so protocol
+//! v3's binary encoding passes through it exactly like v1/v2 JSON —
+//! every fault kind works identically against either format.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};

@@ -11,8 +11,10 @@
 //!   `Hello` → `SessionStart` → (`Fetch` → `Report`)* → `SessionEnd`,
 //!   with `Sensitivity`, `DbQuery`, and `Stats` (live metrics in
 //!   Prometheus text format) available as admin queries.
-//! * [`codec`] — the wire format: each message is one `u32` big-endian
-//!   length prefix followed by that many bytes of JSON.
+//! * [`codec`] — the framing: each message is one `u32` big-endian
+//!   length prefix followed by that many payload bytes — JSON for
+//!   protocols 1–2, the compact [`wire`] binary encoding once `Hello`
+//!   negotiates protocol 3.
 //! * [`server`] — [`server::TuningDaemon`]: on Linux an event-driven
 //!   `epoll` reactor (pipelined requests, a worker pool for request
 //!   execution, a few hundred bytes per idle connection), with the
@@ -68,7 +70,9 @@ pub mod protocol;
 #[cfg(target_os = "linux")]
 pub(crate) mod reactor;
 pub mod server;
+pub mod wire;
 
 pub use client::RetryPolicy;
 pub use error::{ErrorKind, NetError};
 pub use protocol::{MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+pub use wire::WireFormat;

@@ -33,6 +33,8 @@
 //! | `harmony_net_reactor_ready_events_depth` | histogram | descriptors ready per event-loop wakeup |
 //! | `harmony_net_reactor_pipelined_requests_total` | counter | requests decoded while an earlier one on the same connection was still queued or executing |
 //! | `harmony_net_reactor_fds_active` | gauge | connections currently registered with the reactor |
+//! | `harmony_net_frames_binary_total` | counter | frames encoded in the protocol-v3 binary format |
+//! | `harmony_net_frame_bytes_total{format=…}` | counter | payload bytes encoded, by wire format (the json − binary gap is the bytes saved) |
 //!
 //! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
 //! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
@@ -256,6 +258,35 @@ handle!(
     )
 );
 
+handle!(
+    frames_binary_total,
+    Counter,
+    global().counter(
+        "harmony_net_frames_binary_total",
+        "Frames encoded in the protocol-v3 binary format.",
+    )
+);
+
+handle!(
+    frame_bytes_json_total,
+    Counter,
+    global().counter_with(
+        "harmony_net_frame_bytes_total",
+        "Payload bytes encoded, by wire format.",
+        &[("format", "json")],
+    )
+);
+
+handle!(
+    frame_bytes_binary_total,
+    Counter,
+    global().counter_with(
+        "harmony_net_frame_bytes_total",
+        "Payload bytes encoded, by wire format.",
+        &[("format", "binary")],
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -343,6 +374,9 @@ pub(crate) fn preregister() {
     reactor_ready_events_depth();
     reactor_pipelined_requests_total();
     reactor_fds_active();
+    frames_binary_total();
+    frame_bytes_json_total();
+    frame_bytes_binary_total();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

@@ -29,8 +29,13 @@ use serde::{Deserialize, Serialize};
 /// speak the additive [`Request::Traced`] wrapper and
 /// [`Request::TraceDump`] (v1 clients are untouched — a request
 /// arriving without trace context starts a fresh root trace
-/// server-side).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// server-side). Version 3 changes no message semantics at all: it
+/// switches the payload encoding from JSON to the compact binary format
+/// in [`crate::wire`] once `Hello` negotiation lands on it (the `Hello`
+/// exchange itself always travels in the pre-negotiation format, JSON
+/// on a fresh connection, so both sides flip on the same frame
+/// boundary).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest version this build still serves. `Hello` negotiation picks the
 /// highest version inside both sides' ranges.
@@ -420,9 +425,11 @@ mod tests {
         // A v1 client's degenerate range lands on v1.
         assert_eq!(negotiate(1, 1), Some(1));
         // A current client gets the newest version.
-        assert_eq!(negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION), Some(2));
-        // A future client that still speaks v2 meets us there.
-        assert_eq!(negotiate(2, 99), Some(2));
+        assert_eq!(negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION), Some(3));
+        // A JSON-only client capped at v2 meets us there.
+        assert_eq!(negotiate(1, 2), Some(2));
+        // A future client beyond us lands on our newest.
+        assert_eq!(negotiate(2, 99), Some(3));
         // No overlap: refused.
         assert_eq!(negotiate(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 5), None);
         assert_eq!(negotiate(0, 0), None);

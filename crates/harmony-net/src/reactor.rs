@@ -45,7 +45,7 @@
 //!
 //! [`max_connections`]: crate::server::DaemonConfig::max_connections
 
-use crate::codec::{self, READ_CHUNK};
+use crate::codec::{self, FrameOutcome, WireFormat, READ_CHUNK, SCRATCH_CLAMP};
 use crate::poll::{Poller, Readiness};
 use crate::protocol::{Request, Response};
 use crate::server::{self, ConnState, Shared, POLL_INTERVAL};
@@ -102,6 +102,16 @@ struct Conn {
     /// Protocol state; `None` while checked out to a worker (or after
     /// the connection stopped serving).
     state: Option<ConnState>,
+    /// Mirror of the state's negotiated wire format, readable while the
+    /// state is checked out. Synced from the returned state in
+    /// `on_done`, which runs before the `Hello` response reaches the
+    /// peer — so no post-negotiation frame can arrive ahead of the sync.
+    format: WireFormat,
+    /// Free-list of one: the response frame buffer handed to the worker
+    /// pool, recycled (clamped) when the response comes back. One slot
+    /// suffices because at most one request per connection is in
+    /// flight.
+    spare: Vec<u8>,
     in_flight: bool,
     pending: VecDeque<Work>,
     /// Clean EOF observed (the peer finished sending).
@@ -132,6 +142,8 @@ impl Conn {
             wbuf: Vec::new(),
             wpos: 0,
             state: serving.then(ConnState::new),
+            format: WireFormat::Json,
+            spare: Vec::new(),
             in_flight: false,
             pending: VecDeque::new(),
             peer_closed: false,
@@ -397,11 +409,16 @@ impl Reactor {
             Some(Work::Fail(message)) => {
                 // Threaded parity: one best-effort Error frame, then
                 // the connection is done and its session is dropped
-                // without parking.
-                let mut frame = Vec::new();
-                if codec::encode_frame(&Response::Error { message }, &mut frame).is_ok() {
+                // without parking. The frame comes from the pooled
+                // buffer, in the connection's negotiated format.
+                let mut frame = std::mem::take(&mut conn.spare);
+                if codec::encode_frame_as(conn.format, &Response::Error { message }, &mut frame)
+                    .is_ok()
+                {
                     conn.wbuf.extend_from_slice(&frame);
                 }
+                codec::clamp_scratch(&mut frame);
+                conn.spare = frame;
                 conn.poisoned = true;
                 conn.state = None;
                 conn.pending.clear();
@@ -411,14 +428,24 @@ impl Reactor {
             Some(Work::Request(request, window)) => {
                 let mut state = conn.state.take().expect("state present: checked above");
                 conn.in_flight = true;
+                // The format is captured before serving: a `Hello` that
+                // negotiates v3 updates the state for *subsequent*
+                // frames, while its own response still encodes in the
+                // pre-negotiation format.
+                let fmt = state.wire_format();
+                // The pooled frame buffer travels with the job and
+                // comes back (clamped) in `on_done` — steady state
+                // encodes every response into the same allocation
+                // instead of a fresh `Vec` per request.
+                let mut frame = std::mem::take(&mut conn.spare);
+                frame.clear();
                 let shared = Arc::clone(&self.shared);
                 let tx = self.done_tx.clone();
                 let wake = Arc::clone(&self.wake_tx);
                 self.pool.submit(move || {
-                    let mut frame = Vec::new();
                     let result =
                         server::serve_request(request, window, &mut state, &shared, &mut |resp| {
-                            codec::encode_frame(resp, &mut frame)
+                            codec::encode_frame_as(fmt, resp, &mut frame)
                         });
                     let fatal = result.is_err();
                     let _ = tx.send(Done {
@@ -448,6 +475,16 @@ impl Reactor {
             conn.dead = true;
         } else {
             conn.wbuf.extend_from_slice(&done.frame);
+            // Recycle the frame buffer into the connection's pool slot,
+            // clamped so one giant response doesn't pin its high-water
+            // mark on the connection forever.
+            let mut frame = done.frame;
+            codec::clamp_scratch(&mut frame);
+            conn.spare = frame;
+            // Adopt whatever `Hello` may have negotiated before the
+            // response goes out: the next frame the peer sends after
+            // reading it will already be in the new format.
+            conn.format = done.state.wire_format();
             conn.state = Some(done.state);
         }
         // Serving the backlog may have been paused at MAX_PIPELINE;
@@ -490,7 +527,9 @@ impl Reactor {
             }
         }
         if conn.flushed() {
-            conn.wbuf.clear();
+            // Clear for reuse, releasing the allocation if one giant
+            // response grew it past the clamp.
+            codec::clamp_scratch(&mut conn.wbuf);
             conn.wpos = 0;
         }
         let want = !conn.flushed() && !conn.dead;
@@ -599,60 +638,62 @@ fn drain_wake(mut wake_rx: &UnixStream) {
     while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
 }
 
-/// Decode every complete frame sitting in `rbuf` into `pending`.
+/// Decode every complete frame sitting in `rbuf` into `pending`, in the
+/// connection's negotiated wire format.
 fn parse_frames(conn: &mut Conn) {
     if !conn.serving || conn.poisoned || conn.dead {
         return;
     }
     loop {
-        let avail = conn.rbuf.len() - conn.rpos;
-        if avail < 4 {
-            break;
-        }
-        let header: [u8; 4] = conn.rbuf[conn.rpos..conn.rpos + 4]
-            .try_into()
-            .expect("4 bytes checked");
-        let len = match codec::check_len(u32::from_be_bytes(header)) {
-            Ok(len) => len,
+        match codec::try_decode_frame::<Request>(conn.format, &conn.rbuf[conn.rpos..]) {
             Err(e) => {
+                // The length prefix itself is unusable (oversized):
+                // answer once and stop reading this stream.
                 conn.pending.push_back(Work::Fail(e.to_string()));
                 break;
             }
-        };
-        if avail < 4 + len {
-            // Partial frame: note (once) when its payload started
-            // arriving so the eventual `net.read` span covers the wait,
-            // matching the threaded reader's window.
-            if conn.frame_start_us.is_none() && harmony_obs::trace::is_enabled() {
-                conn.frame_start_us = Some(monotonic_us());
-            }
-            break;
-        }
-        let payload = &conn.rbuf[conn.rpos + 4..conn.rpos + 4 + len];
-        match codec::decode_payload::<Request>(payload) {
-            Ok(request) => {
-                conn.rpos += 4 + len;
-                let window = harmony_obs::trace::is_enabled().then(|| {
-                    let end = monotonic_us();
-                    (conn.frame_start_us.take().unwrap_or(end), end)
-                });
-                conn.frame_start_us = None;
-                if conn.in_flight || !conn.pending.is_empty() {
-                    crate::obs::reactor_pipelined_requests_total().inc();
+            Ok(FrameOutcome::Incomplete) => {
+                // Partial frame: note (once) when its payload started
+                // arriving so the eventual `net.read` span covers the
+                // wait, matching the threaded reader's window.
+                if conn.rbuf.len() - conn.rpos >= 4
+                    && conn.frame_start_us.is_none()
+                    && harmony_obs::trace::is_enabled()
+                {
+                    conn.frame_start_us = Some(monotonic_us());
                 }
-                conn.pending.push_back(Work::Request(request, window));
-            }
-            Err(e) => {
-                conn.rpos += 4 + len;
-                conn.pending.push_back(Work::Fail(e.to_string()));
                 break;
+            }
+            Ok(FrameOutcome::Frame { result, consumed }) => {
+                conn.rpos += consumed;
+                match result {
+                    Ok(request) => {
+                        let window = harmony_obs::trace::is_enabled().then(|| {
+                            let end = monotonic_us();
+                            (conn.frame_start_us.take().unwrap_or(end), end)
+                        });
+                        conn.frame_start_us = None;
+                        if conn.in_flight || !conn.pending.is_empty() {
+                            crate::obs::reactor_pipelined_requests_total().inc();
+                        }
+                        conn.pending.push_back(Work::Request(request, window));
+                    }
+                    Err(e) => {
+                        conn.pending.push_back(Work::Fail(e.to_string()));
+                        break;
+                    }
+                }
             }
         }
     }
     // Reclaim consumed bytes so a long-lived connection's buffer stays
-    // at its frame-size steady state.
+    // at its frame-size steady state; if one outsized frame grew the
+    // buffer past the clamp, release the allocation too.
     if conn.rpos > 0 {
         conn.rbuf.drain(..conn.rpos);
         conn.rpos = 0;
+    }
+    if conn.rbuf.is_empty() && conn.rbuf.capacity() > SCRATCH_CLAMP {
+        conn.rbuf.shrink_to(SCRATCH_CLAMP);
     }
 }

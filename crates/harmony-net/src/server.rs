@@ -36,7 +36,7 @@
 //! [`DaemonConfig::legacy_lock`] so `bench_daemon` can measure the
 //! difference.
 
-use crate::codec::{write_frame, write_frame_buf, READ_CHUNK};
+use crate::codec::{clamp_scratch, write_frame, write_frame_buf_as, WireFormat, READ_CHUNK};
 use crate::protocol::{
     negotiate, Request, Response, RunSummary, SensitivityEntry, SpaceSpec, MIN_SUPPORTED_VERSION,
     PROTOCOL_VERSION,
@@ -1005,6 +1005,12 @@ pub(crate) struct ConnState {
     /// Negotiated protocol version. Tokens and sequence numbers only
     /// exist from version 2 on.
     version: u32,
+    /// Payload encoding for frames *after* the current request: JSON
+    /// until `Hello` lands on version ≥ 3, binary from the next frame
+    /// on. Both connection models capture the format before serving a
+    /// request, so the `Hello` response itself still travels in the
+    /// pre-negotiation format.
+    format: WireFormat,
     /// Set when `Resume` named an already-finished session: the
     /// follow-up `SessionEnd` answers from the cached summary.
     completed_token: Option<String>,
@@ -1013,13 +1019,19 @@ pub(crate) struct ConnState {
 impl ConnState {
     /// The state a connection starts in, before `Hello` negotiates
     /// anything: the oldest supported protocol version (a client that
-    /// skips `Hello` gets v1 semantics) and no session.
+    /// skips `Hello` gets v1 semantics), JSON framing, and no session.
     pub(crate) fn new() -> ConnState {
         ConnState {
             active: None,
             version: MIN_SUPPORTED_VERSION,
+            format: WireFormat::Json,
             completed_token: None,
         }
+    }
+
+    /// The payload encoding this connection currently speaks.
+    pub(crate) fn wire_format(&self) -> WireFormat {
+        self.format
     }
 }
 
@@ -1033,13 +1045,19 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
     let mut rbuf: Vec<u8> = Vec::new();
     let mut wbuf: Vec<u8> = Vec::new();
     loop {
-        let (request, read_window) = match read_request(stream, shared, &mut rbuf) {
+        // The format is fixed before the request is read or served:
+        // a `Hello` that negotiates v3 flips `conn.format`, but its own
+        // request and response both travel in the format that was
+        // current when it arrived.
+        let fmt = conn.wire_format();
+        let (request, read_window) = match read_request(stream, shared, &mut rbuf, fmt) {
             Ok(Some(req)) => req,
             Ok(None) => break, // clean disconnect or shutdown
             Err(e) => {
                 // One best-effort complaint, then give up on the stream.
-                let _ = write_frame_buf(
+                let _ = write_frame_buf_as(
                     stream,
+                    fmt,
                     &Response::Error {
                         message: e.to_string(),
                     },
@@ -1049,8 +1067,12 @@ fn serve_connection(stream: &mut TcpStream, shared: &Shared) -> Result<(), NetEr
             }
         };
         serve_request(request, read_window, &mut conn, shared, &mut |response| {
-            write_frame_buf(stream, response, &mut wbuf)
+            write_frame_buf_as(stream, fmt, response, &mut wbuf)
         })?;
+        // Bound the per-connection high-water mark: one giant frame
+        // (a TraceDump, say) must not pin its size until disconnect.
+        clamp_scratch(&mut rbuf);
+        clamp_scratch(&mut wbuf);
     }
     finish_connection(&mut conn, shared);
     Ok(())
@@ -1239,6 +1261,14 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
             match negotiate(lo, hi) {
                 Some(v) => {
                     conn.version = v;
+                    // v3 == binary framing; the switch takes effect on
+                    // the next frame (this response still goes out in
+                    // the format the caller captured before serving).
+                    conn.format = if v >= 3 {
+                        WireFormat::Binary
+                    } else {
+                        WireFormat::Json
+                    };
                     Response::Hello {
                         version: v,
                         server: shared.config.server_name.clone(),
@@ -1548,6 +1578,7 @@ fn read_request(
     stream: &mut TcpStream,
     shared: &Shared,
     scratch: &mut Vec<u8>,
+    format: WireFormat,
 ) -> Result<Option<ReadRequest>, NetError> {
     let mut header = [0u8; 4];
     match fill(stream, &mut header, shared, true)? {
@@ -1570,7 +1601,7 @@ fn read_request(
         filled = target;
     }
     let window = read_start.map(|s| (s, harmony_obs::event::monotonic_us()));
-    crate::codec::decode_payload(&scratch[..len]).map(|req| Some((req, window)))
+    crate::codec::decode_payload_as(format, &scratch[..len]).map(|req| Some((req, window)))
 }
 
 enum Fill {
@@ -1774,6 +1805,9 @@ mod tests {
             "harmony_net_reactor_ready_events_depth",
             "harmony_net_reactor_pipelined_requests_total",
             "harmony_net_reactor_fds_active",
+            "harmony_net_frames_binary_total",
+            "harmony_net_frame_bytes_total{format=\"json\"}",
+            "harmony_net_frame_bytes_total{format=\"binary\"}",
             "harmony_db_wal_appends_total",
             "harmony_db_wal_flush_seconds",
             "harmony_db_compactions_total",
@@ -1885,7 +1919,8 @@ mod tests {
             &Request::Hello {
                 version: None,
                 min_version: Some(MIN_SUPPORTED_VERSION),
-                max_version: Some(PROTOCOL_VERSION),
+                // Cap at v2: this raw socket keeps speaking JSON.
+                max_version: Some(2),
                 client: "test".into(),
             },
         )
@@ -1957,7 +1992,8 @@ mod tests {
             &Request::Hello {
                 version: None,
                 min_version: Some(2),
-                max_version: Some(PROTOCOL_VERSION),
+                // Cap at v2: this raw socket keeps speaking JSON.
+                max_version: Some(2),
                 client: "test".into(),
             },
         )
@@ -2009,7 +2045,8 @@ mod tests {
             &Request::Hello {
                 version: None,
                 min_version: Some(2),
-                max_version: Some(PROTOCOL_VERSION),
+                // Cap at v2: this raw socket keeps speaking JSON.
+                max_version: Some(2),
                 client: "test".into(),
             },
         )

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Aggregate every BENCH_*.json at the repository root into a markdown
+# trajectory table and splice it into results/README.md between the
+# bench-report markers (the rest of the file is left untouched, so the
+# table can be regenerated after any bench run). Run from anywhere;
+# depends only on POSIX tools + awk. Exits non-zero when no BENCH files
+# exist or the markers are missing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+readme=results/README.md
+begin='<!-- bench-report:begin -->'
+end='<!-- bench-report:end -->'
+
+files=(BENCH_*.json)
+[ -e "${files[0]}" ] || {
+    echo "bench_report: no BENCH_*.json at the repository root" >&2
+    exit 1
+}
+grep -qF "$begin" "$readme" && grep -qF "$end" "$readme" || {
+    echo "bench_report: $readme is missing the bench-report markers" >&2
+    exit 1
+}
+
+table=$(
+    for f in "${files[@]}"; do
+        # Top-level scalars only: two-space-indented `"key": value`
+        # lines. Nested result rows are indented deeper and skipped.
+        awk -v file="$f" '
+            /^  "[a-z_0-9]+": / {
+                key = $0; sub(/^  "/, "", key); sub(/".*/, "", key)
+                val = $0; sub(/^[^:]*: /, "", val); sub(/,$/, "", val)
+                if (key == "bench" || key == "results") next
+                if (val ~ /^[\[{]/) next  # nested object/array, not a scalar
+                gsub(/"/, "", val)
+                out = out sep key " " val; sep = ", "
+            }
+            END { printf "| `%s` | %s |\n", file, out }
+        ' "$f"
+    done
+)
+
+tmp=$(mktemp)
+awk -v begin="$begin" -v end="$end" -v table="$table" '
+    $0 == begin {
+        print
+        print ""
+        print "| Baseline | Headline numbers |"
+        print "|---|---|"
+        print table
+        print ""
+        skipping = 1
+    }
+    $0 == end { skipping = 0 }
+    !skipping { print }
+' "$readme" >"$tmp"
+mv "$tmp" "$readme"
+echo "bench_report: refreshed ${#files[@]} baselines in $readme"

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # --- Metric names -----------------------------------------------------
-# Registration sites look like `registry.counter("name", "help")`; the
+# Registration sites look like `registry.counter("name", "help")` or the
+# labeled `registry.counter_with("name", "help", &[...])` family; either
 # call may be wrapped across lines by rustfmt, so each file is flattened
 # before matching. harmony-obs itself is the registry implementation:
 # its unit tests and doctests register deliberately toy names and are
@@ -22,7 +23,7 @@ while IFS= read -r file; do
         registrations+=("$file $name")
     done < <(
         tr '\n' ' ' <"$file" \
-            | grep -oE '\.(counter|gauge|histogram)\( *"[^"]+"' \
+            | grep -oE '\.(counter|gauge|histogram)(_with)?\( *"[^"]+"' \
             | sed -E 's/.*"([^"]+)"/\1/'
     )
 done < <(find crates -name '*.rs' -path '*/src/*' ! -path 'crates/harmony-obs/*')

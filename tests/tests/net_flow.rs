@@ -664,3 +664,384 @@ fn reactor_and_threaded_models_produce_identical_trajectories() {
     );
     assert!(!reactor.0.is_empty());
 }
+
+// ---------------------------------------------------------------------
+// Protocol-v3 binary wire format: encode→decode is the identity on
+// arbitrary messages, and a JSON-pinned v2 client walks the same tuning
+// trajectory as a binary v3 client — the encoding changes bytes, never
+// behavior.
+
+mod wire_equivalence {
+    use super::*;
+    use harmony_net::protocol::{Response, RunSummary, SensitivityEntry, WireSpan, WireTrace};
+    use harmony_net::wire::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    fn arb_bool() -> impl Strategy<Value = bool> {
+        (0u8..2).prop_map(|b| b == 1)
+    }
+
+    fn arb_u32() -> impl Strategy<Value = u32> {
+        0u32..u32::MAX
+    }
+
+    fn arb_u64() -> impl Strategy<Value = u64> {
+        0u64..u64::MAX
+    }
+
+    fn arb_i64() -> impl Strategy<Value = i64> {
+        i64::MIN..i64::MAX
+    }
+
+    /// `Option<T>` over any strategy (the vendored proptest has no
+    /// `prop::option`), biased 50/50 so `None`-heavy `Hello`s appear.
+    fn opt<T: Clone + 'static>(
+        some: impl Strategy<Value = T> + 'static,
+    ) -> impl Strategy<Value = Option<T>> {
+        prop_oneof![Just(None), some.prop_map(Some)]
+    }
+
+    /// Finite floats plus signed infinities. `NaN` is excluded only
+    /// because `PartialEq` can't witness its round trip (`NaN != NaN`);
+    /// the codec's own unit tests cover it bit-exactly.
+    fn arb_f64() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            Just(0.0),
+            Just(-0.0),
+            Just(f64::MAX),
+            Just(f64::MIN_POSITIVE),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            -1e12f64..1e12f64,
+        ]
+    }
+
+    /// Printable ASCII plus some multi-byte UTF-8, small enough to keep
+    /// cases fast.
+    fn arb_string() -> impl Strategy<Value = String> {
+        prop_oneof![".{0,12}", "[a-zé✓° ]{1,8}"]
+    }
+
+    /// A valid parameter space: int parameters with consistent bounds,
+    /// categorical parameters with in-range defaults, unique names.
+    fn arb_space() -> impl Strategy<Value = ParameterSpace> {
+        let int_param = (-100i64..100, 0i64..200, 1i64..5, 0u8..=100)
+            .prop_map(|(min, width, step, frac)| (min, min + width, step, frac));
+        let categorical = (prop::collection::vec(arb_string(), 1..4), 0u8..=100);
+        prop::collection::vec(
+            prop_oneof![
+                int_param.prop_map(|v| (Some(v), None)),
+                categorical.prop_map(|v| (None, Some(v))),
+            ],
+            1..4,
+        )
+        .prop_map(|params| {
+            let params = params
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| match p {
+                    (Some((min, max, step, frac)), _) => {
+                        // A default on the grid, interpolated into the
+                        // bounds so it is always valid.
+                        let default = min + (max - min) * i64::from(frac) / 100;
+                        ParamDef::int(format!("p{i}"), min, max, default, step)
+                    }
+                    (_, Some((labels, frac))) => {
+                        let default = usize::from(frac) * (labels.len() - 1) / 100;
+                        ParamDef::categorical(format!("p{i}"), labels, default)
+                    }
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>();
+            ParameterSpace::new(params).expect("generated space is valid")
+        })
+    }
+
+    fn arb_space_spec() -> impl Strategy<Value = SpaceSpec> {
+        prop_oneof![
+            arb_string().prop_map(SpaceSpec::Rsl),
+            arb_space().prop_map(SpaceSpec::Explicit),
+        ]
+    }
+
+    fn arb_span() -> impl Strategy<Value = WireSpan> {
+        // Nested tuples: the vendored proptest stops at 6-element ones.
+        (
+            (arb_u64(), arb_u64(), arb_string(), arb_string()),
+            (arb_u64(), arb_u64(), arb_bool()),
+        )
+            .prop_map(|((id, parent, stage, detail), (start_us, end_us, error))| {
+                WireSpan {
+                    id,
+                    parent,
+                    stage,
+                    detail,
+                    start_us,
+                    end_us,
+                    error,
+                }
+            })
+    }
+
+    /// Every bare `Request` variant, `None`-heavy `Hello`s included.
+    fn arb_bare_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (opt(arb_u32()), opt(arb_u32()), opt(arb_u32()), arb_string(),).prop_map(
+                |(version, min_version, max_version, client)| {
+                    Request::Hello {
+                        version,
+                        min_version,
+                        max_version,
+                        client,
+                    }
+                }
+            ),
+            (
+                arb_space_spec(),
+                arb_string(),
+                prop::collection::vec(arb_f64(), 0..4),
+                opt(0usize..10_000),
+            )
+                .prop_map(|(space, label, characteristics, max_iterations)| {
+                    Request::SessionStart {
+                        space,
+                        label,
+                        characteristics,
+                        max_iterations,
+                    }
+                }),
+            arb_string().prop_map(|token| Request::Resume { token }),
+            Just(Request::Fetch),
+            (arb_f64(), opt(arb_u64()))
+                .prop_map(|(performance, seq)| Request::Report { performance, seq }),
+            Just(Request::SessionEnd),
+            Just(Request::Sensitivity),
+            Just(Request::DbQuery),
+            Just(Request::Stats),
+            Just(Request::TraceDump),
+        ]
+    }
+
+    /// Bare variants plus the `Traced{…}` wrapper around any of them.
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            arb_bare_request(),
+            arb_bare_request(),
+            arb_bare_request(),
+            (
+                arb_u64(),
+                arb_u64(),
+                prop::collection::vec(arb_span(), 0..3),
+                arb_bare_request(),
+            )
+                .prop_map(|(trace_id, parent_span, spans, request)| Request::Traced {
+                    trace_id,
+                    parent_span,
+                    spans,
+                    request: Box::new(request),
+                }),
+        ]
+    }
+
+    /// Every `Response` variant.
+    fn arb_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            (arb_u32(), arb_string())
+                .prop_map(|(version, server)| Response::Hello { version, server }),
+            (
+                arb_space(),
+                opt(arb_string()),
+                0usize..10_000,
+                opt(arb_string()),
+            )
+                .prop_map(
+                    |(space, trained_from, training_iterations, session_token)| {
+                        Response::SessionStarted {
+                            space,
+                            trained_from,
+                            training_iterations,
+                            session_token,
+                        }
+                    }
+                ),
+            (0usize..10_000, arb_u64(), arb_bool()).prop_map(|(iteration, next_seq, done)| {
+                Response::Resumed {
+                    iteration,
+                    next_seq,
+                    done,
+                }
+            }),
+            Just(Response::Draining),
+            (prop::collection::vec(arb_i64(), 0..4), 0usize..10_000)
+                .prop_map(|(values, iteration)| Response::Config { values, iteration }),
+            Just(Response::Done),
+            Just(Response::Reported),
+            (
+                prop::collection::vec(arb_i64(), 0..4),
+                arb_f64(),
+                0usize..10_000,
+                arb_bool(),
+            )
+                .prop_map(|(values, performance, iterations, converged)| {
+                    Response::SessionSummary {
+                        values,
+                        performance,
+                        iterations,
+                        converged,
+                    }
+                }),
+            prop::collection::vec(
+                (0usize..16, arb_string(), arb_f64(), arb_i64()).prop_map(
+                    |(index, name, sensitivity, best_value)| SensitivityEntry {
+                        index,
+                        name,
+                        sensitivity,
+                        best_value,
+                    }
+                ),
+                0..3,
+            )
+            .prop_map(|entries| Response::Sensitivity { entries }),
+            prop::collection::vec(
+                (
+                    arb_string(),
+                    prop::collection::vec(arb_f64(), 0..3),
+                    0usize..1000,
+                    opt(arb_f64()),
+                )
+                    .prop_map(
+                        |(label, characteristics, records, best_performance)| {
+                            RunSummary {
+                                label,
+                                characteristics,
+                                records,
+                                best_performance,
+                            }
+                        }
+                    ),
+                0..3,
+            )
+            .prop_map(|runs| Response::Runs { runs }),
+            arb_string().prop_map(|text| Response::Stats { text }),
+            prop::collection::vec(
+                (
+                    arb_u64(),
+                    arb_bool(),
+                    prop::collection::vec(arb_span(), 0..3)
+                )
+                    .prop_map(|(trace_id, complete, spans)| WireTrace {
+                        trace_id,
+                        complete,
+                        spans,
+                    }),
+                0..3,
+            )
+            .prop_map(|traces| Response::TraceDump { traces }),
+            arb_string().prop_map(|message| Response::Error { message }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn binary_request_round_trip_is_identity(request in arb_request()) {
+            let bytes = to_bytes(&request);
+            let back: Request = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, request);
+        }
+
+        #[test]
+        fn binary_response_round_trip_is_identity(response in arb_response()) {
+            let bytes = to_bytes(&response);
+            let back: Response = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, response);
+        }
+
+        #[test]
+        fn hostile_request_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+            // Decoding arbitrary garbage must always return, never
+            // panic or loop: Ok on the rare valid encoding, a protocol
+            // error otherwise.
+            let _ = from_bytes::<Request>(&bytes);
+            let _ = from_bytes::<Response>(&bytes);
+        }
+    }
+}
+
+#[test]
+fn v2_json_and_v3_binary_clients_walk_identical_trajectories() {
+    // The same session driven over JSON (client pinned at protocol v2)
+    // and over the binary v3 format against identical fresh daemons must
+    // propose the same configurations in the same order and agree on
+    // the summary: the wire encoding must never leak into tuning
+    // behavior. f64 performance values cross the wire bit-exactly in
+    // both formats, so the comparison is exact, not approximate.
+    let trajectory = |max_version: u32| {
+        let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+        let mut proposals: Vec<Vec<i64>> = Vec::new();
+        let mut client = Client::builder(handle.addr())
+            .max_protocol_version(max_version)
+            .connect()
+            .unwrap();
+        assert_eq!(client.protocol_version(), max_version);
+        let expected = if max_version >= 3 {
+            harmony_net::WireFormat::Binary
+        } else {
+            harmony_net::WireFormat::Json
+        };
+        assert_eq!(client.wire_format(), expected);
+        let (started, summary) = client
+            .tune_with(
+                SpaceSpec::Explicit(space()),
+                "wire-parity",
+                vec![0.4, 0.6],
+                None,
+                |cfg| {
+                    proposals.push(cfg.values().to_vec());
+                    Ok::<f64, NetError>(perf(cfg))
+                },
+            )
+            .unwrap();
+        handle.shutdown();
+        (
+            proposals,
+            started.training_iterations,
+            summary.best.values().to_vec(),
+            summary.performance.to_bits(),
+            summary.iterations,
+            summary.converged,
+        )
+    };
+    let json = trajectory(2);
+    let binary = trajectory(3);
+    assert_eq!(json, binary, "wire format must not change tuning behavior");
+    assert!(!json.0.is_empty());
+}
+
+#[test]
+fn binary_frames_and_bytes_are_accounted() {
+    let handle = TuningDaemon::start(daemon_config(None)).unwrap();
+    let before = stats_snapshot(handle.addr());
+    run_session(handle.addr(), "binary-accounting", vec![77.0, 3.0]);
+    let after = stats_snapshot(handle.addr());
+
+    // The default client negotiates v3, so the session's frames land on
+    // the binary counters (>= : the registry is process-global).
+    let frames = "harmony_net_frames_binary_total";
+    assert!(
+        series(&after, frames) >= series(&before, frames) + 10.0,
+        "a whole session must count its binary frames"
+    );
+    // Bytes-saved pair: the session's binary payload bytes land on the
+    // `format="binary"` series (the wire-level JSON-vs-binary size
+    // comparison itself is a harmony-net unit test; here we only prove
+    // the accounting is wired through the daemon).
+    let bin_bytes = series(&after, "harmony_net_frame_bytes_total{format=\"binary\"}")
+        - series(&before, "harmony_net_frame_bytes_total{format=\"binary\"}");
+    let bin_frames = series(&after, frames) - series(&before, frames);
+    assert!(bin_bytes > 0.0, "binary bytes must be accounted");
+    assert!(
+        bin_bytes / bin_frames >= 2.0,
+        "frames carry at least a tag byte plus a payload"
+    );
+    handle.shutdown();
+}

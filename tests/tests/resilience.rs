@@ -16,9 +16,7 @@ use harmony::prelude::*;
 use harmony_net::client::{Client, RetryPolicy, SessionSummary};
 use harmony_net::codec::{read_frame, write_frame};
 use harmony_net::fault::{FaultKind, FaultPlan, FaultProxy};
-use harmony_net::protocol::{
-    Request, Response, SpaceSpec, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
-};
+use harmony_net::protocol::{Request, Response, SpaceSpec, MIN_SUPPORTED_VERSION};
 use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
 use harmony_net::NetError;
 use proptest::prelude::*;
@@ -69,13 +67,15 @@ fn hello_v2(addr: std::net::SocketAddr) -> TcpStream {
         &Request::Hello {
             version: None,
             min_version: Some(MIN_SUPPORTED_VERSION),
-            max_version: Some(PROTOCOL_VERSION),
+            // Cap at v2: this raw socket keeps speaking JSON (v3 would
+            // switch the connection to binary framing).
+            max_version: Some(2),
             client: "resilience test".into(),
         },
     )
     .unwrap();
     match read_frame::<_, Response>(&mut stream).unwrap() {
-        Response::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        Response::Hello { version, .. } => assert_eq!(version, 2),
         other => panic!("expected Hello, got {other:?}"),
     }
     stream

@@ -499,6 +499,7 @@ fn run_phase(
         label: "c10k".into(),
         characteristics: vec![0.5, 0.5],
         max_iterations: Some(FETCHES + 2),
+        engine: None,
     };
     let start_frame = Rc::new(frame(format, &start_req));
 

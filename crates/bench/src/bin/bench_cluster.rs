@@ -1,0 +1,318 @@
+//! Failover baseline for the sharded, replicated experience tier.
+//!
+//! Spawns a 3-daemon cluster as real child processes (each one a ring
+//! member with replication factor 2), seeds it with completed runs
+//! spread across the shard space, then starts a live session on member
+//! 0 and SIGKILLs that member mid-tune. The client fails over through
+//! its endpoint list, a replica adopts the session from the last
+//! shipped snapshot, and the run finishes on a survivor.
+//!
+//! Two properties are asserted in-process (and re-checked by CI against
+//! `BENCH_cluster.json`):
+//!
+//! * `zero_loss` — every run recorded before the kill, plus the
+//!   failed-over run, is queryable on the survivors afterwards.
+//! * `trajectory_identical` — the interrupted session walks exactly the
+//!   trajectory of an undisturbed single-daemon run: same
+//!   configurations in the same order, same best performance to the
+//!   last bit.
+//!
+//! Flags: `--smoke` shrinks the seed workload for CI. The hidden
+//! `--node` mode is how the parent re-executes itself as a ring member.
+
+use harmony_net::client::{Client, RetryPolicy};
+use harmony_net::protocol::SpaceSpec;
+use harmony_net::server::{DaemonConfig, TuningDaemon};
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+const RSL: &str =
+    "{ harmonyBundle cache { int {1 20 1} }}\n{ harmonyBundle threads { int {1 20 1} }}";
+
+/// Live-session budget (the one interrupted by the kill).
+const BUDGET: usize = 40;
+/// Iterations driven before member 0 is killed.
+const BEFORE_KILL: usize = 7;
+/// Ring members and replication factor.
+const MEMBERS: usize = 3;
+const REPLICATION: usize = 2;
+
+/// Deterministic synthetic objective, optimum at cache=14, threads=6.
+fn perf(values: &[i64]) -> f64 {
+    let c = values[0] as f64;
+    let t = values[1] as f64;
+    200.0 - (c - 14.0).powi(2) - 2.0 * (t - 6.0).powi(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--node") {
+        run_node(&args[1..]);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed_sessions = if smoke { 3 } else { 12 };
+
+    // Reserve distinct loopback ports, then release them for the nodes.
+    let addrs: Vec<String> = {
+        let listeners: Vec<TcpListener> = (0..MEMBERS)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+            .collect()
+    };
+
+    let mut children: Vec<Child> = (0..MEMBERS).map(|i| spawn_node(&addrs, i)).collect();
+    for addr in &addrs {
+        await_listening(addr);
+    }
+    println!(
+        "cluster up: {} members, replication {REPLICATION}",
+        addrs.len()
+    );
+
+    // Seed: completed runs spread across the shard space, driven
+    // against alternating members.
+    for i in 0..seed_sessions {
+        let mut client = Client::connect(addrs[i % MEMBERS].as_str()).expect("seed client");
+        drive_session(
+            &mut client,
+            &format!("seed-{i}"),
+            vec![0.05 + 0.9 * i as f64 / seed_sessions as f64, 0.5],
+            if smoke { 8 } else { 15 },
+        );
+    }
+    println!("seeded {seed_sessions} completed runs");
+
+    // Reference: the identical session against a lone daemon, no
+    // cluster, no priors — the trajectory the failover must reproduce.
+    let clean = TuningDaemon::start(DaemonConfig::default()).expect("clean daemon");
+    let mut direct = Client::connect(clean.addr()).expect("clean client");
+    let (clean_trace, clean_best) = drive_traced(&mut direct, "clean", BUDGET, usize::MAX, None);
+    clean.shutdown();
+
+    // The measured run: start on member 0, kill member 0 mid-tune.
+    let mut builder = Client::builder(addrs[0].as_str())
+        .connect_timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::default().with_max_retries(12).with_seed(9));
+    for addr in &addrs[1..] {
+        builder = builder.endpoint(addr.as_str());
+    }
+    let mut client = builder.connect().expect("ring client");
+    let kill = |children: &mut Vec<Child>| {
+        let mut victim = children.remove(0);
+        victim.kill().expect("SIGKILL member 0");
+        victim.wait().expect("reap member 0");
+        Instant::now()
+    };
+    let mut killed_at = None;
+    let mut failover_ms = 0.0;
+    let (trace, best) = drive_traced(
+        &mut client,
+        "failover",
+        BUDGET,
+        BEFORE_KILL,
+        Some(&mut |iteration: usize| {
+            if iteration == BEFORE_KILL {
+                killed_at = Some(kill(&mut children));
+                println!("killed member 0 after {BEFORE_KILL} iterations");
+            } else if let Some(t0) = killed_at.take() {
+                // First iteration served after the kill: its fetch paid
+                // for the reconnect, redirect chain, and adoption.
+                failover_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+            }
+        }),
+    );
+    println!("failover resumed in {failover_ms:.1}ms, session finished on a survivor");
+
+    // Zero loss: every seed run and the failed-over run must be on the
+    // survivors.
+    let mut surviving: HashSet<String> = HashSet::new();
+    for addr in &addrs[1..] {
+        let mut c = Client::connect(addr.as_str()).expect("survivor client");
+        for run in c.db_runs().expect("survivor DbQuery") {
+            surviving.insert(run.label);
+        }
+    }
+    let mut expected: Vec<String> = (0..seed_sessions).map(|i| format!("seed-{i}")).collect();
+    expected.push("failover".into());
+    let lost: Vec<&String> = expected
+        .iter()
+        .filter(|l| !surviving.contains(*l))
+        .collect();
+    let zero_loss = lost.is_empty();
+    println!(
+        "runs recorded before + during the kill: {}, surviving: {}",
+        expected.len(),
+        expected.len() - lost.len()
+    );
+
+    let trajectory_identical = clean_trace == trace && clean_best == best;
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"smoke\": {smoke},\n  \"members\": {MEMBERS},\n  \
+         \"replication\": {REPLICATION},\n  \"seed_runs\": {seed_sessions},\n  \
+         \"iterations_before_kill\": {BEFORE_KILL},\n  \"trajectory_len\": {},\n  \
+         \"failover_ms\": {failover_ms:.1},\n  \"zero_loss\": {zero_loss},\n  \
+         \"trajectory_identical\": {trajectory_identical}\n}}\n",
+        trace.len(),
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    assert!(
+        zero_loss,
+        "recorded runs lost to a single daemon death: {lost:?}"
+    );
+    assert!(
+        trajectory_identical,
+        "failover perturbed the search: clean {} iterations vs {} \
+         (best {clean_best:?} vs {best:?})",
+        clean_trace.len(),
+        trace.len(),
+    );
+}
+
+/// One fetched configuration and the performance bits it measured.
+type TraceStep = (Vec<i64>, u64);
+/// A session summary fingerprint: iterations, best values, best bits.
+type Fingerprint = (usize, Vec<i64>, u64);
+
+/// Drive a full session, returning the exact trajectory and the summary
+/// fingerprint (iterations, best values, best performance bits). `hook`
+/// runs after each report with the number of completed iterations.
+fn drive_traced(
+    client: &mut Client,
+    label: &str,
+    budget: usize,
+    hook_at: usize,
+    mut hook: Option<&mut dyn FnMut(usize)>,
+) -> (Vec<TraceStep>, Fingerprint) {
+    client
+        .start_session(SpaceSpec::Rsl(RSL.into()), label, vec![], Some(budget))
+        .expect("session starts");
+    let mut trace = Vec::new();
+    let mut done = 0usize;
+    while let Some(p) = client.fetch().expect("fetch") {
+        let y = perf(p.values.values());
+        trace.push((p.values.values().to_vec(), y.to_bits()));
+        client.report(y).expect("report");
+        done += 1;
+        if done >= hook_at {
+            if let Some(hook) = hook.as_mut() {
+                hook(done);
+            }
+        }
+    }
+    let summary = client.end_session().expect("session ends");
+    let fingerprint = (
+        summary.iterations,
+        summary.best.values().to_vec(),
+        summary.performance.to_bits(),
+    );
+    (trace, fingerprint)
+}
+
+/// Drive one short seed session to completion.
+fn drive_session(client: &mut Client, label: &str, characteristics: Vec<f64>, budget: usize) {
+    client
+        .start_session(
+            SpaceSpec::Rsl(RSL.into()),
+            label,
+            characteristics,
+            Some(budget),
+        )
+        .expect("seed session starts");
+    while let Some(p) = client.fetch().expect("seed fetch") {
+        client.report(perf(p.values.values())).expect("seed report");
+    }
+    client.end_session().expect("seed session ends");
+}
+
+/// Re-execute this binary as ring member `i`.
+fn spawn_node(addrs: &[String], i: usize) -> Child {
+    let peers: Vec<String> = addrs
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, a)| a.clone())
+        .collect();
+    Command::new(std::env::current_exe().expect("own path"))
+        .args([
+            "--node",
+            &addrs[i],
+            "--node-peers",
+            &peers.join(","),
+            "--node-replicate",
+            &REPLICATION.to_string(),
+        ])
+        .spawn()
+        .expect("spawn ring member")
+}
+
+/// Child-process mode: serve one ring member until killed.
+fn run_node(args: &[String]) {
+    let mut addr = None;
+    let mut peers = Vec::new();
+    let mut replication = 1;
+    let mut it = args.iter();
+    // The first positional is the listen/ring address (already consumed
+    // `--node` in main).
+    if let Some(a) = it.next() {
+        addr = Some(a.clone());
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--node-peers" => {
+                peers = it
+                    .next()
+                    .expect("--node-peers value")
+                    .split(',')
+                    .map(String::from)
+                    .collect();
+            }
+            "--node-replicate" => {
+                replication = it
+                    .next()
+                    .expect("--node-replicate value")
+                    .parse()
+                    .expect("replication factor");
+            }
+            other => panic!("unknown node flag {other}"),
+        }
+    }
+    let addr = addr.expect("--node <addr>");
+    let config = DaemonConfig::builder()
+        .listen(addr.clone())
+        .cluster(addr, peers, replication)
+        .build()
+        .expect("node config");
+    let _handle = TuningDaemon::start(config).expect("node daemon");
+    // Park until the parent kills us: the daemon threads do the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Block until `addr` accepts connections (the member is serving).
+fn await_listening(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(_) => return,
+            Err(e) if Instant::now() >= deadline => {
+                panic!("member {addr} never came up: {e}")
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}

@@ -52,6 +52,7 @@ fn request_mix() -> Vec<Request> {
             label: "bench-session".into(),
             characteristics: vec![0.25, 0.75, 12.5],
             max_iterations: Some(60),
+            engine: None,
         },
     ];
     for i in 0..60u64 {

@@ -79,6 +79,13 @@ pub enum Command {
         compact_every: Option<usize>,
         /// Address to bind.
         listen: String,
+        /// Other cluster members' advertised addresses (repeat `--peer`
+        /// or comma-separate). The daemon joins their consistent-hash
+        /// ring, advertising its own `--listen` address.
+        peers: Vec<String>,
+        /// Ring members holding each run and replicated session,
+        /// counting the owner (needs `--peer`).
+        replicate: Option<usize>,
         /// Default live-iteration budget for sessions.
         iterations: Option<usize>,
         /// Concurrent-connection cap.
@@ -176,6 +183,7 @@ USAGE:
               [--mixes browsing,shopping,ordering] [--out <leaderboard.txt>]
   harmony-cli serve <params.rsl> [--listen <host:port>] [--db <experience.json>]
               [--wal <journal.wal>] [--compact-every N]
+              [--peer <host:port>[,<host:port>…]] [--replicate N]
               [--iterations N] [--max-connections N] [--threaded]
               [--log-json <events.jsonl>]
               [--log-rotate-bytes N] [--log-keep N] [--no-trace]
@@ -193,11 +201,14 @@ are answered from the in-memory cache instead of re-measured. Results are
 identical to a sequential run for a deterministic measure command; under
 measurement noise the cache pins each configuration to its first sample.
 
---engine <name> picks the local search strategy from the harmony-engines
+--engine <name> picks the search strategy from the harmony-engines
 registry: 'simplex' (the classic kernel behind the engine trait),
 'divide-diverge' (BestConfig-style sampling with recursive bound-and-search)
 or 'tuneful' (online significance-aware tuning that shrinks the active
-parameter set). All engines honour --db warm starting and --jobs batching.
+parameter set). Locally all engines honour --db warm starting and --jobs
+batching; with --remote the name travels in the SessionStart and the daemon
+builds and drives the engine server-side (with its own warm start), so a
+remote run explores the identical trajectory a local one would.
 'tournament' needs no RSL or measure command: it races every engine on the
 built-in websim workload mixes, meta-tunes each engine's hyperparameters and
 writes a deterministic leaderboard (byte-identical for a fixed --seed at any
@@ -206,8 +217,10 @@ writes a deterministic leaderboard (byte-identical for a fixed --seed at any
 With --remote, the configurations come from a tuning daemon (see 'serve')
 instead of the in-process kernel: the daemon classifies the session against
 its shared experience database and records the finished run back into it.
---db and --original are daemon-side decisions and cannot be combined with
---remote. --retry N retries each failed-but-retryable request up to N times
+--remote accepts a comma-separated endpoint list (every daemon of one
+cluster): the client dials them in order, fails over to the next on a dead
+daemon, and follows the cluster's session-ownership redirects. --db and
+--original are daemon-side decisions and cannot be combined with --remote. --retry N retries each failed-but-retryable request up to N times
 with jittered backoff, reconnecting and resuming the session in place;
 --deadline MS bounds each request's response time (expiry counts as
 retryable). --wire picks the encoding against the daemon: 'binary' (the
@@ -237,7 +250,17 @@ With --db, completed runs are journaled to a write-ahead log (one JSON line
 per run, --wal overrides its location) and folded into the snapshot file
 every --compact-every appends (default 64) and at shutdown. A crash between
 compactions loses nothing: on restart the daemon replays the journal on top
-of the snapshot, tolerating at most one torn final line.";
+of the snapshot, tolerating at most one torn final line.
+
+With --peer, 'serve' joins a cluster: every daemon lists the others'
+addresses (its own identity is its --listen address, byte-for-byte as the
+peers spell it) and they form a consistent-hash ring. Sessions are owned by
+the daemon that starts them; recorded runs live on the ring member their
+workload characteristics hash to, shipped there over the peer protocol.
+--replicate N keeps each run and each live session's snapshots on N members
+(counting the owner), so with N >= 2 killing any single daemon loses no
+recorded run, and an interrupted session resumes — bit-identically — on the
+surviving replica the client's reconnect is redirected to.";
 
 /// Parse a full argument vector (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
@@ -397,10 +420,6 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 return Err(err("tune: --jobs applies to local tuning only \
                      (a remote daemon proposes configurations one at a time)"));
             }
-            if remote.is_some() && engine.is_some() {
-                return Err(err("tune: --engine applies to local tuning only \
-                     (the daemon owns the search strategy)"));
-            }
             if original && engine.as_deref().is_some_and(|e| e != "simplex") {
                 return Err(err(
                     "tune: --original configures the simplex engine's initial \
@@ -448,6 +467,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let mut wal = None;
             let mut compact_every = None;
             let mut listen = "127.0.0.1:1977".to_string();
+            let mut peers: Vec<String> = Vec::new();
+            let mut replicate = None;
             let mut iterations = None;
             let mut max_connections = None;
             let mut threaded = false;
@@ -463,6 +484,23 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         compact_every = Some(parse_value(&mut it, "--compact-every")?)
                     }
                     "--listen" => listen = next_str(&mut it, "--listen")?,
+                    "--peer" => {
+                        let raw = next_str(&mut it, "--peer")?;
+                        for peer in raw.split(',') {
+                            let peer = peer.trim();
+                            if peer.is_empty() {
+                                return Err(err("--peer: empty address"));
+                            }
+                            peers.push(peer.to_string());
+                        }
+                    }
+                    "--replicate" => {
+                        let n: usize = parse_value(&mut it, "--replicate")?;
+                        if n == 0 {
+                            return Err(err("--replicate: must be at least 1"));
+                        }
+                        replicate = Some(n);
+                    }
                     "--iterations" => iterations = Some(parse_value(&mut it, "--iterations")?),
                     "--max-connections" | "--max-conns" => {
                         max_connections = Some(parse_value(&mut it, "--max-connections")?)
@@ -487,9 +525,12 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     other => return Err(err(format!("serve: unexpected argument {other:?}"))),
                 }
             }
-            if db.is_none() && (wal.is_some() || compact_every.is_some()) {
+            // --wal/--compact-every/--db combinations are validated by
+            // `DaemonConfig::builder` when the daemon is configured, so
+            // the rule lives in one place for every embedder.
+            if replicate.is_some() && peers.is_empty() {
                 return Err(err(
-                    "serve: --wal and --compact-every need --db (nothing persists without it)",
+                    "serve: --replicate needs --peer (no ring to replicate across)",
                 ));
             }
             if log_json.is_none() && log_rotate_bytes.is_some() {
@@ -507,6 +548,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     wal,
                     compact_every,
                     listen,
+                    peers,
+                    replicate,
                     iterations,
                     max_connections,
                     threaded,
@@ -895,6 +938,8 @@ mod tests {
                 wal: None,
                 compact_every: None,
                 listen: "127.0.0.1:1977".into(),
+                peers: vec![],
+                replicate: None,
                 iterations: None,
                 max_connections: None,
                 threaded: false,
@@ -916,6 +961,12 @@ mod tests {
             "e.wal",
             "--compact-every",
             "16",
+            "--peer",
+            "10.0.0.2:7007,10.0.0.3:7007",
+            "--peer",
+            "10.0.0.4:7007",
+            "--replicate",
+            "2",
             "--iterations",
             "80",
             "--max-connections",
@@ -932,6 +983,8 @@ mod tests {
                 wal: Some("e.wal".into()),
                 compact_every: Some(16),
                 listen: "0.0.0.0:7007".into(),
+                peers: v(&["10.0.0.2:7007", "10.0.0.3:7007", "10.0.0.4:7007"]),
+                replicate: Some(2),
                 iterations: Some(80),
                 max_connections: Some(4),
                 threaded: false,
@@ -1049,10 +1102,41 @@ mod tests {
     }
 
     #[test]
-    fn serve_wal_flags_need_a_db() {
-        assert!(parse_args(&v(&["serve", "p.rsl", "--wal", "e.wal"])).is_err());
-        assert!(parse_args(&v(&["serve", "p.rsl", "--compact-every", "8"])).is_err());
+    fn serve_wal_flags_parse_without_a_db() {
+        // The wal/db and compact/db combinations are validated by
+        // DaemonConfig::builder when the daemon is configured, not at parse
+        // time, so embedders and the CLI share one set of rules. The parser
+        // only rejects values it cannot read.
+        assert!(parse_args(&v(&["serve", "p.rsl", "--wal", "e.wal"])).is_ok());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--compact-every", "8"])).is_ok());
         assert!(parse_args(&v(&["serve", "p.rsl", "--compact-every", "x", "--db", "e"])).is_err());
+    }
+
+    #[test]
+    fn serve_cluster_flags() {
+        // Comma-separated and repeated --peer flags accumulate in order.
+        let cli = parse_args(&v(&[
+            "serve", "p.rsl", "--peer", "a:1,b:2", "--peer", "c:3",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                peers, replicate, ..
+            } => {
+                assert_eq!(peers, v(&["a:1", "b:2", "c:3"]));
+                assert_eq!(replicate, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Replication without a ring has nothing to copy to.
+        let e = parse_args(&v(&["serve", "p.rsl", "--replicate", "2"])).unwrap_err();
+        assert!(e.0.contains("--replicate needs --peer"), "{e}");
+        // Zero copies and empty addresses are refused outright.
+        let e =
+            parse_args(&v(&["serve", "p.rsl", "--peer", "a:1", "--replicate", "0"])).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        assert!(parse_args(&v(&["serve", "p.rsl", "--peer", "a:1,,b:2"])).is_err());
+        assert!(parse_args(&v(&["serve", "p.rsl", "--peer"])).is_err());
     }
 
     #[test]
@@ -1117,12 +1201,19 @@ mod tests {
         for name in harmony_engines::ENGINE_NAMES {
             assert!(e.0.contains(name), "{e}");
         }
-        // The daemon owns the search strategy.
-        let e = parse_args(&v(&[
+        // With --remote the name rides in the SessionStart and the daemon
+        // builds the engine server-side.
+        let cli = parse_args(&v(&[
             "tune", "p.rsl", "--remote", "h:1", "--engine", "tuneful", "--", "m",
         ]))
-        .unwrap_err();
-        assert!(e.0.contains("--engine applies to local tuning only"), "{e}");
+        .unwrap();
+        match cli.command {
+            Command::Tune { engine, remote, .. } => {
+                assert_eq!(engine.as_deref(), Some("tuneful"));
+                assert_eq!(remote.as_deref(), Some("h:1"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
         // --original is a simplex-only knob.
         let e = parse_args(&v(&[
             "tune",

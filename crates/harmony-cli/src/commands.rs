@@ -20,7 +20,6 @@ use harmony_websim::WorkloadMix;
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Read as _;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Top-level error type for command execution.
@@ -201,6 +200,7 @@ pub fn run(command: Command) -> Result<String, RunError> {
                     &label,
                     characteristics,
                     &addr,
+                    engine,
                     retry,
                     deadline_ms,
                     trace,
@@ -282,6 +282,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
             wal,
             compact_every,
             listen,
+            peers,
+            replicate,
             iterations,
             max_connections,
             threaded,
@@ -296,6 +298,8 @@ pub fn run(command: Command) -> Result<String, RunError> {
                 wal.as_deref(),
                 compact_every,
                 &listen,
+                &peers,
+                replicate,
                 iterations,
                 max_connections,
                 threaded,
@@ -448,11 +452,6 @@ fn tune_local(
     Ok(())
 }
 
-/// Seed for the stochastic engines when driven from `tune --engine`.
-/// Fixed so repeated invocations explore identically; operators wanting
-/// fresh trajectories can vary the measured system, not the search.
-const ENGINE_SEED: u64 = 42;
-
 fn mix_by_name(name: &str) -> Result<WorkloadMix, RunError> {
     match name {
         "browsing" => Ok(WorkloadMix::browsing()),
@@ -503,7 +502,12 @@ fn tune_with_engine(
             TuningOptions::original().with_max_iterations(iterations),
         ))
     } else {
-        spec.build(space.clone(), iterations, ENGINE_SEED)
+        // The registry's fixed seed keeps repeated invocations exploring
+        // identically — and matches what a daemon builds for the same
+        // name, so `--remote --engine` trajectories line up with local
+        // ones. Operators wanting fresh trajectories vary the measured
+        // system, not the search.
+        spec.build(space.clone(), iterations, registry::DEFAULT_SEED)
     };
     let prior = if characteristics.is_empty() {
         None
@@ -581,6 +585,15 @@ fn tune_with_engine(
 /// executor under an `eval` span so the daemon's flight recorder sees
 /// queue-wait/run attribution alongside its own serve-side spans. The
 /// proposals and the outcome are bit-identical with tracing on or off.
+///
+/// `addr` may name several endpoints separated by commas; the first is
+/// dialled preferentially and the rest are failover candidates the client
+/// rotates through (and follows cluster redirects onto) when a daemon
+/// dies mid-session.
+///
+/// With `engine`, the registry name travels in the `SessionStart` and the
+/// daemon builds and drives that engine server-side, so a remote run
+/// explores the identical trajectory a local `tune --engine` would.
 #[allow(clippy::too_many_arguments)]
 fn tune_remote(
     out: &mut String,
@@ -589,6 +602,7 @@ fn tune_remote(
     label: &str,
     characteristics: Vec<f64>,
     addr: &str,
+    engine: Option<String>,
     retry: Option<u32>,
     deadline_ms: Option<u64>,
     trace: bool,
@@ -596,7 +610,12 @@ fn tune_remote(
     measure: Vec<String>,
 ) -> Result<(), RunError> {
     let text = fs::read_to_string(rsl).map_err(|e| fail(format!("cannot read {rsl}: {e}")))?;
-    let mut builder = Client::builder(addr).tracing(trace);
+    let mut endpoints = addr.split(',').filter(|a| !a.is_empty());
+    let first = endpoints.next().unwrap_or(addr);
+    let mut builder = Client::builder(first).tracing(trace);
+    for fallback in endpoints {
+        builder = builder.endpoint(fallback);
+    }
     if wire == Some(WireChoice::Json) {
         // Pin the handshake at protocol v2: the daemon never switches
         // the connection to binary framing. `binary` (and the default)
@@ -613,13 +632,17 @@ fn tune_remote(
         .connect()
         .map_err(|e| fail(format!("cannot reach daemon at {addr}: {e}")))?;
     let started = client
-        .start_session(
+        .start_session_with(
             SpaceSpec::Rsl(text),
             label,
             characteristics,
             Some(iterations),
+            engine.clone(),
         )
         .map_err(|e| fail(e.to_string()))?;
+    if let Some(name) = &engine {
+        let _ = writeln!(out, "engine: {name} (server-side)");
+    }
     if let Some(prior) = &started.trained_from {
         let _ = writeln!(
             out,
@@ -857,6 +880,13 @@ const DEFAULT_LOG_KEEP: usize = 3;
 /// `log` configures the structured JSONL event sink (session starts,
 /// recorded runs, persistence failures, …), optionally size-rotated.
 /// `no_trace` skips enabling the distributed-tracing flight recorder.
+///
+/// With `peers`, the daemon joins a cluster: its own identity on the ring
+/// is `listen` exactly as the peers spell it, and `replicate` (default 1,
+/// owner-only) controls how many ring members hold each run and session
+/// snapshot. Configuration combinations — wal-without-db,
+/// compaction-without-db, cluster shape — are validated by
+/// [`DaemonConfig::builder`], so embedders and the CLI share one rulebook.
 #[allow(clippy::too_many_arguments)]
 pub fn serve(
     rsl: &str,
@@ -864,6 +894,8 @@ pub fn serve(
     wal: Option<&str>,
     compact_every: Option<usize>,
     listen: &str,
+    peers: &[String],
+    replicate: Option<usize>,
     iterations: Option<usize>,
     max_connections: Option<usize>,
     threaded: bool,
@@ -883,23 +915,29 @@ pub fn serve(
         .map_err(|e| fail(format!("cannot open event log {path}: {e}")))?;
     }
     let space = load_space(rsl)?;
-    let mut config = DaemonConfig {
-        listen: listen.to_string(),
-        db_path: db.map(PathBuf::from),
-        wal_path: wal.map(PathBuf::from),
-        server_name: format!("harmony-cli {}", env!("CARGO_PKG_VERSION")),
-        tracing: !no_trace,
-        threaded,
-        ..DaemonConfig::default()
-    };
-    if let Some(n) = iterations {
-        config.tuning = config.tuning.with_max_iterations(n);
+    let mut builder = DaemonConfig::builder()
+        .listen(listen)
+        .threaded(threaded)
+        .tracing(!no_trace);
+    if let Some(path) = db {
+        builder = builder.db_path(path);
     }
-    if let Some(n) = max_connections {
-        config.max_connections = n;
+    if let Some(path) = wal {
+        builder = builder.wal_path(path);
     }
     if let Some(n) = compact_every {
-        config.compact_every = n;
+        builder = builder.compact_every(n);
+    }
+    if let Some(n) = max_connections {
+        builder = builder.max_connections(n);
+    }
+    if !peers.is_empty() {
+        builder = builder.cluster(listen, peers.to_vec(), replicate.unwrap_or(1));
+    }
+    let mut config = builder.build().map_err(|e| fail(format!("serve: {e}")))?;
+    config.server_name = format!("harmony-cli {}", env!("CARGO_PKG_VERSION"));
+    if let Some(n) = iterations {
+        config.tuning = config.tuning.with_max_iterations(n);
     }
     let handle = TuningDaemon::start(config).map_err(|e| fail(e.to_string()))?;
     eprintln!("harmony-cli: serving {} parameters from {rsl}", space.len());
@@ -1283,6 +1321,8 @@ mod tests {
             None,
             None,
             "127.0.0.1:0",
+            &[],
+            None,
             Some(50),
             None,
             false,
@@ -1333,6 +1373,125 @@ mod tests {
     }
 
     #[test]
+    fn serve_rejects_invalid_config_combinations() {
+        // The parser lets these through; DaemonConfig::builder is the one
+        // place the combinations are judged, for the CLI and embedders
+        // alike.
+        let rsl = write_rsl("combos.rsl");
+        let err = serve(
+            rsl.to_str().unwrap(),
+            None,
+            Some("orphan.wal"),
+            None,
+            "127.0.0.1:0",
+            &[],
+            None,
+            None,
+            None,
+            false,
+            LogOptions::default(),
+            false,
+            |_| unreachable!("daemon must not start"),
+        )
+        .unwrap_err();
+        assert!(
+            err.0.contains("a write-ahead journal needs a database"),
+            "{err}"
+        );
+        let err = serve(
+            rsl.to_str().unwrap(),
+            None,
+            None,
+            Some(8),
+            "127.0.0.1:0",
+            &[],
+            None,
+            None,
+            None,
+            false,
+            LogOptions::default(),
+            false,
+            |_| unreachable!("daemon must not start"),
+        )
+        .unwrap_err();
+        assert!(
+            err.0.contains("a compaction interval needs a database"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn remote_engine_explores_the_local_trajectory() {
+        // `tune --remote --engine <name>` ships the name in the
+        // SessionStart; the daemon builds the engine with the registry's
+        // fixed seed, so against the same deterministic measurement the
+        // remote run must land exactly where the local one does.
+        let rsl = write_rsl("remote-engine.rsl");
+        let cmd = "echo $((100 - (HARMONY_B-3)*(HARMONY_B-3) - (HARMONY_C-4)*(HARMONY_C-4)))";
+        let tuned = |extra: &[&str]| {
+            let mut args = vec!["tune", rsl.to_str().unwrap()];
+            args.extend_from_slice(extra);
+            args.extend_from_slice(&[
+                "--engine",
+                "divide-diverge",
+                "--iterations",
+                "20",
+                "--",
+                "sh",
+                "-c",
+                cmd,
+            ]);
+            run(parse_args(&sv(&args)).unwrap().command).unwrap()
+        };
+        let local = tuned(&[]);
+
+        let mut remote = String::new();
+        serve(
+            rsl.to_str().unwrap(),
+            None,
+            None,
+            None,
+            "127.0.0.1:0",
+            &[],
+            None,
+            None,
+            None,
+            false,
+            LogOptions::default(),
+            false,
+            |handle| {
+                remote = tuned(&["--remote", &handle.addr().to_string()]);
+            },
+        )
+        .unwrap();
+        assert!(
+            remote.contains("engine: divide-diverge (server-side)"),
+            "{remote}"
+        );
+
+        // Identical exploration count, best value, and best configuration.
+        let summary = |out: &str| {
+            out.lines()
+                .filter(|l| {
+                    l.starts_with("explored ")
+                        || l.starts_with("best performance")
+                        || l.starts_with("  ")
+                })
+                .map(|l| {
+                    // The remote line carries the daemon address suffix.
+                    l.split(" (daemon at ").next().unwrap().to_string()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            summary(&local),
+            summary(&remote),
+            "\n--- local\n{local}\n--- remote\n{remote}"
+        );
+        assert!(local.contains("best performance: 100"), "{local}");
+    }
+
+    #[test]
     fn stats_reports_live_daemon_metrics() {
         let rsl = write_rsl("stats.rsl");
         serve(
@@ -1341,6 +1500,8 @@ mod tests {
             None,
             None,
             "127.0.0.1:0",
+            &[],
+            None,
             Some(20),
             None,
             false,
@@ -1393,6 +1554,8 @@ mod tests {
             None,
             None,
             "127.0.0.1:0",
+            &[],
+            None,
             Some(20),
             None,
             false,
@@ -1501,6 +1664,8 @@ mod tests {
             None,
             None,
             "127.0.0.1:0",
+            &[],
+            None,
             Some(15),
             None,
             false,
@@ -1555,6 +1720,8 @@ mod tests {
             None,
             None,
             "127.0.0.1:0",
+            &[],
+            None,
             Some(20),
             None,
             false,

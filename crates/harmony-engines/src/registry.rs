@@ -18,6 +18,13 @@ use harmony_space::{Configuration, ParamDef, ParameterSpace};
 /// Every registered engine name, in registry order.
 pub const ENGINE_NAMES: [&str; 3] = ["simplex", "divide-diverge", "tuneful"];
 
+/// The seed every driver uses when nothing overrides it. Remote engine
+/// sessions depend on this being one shared constant: the daemon builds
+/// (and, after a failover, rebuilds) an engine with it, and the CLI's
+/// local `tune --engine` uses it too, which is what makes a remote
+/// trajectory reproducible against a local one.
+pub const DEFAULT_SEED: u64 = 42;
+
 /// `lookup` was asked for a name nobody registered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownEngineError {
@@ -83,8 +90,15 @@ impl EngineSpec {
         builder.build().expect("static hyper spaces are valid")
     }
 
-    /// Build the engine with default hyperparameters.
-    pub fn build(&self, space: ParameterSpace, budget: usize, seed: u64) -> Box<dyn SearchEngine> {
+    /// Build the engine with default hyperparameters. The box is
+    /// `Send` so a daemon can park an engine-driven session across
+    /// threads.
+    pub fn build(
+        &self,
+        space: ParameterSpace,
+        budget: usize,
+        seed: u64,
+    ) -> Box<dyn SearchEngine + Send> {
         let defaults = self.hyper_space().default_configuration();
         self.build_tuned(space, budget, seed, &defaults)
     }
@@ -97,7 +111,7 @@ impl EngineSpec {
         budget: usize,
         seed: u64,
         hyper: &Configuration,
-    ) -> Box<dyn SearchEngine> {
+    ) -> Box<dyn SearchEngine + Send> {
         let pct = |i: usize| hyper.get(i) as f64 / 100.0;
         match self.name {
             "simplex" => {

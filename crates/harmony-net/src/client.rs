@@ -23,6 +23,14 @@
 //! `Resume`, and replays the request. `Fetch` is idempotent server-side;
 //! `Report` carries a sequence number the server deduplicates, so a
 //! replayed report is acknowledged without being observed twice.
+//!
+//! Against a cluster, give the builder every daemon as an extra
+//! [`ClientBuilder::endpoint`]: the client dials them in order starting
+//! from the last one that worked, and when a daemon answers `Resume`
+//! with `NotMine { owner }` (the session's token hashes to a different
+//! ring member) it follows the redirect to the named owner. A reconnect
+//! after a daemon death therefore lands wherever the session actually
+//! lives — on its owner, or on the replica that adopted it.
 
 use crate::codec::{clamp_scratch, read_frame_buf_as, write_frame_buf_as, WireFormat};
 use crate::protocol::{
@@ -124,10 +132,111 @@ impl Default for RetryPolicy {
     }
 }
 
+/// The daemons a [`Client`] may dial: one for a standalone server,
+/// several for a cluster. The client dials in order starting from the
+/// *preferred* endpoint — initially the first, thereafter whichever one
+/// last worked or was last named as a session's owner by a `NotMine`
+/// redirect — wrapping around the list, so one dead daemon costs one
+/// failed dial, not the session.
+#[derive(Debug, Clone)]
+pub struct Endpoints {
+    /// Resolved socket addresses per endpoint, in the order given.
+    addrs: Vec<Vec<SocketAddr>>,
+    /// Index dialed first.
+    preferred: usize,
+}
+
+impl Endpoints {
+    /// Resolve one endpoint.
+    pub fn single(addr: impl ToSocketAddrs) -> io::Result<Endpoints> {
+        Endpoints::resolve([addr])
+    }
+
+    /// Resolve a list of endpoints, keeping their order.
+    pub fn resolve<A: ToSocketAddrs>(
+        endpoints: impl IntoIterator<Item = A>,
+    ) -> io::Result<Endpoints> {
+        let mut addrs = Vec::new();
+        for endpoint in endpoints {
+            addrs.push(resolve_nonempty(endpoint)?);
+        }
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no endpoints to dial",
+            ));
+        }
+        Ok(Endpoints {
+            addrs,
+            preferred: 0,
+        })
+    }
+
+    /// Append one more endpoint.
+    pub fn push(&mut self, addr: impl ToSocketAddrs) -> io::Result<()> {
+        self.addrs.push(resolve_nonempty(addr)?);
+        Ok(())
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True when no endpoints are configured (unreachable via the
+    /// constructors, which insist on at least one).
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Endpoint indices in dial order: preferred first, then the rest,
+    /// wrapping around.
+    fn dial_order(&self) -> Vec<usize> {
+        let n = self.addrs.len();
+        (0..n).map(|i| (self.preferred + i) % n).collect()
+    }
+
+    /// Make `owner` (a `host:port` string from a `NotMine` redirect) the
+    /// preferred endpoint, appending it if it isn't in the list yet.
+    fn pin(&mut self, owner: &str) -> io::Result<usize> {
+        let resolved = resolve_nonempty(owner)?;
+        let index = match self
+            .addrs
+            .iter()
+            .position(|known| known.iter().any(|a| resolved.contains(a)))
+        {
+            Some(index) => index,
+            None => {
+                self.addrs.push(resolved);
+                self.addrs.len() - 1
+            }
+        };
+        self.preferred = index;
+        Ok(index)
+    }
+}
+
+fn resolve_nonempty(addr: impl ToSocketAddrs) -> io::Result<Vec<SocketAddr>> {
+    let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if resolved.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "address resolved to nothing",
+        ));
+    }
+    Ok(resolved)
+}
+
+/// How many `NotMine` redirects a reconnect will follow before giving
+/// up. Ownership is settled by one consistent-hash lookup, so a chain
+/// longer than a couple of hops means the cluster members disagree
+/// about the ring.
+const MAX_REDIRECT_HOPS: u32 = 3;
+
 /// Configures and opens a [`Client`]. Built by [`Client::builder`].
 #[derive(Debug)]
 pub struct ClientBuilder {
-    addrs: io::Result<Vec<SocketAddr>>,
+    endpoints: io::Result<Endpoints>,
     connect_timeout: Option<Duration>,
     request_deadline: Option<Duration>,
     retry: RetryPolicy,
@@ -136,6 +245,24 @@ pub struct ClientBuilder {
 }
 
 impl ClientBuilder {
+    /// Add a failover endpoint (another daemon of the same cluster) the
+    /// client may dial when the preferred one is unreachable, and to
+    /// which `NotMine` redirects may point.
+    pub fn endpoint(mut self, addr: impl ToSocketAddrs) -> ClientBuilder {
+        if let Ok(endpoints) = &mut self.endpoints {
+            if let Err(e) = endpoints.push(addr) {
+                self.endpoints = Err(e);
+            }
+        }
+        self
+    }
+
+    /// Replace the endpoint list wholesale.
+    pub fn endpoints(mut self, endpoints: Endpoints) -> ClientBuilder {
+        self.endpoints = Ok(endpoints);
+        self
+    }
+
     /// Cap on each TCP connection attempt (including reconnects).
     pub fn connect_timeout(mut self, timeout: Duration) -> ClientBuilder {
         self.connect_timeout = Some(timeout);
@@ -179,19 +306,13 @@ impl ClientBuilder {
 
     /// Connect and complete the `Hello` exchange.
     pub fn connect(self) -> Result<Client, NetError> {
-        let addrs = self.addrs.map_err(NetError::Io)?;
-        if addrs.is_empty() {
-            return Err(NetError::Io(io::Error::new(
-                io::ErrorKind::AddrNotAvailable,
-                "address resolved to nothing",
-            )));
-        }
+        let endpoints = self.endpoints.map_err(NetError::Io)?;
         let rng = self.retry.seed | 1;
         if self.tracing && !trace::is_enabled() {
             trace::enable(trace::RecorderConfig::default());
         }
         let mut client = Client {
-            addrs,
+            endpoints,
             connect_timeout: self.connect_timeout,
             request_deadline: self.request_deadline,
             retry: self.retry,
@@ -215,7 +336,7 @@ impl ClientBuilder {
 /// A connection to a tuning daemon, driving one session at a time.
 #[derive(Debug)]
 pub struct Client {
-    addrs: Vec<SocketAddr>,
+    endpoints: Endpoints,
     connect_timeout: Option<Duration>,
     request_deadline: Option<Duration>,
     retry: RetryPolicy,
@@ -264,7 +385,7 @@ impl Client {
     /// Start configuring a connection.
     pub fn builder(addr: impl ToSocketAddrs) -> ClientBuilder {
         ClientBuilder {
-            addrs: addr.to_socket_addrs().map(|a| a.collect()),
+            endpoints: Endpoints::single(addr),
             connect_timeout: None,
             request_deadline: None,
             retry: RetryPolicy::default(),
@@ -289,7 +410,9 @@ impl Client {
         self.token.as_deref()
     }
 
-    /// Begin a tuning session.
+    /// Begin a tuning session driven by the daemon's default simplex
+    /// strategy. Shorthand for [`Client::start_session_with`] without an
+    /// engine.
     pub fn start_session(
         &mut self,
         space: SpaceSpec,
@@ -297,11 +420,27 @@ impl Client {
         characteristics: Vec<f64>,
         max_iterations: Option<usize>,
     ) -> Result<SessionStarted, NetError> {
+        self.start_session_with(space, label, characteristics, max_iterations, None)
+    }
+
+    /// Begin a tuning session, optionally naming a registered search
+    /// engine (`divide-diverge`, `tuneful`, …) for the daemon to drive
+    /// instead of its default simplex strategy. An unknown name is
+    /// refused by the server with the registry's error message.
+    pub fn start_session_with(
+        &mut self,
+        space: SpaceSpec,
+        label: impl Into<String>,
+        characteristics: Vec<f64>,
+        max_iterations: Option<usize>,
+        engine: Option<String>,
+    ) -> Result<SessionStarted, NetError> {
         let request = Request::SessionStart {
             space,
             label: label.into(),
             characteristics,
             max_iterations,
+            engine,
         };
         // The session's trace opens with the session itself, so even the
         // SessionStart's classification/warm-start spans land in it.
@@ -573,12 +712,89 @@ impl Client {
     }
 
     /// Dial, `Hello`, and re-attach the active session if one was in
-    /// flight when the previous connection died.
+    /// flight when the previous connection died — following `NotMine`
+    /// redirects to the session's owner, for a bounded number of hops.
     fn ensure_connected(&mut self) -> Result<(), NetError> {
         if self.stream.is_some() {
             return Ok(());
         }
-        let stream = self.dial()?;
+        self.open_any()?;
+        let mut hops = 0;
+        while let Some(token) = self.token.clone() {
+            match self.exchange(&Request::Resume { token })? {
+                Response::Resumed { .. } => break,
+                Response::NotMine { owner } => {
+                    hops += 1;
+                    if hops > MAX_REDIRECT_HOPS {
+                        return Err(NetError::Protocol(format!(
+                            "session redirect did not settle after {MAX_REDIRECT_HOPS} \
+                             hops (last named owner: {owner})"
+                        )));
+                    }
+                    let came_from = self.endpoints.preferred;
+                    let index = self.endpoints.pin(&owner).map_err(NetError::Io)?;
+                    if self.open_at(index).is_err() {
+                        // The named owner is unreachable — typically it is
+                        // the dead daemon this reconnect is failing over
+                        // from, and the member that redirected us simply
+                        // holds no replica. Rotate through the remaining
+                        // endpoints: the replica holder adopts the session,
+                        // anyone else redirects again within the hop budget.
+                        self.open_other(&[index, came_from])?;
+                    }
+                }
+                Response::Error { message } => return Err(NetError::Remote(message)),
+                Response::Draining => return Err(NetError::Draining),
+                other => return Err(unexpected("Resumed", other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Open a connection to the first endpoint that accepts, dialing
+    /// from the preferred one and wrapping around the list.
+    fn open_any(&mut self) -> Result<(), NetError> {
+        let mut last: Option<NetError> = None;
+        for index in self.endpoints.dial_order() {
+            match self.open_at(index) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            NetError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no endpoints to dial",
+            ))
+        }))
+    }
+
+    /// Open a connection to any endpoint not in `excluded` (dead or
+    /// known not to hold the session), in dial order.
+    fn open_other(&mut self, excluded: &[usize]) -> Result<(), NetError> {
+        let mut last: Option<NetError> = None;
+        for index in self.endpoints.dial_order() {
+            if excluded.contains(&index) {
+                continue;
+            }
+            match self.open_at(index) {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            NetError::Io(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no other endpoint to follow the redirect to",
+            ))
+        }))
+    }
+
+    /// Dial one endpoint and complete the `Hello` exchange; on success
+    /// the endpoint becomes the preferred one for future dials.
+    fn open_at(&mut self, index: usize) -> Result<(), NetError> {
+        self.stream = None;
+        let stream = self.dial(index)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(self.request_deadline)?;
         stream.set_write_timeout(self.request_deadline)?;
@@ -606,20 +822,13 @@ impl Client {
             Response::Draining => return Err(NetError::Draining),
             other => return Err(unexpected("Hello", other)),
         }
-        if let Some(token) = self.token.clone() {
-            match self.exchange(&Request::Resume { token })? {
-                Response::Resumed { .. } => {}
-                Response::Error { message } => return Err(NetError::Remote(message)),
-                Response::Draining => return Err(NetError::Draining),
-                other => return Err(unexpected("Resumed", other)),
-            }
-        }
+        self.endpoints.preferred = index;
         Ok(())
     }
 
-    fn dial(&self) -> Result<TcpStream, NetError> {
+    fn dial(&self, endpoint: usize) -> Result<TcpStream, NetError> {
         let mut last: Option<io::Error> = None;
-        for addr in &self.addrs {
+        for addr in &self.endpoints.addrs[endpoint] {
             let attempt = match self.connect_timeout {
                 Some(timeout) => TcpStream::connect_timeout(addr, timeout),
                 None => TcpStream::connect(addr),
@@ -679,6 +888,10 @@ fn request_name(request: &Request) -> &'static str {
         Request::Stats => "Stats",
         Request::Traced { request, .. } => request_name(request),
         Request::TraceDump => "TraceDump",
+        Request::PeerHello { .. } => "PeerHello",
+        Request::PeerShipRun { .. } => "PeerShipRun",
+        Request::PeerShipSession { .. } => "PeerShipSession",
+        Request::PeerDropSession { .. } => "PeerDropSession",
     }
 }
 

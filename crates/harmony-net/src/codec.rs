@@ -284,6 +284,7 @@ mod tests {
                 label: "w".into(),
                 characteristics: vec![0.25, 0.75],
                 max_iterations: Some(40),
+                engine: None,
             },
             Request::Fetch,
             Request::Report {
@@ -391,6 +392,7 @@ mod tests {
             label: "big".into(),
             characteristics: vec![],
             max_iterations: None,
+            engine: None,
         };
         assert_eq!(round_trip(&msg), msg);
     }

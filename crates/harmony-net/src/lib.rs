@@ -31,6 +31,11 @@
 //!   decorrelated-jitter backoff.
 //! * [`fault`] — a fault-injection proxy the resilience suite uses to
 //!   cut, truncate, or delay frames on a seeded schedule.
+//! * [`cluster`] — multi-daemon mode: a consistent-hash ring routes
+//!   sessions and shards recorded runs across peers, WAL lines and
+//!   session snapshots ship between daemons over the `Peer*` message
+//!   family, and a surviving peer adopts a dead peer's sessions when
+//!   the client's `Resume` lands on it.
 //!
 //! Sessions survive disconnects: a protocol-v2 server issues a resume
 //! token at `SessionStart`, parks the session when its connection drops,
@@ -61,6 +66,7 @@
 //! ```
 
 pub mod client;
+pub mod cluster;
 pub mod codec;
 mod error;
 pub mod fault;
@@ -73,6 +79,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::RetryPolicy;
+pub use cluster::ClusterConfig;
 pub use error::{ErrorKind, NetError};
 pub use protocol::{MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
 pub use wire::WireFormat;

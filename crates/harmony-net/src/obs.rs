@@ -35,6 +35,13 @@
 //! | `harmony_net_reactor_fds_active` | gauge | connections currently registered with the reactor |
 //! | `harmony_net_frames_binary_total` | counter | frames encoded in the protocol-v3 binary format |
 //! | `harmony_net_frame_bytes_total{format=…}` | counter | payload bytes encoded, by wire format (the json − binary gap is the bytes saved) |
+//! | `harmony_net_peer_connections_total` | counter | inbound peer links authorized via `PeerHello` |
+//! | `harmony_net_peer_runs_shipped_total` | counter | recorded runs shipped to replica peers |
+//! | `harmony_net_peer_sessions_shipped_total` | counter | session snapshots shipped to replica peers |
+//! | `harmony_net_peer_ship_failures_total` | counter | peer ships that failed (peer down or refusing) |
+//! | `harmony_net_shard_adoptions_total` | counter | replicated sessions adopted after their owner died |
+//! | `harmony_net_shard_redirects_total` | counter | `Resume` requests redirected with `NotMine` |
+//! | `harmony_net_shard_replica_sessions_entries` | gauge | replicated session snapshots currently held for peers |
 //!
 //! The harmony crate's WAL metrics (`harmony_db_wal_appends_total`,
 //! `harmony_db_wal_flush_seconds`, `harmony_db_compactions_total`) share
@@ -287,6 +294,69 @@ handle!(
     )
 );
 
+handle!(
+    peer_connections_total,
+    Counter,
+    global().counter(
+        "harmony_net_peer_connections_total",
+        "Inbound peer links authorized via PeerHello.",
+    )
+);
+
+handle!(
+    peer_runs_shipped_total,
+    Counter,
+    global().counter(
+        "harmony_net_peer_runs_shipped_total",
+        "Recorded runs shipped to replica peers.",
+    )
+);
+
+handle!(
+    peer_sessions_shipped_total,
+    Counter,
+    global().counter(
+        "harmony_net_peer_sessions_shipped_total",
+        "Session snapshots shipped to replica peers.",
+    )
+);
+
+handle!(
+    peer_ship_failures_total,
+    Counter,
+    global().counter(
+        "harmony_net_peer_ship_failures_total",
+        "Peer ships that failed (peer down or refusing); the replica catches up on the next ship.",
+    )
+);
+
+handle!(
+    shard_adoptions_total,
+    Counter,
+    global().counter(
+        "harmony_net_shard_adoptions_total",
+        "Replicated sessions adopted after their owner died.",
+    )
+);
+
+handle!(
+    shard_redirects_total,
+    Counter,
+    global().counter(
+        "harmony_net_shard_redirects_total",
+        "Resume requests redirected to the token's ring owner with NotMine.",
+    )
+);
+
+handle!(
+    shard_replica_sessions_entries,
+    Gauge,
+    global().gauge(
+        "harmony_net_shard_replica_sessions_entries",
+        "Replicated session snapshots currently held on behalf of peers.",
+    )
+);
+
 /// Per-request-type counter and latency histogram.
 pub(crate) struct RequestMetrics {
     pub total: Arc<Counter>,
@@ -306,6 +376,10 @@ pub(crate) const REQUEST_KINDS: &[&str] = &[
     "DbQuery",
     "Stats",
     "TraceDump",
+    "PeerHello",
+    "PeerShipRun",
+    "PeerShipSession",
+    "PeerDropSession",
 ];
 
 pub(crate) fn request_metrics(kind: &'static str) -> &'static RequestMetrics {
@@ -377,6 +451,13 @@ pub(crate) fn preregister() {
     frames_binary_total();
     frame_bytes_json_total();
     frame_bytes_binary_total();
+    peer_connections_total();
+    peer_runs_shipped_total();
+    peer_sessions_shipped_total();
+    peer_ship_failures_total();
+    shard_adoptions_total();
+    shard_redirects_total();
+    shard_replica_sessions_entries();
     for kind in REQUEST_KINDS {
         request_metrics(kind);
     }

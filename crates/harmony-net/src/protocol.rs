@@ -91,6 +91,13 @@ pub enum Request {
         characteristics: Vec<f64>,
         /// Override the server's default live-measurement budget.
         max_iterations: Option<usize>,
+        /// Which registered search engine drives the session. `None`
+        /// (and absent on the wire, keeping v2 frames byte-identical to
+        /// pre-engine clients) means the default simplex tuner; a name
+        /// is resolved against the `harmony-engines` registry and
+        /// refused if unknown.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        engine: Option<String>,
     },
     /// Re-attach to a parked session after a disconnect (protocol ≥ 2).
     /// The token came back in
@@ -144,6 +151,46 @@ pub enum Request {
     /// Ask for the daemon's flight recorder contents (additive,
     /// protocol ≥ 2). Needs no session; served even while draining.
     TraceDump,
+    /// Peer handshake (cluster members only): after the ordinary
+    /// `Hello`, a daemon names its own advertised ring address to
+    /// authorize the connection for the rest of the `Peer*` family.
+    /// Refused when clustering is off or `node` is not a ring member;
+    /// every other `Peer*` request is refused until this succeeds, so
+    /// client-facing connections can never inject peer traffic.
+    PeerHello {
+        /// The dialing daemon's advertised address (its ring identity).
+        node: String,
+    },
+    /// Replicate one recorded run: `line` is the WAL's serialized
+    /// `RunHistory` JSON line, applied verbatim to the receiver's
+    /// database (never re-shipped — replication is a single hop).
+    PeerShipRun {
+        /// The shipping daemon's advertised address.
+        origin: String,
+        /// Origin-monotonic sequence number; the receiver applies each
+        /// `(origin, seq)` once, so a retried ship cannot double-count.
+        seq: u64,
+        /// One serialized `RunHistory`, exactly as the WAL stores it.
+        line: String,
+    },
+    /// Replicate one live session's state: `session` is a serialized
+    /// persisted-session snapshot, the same shape `<db>.sessions`
+    /// holds across restarts. The receiver keeps the latest snapshot
+    /// per token and adopts it if the owner dies and the client's
+    /// `Resume` lands here.
+    PeerShipSession {
+        /// The shipping daemon's advertised address.
+        origin: String,
+        /// The serialized session snapshot (token included).
+        session: String,
+    },
+    /// The session ended at its owner; replicas drop their snapshots.
+    PeerDropSession {
+        /// The shipping daemon's advertised address.
+        origin: String,
+        /// Token of the finished session.
+        token: String,
+    },
 }
 
 impl Request {
@@ -164,6 +211,10 @@ impl Request {
             // traced Fetch and a bare Fetch land in the same series.
             Request::Traced { request, .. } => request.kind(),
             Request::TraceDump => "TraceDump",
+            Request::PeerHello { .. } => "PeerHello",
+            Request::PeerShipRun { .. } => "PeerShipRun",
+            Request::PeerShipSession { .. } => "PeerShipSession",
+            Request::PeerDropSession { .. } => "PeerDropSession",
         }
     }
 }
@@ -257,6 +308,17 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+    /// Answer to a [`Request::Resume`] for a session this daemon
+    /// neither holds nor replicates: the token's ring owner is `owner`.
+    /// The client re-dials there and resumes; a session is never served
+    /// from two places because a daemon always serves what it holds
+    /// locally and only redirects on a complete miss.
+    NotMine {
+        /// Advertised address of the member owning the token.
+        owner: String,
+    },
+    /// A `Peer*` request was applied.
+    PeerOk,
 }
 
 /// One parameter's sensitivity estimate.
@@ -368,10 +430,69 @@ mod tests {
             label: "w1".into(),
             characteristics: vec![1.0, 0.0],
             max_iterations: None,
+            engine: None,
         };
         let json = serde_json::to_string(&msg).unwrap();
+        assert!(
+            !json.contains("engine"),
+            "engine: None must not appear on the wire: {json}"
+        );
         let back: Request = serde_json::from_str(&json).unwrap();
         assert_eq!(back, msg);
+
+        let engined = Request::SessionStart {
+            space: SpaceSpec::Rsl("{ harmonyBundle x { int {0 4 1} }}".into()),
+            label: "w1".into(),
+            characteristics: vec![],
+            max_iterations: Some(8),
+            engine: Some("tuneful".into()),
+        };
+        let back: Request =
+            serde_json::from_str(&serde_json::to_string(&engined).unwrap()).unwrap();
+        assert_eq!(back, engined);
+    }
+
+    #[test]
+    fn peer_messages_round_trip_and_have_stable_kinds() {
+        let messages = [
+            Request::PeerHello {
+                node: "127.0.0.1:7701".into(),
+            },
+            Request::PeerShipRun {
+                origin: "127.0.0.1:7701".into(),
+                seq: 3,
+                line: "{\"label\":\"w\"}".into(),
+            },
+            Request::PeerShipSession {
+                origin: "127.0.0.1:7701".into(),
+                session: "{\"token\":\"hs-1-1\"}".into(),
+            },
+            Request::PeerDropSession {
+                origin: "127.0.0.1:7701".into(),
+                token: "hs-1-1".into(),
+            },
+        ];
+        let kinds = [
+            "PeerHello",
+            "PeerShipRun",
+            "PeerShipSession",
+            "PeerDropSession",
+        ];
+        for (msg, kind) in messages.iter().zip(kinds) {
+            assert_eq!(msg.kind(), kind);
+            let back: Request = serde_json::from_str(&serde_json::to_string(msg).unwrap()).unwrap();
+            assert_eq!(&back, msg);
+        }
+        for resp in [
+            Response::NotMine {
+                owner: "127.0.0.1:7702".into(),
+            },
+            Response::PeerOk,
+        ] {
+            let back: Response =
+                serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+            assert_eq!(back, resp);
+        }
     }
 
     #[test]
@@ -574,6 +695,7 @@ mod tests {
             label: "explicit".into(),
             characteristics: vec![],
             max_iterations: Some(10),
+            engine: None,
         };
         let json = serde_json::to_string(&msg).unwrap();
         match serde_json::from_str(&json).unwrap() {

@@ -36,6 +36,7 @@
 //! [`DaemonConfig::legacy_lock`] so `bench_daemon` can measure the
 //! difference.
 
+use crate::cluster::{ClusterConfig, ClusterState, TOKEN_DRAWS};
 use crate::codec::{clamp_scratch, write_frame, write_frame_buf_as, WireFormat, READ_CHUNK};
 use crate::protocol::{
     negotiate, Request, Response, RunSummary, SensitivityEntry, SpaceSpec, MIN_SUPPORTED_VERSION,
@@ -46,11 +47,13 @@ use harmony::history::wal::{self, WalWriter};
 use harmony::history::{
     CharacteristicsIndex, DataAnalyzer, DbError, ExperienceDb, RunHistory, TuningRecord,
 };
+use harmony::report::TraceEntry;
 use harmony::sensitivity::SensitivityReport;
 use harmony::tuner::{TrainingMode, Tuner, TuningOptions, TuningSession};
+use harmony_engines::{registry as engines, SearchEngine};
 use harmony_obs::event::{event, Level};
 use harmony_obs::trace::{self, stage, TraceContext};
-use harmony_space::{parse_rsl, ParameterSpace};
+use harmony_space::{parse_rsl, Configuration, ParameterSpace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Read;
@@ -123,6 +126,124 @@ pub struct DaemonConfig {
     /// enabling (it never disables a recorder another daemon in the
     /// same process already enabled).
     pub tracing: bool,
+    /// Multi-daemon clustering: the peer ring and replication policy
+    /// (see [`crate::cluster`]). `None` serves the classic single-daemon
+    /// mode, where the whole `Peer*` message family is refused.
+    pub cluster: Option<ClusterConfig>,
+}
+
+impl DaemonConfig {
+    /// A validated way to assemble a config: every combination the ad-hoc
+    /// CLI checks used to police (`--wal` without `--db`, a compaction
+    /// interval with nothing to compact, an impossible peer ring) is
+    /// refused at [`DaemonConfigBuilder::build`] instead of surfacing as
+    /// a confusing runtime failure.
+    pub fn builder() -> DaemonConfigBuilder {
+        DaemonConfigBuilder {
+            config: DaemonConfig::default(),
+            wal_set: false,
+            compact_set: false,
+        }
+    }
+}
+
+/// Builder for [`DaemonConfig`] — see [`DaemonConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfigBuilder {
+    config: DaemonConfig,
+    wal_set: bool,
+    compact_set: bool,
+}
+
+impl DaemonConfigBuilder {
+    /// Address to bind.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.config.listen = addr.into();
+        self
+    }
+
+    /// Experience-database snapshot file.
+    pub fn db_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.db_path = Some(path.into());
+        self
+    }
+
+    /// Write-ahead journal file (requires a database path).
+    pub fn wal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.wal_path = Some(path.into());
+        self.wal_set = true;
+        self
+    }
+
+    /// Concurrent-connection cap.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.config.max_connections = n;
+        self
+    }
+
+    /// Compaction interval in journal appends (requires a database
+    /// path — without one there is nothing to compact).
+    pub fn compact_every(mut self, n: usize) -> Self {
+        self.config.compact_every = n;
+        self.compact_set = true;
+        self
+    }
+
+    /// Serve with the pre-snapshot `RwLock` scheme.
+    pub fn legacy_lock(mut self, on: bool) -> Self {
+        self.config.legacy_lock = on;
+        self
+    }
+
+    /// Serve thread-per-connection instead of the epoll reactor.
+    pub fn threaded(mut self, on: bool) -> Self {
+        self.config.threaded = on;
+        self
+    }
+
+    /// Enable or skip the distributed-tracing flight recorder.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.config.tracing = on;
+        self
+    }
+
+    /// How long disconnected sessions stay parked awaiting `Resume`.
+    pub fn session_ttl(mut self, ttl: Duration) -> Self {
+        self.config.session_ttl = ttl;
+        self
+    }
+
+    /// Join a cluster: this daemon's advertised ring identity, its
+    /// peers' advertised addresses, and the replication factor.
+    pub fn cluster(
+        mut self,
+        self_addr: impl Into<String>,
+        peers: Vec<String>,
+        replication: usize,
+    ) -> Self {
+        self.config.cluster = Some(ClusterConfig {
+            self_addr: self_addr.into(),
+            peers,
+            replication,
+        });
+        self
+    }
+
+    /// Validate the combination and hand back the config.
+    pub fn build(self) -> Result<DaemonConfig, String> {
+        if self.wal_set && self.config.db_path.is_none() {
+            return Err("a write-ahead journal needs a database (--wal requires --db)".into());
+        }
+        if self.compact_set && self.config.db_path.is_none() {
+            return Err(
+                "a compaction interval needs a database (--compact-every requires --db)".into(),
+            );
+        }
+        if let Some(cluster) = &self.config.cluster {
+            cluster.validate()?;
+        }
+        Ok(self.config)
+    }
 }
 
 impl Default for DaemonConfig {
@@ -143,6 +264,7 @@ impl Default for DaemonConfig {
             session_ttl: Duration::from_secs(30),
             drain_timeout: Duration::from_millis(200),
             tracing: true,
+            cluster: None,
         }
     }
 }
@@ -395,6 +517,13 @@ pub(crate) struct Shared {
     completed: AtomicUsize,
     pub(crate) shutdown: AtomicBool,
     pub(crate) draining: AtomicBool,
+    /// The peer ring and outbound links; `None` when clustering is off.
+    cluster: Option<Arc<ClusterState>>,
+    /// Session snapshots replicated here on behalf of peer owners,
+    /// keyed by token: if the owner dies, the client's `Resume` lands
+    /// here (the token's next ring successor) and the snapshot becomes
+    /// a live adopted session.
+    replicas: Mutex<HashMap<String, PersistedSession>>,
 }
 
 impl Shared {
@@ -432,6 +561,46 @@ impl Shared {
                 crate::obs::db_runs().set(db.len() as i64);
             }
         }
+    }
+
+    /// [`record_run`](Self::record_run) plus cluster fan-out: ship the
+    /// run's WAL line to its replica set before applying it locally.
+    /// Locally-originated recordings come through here; peer-shipped
+    /// ones call `record_run` directly, which is what keeps replication
+    /// a single hop (a daemon never re-ships what a peer shipped to it).
+    fn record_run_and_replicate(&self, run: RunHistory) {
+        if let Some(cluster) = &self.cluster {
+            if let Ok(line) = serde_json::to_string(&run) {
+                cluster.ship_run(&run.characteristics, &line);
+            }
+        }
+        self.record_run(run);
+    }
+
+    /// Hold a peer-shipped session snapshot for possible adoption.
+    fn store_replica(&self, snapshot: PersistedSession) {
+        let mut replicas = self.replicas.lock().expect("replica store poisoned");
+        replicas.insert(snapshot.token.clone(), snapshot);
+        crate::obs::shard_replica_sessions_entries().set(replicas.len() as i64);
+    }
+
+    /// Drop a replica (its session ended at the owner).
+    fn drop_replica(&self, token: &str) {
+        let mut replicas = self.replicas.lock().expect("replica store poisoned");
+        if replicas.remove(token).is_some() {
+            crate::obs::shard_replica_sessions_entries().set(replicas.len() as i64);
+        }
+    }
+
+    /// Take a replica for adoption: its owner is gone and the client's
+    /// `Resume` landed here.
+    fn adopt_replica(&self, token: &str) -> Option<PersistedSession> {
+        let mut replicas = self.replicas.lock().expect("replica store poisoned");
+        let taken = replicas.remove(token);
+        if taken.is_some() {
+            crate::obs::shard_replica_sessions_entries().set(replicas.len() as i64);
+        }
+        taken
     }
 
     fn run_summaries(&self) -> Vec<RunSummary> {
@@ -495,16 +664,187 @@ fn sessions_path(db_path: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// One parked session as written to the sessions file: everything a
-/// successor daemon needs to continue the exact trajectory.
+/// One parked session as written to the sessions file and shipped
+/// between peers: everything a successor daemon needs to continue the
+/// exact trajectory.
+///
+/// Exactly one of `session` (the default simplex kernel, serialized
+/// whole) and `engine` (a registry engine, rebuilt by replay) is
+/// present. Serde layers `Option` transparently, so pre-cluster
+/// sessions files — which wrote the `TuningSession` unwrapped — load
+/// unchanged, and simplex sessions written by this version still load
+/// on the old code.
 #[derive(Serialize, Deserialize)]
 struct PersistedSession {
     token: String,
-    session: TuningSession,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    session: Option<TuningSession>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    engine: Option<EngineSessionState>,
     label: String,
     characteristics: Vec<f64>,
     prior: Option<RunHistory>,
     next_seq: u64,
+}
+
+/// A registry engine's resumable state. Engines are not serializable
+/// themselves; instead the successor rebuilds one — same registry
+/// entry, same [`engines::DEFAULT_SEED`], same warm start — and
+/// replays the recorded trace through it. Engines are deterministic,
+/// so the rebuilt engine continues the exact trajectory the original
+/// would have produced.
+#[derive(Serialize, Deserialize)]
+struct EngineSessionState {
+    name: String,
+    space: ParameterSpace,
+    budget: usize,
+    trace: Vec<TraceEntry>,
+}
+
+impl EngineSessionState {
+    fn rebuild(self, prior: Option<&RunHistory>) -> Result<EngineSession, String> {
+        let EngineSessionState {
+            name,
+            space,
+            budget,
+            trace,
+        } = self;
+        let spec = engines::lookup(&name).map_err(|e| e.to_string())?;
+        let mut engine = spec.build(space, budget, engines::DEFAULT_SEED);
+        if let Some(run) = prior {
+            engine.warm_start(run);
+        }
+        for entry in &trace {
+            if engine.next_config().is_none() {
+                break;
+            }
+            engine
+                .observe(entry.performance)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(EngineSession {
+            name,
+            engine,
+            budget,
+            trace,
+            pending: None,
+        })
+    }
+}
+
+/// Borrowed mirror of [`PersistedSession`] (field-for-field, so it
+/// serializes to the identical JSON): lets the owner snapshot a live
+/// session for shipping without cloning the kernel. Serialized by hand
+/// because the vendored `serde_derive` cannot expand lifetime-generic
+/// structs.
+struct PersistedSessionRef<'a> {
+    token: &'a str,
+    session: Option<&'a TuningSession>,
+    engine: Option<EngineSessionStateRef<'a>>,
+    label: &'a str,
+    characteristics: &'a [f64],
+    prior: &'a Option<RunHistory>,
+    next_seq: u64,
+}
+
+impl Serialize for PersistedSessionRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("token".to_string(), self.token.to_value());
+        if let Some(session) = self.session {
+            m.insert("session".to_string(), session.to_value());
+        }
+        if let Some(engine) = &self.engine {
+            m.insert("engine".to_string(), engine.to_value());
+        }
+        m.insert("label".to_string(), self.label.to_value());
+        m.insert(
+            "characteristics".to_string(),
+            self.characteristics.to_value(),
+        );
+        m.insert("prior".to_string(), self.prior.to_value());
+        m.insert("next_seq".to_string(), self.next_seq.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+/// Borrowed mirror of [`EngineSessionState`].
+struct EngineSessionStateRef<'a> {
+    name: &'a str,
+    space: &'a ParameterSpace,
+    budget: usize,
+    trace: &'a [TraceEntry],
+}
+
+impl Serialize for EngineSessionStateRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("name".to_string(), self.name.to_value());
+        m.insert("space".to_string(), self.space.to_value());
+        m.insert("budget".to_string(), self.budget.to_value());
+        m.insert("trace".to_string(), self.trace.to_value());
+        serde::Value::Object(m)
+    }
+}
+
+/// Rebuild a live session from a persisted snapshot — the sessions
+/// file a predecessor wrote, or a peer-shipped replica being adopted.
+fn revive_persisted(p: PersistedSession) -> Result<ActiveSession, String> {
+    let PersistedSession {
+        token,
+        session,
+        engine,
+        label,
+        characteristics,
+        prior,
+        next_seq,
+    } = p;
+    let kernel = match (session, engine) {
+        (Some(session), _) => SessionKernel::Simplex(session),
+        (None, Some(state)) => SessionKernel::Engine(state.rebuild(prior.as_ref())?),
+        (None, None) => return Err("session snapshot names no kernel".into()),
+    };
+    Ok(ActiveSession {
+        kernel,
+        label,
+        characteristics,
+        prior,
+        token: Some(token),
+        next_seq,
+    })
+}
+
+/// Replicate a live session's current state to the token's replica
+/// set, synchronously — the client's acknowledgment must imply the
+/// replicas saw the mutation, or a failover could lose acknowledged
+/// progress. No-op without a cluster or a token.
+fn ship_snapshot(shared: &Shared, sess: &ActiveSession) {
+    let (Some(cluster), Some(token)) = (&shared.cluster, &sess.token) else {
+        return;
+    };
+    let snapshot = PersistedSessionRef {
+        token,
+        session: match &sess.kernel {
+            SessionKernel::Simplex(session) => Some(session),
+            SessionKernel::Engine(_) => None,
+        },
+        engine: match &sess.kernel {
+            SessionKernel::Simplex(_) => None,
+            SessionKernel::Engine(e) => Some(EngineSessionStateRef {
+                name: &e.name,
+                space: e.engine.space(),
+                budget: e.budget,
+                trace: &e.trace,
+            }),
+        },
+        label: &sess.label,
+        characteristics: &sess.characteristics,
+        prior: &sess.prior,
+        next_seq: sess.next_seq,
+    };
+    if let Ok(text) = serde_json::to_string(&snapshot) {
+        cluster.ship_session(token, &text);
+    }
 }
 
 /// Load (and remove) the sessions file a predecessor left behind,
@@ -527,24 +867,24 @@ fn load_parked_sessions(registry: &SessionRegistry, db_path: &Path) {
             return;
         }
     };
-    let count = loaded.len();
+    let mut count = 0u64;
     for p in loaded {
-        registry.park(
-            p.token.clone(),
-            ActiveSession {
-                session: p.session,
-                label: p.label,
-                characteristics: p.characteristics,
-                prior: p.prior,
-                token: Some(p.token),
-                next_seq: p.next_seq,
-            },
-        );
+        let token = p.token.clone();
+        match revive_persisted(p) {
+            Ok(sess) => {
+                registry.park(token, sess);
+                count += 1;
+            }
+            Err(e) => event(Level::Error, "net.session_revive_failed")
+                .str("token", token)
+                .str("error", e)
+                .emit(),
+        }
     }
     if count > 0 {
         event(Level::Info, "net.sessions_loaded")
             .str("path", path.display().to_string())
-            .u64("sessions", count as u64)
+            .u64("sessions", count)
             .emit();
     }
 }
@@ -616,6 +956,7 @@ impl TuningDaemon {
         if let Some(path) = &config.db_path {
             load_parked_sessions(&registry, path);
         }
+        let cluster = build_cluster(&config)?;
         let shared = Arc::new(Shared {
             config,
             backend: Backend::Snapshot {
@@ -627,6 +968,8 @@ impl TuningDaemon {
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            cluster,
+            replicas: Mutex::new(HashMap::new()),
         });
         let flusher = match (sink, rx) {
             (Some(sink), Some(rx)) => {
@@ -672,6 +1015,7 @@ impl TuningDaemon {
         if let Some(path) = &config.db_path {
             load_parked_sessions(&registry, path);
         }
+        let cluster = build_cluster(&config)?;
         let shared = Arc::new(Shared {
             config,
             backend: Backend::Legacy(RwLock::new(db)),
@@ -680,6 +1024,8 @@ impl TuningDaemon {
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            cluster,
+            replicas: Mutex::new(HashMap::new()),
         });
         let reaper = {
             let shared = Arc::clone(&shared);
@@ -696,6 +1042,16 @@ impl TuningDaemon {
     }
 }
 
+/// Validate and build the cluster state a config asks for.
+fn build_cluster(config: &DaemonConfig) -> Result<Option<Arc<ClusterState>>, NetError> {
+    match &config.cluster {
+        Some(c) => ClusterState::new(c.clone())
+            .map(|state| Some(Arc::new(state)))
+            .map_err(NetError::Protocol),
+        None => Ok(None),
+    }
+}
+
 /// The keepalive reaper: folds parked sessions whose TTL expired into
 /// the experience database and drops stale cached summaries.
 fn reaper_loop(shared: &Arc<Shared>) {
@@ -706,9 +1062,9 @@ fn reaper_loop(shared: &Arc<Shared>) {
             crate::obs::sessions_abandoned_total().inc();
             event(Level::Warn, "net.session_ttl_expired")
                 .str("label", &sess.label)
-                .u64("iterations", sess.session.iterations() as u64)
+                .u64("iterations", sess.kernel.iterations() as u64)
                 .emit();
-            if sess.session.iterations() > 0 {
+            if sess.kernel.iterations() > 0 {
                 record_session(sess, shared);
             }
         }
@@ -818,13 +1174,28 @@ fn persist_parked(shared: &Arc<Shared>) {
     if let Some(db_path) = &shared.config.db_path {
         let persisted: Vec<PersistedSession> = parked
             .into_iter()
-            .map(|(token, sess)| PersistedSession {
-                token,
-                session: sess.session,
-                label: sess.label,
-                characteristics: sess.characteristics,
-                prior: sess.prior,
-                next_seq: sess.next_seq,
+            .map(|(token, sess)| {
+                let (session, engine) = match sess.kernel {
+                    SessionKernel::Simplex(session) => (Some(session), None),
+                    SessionKernel::Engine(e) => (
+                        None,
+                        Some(EngineSessionState {
+                            name: e.name,
+                            space: e.engine.space().clone(),
+                            budget: e.budget,
+                            trace: e.trace,
+                        }),
+                    ),
+                };
+                PersistedSession {
+                    token,
+                    session,
+                    engine,
+                    label: sess.label,
+                    characteristics: sess.characteristics,
+                    prior: sess.prior,
+                    next_seq: sess.next_seq,
+                }
             })
             .collect();
         let path = sessions_path(db_path);
@@ -847,7 +1218,7 @@ fn persist_parked(shared: &Arc<Shared>) {
     } else {
         for (_, sess) in parked {
             crate::obs::sessions_abandoned_total().inc();
-            if sess.session.iterations() > 0 {
+            if sess.kernel.iterations() > 0 {
                 record_session(sess, shared);
             }
         }
@@ -983,12 +1354,144 @@ fn linger_close(mut stream: TcpStream, timeout: Duration) {
     while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
+/// The search driving one session: the paper's simplex tuner (the
+/// default and the only kernel pre-engine clients can reach) or any
+/// engine from the `harmony-engines` registry, named by
+/// `SessionStart::engine`. Both faces answer the same ask–tell surface,
+/// so every request handler is kernel-agnostic.
+#[allow(clippy::large_enum_variant)] // simplex is the hot default; boxing it buys nothing
+pub(crate) enum SessionKernel {
+    /// The default simplex [`TuningSession`] (serializable whole).
+    Simplex(TuningSession),
+    /// A registry engine plus the bookkeeping that makes it resumable.
+    Engine(EngineSession),
+}
+
+/// A registry engine driven over the wire. Engines do not serialize;
+/// the recorded `trace` doubles as the replay script that rebuilds one
+/// after a restart or failover (see [`EngineSessionState::rebuild`]).
+pub(crate) struct EngineSession {
+    name: String,
+    engine: Box<dyn SearchEngine + Send>,
+    budget: usize,
+    /// Every observation in order — the live trace and, persisted, the
+    /// rebuild-by-replay script.
+    trace: Vec<TraceEntry>,
+    /// The outstanding proposal, so `observe` records the configuration
+    /// that was actually measured.
+    pending: Option<Configuration>,
+}
+
+impl SessionKernel {
+    fn next_config(&mut self) -> Option<Configuration> {
+        match self {
+            SessionKernel::Simplex(s) => s.next_config(),
+            SessionKernel::Engine(e) => {
+                let cfg = e.engine.next_config();
+                e.pending.clone_from(&cfg);
+                cfg
+            }
+        }
+    }
+
+    fn observe(&mut self, performance: f64) -> Result<(), String> {
+        match self {
+            SessionKernel::Simplex(s) => s.observe(performance).map_err(|e| e.to_string()),
+            SessionKernel::Engine(e) => {
+                // A rebuilt engine has no outstanding proposal when the
+                // client's retried `Report` arrives; the ask is
+                // idempotent, so proposing here recovers exactly the
+                // configuration the client measured.
+                let config = match e.pending.take().or_else(|| e.engine.next_config()) {
+                    Some(config) => config,
+                    None => return Err("no pending configuration to observe".into()),
+                };
+                e.engine
+                    .observe(performance)
+                    .map_err(|err| err.to_string())?;
+                e.trace.push(TraceEntry {
+                    iteration: e.trace.len(),
+                    config,
+                    performance,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn iterations(&self) -> usize {
+        match self {
+            SessionKernel::Simplex(s) => s.iterations(),
+            SessionKernel::Engine(e) => e.trace.len(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            SessionKernel::Simplex(s) => s.is_done(),
+            SessionKernel::Engine(e) => e.engine.is_done(),
+        }
+    }
+
+    fn space(&self) -> &ParameterSpace {
+        match self {
+            SessionKernel::Simplex(s) => s.space(),
+            SessionKernel::Engine(e) => e.engine.space(),
+        }
+    }
+
+    fn trace(&self) -> &[TraceEntry] {
+        match self {
+            SessionKernel::Simplex(s) => s.trace(),
+            SessionKernel::Engine(e) => &e.trace,
+        }
+    }
+
+    /// Virtual training iterations (engines train inside `warm_start`;
+    /// only the simplex kernel reports a count).
+    fn training_iterations(&self) -> usize {
+        match self {
+            SessionKernel::Simplex(s) => s.training_iterations(),
+            SessionKernel::Engine(_) => 0,
+        }
+    }
+
+    /// Finish the search and produce the unified outcome shape.
+    fn finish(self) -> harmony_engines::EngineOutcome {
+        match self {
+            SessionKernel::Simplex(s) => {
+                let outcome = s.finish();
+                harmony_engines::EngineOutcome {
+                    engine: "simplex".into(),
+                    trace: outcome.trace,
+                    best_configuration: outcome.best_configuration,
+                    best_performance: outcome.best_performance,
+                    converged: outcome.converged,
+                }
+            }
+            SessionKernel::Engine(e) => {
+                let (best_configuration, best_performance) = e.engine.best().unwrap_or_else(|| {
+                    (e.engine.space().default_configuration(), f64::NEG_INFINITY)
+                });
+                harmony_engines::EngineOutcome {
+                    engine: e.name,
+                    trace: e.trace,
+                    best_configuration,
+                    best_performance,
+                    converged: e.engine.converged(),
+                }
+            }
+        }
+    }
+}
+
 /// Per-connection session state.
 pub(crate) struct ActiveSession {
-    pub(crate) session: TuningSession,
+    pub(crate) kernel: SessionKernel,
     pub(crate) label: String,
     characteristics: Vec<f64>,
-    /// The prior run selected at `SessionStart`, kept for `Sensitivity`.
+    /// The prior run selected at `SessionStart`, kept for `Sensitivity`
+    /// and for rebuilding an engine's warm start after a failover.
     prior: Option<RunHistory>,
     /// Resume token, issued on protocol ≥ 2 connections. A tokened
     /// session parks on disconnect instead of being abandoned.
@@ -1014,6 +1517,10 @@ pub(crate) struct ConnState {
     /// Set when `Resume` named an already-finished session: the
     /// follow-up `SessionEnd` answers from the cached summary.
     completed_token: Option<String>,
+    /// Set by a successful `PeerHello`: this connection is a cluster
+    /// peer and may ship `Peer*` traffic. Client-facing connections
+    /// never set it, so the `Peer*` family is refused there.
+    peer: bool,
 }
 
 impl ConnState {
@@ -1026,6 +1533,7 @@ impl ConnState {
             version: MIN_SUPPORTED_VERSION,
             format: WireFormat::Json,
             completed_token: None,
+            peer: false,
         }
     }
 
@@ -1090,7 +1598,7 @@ pub(crate) fn finish_connection(conn: &mut ConnState, shared: &Shared) {
             Some(token) => {
                 event(Level::Info, "net.session_parked")
                     .str("label", &sess.label)
-                    .u64("iterations", sess.session.iterations() as u64)
+                    .u64("iterations", sess.kernel.iterations() as u64)
                     .emit();
                 shared.registry.park(token, sess);
             }
@@ -1100,9 +1608,9 @@ pub(crate) fn finish_connection(conn: &mut ConnState, shared: &Shared) {
                 crate::obs::sessions_abandoned_total().inc();
                 event(Level::Warn, "net.session_abandoned")
                     .str("label", &sess.label)
-                    .u64("iterations", sess.session.iterations() as u64)
+                    .u64("iterations", sess.kernel.iterations() as u64)
                     .emit();
-                if sess.session.iterations() > 0 {
+                if sess.kernel.iterations() > 0 {
                     record_session(sess, shared);
                 }
             }
@@ -1287,6 +1795,7 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
             label,
             characteristics,
             max_iterations,
+            engine,
         } => {
             if active.is_some() {
                 return Response::Error {
@@ -1297,13 +1806,20 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                 Ok(s) => s,
                 Err(message) => return Response::Error { message },
             };
-            let mut options = shared.config.tuning.clone();
-            if let Some(n) = max_iterations {
-                options = options.with_max_iterations(n);
-            }
+            let engine_spec = match &engine {
+                Some(name) => match engines::lookup(name) {
+                    Ok(spec) => Some(spec),
+                    Err(e) => {
+                        return Response::Error {
+                            message: e.to_string(),
+                        }
+                    }
+                },
+                None => None,
+            };
             // Classify the observed characteristics against everyone's
             // prior experience (§4.2). A match whose space shape differs
-            // from this session's cannot seed the simplex — skip it.
+            // from this session's cannot seed the search — skip it.
             let prior = {
                 let _span = trace::child(stage::CLASSIFY, &label);
                 shared
@@ -1315,35 +1831,62 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
             } else {
                 crate::obs::warm_start_misses_total().inc();
             }
-            let tuner = Tuner::new(space, options);
-            let session = match &prior {
-                Some(history) => {
-                    let _span = trace::child(stage::WARM_START, &history.label);
-                    tuner.session_trained(history, shared.config.training)
+            let kernel = match engine_spec {
+                Some(spec) => {
+                    let budget = max_iterations.unwrap_or(shared.config.tuning.max_iterations);
+                    let mut engine = spec.build(space, budget, engines::DEFAULT_SEED);
+                    if let Some(history) = &prior {
+                        let _span = trace::child(stage::WARM_START, &history.label);
+                        engine.warm_start(history);
+                    }
+                    SessionKernel::Engine(EngineSession {
+                        name: spec.name().to_string(),
+                        engine,
+                        budget,
+                        trace: Vec::new(),
+                        pending: None,
+                    })
                 }
-                None => tuner.session(),
+                None => {
+                    let mut options = shared.config.tuning.clone();
+                    if let Some(n) = max_iterations {
+                        options = options.with_max_iterations(n);
+                    }
+                    let tuner = Tuner::new(space, options);
+                    SessionKernel::Simplex(match &prior {
+                        Some(history) => {
+                            let _span = trace::child(stage::WARM_START, &history.label);
+                            tuner.session_trained(history, shared.config.training)
+                        }
+                        None => tuner.session(),
+                    })
+                }
             };
-            let token = (conn.version >= 2).then(|| shared.registry.issue_token());
+            let token = (conn.version >= 2).then(|| issue_self_owned_token(shared));
             crate::obs::sessions_started_total().inc();
             event(Level::Info, "net.session_start")
                 .str("label", &label)
+                .str("engine", engine.as_deref().unwrap_or("simplex"))
                 .bool("warm_start", prior.is_some())
-                .u64("training_iterations", session.training_iterations() as u64)
+                .u64("training_iterations", kernel.training_iterations() as u64)
                 .emit();
             let response = Response::SessionStarted {
-                space: session.space().clone(),
+                space: kernel.space().clone(),
                 trained_from: prior.as_ref().map(|r| r.label.clone()),
-                training_iterations: session.training_iterations(),
+                training_iterations: kernel.training_iterations(),
                 session_token: token.clone(),
             };
             *active = Some(ActiveSession {
-                session,
+                kernel,
                 label,
                 characteristics,
                 prior,
                 token,
                 next_seq: 0,
             });
+            if let Some(sess) = active.as_ref() {
+                ship_snapshot(shared, sess);
+            }
             response
         }
         Request::Resume { token } => {
@@ -1367,12 +1910,12 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                     crate::obs::resumes_total().inc();
                     event(Level::Info, "net.session_resumed")
                         .str("label", &sess.label)
-                        .u64("iterations", sess.session.iterations() as u64)
+                        .u64("iterations", sess.kernel.iterations() as u64)
                         .emit();
                     let response = Response::Resumed {
-                        iteration: sess.session.iterations(),
+                        iteration: sess.kernel.iterations(),
                         next_seq: sess.next_seq,
-                        done: sess.session.is_done(),
+                        done: sess.kernel.is_done(),
                     };
                     *active = Some(sess);
                     return response;
@@ -1390,6 +1933,32 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                         done: true,
                     };
                 }
+                // A replica shipped here by a peer owner: the owner is
+                // gone (the client failed over to us), so the snapshot
+                // becomes a live adopted session. Served-locally-first:
+                // anything this daemon holds in any form answers here,
+                // and only a complete miss can redirect, so a session
+                // can never be served from two places.
+                if let Some(persisted) = shared.adopt_replica(&token) {
+                    return match revive_persisted(persisted) {
+                        Ok(sess) => {
+                            crate::obs::resumes_total().inc();
+                            crate::obs::shard_adoptions_total().inc();
+                            event(Level::Info, "net.session_adopted")
+                                .str("label", &sess.label)
+                                .u64("iterations", sess.kernel.iterations() as u64)
+                                .emit();
+                            let response = Response::Resumed {
+                                iteration: sess.kernel.iterations(),
+                                next_seq: sess.next_seq,
+                                done: sess.kernel.is_done(),
+                            };
+                            *active = Some(sess);
+                            response
+                        }
+                        Err(message) => Response::Error { message },
+                    };
+                }
                 if !shared.registry.recognizes(&token)
                     || Instant::now() >= grace
                     || shared.shutdown.load(Ordering::SeqCst)
@@ -1398,17 +1967,36 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                 }
                 std::thread::sleep(Duration::from_millis(10));
             }
+            // Complete miss. On a cluster, point the client at the
+            // token's ring owner; for our own tokens (we are the owner)
+            // the session is simply gone.
+            if let Some(cluster) = &shared.cluster {
+                let owner = cluster.owner_of_token(&token);
+                if owner != cluster.self_addr() {
+                    crate::obs::shard_redirects_total().inc();
+                    return Response::NotMine {
+                        owner: owner.to_string(),
+                    };
+                }
+            }
             Response::Error {
                 message: "unknown or expired session token".into(),
             }
         }
         Request::Fetch => match active {
             None => no_session(),
-            Some(sess) => match sess.session.next_config() {
-                Some(cfg) => Response::Config {
-                    values: cfg.values().to_vec(),
-                    iteration: sess.session.iterations(),
-                },
+            Some(sess) => match sess.kernel.next_config() {
+                Some(cfg) => {
+                    let response = Response::Config {
+                        values: cfg.values().to_vec(),
+                        iteration: sess.kernel.iterations(),
+                    };
+                    // The proposal is part of the resumable state (the
+                    // simplex kernel must re-propose the same point
+                    // after a failover), so it replicates too.
+                    ship_snapshot(shared, sess);
+                    response
+                }
                 None => Response::Done,
             },
         },
@@ -1429,16 +2017,17 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                     }
                     _ => {}
                 }
-                match sess.session.observe(performance) {
+                match sess.kernel.observe(performance) {
                     Ok(()) => {
                         if seq.is_some() {
                             sess.next_seq += 1;
                         }
+                        // Replicate before acknowledging: the ack must
+                        // imply a failover cannot lose this observation.
+                        ship_snapshot(shared, sess);
                         Response::Reported
                     }
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(message) => Response::Error { message },
                 }
             }
         },
@@ -1457,7 +2046,13 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                 let token = sess.token.clone();
                 let summary = record_session(sess, shared);
                 if let Some(token) = token {
-                    shared.registry.cache_summary(token, summary.clone());
+                    shared
+                        .registry
+                        .cache_summary(token.clone(), summary.clone());
+                    // The session is over; its replicas can be dropped.
+                    if let Some(cluster) = &shared.cluster {
+                        cluster.drop_session(&token);
+                    }
                 }
                 summary
             }
@@ -1473,7 +2068,7 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                     .map(|run| run.records.clone())
                     .unwrap_or_default();
                 records.extend(
-                    sess.session
+                    sess.kernel
                         .trace()
                         .iter()
                         .map(|t| TuningRecord::new(&t.config, t.performance)),
@@ -1483,7 +2078,7 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
                         message: "no experience yet: no prior match and nothing measured".into(),
                     };
                 }
-                let report = SensitivityReport::from_history(sess.session.space(), &records);
+                let report = SensitivityReport::from_history(sess.kernel.space(), &records);
                 Response::Sensitivity {
                     entries: report
                         .entries()
@@ -1510,7 +2105,91 @@ fn handle_request(request: Request, conn: &mut ConnState, shared: &Shared) -> Re
         Request::TraceDump => Response::TraceDump {
             traces: trace::dump().into_iter().map(Into::into).collect(),
         },
+        Request::PeerHello { node } => match &shared.cluster {
+            None => Response::Error {
+                message: "clustering is off: peer links are refused".into(),
+            },
+            Some(cluster) if !cluster.is_member(&node) => Response::Error {
+                message: format!("unknown ring member {node}"),
+            },
+            Some(_) => {
+                conn.peer = true;
+                crate::obs::peer_connections_total().inc();
+                event(Level::Info, "net.peer_connected")
+                    .str("node", node)
+                    .emit();
+                Response::PeerOk
+            }
+        },
+        Request::PeerShipRun { origin, seq, line } => match peer_cluster(conn, shared) {
+            Err(message) => Response::Error { message },
+            Ok(cluster) => {
+                if !cluster.apply_shipped(&origin, seq) {
+                    // A retried ship re-delivered an applied run.
+                    return Response::PeerOk;
+                }
+                match serde_json::from_str::<RunHistory>(&line) {
+                    // Local apply only — never re-shipped, so the
+                    // replication fan-out is one hop and cycle-free.
+                    Ok(run) => {
+                        shared.record_run(run);
+                        Response::PeerOk
+                    }
+                    Err(e) => Response::Error {
+                        message: format!("bad shipped run: {e}"),
+                    },
+                }
+            }
+        },
+        Request::PeerShipSession { origin: _, session } => match peer_cluster(conn, shared) {
+            Err(message) => Response::Error { message },
+            Ok(_) => match serde_json::from_str::<PersistedSession>(&session) {
+                Ok(snapshot) => {
+                    shared.store_replica(snapshot);
+                    Response::PeerOk
+                }
+                Err(e) => Response::Error {
+                    message: format!("bad shipped session: {e}"),
+                },
+            },
+        },
+        Request::PeerDropSession { origin: _, token } => match peer_cluster(conn, shared) {
+            Err(message) => Response::Error { message },
+            Ok(_) => {
+                shared.drop_replica(&token);
+                Response::PeerOk
+            }
+        },
     }
+}
+
+/// The cluster handle for an authorized peer connection, or the reason
+/// the request is refused: `Peer*` traffic is honored only after a
+/// successful `PeerHello` on a clustered daemon.
+fn peer_cluster<'a>(conn: &ConnState, shared: &'a Shared) -> Result<&'a Arc<ClusterState>, String> {
+    match &shared.cluster {
+        None => Err("clustering is off: peer requests are refused".into()),
+        Some(_) if !conn.peer => Err("unauthorized peer request: send PeerHello first".into()),
+        Some(cluster) => Ok(cluster),
+    }
+}
+
+/// Issue a session token; with clustering on, draw candidates until the
+/// ring hashes one onto this daemon, so a session's creator is always
+/// its ring owner and `SessionStart` never needs a redirect.
+fn issue_self_owned_token(shared: &Shared) -> String {
+    let Some(cluster) = &shared.cluster else {
+        return shared.registry.issue_token();
+    };
+    for _ in 0..TOKEN_DRAWS {
+        let token = shared.registry.issue_token();
+        if cluster.owns_token(&token) {
+            return token;
+        }
+    }
+    // Astronomically unlikely (see [`TOKEN_DRAWS`]); serve the session
+    // anyway — a foreign-owned token only costs a redirect on resume.
+    shared.registry.issue_token()
 }
 
 fn no_session() -> Response {
@@ -1535,7 +2214,7 @@ fn resolve_space(spec: SpaceSpec) -> Result<ParameterSpace, String> {
 /// Fold a finished (or abandoned) session into the shared database and
 /// answer with its summary.
 pub(crate) fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
-    let outcome = sess.session.finish();
+    let outcome = sess.kernel.finish();
     let summary = Response::SessionSummary {
         values: outcome.best_configuration.values().to_vec(),
         performance: outcome.best_performance,
@@ -1551,7 +2230,7 @@ pub(crate) fn record_session(sess: ActiveSession, shared: &Shared) -> Response {
     if !outcome.trace.is_empty() {
         let _span = trace::child(stage::WAL_APPEND, &sess.label);
         let run = outcome.to_history(sess.label, sess.characteristics);
-        shared.record_run(run);
+        shared.record_run_and_replicate(run);
     }
     let completed = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
     // Snapshot mode persists through the flusher; legacy mode keeps the
@@ -1811,6 +2490,13 @@ mod tests {
             "harmony_db_wal_appends_total",
             "harmony_db_wal_flush_seconds",
             "harmony_db_compactions_total",
+            "harmony_net_peer_connections_total",
+            "harmony_net_peer_runs_shipped_total",
+            "harmony_net_peer_sessions_shipped_total",
+            "harmony_net_peer_ship_failures_total",
+            "harmony_net_shard_adoptions_total",
+            "harmony_net_shard_redirects_total",
+            "harmony_net_shard_replica_sessions_entries",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
@@ -1866,6 +2552,7 @@ mod tests {
                 label: "v1".into(),
                 characteristics: vec![0.5],
                 max_iterations: Some(5),
+                engine: None,
             },
         )
         .unwrap();
@@ -2198,5 +2885,244 @@ mod tests {
             crate::obs::db_snapshot_swaps_total().get() > before,
             "recording a run must swap the snapshot"
         );
+    }
+
+    /// With clustering off, every `Peer*` request gets an in-protocol
+    /// error — the family simply does not exist for ordinary daemons.
+    #[test]
+    fn peer_requests_are_refused_without_clustering() {
+        let handle = daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(2),
+                // Cap at v2: this raw socket keeps speaking JSON.
+                max_version: Some(2),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        for request in [
+            Request::PeerHello {
+                node: "127.0.0.1:1".into(),
+            },
+            Request::PeerShipRun {
+                origin: "127.0.0.1:1".into(),
+                seq: 1,
+                line: "{}".into(),
+            },
+            Request::PeerShipSession {
+                origin: "127.0.0.1:1".into(),
+                session: "{}".into(),
+            },
+            Request::PeerDropSession {
+                origin: "127.0.0.1:1".into(),
+                token: "hs-1-1".into(),
+            },
+        ] {
+            write_frame(&mut stream, &request).unwrap();
+            match crate::codec::read_frame(&mut stream).unwrap() {
+                Response::Error { message } => {
+                    assert!(message.contains("clustering is off"), "{message}")
+                }
+                other => panic!("{} must be refused, got {other:?}", request.kind()),
+            }
+        }
+        handle.shutdown();
+    }
+
+    /// On a clustered daemon, `Peer*` requests still need the
+    /// `PeerHello` authorization — a client-facing connection (no
+    /// handshake) cannot inject peer traffic, and an unknown node
+    /// cannot authorize.
+    #[test]
+    fn peer_requests_need_an_authorized_peer_hello() {
+        let config = DaemonConfig::builder()
+            .cluster("127.0.0.1:9", vec!["127.0.0.2:9".into()], 1)
+            .build()
+            .unwrap();
+        let handle = TuningDaemon::start(config).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(2),
+                max_version: Some(2),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        // No PeerHello yet: shipping is refused.
+        write_frame(
+            &mut stream,
+            &Request::PeerShipRun {
+                origin: "127.0.0.2:9".into(),
+                seq: 1,
+                line: "{}".into(),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::Error { message } => assert!(message.contains("PeerHello"), "{message}"),
+            other => panic!("unauthorized ship must be refused, got {other:?}"),
+        }
+        // A PeerHello naming a non-member is refused too.
+        write_frame(
+            &mut stream,
+            &Request::PeerHello {
+                node: "127.0.0.3:9".into(),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::Error { message } => {
+                assert!(message.contains("unknown ring member"), "{message}")
+            }
+            other => panic!("foreign PeerHello must be refused, got {other:?}"),
+        }
+        // A member's PeerHello authorizes the connection.
+        write_frame(
+            &mut stream,
+            &Request::PeerHello {
+                node: "127.0.0.2:9".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            crate::codec::read_frame(&mut stream).unwrap(),
+            Response::PeerOk
+        ));
+        handle.shutdown();
+    }
+
+    /// `SessionStart` with an engine name runs that registry engine
+    /// over the wire; an unknown name is refused with the registry's
+    /// error message.
+    #[test]
+    fn engine_sessions_tune_over_the_wire() {
+        let handle = daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::Hello {
+                version: None,
+                min_version: Some(2),
+                max_version: Some(2),
+                client: "test".into(),
+            },
+        )
+        .unwrap();
+        crate::codec::read_frame::<_, Response>(&mut stream).unwrap();
+        write_frame(
+            &mut stream,
+            &Request::SessionStart {
+                space: SpaceSpec::Rsl(RSL.into()),
+                label: "engined".into(),
+                characteristics: vec![0.5, 0.5],
+                max_iterations: Some(20),
+                engine: Some("annealing".into()),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::Error { message } => assert!(message.contains("unknown engine"), "{message}"),
+            other => panic!("unknown engine must be refused, got {other:?}"),
+        }
+        write_frame(
+            &mut stream,
+            &Request::SessionStart {
+                space: SpaceSpec::Rsl(RSL.into()),
+                label: "engined".into(),
+                characteristics: vec![0.5, 0.5],
+                max_iterations: Some(20),
+                engine: Some("divide-diverge".into()),
+            },
+        )
+        .unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::SessionStarted { session_token, .. } => {
+                assert!(session_token.is_some(), "v2 still issues a token")
+            }
+            other => panic!("expected SessionStarted, got {other:?}"),
+        }
+        let mut iterations = 0usize;
+        loop {
+            write_frame(&mut stream, &Request::Fetch).unwrap();
+            match crate::codec::read_frame(&mut stream).unwrap() {
+                Response::Config { values, .. } => {
+                    let x = values[0] as f64;
+                    let y = values[1] as f64;
+                    write_frame(
+                        &mut stream,
+                        &Request::Report {
+                            performance: 1000.0 - (x - 40.0).powi(2) - (y - 70.0).powi(2),
+                            seq: Some(iterations as u64),
+                        },
+                    )
+                    .unwrap();
+                    assert!(matches!(
+                        crate::codec::read_frame(&mut stream).unwrap(),
+                        Response::Reported
+                    ));
+                    iterations += 1;
+                }
+                Response::Done => break,
+                other => panic!("expected Config or Done, got {other:?}"),
+            }
+        }
+        assert!(iterations > 0 && iterations <= 20);
+        write_frame(&mut stream, &Request::SessionEnd).unwrap();
+        match crate::codec::read_frame(&mut stream).unwrap() {
+            Response::SessionSummary {
+                iterations: done, ..
+            } => assert_eq!(done, iterations),
+            other => panic!("expected SessionSummary, got {other:?}"),
+        }
+        drop(stream);
+        assert_eq!(handle.db_runs(), 1, "engine sessions record experience");
+        handle.shutdown();
+    }
+
+    /// The builder refuses the combinations the CLI used to police by
+    /// hand, and passes cluster configs through ring validation.
+    #[test]
+    fn config_builder_validates_combinations() {
+        let err = DaemonConfig::builder()
+            .wal_path("/tmp/x.wal")
+            .build()
+            .unwrap_err();
+        assert!(err.contains("--wal requires --db"), "{err}");
+
+        let err = DaemonConfig::builder()
+            .compact_every(8)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("--compact-every requires --db"), "{err}");
+
+        // With a db both are fine.
+        let config = DaemonConfig::builder()
+            .db_path("/tmp/x.json")
+            .wal_path("/tmp/x.wal")
+            .compact_every(8)
+            .build()
+            .unwrap();
+        assert_eq!(config.compact_every, 8);
+
+        let err = DaemonConfig::builder()
+            .cluster("a:1", vec!["a:1".into()], 1)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("own address"), "{err}");
+
+        let err = DaemonConfig::builder()
+            .cluster("a:1", vec!["b:1".into()], 3)
+            .build()
+            .unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
     }
 }

@@ -384,12 +384,20 @@ impl WireEncode for Request {
                 label,
                 characteristics,
                 max_iterations,
+                engine,
             } => {
                 out.push(1);
                 space.encode(out);
                 label.encode(out);
                 characteristics.encode(out);
                 max_iterations.encode(out);
+                // Trailing optional field, added after v3 shipped: a
+                // default (`None`) encodes as nothing at all, so these
+                // bytes are identical to what pre-engine encoders
+                // produced and old decoders never see the field.
+                if engine.is_some() {
+                    engine.encode(out);
+                }
             }
             Request::Resume { token } => {
                 out.push(2);
@@ -418,6 +426,26 @@ impl WireEncode for Request {
                 request.encode(out);
             }
             Request::TraceDump => out.push(10),
+            Request::PeerHello { node } => {
+                out.push(11);
+                node.encode(out);
+            }
+            Request::PeerShipRun { origin, seq, line } => {
+                out.push(12);
+                origin.encode(out);
+                seq.encode(out);
+                line.encode(out);
+            }
+            Request::PeerShipSession { origin, session } => {
+                out.push(13);
+                origin.encode(out);
+                session.encode(out);
+            }
+            Request::PeerDropSession { origin, token } => {
+                out.push(14);
+                origin.encode(out);
+                token.encode(out);
+            }
         }
     }
 }
@@ -431,12 +459,26 @@ impl WireDecode for Request {
                 max_version: Option::decode(r)?,
                 client: r.string()?,
             },
-            1 => Request::SessionStart {
-                space: SpaceSpec::decode(r)?,
-                label: r.string()?,
-                characteristics: Vec::decode(r)?,
-                max_iterations: Option::decode(r)?,
-            },
+            1 => {
+                let space = SpaceSpec::decode(r)?;
+                let label = r.string()?;
+                let characteristics = Vec::decode(r)?;
+                let max_iterations = Option::decode(r)?;
+                // Trailing optional: absent entirely on frames from
+                // pre-engine encoders.
+                let engine = if r.remaining() == 0 {
+                    None
+                } else {
+                    Option::decode(r)?
+                };
+                Request::SessionStart {
+                    space,
+                    label,
+                    characteristics,
+                    max_iterations,
+                    engine,
+                }
+            }
             2 => Request::Resume { token: r.string()? },
             3 => Request::Fetch,
             4 => Request::Report {
@@ -462,6 +504,20 @@ impl WireDecode for Request {
                 }
             }
             10 => Request::TraceDump,
+            11 => Request::PeerHello { node: r.string()? },
+            12 => Request::PeerShipRun {
+                origin: r.string()?,
+                seq: r.varint()?,
+                line: r.string()?,
+            },
+            13 => Request::PeerShipSession {
+                origin: r.string()?,
+                session: r.string()?,
+            },
+            14 => Request::PeerDropSession {
+                origin: r.string()?,
+                token: r.string()?,
+            },
             tag => return Err(bad(format!("request tag {tag}"))),
         })
     }
@@ -483,6 +539,8 @@ const RESPONSE_KINDS: &[&str] = &[
     "Stats",
     "TraceDump",
     "Error",
+    "NotMine",
+    "PeerOk",
 ];
 
 /// The variant name of a binary-encoded [`Response`] payload, read from
@@ -562,6 +620,11 @@ impl WireEncode for Response {
                 out.push(12);
                 message.encode(out);
             }
+            Response::NotMine { owner } => {
+                out.push(13);
+                owner.encode(out);
+            }
+            Response::PeerOk => out.push(14),
         }
     }
 }
@@ -610,6 +673,8 @@ impl WireDecode for Response {
             12 => Response::Error {
                 message: r.string()?,
             },
+            13 => Response::NotMine { owner: r.string()? },
+            14 => Response::PeerOk,
             tag => return Err(bad(format!("response tag {tag}"))),
         })
     }
@@ -971,12 +1036,14 @@ mod tests {
                 label: "w".into(),
                 characteristics: vec![0.25, -0.75, f64::MIN_POSITIVE],
                 max_iterations: Some(40),
+                engine: None,
             },
             Request::SessionStart {
                 space: SpaceSpec::Explicit(space()),
                 label: String::new(),
                 characteristics: vec![],
                 max_iterations: None,
+                engine: Some("divide-diverge".into()),
             },
             Request::Resume {
                 token: "s-42".into(),
@@ -1005,10 +1072,48 @@ mod tests {
                 request: Box::new(Request::Fetch),
             },
             Request::TraceDump,
+            Request::PeerHello {
+                node: "127.0.0.1:7701".into(),
+            },
+            Request::PeerShipRun {
+                origin: "127.0.0.1:7701".into(),
+                seq: 42,
+                line: "{\"label\":\"w\"}".into(),
+            },
+            Request::PeerShipSession {
+                origin: "127.0.0.1:7701".into(),
+                session: "{\"token\":\"hs-1-1\"}".into(),
+            },
+            Request::PeerDropSession {
+                origin: "127.0.0.1:7701".into(),
+                token: "hs-1-1".into(),
+            },
         ];
         for msg in &requests {
             round_trip(msg);
         }
+    }
+
+    #[test]
+    fn engineless_session_start_encodes_exactly_as_before_the_field() {
+        // The trailing optional must be invisible when absent: the bytes
+        // end right after max_iterations, as pre-engine encoders wrote
+        // them, and decoding those bytes yields engine: None.
+        let msg = Request::SessionStart {
+            space: SpaceSpec::Rsl("{ harmonyBundle x { int {0 9 1} }}".into()),
+            label: "w".into(),
+            characteristics: vec![1.0],
+            max_iterations: Some(8),
+            engine: None,
+        };
+        let bytes = to_bytes(&msg);
+        let mut legacy = vec![1u8];
+        SpaceSpec::Rsl("{ harmonyBundle x { int {0 9 1} }}".into()).encode(&mut legacy);
+        "w".to_string().encode(&mut legacy);
+        vec![1.0f64].encode(&mut legacy);
+        Some(8usize).encode(&mut legacy);
+        assert_eq!(bytes, legacy, "engine: None must add zero bytes");
+        assert_eq!(from_bytes::<Request>(&legacy).unwrap(), msg);
     }
 
     #[test]
@@ -1071,6 +1176,10 @@ mod tests {
             Response::Error {
                 message: "no".into(),
             },
+            Response::NotMine {
+                owner: "127.0.0.1:7702".into(),
+            },
+            Response::PeerOk,
         ];
         for msg in &responses {
             round_trip(msg);
@@ -1101,6 +1210,7 @@ mod tests {
                 label: "compact".into(),
                 characteristics: vec![0.5, 0.5],
                 max_iterations: Some(40),
+                engine: None,
             },
             Request::Report {
                 performance: 1.5,

@@ -1,0 +1,312 @@
+//! Cluster suite: a multi-daemon ring shards sessions and runs by
+//! consistent hashing, ships WAL lines and session snapshots to replica
+//! peers, and fails sessions over when a member dies.
+//!
+//! The load-bearing properties, mirrored from the single-daemon
+//! resilience suite:
+//!
+//! - *Zero recorded-run loss*: with a replication factor of 2, every
+//!   completed run is held by at least two ring members, so killing any
+//!   one daemon leaves the full run set queryable on the survivors.
+//! - *Bit-identical failover*: a session interrupted by its owner's
+//!   death resumes from the replica snapshot and walks exactly the
+//!   trajectory of an uninterrupted single-daemon run — same
+//!   configurations in the same order, same best performance to the
+//!   last bit.
+
+use harmony_net::client::{Client, RetryPolicy, SessionSummary};
+use harmony_net::cluster::{ring_hash, HashRing};
+use harmony_net::codec::{read_frame, write_frame};
+use harmony_net::protocol::{Request, Response, SpaceSpec, MIN_SUPPORTED_VERSION};
+use harmony_net::server::{DaemonConfig, DaemonHandle, TuningDaemon};
+use std::collections::HashSet;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+const RSL: &str =
+    "{ harmonyBundle cache { int {1 20 1} }}\n{ harmonyBundle threads { int {1 20 1} }}";
+
+/// Deterministic synthetic objective, optimum at cache=14, threads=6.
+fn perf(values: &[i64]) -> f64 {
+    let c = values[0] as f64;
+    let t = values[1] as f64;
+    200.0 - (c - 14.0).powi(2) - 2.0 * (t - 6.0).powi(2)
+}
+
+/// Reserve `n` distinct loopback addresses. The listeners are held
+/// until every port is drawn, then dropped so the daemons can bind the
+/// same addresses (the usual bind-to-zero reservation trick).
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| format!("127.0.0.1:{}", l.local_addr().unwrap().port()))
+        .collect()
+}
+
+/// Start ring member `i` of `addrs` with the given replication factor.
+fn cluster_daemon(addrs: &[String], i: usize, replication: usize) -> DaemonHandle {
+    let peers: Vec<String> = addrs
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != i)
+        .map(|(_, a)| a.clone())
+        .collect();
+    let config = DaemonConfig::builder()
+        .listen(addrs[i].clone())
+        .cluster(addrs[i].clone(), peers, replication)
+        .build()
+        .expect("valid cluster config");
+    TuningDaemon::start(config).expect("cluster daemon starts")
+}
+
+/// A resilient client that knows every ring member's address.
+fn ring_client(addrs: &[String], seed: u64) -> Client {
+    let mut builder = Client::builder(addrs[0].as_str())
+        .connect_timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::default().with_max_retries(10).with_seed(seed));
+    for addr in &addrs[1..] {
+        builder = builder.endpoint(addr.as_str());
+    }
+    builder.connect().expect("ring client connects")
+}
+
+/// Drive one whole session, recording the exact trajectory.
+fn drive(
+    client: &mut Client,
+    label: &str,
+    characteristics: Vec<f64>,
+) -> (Vec<(Vec<i64>, u64)>, SessionSummary) {
+    client
+        .start_session(SpaceSpec::Rsl(RSL.into()), label, characteristics, Some(40))
+        .expect("session starts");
+    let mut trace = Vec::new();
+    while let Some(p) = client.fetch().expect("fetch") {
+        let y = perf(p.values.values());
+        trace.push((p.values.values().to_vec(), y.to_bits()));
+        client.report(y).expect("report");
+    }
+    let summary = client.end_session().expect("session ends");
+    (trace, summary)
+}
+
+/// With replication 2, every run is on at least two members: kill any
+/// one daemon and the union of the survivors' databases is complete.
+#[test]
+fn replicated_runs_survive_a_daemon_death() {
+    let addrs = reserve_addrs(3);
+    let daemons: Vec<DaemonHandle> = (0..3).map(|i| cluster_daemon(&addrs, i, 2)).collect();
+
+    // One completed session against each member, with characteristics
+    // spread across the shard space.
+    let labels = ["alpha", "beta", "gamma"];
+    for (i, label) in labels.iter().enumerate() {
+        let mut client = Client::connect(addrs[i].as_str()).unwrap();
+        drive(
+            &mut client,
+            label,
+            vec![0.1 + 0.3 * i as f64, 0.9 - 0.3 * i as f64],
+        );
+    }
+
+    // Kill one daemon; the other two must still hold everything.
+    let mut daemons = daemons;
+    daemons.remove(0).shutdown();
+    let mut surviving: HashSet<String> = HashSet::new();
+    for addr in &addrs[1..] {
+        let mut client = Client::connect(addr.as_str()).unwrap();
+        for run in client.db_runs().unwrap() {
+            assert!(run.records > 0, "shipped run {:?} arrived empty", run.label);
+            surviving.insert(run.label);
+        }
+    }
+    for label in labels {
+        assert!(
+            surviving.contains(label),
+            "run {label:?} lost with one daemon down (survivors hold {surviving:?})"
+        );
+    }
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// A session whose owner dies mid-tune fails over to the replica and
+/// finishes on exactly the trajectory of an undisturbed run.
+#[test]
+fn killed_owner_fails_over_bit_identically() {
+    // The reference: one clean single-daemon run.
+    let clean = TuningDaemon::start(DaemonConfig::default()).unwrap();
+    let mut direct = Client::connect(clean.addr()).unwrap();
+    let (clean_trace, clean_summary) = drive(&mut direct, "clean", vec![0.5, 0.5]);
+    clean.shutdown();
+    assert!(clean_trace.len() > 10, "budget must be worth interrupting");
+
+    // The cluster run: the session starts on member 0 (its token is
+    // self-owned), and member 0 is killed mid-session.
+    let addrs = reserve_addrs(3);
+    let mut daemons: Vec<DaemonHandle> = (0..3).map(|i| cluster_daemon(&addrs, i, 2)).collect();
+    let mut client = ring_client(&addrs, 7);
+    client
+        .start_session(
+            SpaceSpec::Rsl(RSL.into()),
+            "failover",
+            vec![0.5, 0.5],
+            Some(40),
+        )
+        .unwrap();
+    let token = client.session_token().expect("v2+ token").to_string();
+    let ring = HashRing::new(&addrs);
+    assert_eq!(
+        ring.owner(&token),
+        addrs[0],
+        "a session's creator must be its ring owner"
+    );
+
+    let mut trace = Vec::new();
+    for _ in 0..7 {
+        let p = client.fetch().unwrap().expect("early proposal");
+        let y = perf(p.values.values());
+        trace.push((p.values.values().to_vec(), y.to_bits()));
+        client.report(y).unwrap();
+    }
+    daemons.remove(0).shutdown();
+
+    // The next request reconnects, follows the redirect chain, and the
+    // replica holder adopts the session where it stopped.
+    while let Some(p) = client.fetch().expect("post-failover fetch") {
+        let y = perf(p.values.values());
+        trace.push((p.values.values().to_vec(), y.to_bits()));
+        client.report(y).expect("post-failover report");
+    }
+    let summary = client.end_session().expect("post-failover end");
+
+    assert_eq!(clean_trace, trace, "failover changed the trajectory");
+    assert_eq!(clean_summary.iterations, summary.iterations);
+    assert_eq!(clean_summary.best.values(), summary.best.values());
+    assert_eq!(
+        clean_summary.performance.to_bits(),
+        summary.performance.to_bits(),
+        "best performance must match to the bit"
+    );
+    assert_eq!(clean_summary.converged, summary.converged);
+
+    // The finished run was recorded by the adopting survivor.
+    let mut recorded = false;
+    for addr in &addrs[1..] {
+        let mut c = Client::connect(addr.as_str()).unwrap();
+        recorded |= c.db_runs().unwrap().iter().any(|r| r.label == "failover");
+    }
+    assert!(recorded, "the failed-over run never reached a database");
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// A member that holds nothing for a foreign token points the client at
+/// the ring owner instead of serving or inventing an error.
+#[test]
+fn non_owners_redirect_to_the_ring_owner() {
+    let addrs = reserve_addrs(3);
+    let daemons: Vec<DaemonHandle> = (0..3).map(|i| cluster_daemon(&addrs, i, 2)).collect();
+
+    let mut client = ring_client(&addrs, 21);
+    client
+        .start_session(
+            SpaceSpec::Rsl(RSL.into()),
+            "routed",
+            vec![0.4, 0.6],
+            Some(40),
+        )
+        .unwrap();
+    let token = client.session_token().unwrap().to_string();
+
+    // The replica set is the owner plus its ring successor; the third
+    // member holds nothing and must redirect.
+    let ring = HashRing::new(&addrs);
+    let holders: Vec<String> = ring
+        .successors(ring_hash(token.as_bytes()), 2)
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let outsider = addrs
+        .iter()
+        .find(|a| !holders.contains(a))
+        .expect("one member is outside the replica set");
+
+    let mut stream = hello_v2(outsider);
+    match round_trip(&mut stream, &Request::Resume { token }) {
+        Response::NotMine { owner } => assert_eq!(owner, addrs[0], "redirect must name the owner"),
+        other => panic!("expected NotMine, got {other:?}"),
+    }
+    client.end_session().unwrap();
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// Client-facing connections may not speak the peer protocol: without a
+/// `PeerHello` — which demands a known ring member — `Peer*` requests
+/// are refused, clustered or not.
+#[test]
+fn peer_requests_are_refused_on_client_connections() {
+    let addrs = reserve_addrs(3);
+    let daemons: Vec<DaemonHandle> = (0..3).map(|i| cluster_daemon(&addrs, i, 2)).collect();
+
+    let mut stream = hello_v2(&addrs[0]);
+    match round_trip(
+        &mut stream,
+        &Request::PeerShipRun {
+            origin: "impostor:1".into(),
+            seq: 1,
+            line: "{}".into(),
+        },
+    ) {
+        Response::Error { message } => {
+            assert!(message.contains("PeerHello"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // And a PeerHello from a non-member is itself refused.
+    match round_trip(
+        &mut stream,
+        &Request::PeerHello {
+            node: "impostor:1".into(),
+        },
+    ) {
+        Response::Error { message } => {
+            assert!(message.contains("unknown ring member"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    for d in daemons {
+        d.shutdown();
+    }
+}
+
+/// A raw protocol-v2 connection (JSON framing, no auto-redirects).
+fn hello_v2(addr: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            version: None,
+            min_version: Some(MIN_SUPPORTED_VERSION),
+            max_version: Some(2),
+            client: "cluster test".into(),
+        },
+    )
+    .unwrap();
+    match read_frame::<_, Response>(&mut stream).unwrap() {
+        Response::Hello { version, .. } => assert_eq!(version, 2),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    stream
+}
+
+fn round_trip(stream: &mut TcpStream, request: &Request) -> Response {
+    write_frame(stream, request).unwrap();
+    read_frame(stream).unwrap()
+}

@@ -474,6 +474,7 @@ fn session_start_request(characteristics: Vec<f64>, max_iterations: Option<usize
         label: "raw".into(),
         characteristics,
         max_iterations,
+        engine: None,
     }
 }
 
@@ -801,15 +802,17 @@ mod wire_equivalence {
                 arb_string(),
                 prop::collection::vec(arb_f64(), 0..4),
                 opt(0usize..10_000),
+                opt(arb_string()),
             )
-                .prop_map(|(space, label, characteristics, max_iterations)| {
+                .prop_map(|(space, label, characteristics, max_iterations, engine)| {
                     Request::SessionStart {
                         space,
                         label,
                         characteristics,
                         max_iterations,
+                        engine,
                     }
-                }),
+                },),
             arb_string().prop_map(|token| Request::Resume { token }),
             Just(Request::Fetch),
             (arb_f64(), opt(arb_u64()))

@@ -264,6 +264,7 @@ fn v1_client_completes_a_session_against_a_v2_daemon() {
             label: "v1".into(),
             characteristics: vec![0.5, 0.5],
             max_iterations: Some(40),
+            engine: None,
         },
     ) {
         Response::SessionStarted { session_token, .. } => {

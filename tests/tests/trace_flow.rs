@@ -198,6 +198,7 @@ fn raw_v1_client_on_a_tracing_daemon_is_untouched() {
             label: label.into(),
             characteristics: vec![0.5, 0.5],
             max_iterations: Some(30),
+            engine: None,
         }) {
             Response::SessionStarted { session_token, .. } => {
                 assert!(session_token.is_none(), "v1 sessions have no tokens")

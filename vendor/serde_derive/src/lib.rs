@@ -7,7 +7,12 @@
 //! Supported shapes — exactly what this workspace derives on:
 //!
 //! * structs with named fields (`#[serde(skip)]` honoured: skipped on
-//!   serialize, `Default::default()` on deserialize);
+//!   serialize, `Default::default()` on deserialize;
+//!   `#[serde(skip_serializing_if = ...)]` honoured as omit-when-null:
+//!   the field is left out of the serialized object whenever its value
+//!   serializes to `Null` — which is exactly the `Option::is_none`
+//!   predicate this workspace pairs it with — and an absent key already
+//!   deserializes as `Null`, so `Option` fields read back as `None`);
 //! * tuple structs (arity 1 serializes transparently, like serde
 //!   newtypes; higher arities serialize as arrays);
 //! * enums with unit, newtype, tuple, and struct variants, in serde's
@@ -43,6 +48,9 @@ enum Fields {
 struct Field {
     name: String,
     skip: bool,
+    /// `#[serde(skip_serializing_if = ...)]`: omit the field from the
+    /// serialized object when its value serializes to `Null`.
+    skip_if_none: bool,
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
@@ -151,14 +159,14 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Does an attribute token group spell `serde(skip)`?
-fn is_serde_skip(group: &TokenStream) -> bool {
+/// Does an attribute token group spell `serde(...)` naming `flag`?
+fn serde_attr_names(group: &TokenStream, flag: &str) -> bool {
     let tokens: Vec<TokenTree> = group.clone().into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
             args.stream()
                 .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"))
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == flag))
         }
         _ => false,
     }
@@ -169,11 +177,13 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Attributes (collect the skip flag).
+        // Attributes (collect the skip flags).
         let mut skip = false;
+        let mut skip_if_none = false;
         while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
             if let TokenTree::Group(g) = &tokens[i + 1] {
-                skip |= is_serde_skip(&g.stream());
+                skip |= serde_attr_names(&g.stream(), "skip");
+                skip_if_none |= serde_attr_names(&g.stream(), "skip_serializing_if");
             }
             i += 2;
         }
@@ -192,7 +202,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         i += 1; // name
         i += 1; // ':'
         skip_type(&tokens, &mut i);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            skip_if_none,
+        });
         // Separator comma, if any.
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
@@ -285,14 +299,32 @@ fn serialize_struct(_name: &str, fields: &Fields) -> String {
         Fields::Named(fields) => {
             let mut out = String::from("let mut m = ::serde::Map::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
-                out.push_str(&format!(
-                    "m.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}));\n",
-                    f.name
-                ));
+                out.push_str(&insert_named_field(f, "m", &format!("&self.{}", f.name)));
             }
             out.push_str("::serde::Value::Object(m)");
             out
         }
+    }
+}
+
+/// One `{map}.insert(...)` statement for a named field, honouring
+/// omit-when-null (`expr` is the borrow that reaches the field value).
+fn insert_named_field(f: &Field, map: &str, expr: &str) -> String {
+    if f.skip_if_none {
+        format!(
+            "{{\n\
+                 let value = ::serde::Serialize::to_value({expr});\n\
+                 if !::std::matches!(value, ::serde::Value::Null) {{\n\
+                     {map}.insert(::std::string::String::from(\"{0}\"), value);\n\
+                 }}\n\
+             }}\n",
+            f.name
+        )
+    } else {
+        format!(
+            "{map}.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({expr}));\n",
+            f.name
+        )
     }
 }
 
@@ -368,10 +400,7 @@ fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
                 let binds: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
                 let mut inner = String::from("let mut fields = ::serde::Map::new();\n");
                 for f in fs {
-                    inner.push_str(&format!(
-                        "fields.insert(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}));\n",
-                        f.name
-                    ));
+                    inner.push_str(&insert_named_field(f, "fields", &f.name));
                 }
                 arms.push_str(&format!(
                     "{name}::{vname} {{ {binds} }} => {{\n\
